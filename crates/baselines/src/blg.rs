@@ -1,0 +1,117 @@
+//! BL_G: greedy agglomerative grouping.
+//!
+//! "BL_G starts by assigning all event classes from C_L to a set of
+//! singleton groups G⁰. Then, in each iteration, BL_G merges those two
+//! groups from Gⁱ that lead to the lowest overall distance without
+//! resulting in any constraint violations. BL_G stops if the overall
+//! distance cannot improve in an iteration" (§VI-A). It can handle class-
+//! and instance-based constraints (it checks candidates against the log
+//! directly) but not grouping constraints.
+
+use gecco_constraints::CompiledConstraintSet;
+use gecco_core::{DistanceOracle, Grouping};
+use gecco_eventlog::{ClassSet, EventLog};
+
+/// Runs the greedy baseline; returns `None` when even the singleton
+/// grouping violates the constraints (the greedy strategy then has no
+/// feasible starting point — its key weakness for monotonic constraint
+/// sets like `M`).
+pub fn greedy_grouping(
+    log: &EventLog,
+    constraints: &CompiledConstraintSet,
+) -> Option<(Grouping, f64)> {
+    let oracle = DistanceOracle::new(log, constraints.segmenter());
+    let mut groups: Vec<ClassSet> = Grouping::singletons(log).groups().to_vec();
+    // The starting point itself must be feasible.
+    if !groups.iter().all(|g| constraints.holds(g, log)) {
+        return None;
+    }
+    let mut total: f64 = groups.iter().map(|g| oracle.distance(g)).sum();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None; // (i, j, new total)
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                let merged = groups[i].union(&groups[j]);
+                // Merging classes that never co-occur only inflates
+                // missing(); still allowed — the distance handles it.
+                let candidate_total = total - oracle.distance(&groups[i])
+                    - oracle.distance(&groups[j])
+                    + oracle.distance(&merged);
+                if candidate_total < total - 1e-12
+                    && best.as_ref().is_none_or(|(_, _, b)| candidate_total < *b)
+                    && constraints.holds(&merged, log)
+                {
+                    best = Some((i, j, candidate_total));
+                }
+            }
+        }
+        match best {
+            Some((i, j, new_total)) => {
+                let merged = groups[i].union(&groups[j]);
+                groups.swap_remove(j);
+                groups[i] = merged; // i < j, so i is untouched by swap_remove
+                total = new_total;
+            }
+            None => break,
+        }
+    }
+    Some((Grouping::new(groups), total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_constraints::ConstraintSet;
+    use gecco_datagen::running_example;
+
+    fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
+        CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
+    }
+
+    #[test]
+    fn merges_improve_distance() {
+        let log = running_example();
+        let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
+        let (grouping, total) = greedy_grouping(&log, &cs).unwrap();
+        assert!(grouping.is_exact_cover(&log));
+        assert!(grouping.len() < log.num_classes(), "some merge must help");
+        // Never worse than all singletons (distance |C_L| = 8).
+        assert!(total < 8.0);
+        // All groups satisfy the constraint.
+        for g in grouping.iter() {
+            assert!(cs.holds(g, &log));
+        }
+    }
+
+    #[test]
+    fn greedy_is_no_better_than_optimal() {
+        use gecco_core::{CandidateStrategy, Gecco};
+        let log = running_example();
+        let dsl = "distinct(instance, \"org:role\") <= 1;";
+        let cs = compile(&log, dsl);
+        let (_, greedy_total) = greedy_grouping(&log, &cs).unwrap();
+        let optimal = Gecco::new(&log)
+            .constraints(ConstraintSet::parse(dsl).unwrap())
+            .candidates(CandidateStrategy::Exhaustive)
+            .run()
+            .unwrap()
+            .expect_abstracted();
+        assert!(optimal.distance() <= greedy_total + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_singletons_abort() {
+        let log = running_example();
+        // Singletons have exactly 1 event per instance; require 2.
+        let cs = compile(&log, "count(instance) >= 2;");
+        assert!(greedy_grouping(&log, &cs).is_none());
+    }
+
+    #[test]
+    fn constraints_block_merges() {
+        let log = running_example();
+        let cs = compile(&log, "size(g) <= 1;");
+        let (grouping, _) = greedy_grouping(&log, &cs).unwrap();
+        assert_eq!(grouping.len(), 8, "nothing may merge");
+    }
+}

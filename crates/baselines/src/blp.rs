@@ -1,0 +1,179 @@
+//! BL_P: spectral graph partitioning of the DFG.
+//!
+//! "Given a DFG, BL_P aims to minimize the sum of directly-follows
+//! frequencies of cut edges, while cutting the graph into n partitions.
+//! For this, BL_P applies spectral partitioning, where the weighted
+//! adjacency matrix is populated using normalized directly-follows
+//! frequencies" (§VI-A). Implementation: symmetrize and normalize the DF
+//! frequencies, build the symmetric normalized Laplacian
+//! `L = I − D^{−1/2} W D^{−1/2}`, embed each class into the `n` smallest
+//! eigenvectors (Jacobi), and cluster the embedding with k-means.
+
+use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog};
+use gecco_linalg::{eigen_symmetric, kmeans, Matrix};
+
+/// Partitions the event classes of `log` into exactly `n` groups.
+/// Returns `None` when `n` is zero or exceeds the number of classes.
+pub fn spectral_partitioning(log: &EventLog, n: usize) -> Option<Vec<ClassSet>> {
+    let dfg = Dfg::from_log(log);
+    let classes: Vec<ClassId> = dfg.nodes().filter(|&c| dfg.class_count(c) > 0).collect();
+    let m = classes.len();
+    if n == 0 || n > m {
+        return None;
+    }
+    if n == m {
+        return Some(classes.iter().map(|&c| ClassSet::singleton(c)).collect());
+    }
+    // Symmetrized, max-normalized adjacency.
+    let mut w = Matrix::zeros(m, m);
+    let mut max_w: f64 = 0.0;
+    for i in 0..m {
+        for j in 0..m {
+            if i == j {
+                continue;
+            }
+            let f = (dfg.count(classes[i], classes[j]) + dfg.count(classes[j], classes[i])) as f64;
+            w[(i, j)] = f;
+            max_w = max_w.max(f);
+        }
+    }
+    if max_w > 0.0 {
+        for i in 0..m {
+            for j in 0..m {
+                w[(i, j)] /= max_w;
+            }
+        }
+    }
+    // Symmetric normalized Laplacian.
+    let degrees: Vec<f64> = (0..m).map(|i| (0..m).map(|j| w[(i, j)]).sum()).collect();
+    let mut lap = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..m {
+            let norm = (degrees[i] * degrees[j]).sqrt();
+            let wij = if norm > 0.0 { w[(i, j)] / norm } else { 0.0 };
+            lap[(i, j)] = if i == j { 1.0 - wij } else { -wij };
+        }
+    }
+    let eig = eigen_symmetric(&lap);
+    // Embed into the n smallest eigenvectors, rows normalized (Ng–Jordan–
+    // Weiss style).
+    let mut embedding = Matrix::zeros(m, n);
+    for r in 0..m {
+        for c in 0..n {
+            embedding[(r, c)] = eig.vectors[(r, c)];
+        }
+        let norm: f64 = (0..n).map(|c| embedding[(r, c)].powi(2)).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for c in 0..n {
+                embedding[(r, c)] /= norm;
+            }
+        }
+    }
+    let clustering = kmeans(&embedding, n, 200);
+    let mut groups = vec![ClassSet::new(); n];
+    for (row, &cluster) in clustering.assignment.iter().enumerate() {
+        groups[cluster].insert(classes[row]);
+    }
+    // k-means can leave empty clusters in principle; steal the farthest
+    // member of the largest group to keep exactly n non-empty partitions.
+    for gi in 0..n {
+        if groups[gi].is_empty() {
+            let largest = (0..n)
+                .max_by_key(|&i| groups[i].len())
+                .expect("n >= 1");
+            if groups[largest].len() > 1 {
+                let victim = groups[largest].iter().next().expect("non-empty");
+                groups[largest].remove(victim);
+                groups[gi].insert(victim);
+            }
+        }
+    }
+    groups.retain(|g| !g.is_empty());
+    Some(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogBuilder;
+
+    /// Two tightly-knit blocks joined by one rare edge.
+    fn two_communities() -> EventLog {
+        let mut b = LogBuilder::new();
+        for i in 0..20 {
+            b.trace(&format!("x{i}"))
+                .event("a1")
+                .unwrap()
+                .event("a2")
+                .unwrap()
+                .event("a3")
+                .unwrap()
+                .done();
+        }
+        for i in 0..20 {
+            b.trace(&format!("y{i}"))
+                .event("b1")
+                .unwrap()
+                .event("b2")
+                .unwrap()
+                .event("b3")
+                .unwrap()
+                .done();
+        }
+        // One bridging trace.
+        b.trace("bridge")
+            .event("a1")
+            .unwrap()
+            .event("a2")
+            .unwrap()
+            .event("a3")
+            .unwrap()
+            .event("b1")
+            .unwrap()
+            .event("b2")
+            .unwrap()
+            .event("b3")
+            .unwrap()
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn separates_communities() {
+        let log = two_communities();
+        let groups = spectral_partitioning(&log, 2).unwrap();
+        assert_eq!(groups.len(), 2);
+        let names = |g: &ClassSet| -> Vec<String> {
+            g.iter().map(|c| log.class_name(c).to_string()).collect()
+        };
+        for g in &groups {
+            let ns = names(g);
+            let all_a = ns.iter().all(|n| n.starts_with('a'));
+            let all_b = ns.iter().all(|n| n.starts_with('b'));
+            assert!(all_a || all_b, "mixed partition: {ns:?}");
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all_classes_disjointly() {
+        let log = two_communities();
+        for n in 1..=6 {
+            let groups = spectral_partitioning(&log, n).unwrap();
+            let mut seen = ClassSet::new();
+            for g in &groups {
+                assert!(!g.intersects(&seen), "overlap at n={n}");
+                seen = seen.union(g);
+            }
+            assert_eq!(seen.len(), 6, "cover at n={n}");
+        }
+    }
+
+    #[test]
+    fn degenerate_n() {
+        let log = two_communities();
+        assert!(spectral_partitioning(&log, 0).is_none());
+        assert!(spectral_partitioning(&log, 7).is_none());
+        let singleton = spectral_partitioning(&log, 6).unwrap();
+        assert_eq!(singleton.len(), 6);
+    }
+}

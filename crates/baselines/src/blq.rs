@@ -1,0 +1,151 @@
+//! BL_Q: candidate retrieval by graph querying.
+//!
+//! Replaces GECCO's Step 1: the DFG is loaded into the
+//! [`crate::graphdb::PropertyGraph`] (node properties: class name plus all
+//! class-level attributes; edge property: directly-follows frequency) and
+//! queried with a variable-length path pattern whose `WHERE` clause encodes
+//! the class-based constraints. Because "a DFG captures a log on the
+//! class-level, BL_Q can only support class-based constraints" (§VI-A);
+//! instance-based and grouping constraints are ignored by construction —
+//! the selection step downstream still enforces grouping bounds.
+
+use gecco_constraints::CompiledConstraintSet;
+use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog};
+use crate::graphdb::{NodeId, PathPattern, PropertyGraph, PropertyValue};
+use std::collections::HashSet;
+
+/// Loads the DFG of `log` into a property graph (one node per occurring
+/// class, one edge per directly-follows pair).
+pub fn dfg_to_graph(log: &EventLog, dfg: &Dfg) -> (PropertyGraph, Vec<ClassId>) {
+    let mut graph = PropertyGraph::new();
+    let classes: Vec<ClassId> = dfg.nodes().filter(|&c| dfg.class_count(c) > 0).collect();
+    let mut node_of = std::collections::HashMap::new();
+    for &c in &classes {
+        let n = graph.add_node();
+        node_of.insert(c, n);
+        graph.set_node_property(n, "name", PropertyValue::Str(log.class_name(c).to_string()));
+        graph.set_node_property(n, "frequency", PropertyValue::Int(dfg.class_count(c) as i64));
+        for (key, value) in &log.classes().info(c).attributes {
+            if let Some(sym) = value.as_symbol() {
+                graph.set_node_property(
+                    n,
+                    log.resolve(*key),
+                    PropertyValue::Str(log.resolve(sym).to_string()),
+                );
+            }
+        }
+    }
+    for (a, b, count) in dfg.edges() {
+        graph.add_edge(node_of[&a], node_of[&b], vec![(
+            "freq".to_string(),
+            PropertyValue::Int(count as i64),
+        )]);
+    }
+    (graph, classes)
+}
+
+/// Runs the BL_Q candidate query: all simple DFG paths of bounded length
+/// whose node set satisfies the class-based constraints, deduplicated into
+/// groups. Singletons are always included so that the downstream exact
+/// cover stays feasible whenever singletons satisfy the constraints.
+pub fn query_candidates(
+    log: &EventLog,
+    constraints: &CompiledConstraintSet,
+    max_path_len: usize,
+) -> Vec<ClassSet> {
+    let dfg = Dfg::from_log(log);
+    let (graph, classes) = dfg_to_graph(log, &dfg);
+    let class_of = |n: NodeId| classes[n.0 as usize];
+    // The WHERE clause over the full path: node set satisfies R_C.
+    let group_ok = |_: &PropertyGraph, path: &[NodeId]| {
+        let group: ClassSet = path.iter().map(|&n| class_of(n)).collect();
+        constraints.check_class(&group, log).is_ok()
+    };
+    let pattern = PathPattern {
+        min_len: 1,
+        max_len: max_path_len,
+        // Dense DFGs have combinatorially many simple paths; a query LIMIT
+        // keeps BL_Q tractable (mirroring how one would query Neo4j).
+        limit: 100_000,
+        node_filter: &|_, _| true,
+        prefix_filter: &|_, _, _| true,
+        path_filter: &group_ok,
+    };
+    let mut seen: HashSet<ClassSet> = HashSet::new();
+    let mut out: Vec<ClassSet> = Vec::new();
+    for path in graph.match_paths(&pattern) {
+        let group: ClassSet = path.iter().map(|&n| class_of(n)).collect();
+        if seen.insert(group) {
+            out.push(group);
+        }
+    }
+    // Singletons (length-1 paths) are produced by the query already; keep
+    // any that the pattern may have filtered out only if they satisfy R_C.
+    for &c in &classes {
+        let g = ClassSet::singleton(c);
+        if constraints.check_class(&g, log).is_ok() && seen.insert(g) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_constraints::ConstraintSet;
+    use gecco_datagen::running_example;
+
+    fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
+        CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
+    }
+
+    #[test]
+    fn graph_mirrors_dfg() {
+        let log = running_example();
+        let dfg = Dfg::from_log(&log);
+        let (graph, classes) = dfg_to_graph(&log, &dfg);
+        assert_eq!(graph.num_nodes(), 8);
+        assert_eq!(graph.num_edges(), dfg.num_edges());
+        assert_eq!(classes.len(), 8);
+        let n0 = NodeId(0);
+        assert!(graph.node_property(n0, "name").is_some());
+        assert!(graph.node_property(n0, "frequency").is_some());
+    }
+
+    #[test]
+    fn query_respects_size_bound() {
+        let log = running_example();
+        let cs = compile(&log, "size(g) <= 2;");
+        let candidates = query_candidates(&log, &cs, 5);
+        assert!(candidates.iter().all(|g| g.len() <= 2));
+        // All 8 singletons plus connected pairs.
+        assert!(candidates.iter().filter(|g| g.len() == 1).count() == 8);
+        assert!(candidates.iter().any(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn query_respects_cannot_link() {
+        let log = running_example();
+        let cs = compile(&log, "size(g) <= 3; cannot_link(\"rcp\", \"acc\");");
+        let rcp = log.class_by_name("rcp").unwrap();
+        let acc = log.class_by_name("acc").unwrap();
+        for g in query_candidates(&log, &cs, 5) {
+            assert!(!(g.contains(rcp) && g.contains(acc)));
+        }
+    }
+
+    #[test]
+    fn query_only_sees_connected_groups() {
+        let log = running_example();
+        let cs = compile(&log, "size(g) <= 2;");
+        let candidates = query_candidates(&log, &cs, 5);
+        // {ckc, ckt} is not connected by any DFG edge → not reachable as a
+        // simple path → absent (this is BL_Q's structural weakness vs
+        // Algorithm 3).
+        let ckc = log.class_by_name("ckc").unwrap();
+        let ckt = log.class_by_name("ckt").unwrap();
+        let pair: ClassSet = [ckc, ckt].into_iter().collect();
+        assert!(!candidates.contains(&pair));
+    }
+}

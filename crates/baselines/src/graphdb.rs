@@ -1,0 +1,268 @@
+//! A small in-memory property-graph store with path-pattern queries.
+//!
+//! `BL_Q` stores the DFG "in a graph database, which is queried for
+//! candidate groups using constraints formulated in a state-of-the-art
+//! graph querying language" \[27\]. This module provides the equivalent
+//! machinery: nodes/edges with typed properties and a variable-length
+//! path-pattern query in the style of Cypher's
+//! `MATCH p = (a)-[*min..max]->(b) WHERE all(n IN nodes(p) WHERE …)`.
+
+use std::collections::HashMap;
+
+/// Node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Property values storable on nodes and edges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyValue {
+    /// String property.
+    Str(String),
+    /// Integer property.
+    Int(i64),
+    /// Float property.
+    Float(f64),
+}
+
+impl PropertyValue {
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropertyValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            PropertyValue::Int(i) => Some(*i as f64),
+            PropertyValue::Float(f) => Some(*f),
+            PropertyValue::Str(_) => None,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Node {
+    properties: HashMap<String, PropertyValue>,
+}
+
+/// A directed property graph.
+#[derive(Debug, Default, Clone)]
+pub struct PropertyGraph {
+    nodes: Vec<Node>,
+    /// Adjacency: per node, outgoing `(target, edge property map)`.
+    out_edges: Vec<Vec<(NodeId, HashMap<String, PropertyValue>)>>,
+    in_edges: Vec<Vec<NodeId>>,
+}
+
+impl PropertyGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.nodes.push(Node::default());
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Sets a node property.
+    pub fn set_node_property(&mut self, node: NodeId, key: &str, value: PropertyValue) {
+        self.nodes[node.0 as usize].properties.insert(key.to_string(), value);
+    }
+
+    /// Reads a node property.
+    pub fn node_property(&self, node: NodeId, key: &str) -> Option<&PropertyValue> {
+        self.nodes[node.0 as usize].properties.get(key)
+    }
+
+    /// Adds a directed edge with properties.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, properties: Vec<(String, PropertyValue)>) {
+        self.out_edges[from.0 as usize].push((to, properties.into_iter().collect()));
+        self.in_edges[to.0 as usize].push(from);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing neighbors.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges[node.0 as usize].iter().map(|(t, _)| *t)
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Evaluates a variable-length path pattern; returns all simple paths
+    /// (no repeated nodes) with `min_len ≤ |nodes| ≤ max_len` whose nodes
+    /// all satisfy `node_filter` and whose node multiset satisfies
+    /// `path_filter`. Paths are returned as node-id sequences.
+    pub fn match_paths(&self, pattern: &PathPattern<'_>) -> Vec<Vec<NodeId>> {
+        let mut results = Vec::new();
+        for start in self.nodes() {
+            if results.len() >= pattern.limit {
+                break;
+            }
+            if !(pattern.node_filter)(self, start) {
+                continue;
+            }
+            let mut path = vec![start];
+            self.extend_path(pattern, &mut path, &mut results);
+        }
+        results
+    }
+
+    fn extend_path(
+        &self,
+        pattern: &PathPattern<'_>,
+        path: &mut Vec<NodeId>,
+        results: &mut Vec<Vec<NodeId>>,
+    ) {
+        if results.len() >= pattern.limit {
+            return;
+        }
+        if path.len() >= pattern.min_len && (pattern.path_filter)(self, path) {
+            results.push(path.clone());
+        }
+        if path.len() >= pattern.max_len {
+            return;
+        }
+        let last = *path.last().expect("non-empty path");
+        for next in self.successors(last) {
+            if path.contains(&next) {
+                continue; // simple paths only
+            }
+            if !(pattern.node_filter)(self, next) {
+                continue;
+            }
+            if !(pattern.prefix_filter)(self, path, next) {
+                continue;
+            }
+            path.push(next);
+            self.extend_path(pattern, path, results);
+            path.pop();
+        }
+    }
+}
+
+/// A variable-length path pattern (the `-[*min..max]->` of Cypher) plus
+/// node- and path-level predicates.
+pub struct PathPattern<'a> {
+    /// Minimum number of nodes on the path.
+    pub min_len: usize,
+    /// Maximum number of nodes on the path.
+    pub max_len: usize,
+    /// Result cap (Cypher's `LIMIT`): enumeration stops after this many
+    /// matches; dense DFGs have combinatorially many simple paths.
+    pub limit: usize,
+    /// `WHERE` predicate each node must satisfy.
+    pub node_filter: &'a dyn Fn(&PropertyGraph, NodeId) -> bool,
+    /// Pruning predicate consulted before extending a partial path.
+    pub prefix_filter: &'a dyn Fn(&PropertyGraph, &[NodeId], NodeId) -> bool,
+    /// `WHERE` predicate over the complete path.
+    pub path_filter: &'a dyn Fn(&PropertyGraph, &[NodeId]) -> bool,
+}
+
+impl Default for PathPattern<'_> {
+    fn default() -> Self {
+        PathPattern {
+            min_len: 1,
+            max_len: usize::MAX,
+            limit: 1_000_000,
+            node_filter: &|_, _| true,
+            prefix_filter: &|_, _, _| true,
+            path_filter: &|_, _| true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (PropertyGraph, [NodeId; 4]) {
+        // a → b → d, a → c → d
+        let mut g = PropertyGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        for (n, name) in [(a, "a"), (b, "b"), (c, "c"), (d, "d")] {
+            g.set_node_property(n, "name", PropertyValue::Str(name.into()));
+        }
+        g.add_edge(a, b, vec![("freq".into(), PropertyValue::Int(5))]);
+        g.add_edge(a, c, vec![]);
+        g.add_edge(b, d, vec![]);
+        g.add_edge(c, d, vec![]);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn properties_round_trip() {
+        let (g, [a, ..]) = diamond();
+        assert_eq!(g.node_property(a, "name").unwrap().as_str(), Some("a"));
+        assert!(g.node_property(a, "missing").is_none());
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn matches_paths_within_bounds() {
+        let (g, _) = diamond();
+        let pattern = PathPattern { min_len: 2, max_len: 3, ..Default::default() };
+        let paths = g.match_paths(&pattern);
+        // Length-2: ab, ac, bd, cd; length-3: abd, acd.
+        assert_eq!(paths.len(), 6);
+        assert!(paths.iter().all(|p| p.len() >= 2 && p.len() <= 3));
+    }
+
+    #[test]
+    fn node_filter_prunes() {
+        let (g, [_, b, ..]) = diamond();
+        let not_b = |g: &PropertyGraph, n: NodeId| {
+            g.node_property(n, "name").and_then(|v| v.as_str()) != Some("b")
+        };
+        let pattern =
+            PathPattern { min_len: 2, max_len: 3, node_filter: &not_b, ..Default::default() };
+        let paths = g.match_paths(&pattern);
+        assert!(paths.iter().all(|p| !p.contains(&b)));
+        assert_eq!(paths.len(), 3); // ac, cd, acd
+    }
+
+    #[test]
+    fn path_filter_applies_to_whole_path() {
+        let (g, _) = diamond();
+        let max_two = |_: &PropertyGraph, p: &[NodeId]| p.len() == 2;
+        let pattern =
+            PathPattern { min_len: 1, max_len: 4, path_filter: &max_two, ..Default::default() };
+        let paths = g.match_paths(&pattern);
+        assert!(paths.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn simple_paths_only() {
+        // A cycle must not loop forever.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, vec![]);
+        g.add_edge(b, a, vec![]);
+        let pattern = PathPattern { min_len: 1, max_len: 10, ..Default::default() };
+        let paths = g.match_paths(&pattern);
+        assert_eq!(paths.len(), 4); // a, b, ab, ba
+    }
+}

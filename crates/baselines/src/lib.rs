@@ -1,0 +1,24 @@
+//! The three baselines of §VI-A / §VI-C.
+//!
+//! * [`graphdb`] + [`blq`] — **BL_Q**: the DFG is loaded into an in-memory
+//!   property-graph store and *queried* for candidate groups with a
+//!   Cypher-style variable-length path pattern; only class-based
+//!   constraints are expressible. Replaces GECCO's Step 1.
+//! * [`blp`] — **BL_P**: spectral partitioning of the DFG (normalized
+//!   Laplacian over symmetrized directly-follows frequencies, eigen
+//!   embedding, k-means) into a fixed number of groups; only strict
+//!   grouping constraints are supported.
+//! * [`blg`] — **BL_G**: greedy agglomerative grouping that repeatedly
+//!   merges the pair of groups with the best distance improvement while
+//!   respecting class- and instance-based constraints; grouping
+//!   constraints cannot be enforced.
+
+pub mod blg;
+pub mod blp;
+pub mod blq;
+pub mod graphdb;
+
+pub use blg::greedy_grouping;
+pub use blp::spectral_partitioning;
+pub use blq::query_candidates;
+pub use graphdb::{NodeId, PathPattern, PropertyGraph, PropertyValue};

@@ -1,0 +1,39 @@
+//! End-to-end baseline costs vs GECCO on the loan log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gecco_baselines::{greedy_grouping, query_candidates, spectral_partitioning};
+use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
+use gecco_core::{Budget, CandidateStrategy, Gecco};
+use gecco_datagen::loan_log;
+
+fn bench_baselines(c: &mut Criterion) {
+    let log = loan_log(80, 5);
+    let dsl = "size(g) <= 5;";
+    let compiled =
+        CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), &log).unwrap();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("blq_query", |b| b.iter(|| query_candidates(&log, &compiled, 5)));
+    group.bench_function("blp_spectral", |b| {
+        b.iter(|| spectral_partitioning(&log, 12).expect("feasible"))
+    });
+    group.bench_function("blg_greedy", |b| {
+        b.iter(|| greedy_grouping(&log, &compiled).expect("feasible"))
+    });
+    group.bench_function("gecco_dfg_beam", |b| {
+        b.iter(|| {
+            Gecco::new(&log)
+                .constraints(ConstraintSet::parse(dsl).unwrap())
+                .candidates(CandidateStrategy::DfgBeam {
+                    k: gecco_core::BeamWidth::PerClass(5),
+                })
+                .budget(Budget::max_checks(2_000))
+                .run()
+                .expect("compiles")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

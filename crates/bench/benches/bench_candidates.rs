@@ -1,0 +1,47 @@
+//! Candidate-computation scaling: Algorithm 1 vs Algorithm 2, plus the
+//! ablations DESIGN.md calls out (beam width sweep, pruning modes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
+use gecco_core::candidates::dfg::{dfg_candidates, NoObserver};
+use gecco_core::candidates::exhaustive::exhaustive_candidates;
+use gecco_core::{BeamWidth, Budget};
+use gecco_datagen::loan_log;
+use gecco_eventlog::EventLog;
+
+fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
+    CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let log = loan_log(100, 4);
+    let anti = compile(&log, "size(g) <= 4; distinct(instance, \"org:role\") <= 1;");
+    let budget = Budget::max_checks(2_000);
+    let mut group = c.benchmark_group("candidates");
+    group.sample_size(10);
+    group.bench_function("exhaustive_anti_monotonic", |b| {
+        b.iter(|| exhaustive_candidates(&log, &anti, budget))
+    });
+    group.bench_function("dfg_unbounded", |b| {
+        b.iter(|| dfg_candidates(&log, &anti, None, budget, &mut NoObserver))
+    });
+    // Ablation: beam width sweep (the paper's k = 5·|C_L| vs narrower).
+    for k in [1usize, 24, 120] {
+        group.bench_with_input(BenchmarkId::new("dfg_beam", k), &k, |b, &k| {
+            b.iter(|| {
+                dfg_candidates(&log, &anti, Some(BeamWidth::Fixed(k)), budget, &mut NoObserver)
+            })
+        });
+    }
+    // Ablation: constraint-checking-mode pruning. The same size bound
+    // expressed monotonically (>=1, trivially true) disables anti-monotonic
+    // pruning and forces full expansion under the same budget.
+    let no_prune = compile(&log, "size(g) >= 1;");
+    group.bench_function("exhaustive_no_anti_pruning", |b| {
+        b.iter(|| exhaustive_candidates(&log, &no_prune, budget))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! DFG construction and variant folding scaling in log size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gecco_datagen::loan_log;
+use gecco_eventlog::{Dfg, Variants};
+
+fn bench_dfg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfg");
+    group.sample_size(20);
+    for traces in [100usize, 400] {
+        let log = loan_log(traces, 2);
+        group.bench_with_input(BenchmarkId::new("build", traces), &log, |b, log| {
+            b.iter(|| Dfg::from_log(log));
+        });
+        group.bench_with_input(BenchmarkId::new("variants", traces), &log, |b, log| {
+            b.iter(|| Variants::from_log(log));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dfg);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Instance segmentation (`inst`) and distance evaluation (Eq. 1) costs —
+//! the inner loop of candidate checking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gecco_core::group_distance;
+use gecco_datagen::loan_log;
+use gecco_eventlog::{instances, ClassSet, Segmenter};
+
+fn bench_instances(c: &mut Criterion) {
+    let log = loan_log(200, 3);
+    // A mid-sized group: the first 4 application-system classes.
+    let group: ClassSet = log
+        .classes()
+        .ids()
+        .filter(|&cid| log.class_name(cid).starts_with("A_"))
+        .take(4)
+        .collect();
+    let mut g = c.benchmark_group("instances");
+    g.bench_function("segment_log", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in log.traces() {
+                n += instances(t, &group, Segmenter::RepeatSplit).len();
+            }
+            n
+        })
+    });
+    g.bench_function("group_distance", |b| {
+        b.iter(|| group_distance(&log, &group, Segmenter::RepeatSplit))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_instances);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! XES parse/write throughput on simulated logs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gecco_datagen::loan_log;
+use gecco_eventlog::xes;
+
+fn bench_xes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xes");
+    group.sample_size(10);
+    for traces in [50usize, 200] {
+        let log = loan_log(traces, 1);
+        let text = xes::write_string(&log);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("write", traces), &log, |b, log| {
+            b.iter(|| xes::write_string(log));
+        });
+        group.bench_with_input(BenchmarkId::new("parse", traces), &text, |b, text| {
+            b.iter(|| xes::parse_str(text).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xes);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Reproduces the case study (§VI-D): Figure 1 (the 80/20 spaghetti DFG of
+//! the loan log) and Figure 8 (the 80/20 DFG after origin-constrained
+//! abstraction into system-pure activities).
+
+use gecco_bench::report::smoke_requested;
+use gecco_constraints::ConstraintSet;
+use gecco_core::{Budget, CandidateStrategy, Gecco, Outcome};
+use gecco_datagen::loan_log;
+use gecco_discovery::filter_dfg;
+use gecco_eventlog::{Dfg, LogStats};
+
+fn main() {
+    let traces = if smoke_requested() { 100 } else { 400 };
+    let log = loan_log(traces, 2017);
+    let stats = LogStats::from_log(&log);
+    println!(
+        "Loan log: {} classes, {} traces, {} variants, {} DFG edges (paper: 24 classes, 160 edges)",
+        stats.num_classes, stats.num_traces, stats.num_variants, stats.num_dfg_edges
+    );
+
+    let dfg = Dfg::from_log(&log);
+    let spaghetti = filter_dfg(&dfg, 0.8);
+    println!(
+        "\nFigure 1 — 80/20 DFG of the original log ({} of {} edges):",
+        spaghetti.num_edges(),
+        dfg.num_edges()
+    );
+    println!("{}", spaghetti.to_dot(&log));
+
+    // The case-study constraint: activities must not mix originating
+    // systems — |g.origin| <= 1 in the paper's notation.
+    let constraints =
+        ConstraintSet::parse("distinct(class, \"system\") <= 1; size(g) <= 8;").expect("valid DSL");
+    let outcome = Gecco::new(&log)
+        .constraints(constraints)
+        .candidates(CandidateStrategy::DfgUnbounded)
+        .budget(Budget::max_checks(20_000))
+        .label_by("system")
+        .run()
+        .expect("compiles");
+    let result = match outcome {
+        Outcome::Abstracted(r) => r,
+        Outcome::Infeasible(rep) => panic!("unexpectedly infeasible: {}", rep.summary),
+    };
+
+    println!(
+        "\nAbstraction: {} high-level activities (paper: 7), dist = {:.2}",
+        result.grouping().len(),
+        result.distance()
+    );
+    for (group, name) in result.grouping().iter().zip(result.activity_names()) {
+        println!("  {:<14} ← {}", name, log.format_group(group));
+    }
+
+    let abstracted_dfg = Dfg::from_log(result.log());
+    let fig8 = filter_dfg(&abstracted_dfg, 0.8);
+    println!(
+        "\nFigure 8 — 80/20 DFG of the abstracted log ({} nodes, {} edges):",
+        result.grouping().len(),
+        fig8.num_edges()
+    );
+    println!("{}", fig8.to_dot(result.log()));
+
+    // The paper's headline observation: without constraints, activities mix
+    // events from all three systems, obscuring the inter-system flow.
+    let unconstrained = Gecco::new(&log)
+        .candidates(CandidateStrategy::DfgUnbounded)
+        .budget(Budget::max_checks(20_000))
+        .label_by("system")
+        .run()
+        .expect("compiles")
+        .expect_abstracted();
+    let key = log.key("system").expect("loan log has systems");
+    let mixed = unconstrained
+        .grouping()
+        .iter()
+        .filter(|g| {
+            let mut systems = std::collections::HashSet::new();
+            for c in g.iter() {
+                if let Some(v) = log.classes().info(c).attribute(key) {
+                    systems.insert(v.distinct_key());
+                }
+            }
+            systems.len() > 1
+        })
+        .count();
+    println!(
+        "\nWithout the origin constraint, {} of {} groups mix events from different systems",
+        mixed,
+        unconstrained.grouping().len()
+    );
+    println!("— exactly the information loss the constraint-driven abstraction avoids (§VI-D).");
+}

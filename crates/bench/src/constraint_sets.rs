@@ -1,0 +1,177 @@
+//! The constraint sets of Table IV.
+//!
+//! Every set is combined with the class-based bound `size(g) <= 8`, exactly
+//! as the paper does "to limit the number of abstraction problems that time
+//! out". `Gr` is implemented as the lower bound `groups >= 3` (see
+//! DESIGN.md, interpretation 3) and `BL4` as `groups == ⌈|C_L|/2⌉`.
+
+use gecco_eventlog::{Dfg, EventLog};
+
+/// Identifier of one Table IV constraint set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintSetId {
+    /// Anti-monotonic: at most 3 distinct roles per group instance.
+    A,
+    /// Monotonic: total instance duration at least 101.
+    M,
+    /// Non-monotonic: average instance duration at most 5·10⁵.
+    N,
+    /// Grouping: at least 3 groups.
+    Gr,
+    /// A ∧ N ∧ Gr.
+    C1,
+    /// A ∧ M ∧ N ∧ Gr.
+    C2,
+    /// Class-based: groups of at most 5 classes.
+    Bl1,
+    /// BL1 plus a cannot-link between the two most frequent classes.
+    Bl2,
+    /// Class-attribute purity: one originating system per group.
+    Bl3,
+    /// Exactly ⌈|C_L|/2⌉ groups.
+    Bl4,
+}
+
+/// All ten sets in Table IV order.
+pub const ALL_SETS: [ConstraintSetId; 10] = [
+    ConstraintSetId::A,
+    ConstraintSetId::M,
+    ConstraintSetId::N,
+    ConstraintSetId::Gr,
+    ConstraintSetId::C1,
+    ConstraintSetId::C2,
+    ConstraintSetId::Bl1,
+    ConstraintSetId::Bl2,
+    ConstraintSetId::Bl3,
+    ConstraintSetId::Bl4,
+];
+
+impl ConstraintSetId {
+    /// Short name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConstraintSetId::A => "A",
+            ConstraintSetId::M => "M",
+            ConstraintSetId::N => "N",
+            ConstraintSetId::Gr => "Gr",
+            ConstraintSetId::C1 => "C1",
+            ConstraintSetId::C2 => "C2",
+            ConstraintSetId::Bl1 => "BL1",
+            ConstraintSetId::Bl2 => "BL2",
+            ConstraintSetId::Bl3 => "BL3",
+            ConstraintSetId::Bl4 => "BL4",
+        }
+    }
+}
+
+/// The base constraint present in every experiment.
+pub const BASE: &str = "size(g) <= 8;\n";
+
+const A_DSL: &str = "distinct(instance, \"org:role\") <= 3;\n";
+const M_DSL: &str = "sum(\"duration\") >= 101;\n";
+const N_DSL: &str = "avg(\"duration\") <= 5e5;\n";
+const GR_DSL: &str = "groups >= 3;\n";
+
+/// Whether `set` applies to `log` (BL3 needs the class-level `system`
+/// attribute on every class — 4 of the 13 collection logs).
+pub fn applicable(set: ConstraintSetId, log: &EventLog) -> bool {
+    match set {
+        ConstraintSetId::Bl3 => log.key("system").is_some_and(|k| {
+            log.classes().ids().all(|c| log.classes().info(c).attribute(k).is_some())
+        }),
+        _ => true,
+    }
+}
+
+/// Renders the DSL program for `set` against `log`.
+pub fn constraint_dsl(set: ConstraintSetId, log: &EventLog) -> String {
+    let mut dsl = String::from(BASE);
+    match set {
+        ConstraintSetId::A => dsl.push_str(A_DSL),
+        ConstraintSetId::M => dsl.push_str(M_DSL),
+        ConstraintSetId::N => dsl.push_str(N_DSL),
+        ConstraintSetId::Gr => dsl.push_str(GR_DSL),
+        ConstraintSetId::C1 => {
+            dsl.push_str(A_DSL);
+            dsl.push_str(N_DSL);
+            dsl.push_str(GR_DSL);
+        }
+        ConstraintSetId::C2 => {
+            dsl.push_str(A_DSL);
+            dsl.push_str(M_DSL);
+            dsl.push_str(N_DSL);
+            dsl.push_str(GR_DSL);
+        }
+        ConstraintSetId::Bl1 => dsl.push_str("size(g) <= 5;\n"),
+        ConstraintSetId::Bl2 => {
+            dsl.push_str("size(g) <= 5;\n");
+            let (a, b) = two_most_frequent(log);
+            dsl.push_str(&format!("cannot_link({a:?}, {b:?});\n"));
+        }
+        ConstraintSetId::Bl3 => dsl.push_str("distinct(class, \"system\") <= 1;\n"),
+        ConstraintSetId::Bl4 => {
+            let n = crate::runner::occurring_class_count(log);
+            dsl.push_str(&format!("groups == {};\n", n.div_ceil(2)));
+        }
+    }
+    dsl
+}
+
+/// The two most frequent event classes of a log (for BL2's cannot-link).
+fn two_most_frequent(log: &EventLog) -> (String, String) {
+    let dfg = Dfg::from_log(log);
+    let mut classes: Vec<_> = dfg.nodes().filter(|&c| dfg.class_count(c) > 0).collect();
+    classes.sort_by_key(|&c| std::cmp::Reverse(dfg.class_count(c)));
+    let a = log.class_name(classes[0]).to_string();
+    let b = log.class_name(classes.get(1).copied().unwrap_or(classes[0])).to_string();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
+    use gecco_datagen::{evaluation_collection, running_example, CollectionScale};
+
+    #[test]
+    fn all_sets_parse_and_compile_on_running_example() {
+        let log = running_example();
+        for set in ALL_SETS {
+            if !applicable(set, &log) {
+                assert_eq!(set, ConstraintSetId::Bl3);
+                continue;
+            }
+            let dsl = constraint_dsl(set, &log);
+            let spec = ConstraintSet::parse(&dsl).unwrap_or_else(|e| panic!("{set:?}: {e}"));
+            CompiledConstraintSet::compile(&spec, &log)
+                .unwrap_or_else(|e| panic!("{set:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bl3_applies_to_exactly_four_collection_logs() {
+        let collection = evaluation_collection(CollectionScale::Smoke);
+        let n = collection.iter().filter(|g| applicable(ConstraintSetId::Bl3, &g.log)).count();
+        assert_eq!(n, 4);
+        // Total problem count matches the paper's 121.
+        let total: usize = collection
+            .iter()
+            .map(|g| ALL_SETS.iter().filter(|&&s| applicable(s, &g.log)).count())
+            .sum();
+        assert_eq!(total, 121, "13 logs × 10 sets − 9 inapplicable BL3 = 121");
+    }
+
+    #[test]
+    fn bl2_links_two_distinct_frequent_classes() {
+        let log = running_example();
+        let dsl = constraint_dsl(ConstraintSetId::Bl2, &log);
+        assert!(dsl.contains("cannot_link(\"rcp\""), "rcp is the most frequent class: {dsl}");
+    }
+
+    #[test]
+    fn bl4_halves_the_class_count() {
+        let log = running_example();
+        let dsl = constraint_dsl(ConstraintSetId::Bl4, &log);
+        assert!(dsl.contains("groups == 4"), "8 classes → 4 groups: {dsl}");
+    }
+}

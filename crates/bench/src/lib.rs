@@ -1,0 +1,18 @@
+//! Experiment harness reproducing the paper's evaluation (§VI).
+//!
+//! * [`constraint_sets`] — the ten constraint sets of Table IV;
+//! * [`runner`] — runs one abstraction problem and computes the paper's
+//!   measures (Solved, S. red., C. red., Sil., T);
+//! * [`report`] — aligned text tables comparing measured values against
+//!   the numbers printed in the paper.
+//!
+//! Binaries (`cargo run --release -p gecco-bench --bin <name>`):
+//! `table3`, `table5`, `table6`, `table7`, `fig_running_example`,
+//! `fig_case_study`. All accept `--smoke` for a quick downscaled run.
+
+pub mod constraint_sets;
+pub mod report;
+pub mod runner;
+
+pub use constraint_sets::{applicable, constraint_dsl, ConstraintSetId, ALL_SETS};
+pub use runner::{evaluate_grouping, run_gecco, Aggregate, ProblemOutcome, RunConfig};

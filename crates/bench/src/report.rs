@@ -1,0 +1,68 @@
+//! Aligned text tables comparing measured values with the paper's.
+
+use crate::runner::Aggregate;
+
+/// Paper-reported row for side-by-side comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Fraction of solved problems.
+    pub solved: f64,
+    /// Size reduction.
+    pub s_red: f64,
+    /// Complexity reduction.
+    pub c_red: f64,
+    /// Silhouette coefficient.
+    pub sil: f64,
+    /// Runtime in minutes on the paper's hardware.
+    pub t_minutes: f64,
+}
+
+/// Prints the table header used by tables V–VII.
+pub fn header(first_column: &str) {
+    println!(
+        "{first_column:<10} {:>7} {:>7} {:>7} {:>7} {:>8}   {:>7} {:>7} {:>7} {:>7} {:>6}",
+        "Solved", "S.red", "C.red", "Sil.", "T(s)", "paper:", "Solved", "S.red", "C.red", "Sil."
+    );
+    println!("{}", "-".repeat(100));
+}
+
+/// Prints one measured row next to the paper's numbers.
+pub fn row(label: &str, ours: &Aggregate, paper: Option<PaperRow>) {
+    print!(
+        "{label:<10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
+        ours.solved, ours.s_red, ours.c_red, ours.sil, ours.seconds
+    );
+    match paper {
+        Some(p) => println!(
+            "   {:>7} {:>7.2} {:>7.2} {:>7.2} {:>6.2}",
+            "", p.solved, p.s_red, p.c_red, p.sil
+        ),
+        None => println!(),
+    }
+}
+
+/// Parses `--smoke` / `GECCO_SMOKE=1` for quick runs.
+pub fn smoke_requested() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("GECCO_SMOKE").is_ok_and(|v| v == "1" || v == "true")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_do_not_panic() {
+        header("Const.");
+        let agg = Aggregate {
+            solved: 1.0,
+            s_red: 0.5,
+            c_red: 0.4,
+            sil: 0.1,
+            seconds: 2.0,
+            problems: 3,
+        };
+        row("A", &agg, Some(PaperRow { solved: 1.0, s_red: 0.68, c_red: 0.63, sil: 0.15, t_minutes: 146.0 }));
+        row("X", &agg, None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Infeasibility diagnostics.
+//!
+//! §V-C: when no feasible grouping exists, GECCO "indicates possible causes
+//! of the infeasibility, e.g., the affected event classes that lead to
+//! violations for constraints in R_C, or the fraction of cases for which
+//! constraints in R_I are violated", so users can refine their constraints.
+
+use crate::compiled::CompiledConstraintSet;
+use gecco_eventlog::{instances, ClassId, ClassSet, EventLog};
+
+/// Findings for one constraint.
+#[derive(Debug, Clone)]
+pub struct ConstraintReport {
+    /// Index into the original [`crate::ConstraintSet`].
+    pub spec_index: usize,
+    /// Rendering of the constraint.
+    pub constraint: String,
+    /// Event classes whose *singleton* group already violates the
+    /// constraint — these classes cannot be covered at all.
+    pub violating_classes: Vec<ClassId>,
+    /// Fraction of group instances (over all singleton groups) violating
+    /// the constraint; only meaningful for instance-based constraints.
+    pub violated_instance_fraction: f64,
+}
+
+/// Diagnostics over a whole constraint set.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// One report per constraint that shows any violation evidence.
+    pub reports: Vec<ConstraintReport>,
+}
+
+impl Diagnostics {
+    /// Probes every singleton group `{c}` against the constraints and
+    /// aggregates violation evidence.
+    ///
+    /// A singleton that violates an anti-monotonic constraint can never be
+    /// covered (no supergroup will satisfy it either), which makes this the
+    /// sharpest cheap infeasibility witness available.
+    pub fn probe(constraints: &CompiledConstraintSet, log: &EventLog) -> Diagnostics {
+        let spec = constraints.spec().constraints();
+        let mut violating: Vec<Vec<ClassId>> = vec![Vec::new(); spec.len()];
+        // Class-based: which singletons violate which constraint.
+        for c in log.classes().ids() {
+            let g = ClassSet::singleton(c);
+            if let Err(idx) = constraints.check_class(&g, log) {
+                violating[idx].push(c);
+            }
+        }
+        // Instance-based: per-constraint violation fractions over all
+        // singleton instances.
+        let mut inst_total = 0usize;
+        let mut inst_violations = vec![0usize; spec.len()];
+        for c in log.classes().ids() {
+            let g = ClassSet::singleton(c);
+            let mut violated_for_class = vec![false; spec.len()];
+            for (ti, trace) in log.traces().iter().enumerate() {
+                if !log.trace_class_sets()[ti].contains(c) {
+                    continue;
+                }
+                for inst in instances(trace, &g, constraints.segmenter()) {
+                    inst_total += 1;
+                    for check in &constraints.inst_checks {
+                        let ok = match crate::compiled::eval_expr(&check.expr, trace, &inst) {
+                            Some(v) => check.cmp.eval(v, check.bound),
+                            None => true,
+                        };
+                        if !ok {
+                            inst_violations[check.spec_index] += 1;
+                            violated_for_class[check.spec_index] = true;
+                        }
+                    }
+                }
+            }
+            for (idx, flag) in violated_for_class.iter().enumerate() {
+                if *flag {
+                    violating[idx].push(c);
+                }
+            }
+        }
+        let mut reports = Vec::new();
+        for (idx, constraint) in spec.iter().enumerate() {
+            let frac = if inst_total > 0 {
+                inst_violations[idx] as f64 / inst_total as f64
+            } else {
+                0.0
+            };
+            if !violating[idx].is_empty() || frac > 0.0 {
+                reports.push(ConstraintReport {
+                    spec_index: idx,
+                    constraint: constraint.to_string(),
+                    violating_classes: violating[idx].clone(),
+                    violated_instance_fraction: frac,
+                });
+            }
+        }
+        Diagnostics { reports }
+    }
+
+    /// Whether any violation evidence was found.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self, log: &EventLog) -> String {
+        if self.reports.is_empty() {
+            return "no violation evidence found at the singleton level".to_string();
+        }
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&format!("constraint `{}`:\n", r.constraint));
+            if !r.violating_classes.is_empty() {
+                let names: Vec<&str> =
+                    r.violating_classes.iter().map(|c| log.class_name(*c)).collect();
+                out.push_str(&format!("  violated by singleton classes: {}\n", names.join(", ")));
+            }
+            if r.violated_instance_fraction > 0.0 {
+                out.push_str(&format!(
+                    "  violated for {:.1}% of singleton group instances\n",
+                    r.violated_instance_fraction * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ConstraintSet;
+    use gecco_eventlog::LogBuilder;
+
+    fn toy_log() -> EventLog {
+        let mut b = LogBuilder::new();
+        b.trace("c1")
+            .event_with("a", |e| {
+                e.int("cost", 10);
+            })
+            .unwrap()
+            .event_with("b", |e| {
+                e.int("cost", 1000);
+            })
+            .unwrap()
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn finds_instance_violators() {
+        let log = toy_log();
+        let spec = ConstraintSet::parse("sum(\"cost\") <= 100;").unwrap();
+        let cs = CompiledConstraintSet::compile(&spec, &log).unwrap();
+        let d = Diagnostics::probe(&cs, &log);
+        assert_eq!(d.reports.len(), 1);
+        let r = &d.reports[0];
+        assert_eq!(r.violating_classes.len(), 1);
+        assert_eq!(log.class_name(r.violating_classes[0]), "b");
+        assert!((r.violated_instance_fraction - 0.5).abs() < 1e-9);
+        assert!(d.render(&log).contains("b"));
+    }
+
+    #[test]
+    fn finds_class_violators() {
+        let log = toy_log();
+        let spec = ConstraintSet::parse("size(g) >= 2;").unwrap();
+        let cs = CompiledConstraintSet::compile(&spec, &log).unwrap();
+        let d = Diagnostics::probe(&cs, &log);
+        // Every singleton violates a min-size-2 constraint.
+        assert_eq!(d.reports[0].violating_classes.len(), 2);
+    }
+
+    #[test]
+    fn clean_set_has_no_reports() {
+        let log = toy_log();
+        let spec = ConstraintSet::parse("size(g) <= 8;").unwrap();
+        let cs = CompiledConstraintSet::compile(&spec, &log).unwrap();
+        let d = Diagnostics::probe(&cs, &log);
+        assert!(d.is_empty());
+        assert!(d.render(&log).contains("no violation evidence"));
+    }
+}

@@ -1,0 +1,498 @@
+//! A small textual constraint language.
+//!
+//! Statements are `;`-terminated; `#` starts a line comment. The grammar
+//! mirrors the constraint examples of the paper's Tables II and IV:
+//!
+//! ```text
+//! groups <= 10;                              # R_G: at most 10 groups
+//! groups >= 3;                               # R_G: at least 3 groups
+//! size(g) <= 8;                              # R_C: at most 8 classes per group
+//! distinct(class, "system") <= 1;            # R_C: one originating system per group
+//! cannot_link("rcp", "acc");                 # R_C
+//! must_link("inf", "arv");                   # R_C
+//! distinct(instance, "org:role") <= 3;       # R_I: constraint set A
+//! sum("duration") >= 101;                    # R_I: constraint set M
+//! avg("duration") <= 5e5;                    # R_I: constraint set N
+//! span("time:timestamp") <= 3600000;         # R_I: instance duration <= 1h
+//! gap("time:timestamp") <= 600000;           # R_I: gap between events <= 10min
+//! count(instance) >= 2;                      # R_I: at least two events
+//! count(instance, "rcp") <= 1;               # R_I: cardinality per class
+//! atleast 0.95 of instances: sum("cost") <= 500;   # loose constraint
+//! ```
+
+use crate::spec::{Cmp, Constraint, ConstraintSet, InstanceExpr, ParseError, Scope};
+use crate::ClassExpr;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Le,
+    Ge,
+    Eq,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Colon,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { chars: input.chars().peekable(), line: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, message: message.into() }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                c if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                '#' => {
+                    for c in self.chars.by_ref() {
+                        if c == '\n' {
+                            self.line += 1;
+                            break;
+                        }
+                    }
+                }
+                '(' => {
+                    self.chars.next();
+                    out.push((Token::LParen, self.line));
+                }
+                ')' => {
+                    self.chars.next();
+                    out.push((Token::RParen, self.line));
+                }
+                ',' => {
+                    self.chars.next();
+                    out.push((Token::Comma, self.line));
+                }
+                ';' => {
+                    self.chars.next();
+                    out.push((Token::Semi, self.line));
+                }
+                ':' => {
+                    self.chars.next();
+                    out.push((Token::Colon, self.line));
+                }
+                '<' | '>' | '=' => {
+                    self.chars.next();
+                    let eq = self.chars.peek() == Some(&'=');
+                    if eq {
+                        self.chars.next();
+                    }
+                    let tok = match (c, eq) {
+                        ('<', true) => Token::Le,
+                        ('>', true) => Token::Ge,
+                        ('=', _) => Token::Eq,
+                        _ => return Err(self.err(format!("expected `{c}=`"))),
+                    };
+                    out.push((tok, self.line));
+                }
+                '"' => {
+                    self.chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('"') => break,
+                            Some('\\') => match self.chars.next() {
+                                Some(esc @ ('"' | '\\')) => s.push(esc),
+                                Some(other) => {
+                                    return Err(self.err(format!("unknown escape `\\{other}`")))
+                                }
+                                None => return Err(self.err("unterminated string")),
+                            },
+                            Some('\n') => return Err(self.err("newline in string literal")),
+                            Some(c) => s.push(c),
+                            None => return Err(self.err("unterminated string")),
+                        }
+                    }
+                    out.push((Token::Str(s), self.line));
+                }
+                c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                    let mut s = String::new();
+                    s.push(c);
+                    self.chars.next();
+                    while let Some(&d) = self.chars.peek() {
+                        if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' {
+                            s.push(d);
+                            self.chars.next();
+                            // allow a sign right after the exponent marker
+                            if (d == 'e' || d == 'E')
+                                && matches!(self.chars.peek(), Some('+') | Some('-'))
+                            {
+                                s.push(self.chars.next().expect("peeked"));
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    let num = s.parse().map_err(|_| self.err(format!("bad number `{s}`")))?;
+                    out.push((Token::Num(num), self.line));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&d) = self.chars.peek() {
+                        if d.is_alphanumeric() || d == '_' {
+                            s.push(d);
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((Token::Ident(s), self.line));
+                }
+                other => return Err(self.err(format!("unexpected character `{other}`"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(1, |(_, l)| *l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Cmp, ParseError> {
+        match self.next() {
+            Some(Token::Le) => Ok(Cmp::Le),
+            Some(Token::Ge) => Ok(Cmp::Ge),
+            Some(Token::Eq) => Ok(Cmp::Eq),
+            other => Err(self.err(format!("expected comparison, found {other:?}"))),
+        }
+    }
+
+    fn num(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(self.err(format!("expected string literal, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// `name "(" STRING ")"` for the simple aggregates.
+    fn attr_arg(&mut self) -> Result<String, ParseError> {
+        self.expect(Token::LParen, "`(`")?;
+        let s = self.string()?;
+        self.expect(Token::RParen, "`)`")?;
+        Ok(s)
+    }
+
+    fn instance_expr(&mut self, head: &str) -> Result<InstanceExpr, ParseError> {
+        match head {
+            "sum" => Ok(InstanceExpr::Sum(self.attr_arg()?)),
+            "avg" => Ok(InstanceExpr::Avg(self.attr_arg()?)),
+            "min" => Ok(InstanceExpr::Min(self.attr_arg()?)),
+            "max" => Ok(InstanceExpr::Max(self.attr_arg()?)),
+            "span" => Ok(InstanceExpr::Span(self.attr_arg()?)),
+            "gap" => Ok(InstanceExpr::MaxGap(self.attr_arg()?)),
+            "count" => {
+                self.expect(Token::LParen, "`(`")?;
+                let scope = self.ident()?;
+                if scope != "instance" {
+                    return Err(self.err("count(...) requires `instance` scope"));
+                }
+                match self.next() {
+                    Some(Token::RParen) => Ok(InstanceExpr::Count),
+                    Some(Token::Comma) => {
+                        let class = self.string()?;
+                        self.expect(Token::RParen, "`)`")?;
+                        Ok(InstanceExpr::CountClass(class))
+                    }
+                    other => Err(self.err(format!("expected `)` or `,`, found {other:?}"))),
+                }
+            }
+            other => Err(self.err(format!("unknown instance aggregate `{other}`"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Constraint, ParseError> {
+        let head = self.ident()?;
+        let c = match head.as_str() {
+            "groups" => {
+                let cmp = self.cmp()?;
+                let bound = self.num()?;
+                if bound < 0.0 || bound.fract() != 0.0 {
+                    return Err(self.err("group count bound must be a non-negative integer"));
+                }
+                Constraint::GroupCount { cmp, bound: bound as u32 }
+            }
+            "size" => {
+                self.expect(Token::LParen, "`(`")?;
+                let g = self.ident()?;
+                if g != "g" {
+                    return Err(self.err("expected `size(g)`"));
+                }
+                self.expect(Token::RParen, "`)`")?;
+                let cmp = self.cmp()?;
+                let bound = self.num()?;
+                Constraint::ClassBound { expr: ClassExpr::Size, cmp, bound }
+            }
+            "distinct" => {
+                self.expect(Token::LParen, "`(`")?;
+                let scope = match self.ident()?.as_str() {
+                    "class" => Scope::Class,
+                    "instance" => Scope::Instance,
+                    other => {
+                        return Err(self.err(format!(
+                            "expected scope `class` or `instance`, found `{other}`"
+                        )))
+                    }
+                };
+                self.expect(Token::Comma, "`,`")?;
+                let attr = self.string()?;
+                self.expect(Token::RParen, "`)`")?;
+                let cmp = self.cmp()?;
+                let bound = self.num()?;
+                match scope {
+                    Scope::Class => {
+                        Constraint::ClassBound { expr: ClassExpr::DistinctAttr(attr), cmp, bound }
+                    }
+                    Scope::Instance => {
+                        Constraint::instance(InstanceExpr::Distinct(attr), cmp, bound)
+                    }
+                }
+            }
+            "cannot_link" => {
+                self.expect(Token::LParen, "`(`")?;
+                let a = self.string()?;
+                self.expect(Token::Comma, "`,`")?;
+                let b = self.string()?;
+                self.expect(Token::RParen, "`)`")?;
+                Constraint::CannotLink { a, b }
+            }
+            "must_link" => {
+                self.expect(Token::LParen, "`(`")?;
+                let a = self.string()?;
+                self.expect(Token::Comma, "`,`")?;
+                let b = self.string()?;
+                self.expect(Token::RParen, "`)`")?;
+                Constraint::MustLink { a, b }
+            }
+            "atleast" => {
+                let fraction = self.num()?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(self.err("fraction must be in [0, 1]"));
+                }
+                let of = self.ident()?;
+                let inst = self.ident()?;
+                if of != "of" || inst != "instances" {
+                    return Err(self.err("expected `atleast FRACTION of instances: …`"));
+                }
+                self.expect(Token::Colon, "`:`")?;
+                let head = self.ident()?;
+                let expr = self.instance_expr(&head)?;
+                let cmp = self.cmp()?;
+                let bound = self.num()?;
+                Constraint::InstanceBound { expr, cmp, bound, min_fraction: fraction }
+            }
+            other => {
+                let expr = self.instance_expr(other)?;
+                let cmp = self.cmp()?;
+                let bound = self.num()?;
+                Constraint::instance(expr, cmp, bound)
+            }
+        };
+        Ok(c)
+    }
+
+    fn program(&mut self) -> Result<ConstraintSet, ParseError> {
+        let mut set = ConstraintSet::new();
+        while self.peek().is_some() {
+            let c = self.statement()?;
+            set.push(c);
+            match self.next() {
+                Some(Token::Semi) => {}
+                None => break, // final `;` optional
+                Some(t) => return Err(self.err(format!("expected `;`, found {t:?}"))),
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// Parses a constraint program; see the module docs for the grammar.
+pub fn parse(input: &str) -> Result<ConstraintSet, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_statement_forms() {
+        let set = parse(
+            r#"
+            groups <= 10;          # upper bound
+            groups >= 3;
+            size(g) <= 8;
+            distinct(class, "system") <= 1;
+            cannot_link("rcp", "acc");
+            must_link("inf", "arv");
+            distinct(instance, "org:role") <= 3;
+            sum("duration") >= 101;
+            avg("duration") <= 5e5;
+            min("cost") >= 1;
+            max("cost") <= 900;
+            span("time:timestamp") <= 3600000;
+            gap("time:timestamp") <= 600000;
+            count(instance) >= 2;
+            count(instance, "rcp") <= 1;
+            atleast 0.95 of instances: sum("cost") <= 500;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 16);
+        assert_eq!(
+            set.constraints()[0],
+            Constraint::GroupCount { cmp: Cmp::Le, bound: 10 }
+        );
+        assert_eq!(
+            set.constraints()[3],
+            Constraint::ClassBound {
+                expr: ClassExpr::DistinctAttr("system".into()),
+                cmp: Cmp::Le,
+                bound: 1.0
+            }
+        );
+        match &set.constraints()[15] {
+            Constraint::InstanceBound { min_fraction, .. } => assert_eq!(*min_fraction, 0.95),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scientific_notation_and_negative_numbers() {
+        let set = parse("avg(\"x\") <= 5e5; sum(\"y\") >= -1.5e-2;").unwrap();
+        match &set.constraints()[0] {
+            Constraint::InstanceBound { bound, .. } => assert_eq!(*bound, 5e5),
+            _ => panic!(),
+        }
+        match &set.constraints()[1] {
+            Constraint::InstanceBound { bound, .. } => assert!((*bound - -0.015).abs() < 1e-12),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_optional() {
+        assert_eq!(parse("groups <= 2").unwrap().len(), 1);
+        assert_eq!(parse("groups <= 2;").unwrap().len(), 1);
+        assert_eq!(parse("").unwrap().len(), 0);
+        assert_eq!(parse("  # only a comment\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let set = parse(r#"cannot_link("a\"b", "c\\d");"#).unwrap();
+        assert_eq!(
+            set.constraints()[0],
+            Constraint::CannotLink { a: "a\"b".into(), b: "c\\d".into() }
+        );
+    }
+
+    #[test]
+    fn equality_comparison() {
+        let set = parse("groups == 5; size(g) = 2;").unwrap();
+        assert_eq!(set.constraints()[0], Constraint::GroupCount { cmp: Cmp::Eq, bound: 5 });
+        match &set.constraints()[1] {
+            Constraint::ClassBound { cmp, .. } => assert_eq!(*cmp, Cmp::Eq),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("groups <= 2;\nbogus(\"x\") <= 1;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        for bad in [
+            "groups <= -1;",
+            "groups <= 1.5;",
+            "size(h) <= 2;",
+            "distinct(case, \"x\") <= 1;",
+            "count(class) >= 1;",
+            "atleast 1.5 of instances: sum(\"c\") <= 1;",
+            "atleast 0.9 of traces: sum(\"c\") <= 1;",
+            "sum(\"x\") <= ;",
+            "sum(\"x\") < 1;",
+            "cannot_link(\"a\");",
+            "sum(x) <= 1;",
+            "\"noident\" <= 1;",
+            "groups <= 2 groups <= 3;",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(parse("cannot_link(\"a, \"b\");").is_err());
+        assert!(parse("sum(\"x) <= 1;").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Constraints on event-log abstractions (GECCO §IV-A).
+//!
+//! GECCO lets users declare *what* the abstracted log must look like via
+//! three constraint categories:
+//!
+//! * **grouping constraints** (`R_G`) bound the number of groups `|G|`;
+//! * **class-based constraints** (`R_C`) restrict a single group's event
+//!   classes (size bounds, cannot-/must-link, class-level attributes);
+//! * **instance-based constraints** (`R_I`) must hold for every instance of
+//!   a group in every trace (attribute aggregates, durations, cardinality),
+//!   optionally loosened to a fraction of instances ("95% of instances…").
+//!
+//! Constraints are written either programmatically ([`Constraint`]) or in a
+//! small textual [DSL](crate::dsl) ([`ConstraintSet::parse`]); both are
+//! log-independent *specifications* that are compiled (see [`compiled`])
+//! against a concrete [`gecco_eventlog::EventLog`] for evaluation. Each
+//! constraint knows its [`Monotonicity`], which drives the pruning
+//! strategies of the paper's Algorithms 1 and 2.
+
+pub mod compiled;
+pub mod diagnostics;
+pub mod dsl;
+pub mod monotonicity;
+pub mod spec;
+pub mod suggest;
+
+pub use compiled::{CompileError, CompiledConstraintSet};
+pub use diagnostics::{ConstraintReport, Diagnostics};
+pub use monotonicity::{CheckingMode, Monotonicity};
+pub use spec::{ClassExpr, Cmp, Constraint, ConstraintSet, InstanceExpr, ParseError, Scope};
+pub use suggest::{suggest_constraints, Suggestion};

@@ -1,0 +1,98 @@
+//! Monotonicity of constraints and the derived constraint-checking mode.
+//!
+//! §IV-A: a constraint is *monotonic* if satisfaction by a group `g` implies
+//! satisfaction by every supergroup `g' ⊇ g` (minimum requirements), and
+//! *anti-monotonic* if satisfaction by `g` implies satisfaction by every
+//! subgroup `g' ⊆ g` (requirements that may not be exceeded). Aggregations
+//! such as averages behave non-monotonically.
+
+/// Monotonicity class of a single constraint (Table II, last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Monotonicity {
+    /// Adding event classes to a satisfying group can never violate it.
+    Monotonic,
+    /// Removing event classes from a satisfying group can never violate it.
+    AntiMonotonic,
+    /// Neither of the above (averages, equalities, must-link, …).
+    NonMonotonic,
+}
+
+/// Constraint-checking mode for candidate computation
+/// (`setCheckingMode(R)`, Algorithm 1 line 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckingMode {
+    /// All per-group constraints are monotonic: supergroups of satisfying
+    /// groups need no re-validation.
+    Monotonic,
+    /// At least one anti-monotonic constraint exists: supergroups of groups
+    /// violating the anti-monotonic subset can be pruned.
+    AntiMonotonic,
+    /// Anything else: no pruning applies.
+    NonMonotonic,
+}
+
+/// Derives the checking mode from the monotonicities of all per-group
+/// constraints (`R \ R_G`), following the paper's rule: anti-monotonic if
+/// any constraint is anti-monotonic, monotonic if all are monotonic,
+/// non-monotonic otherwise.
+pub fn checking_mode(monotonicities: impl IntoIterator<Item = Monotonicity>) -> CheckingMode {
+    let mut saw_any = false;
+    let mut all_monotonic = true;
+    let mut any_anti = false;
+    for m in monotonicities {
+        saw_any = true;
+        match m {
+            Monotonicity::Monotonic => {}
+            Monotonicity::AntiMonotonic => {
+                any_anti = true;
+                all_monotonic = false;
+            }
+            Monotonicity::NonMonotonic => all_monotonic = false,
+        }
+    }
+    if any_anti {
+        CheckingMode::AntiMonotonic
+    } else if saw_any && all_monotonic {
+        CheckingMode::Monotonic
+    } else if !saw_any {
+        // No per-group constraints at all: everything holds; treat as
+        // monotonic so the "already satisfied subset" shortcut applies.
+        CheckingMode::Monotonic
+    } else {
+        CheckingMode::NonMonotonic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anti_monotonic_wins() {
+        let mode = checking_mode([
+            Monotonicity::Monotonic,
+            Monotonicity::AntiMonotonic,
+            Monotonicity::NonMonotonic,
+        ]);
+        assert_eq!(mode, CheckingMode::AntiMonotonic);
+    }
+
+    #[test]
+    fn all_monotonic() {
+        let mode = checking_mode([Monotonicity::Monotonic, Monotonicity::Monotonic]);
+        assert_eq!(mode, CheckingMode::Monotonic);
+    }
+
+    #[test]
+    fn mixed_without_anti_is_non_monotonic() {
+        let mode = checking_mode([Monotonicity::Monotonic, Monotonicity::NonMonotonic]);
+        assert_eq!(mode, CheckingMode::NonMonotonic);
+        let mode = checking_mode([Monotonicity::NonMonotonic]);
+        assert_eq!(mode, CheckingMode::NonMonotonic);
+    }
+
+    #[test]
+    fn empty_set_is_monotonic() {
+        assert_eq!(checking_mode([]), CheckingMode::Monotonic);
+    }
+}

@@ -1,0 +1,392 @@
+//! Log-independent constraint specifications.
+//!
+//! A [`ConstraintSet`] is what users build (programmatically or via the
+//! [DSL](crate::dsl)); it references attributes and classes *by name* and is
+//! compiled against a concrete log by [`crate::compiled::CompiledConstraintSet::compile`].
+
+use crate::monotonicity::Monotonicity;
+use std::fmt;
+
+/// Comparison operator of a bound constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+impl Cmp {
+    /// Evaluates `lhs cmp rhs` with a small tolerance for `Eq` on floats.
+    #[inline]
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Le => lhs <= rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Eq => (lhs - rhs).abs() < 1e-9,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "==",
+        })
+    }
+}
+
+/// Whether an attribute expression ranges over the *classes* of a group or
+/// over the *events of each group instance*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Class-level (a member of `R_C`): evaluated on class metadata only.
+    Class,
+    /// Instance-level (a member of `R_I`): evaluated per group instance.
+    Instance,
+}
+
+/// Expressions evaluated on one group, class scope (`R_C`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassExpr {
+    /// `|g|` — number of event classes in the group.
+    Size,
+    /// `|g.D|` over a *class-level* attribute `D` — e.g. the number of
+    /// distinct originating systems among the group's classes (case study,
+    /// constraint `BL3`).
+    DistinctAttr(String),
+}
+
+/// Expressions evaluated on one group instance (`R_I`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceExpr {
+    /// `|ξ|` — number of events in the instance.
+    Count,
+    /// Number of events of one specific class in the instance (cardinality
+    /// constraints, §IV-A).
+    CountClass(String),
+    /// `|ξ.D|` — number of distinct values of event attribute `D`.
+    Distinct(String),
+    /// `sum(ξ.D)` over a numeric event attribute.
+    Sum(String),
+    /// `avg(ξ.D)` over a numeric event attribute (non-monotonic).
+    Avg(String),
+    /// `min(ξ.D)` over a numeric event attribute.
+    Min(String),
+    /// `max(ξ.D)` over a numeric event attribute.
+    Max(String),
+    /// Time span of the instance: last minus first value of a timestamp (or
+    /// numeric) attribute — "the duration of a group instance".
+    Span(String),
+    /// Maximum difference between *consecutive* events' values — "the time
+    /// between consecutive events in a group instance" (Table II).
+    MaxGap(String),
+}
+
+/// One user constraint (any category).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `R_G`: bound on the number of groups `|G|`.
+    GroupCount { cmp: Cmp, bound: u32 },
+    /// `R_C`: bound on a class-scope expression per group.
+    ClassBound { expr: ClassExpr, cmp: Cmp, bound: f64 },
+    /// `R_C`: two classes may never share a group.
+    CannotLink { a: String, b: String },
+    /// `R_C`: two classes must share a group.
+    MustLink { a: String, b: String },
+    /// `R_I`: bound on an instance-scope expression; must hold for at least
+    /// `min_fraction` of a group's instances (1.0 = all, the default; 0.95
+    /// models the paper's loose constraints).
+    InstanceBound { expr: InstanceExpr, cmp: Cmp, bound: f64, min_fraction: f64 },
+}
+
+impl Constraint {
+    /// Convenience constructor: `|g| cmp bound`.
+    pub fn group_size(cmp: Cmp, bound: u32) -> Constraint {
+        Constraint::ClassBound { expr: ClassExpr::Size, cmp, bound: bound as f64 }
+    }
+
+    /// Convenience constructor: strict instance bound (all instances).
+    pub fn instance(expr: InstanceExpr, cmp: Cmp, bound: f64) -> Constraint {
+        Constraint::InstanceBound { expr, cmp, bound, min_fraction: 1.0 }
+    }
+
+    /// The paper category of this constraint.
+    pub fn category(&self) -> Category {
+        match self {
+            Constraint::GroupCount { .. } => Category::Grouping,
+            Constraint::ClassBound { .. } | Constraint::CannotLink { .. } | Constraint::MustLink { .. } => {
+                Category::Class
+            }
+            Constraint::InstanceBound { .. } => Category::Instance,
+        }
+    }
+
+    /// Monotonicity classification (Table II).
+    ///
+    /// Bounds with `≤` on quantities that can only grow when a group grows
+    /// (sizes, counts, sums of non-negative attributes, spans, distinct
+    /// counts) are anti-monotonic; the corresponding `≥` bounds are
+    /// monotonic. Averages, equalities and must-link are non-monotonic.
+    /// `min`/`max` flip: a growing group can only *lower* an instance
+    /// minimum and *raise* a maximum.
+    pub fn monotonicity(&self) -> Monotonicity {
+        use Monotonicity::*;
+        match self {
+            // Grouping constraints are not per-group; the checking mode
+            // ignores them (`R \ R_G`), but classify for completeness.
+            Constraint::GroupCount { .. } => NonMonotonic,
+            Constraint::CannotLink { .. } => AntiMonotonic,
+            Constraint::MustLink { .. } => NonMonotonic,
+            Constraint::ClassBound { cmp, .. } => match cmp {
+                Cmp::Le => AntiMonotonic,
+                Cmp::Ge => Monotonic,
+                Cmp::Eq => NonMonotonic,
+            },
+            Constraint::InstanceBound { expr, cmp, .. } => match (expr, cmp) {
+                (_, Cmp::Eq) => NonMonotonic,
+                (InstanceExpr::Avg(_), _) => NonMonotonic,
+                (InstanceExpr::Min(_), Cmp::Ge) => AntiMonotonic,
+                (InstanceExpr::Min(_), Cmp::Le) => Monotonic,
+                (InstanceExpr::Max(_), Cmp::Ge) => Monotonic,
+                (InstanceExpr::Max(_), Cmp::Le) => AntiMonotonic,
+                // Count, CountClass, Distinct, Sum (non-negative), Span,
+                // MaxGap: grow with the group.
+                (_, Cmp::Ge) => Monotonic,
+                (_, Cmp::Le) => AntiMonotonic,
+            },
+        }
+    }
+}
+
+impl fmt::Display for InstanceExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceExpr::Count => write!(f, "count(instance)"),
+            InstanceExpr::CountClass(c) => write!(f, "count(instance, {c:?})"),
+            InstanceExpr::Distinct(a) => write!(f, "distinct(instance, {a:?})"),
+            InstanceExpr::Sum(a) => write!(f, "sum({a:?})"),
+            InstanceExpr::Avg(a) => write!(f, "avg({a:?})"),
+            InstanceExpr::Min(a) => write!(f, "min({a:?})"),
+            InstanceExpr::Max(a) => write!(f, "max({a:?})"),
+            InstanceExpr::Span(a) => write!(f, "span({a:?})"),
+            InstanceExpr::MaxGap(a) => write!(f, "gap({a:?})"),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::GroupCount { cmp, bound } => write!(f, "groups {cmp} {bound}"),
+            Constraint::ClassBound { expr: ClassExpr::Size, cmp, bound } => {
+                write!(f, "size(g) {cmp} {bound}")
+            }
+            Constraint::ClassBound { expr: ClassExpr::DistinctAttr(a), cmp, bound } => {
+                write!(f, "distinct(class, {a:?}) {cmp} {bound}")
+            }
+            Constraint::CannotLink { a, b } => write!(f, "cannot_link({a:?}, {b:?})"),
+            Constraint::MustLink { a, b } => write!(f, "must_link({a:?}, {b:?})"),
+            Constraint::InstanceBound { expr, cmp, bound, min_fraction } => {
+                if *min_fraction < 1.0 {
+                    write!(f, "atleast {min_fraction} of instances: {expr} {cmp} {bound}")
+                } else {
+                    write!(f, "{expr} {cmp} {bound}")
+                }
+            }
+        }
+    }
+}
+
+/// The paper's three constraint categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// `R_G` — on the grouping as a whole.
+    Grouping,
+    /// `R_C` — on the classes of one group.
+    Class,
+    /// `R_I` — on each instance of one group.
+    Instance,
+}
+
+/// Error from [`ConstraintSet::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An ordered set of constraint specifications.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// The empty set (every grouping is feasible).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from explicit constraints.
+    pub fn from_constraints(constraints: Vec<Constraint>) -> Self {
+        ConstraintSet { constraints }
+    }
+
+    /// Parses the textual DSL; see [`crate::dsl`] for the grammar.
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        crate::dsl::parse(input)
+    }
+
+    /// Appends a constraint.
+    pub fn push(&mut self, c: Constraint) -> &mut Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Returns a copy with `c` appended (builder style).
+    pub fn with(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// All constraints in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_monotonicities() {
+        use Monotonicity::*;
+        // "At least 5 event classes per group" — monotonic.
+        assert_eq!(Constraint::group_size(Cmp::Ge, 5).monotonicity(), Monotonic);
+        // "At most 10 event classes" — anti-monotonic.
+        assert_eq!(Constraint::group_size(Cmp::Le, 10).monotonicity(), AntiMonotonic);
+        // cannot-link — anti-monotonic; must-link — non-monotonic.
+        assert_eq!(
+            Constraint::CannotLink { a: "rcp".into(), b: "acc".into() }.monotonicity(),
+            AntiMonotonic
+        );
+        assert_eq!(
+            Constraint::MustLink { a: "inf".into(), b: "arv".into() }.monotonicity(),
+            NonMonotonic
+        );
+        // "At least 2 distinct document codes per instance" — monotonic.
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Distinct("doc".into()), Cmp::Ge, 2.0).monotonicity(),
+            Monotonic
+        );
+        // "Cost of an instance at most 500" — anti-monotonic.
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Sum("cost".into()), Cmp::Le, 500.0).monotonicity(),
+            AntiMonotonic
+        );
+        // "Average duration at most 1h" — non-monotonic.
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Avg("duration".into()), Cmp::Le, 3600.0)
+                .monotonicity(),
+            NonMonotonic
+        );
+        // "Gap between consecutive events at most 10 min" — anti-monotonic.
+        assert_eq!(
+            Constraint::instance(InstanceExpr::MaxGap("time:timestamp".into()), Cmp::Le, 600.0)
+                .monotonicity(),
+            AntiMonotonic
+        );
+        // "At most 1 event per class per instance" — anti-monotonic.
+        assert_eq!(
+            Constraint::instance(InstanceExpr::CountClass("a".into()), Cmp::Le, 1.0).monotonicity(),
+            AntiMonotonic
+        );
+        // Loose 95% variant keeps the base monotonicity (Table II).
+        let loose = Constraint::InstanceBound {
+            expr: InstanceExpr::Sum("cost".into()),
+            cmp: Cmp::Le,
+            bound: 500.0,
+            min_fraction: 0.95,
+        };
+        assert_eq!(loose.monotonicity(), AntiMonotonic);
+    }
+
+    #[test]
+    fn min_max_flip() {
+        use Monotonicity::*;
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Min("x".into()), Cmp::Ge, 1.0).monotonicity(),
+            AntiMonotonic
+        );
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Min("x".into()), Cmp::Le, 1.0).monotonicity(),
+            Monotonic
+        );
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Max("x".into()), Cmp::Ge, 1.0).monotonicity(),
+            Monotonic
+        );
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Max("x".into()), Cmp::Le, 1.0).monotonicity(),
+            AntiMonotonic
+        );
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(
+            Constraint::GroupCount { cmp: Cmp::Le, bound: 3 }.category(),
+            Category::Grouping
+        );
+        assert_eq!(Constraint::group_size(Cmp::Le, 8).category(), Category::Class);
+        assert_eq!(
+            Constraint::instance(InstanceExpr::Count, Cmp::Ge, 1.0).category(),
+            Category::Instance
+        );
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Le.eval(1.0, 2.0));
+        assert!(!Cmp::Le.eval(3.0, 2.0));
+        assert!(Cmp::Ge.eval(2.0, 2.0));
+        assert!(Cmp::Eq.eval(2.0, 2.0 + 1e-12));
+        assert!(!Cmp::Eq.eval(2.0, 2.1));
+        assert_eq!(Cmp::Le.to_string(), "<=");
+    }
+
+    #[test]
+    fn builder_style() {
+        let set = ConstraintSet::new()
+            .with(Constraint::group_size(Cmp::Le, 8))
+            .with(Constraint::GroupCount { cmp: Cmp::Ge, bound: 3 });
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+}

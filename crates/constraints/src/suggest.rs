@@ -1,0 +1,308 @@
+//! Constraint suggestion — the paper's §VIII future-work direction
+//! ("we aim to develop an approach to suggest interesting constraints to
+//! users for a given log"), implemented as data-driven heuristics.
+//!
+//! Given a log, the suggester inspects its attributes and shape and
+//! proposes a ranked list of plausible constraints with rationales:
+//!
+//! * categorical event attributes whose value is constant per event class
+//!   partition the classes into blocks (roles, departments, systems) —
+//!   suggest instance-purity constraints on them;
+//! * class-level attributes suggest `distinct(class, …) ≤ 1`;
+//! * timestamps suggest gap bounds at a high percentile of observed
+//!   within-trace gaps (big outliers usually separate activities);
+//! * the class count suggests grouping bounds that guarantee an actual
+//!   abstraction without collapsing everything.
+
+use crate::spec::{ClassExpr, Cmp, Constraint, InstanceExpr};
+use gecco_eventlog::{EventLog, Symbol};
+use std::collections::{HashMap, HashSet};
+
+/// A proposed constraint with a human-readable justification.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// The proposed constraint (log-independent spec).
+    pub constraint: Constraint,
+    /// Why the suggester proposes it.
+    pub rationale: String,
+    /// Rough interest score for ranking (higher = stronger signal).
+    pub score: f64,
+}
+
+/// Analyzes `log` and returns ranked constraint suggestions.
+pub fn suggest_constraints(log: &EventLog) -> Vec<Suggestion> {
+    let mut out = Vec::new();
+    suggest_grouping_bounds(log, &mut out);
+    suggest_categorical_purity(log, &mut out);
+    suggest_class_attribute_purity(log, &mut out);
+    suggest_gap_bound(log, &mut out);
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
+    out
+}
+
+/// Grouping bounds: aim for a meaningful reduction without collapse.
+fn suggest_grouping_bounds(log: &EventLog, out: &mut Vec<Suggestion>) {
+    let n = log.num_classes();
+    if n >= 6 {
+        out.push(Suggestion {
+            constraint: Constraint::GroupCount { cmp: Cmp::Ge, bound: 3 },
+            rationale: format!(
+                "with {n} event classes, keeping at least 3 activities avoids collapsing \
+                 the whole process into a single step"
+            ),
+            score: 0.3,
+        });
+        out.push(Suggestion {
+            constraint: Constraint::group_size(Cmp::Le, 8.max(n as u32 / 4)),
+            rationale: "bounding the group size keeps activities interpretable and the \
+                        search tractable"
+                .to_string(),
+            score: 0.4,
+        });
+    }
+}
+
+/// Categorical event attributes that are constant per class and partition
+/// the classes into 2..=8 blocks — classic role/system/department columns.
+fn suggest_categorical_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
+    // attribute key -> class -> set of observed value symbols
+    let mut observed: HashMap<Symbol, HashMap<u16, HashSet<Symbol>>> = HashMap::new();
+    for trace in log.traces() {
+        for event in trace.events() {
+            for (key, value) in event.attributes() {
+                if *key == log.std_keys().concept_name || *key == log.std_keys().timestamp {
+                    continue;
+                }
+                if let Some(sym) = value.as_symbol() {
+                    observed.entry(*key).or_default().entry(event.class().0).or_default().insert(sym);
+                }
+            }
+        }
+    }
+    for (key, per_class) in observed {
+        if per_class.len() < log.num_classes().max(1) {
+            continue; // attribute missing for some classes
+        }
+        let constant_per_class = per_class.values().all(|vals| vals.len() == 1);
+        if !constant_per_class {
+            continue;
+        }
+        let blocks: HashSet<Symbol> =
+            per_class.values().flat_map(|v| v.iter().copied()).collect();
+        if (2..=8).contains(&blocks.len()) && blocks.len() < log.num_classes() {
+            let name = log.resolve(key).to_string();
+            out.push(Suggestion {
+                constraint: Constraint::instance(
+                    InstanceExpr::Distinct(name.clone()),
+                    Cmp::Le,
+                    1.0,
+                ),
+                rationale: format!(
+                    "`{name}` is constant per event class and partitions the {} classes \
+                     into {} blocks — activities that stay pure in it (one value per \
+                     instance) preserve the hand-over structure",
+                    log.num_classes(),
+                    blocks.len()
+                ),
+                // Fewer blocks for more classes = stronger partition signal.
+                score: 1.0 - blocks.len() as f64 / log.num_classes() as f64,
+            });
+        }
+    }
+}
+
+/// Class-level attributes (e.g. the originating system of the case study).
+fn suggest_class_attribute_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
+    let mut keys: HashSet<Symbol> = HashSet::new();
+    for c in log.classes().ids() {
+        for (k, _) in &log.classes().info(c).attributes {
+            keys.insert(*k);
+        }
+    }
+    for key in keys {
+        let on_all = log.classes().ids().all(|c| log.classes().info(c).attribute(key).is_some());
+        if !on_all {
+            continue;
+        }
+        let distinct: HashSet<_> = log
+            .classes()
+            .ids()
+            .filter_map(|c| log.classes().info(c).attribute(key).map(|v| v.distinct_key()))
+            .collect();
+        if distinct.len() >= 2 && distinct.len() < log.num_classes() {
+            let name = log.resolve(key).to_string();
+            out.push(Suggestion {
+                constraint: Constraint::ClassBound {
+                    expr: ClassExpr::DistinctAttr(name.clone()),
+                    cmp: Cmp::Le,
+                    bound: 1.0,
+                },
+                rationale: format!(
+                    "class-level attribute `{name}` tags every class with one of {} \
+                     values (cf. the paper's case study: one originating system per \
+                     activity)",
+                    distinct.len()
+                ),
+                score: 1.0,
+            });
+        }
+    }
+}
+
+/// Gap bound from the within-trace inter-event time distribution: a bound
+/// at ~P90 tends to cut between activities rather than within them.
+fn suggest_gap_bound(log: &EventLog, out: &mut Vec<Suggestion>) {
+    let ts = log.std_keys().timestamp;
+    let mut gaps: Vec<i64> = Vec::new();
+    for trace in log.traces() {
+        let mut prev: Option<i64> = None;
+        for event in trace.events() {
+            if let Some(t) = event.timestamp(ts) {
+                if let Some(p) = prev {
+                    gaps.push((t - p).max(0));
+                }
+                prev = Some(t);
+            }
+        }
+    }
+    if gaps.len() < 10 {
+        return;
+    }
+    gaps.sort_unstable();
+    let p90 = gaps[(gaps.len() as f64 * 0.9) as usize % gaps.len()];
+    if p90 > 0 && p90 > gaps[gaps.len() / 2] {
+        out.push(Suggestion {
+            constraint: Constraint::instance(
+                InstanceExpr::MaxGap("time:timestamp".to_string()),
+                Cmp::Le,
+                p90 as f64,
+            ),
+            rationale: format!(
+                "90% of consecutive events are at most {p90} ms apart; larger gaps \
+                 likely separate different activities"
+            ),
+            score: 0.5,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogBuilder;
+
+    fn role_log() -> EventLog {
+        let mut b = LogBuilder::new();
+        for i in 0..5 {
+            b.trace(&format!("t{i}"))
+                .event_with("a", |e| {
+                    e.str("org:role", "clerk").timestamp("time:timestamp", i * 1000);
+                })
+                .unwrap()
+                .event_with("b", |e| {
+                    e.str("org:role", "clerk").timestamp("time:timestamp", i * 1000 + 10);
+                })
+                .unwrap()
+                .event_with("c", |e| {
+                    e.str("org:role", "boss").timestamp("time:timestamp", i * 1000 + 500);
+                })
+                .unwrap()
+                .event_with("d", |e| {
+                    e.str("org:role", "boss").timestamp("time:timestamp", i * 1000 + 520);
+                })
+                .unwrap()
+                .done();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn suggests_role_purity_for_partitioning_attribute() {
+        let log = role_log();
+        let suggestions = suggest_constraints(&log);
+        let role = suggestions.iter().find(|s| {
+            matches!(&s.constraint,
+                Constraint::InstanceBound { expr: InstanceExpr::Distinct(a), .. } if a == "org:role")
+        });
+        let role = role.expect("role purity should be suggested");
+        assert!(role.rationale.contains("org:role"));
+        assert!(role.rationale.contains("2 blocks"));
+    }
+
+    #[test]
+    fn suggests_class_attribute_purity() {
+        let log = gecco_eventlog::LogBuilder::new();
+        let mut b = log;
+        b.class_attr_str("x", "system", "A").unwrap();
+        b.class_attr_str("y", "system", "B").unwrap();
+        b.class_attr_str("z", "system", "A").unwrap();
+        b.trace("t").event("x").unwrap().event("y").unwrap().event("z").unwrap().done();
+        let log = b.build();
+        let suggestions = suggest_constraints(&log);
+        assert!(suggestions.iter().any(|s| matches!(
+            &s.constraint,
+            Constraint::ClassBound { expr: ClassExpr::DistinctAttr(a), .. } if a == "system"
+        )));
+    }
+
+    #[test]
+    fn suggests_gap_bound_when_timestamps_vary() {
+        let log = role_log();
+        let suggestions = suggest_constraints(&log);
+        assert!(suggestions.iter().any(|s| matches!(
+            &s.constraint,
+            Constraint::InstanceBound { expr: InstanceExpr::MaxGap(_), .. }
+        )));
+    }
+
+    #[test]
+    fn no_purity_suggestion_for_varying_attribute() {
+        // An attribute that varies within a class is not a partition signal.
+        let mut b = LogBuilder::new();
+        for i in 0..5 {
+            b.trace(&format!("t{i}"))
+                .event_with("a", |e| {
+                    e.str("who", if i % 2 == 0 { "p" } else { "q" });
+                })
+                .unwrap()
+                .event_with("b", |e| {
+                    e.str("who", "p");
+                })
+                .unwrap()
+                .done();
+        }
+        let log = b.build();
+        let suggestions = suggest_constraints(&log);
+        assert!(!suggestions.iter().any(|s| matches!(
+            &s.constraint,
+            Constraint::InstanceBound { expr: InstanceExpr::Distinct(a), .. } if a == "who"
+        )));
+    }
+
+    #[test]
+    fn suggestions_are_ranked() {
+        let log = role_log();
+        let suggestions = suggest_constraints(&log);
+        for pair in suggestions.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn suggested_constraints_compile_and_run() {
+        use crate::compiled::CompiledConstraintSet;
+        use crate::spec::ConstraintSet;
+        let log = role_log();
+        for s in suggest_constraints(&log) {
+            let set = ConstraintSet::from_constraints(vec![s.constraint.clone()]);
+            let compiled = CompiledConstraintSet::compile(&set, &log)
+                .unwrap_or_else(|e| panic!("suggestion {:?} failed to compile: {e}", s.constraint));
+            // Every suggestion must be satisfiable at least by singletons.
+            let feasible = log
+                .classes()
+                .ids()
+                .all(|c| compiled.holds(&gecco_eventlog::ClassSet::singleton(c), &log));
+            assert!(feasible, "suggestion {} infeasible for singletons", s.constraint);
+        }
+    }
+}

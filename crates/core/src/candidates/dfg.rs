@@ -1,0 +1,319 @@
+//! Algorithm 2: DFG-based candidate computation with beam search.
+//!
+//! Exploits the process-oriented structure of the log: cohesive groups
+//! consist of classes that occur *near* each other, so candidates are grown
+//! as paths through the directly-follows graph — extending a path by a
+//! predecessor of its first or a successor of its last node — instead of by
+//! arbitrary class additions. Each iteration keeps only the `k` paths with
+//! the lowest group distance (the beam).
+
+use super::{BeamWidth, Budget, CandidateSet};
+use crate::distance::DistanceOracle;
+use gecco_constraints::{CheckingMode, CompiledConstraintSet};
+use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog};
+use std::collections::HashMap;
+
+/// A path through the DFG: the candidate group is `nodes(p)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Node sequence; `first()`/`last()` are the expansion points.
+    pub nodes: Vec<ClassId>,
+    /// The set of nodes, i.e. the candidate group.
+    pub set: ClassSet,
+}
+
+impl Path {
+    fn singleton(c: ClassId) -> Path {
+        Path { nodes: vec![c], set: ClassSet::singleton(c) }
+    }
+
+    fn extended_back(&self, succ: ClassId) -> Path {
+        let mut nodes = self.nodes.clone();
+        nodes.push(succ);
+        let mut set = self.set;
+        set.insert(succ);
+        Path { nodes, set }
+    }
+
+    fn extended_front(&self, pred: ClassId) -> Path {
+        let mut nodes = Vec::with_capacity(self.nodes.len() + 1);
+        nodes.push(pred);
+        nodes.extend_from_slice(&self.nodes);
+        let mut set = self.set;
+        set.insert(pred);
+        Path { nodes, set }
+    }
+}
+
+/// Observation hook for the per-iteration state (used to reproduce the
+/// paper's Figure 5).
+pub trait IterationObserver {
+    /// Called once per iteration with the paths examined inside the beam
+    /// and whether each one's group satisfied the constraints.
+    fn iteration(&mut self, iteration: usize, examined: &[(Path, bool)]);
+}
+
+/// A no-op observer.
+pub struct NoObserver;
+
+impl IterationObserver for NoObserver {
+    fn iteration(&mut self, _: usize, _: &[(Path, bool)]) {}
+}
+
+/// Runs Algorithm 2 and returns the candidate set.
+pub fn dfg_candidates(
+    log: &EventLog,
+    constraints: &CompiledConstraintSet,
+    beam: Option<BeamWidth>,
+    budget: Budget,
+    observer: &mut dyn IterationObserver,
+) -> CandidateSet {
+    let mode = constraints.mode();
+    let dfg = Dfg::from_log(log);
+    let oracle = DistanceOracle::new(log, constraints.segmenter());
+    let mut out = CandidateSet::new();
+    let occurring = crate::grouping::occurring_classes(log);
+    let k = beam.map(|b| b.resolve(occurring.len())).unwrap_or(usize::MAX);
+
+    let mut to_check: Vec<(Path, bool)> =
+        occurring.iter().map(|c| (Path::singleton(c), false)).collect();
+
+    while !to_check.is_empty() {
+        out.stats.iterations += 1;
+        // Sort by group distance, lowest first (most cohesive paths first).
+        to_check.sort_by(|a, b| {
+            oracle
+                .distance(&a.0.set)
+                .total_cmp(&oracle.distance(&b.0.set))
+                .then_with(|| a.0.nodes.cmp(&b.0.nodes))
+        });
+        let mut to_expand: Vec<Path> = Vec::new();
+        let mut examined: Vec<(Path, bool)> = Vec::new();
+        for (path, has_satisfied_subset) in to_check.iter().take(k) {
+            if budget.exhausted(out.stats.checked + out.stats.monotonic_shortcuts) {
+                out.stats.budget_exhausted = true;
+                observer.iteration(out.stats.iterations, &examined);
+                return out;
+            }
+            let group = path.set;
+            let holds = if mode == CheckingMode::Monotonic && *has_satisfied_subset {
+                out.stats.monotonic_shortcuts += 1;
+                true
+            } else {
+                out.stats.checked += 1;
+                constraints.holds(&group, log)
+            };
+            examined.push((path.clone(), holds));
+            if holds {
+                out.stats.satisfied += 1;
+                out.insert(group);
+            }
+            let expandable = match mode {
+                CheckingMode::AntiMonotonic => {
+                    holds || constraints.holds_anti_monotonic(&group, log)
+                }
+                CheckingMode::Monotonic | CheckingMode::NonMonotonic => true,
+            };
+            if expandable {
+                to_expand.push(path.clone());
+            }
+        }
+        observer.iteration(out.stats.iterations, &examined);
+        // Path expansion: successor of the last or predecessor of the first
+        // node. Deduplicate by (set, endpoints) — further growth depends
+        // only on those. Under a check budget, cap the frontier: paths
+        // beyond ~4× the remaining budget can never be checked, and sorting
+        // them (which evaluates dist per path) would dominate the runtime.
+        let touched = out.stats.checked + out.stats.monotonic_shortcuts;
+        let frontier_cap = budget
+            .max_checks
+            .map(|m| (m.saturating_sub(touched) * 4).max(1024))
+            .unwrap_or(usize::MAX);
+        let mut next: HashMap<(ClassSet, ClassId, ClassId), (Path, bool)> = HashMap::new();
+        'expand: for path in to_expand {
+            let in_g = out.contains(&path.set);
+            let last = *path.nodes.last().expect("paths are non-empty");
+            let first = path.nodes[0];
+            for succ in dfg.successors(last) {
+                if next.len() >= frontier_cap {
+                    break 'expand;
+                }
+                if !path.set.contains(succ) {
+                    let p = path.extended_back(succ);
+                    consider(log, &mut out, &mut next, p, in_g);
+                }
+            }
+            for pred in dfg.predecessors(first) {
+                if next.len() >= frontier_cap {
+                    break 'expand;
+                }
+                if !path.set.contains(pred) {
+                    let p = path.extended_front(pred);
+                    consider(log, &mut out, &mut next, p, in_g);
+                }
+            }
+        }
+        to_check = next.into_values().collect();
+    }
+    out
+}
+
+fn consider(
+    log: &EventLog,
+    out: &mut CandidateSet,
+    next: &mut HashMap<(ClassSet, ClassId, ClassId), (Path, bool)>,
+    path: Path,
+    parent_in_g: bool,
+) {
+    if !log.occurs(&path.set) {
+        out.stats.pruned_non_occurring += 1;
+        return;
+    }
+    let key = (path.set, path.nodes[0], *path.nodes.last().expect("non-empty"));
+    let entry = next.entry(key).or_insert_with(|| (path, parent_in_g));
+    entry.1 = entry.1 || parent_in_g;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_constraints::ConstraintSet;
+    use gecco_eventlog::LogBuilder;
+
+    fn role_log() -> EventLog {
+        let role_of = |c: &str| match c {
+            "acc" | "rej" => "manager",
+            _ => "clerk",
+        };
+        let mut b = LogBuilder::new();
+        let traces: &[&[&str]] = &[
+            &["rcp", "ckc", "acc", "prio", "inf", "arv"],
+            &["rcp", "ckt", "rej", "prio", "arv", "inf"],
+            &["rcp", "ckc", "acc", "inf", "arv"],
+            &["rcp", "ckc", "rej", "rcp", "ckt", "acc", "prio", "arv", "inf"],
+        ];
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("σ{}", i + 1));
+            for cls in *t {
+                tb = tb
+                    .event_with(cls, |e| {
+                        e.str("org:role", role_of(cls));
+                    })
+                    .unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
+        CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
+    }
+
+    fn set(log: &EventLog, names: &[&str]) -> ClassSet {
+        names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn finds_connected_cohesive_candidates() {
+        let log = role_log();
+        let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
+        let out = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        // Figure 5's iteration-2 group {prio, inf, arv} must be found, as
+        // must the initial clerk block {rcp, ckc} / {rcp, ckt}.
+        assert!(out.groups().contains(&set(&log, &["prio", "inf", "arv"])));
+        assert!(out.groups().contains(&set(&log, &["rcp", "ckc"])));
+        assert!(out.groups().contains(&set(&log, &["rcp", "ckt"])));
+        // All candidates satisfy the constraint.
+        for g in out.groups() {
+            assert!(cs.holds(g, &log));
+        }
+    }
+
+    #[test]
+    fn avoids_distant_unconnected_pairs() {
+        let log = role_log();
+        let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
+        let out = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        // {ckt, inf} are both clerk steps but never adjacent in the DFG; the
+        // path-based search cannot produce that exact pair as a group.
+        assert!(!out.groups().contains(&set(&log, &["ckt", "inf"])));
+    }
+
+    #[test]
+    fn violating_paths_are_not_expanded_in_anti_monotonic_mode() {
+        let log = role_log();
+        // acc/inf mix roles → the pair violates; no supergroup of it may appear.
+        let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
+        assert_eq!(cs.mode(), CheckingMode::AntiMonotonic);
+        let out = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        let bad = set(&log, &["acc", "inf"]);
+        for g in out.groups() {
+            assert!(!bad.is_subset(g), "found supergroup of a violating pair: {g:?}");
+        }
+    }
+
+    #[test]
+    fn beam_restricts_and_is_subset_of_unbounded() {
+        let log = role_log();
+        let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
+        let unbounded = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        let narrow = dfg_candidates(
+            &log,
+            &cs,
+            Some(BeamWidth::Fixed(3)),
+            Budget::UNLIMITED,
+            &mut NoObserver,
+        );
+        assert!(narrow.len() <= unbounded.len());
+        for g in narrow.groups() {
+            assert!(unbounded.groups().contains(g), "beam invented a candidate");
+        }
+        // Even a width-1 beam keeps producing *valid* candidates.
+        let tiny =
+            dfg_candidates(&log, &cs, Some(BeamWidth::Fixed(1)), Budget::UNLIMITED, &mut NoObserver);
+        for g in tiny.groups() {
+            assert!(cs.holds(g, &log));
+        }
+    }
+
+    #[test]
+    fn observer_sees_iterations() {
+        struct Collect {
+            iterations: Vec<(usize, usize)>,
+        }
+        impl IterationObserver for Collect {
+            fn iteration(&mut self, it: usize, examined: &[(Path, bool)]) {
+                self.iterations.push((it, examined.len()));
+            }
+        }
+        let log = role_log();
+        let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
+        let mut obs = Collect { iterations: vec![] };
+        dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut obs);
+        assert!(!obs.iterations.is_empty());
+        // Iteration 1 examines all 8 singleton paths.
+        assert_eq!(obs.iterations[0], (1, 8));
+    }
+
+    #[test]
+    fn budget_degrades_gracefully() {
+        let log = role_log();
+        let cs = compile(&log, "");
+        let out = dfg_candidates(&log, &cs, None, Budget::max_checks(4), &mut NoObserver);
+        assert!(out.stats.budget_exhausted);
+        assert!(out.len() <= 4);
+    }
+
+    #[test]
+    fn subset_of_exhaustive() {
+        // DFG candidates ⊆ exhaustive candidates (paths are a restriction).
+        let log = role_log();
+        let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
+        let exh = crate::candidates::exhaustive::exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let dfg = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        for g in dfg.groups() {
+            assert!(exh.groups().contains(g), "{g:?} not in exhaustive set");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Candidate-group computation (Step 1 of GECCO, §V-B).
+
+pub mod dfg;
+pub mod exclusive;
+pub mod exhaustive;
+
+use gecco_eventlog::ClassSet;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Which Step-1 instantiation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// Algorithm 1: complete level-wise enumeration (configuration `Exh`).
+    Exhaustive,
+    /// Algorithm 2 with unlimited beam width (configuration `DFG∞`).
+    DfgUnbounded,
+    /// Algorithm 2 with a beam (configuration `DFGk`).
+    DfgBeam {
+        /// The beam width `k`.
+        k: BeamWidth,
+    },
+}
+
+/// Beam width for the DFG-based search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeamWidth {
+    /// A fixed number of paths per iteration.
+    Fixed(usize),
+    /// `factor · |C_L|` paths, the paper's adaptive choice (`k = 5·|C_L|`).
+    PerClass(usize),
+}
+
+impl BeamWidth {
+    /// Resolves the width for a log with `num_classes` event classes.
+    pub fn resolve(self, num_classes: usize) -> usize {
+        match self {
+            BeamWidth::Fixed(k) => k.max(1),
+            BeamWidth::PerClass(f) => (f * num_classes).max(1),
+        }
+    }
+}
+
+/// Search budget for candidate computation, mirroring the paper's 5-hour
+/// timeout after which GECCO "continues with the candidates identified so
+/// far".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Maximum number of constraint-checked groups.
+    pub max_checks: Option<usize>,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// No limits.
+    pub const UNLIMITED: Budget = Budget { max_checks: None, deadline: None };
+
+    /// A budget bounded by the number of checked candidates.
+    pub fn max_checks(n: usize) -> Budget {
+        Budget { max_checks: Some(n), deadline: None }
+    }
+
+    /// A wall-clock budget from now.
+    pub fn timeout(duration: std::time::Duration) -> Budget {
+        Budget { max_checks: None, deadline: Some(Instant::now() + duration) }
+    }
+
+    /// Whether the budget is exhausted after `checks` candidate checks.
+    pub fn exhausted(&self, checks: usize) -> bool {
+        if self.max_checks.is_some_and(|m| checks >= m) {
+            return true;
+        }
+        // Only consult the clock periodically; `Instant::now` is not free.
+        if checks.is_multiple_of(256) {
+            if let Some(d) = self.deadline {
+                return Instant::now() >= d;
+            }
+        }
+        false
+    }
+}
+
+/// Statistics about one candidate-computation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CandidateStats {
+    /// Groups whose constraints were actually evaluated.
+    pub checked: usize,
+    /// Groups admitted to the candidate set.
+    pub satisfied: usize,
+    /// Groups admitted via the monotonic subset shortcut without a check.
+    pub monotonic_shortcuts: usize,
+    /// Expansion products rejected because they do not co-occur in any trace.
+    pub pruned_non_occurring: usize,
+    /// Level-wise / beam iterations executed.
+    pub iterations: usize,
+    /// Whether the budget ran out before completion.
+    pub budget_exhausted: bool,
+    /// Additional candidates contributed by exclusive-alternative merging
+    /// (Algorithm 3).
+    pub exclusive_candidates: usize,
+}
+
+/// The output of Step 1: a deduplicated set of constraint-satisfying groups.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    groups: Vec<ClassSet>,
+    index: HashSet<ClassSet>,
+    /// Run statistics.
+    pub stats: CandidateStats,
+}
+
+impl CandidateSet {
+    /// An empty candidate set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a group; returns whether it was new.
+    pub fn insert(&mut self, group: ClassSet) -> bool {
+        if self.index.insert(group) {
+            self.groups.push(group);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `group` is already a candidate.
+    pub fn contains(&self, group: &ClassSet) -> bool {
+        self.index.contains(group)
+    }
+
+    /// The candidate groups in insertion order.
+    pub fn groups(&self) -> &[ClassSet] {
+        &self.groups
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no candidate was found.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::ClassId;
+
+    #[test]
+    fn beam_width_resolution() {
+        assert_eq!(BeamWidth::Fixed(10).resolve(100), 10);
+        assert_eq!(BeamWidth::Fixed(0).resolve(100), 1);
+        assert_eq!(BeamWidth::PerClass(5).resolve(8), 40);
+        assert_eq!(BeamWidth::PerClass(0).resolve(8), 1);
+    }
+
+    #[test]
+    fn budget_limits_checks() {
+        let b = Budget::max_checks(10);
+        assert!(!b.exhausted(9));
+        assert!(b.exhausted(10));
+        assert!(!Budget::UNLIMITED.exhausted(usize::MAX - 1));
+    }
+
+    #[test]
+    fn budget_deadline() {
+        let b = Budget::timeout(std::time::Duration::from_secs(0));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(b.exhausted(0), "deadline checks happen on multiples of 256 (incl. 0)");
+    }
+
+    #[test]
+    fn candidate_set_dedupes() {
+        let mut cs = CandidateSet::new();
+        let g = ClassSet::singleton(ClassId(1));
+        assert!(cs.insert(g));
+        assert!(!cs.insert(g));
+        assert!(cs.contains(&g));
+        assert_eq!(cs.len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Groupings: exact covers of the event classes.
+
+use gecco_eventlog::{ClassId, ClassSet, EventLog};
+
+/// A grouping `G = {g₁, …, g_k}` (Problem 1): a set of disjoint groups whose
+/// union is the set of event classes occurring in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grouping {
+    groups: Vec<ClassSet>,
+}
+
+impl Grouping {
+    /// Builds a grouping from groups. Groups are stored sorted by their
+    /// smallest class id for determinism.
+    pub fn new(mut groups: Vec<ClassSet>) -> Self {
+        groups.sort_by_key(|g| g.first());
+        Grouping { groups }
+    }
+
+    /// The trivial grouping: every class is its own singleton group.
+    pub fn singletons(log: &EventLog) -> Self {
+        Grouping::new(occurring_classes(log).iter().map(ClassSet::singleton).collect())
+    }
+
+    /// The groups.
+    pub fn groups(&self) -> &[ClassSet] {
+        &self.groups
+    }
+
+    /// Number of groups, `|G|`.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterates over the groups.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassSet> {
+        self.groups.iter()
+    }
+
+    /// The group containing class `c`, if any.
+    pub fn group_of(&self, c: ClassId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(c))
+    }
+
+    /// Whether this grouping is an exact cover of the classes occurring in
+    /// `log` (Problem 1: `⋂ gᵢ = ∅ ∧ ⋃ gᵢ = C_L`).
+    pub fn is_exact_cover(&self, log: &EventLog) -> bool {
+        let mut seen = ClassSet::new();
+        for g in &self.groups {
+            if g.intersects(&seen) {
+                return false; // overlap
+            }
+            seen = seen.union(g);
+        }
+        seen == occurring_classes(log)
+    }
+
+    /// Renders the grouping with class names, one group per line.
+    pub fn render(&self, log: &EventLog) -> String {
+        self.groups.iter().map(|g| log.format_group(g)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+/// The classes that actually occur in the traces of `log` (classes may be
+/// registered without events, e.g. when only class-level metadata was
+/// imported; those need no covering).
+pub fn occurring_classes(log: &EventLog) -> ClassSet {
+    let mut all = ClassSet::new();
+    for cs in log.trace_class_sets() {
+        all = all.union(cs);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogBuilder;
+
+    fn toy() -> EventLog {
+        let mut b = LogBuilder::new();
+        b.trace("t").event("a").unwrap().event("b").unwrap().event("c").unwrap().done();
+        b.build()
+    }
+
+    fn set(log: &EventLog, names: &[&str]) -> ClassSet {
+        names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn exact_cover_detection() {
+        let log = toy();
+        let good = Grouping::new(vec![set(&log, &["a", "b"]), set(&log, &["c"])]);
+        assert!(good.is_exact_cover(&log));
+        let overlapping = Grouping::new(vec![set(&log, &["a", "b"]), set(&log, &["b", "c"])]);
+        assert!(!overlapping.is_exact_cover(&log));
+        let incomplete = Grouping::new(vec![set(&log, &["a", "b"])]);
+        assert!(!incomplete.is_exact_cover(&log));
+    }
+
+    #[test]
+    fn singletons_cover() {
+        let log = toy();
+        let s = Grouping::singletons(&log);
+        assert_eq!(s.len(), 3);
+        assert!(s.is_exact_cover(&log));
+    }
+
+    #[test]
+    fn group_of_lookup() {
+        let log = toy();
+        let g = Grouping::new(vec![set(&log, &["a", "c"]), set(&log, &["b"])]);
+        let b = log.class_by_name("b").unwrap();
+        let c = log.class_by_name("c").unwrap();
+        assert_eq!(g.group_of(b), Some(1));
+        assert_eq!(g.group_of(c), Some(0));
+    }
+
+    #[test]
+    fn unused_registered_classes_need_no_cover() {
+        let mut lb = LogBuilder::new();
+        lb.class("ghost").unwrap();
+        lb.trace("t").event("a").unwrap().done();
+        let log = lb.build();
+        let g = Grouping::new(vec![set(&log, &["a"])]);
+        assert!(g.is_exact_cover(&log));
+    }
+
+    #[test]
+    fn render_lists_groups() {
+        let log = toy();
+        let g = Grouping::new(vec![set(&log, &["b", "a"]), set(&log, &["c"])]);
+        let s = g.render(&log);
+        assert!(s.contains("{a, b}"));
+        assert!(s.contains("{c}"));
+    }
+}

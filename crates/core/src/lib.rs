@@ -1,0 +1,33 @@
+//! The GECCO approach (§V): candidate-group computation, optimal selection
+//! and log abstraction.
+//!
+//! The pipeline mirrors Figure 4 of the paper:
+//!
+//! 1. **Candidate computation** — either [`candidates::exhaustive`]
+//!    (Algorithm 1, complete but exponential) or [`candidates::dfg`]
+//!    (Algorithm 2, DFG-guided beam search), both exploiting constraint
+//!    monotonicity and group co-occurrence pruning, followed by
+//!    [`candidates::exclusive`] (Algorithm 3) which merges behavioral
+//!    alternatives with identical DFG pre-/postsets.
+//! 2. **Optimal grouping** — [`selection`] formulates the exact-cover MIP
+//!    of §V-C over the bipartite candidate/class graph and solves it with
+//!    the engines of [`gecco_solver`].
+//! 3. **Abstraction** — [`abstraction`] rewrites every trace, replacing
+//!    events by high-level activity instances (completion-only or
+//!    start+complete strategies, §V-D).
+//!
+//! [`pipeline::Gecco`] ties the steps together behind a builder API.
+
+pub mod abstraction;
+pub mod candidates;
+pub mod distance;
+pub mod grouping;
+pub mod pipeline;
+pub mod selection;
+
+pub use abstraction::AbstractionStrategy;
+pub use candidates::{Budget, CandidateSet, CandidateStats, CandidateStrategy, BeamWidth};
+pub use distance::{group_distance, grouping_distance, DistanceOracle};
+pub use grouping::Grouping;
+pub use pipeline::{AbstractionResult, Gecco, GeccoError, InfeasibilityReport, Outcome};
+pub use selection::{select_optimal, SelectionOptions};

@@ -1,0 +1,215 @@
+//! Step 2: finding an optimal grouping (§V-C).
+//!
+//! Builds the bipartite candidate/class graph of Figure 7 and solves the
+//! MIP of Eqs. 3–5: select a minimum-distance subset of candidates covering
+//! every occurring event class exactly once, optionally bounding the number
+//! of selected groups.
+
+use crate::distance::DistanceOracle;
+use crate::grouping::{occurring_classes, Grouping};
+use gecco_eventlog::{ClassId, ClassSet, EventLog};
+use gecco_solver::{SetPartitionProblem, SolveEngine};
+
+/// Options for the selection step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelectionOptions {
+    /// Which solver backend to use.
+    pub engine: SolveEngine,
+    /// Search budget (0 = backend default).
+    pub max_nodes: usize,
+}
+
+/// The result of the selection step.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The chosen grouping.
+    pub grouping: Grouping,
+    /// Its total distance `dist(G, L)` (Eq. 2).
+    pub distance: f64,
+    /// Whether the solver proved optimality (false if the node budget ran
+    /// out with a feasible incumbent).
+    pub proven_optimal: bool,
+}
+
+/// Selects an optimal grouping from `candidates`, or `None` if no exact
+/// cover satisfying the group-count bounds exists.
+pub fn select_optimal(
+    log: &EventLog,
+    candidates: &[ClassSet],
+    oracle: &DistanceOracle<'_>,
+    group_bounds: (Option<u32>, Option<u32>),
+    options: SelectionOptions,
+) -> Option<Selection> {
+    let universe = occurring_classes(log);
+    if universe.is_empty() {
+        return Some(Selection {
+            grouping: Grouping::new(vec![]),
+            distance: 0.0,
+            proven_optimal: true,
+        });
+    }
+    // Dense element ids for the occurring classes.
+    let classes: Vec<ClassId> = universe.iter().collect();
+    let index_of = |c: ClassId| classes.binary_search(&c).expect("class in universe");
+
+    let mut problem = SetPartitionProblem::new(classes.len());
+    problem.min_sets = group_bounds.0.map(|b| b as usize);
+    problem.max_sets = group_bounds.1.map(|b| b as usize);
+    problem.max_nodes = options.max_nodes;
+    for group in candidates {
+        debug_assert!(group.is_subset(&universe), "candidate contains unknown class");
+        let members: Vec<usize> = group.iter().map(index_of).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let cost = oracle.distance(group);
+        if cost.is_finite() {
+            problem.add_set(members, cost);
+        }
+    }
+    let solution = problem.solve(options.engine)?;
+    let groups: Vec<ClassSet> = solution.selected.iter().map(|&i| candidates[i]).collect();
+    let grouping = Grouping::new(groups);
+    debug_assert!(grouping.is_exact_cover(log));
+    Some(Selection { grouping, distance: solution.cost, proven_optimal: solution.proven_optimal })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::{LogBuilder, Segmenter};
+
+    fn running_example() -> EventLog {
+        let mut b = LogBuilder::new();
+        let traces: &[&[&str]] = &[
+            &["rcp", "ckc", "acc", "prio", "inf", "arv"],
+            &["rcp", "ckt", "rej", "prio", "arv", "inf"],
+            &["rcp", "ckc", "acc", "inf", "arv"],
+            &["rcp", "ckc", "rej", "rcp", "ckt", "acc", "prio", "arv", "inf"],
+        ];
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("σ{}", i + 1));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    fn set(log: &EventLog, names: &[&str]) -> ClassSet {
+        names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+    }
+
+    /// The candidate pool of Figure 7.
+    fn figure7_candidates(log: &EventLog) -> Vec<ClassSet> {
+        vec![
+            set(log, &["rcp", "ckt", "ckc"]),
+            set(log, &["prio", "inf", "arv"]),
+            set(log, &["rej"]),
+            set(log, &["acc"]),
+            set(log, &["ckt", "ckc"]),
+            set(log, &["rcp"]),
+            set(log, &["ckt"]),
+            set(log, &["arv"]),
+            set(log, &["prio"]),
+            set(log, &["ckc"]),
+            set(log, &["inf"]),
+            set(log, &["inf", "arv"]),
+            set(log, &["prio", "inf"]),
+            set(log, &["prio", "arv"]),
+            set(log, &["rcp", "ckc"]),
+            set(log, &["rcp", "ckt"]),
+        ]
+    }
+
+    #[test]
+    fn figure7_selection_matches_paper() {
+        let log = running_example();
+        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let candidates = figure7_candidates(&log);
+        let sel = select_optimal(&log, &candidates, &oracle, (None, None), SelectionOptions::default())
+            .expect("feasible");
+        assert!(sel.proven_optimal);
+        assert!((sel.distance - 37.0 / 12.0).abs() < 1e-9, "Fig. 7: dist = 3.08");
+        let expected = Grouping::new(vec![
+            set(&log, &["rcp", "ckt", "ckc"]),
+            set(&log, &["acc"]),
+            set(&log, &["rej"]),
+            set(&log, &["prio", "inf", "arv"]),
+        ]);
+        assert_eq!(sel.grouping, expected);
+    }
+
+    #[test]
+    fn both_engines_agree() {
+        let log = running_example();
+        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let candidates = figure7_candidates(&log);
+        let dlx = select_optimal(
+            &log,
+            &candidates,
+            &oracle,
+            (None, None),
+            SelectionOptions { engine: SolveEngine::Dlx, max_nodes: 0 },
+        )
+        .unwrap();
+        let bnb = select_optimal(
+            &log,
+            &candidates,
+            &oracle,
+            (None, None),
+            SelectionOptions { engine: SolveEngine::SimplexBnb, max_nodes: 0 },
+        )
+        .unwrap();
+        assert!((dlx.distance - bnb.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_bounds_change_selection() {
+        let log = running_example();
+        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let candidates = figure7_candidates(&log);
+        // At most 3 groups: impossible (acc/rej are mandatory singletons
+        // here and the other six classes split into at least two groups).
+        let sel = select_optimal(
+            &log,
+            &candidates,
+            &oracle,
+            (None, Some(3)),
+            SelectionOptions::default(),
+        );
+        assert!(sel.is_none());
+        // At least 6 groups: forces a finer cover.
+        let sel = select_optimal(
+            &log,
+            &candidates,
+            &oracle,
+            (Some(6), None),
+            SelectionOptions::default(),
+        )
+        .unwrap();
+        assert!(sel.grouping.len() >= 6);
+        assert!(sel.distance > 37.0 / 12.0 - 1e-9, "coarser optimum is unreachable");
+    }
+
+    #[test]
+    fn infeasible_without_covering_candidates() {
+        let log = running_example();
+        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        // Candidates that cannot cover `prio`.
+        let candidates = vec![set(&log, &["rcp"]), set(&log, &["ckc"])];
+        assert!(select_optimal(&log, &candidates, &oracle, (None, None), SelectionOptions::default())
+            .is_none());
+    }
+
+    #[test]
+    fn empty_log_trivial_grouping() {
+        let log = LogBuilder::new().build();
+        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let sel =
+            select_optimal(&log, &[], &oracle, (None, None), SelectionOptions::default()).unwrap();
+        assert!(sel.grouping.is_empty());
+        assert_eq!(sel.distance, 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The 13-log evaluation collection (Table III shape).
+//!
+//! Each entry mirrors one row of the paper's Table III: the exact event-
+//! class count, a trace count scaled down ~100× (the paper ran on a 768 GB
+//! Xeon with 5-hour timeouts; we target minutes on a laptop), and control
+//! flow generated from a seeded random process tree with choices,
+//! concurrency and rework loops. Four of the thirteen logs carry the
+//! class-level `system` attribute, matching the paper's footnote that the
+//! class-attribute constraint `BL3` applies to 4 of 13 logs.
+
+use crate::tree::{simulate, Activity, ProcessTree, SimulationOptions};
+use gecco_eventlog::EventLog;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How much of the full collection to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionScale {
+    /// Trace counts ≈ Table III / 100 — the default experiment scale.
+    Full,
+    /// Tiny logs for unit tests and smoke runs.
+    Smoke,
+}
+
+/// One generated evaluation log plus its provenance.
+#[derive(Debug)]
+pub struct GeneratedLog {
+    /// Reference tag mirroring the paper's citation (\[14\]…\[26\]).
+    pub reference: &'static str,
+    /// The generated log.
+    pub log: EventLog,
+    /// Whether classes carry the `system` class-level attribute (BL3).
+    pub has_class_attribute: bool,
+}
+
+/// Table III rows: (reference, |C_L|, scaled traces, target trace length,
+/// has class-level attribute, duration regime).
+///
+/// The duration regime controls feasibility of the M / N constraint sets:
+/// `Lo` durations make `sum(duration) ≥ 101` fail for singleton instances
+/// (M infeasible), `Hi` durations exceed `avg(duration) ≤ 5·10⁵` (N
+/// infeasible), `Mid` satisfies both.
+const SPECS: &[(&str, usize, usize, usize, bool, Durations)] = &[
+    ("[14]", 11, 400, 4, false, Durations::Lo),
+    ("[15]", 40, 250, 6, true, Durations::Mid),
+    ("[16]", 39, 220, 10, false, Durations::Lo),
+    ("[17]", 24, 315, 16, true, Durations::Mid),
+    ("[18]", 39, 145, 40, false, Durations::Hi),
+    ("[19]", 24, 130, 20, false, Durations::Mid),
+    ("[20]", 8, 100, 15, false, Durations::Mid),
+    ("[21]", 51, 70, 12, true, Durations::Lo),
+    ("[22]", 4, 150, 4, false, Durations::Hi),
+    ("[23]", 27, 140, 6, false, Durations::Lo),
+    ("[24]", 16, 105, 14, true, Durations::Mid),
+    ("[25]", 70, 90, 24, false, Durations::Lo),
+    ("[26]", 29, 20, 55, false, Durations::Hi),
+];
+
+#[derive(Debug, Clone, Copy)]
+enum Durations {
+    Lo,
+    Mid,
+    Hi,
+}
+
+impl Durations {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        match self {
+            // Many activities < 101 s: M's sum(duration) ≥ 101 often fails.
+            Durations::Lo => 5.0 + rng.random::<f64>() * 150.0,
+            // Comfortably above 101 s and below 5·10⁵.
+            Durations::Mid => 150.0 + rng.random::<f64>() * 5_000.0,
+            // Up to ~1.5·10⁶ s: N's avg(duration) ≤ 5·10⁵ often fails.
+            Durations::Hi => 2_000.0 + rng.random::<f64>() * 1_500_000.0,
+        }
+    }
+}
+
+/// Generates the 13-log collection deterministically.
+pub fn evaluation_collection(scale: CollectionScale) -> Vec<GeneratedLog> {
+    SPECS
+        .iter()
+        .enumerate()
+        .map(|(i, &(reference, classes, traces, target_len, has_attr, durations))| {
+            let traces = match scale {
+                CollectionScale::Full => traces,
+                CollectionScale::Smoke => traces.min(25),
+            };
+            let seed = 0xBEEF + i as u64;
+            let tree = random_tree(seed, classes, target_len, has_attr, durations);
+            let log = simulate(
+                &tree,
+                &SimulationOptions {
+                    num_traces: traces,
+                    seed: seed ^ 0x5EED,
+                    log_name: format!("synthetic-{}", reference.trim_matches(['[', ']'])),
+                    ..Default::default()
+                },
+            );
+            GeneratedLog { reference, log, has_class_attribute: has_attr }
+        })
+        .collect()
+}
+
+/// Builds a random block-structured tree over exactly `num_classes`
+/// distinct activities whose average trace length lands near `target_len`.
+fn random_tree(
+    seed: u64,
+    num_classes: usize,
+    target_len: usize,
+    class_attr: bool,
+    durations: Durations,
+) -> ProcessTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let roles = ["clerk", "manager", "analyst", "system", "expert"];
+    let systems = ["A", "O", "W"];
+    let activities: Vec<Activity> = (0..num_classes)
+        .map(|i| {
+            let mut a = Activity::new(&format!("act_{i:02}"))
+                .role(roles[rng.random_range(0..roles.len())])
+                .duration(durations.sample(&mut rng))
+                .cost(20.0 + rng.random::<f64>() * 480.0);
+            if class_attr {
+                a = a.system(systems[i % systems.len()]);
+            }
+            a
+        })
+        .collect();
+    let body = build_block(&activities, &mut rng, 0);
+    // A rework loop around the whole process tunes the trace length: one
+    // pass emits roughly `visited ≈ 0.7·n` events (choices skip branches),
+    // so repeat until the expected length matches the target.
+    let per_pass = (num_classes as f64 * 0.7).max(1.0);
+    let extra_passes = (target_len as f64 / per_pass - 1.0).max(0.0);
+    let repeat_prob = (extra_passes / (extra_passes + 1.0)).clamp(0.0, 0.9);
+    ProcessTree::Loop {
+        body: Box::new(body),
+        redo: Box::new(ProcessTree::Sequence(vec![])),
+        repeat_prob,
+        max_repeats: (2.0 * extra_passes).ceil() as usize + 1,
+    }
+}
+
+/// Recursively arranges a slice of activities into nested blocks.
+fn build_block(acts: &[Activity], rng: &mut StdRng, depth: usize) -> ProcessTree {
+    if acts.len() == 1 {
+        return ProcessTree::Task(acts[0].clone());
+    }
+    if acts.len() <= 3 || depth >= 4 {
+        return ProcessTree::Sequence(
+            acts.iter().map(|a| ProcessTree::Task(a.clone())).collect(),
+        );
+    }
+    // Split into 2–4 parts.
+    let parts = 2 + rng.random_range(0..=2usize.min(acts.len() / 2 - 1));
+    let mut boundaries: Vec<usize> = (1..acts.len()).collect();
+    // Pick part-1 random cut points.
+    for i in (1..boundaries.len()).rev() {
+        boundaries.swap(i, rng.random_range(0..=i));
+    }
+    let mut cuts: Vec<usize> = boundaries.into_iter().take(parts - 1).collect();
+    cuts.sort_unstable();
+    cuts.push(acts.len());
+    let mut children = Vec::new();
+    let mut start = 0;
+    for &end in &cuts {
+        if end > start {
+            children.push(build_block(&acts[start..end], rng, depth + 1));
+        }
+        start = end;
+    }
+    match rng.random_range(0..10) {
+        // Sequences dominate real processes.
+        0..=4 => ProcessTree::Sequence(children),
+        5..=6 => {
+            let weighted =
+                children.into_iter().map(|c| (0.3 + rng.random::<f64>(), c)).collect();
+            ProcessTree::Exclusive(weighted)
+        }
+        7..=8 => ProcessTree::Parallel(children),
+        _ => {
+            let mut it = children.into_iter();
+            let body = it.next().expect("at least two children");
+            let rest: Vec<ProcessTree> = it.collect();
+            let redo = if rest.len() == 1 {
+                rest.into_iter().next().expect("one element")
+            } else {
+                ProcessTree::Sequence(rest)
+            };
+            ProcessTree::Loop {
+                body: Box::new(body),
+                redo: Box::new(redo),
+                repeat_prob: 0.3,
+                max_repeats: 2,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogStats;
+
+    #[test]
+    fn class_counts_match_table_iii() {
+        let collection = evaluation_collection(CollectionScale::Smoke);
+        assert_eq!(collection.len(), 13);
+        let expected = [11, 40, 39, 24, 39, 24, 8, 51, 4, 27, 16, 70, 29];
+        for (generated, want) in collection.iter().zip(expected) {
+            assert_eq!(
+                generated.log.num_classes(),
+                want,
+                "class count mismatch for {}",
+                generated.reference
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_four_logs_have_class_attributes() {
+        let collection = evaluation_collection(CollectionScale::Smoke);
+        let with_attr = collection.iter().filter(|g| g.has_class_attribute).count();
+        assert_eq!(with_attr, 4, "paper: BL3 applies to 4 of 13 logs");
+        for g in &collection {
+            let key = g.log.key("system");
+            let all_have = key.is_some_and(|k| {
+                g.log.classes().ids().all(|c| g.log.classes().info(c).attribute(k).is_some())
+            });
+            assert_eq!(all_have, g.has_class_attribute, "{}", g.reference);
+        }
+    }
+
+    #[test]
+    fn logs_have_behavioral_variety() {
+        for g in evaluation_collection(CollectionScale::Smoke) {
+            let stats = LogStats::from_log(&g.log);
+            assert!(stats.num_traces > 0);
+            assert!(stats.num_variants >= 1);
+            assert!(stats.avg_trace_len >= 1.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = evaluation_collection(CollectionScale::Smoke);
+        let b = evaluation_collection(CollectionScale::Smoke);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(LogStats::from_log(&x.log), LogStats::from_log(&y.log));
+        }
+    }
+
+    #[test]
+    fn trace_lengths_track_targets_loosely() {
+        let collection = evaluation_collection(CollectionScale::Full);
+        // Row [26] targets very long traces (~55), row [14] short ones (~4).
+        let s26 = LogStats::from_log(&collection[12].log);
+        let s14 = LogStats::from_log(&collection[0].log);
+        assert!(
+            s26.avg_trace_len > 3.0 * s14.avg_trace_len,
+            "long traces {} vs short {}",
+            s26.avg_trace_len,
+            s14.avg_trace_len
+        );
+    }
+}

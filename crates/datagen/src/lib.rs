@@ -1,0 +1,23 @@
+//! Simulation substrate for the paper's evaluation data.
+//!
+//! The original evaluation uses 13 real-life 4TU event logs plus the
+//! BPI-2017 loan log; those cannot be redistributed or downloaded here, so
+//! this crate generates statistically comparable logs from stochastic
+//! process trees ([`tree`]): same per-log event-class counts as Table III,
+//! scaled-down trace counts, realistic control flow (choices, concurrency,
+//! rework loops) and the attributes the constraint sets of Table IV touch
+//! (roles, durations, costs, timestamps, originating systems).
+//!
+//! * [`running_example`] — the paper's Table I log, verbatim;
+//! * [`collection`] — the 13-log evaluation collection (Table III shape);
+//! * [`loan`] — a BPI-2017-like loan-application log for the case study.
+
+pub mod collection;
+pub mod loan;
+pub mod running;
+pub mod tree;
+
+pub use collection::{evaluation_collection, CollectionScale, GeneratedLog};
+pub use loan::loan_log;
+pub use running::running_example;
+pub use tree::{Activity, ProcessTree, SimulationOptions, simulate};

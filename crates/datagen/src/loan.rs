@@ -1,0 +1,178 @@
+//! A BPI-2017-like loan-application log for the case study (§VI-D).
+//!
+//! The paper's case study uses the BPI Challenge 2017 log: 24 event
+//! classes originating from three IT systems — application handling (`A`),
+//! the offer system (`O`) and a generic workflow system (`W`) — with heavy
+//! interleaving between them (Figure 1's spaghetti model). This generator
+//! reproduces that structure: the same 24 class names, the `origin`
+//! class-level attribute, offer rework loops, validation loops and workflow
+//! steps running concurrently to the main flow.
+
+use crate::tree::{simulate, Activity, ProcessTree, SimulationOptions};
+use gecco_eventlog::EventLog;
+
+fn a(name: &str, origin: &str, role: &str) -> ProcessTree {
+    ProcessTree::Task(
+        Activity::new(name).role(role).system(origin).duration(300.0).cost(120.0),
+    )
+}
+
+/// Generates the loan log (`num_traces` cases, deterministic per seed).
+pub fn loan_log(num_traces: usize, seed: u64) -> EventLog {
+    use ProcessTree as T;
+    // Application intake.
+    let intake = T::Sequence(vec![
+        a("A_Create Application", "A", "system"),
+        T::Exclusive(vec![
+            (0.65, a("A_Submitted", "A", "applicant")),
+            (0.35, T::Sequence(vec![a("W_Handle leads", "W", "clerk"), a("A_Submitted", "A", "applicant")])),
+        ]),
+        a("A_Concept", "A", "system"),
+        a("A_Accepted", "A", "clerk"),
+    ]);
+    // Offer creation with optional repetition (multiple offers per case).
+    let offer_once = T::Sequence(vec![
+        a("O_Create Offer", "O", "clerk"),
+        a("O_Created", "O", "system"),
+        T::Exclusive(vec![
+            (0.9, a("O_Sent (mail and online)", "O", "system")),
+            (0.1, a("O_Sent (online only)", "O", "system")),
+        ]),
+    ]);
+    let offers = T::Loop {
+        body: Box::new(offer_once),
+        redo: Box::new(T::Exclusive(vec![
+            (0.6, T::Sequence(vec![])),
+            (0.4, a("O_Cancelled", "O", "system")),
+        ])),
+        repeat_prob: 0.45,
+        max_repeats: 3,
+    };
+    // Completion and validation, with an incompleteness loop.
+    let validation_core = T::Sequence(vec![
+        a("A_Complete", "A", "clerk"),
+        a("W_Complete application", "W", "clerk"),
+        a("O_Returned", "O", "applicant"),
+        a("A_Validating", "A", "validator"),
+        a("W_Validate application", "W", "validator"),
+    ]);
+    let incomplete_redo = T::Sequence(vec![
+        a("A_Incomplete", "A", "validator"),
+        a("W_Call incomplete files", "W", "clerk"),
+    ]);
+    let validation = T::Loop {
+        body: Box::new(validation_core),
+        redo: Box::new(incomplete_redo),
+        repeat_prob: 0.5,
+        max_repeats: 3,
+    };
+    // Occasional fraud check runs in parallel with validation.
+    let validation_block = T::Exclusive(vec![
+        (0.9, validation.clone()),
+        (0.1, T::Parallel(vec![validation, a("W_Assess potential fraud", "W", "expert")])),
+    ]);
+    // Outcome.
+    let outcome = T::Exclusive(vec![
+        (
+            0.5,
+            T::Sequence(vec![
+                a("O_Accepted", "O", "system"),
+                a("A_Pending", "A", "system"),
+            ]),
+        ),
+        (
+            0.25,
+            T::Sequence(vec![
+                a("A_Denied", "A", "clerk"),
+                a("O_Refused", "O", "system"),
+            ]),
+        ),
+        (
+            0.25,
+            T::Sequence(vec![
+                a("A_Cancelled", "A", "system"),
+                a("O_Cancelled", "O", "system"),
+            ]),
+        ),
+    ]);
+    // Follow-up calls interleave with the whole offer/validation tail,
+    // which is what tangles the DFG of Figure 1.
+    let calls = T::Sequence(vec![
+        T::Exclusive(vec![
+            (0.5, a("W_Call after offers", "W", "clerk")),
+            (0.5, T::Sequence(vec![])),
+        ]),
+        T::Exclusive(vec![
+            (0.3, a("W_Call incomplete files", "W", "clerk")),
+            (0.7, T::Sequence(vec![])),
+        ]),
+        T::Exclusive(vec![
+            (0.25, a("W_Handle leads", "W", "clerk")),
+            (0.75, T::Sequence(vec![])),
+        ]),
+    ]);
+    let tail = T::Parallel(vec![T::Sequence(vec![offers, validation_block]), calls]);
+    let tree = T::Sequence(vec![intake, tail, outcome]);
+    let log = simulate(
+        &tree,
+        &SimulationOptions {
+            num_traces,
+            seed,
+            log_name: "loan-application (BPI-2017-like)".into(),
+            ..Default::default()
+        },
+    );
+    debug_assert_eq!(log.num_classes(), 24);
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::{Dfg, LogStats};
+
+    #[test]
+    fn has_24_classes_from_three_systems() {
+        let log = loan_log(200, 17);
+        assert_eq!(log.num_classes(), 24, "BPI-2017 has 24 event classes");
+        let key = log.key("system").unwrap();
+        let mut origins = std::collections::HashSet::new();
+        for c in log.classes().ids() {
+            let v = log.classes().info(c).attribute(key).unwrap();
+            origins.insert(log.resolve(v.as_symbol().unwrap()).to_string());
+            let name = log.class_name(c);
+            let origin = log.resolve(v.as_symbol().unwrap());
+            assert!(name.starts_with(origin), "{name} should start with {origin}_");
+        }
+        assert_eq!(origins.len(), 3);
+    }
+
+    #[test]
+    fn is_spaghetti_like() {
+        // The paper stresses 160 DFG edges for 24 classes; our simulation
+        // should be similarly dense relative to its size.
+        let log = loan_log(300, 17);
+        let stats = LogStats::from_log(&log);
+        assert!(
+            stats.num_dfg_edges >= 80,
+            "expected a dense DFG, got {} edges",
+            stats.num_dfg_edges
+        );
+        assert!(stats.num_variants > 50, "high variability, got {}", stats.num_variants);
+    }
+
+    #[test]
+    fn starts_with_application_creation() {
+        let log = loan_log(50, 3);
+        let dfg = Dfg::from_log(&log);
+        let create = log.class_by_name("A_Create Application").unwrap();
+        assert_eq!(dfg.start_count(create), 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = loan_log(30, 5);
+        let b = loan_log(30, 5);
+        assert_eq!(LogStats::from_log(&a), LogStats::from_log(&b));
+    }
+}

@@ -1,0 +1,338 @@
+//! Stochastic process trees and their simulation into event logs.
+
+use gecco_eventlog::{EventLog, LogBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An activity (leaf) of a process tree: one event class plus the attribute
+/// distributions its events draw from.
+#[derive(Debug, Clone)]
+pub struct Activity {
+    /// Event-class name (`concept:name`).
+    pub name: String,
+    /// Executing role (`org:role`).
+    pub role: String,
+    /// Mean duration in seconds; events carry `duration ~ U[0.5·m, 1.5·m]`.
+    pub duration_mean: f64,
+    /// Mean cost; events carry integer `cost ~ U[0.5·m, 1.5·m]`.
+    pub cost_mean: f64,
+    /// Originating system, stored as the class-level attribute `system`
+    /// (only some logs have one — cf. the paper's BL3 footnote).
+    pub system: Option<String>,
+}
+
+impl Activity {
+    /// A plain activity with defaults (role "worker", duration 60 s, cost 100).
+    pub fn new(name: &str) -> Activity {
+        Activity {
+            name: name.to_string(),
+            role: "worker".to_string(),
+            duration_mean: 60.0,
+            cost_mean: 100.0,
+            system: None,
+        }
+    }
+
+    /// Sets the role.
+    pub fn role(mut self, role: &str) -> Activity {
+        self.role = role.to_string();
+        self
+    }
+
+    /// Sets the mean duration (seconds).
+    pub fn duration(mut self, mean: f64) -> Activity {
+        self.duration_mean = mean;
+        self
+    }
+
+    /// Sets the mean cost.
+    pub fn cost(mut self, mean: f64) -> Activity {
+        self.cost_mean = mean;
+        self
+    }
+
+    /// Sets the originating system.
+    pub fn system(mut self, system: &str) -> Activity {
+        self.system = Some(system.to_string());
+        self
+    }
+}
+
+/// A block-structured stochastic process model.
+#[derive(Debug, Clone)]
+pub enum ProcessTree {
+    /// A leaf task.
+    Task(Activity),
+    /// Children in order.
+    Sequence(Vec<ProcessTree>),
+    /// Weighted exclusive choice.
+    Exclusive(Vec<(f64, ProcessTree)>),
+    /// Interleaved execution of all children.
+    Parallel(Vec<ProcessTree>),
+    /// `body (redo body)*`: after the body, repeat via `redo` with
+    /// probability `repeat_prob`, at most `max_repeats` times.
+    Loop {
+        /// The main body.
+        body: Box<ProcessTree>,
+        /// The path leading back into the body.
+        redo: Box<ProcessTree>,
+        /// Probability of taking the redo path after each body execution.
+        repeat_prob: f64,
+        /// Hard repeat cap (keeps traces finite).
+        max_repeats: usize,
+    },
+}
+
+impl ProcessTree {
+    /// Convenience leaf constructor.
+    pub fn task(activity: Activity) -> ProcessTree {
+        ProcessTree::Task(activity)
+    }
+
+    /// All activities of the tree, in definition order (may repeat if the
+    /// same class appears in several leaves).
+    pub fn activities(&self) -> Vec<&Activity> {
+        let mut out = Vec::new();
+        self.collect_activities(&mut out);
+        out
+    }
+
+    fn collect_activities<'a>(&'a self, out: &mut Vec<&'a Activity>) {
+        match self {
+            ProcessTree::Task(a) => out.push(a),
+            ProcessTree::Sequence(cs) | ProcessTree::Parallel(cs) => {
+                for c in cs {
+                    c.collect_activities(out);
+                }
+            }
+            ProcessTree::Exclusive(cs) => {
+                for (_, c) in cs {
+                    c.collect_activities(out);
+                }
+            }
+            ProcessTree::Loop { body, redo, .. } => {
+                body.collect_activities(out);
+                redo.collect_activities(out);
+            }
+        }
+    }
+
+    /// Samples one execution: the ordered activity sequence of a trace.
+    fn sample<'a>(&'a self, rng: &mut StdRng, out: &mut Vec<&'a Activity>) {
+        match self {
+            ProcessTree::Task(a) => out.push(a),
+            ProcessTree::Sequence(cs) => {
+                for c in cs {
+                    c.sample(rng, out);
+                }
+            }
+            ProcessTree::Exclusive(cs) => {
+                let total: f64 = cs.iter().map(|(w, _)| *w).sum();
+                let mut pick = rng.random::<f64>() * total;
+                for (w, c) in cs {
+                    pick -= w;
+                    if pick <= 0.0 {
+                        c.sample(rng, out);
+                        return;
+                    }
+                }
+                if let Some((_, last)) = cs.last() {
+                    last.sample(rng, out);
+                }
+            }
+            ProcessTree::Parallel(cs) => {
+                // Sample each child, then riffle-merge preserving orders.
+                let mut branches: Vec<Vec<&Activity>> = Vec::with_capacity(cs.len());
+                for c in cs {
+                    let mut b = Vec::new();
+                    c.sample(rng, &mut b);
+                    branches.push(b);
+                }
+                let mut cursors = vec![0usize; branches.len()];
+                let total: usize = branches.iter().map(Vec::len).sum();
+                for _ in 0..total {
+                    let remaining: Vec<usize> = branches
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, b)| cursors[*i] < b.len())
+                        .map(|(i, _)| i)
+                        .collect();
+                    let pick = remaining[rng.random_range(0..remaining.len())];
+                    out.push(branches[pick][cursors[pick]]);
+                    cursors[pick] += 1;
+                }
+            }
+            ProcessTree::Loop { body, redo, repeat_prob, max_repeats } => {
+                body.sample(rng, out);
+                let mut repeats = 0;
+                while repeats < *max_repeats && rng.random::<f64>() < *repeat_prob {
+                    redo.sample(rng, out);
+                    body.sample(rng, out);
+                    repeats += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Options for [`simulate`].
+#[derive(Debug, Clone)]
+pub struct SimulationOptions {
+    /// Number of traces to generate.
+    pub num_traces: usize,
+    /// RNG seed (simulation is fully deterministic given the seed).
+    pub seed: u64,
+    /// Log name stored as the log-level `concept:name`.
+    pub log_name: String,
+    /// Epoch milliseconds of the first case's start.
+    pub start_time: i64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            num_traces: 100,
+            seed: 42,
+            log_name: "simulated".to_string(),
+            start_time: 1_600_000_000_000, // 2020-09-13
+        }
+    }
+}
+
+/// Simulates `tree` into an event log.
+///
+/// Events carry `org:role`, `time:timestamp`, `duration` (seconds, float)
+/// and `cost` (int); activities with a `system` attach it as a class-level
+/// attribute.
+pub fn simulate(tree: &ProcessTree, options: &SimulationOptions) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut builder = LogBuilder::new();
+    builder.log_attr_str("concept:name", &options.log_name);
+    // Register class-level attributes up front (also fixes class-id order).
+    for a in tree.activities() {
+        builder.class(&a.name).expect("class limit");
+        if let Some(system) = &a.system {
+            builder.class_attr_str(&a.name, "system", system).expect("class limit");
+        }
+    }
+    for t in 0..options.num_traces {
+        let mut steps = Vec::new();
+        tree.sample(&mut rng, &mut steps);
+        // Cases arrive ~10 minutes apart.
+        let mut clock = options.start_time + (t as i64) * 600_000;
+        let mut tb = builder.trace(&format!("case-{t}"));
+        for activity in steps {
+            let duration = activity.duration_mean * (0.5 + rng.random::<f64>());
+            let cost = (activity.cost_mean * (0.5 + rng.random::<f64>())).round() as i64;
+            clock += (duration * 1000.0) as i64;
+            tb = tb
+                .event_with(&activity.name, |e| {
+                    e.str("org:role", &activity.role)
+                        .timestamp("time:timestamp", clock)
+                        .float("duration", duration)
+                        .int("cost", cost);
+                })
+                .expect("class limit");
+        }
+        tb.done();
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProcessTree as T;
+
+    fn act(name: &str) -> T {
+        T::task(Activity::new(name))
+    }
+
+    fn opts(n: usize, seed: u64) -> SimulationOptions {
+        SimulationOptions { num_traces: n, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn sequence_preserves_order() {
+        let tree = T::Sequence(vec![act("a"), act("b"), act("c")]);
+        let log = simulate(&tree, &opts(5, 1));
+        assert_eq!(log.traces().len(), 5);
+        for t in log.traces() {
+            assert_eq!(log.format_trace(t), "⟨a, b, c⟩");
+        }
+    }
+
+    #[test]
+    fn exclusive_respects_weights() {
+        let tree = T::Exclusive(vec![(0.9, act("often")), (0.1, act("rare"))]);
+        let log = simulate(&tree, &opts(500, 2));
+        let often = log.class_by_name("often").unwrap();
+        let dfg = gecco_eventlog::Dfg::from_log(&log);
+        let f = dfg.class_count(often) as f64 / 500.0;
+        assert!((0.8..1.0).contains(&f), "expected ≈0.9 frequency, got {f}");
+    }
+
+    #[test]
+    fn parallel_interleaves_both_orders() {
+        let tree = T::Parallel(vec![act("x"), act("y")]);
+        let log = simulate(&tree, &opts(100, 3));
+        let dfg = gecco_eventlog::Dfg::from_log(&log);
+        let x = log.class_by_name("x").unwrap();
+        let y = log.class_by_name("y").unwrap();
+        assert!(dfg.follows(x, y) && dfg.follows(y, x), "both interleavings occur");
+    }
+
+    #[test]
+    fn loop_repeats_are_bounded() {
+        let tree = T::Loop {
+            body: Box::new(act("b")),
+            redo: Box::new(act("r")),
+            repeat_prob: 0.99,
+            max_repeats: 3,
+        };
+        let log = simulate(&tree, &opts(50, 4));
+        for t in log.traces() {
+            assert!(t.len() <= 1 + 3 * 2, "body + 3·(redo body) at most");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tree = T::Exclusive(vec![(0.5, act("a")), (0.5, act("b"))]);
+        let l1 = simulate(&tree, &opts(50, 7));
+        let l2 = simulate(&tree, &opts(50, 7));
+        for (a, b) in l1.traces().iter().zip(l2.traces()) {
+            assert_eq!(l1.format_trace(a), l2.format_trace(b));
+        }
+        let l3 = simulate(&tree, &opts(50, 8));
+        let same = l1
+            .traces()
+            .iter()
+            .zip(l3.traces())
+            .all(|(a, b)| l1.format_trace(a) == l3.format_trace(b));
+        assert!(!same, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn events_carry_attributes_and_monotone_timestamps() {
+        let tree = T::Sequence(vec![
+            T::task(Activity::new("a").role("clerk").duration(10.0).cost(50.0)),
+            T::task(Activity::new("b").role("boss").system("S")),
+        ]);
+        let log = simulate(&tree, &opts(3, 5));
+        let t = &log.traces()[0];
+        let ts_key = log.std_keys().timestamp;
+        let ts: Vec<i64> = t.events().iter().map(|e| e.timestamp(ts_key).unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        let role = t.events()[0].attribute(log.std_keys().role).unwrap().as_symbol().unwrap();
+        assert_eq!(log.resolve(role), "clerk");
+        assert!(t.events()[0].attribute(log.key("duration").unwrap()).is_some());
+        assert!(t.events()[0].attribute(log.key("cost").unwrap()).is_some());
+        // Class-level system attribute.
+        let b = log.class_by_name("b").unwrap();
+        let sys = log.key("system").unwrap();
+        assert!(log.classes().info(b).attribute(sys).is_some());
+        let a = log.class_by_name("a").unwrap();
+        assert!(log.classes().info(a).attribute(sys).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Model complexity metrics.
+//!
+//! The paper's "C. red." measure compares the control-flow complexity (CFC,
+//! Cardoso) of models discovered from the original and abstracted logs,
+//! following Reijers & Mendling \[29\]: every XOR-split contributes its
+//! fanout (number of possible routing states), every AND-split contributes
+//! 1, an OR-split would contribute `2^n − 1` (our discovery emits no ORs).
+//! Size, CNC and density are reported alongside as secondary indicators.
+
+use crate::model::{GatewayKind, ProcessModel};
+
+/// Complexity summary of one process model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelComplexity {
+    /// Control-flow complexity (Cardoso).
+    pub cfc: f64,
+    /// Node count (tasks + gateways).
+    pub size: usize,
+    /// Coefficient of network connectivity: arcs / nodes.
+    pub cnc: f64,
+    /// Density: arcs / (nodes · (nodes − 1)).
+    pub density: f64,
+}
+
+impl ModelComplexity {
+    /// Computes the metrics for `model`.
+    pub fn of(model: &ProcessModel) -> ModelComplexity {
+        let mut cfc = 0.0;
+        for g in model.splits() {
+            cfc += match g.kind {
+                GatewayKind::Xor => g.fanout as f64,
+                GatewayKind::And => 1.0,
+            };
+        }
+        // Self-loops are implicit XOR decisions (repeat or move on).
+        cfc += model.self_loops() as f64;
+        let size = model.size();
+        let arcs = model.edges().len();
+        ModelComplexity {
+            cfc,
+            size,
+            cnc: if size == 0 { 0.0 } else { arcs as f64 / size as f64 },
+            density: if size <= 1 {
+                0.0
+            } else {
+                arcs as f64 / (size as f64 * (size as f64 - 1.0))
+            },
+        }
+    }
+
+    /// Relative reduction from `self` (the original) to `abstracted`:
+    /// `1 − CFC'/CFC`, clamped to 0 when the original has no complexity.
+    pub fn cfc_reduction(&self, abstracted: &ModelComplexity) -> f64 {
+        if self.cfc <= 0.0 {
+            0.0
+        } else {
+            1.0 - abstracted.cfc / self.cfc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{discover, DiscoveryOptions};
+    use gecco_eventlog::LogBuilder;
+
+    fn build(traces: &[&[&str]]) -> gecco_eventlog::EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("t{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sequence_has_zero_cfc() {
+        let log = build(&[&["a", "b", "c"]]);
+        let c = ModelComplexity::of(&discover(&log, DiscoveryOptions::default()));
+        assert_eq!(c.cfc, 0.0);
+        assert_eq!(c.size, 3);
+        assert!((c.cnc - 2.0 / 3.0).abs() < 1e-12);
+        assert!(c.density > 0.0);
+    }
+
+    #[test]
+    fn xor_counts_fanout_and_counts_one() {
+        // XOR split (2 branches) + XOR join.
+        let xor_log = build(&[&["s", "a", "e"], &["s", "b", "e"]]);
+        let xor = ModelComplexity::of(&discover(&xor_log, DiscoveryOptions::default()));
+        assert_eq!(xor.cfc, 2.0 + 0.0, "splits only: XOR fanout 2");
+        // AND split contributes 1.
+        let and_log = build(&[&["s", "a", "b", "e"], &["s", "b", "a", "e"]]);
+        let and = ModelComplexity::of(&discover(&and_log, DiscoveryOptions::default()));
+        assert_eq!(and.cfc, 1.0);
+    }
+
+    #[test]
+    fn reduction_is_relative() {
+        let orig = ModelComplexity { cfc: 10.0, size: 10, cnc: 1.0, density: 0.1 };
+        let abs = ModelComplexity { cfc: 4.0, size: 5, cnc: 0.8, density: 0.2 };
+        assert!((orig.cfc_reduction(&abs) - 0.6).abs() < 1e-12);
+        let flat = ModelComplexity { cfc: 0.0, size: 3, cnc: 0.5, density: 0.1 };
+        assert_eq!(flat.cfc_reduction(&abs), 0.0);
+    }
+
+    #[test]
+    fn self_loop_adds_decision() {
+        let log = build(&[&["a", "a", "b"]]);
+        let c = ModelComplexity::of(&discover(&log, DiscoveryOptions::default()));
+        assert!(c.cfc >= 1.0);
+    }
+}

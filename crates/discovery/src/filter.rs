@@ -1,0 +1,152 @@
+//! Percentile-based DFG filtering.
+//!
+//! Keeps the most frequent fraction of directly-follows edges (e.g. the
+//! "80/20" DFG of the paper's Figure 1 keeps 80% and omits the 20% least
+//! frequent) while always retaining, for every node, its most frequent
+//! incoming and outgoing edge — Split Miner's connectivity safeguard.
+
+use gecco_eventlog::{ClassId, Dfg, EventLog};
+use std::collections::HashSet;
+
+/// A filtered view of a DFG: a subset of its edges.
+#[derive(Debug, Clone)]
+pub struct FilteredDfg {
+    num_nodes: usize,
+    edges: Vec<(ClassId, ClassId, u64)>,
+    edge_set: HashSet<(ClassId, ClassId)>,
+}
+
+impl FilteredDfg {
+    /// Number of nodes of the underlying DFG.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The retained edges.
+    pub fn edges(&self) -> &[(ClassId, ClassId, u64)] {
+        &self.edges
+    }
+
+    /// Number of retained edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the edge `a → b` was retained.
+    pub fn contains(&self, a: ClassId, b: ClassId) -> bool {
+        self.edge_set.contains(&(a, b))
+    }
+
+    /// Retained successors of `a`.
+    pub fn successors(&self, a: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        self.edges.iter().filter(move |(x, _, _)| *x == a).map(|(_, y, _)| *y)
+    }
+
+    /// Retained predecessors of `a`.
+    pub fn predecessors(&self, a: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        self.edges.iter().filter(move |(_, y, _)| *y == a).map(|(x, _, _)| *x)
+    }
+
+    /// Renders the filtered graph in Graphviz DOT format.
+    pub fn to_dot(&self, log: &EventLog) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph dfg {\n  rankdir=LR;\n  node [shape=box];\n");
+        for (a, b, c) in &self.edges {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                log.class_name(*a),
+                log.class_name(*b),
+                c
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Filters `dfg`, keeping (at least) the `keep_fraction` most frequent
+/// edges plus each node's strongest incoming/outgoing edge.
+pub fn filter_dfg(dfg: &Dfg, keep_fraction: f64) -> FilteredDfg {
+    let mut all: Vec<(ClassId, ClassId, u64)> = dfg.edges().collect();
+    all.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+    let keep = ((all.len() as f64 * keep_fraction).ceil() as usize).min(all.len());
+    let mut retained: HashSet<(ClassId, ClassId)> =
+        all.iter().take(keep).map(|(a, b, _)| (*a, *b)).collect();
+    // Connectivity safeguard: strongest in/out edge per node.
+    for n in dfg.nodes() {
+        if dfg.class_count(n) == 0 {
+            continue;
+        }
+        if let Some(best_out) = dfg.successors(n).max_by_key(|&s| (dfg.count(n, s), s)) {
+            retained.insert((n, best_out));
+        }
+        if let Some(best_in) = dfg.predecessors(n).max_by_key(|&p| (dfg.count(p, n), p)) {
+            retained.insert((best_in, n));
+        }
+    }
+    let edges: Vec<(ClassId, ClassId, u64)> =
+        all.into_iter().filter(|(a, b, _)| retained.contains(&(*a, *b))).collect();
+    FilteredDfg { num_nodes: dfg.num_nodes(), edge_set: retained, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogBuilder;
+
+    fn log_with_frequencies() -> gecco_eventlog::EventLog {
+        let mut b = LogBuilder::new();
+        // a→b 10 times, a→c 1 time, b→d and c→d.
+        for i in 0..10 {
+            b.trace(&format!("t{i}"))
+                .event("a")
+                .unwrap()
+                .event("b")
+                .unwrap()
+                .event("d")
+                .unwrap()
+                .done();
+        }
+        b.trace("rare").event("a").unwrap().event("c").unwrap().event("d").unwrap().done();
+        b.build()
+    }
+
+    #[test]
+    fn keeps_most_frequent_edges() {
+        let log = log_with_frequencies();
+        let dfg = Dfg::from_log(&log);
+        let filtered = filter_dfg(&dfg, 0.5);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        assert!(filtered.contains(a, b));
+        assert!(filtered.num_edges() <= dfg.num_edges());
+    }
+
+    #[test]
+    fn connectivity_safeguard_keeps_rare_nodes_attached() {
+        let log = log_with_frequencies();
+        let dfg = Dfg::from_log(&log);
+        let filtered = filter_dfg(&dfg, 0.25);
+        let c = log.class_by_name("c").unwrap();
+        // c's only in/out edges survive even though they are rare.
+        assert!(filtered.predecessors(c).count() >= 1);
+        assert!(filtered.successors(c).count() >= 1);
+    }
+
+    #[test]
+    fn full_fraction_keeps_everything() {
+        let log = log_with_frequencies();
+        let dfg = Dfg::from_log(&log);
+        let filtered = filter_dfg(&dfg, 1.0);
+        assert_eq!(filtered.num_edges(), dfg.num_edges());
+    }
+
+    #[test]
+    fn dot_export() {
+        let log = log_with_frequencies();
+        let dfg = Dfg::from_log(&log);
+        let dot = filter_dfg(&dfg, 1.0).to_dot(&log);
+        assert!(dot.contains("\"a\" -> \"b\""));
+    }
+}

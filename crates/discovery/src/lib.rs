@@ -1,0 +1,27 @@
+//! Process-discovery substrate.
+//!
+//! The paper's evaluation measures *complexity reduction* by discovering a
+//! process model from the original and the abstracted log with Split
+//! Miner \[30\] and comparing an established control-flow complexity
+//! metric \[29\]. Split Miner is not redistributable, so this crate
+//! implements a discovery pipeline in its spirit:
+//!
+//! * [`filter`] — percentile-based DFG filtering (the "80/20 model" of the
+//!   case study) that always preserves every node's strongest incoming and
+//!   outgoing edge, so the model stays connected;
+//! * [`oracle`] — a directly-follows concurrency/loop oracle à la Split
+//!   Miner (balanced bidirectional edges ⇒ concurrency, unbalanced ⇒ loop);
+//! * [`model`] — construction of a gateway-labeled process graph
+//!   (XOR/AND splits and joins);
+//! * [`complexity`] — Cardoso control-flow complexity (CFC), size,
+//!   coefficient of network connectivity (CNC) and density.
+
+pub mod complexity;
+pub mod filter;
+pub mod model;
+pub mod oracle;
+
+pub use complexity::ModelComplexity;
+pub use filter::{filter_dfg, FilteredDfg};
+pub use model::{discover, DiscoveryOptions, GatewayKind, ProcessModel};
+pub use oracle::{ConcurrencyOracle, Relation};

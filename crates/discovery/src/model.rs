@@ -1,0 +1,265 @@
+//! Gateway-structured process models discovered from logs.
+//!
+//! The discovery pipeline: build the DFG → filter by percentile → classify
+//! pair relations with the [`crate::oracle`] → attach split/join gateways
+//! where a task has multiple (retained, non-loop) successors or
+//! predecessors. Successor sets whose members are mutually concurrent get
+//! an AND gateway, otherwise XOR; mixed sets are decomposed into concurrent
+//! clusters under an outer XOR — the structure the complexity metric
+//! of \[29\] expects.
+
+use crate::filter::{filter_dfg, FilteredDfg};
+use crate::oracle::{ConcurrencyOracle, Relation};
+use gecco_eventlog::{ClassId, Dfg, EventLog};
+
+/// Gateway semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayKind {
+    /// Exclusive choice.
+    Xor,
+    /// Parallel split/join.
+    And,
+}
+
+/// A split or join gateway attached to a task.
+#[derive(Debug, Clone)]
+pub struct Gateway {
+    /// XOR or AND.
+    pub kind: GatewayKind,
+    /// Number of outgoing (for splits) / incoming (for joins) branches.
+    pub fanout: usize,
+}
+
+/// A discovered process model: tasks (event classes), retained edges and
+/// the gateways implied by the branching structure.
+#[derive(Debug, Clone)]
+pub struct ProcessModel {
+    tasks: Vec<ClassId>,
+    edges: Vec<(ClassId, ClassId)>,
+    splits: Vec<Gateway>,
+    joins: Vec<Gateway>,
+    self_loops: usize,
+}
+
+/// Options for [`discover`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryOptions {
+    /// Fraction of DFG edges to keep (1.0 = no filtering; the case study's
+    /// "80/20 model" uses 0.8).
+    pub edge_keep_fraction: f64,
+    /// Concurrency imbalance threshold (Split Miner's ε).
+    pub concurrency_epsilon: f64,
+}
+
+impl Default for DiscoveryOptions {
+    fn default() -> Self {
+        DiscoveryOptions { edge_keep_fraction: 1.0, concurrency_epsilon: 0.3 }
+    }
+}
+
+/// Discovers a process model from `log`.
+pub fn discover(log: &EventLog, options: DiscoveryOptions) -> ProcessModel {
+    let dfg = Dfg::from_log(log);
+    let filtered = filter_dfg(&dfg, options.edge_keep_fraction);
+    let oracle = ConcurrencyOracle::new(&dfg, &filtered, options.concurrency_epsilon);
+    build_model(log, &dfg, &filtered, &oracle)
+}
+
+fn build_model(
+    _log: &EventLog,
+    dfg: &Dfg,
+    filtered: &FilteredDfg,
+    oracle: &ConcurrencyOracle<'_>,
+) -> ProcessModel {
+    let tasks: Vec<ClassId> = dfg.nodes().filter(|&c| dfg.class_count(c) > 0).collect();
+    // Concurrent pairs are represented by AND gateways at their common
+    // split/join, not by causal edges — remove their mutual edges (as Split
+    // Miner does) so they do not masquerade as choices downstream.
+    let mut edges = Vec::new();
+    let mut self_loops = 0usize;
+    for &(a, b, _) in filtered.edges() {
+        if a == b {
+            self_loops += 1;
+        } else if oracle.relation(a, b) != Relation::Concurrent {
+            edges.push((a, b));
+        }
+    }
+    let keeps = |x: ClassId, y: ClassId| oracle.relation(x, y) != Relation::Concurrent;
+    let mut splits = Vec::new();
+    let mut joins = Vec::new();
+    for &t in &tasks {
+        let succs: Vec<ClassId> =
+            filtered.successors(t).filter(|&s| s != t && keeps(t, s)).collect();
+        if succs.len() > 1 {
+            splits.extend(gateways_for(&succs, oracle));
+        }
+        let preds: Vec<ClassId> =
+            filtered.predecessors(t).filter(|&p| p != t && keeps(p, t)).collect();
+        if preds.len() > 1 {
+            joins.extend(gateways_for(&preds, oracle));
+        }
+    }
+    ProcessModel { tasks, edges, splits, joins, self_loops }
+}
+
+/// Decomposes a branch set into concurrent clusters: members of one cluster
+/// are mutually concurrent (greedy clustering); clusters of size > 1 become
+/// AND gateways, and if more than one cluster remains, an outer XOR chooses
+/// between them.
+fn gateways_for(branches: &[ClassId], oracle: &ConcurrencyOracle<'_>) -> Vec<Gateway> {
+    let mut clusters: Vec<Vec<ClassId>> = Vec::new();
+    for &b in branches {
+        let slot = clusters
+            .iter_mut()
+            .find(|cluster| cluster.iter().all(|&m| oracle.relation(m, b) == Relation::Concurrent));
+        match slot {
+            Some(cluster) => cluster.push(b),
+            None => clusters.push(vec![b]),
+        }
+    }
+    let mut out = Vec::new();
+    for cluster in &clusters {
+        if cluster.len() > 1 {
+            out.push(Gateway { kind: GatewayKind::And, fanout: cluster.len() });
+        }
+    }
+    if clusters.len() > 1 {
+        out.push(Gateway { kind: GatewayKind::Xor, fanout: clusters.len() });
+    }
+    out
+}
+
+impl ProcessModel {
+    /// The model's tasks.
+    pub fn tasks(&self) -> &[ClassId] {
+        &self.tasks
+    }
+
+    /// Non-self-loop edges.
+    pub fn edges(&self) -> &[(ClassId, ClassId)] {
+        &self.edges
+    }
+
+    /// Split gateways.
+    pub fn splits(&self) -> &[Gateway] {
+        &self.splits
+    }
+
+    /// Join gateways.
+    pub fn joins(&self) -> &[Gateway] {
+        &self.joins
+    }
+
+    /// Number of self-loops (tasks that directly repeat).
+    pub fn self_loops(&self) -> usize {
+        self.self_loops
+    }
+
+    /// Total node count: tasks + gateways.
+    pub fn size(&self) -> usize {
+        self.tasks.len() + self.splits.len() + self.joins.len()
+    }
+
+    /// Renders the model as DOT (tasks as boxes, gateways as diamonds).
+    pub fn to_dot(&self, log: &EventLog) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph model {\n  rankdir=LR;\n  node [shape=box];\n");
+        for &t in &self.tasks {
+            let _ = writeln!(out, "  \"{}\";", log.class_name(t));
+        }
+        for (a, b) in &self.edges {
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", log.class_name(*a), log.class_name(*b));
+        }
+        for (i, g) in self.splits.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  split{} [shape=diamond, label=\"{}{}\"];",
+                i,
+                if g.kind == GatewayKind::Xor { "X" } else { "+" },
+                g.fanout
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogBuilder;
+
+    fn build(traces: &[&[&str]]) -> EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("t{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn xor_split_from_exclusive_branches() {
+        let log = build(&[&["s", "a", "e"], &["s", "b", "e"]]);
+        let model = discover(&log, DiscoveryOptions::default());
+        // s splits into {a, b} (never concurrent) → one XOR split of 2.
+        assert_eq!(model.splits().len(), 1);
+        assert_eq!(model.splits()[0].kind, GatewayKind::Xor);
+        assert_eq!(model.splits()[0].fanout, 2);
+        // e joins them → one XOR join.
+        assert_eq!(model.joins().len(), 1);
+        assert_eq!(model.joins()[0].kind, GatewayKind::Xor);
+    }
+
+    #[test]
+    fn and_split_from_concurrent_branches() {
+        let log = build(&[&["s", "a", "b", "e"], &["s", "b", "a", "e"]]);
+        let model = discover(&log, DiscoveryOptions::default());
+        let and_splits: Vec<_> =
+            model.splits().iter().filter(|g| g.kind == GatewayKind::And).collect();
+        assert_eq!(and_splits.len(), 1, "a ∥ b behind s");
+        assert_eq!(and_splits[0].fanout, 2);
+    }
+
+    #[test]
+    fn sequence_has_no_gateways() {
+        let log = build(&[&["a", "b", "c"]]);
+        let model = discover(&log, DiscoveryOptions::default());
+        assert!(model.splits().is_empty());
+        assert!(model.joins().is_empty());
+        assert_eq!(model.size(), 3);
+        assert_eq!(model.edges().len(), 2);
+    }
+
+    #[test]
+    fn self_loops_counted() {
+        let log = build(&[&["a", "a", "b"]]);
+        let model = discover(&log, DiscoveryOptions::default());
+        assert_eq!(model.self_loops(), 1);
+    }
+
+    #[test]
+    fn mixed_branches_get_xor_over_clusters() {
+        // s → {a, b} concurrent; s → c exclusive alternative.
+        let log = build(&[
+            &["s", "a", "b", "e"],
+            &["s", "b", "a", "e"],
+            &["s", "c", "e"],
+        ]);
+        let model = discover(&log, DiscoveryOptions::default());
+        let kinds: Vec<GatewayKind> = model.splits().iter().map(|g| g.kind).collect();
+        assert!(kinds.contains(&GatewayKind::And));
+        assert!(kinds.contains(&GatewayKind::Xor));
+    }
+
+    #[test]
+    fn dot_contains_tasks() {
+        let log = build(&[&["a", "b"]]);
+        let model = discover(&log, DiscoveryOptions::default());
+        let dot = model.to_dot(&log);
+        assert!(dot.contains("\"a\" -> \"b\""));
+    }
+}

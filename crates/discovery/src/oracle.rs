@@ -1,0 +1,139 @@
+//! Concurrency and loop oracle over the (filtered) DFG.
+//!
+//! Split Miner's directly-follows heuristics: two classes with edges in
+//! both directions are *concurrent* when their frequencies are balanced
+//! (relative imbalance below `epsilon`) and form a *short loop* otherwise;
+//! self-loops are tracked separately.
+
+use crate::filter::FilteredDfg;
+use gecco_eventlog::{ClassId, Dfg};
+
+/// Behavioral relation between two event classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// No directly-follows edge in either direction.
+    None,
+    /// Edge in exactly one direction: causal ordering.
+    Causal,
+    /// Both directions, balanced: interleaved/concurrent execution.
+    Concurrent,
+    /// Both directions, unbalanced: repetition (short loop).
+    Loop,
+}
+
+/// Classifies class pairs by their directly-follows pattern.
+#[derive(Debug)]
+pub struct ConcurrencyOracle<'a> {
+    dfg: &'a Dfg,
+    filtered: &'a FilteredDfg,
+    epsilon: f64,
+}
+
+impl<'a> ConcurrencyOracle<'a> {
+    /// `epsilon` is the maximum relative imbalance for concurrency
+    /// (Split Miner defaults to values around 0.3).
+    pub fn new(dfg: &'a Dfg, filtered: &'a FilteredDfg, epsilon: f64) -> Self {
+        ConcurrencyOracle { dfg, filtered, epsilon }
+    }
+
+    /// The relation between `a` and `b` (symmetric for
+    /// concurrent/loop, directional reading for causal: `a` then `b`).
+    pub fn relation(&self, a: ClassId, b: ClassId) -> Relation {
+        if a == b {
+            return if self.filtered.contains(a, a) { Relation::Loop } else { Relation::None };
+        }
+        let ab = self.filtered.contains(a, b);
+        let ba = self.filtered.contains(b, a);
+        match (ab, ba) {
+            (false, false) => Relation::None,
+            (true, false) | (false, true) => Relation::Causal,
+            (true, true) => {
+                let f_ab = self.dfg.count(a, b) as f64;
+                let f_ba = self.dfg.count(b, a) as f64;
+                let imbalance = (f_ab - f_ba).abs() / (f_ab + f_ba);
+                if imbalance < self.epsilon {
+                    Relation::Concurrent
+                } else {
+                    Relation::Loop
+                }
+            }
+        }
+    }
+
+    /// Whether `a` and `b` are concurrent.
+    pub fn concurrent(&self, a: ClassId, b: ClassId) -> bool {
+        self.relation(a, b) == Relation::Concurrent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::filter_dfg;
+    use gecco_eventlog::{Dfg, EventLog, LogBuilder};
+
+    fn build(traces: &[&[&str]]) -> EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("t{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn balanced_bidirectional_is_concurrent() {
+        // a/b interleave both ways equally often.
+        let log = build(&[&["s", "a", "b", "e"], &["s", "b", "a", "e"]]);
+        let dfg = Dfg::from_log(&log);
+        let filtered = filter_dfg(&dfg, 1.0);
+        let oracle = ConcurrencyOracle::new(&dfg, &filtered, 0.3);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        assert_eq!(oracle.relation(a, b), Relation::Concurrent);
+        assert!(oracle.concurrent(b, a));
+    }
+
+    #[test]
+    fn unbalanced_bidirectional_is_loop() {
+        // b→a happens once (a retry), a→b five times.
+        let mut traces: Vec<Vec<&str>> = vec![vec!["a", "b"]; 5];
+        traces.push(vec!["a", "b", "a", "b"]);
+        let refs: Vec<&[&str]> = traces.iter().map(|t| t.as_slice()).collect();
+        let log = build(&refs);
+        let dfg = Dfg::from_log(&log);
+        let filtered = filter_dfg(&dfg, 1.0);
+        let oracle = ConcurrencyOracle::new(&dfg, &filtered, 0.3);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        assert_eq!(oracle.relation(a, b), Relation::Loop);
+    }
+
+    #[test]
+    fn single_direction_is_causal_and_absence_is_none() {
+        let log = build(&[&["a", "b"], &["c"]]);
+        let dfg = Dfg::from_log(&log);
+        let filtered = filter_dfg(&dfg, 1.0);
+        let oracle = ConcurrencyOracle::new(&dfg, &filtered, 0.3);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        let c = log.class_by_name("c").unwrap();
+        assert_eq!(oracle.relation(a, b), Relation::Causal);
+        assert_eq!(oracle.relation(a, c), Relation::None);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        let log = build(&[&["a", "a", "b"]]);
+        let dfg = Dfg::from_log(&log);
+        let filtered = filter_dfg(&dfg, 1.0);
+        let oracle = ConcurrencyOracle::new(&dfg, &filtered, 0.3);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        assert_eq!(oracle.relation(a, a), Relation::Loop);
+        assert_eq!(oracle.relation(b, b), Relation::None);
+    }
+}

@@ -1,0 +1,380 @@
+//! Event classes and sets of event classes.
+//!
+//! An event class (§III-A: `e.C ∈ C`) is the *type* of an event — in the
+//! paper's running example the eight process steps `rcp, ckc, ckt, acc, rej,
+//! prio, inf, arv`. Groups of event classes (candidate high-level activities)
+//! are represented by [`ClassSet`], a fixed-width 256-bit inline bitset:
+//! candidate computation manipulates millions of groups, so they must be
+//! `Copy` and hashable without allocation.
+
+use crate::interner::Symbol;
+use crate::value::AttributeValue;
+use std::fmt;
+
+/// Maximum number of distinct event classes per log.
+///
+/// The largest log in the paper's evaluation collection has 70 classes; the
+/// exhaustive algorithm is exponential in this number anyway, so a hard cap
+/// of 256 is a non-restriction in practice and keeps [`ClassSet`] `Copy`.
+pub const MAX_CLASSES: usize = 256;
+
+const WORDS: usize = MAX_CLASSES / 64;
+
+/// Dense identifier of an event class within one [`crate::EventLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// The raw index of this class in the log's [`ClassRegistry`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata about one event class: its name and its *class-level*
+/// attributes (e.g. the originating IT system in the paper's case study,
+/// used by the `BL3` constraint `|g.D| = 1`).
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Interned class name (the XES `concept:name`).
+    pub name: Symbol,
+    /// Class-level attributes, sorted by key symbol.
+    pub attributes: Vec<(Symbol, AttributeValue)>,
+}
+
+impl ClassInfo {
+    /// Looks up a class-level attribute by key.
+    pub fn attribute(&self, key: Symbol) -> Option<&AttributeValue> {
+        self.attributes.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Registry of the event classes of one log (the set `C_L`).
+#[derive(Debug, Clone, Default)]
+pub struct ClassRegistry {
+    infos: Vec<ClassInfo>,
+    by_name: std::collections::HashMap<Symbol, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for the class named `name`, registering it on first use.
+    pub fn get_or_insert(&mut self, name: Symbol) -> crate::Result<ClassId> {
+        if let Some(&id) = self.by_name.get(&name) {
+            return Ok(id);
+        }
+        if self.infos.len() >= MAX_CLASSES {
+            return Err(crate::Error::TooManyClasses { found: self.infos.len() + 1 });
+        }
+        let id = ClassId(self.infos.len() as u16);
+        self.infos.push(ClassInfo { name, attributes: Vec::new() });
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Looks up a class by its interned name.
+    pub fn get(&self, name: Symbol) -> Option<ClassId> {
+        self.by_name.get(&name).copied()
+    }
+
+    /// Metadata for `id`.
+    #[inline]
+    pub fn info(&self, id: ClassId) -> &ClassInfo {
+        &self.infos[id.index()]
+    }
+
+    /// Mutable metadata for `id` (used to attach class-level attributes).
+    pub fn info_mut(&mut self, id: ClassId) -> &mut ClassInfo {
+        &mut self.infos[id.index()]
+    }
+
+    /// Number of registered classes, `|C_L|`.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether no class has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterates over all class ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.infos.len() as u16).map(ClassId)
+    }
+
+    /// The full class set `C_L` as a bitset.
+    pub fn all(&self) -> ClassSet {
+        self.ids().collect()
+    }
+}
+
+/// A set of event classes — a (candidate) group `g ⊆ C_L`.
+///
+/// Fixed-size 256-bit bitset: `Copy`, `Eq`, `Hash`, no heap. All set
+/// operations are branch-free word ops.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ClassSet {
+    words: [u64; WORDS],
+}
+
+impl ClassSet {
+    /// The empty set.
+    pub const EMPTY: ClassSet = ClassSet { words: [0; WORDS] };
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Singleton set `{c}`.
+    pub fn singleton(c: ClassId) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(c);
+        s
+    }
+
+    /// Inserts a class; returns whether it was newly added.
+    #[inline]
+    pub fn insert(&mut self, c: ClassId) -> bool {
+        let (w, b) = (c.index() / 64, c.index() % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes a class; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, c: ClassId) -> bool {
+        let (w, b) = (c.index() / 64, c.index() % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, c: ClassId) -> bool {
+        let (w, b) = (c.index() / 64, c.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of classes in the set, `|g|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union `self ∪ other`.
+    #[inline]
+    pub fn union(&self, other: &ClassSet) -> ClassSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+        out
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[inline]
+    pub fn intersection(&self, other: &ClassSet) -> ClassSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+        out
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(&self, other: &ClassSet) -> ClassSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+        out
+    }
+
+    /// Whether the two sets share at least one class.
+    #[inline]
+    pub fn intersects(&self, other: &ClassSet) -> bool {
+        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &ClassSet) -> bool {
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether `self ⊂ other` (subset and not equal).
+    #[inline]
+    pub fn is_proper_subset(&self, other: &ClassSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Iterates over member classes in ascending id order.
+    pub fn iter(&self) -> ClassSetIter {
+        ClassSetIter { words: self.words, word_idx: 0 }
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<ClassId> {
+        self.iter().next()
+    }
+}
+
+impl FromIterator<ClassId> for ClassSet {
+    fn from_iter<T: IntoIterator<Item = ClassId>>(iter: T) -> Self {
+        let mut s = ClassSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl IntoIterator for &ClassSet {
+    type Item = ClassId;
+    type IntoIter = ClassSetIter;
+    fn into_iter(self) -> ClassSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ClassSet`].
+pub struct ClassSetIter {
+    words: [u64; WORDS],
+    word_idx: usize,
+}
+
+impl Iterator for ClassSetIter {
+    type Item = ClassId;
+
+    fn next(&mut self) -> Option<ClassId> {
+        while self.word_idx < WORDS {
+            let w = self.words[self.word_idx];
+            if w == 0 {
+                self.word_idx += 1;
+                continue;
+            }
+            let bit = w.trailing_zeros() as usize;
+            self.words[self.word_idx] &= w - 1; // clear lowest set bit
+            return Some(ClassId((self.word_idx * 64 + bit) as u16));
+        }
+        None
+    }
+}
+
+impl fmt::Debug for ClassSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|c| c.0)).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u16]) -> ClassSet {
+        ids.iter().map(|&i| ClassId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = ClassSet::new();
+        assert!(s.insert(ClassId(3)));
+        assert!(!s.insert(ClassId(3)));
+        assert!(s.contains(ClassId(3)));
+        assert!(!s.contains(ClassId(4)));
+        assert!(s.remove(ClassId(3)));
+        assert!(!s.remove(ClassId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn works_across_word_boundaries() {
+        let s = set(&[0, 63, 64, 127, 128, 255]);
+        assert_eq!(s.len(), 6);
+        let members: Vec<u16> = s.iter().map(|c| c.0).collect();
+        assert_eq!(members, vec![0, 63, 64, 127, 128, 255]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[1, 2, 3, 70]);
+        let b = set(&[3, 4, 70, 200]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4, 70, 200]));
+        assert_eq!(a.intersection(&b), set(&[3, 70]));
+        assert_eq!(a.difference(&b), set(&[1, 2]));
+        assert!(a.intersects(&b));
+        assert!(!set(&[1]).intersects(&set(&[2])));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = set(&[1, 2]);
+        let b = set(&[1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(b.is_subset(&b));
+        assert!(!b.is_proper_subset(&b));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn first_and_singleton() {
+        assert_eq!(ClassSet::EMPTY.first(), None);
+        let s = ClassSet::singleton(ClassId(42));
+        assert_eq!(s.first(), Some(ClassId(42)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn registry_assigns_dense_ids() {
+        let mut interner = crate::Interner::new();
+        let mut reg = ClassRegistry::new();
+        let a = reg.get_or_insert(interner.intern("a")).unwrap();
+        let b = reg.get_or_insert(interner.intern("b")).unwrap();
+        let a2 = reg.get_or_insert(interner.intern("a")).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.all(), set(&[0, 1]));
+    }
+
+    #[test]
+    fn registry_rejects_overflow() {
+        let mut interner = crate::Interner::new();
+        let mut reg = ClassRegistry::new();
+        for i in 0..MAX_CLASSES {
+            reg.get_or_insert(interner.intern(&format!("c{i}"))).unwrap();
+        }
+        let over = reg.get_or_insert(interner.intern("one-too-many"));
+        assert!(matches!(over, Err(crate::Error::TooManyClasses { .. })));
+    }
+
+    #[test]
+    fn class_level_attributes() {
+        let mut interner = crate::Interner::new();
+        let mut reg = ClassRegistry::new();
+        let id = reg.get_or_insert(interner.intern("A_Submit")).unwrap();
+        let key = interner.intern("system");
+        let val = AttributeValue::Str(interner.intern("A"));
+        reg.info_mut(id).attributes.push((key, val.clone()));
+        assert_eq!(reg.info(id).attribute(key), Some(&val));
+        assert_eq!(reg.info(id).attribute(Symbol(999)), None);
+    }
+}

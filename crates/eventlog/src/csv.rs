@@ -1,0 +1,303 @@
+//! CSV import/export for event logs.
+//!
+//! Many real-world logs (including several 4TU datasets) ship as CSV with
+//! one event per row. The importer expects a header row naming at least the
+//! case and activity columns; remaining columns become event attributes.
+//! Values are typed by sniffing: ISO-8601 → timestamp, integer → int,
+//! float → float, `true`/`false` → bool, otherwise string.
+
+use crate::error::{Error, Result};
+use crate::log::{EventLog, LogBuilder};
+use crate::time::parse_iso8601;
+
+/// Column configuration for [`read_str`].
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Name of the case-id column.
+    pub case_column: String,
+    /// Name of the activity (event-class) column.
+    pub activity_column: String,
+    /// Field delimiter.
+    pub delimiter: char,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            case_column: "case:concept:name".into(),
+            activity_column: "concept:name".into(),
+            delimiter: ',',
+        }
+    }
+}
+
+/// Splits one CSV record, honoring quotes. Returns the fields and the number
+/// of input lines consumed (quoted fields may span lines).
+fn split_record(lines: &[&str], start: usize, delim: char) -> Result<(Vec<String>, usize)> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut li = start;
+    let mut chars: Vec<char> = lines[li].chars().collect();
+    let mut ci = 0;
+    loop {
+        if ci >= chars.len() {
+            if in_quotes {
+                li += 1;
+                if li >= lines.len() {
+                    return Err(Error::Csv { line: start + 1, message: "unterminated quote".into() });
+                }
+                field.push('\n');
+                chars = lines[li].chars().collect();
+                ci = 0;
+                continue;
+            }
+            fields.push(std::mem::take(&mut field));
+            return Ok((fields, li - start + 1));
+        }
+        let c = chars[ci];
+        if in_quotes {
+            if c == '"' {
+                if chars.get(ci + 1) == Some(&'"') {
+                    field.push('"');
+                    ci += 2;
+                } else {
+                    in_quotes = false;
+                    ci += 1;
+                }
+            } else {
+                field.push(c);
+                ci += 1;
+            }
+        } else if c == '"' && field.is_empty() {
+            in_quotes = true;
+            ci += 1;
+        } else if c == delim {
+            fields.push(std::mem::take(&mut field));
+            ci += 1;
+        } else {
+            field.push(c);
+            ci += 1;
+        }
+    }
+}
+
+/// Parses a CSV document into an event log. Rows are grouped into traces by
+/// the case column, preserving row order within each case.
+pub fn read_str(input: &str, options: &CsvOptions) -> Result<EventLog> {
+    let lines: Vec<&str> = input.lines().collect();
+    if lines.is_empty() {
+        return Ok(LogBuilder::new().build());
+    }
+    let (header, mut row_start) = split_record(&lines, 0, options.delimiter)?;
+    let case_idx = header.iter().position(|h| *h == options.case_column).ok_or_else(|| Error::Csv {
+        line: 1,
+        message: format!("missing case column {:?}", options.case_column),
+    })?;
+    let act_idx =
+        header.iter().position(|h| *h == options.activity_column).ok_or_else(|| Error::Csv {
+            line: 1,
+            message: format!("missing activity column {:?}", options.activity_column),
+        })?;
+
+    // Collect rows per case, in first-seen case order.
+    let mut case_order: Vec<String> = Vec::new();
+    let mut rows_by_case: std::collections::HashMap<String, Vec<Vec<String>>> =
+        std::collections::HashMap::new();
+    while row_start < lines.len() {
+        if lines[row_start].trim().is_empty() {
+            row_start += 1;
+            continue;
+        }
+        let (fields, consumed) = split_record(&lines, row_start, options.delimiter)?;
+        if fields.len() != header.len() {
+            return Err(Error::Csv {
+                line: row_start + 1,
+                message: format!("expected {} fields, found {}", header.len(), fields.len()),
+            });
+        }
+        let case = fields[case_idx].clone();
+        if !rows_by_case.contains_key(&case) {
+            case_order.push(case.clone());
+        }
+        rows_by_case.entry(case).or_default().push(fields);
+        row_start += consumed;
+    }
+
+    let mut builder = LogBuilder::new();
+    for case in case_order {
+        let rows = rows_by_case.remove(&case).expect("case registered above");
+        let mut tb = builder.trace(&case);
+        for row in rows {
+            let class = row[act_idx].clone();
+            tb = tb.event_with(&class, |e| {
+                for (i, value) in row.iter().enumerate() {
+                    if i == case_idx || i == act_idx {
+                        continue;
+                    }
+                    let key = &header[i];
+                    if value.is_empty() {
+                        continue;
+                    }
+                    if let Ok(ts) = parse_iso8601(value) {
+                        e.timestamp(key, ts);
+                    } else if let Ok(i64v) = value.parse::<i64>() {
+                        e.int(key, i64v);
+                    } else if let Ok(f64v) = value.parse::<f64>() {
+                        e.float(key, f64v);
+                    } else if value == "true" || value == "false" {
+                        e.bool(key, value == "true");
+                    } else {
+                        e.str(key, value);
+                    }
+                }
+            })?;
+        }
+        tb.done();
+    }
+    Ok(builder.build())
+}
+
+/// Reads a CSV file from disk.
+pub fn read_file(path: impl AsRef<std::path::Path>, options: &CsvOptions) -> Result<EventLog> {
+    read_str(&std::fs::read_to_string(path)?, options)
+}
+
+fn quote(field: &str, delim: char) -> String {
+    if field.contains(delim) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes a log to CSV with columns
+/// `case:concept:name, concept:name, <union of event attribute keys>`.
+pub fn write_string(log: &EventLog) -> String {
+    // Collect the union of event-attribute keys (excluding concept:name).
+    let mut keys: Vec<crate::Symbol> = Vec::new();
+    for trace in log.traces() {
+        for event in trace.events() {
+            for (k, _) in event.attributes() {
+                if *k != log.std_keys().concept_name && !keys.contains(k) {
+                    keys.push(*k);
+                }
+            }
+        }
+    }
+    keys.sort_by_key(|k| log.resolve(*k).to_string());
+    let mut out = String::new();
+    out.push_str("case:concept:name,concept:name");
+    for k in &keys {
+        out.push(',');
+        out.push_str(&quote(log.resolve(*k), ','));
+    }
+    out.push('\n');
+    for (i, trace) in log.traces().iter().enumerate() {
+        let case = trace
+            .attribute(log.std_keys().concept_name)
+            .and_then(|v| v.as_symbol())
+            .map(|s| log.resolve(s).to_string())
+            .unwrap_or_else(|| format!("case-{i}"));
+        for event in trace.events() {
+            out.push_str(&quote(&case, ','));
+            out.push(',');
+            out.push_str(&quote(log.class_name(event.class()), ','));
+            for k in &keys {
+                out.push(',');
+                if let Some(v) = event.attribute(*k) {
+                    out.push_str(&quote(&v.display(log.interner()).to_string(), ','));
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttributeValue;
+
+    #[test]
+    fn basic_import_groups_by_case() {
+        let csv = "case:concept:name,concept:name,cost\nc1,a,5\nc2,a,1\nc1,b,2\n";
+        let log = read_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(log.traces().len(), 2);
+        assert_eq!(log.traces()[0].len(), 2); // c1: a, b
+        assert_eq!(log.traces()[1].len(), 1);
+        let e = &log.traces()[0].events()[1];
+        assert_eq!(log.class_name(e.class()), "b");
+        assert_eq!(e.attribute(log.key("cost").unwrap()), Some(&AttributeValue::Int(2)));
+    }
+
+    #[test]
+    fn type_sniffing() {
+        let csv = "case:concept:name,concept:name,when,x,y,flag,label\n\
+                   c,a,2021-01-01T00:00:00Z,3,2.5,true,hello\n";
+        let log = read_str(csv, &CsvOptions::default()).unwrap();
+        let e = &log.traces()[0].events()[0];
+        assert!(matches!(e.attribute(log.key("when").unwrap()), Some(AttributeValue::Timestamp(_))));
+        assert_eq!(e.attribute(log.key("x").unwrap()), Some(&AttributeValue::Int(3)));
+        assert_eq!(e.attribute(log.key("y").unwrap()), Some(&AttributeValue::Float(2.5)));
+        assert_eq!(e.attribute(log.key("flag").unwrap()), Some(&AttributeValue::Bool(true)));
+        let label = e.attribute(log.key("label").unwrap()).unwrap().as_symbol().unwrap();
+        assert_eq!(log.resolve(label), "hello");
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "case:concept:name,concept:name,note\nc,\"a, really\",\"say \"\"hi\"\"\"\n";
+        let log = read_str(csv, &CsvOptions::default()).unwrap();
+        assert!(log.class_by_name("a, really").is_some());
+        let e = &log.traces()[0].events()[0];
+        let note = e.attribute(log.key("note").unwrap()).unwrap().as_symbol().unwrap();
+        assert_eq!(log.resolve(note), "say \"hi\"");
+    }
+
+    #[test]
+    fn missing_columns_are_errors() {
+        let err = read_str("a,b\n1,2\n", &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("case column"));
+        let err =
+            read_str("case:concept:name,b\n1,2\n", &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("activity column"));
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let err = read_str(
+            "case:concept:name,concept:name\nc1,a\nc1\n",
+            &CsvOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = "case:concept:name,concept:name,cost\nc1,a,5\nc1,b,7\nc2,a,1\n";
+        let log = read_str(csv, &CsvOptions::default()).unwrap();
+        let out = write_string(&log);
+        let log2 = read_str(&out, &CsvOptions::default()).unwrap();
+        assert_eq!(log2.traces().len(), 2);
+        assert_eq!(log2.num_events(), 3);
+        let e = &log2.traces()[0].events()[1];
+        assert_eq!(e.attribute(log2.key("cost").unwrap()), Some(&AttributeValue::Int(7)));
+    }
+
+    #[test]
+    fn empty_input_is_empty_log() {
+        let log = read_str("", &CsvOptions::default()).unwrap();
+        assert_eq!(log.traces().len(), 0);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let csv = "case:concept:name;concept:name\nc;a\n";
+        let opts = CsvOptions { delimiter: ';', ..CsvOptions::default() };
+        let log = read_str(csv, &opts).unwrap();
+        assert_eq!(log.num_events(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by the event-log substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout `gecco-eventlog`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building, parsing or serializing event logs.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed XML encountered by the hand-rolled pull parser.
+    Xml { line: usize, message: String },
+    /// Structurally valid XML that is not valid XES.
+    Xes { line: usize, message: String },
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// A timestamp string that is not ISO-8601.
+    Timestamp(String),
+    /// The log references more event classes than [`crate::MAX_CLASSES`].
+    TooManyClasses { found: usize },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml { line, message } => write!(f, "XML error at line {line}: {message}"),
+            Error::Xes { line, message } => write!(f, "XES error at line {line}: {message}"),
+            Error::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            Error::Timestamp(s) => write!(f, "invalid ISO-8601 timestamp: {s:?}"),
+            Error::TooManyClasses { found } => write!(
+                f,
+                "log has {found} event classes; at most {} are supported",
+                crate::MAX_CLASSES
+            ),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = Error::Xml { line: 7, message: "unexpected `<`".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = Error::Csv { line: 2, message: "missing column".into() };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,84 @@
+//! A single recorded event.
+
+use crate::classes::ClassId;
+use crate::interner::Symbol;
+use crate::value::AttributeValue;
+
+/// One event `e ∈ E` (§III-A): an occurrence of an event class together with
+/// its data-attribute context.
+///
+/// Attribute keys and categorical values are interned in the owning
+/// [`crate::EventLog`]; the attribute list is kept sorted by key so lookups
+/// are a short scan / binary search over a handful of entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    class: ClassId,
+    attributes: Box<[(Symbol, AttributeValue)]>,
+}
+
+impl Event {
+    /// Creates an event of class `class` with the given attributes.
+    /// The attribute list is sorted by key; duplicate keys keep the first
+    /// occurrence.
+    pub fn new(class: ClassId, mut attributes: Vec<(Symbol, AttributeValue)>) -> Self {
+        attributes.sort_by_key(|(k, _)| *k);
+        attributes.dedup_by_key(|(k, _)| *k);
+        Event { class, attributes: attributes.into_boxed_slice() }
+    }
+
+    /// The event's class, `e.C`.
+    #[inline]
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Looks up attribute `key` (`e.D` in the paper).
+    #[inline]
+    pub fn attribute(&self, key: Symbol) -> Option<&AttributeValue> {
+        match self.attributes.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(&self.attributes[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// The event's timestamp, if it carries one under `key`.
+    #[inline]
+    pub fn timestamp(&self, key: Symbol) -> Option<i64> {
+        self.attribute(key).and_then(AttributeValue::as_timestamp)
+    }
+
+    /// All attributes, sorted by key.
+    pub fn attributes(&self) -> &[(Symbol, AttributeValue)] {
+        &self.attributes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_are_sorted_and_deduped() {
+        let e = Event::new(
+            ClassId(0),
+            vec![
+                (Symbol(5), AttributeValue::Int(1)),
+                (Symbol(2), AttributeValue::Int(2)),
+                (Symbol(5), AttributeValue::Int(3)), // duplicate: first wins
+            ],
+        );
+        assert_eq!(e.attributes().len(), 2);
+        assert_eq!(e.attribute(Symbol(2)), Some(&AttributeValue::Int(2)));
+        assert_eq!(e.attribute(Symbol(5)), Some(&AttributeValue::Int(1)));
+        assert_eq!(e.attribute(Symbol(9)), None);
+    }
+
+    #[test]
+    fn timestamp_accessor() {
+        let key = Symbol(1);
+        let e = Event::new(ClassId(0), vec![(key, AttributeValue::Timestamp(123))]);
+        assert_eq!(e.timestamp(key), Some(123));
+        let e2 = Event::new(ClassId(0), vec![(key, AttributeValue::Int(123))]);
+        assert_eq!(e2.timestamp(key), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! Group instances: the `inst : E* × 2^C → 2^(E*)` function of §IV-A.
+//!
+//! An *instance* of a group `g` in a trace `σ` is a maximal sequence of
+//! (not necessarily consecutive) events of `σ` whose classes belong to `g`
+//! and that together form one execution of the prospective high-level
+//! activity. For traces with recurring behavior the projection must be
+//! split: in the paper's running example,
+//! `inst(σ4, {rcp,ckc,ckt}) = {⟨rcp,ckc⟩, ⟨rcp,ckt⟩}`.
+//!
+//! Following the recurrence-detection technique the paper adopts from
+//! van der Aa et al. \[9\], the default [`Segmenter::RepeatSplit`] starts a
+//! new instance whenever an event class re-occurs that is already part of
+//! the current instance. [`Segmenter::NoSplit`] keeps the whole projection
+//! as a single instance, which is what a user wants when imposing
+//! cardinality constraints such as "at least 2 events of class X per
+//! instance".
+
+use crate::classes::ClassSet;
+use crate::trace::Trace;
+
+/// Strategy for splitting a projected trace into group instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Segmenter {
+    /// Start a new instance when a class already present in the current
+    /// instance re-occurs (recurrence detection à la \[9\]); the default.
+    #[default]
+    RepeatSplit,
+    /// The entire projection is one instance.
+    NoSplit,
+}
+
+/// One instance `ξ` of a group in a trace: the positions (event indexes in
+/// the trace) of its events, in ascending order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupInstance {
+    positions: Vec<u32>,
+    distinct_classes: u16,
+}
+
+impl GroupInstance {
+    /// Event indexes of this instance within its trace, ascending.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Number of events, `|ξ|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Instances are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of the first event.
+    #[inline]
+    pub fn first(&self) -> u32 {
+        self.positions[0]
+    }
+
+    /// Position of the last event.
+    #[inline]
+    pub fn last(&self) -> u32 {
+        *self.positions.last().expect("instances are non-empty")
+    }
+
+    /// `interrupts(ξ)` (Eq. 1): the number of events from *other* instances
+    /// interspersed between the first and last event of this instance.
+    #[inline]
+    pub fn interrupts(&self) -> usize {
+        (self.last() - self.first() + 1) as usize - self.len()
+    }
+
+    /// `missing(ξ, g)` (Eq. 1): how many classes of `g` do not occur in ξ.
+    #[inline]
+    pub fn missing(&self, group_size: usize) -> usize {
+        group_size - self.distinct_classes as usize
+    }
+
+    /// Number of distinct event classes occurring in ξ.
+    pub fn distinct_classes(&self) -> usize {
+        self.distinct_classes as usize
+    }
+}
+
+/// Computes `inst(σ, group)`: all instances of `group` in `trace`.
+///
+/// Returns an empty vector when no event of the trace belongs to the group
+/// (the constraint semantics of §IV-A treat such traces as vacuous).
+pub fn instances(trace: &Trace, group: &ClassSet, segmenter: Segmenter) -> Vec<GroupInstance> {
+    let mut out = Vec::new();
+    let mut current_positions: Vec<u32> = Vec::new();
+    let mut current_classes = ClassSet::new();
+    for (idx, event) in trace.events().iter().enumerate() {
+        let class = event.class();
+        if !group.contains(class) {
+            continue;
+        }
+        if segmenter == Segmenter::RepeatSplit && current_classes.contains(class) {
+            out.push(GroupInstance {
+                positions: std::mem::take(&mut current_positions),
+                distinct_classes: current_classes.len() as u16,
+            });
+            current_classes = ClassSet::new();
+        }
+        current_positions.push(idx as u32);
+        current_classes.insert(class);
+    }
+    if !current_positions.is_empty() {
+        let distinct = current_classes.len() as u16;
+        out.push(GroupInstance { positions: current_positions, distinct_classes: distinct });
+    }
+    out
+}
+
+/// Computes instances of `group` across all traces of a log, yielding
+/// `(trace index, instance)` pairs. This is `inst(L, g)` of Eq. 1.
+pub fn log_instances<'a>(
+    log: &'a crate::EventLog,
+    group: &'a ClassSet,
+    segmenter: Segmenter,
+) -> impl Iterator<Item = (usize, GroupInstance)> + 'a {
+    log.traces()
+        .iter()
+        .enumerate()
+        .flat_map(move |(i, t)| instances(t, group, segmenter).into_iter().map(move |inst| (i, inst)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogBuilder;
+    use crate::EventLog;
+
+    fn log_from(traces: &[&[&str]]) -> EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("c{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    fn group(log: &EventLog, names: &[&str]) -> ClassSet {
+        names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn simple_projection_is_one_instance() {
+        let log = log_from(&[
+            &["rcp", "ckc", "acc", "prio", "inf", "arv"],
+            &["rcp", "ckt", "rej"], // registers ckt
+        ]);
+        let g = group(&log, &["rcp", "ckc", "ckt"]);
+        let inst = instances(&log.traces()[0], &g, Segmenter::RepeatSplit);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].positions(), &[0, 1]);
+        assert_eq!(inst[0].interrupts(), 0);
+        assert_eq!(inst[0].missing(g.len()), 1); // ckt missing
+    }
+
+    #[test]
+    fn paper_sigma4_splits_on_recurrence() {
+        // σ4 = ⟨rcp, ckc, rej, rcp, ckt, acc, prio, arv, inf⟩
+        let log = log_from(&[&["rcp", "ckc", "rej", "rcp", "ckt", "acc", "prio", "arv", "inf"]]);
+        let g = group(&log, &["rcp", "ckc", "ckt"]);
+        let inst = instances(&log.traces()[0], &g, Segmenter::RepeatSplit);
+        assert_eq!(inst.len(), 2, "paper: inst(σ4, g_clrk1) has two instances");
+        assert_eq!(inst[0].positions(), &[0, 1]); // ⟨rcp, ckc⟩
+        assert_eq!(inst[1].positions(), &[3, 4]); // ⟨rcp, ckt⟩
+        assert_eq!(inst[0].missing(3), 1);
+        assert_eq!(inst[1].missing(3), 1);
+    }
+
+    #[test]
+    fn no_split_keeps_one_instance() {
+        let log = log_from(&[&["a", "b", "a", "b"]]);
+        let g = group(&log, &["a", "b"]);
+        let inst = instances(&log.traces()[0], &g, Segmenter::NoSplit);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].len(), 4);
+        assert_eq!(inst[0].distinct_classes(), 2);
+        assert_eq!(inst[0].missing(2), 0);
+    }
+
+    #[test]
+    fn interrupts_counts_interspersed_events() {
+        // Paper example: in ⟨a,b,c,d,e⟩ grouping {a, e} has 3 interspersed events.
+        let log = log_from(&[&["a", "b", "c", "d", "e"]]);
+        let g = group(&log, &["a", "e"]);
+        let inst = instances(&log.traces()[0], &g, Segmenter::RepeatSplit);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].interrupts(), 3);
+    }
+
+    #[test]
+    fn absent_group_yields_no_instances() {
+        let log = log_from(&[&["a", "b"], &["c"]]);
+        let g = group(&log, &["c"]);
+        assert!(instances(&log.traces()[0], &g, Segmenter::RepeatSplit).is_empty());
+        let all: Vec<_> = log_instances(&log, &g, Segmenter::RepeatSplit).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, 1);
+    }
+
+    #[test]
+    fn singleton_class_repeats_become_separate_instances() {
+        let log = log_from(&[&["x", "y", "x", "x"]]);
+        let g = group(&log, &["x"]);
+        let inst = instances(&log.traces()[0], &g, Segmenter::RepeatSplit);
+        assert_eq!(inst.len(), 3);
+        for i in &inst {
+            assert_eq!(i.len(), 1);
+            assert_eq!(i.interrupts(), 0);
+        }
+    }
+
+    #[test]
+    fn log_instances_spans_traces() {
+        let log = log_from(&[&["a", "b"], &["b", "a"], &["c"]]);
+        let g = group(&log, &["a", "b"]);
+        let all: Vec<_> = log_instances(&log, &g, Segmenter::RepeatSplit).collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, 0);
+        assert_eq!(all[1].0, 1);
+    }
+}

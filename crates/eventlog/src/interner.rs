@@ -1,0 +1,135 @@
+//! String interning.
+//!
+//! Every string that appears in a log — event-class names, attribute keys,
+//! categorical attribute values — is interned once into a per-log
+//! [`Interner`] and afterwards handled as a copyable [`Symbol`]. Constraint
+//! evaluation then compares and hashes `u32`s instead of strings, which is
+//! what keeps the per-instance checks of §IV-A cheap.
+
+use std::collections::HashMap;
+
+/// Handle to an interned string. Only meaningful together with the
+/// [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of the symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner.
+///
+/// Strings are stored once; [`Interner::intern`] is idempotent and
+/// [`Interner::resolve`] is an O(1) slice lookup.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` does not belong to this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("clerk");
+        let b = i.intern("manager");
+        let a2 = i.intern("clerk");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let words = ["rcp", "ckc", "ckt", "acc", "rej", "prio", "inf", "arv"];
+        let syms: Vec<_> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *w);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().map(|(s, w)| (s.0, w.to_string())).collect();
+        assert_eq!(collected, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn empty_and_unicode() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        let e = i.intern("");
+        let u = i.intern("prüfen ✓");
+        assert_eq!(i.resolve(e), "");
+        assert_eq!(i.resolve(u), "prüfen ✓");
+        assert!(!i.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Event-log substrate for the GECCO log-abstraction approach (ICDE 2022).
+//!
+//! This crate provides everything the paper's §III-A event model requires:
+//!
+//! * an [`EventLog`] of [`Trace`]s of [`Event`]s, each event carrying an
+//!   interned event class and a set of typed data attributes,
+//! * a per-log [`Interner`] so classes, attribute keys and string values are
+//!   compared as `u32`s on the hot paths,
+//! * the [`ClassSet`] bitset used to represent groups of event classes,
+//! * the directly-follows graph ([`Dfg`]) over event classes,
+//! * trace [`variants`] and summary [`stats`],
+//! * a hand-rolled [XES](crate::xes) reader/writer (own minimal XML pull
+//!   parser — no external XML dependency) and a [CSV](crate::csv)
+//!   importer/exporter.
+//!
+//! The crate is dependency-free and forms the bottom layer of the workspace.
+
+pub mod classes;
+pub mod csv;
+pub mod dfg;
+pub mod error;
+pub mod event;
+pub mod instances;
+pub mod interner;
+pub mod log;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod value;
+pub mod variants;
+pub mod xes;
+
+pub use classes::{ClassId, ClassInfo, ClassRegistry, ClassSet, MAX_CLASSES};
+pub use dfg::Dfg;
+pub use error::{Error, Result};
+pub use event::Event;
+pub use instances::{instances, log_instances, GroupInstance, Segmenter};
+pub use interner::{Interner, Symbol};
+pub use log::{EventLog, LogBuilder, TraceBuilder};
+pub use stats::LogStats;
+pub use trace::Trace;
+pub use value::AttributeValue;
+pub use variants::Variants;

@@ -1,0 +1,83 @@
+//! Summary statistics of a log, as reported in the paper's Table III.
+
+use crate::log::EventLog;
+use crate::variants::Variants;
+
+/// Key characteristics of a log: the columns of Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogStats {
+    /// Number of distinct event classes, `|C_L|`.
+    pub num_classes: usize,
+    /// Number of traces.
+    pub num_traces: usize,
+    /// Number of distinct trace variants.
+    pub num_variants: usize,
+    /// Total number of events, `|E|`.
+    pub num_events: usize,
+    /// Average trace length, `Avg |σ|`.
+    pub avg_trace_len: f64,
+    /// Number of DFG edges (complexity indicator used in §VI-D).
+    pub num_dfg_edges: usize,
+}
+
+impl LogStats {
+    /// Computes the statistics of `log`.
+    pub fn from_log(log: &EventLog) -> LogStats {
+        let num_traces = log.traces().len();
+        let num_events = log.num_events();
+        let dfg = crate::dfg::Dfg::from_log(log);
+        LogStats {
+            num_classes: log.num_classes(),
+            num_traces,
+            num_variants: Variants::from_log(log).len(),
+            num_events,
+            avg_trace_len: if num_traces == 0 { 0.0 } else { num_events as f64 / num_traces as f64 },
+            num_dfg_edges: dfg.num_edges(),
+        }
+    }
+
+    /// Renders one Table-III-style row: `|C_L|  Traces  Variants  |E|  Avg|σ|`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:>5} {:>9} {:>9} {:>10} {:>8.2}",
+            self.num_classes, self.num_traces, self.num_variants, self.num_events, self.avg_trace_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogBuilder;
+
+    #[test]
+    fn stats_of_small_log() {
+        let mut b = LogBuilder::new();
+        b.trace("c1").event("a").unwrap().event("b").unwrap().done();
+        b.trace("c2").event("a").unwrap().event("b").unwrap().done();
+        b.trace("c3").event("a").unwrap().done();
+        let s = LogStats::from_log(&b.build());
+        assert_eq!(s.num_classes, 2);
+        assert_eq!(s.num_traces, 3);
+        assert_eq!(s.num_variants, 2);
+        assert_eq!(s.num_events, 5);
+        assert!((s.avg_trace_len - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.num_dfg_edges, 1);
+    }
+
+    #[test]
+    fn empty_log_stats() {
+        let s = LogStats::from_log(&LogBuilder::new().build());
+        assert_eq!(s.num_traces, 0);
+        assert_eq!(s.avg_trace_len, 0.0);
+    }
+
+    #[test]
+    fn table_row_is_aligned() {
+        let mut b = LogBuilder::new();
+        b.trace("c").event("a").unwrap().done();
+        let row = LogStats::from_log(&b.build()).table_row();
+        assert!(row.contains('1'));
+        assert!(row.split_whitespace().count() == 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Traces: single process executions.
+
+use crate::classes::{ClassId, ClassSet};
+use crate::event::Event;
+use crate::interner::Symbol;
+use crate::value::AttributeValue;
+
+/// One trace `σ ∈ E*` (§III-A): the ordered sequence of events of a single
+/// case, plus case-level attributes (e.g. the case id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    attributes: Vec<(Symbol, AttributeValue)>,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates a trace from case attributes and events.
+    pub fn new(attributes: Vec<(Symbol, AttributeValue)>, events: Vec<Event>) -> Self {
+        Trace { attributes, events }
+    }
+
+    /// The events of the trace, in order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events, `|σ|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Case-level attribute lookup.
+    pub fn attribute(&self, key: Symbol) -> Option<&AttributeValue> {
+        self.attributes.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// All case-level attributes.
+    pub fn attributes(&self) -> &[(Symbol, AttributeValue)] {
+        &self.attributes
+    }
+
+    /// The sequence of event classes (the trace's *variant* signature).
+    pub fn class_sequence(&self) -> Vec<ClassId> {
+        self.events.iter().map(Event::class).collect()
+    }
+
+    /// The set of classes occurring in this trace. Used for the group
+    /// co-occurrence pruning of Algorithm 1 (line 13).
+    pub fn class_set(&self) -> ClassSet {
+        self.events.iter().map(Event::class).collect()
+    }
+
+    /// Whether every class of `group` occurs at least once in the trace
+    /// (`occurs(g, σ)`).
+    pub fn covers(&self, group: &ClassSet) -> bool {
+        group.is_subset(&self.class_set())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(c: u16) -> Event {
+        Event::new(ClassId(c), vec![])
+    }
+
+    #[test]
+    fn class_sequence_and_set() {
+        let t = Trace::new(vec![], vec![ev(0), ev(1), ev(0)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.class_sequence(), vec![ClassId(0), ClassId(1), ClassId(0)]);
+        assert_eq!(t.class_set().len(), 2);
+    }
+
+    #[test]
+    fn covers_requires_all_members() {
+        let t = Trace::new(vec![], vec![ev(0), ev(1)]);
+        let mut g = ClassSet::singleton(ClassId(0));
+        assert!(t.covers(&g));
+        g.insert(ClassId(2));
+        assert!(!t.covers(&g));
+        assert!(t.covers(&ClassSet::EMPTY));
+    }
+
+    #[test]
+    fn case_attributes() {
+        let t = Trace::new(vec![(Symbol(0), AttributeValue::Int(9))], vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.attribute(Symbol(0)), Some(&AttributeValue::Int(9)));
+        assert_eq!(t.attribute(Symbol(1)), None);
+    }
+}

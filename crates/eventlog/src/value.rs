@@ -1,0 +1,156 @@
+//! Typed attribute values.
+//!
+//! Events carry a context of data attributes (§III-A: timestamps, executing
+//! role, cost, …). The variants mirror the XES attribute types `string`,
+//! `int`, `float`, `boolean` and `date`.
+
+use crate::interner::{Interner, Symbol};
+use std::fmt;
+
+/// A typed attribute value attached to an event, trace, log or event class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeValue {
+    /// Categorical value, interned in the owning log's [`Interner`].
+    Str(Symbol),
+    /// Integer value (XES `int`).
+    Int(i64),
+    /// Floating-point value (XES `float`).
+    Float(f64),
+    /// Boolean value (XES `boolean`).
+    Bool(bool),
+    /// Timestamp in milliseconds since the Unix epoch (XES `date`).
+    Timestamp(i64),
+}
+
+impl AttributeValue {
+    /// Numeric view used by aggregate constraints (`sum`, `avg`, …).
+    ///
+    /// Strings and booleans have no numeric interpretation; timestamps are
+    /// exposed as their epoch-millisecond value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            AttributeValue::Int(i) => Some(i as f64),
+            AttributeValue::Float(f) => Some(f),
+            AttributeValue::Timestamp(t) => Some(t as f64),
+            AttributeValue::Str(_) | AttributeValue::Bool(_) => None,
+        }
+    }
+
+    /// The interned string if this is a categorical value.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match *self {
+            AttributeValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The epoch-millisecond timestamp if this is a `date` value.
+    pub fn as_timestamp(&self) -> Option<i64> {
+        match *self {
+            AttributeValue::Timestamp(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A hashable discriminant used for `distinct(...)` counting: two values
+    /// are "the same" iff their keys are equal. Floats are compared by bit
+    /// pattern, which is adequate for counting categorical floats.
+    pub fn distinct_key(&self) -> DistinctKey {
+        match *self {
+            AttributeValue::Str(s) => DistinctKey::Str(s),
+            AttributeValue::Int(i) => DistinctKey::Int(i),
+            AttributeValue::Float(f) => DistinctKey::Float(f.to_bits()),
+            AttributeValue::Bool(b) => DistinctKey::Bool(b),
+            AttributeValue::Timestamp(t) => DistinctKey::Timestamp(t),
+        }
+    }
+
+    /// Human-readable rendering; `interner` resolves interned strings.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        DisplayValue { value: self, interner }
+    }
+
+    /// The XES tag name for this value's type.
+    pub fn xes_tag(&self) -> &'static str {
+        match self {
+            AttributeValue::Str(_) => "string",
+            AttributeValue::Int(_) => "int",
+            AttributeValue::Float(_) => "float",
+            AttributeValue::Bool(_) => "boolean",
+            AttributeValue::Timestamp(_) => "date",
+        }
+    }
+}
+
+/// Hashable equality key for [`AttributeValue`], used by distinct-count
+/// aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistinctKey {
+    Str(Symbol),
+    Int(i64),
+    Float(u64),
+    Bool(bool),
+    Timestamp(i64),
+}
+
+struct DisplayValue<'a> {
+    value: &'a AttributeValue,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self.value {
+            AttributeValue::Str(s) => f.write_str(self.interner.resolve(s)),
+            AttributeValue::Int(i) => write!(f, "{i}"),
+            AttributeValue::Float(x) => write!(f, "{x}"),
+            AttributeValue::Bool(b) => write!(f, "{b}"),
+            AttributeValue::Timestamp(t) => write!(f, "{}", crate::time::format_iso8601(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(AttributeValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(AttributeValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(AttributeValue::Timestamp(1000).as_f64(), Some(1000.0));
+        assert_eq!(AttributeValue::Bool(true).as_f64(), None);
+        assert_eq!(AttributeValue::Str(Symbol(0)).as_f64(), None);
+    }
+
+    #[test]
+    fn distinct_keys_distinguish_types() {
+        let a = AttributeValue::Int(1).distinct_key();
+        let b = AttributeValue::Timestamp(1).distinct_key();
+        assert_ne!(a, b);
+        assert_eq!(
+            AttributeValue::Float(0.5).distinct_key(),
+            AttributeValue::Float(0.5).distinct_key()
+        );
+    }
+
+    #[test]
+    fn display_resolves_symbols() {
+        let mut i = Interner::new();
+        let s = i.intern("clerk");
+        assert_eq!(AttributeValue::Str(s).display(&i).to_string(), "clerk");
+        assert_eq!(AttributeValue::Bool(false).display(&i).to_string(), "false");
+        assert_eq!(AttributeValue::Int(-7).display(&i).to_string(), "-7");
+    }
+
+    #[test]
+    fn xes_tags() {
+        let mut i = Interner::new();
+        let s = i.intern("x");
+        assert_eq!(AttributeValue::Str(s).xes_tag(), "string");
+        assert_eq!(AttributeValue::Int(0).xes_tag(), "int");
+        assert_eq!(AttributeValue::Float(0.0).xes_tag(), "float");
+        assert_eq!(AttributeValue::Bool(true).xes_tag(), "boolean");
+        assert_eq!(AttributeValue::Timestamp(0).xes_tag(), "date");
+    }
+}

@@ -1,0 +1,88 @@
+//! Trace variants: distinct class sequences and their frequencies.
+
+use crate::classes::ClassId;
+use crate::log::EventLog;
+use std::collections::HashMap;
+
+/// The variants of a log: each distinct event-class sequence together with
+/// the indices of traces exhibiting it. Sorted by descending frequency.
+#[derive(Debug, Clone)]
+pub struct Variants {
+    variants: Vec<(Vec<ClassId>, Vec<usize>)>,
+}
+
+impl Variants {
+    /// Computes the variants of `log`.
+    pub fn from_log(log: &EventLog) -> Variants {
+        let mut map: HashMap<Vec<ClassId>, Vec<usize>> = HashMap::new();
+        for (i, trace) in log.traces().iter().enumerate() {
+            map.entry(trace.class_sequence()).or_default().push(i);
+        }
+        let mut variants: Vec<_> = map.into_iter().collect();
+        variants.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
+        Variants { variants }
+    }
+
+    /// Number of distinct variants.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Whether the log had no traces.
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Iterates `(class sequence, trace indices)` by descending frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (&[ClassId], &[usize])> {
+        self.variants.iter().map(|(seq, idx)| (seq.as_slice(), idx.as_slice()))
+    }
+
+    /// Frequency of the `i`-th most frequent variant.
+    pub fn frequency(&self, i: usize) -> usize {
+        self.variants[i].1.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogBuilder;
+
+    #[test]
+    fn variants_group_identical_sequences() {
+        let mut b = LogBuilder::new();
+        for (i, seq) in [["a", "b"], ["a", "b"], ["a", "c"]].iter().enumerate() {
+            let mut tb = b.trace(&format!("c{i}"));
+            for cls in seq {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        let log = b.build();
+        let v = Variants::from_log(&log);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.frequency(0), 2);
+        assert_eq!(v.frequency(1), 1);
+        let (seq, idx) = v.iter().next().unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(idx, &[0, 1]);
+    }
+
+    #[test]
+    fn empty_log_has_no_variants() {
+        let log = LogBuilder::new().build();
+        let v = Variants::from_log(&log);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn single_trace_single_variant() {
+        let mut b = LogBuilder::new();
+        b.trace("c").event("x").unwrap().done();
+        let v = Variants::from_log(&b.build());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.frequency(0), 1);
+    }
+}

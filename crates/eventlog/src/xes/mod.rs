@@ -1,0 +1,15 @@
+//! Hand-rolled XES serialization.
+//!
+//! [XES](http://xes-standard.org) (eXtensible Event Stream) is the IEEE
+//! standard interchange format for event logs and the format of all datasets
+//! in the paper's evaluation. This module implements a reader and writer for
+//! the XES subset that event-log tooling actually exchanges: logs, traces,
+//! events and typed attributes (`string`, `date`, `int`, `float`,
+//! `boolean`), on top of the in-crate [`xml`] pull parser.
+
+pub mod reader;
+pub mod writer;
+pub mod xml;
+
+pub use reader::{parse_file, parse_str};
+pub use writer::{write_file, write_string};

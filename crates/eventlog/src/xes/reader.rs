@@ -1,0 +1,415 @@
+//! XES deserialization into an [`EventLog`].
+
+use crate::error::{Error, Result};
+use crate::log::{EventLog, LogBuilder};
+use crate::time::parse_iso8601;
+use crate::value::AttributeValue;
+use crate::xes::xml::{XmlEvent, XmlParser};
+
+/// Log-level attribute key under which class-level attributes are persisted
+/// (nested-attribute convention, see [`crate::xes::writer`]).
+pub const CLASS_ATTR_KEY: &str = "gecco:classattr";
+
+/// Parses an XES document from a string.
+pub fn parse_str(input: &str) -> Result<EventLog> {
+    Reader::new(input).parse()
+}
+
+/// Parses an XES file from disk.
+pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<EventLog> {
+    let contents = std::fs::read_to_string(path)?;
+    parse_str(&contents)
+}
+
+/// A typed attribute parsed from one XES attribute element.
+struct RawAttr {
+    key: String,
+    value: RawValue,
+}
+
+enum RawValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Timestamp(i64),
+}
+
+struct Reader<'a> {
+    parser: XmlParser<'a>,
+    builder: LogBuilder,
+}
+
+impl<'a> Reader<'a> {
+    fn new(input: &'a str) -> Self {
+        Reader { parser: XmlParser::new(input), builder: LogBuilder::new() }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Xes { line: self.parser.line(), message: message.into() }
+    }
+
+    fn parse(mut self) -> Result<EventLog> {
+        // Find the root <log>.
+        loop {
+            match self.parser.next_event()? {
+                Some(XmlEvent::StartElement { name, self_closing, .. }) if name == "log" => {
+                    if self_closing {
+                        return Ok(self.builder.build());
+                    }
+                    break;
+                }
+                Some(XmlEvent::StartElement { self_closing, .. }) => {
+                    if !self_closing {
+                        self.skip_subtree()?;
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err("no <log> element found")),
+            }
+        }
+        // Log scope.
+        loop {
+            match self.parser.next_event()? {
+                Some(XmlEvent::StartElement { name, attributes, self_closing }) => {
+                    match name.as_str() {
+                        "trace" => {
+                            if !self_closing {
+                                self.parse_trace()?;
+                            } else {
+                                self.builder.trace_raw().done();
+                            }
+                        }
+                        "extension" | "global" | "classifier" => {
+                            if !self_closing {
+                                self.skip_subtree()?;
+                            }
+                        }
+                        _ => {
+                            if let Some(attr) = self.attr_from(&name, &attributes)? {
+                                if attr.key == CLASS_ATTR_KEY {
+                                    self.parse_class_attrs(&attr, self_closing)?;
+                                } else {
+                                    if !self_closing {
+                                        self.skip_subtree()?;
+                                    }
+                                    let value = self.intern_value(attr.value);
+                                    self.builder.log_attr(&attr.key, value);
+                                }
+                            } else if !self_closing {
+                                self.skip_subtree()?;
+                            }
+                        }
+                    }
+                }
+                Some(XmlEvent::EndElement { name }) if name == "log" => break,
+                Some(XmlEvent::EndElement { .. }) | Some(XmlEvent::Text(_)) => {}
+                None => return Err(self.err("unexpected end of input inside <log>")),
+            }
+        }
+        Ok(self.builder.build())
+    }
+
+    /// Parses one `<trace>…</trace>` (start tag already consumed).
+    fn parse_trace(&mut self) -> Result<()> {
+        struct PendingEvent {
+            class: String,
+            attrs: Vec<RawAttr>,
+        }
+        let mut trace_attrs: Vec<RawAttr> = Vec::new();
+        let mut events: Vec<PendingEvent> = Vec::new();
+        loop {
+            match self.parser.next_event()? {
+                Some(XmlEvent::StartElement { name, attributes, self_closing }) => {
+                    if name == "event" {
+                        let attrs = if self_closing { Vec::new() } else { self.parse_event_attrs()? };
+                        let class = attrs
+                            .iter()
+                            .find(|a| a.key == "concept:name")
+                            .and_then(|a| match &a.value {
+                                RawValue::Str(s) => Some(s.clone()),
+                                _ => None,
+                            })
+                            .ok_or_else(|| self.err("event without string `concept:name`"))?;
+                        events.push(PendingEvent { class, attrs });
+                    } else if let Some(attr) = self.attr_from(&name, &attributes)? {
+                        if !self_closing {
+                            self.skip_subtree()?;
+                        }
+                        trace_attrs.push(attr);
+                    } else if !self_closing {
+                        self.skip_subtree()?;
+                    }
+                }
+                Some(XmlEvent::EndElement { name }) if name == "trace" => break,
+                Some(_) => {}
+                None => return Err(self.err("unexpected end of input inside <trace>")),
+            }
+        }
+        let mut tb = self.builder.trace_raw();
+        for a in trace_attrs {
+            let v = match a.value {
+                RawValue::Str(s) => AttributeValue::Str(tb.intern(&s)),
+                RawValue::Int(i) => AttributeValue::Int(i),
+                RawValue::Float(f) => AttributeValue::Float(f),
+                RawValue::Bool(b) => AttributeValue::Bool(b),
+                RawValue::Timestamp(t) => AttributeValue::Timestamp(t),
+            };
+            tb = tb.attr(&a.key, v);
+        }
+        for ev in events {
+            tb = tb.event_with(&ev.class, |e| {
+                for a in &ev.attrs {
+                    match &a.value {
+                        RawValue::Str(s) => e.str(&a.key, s),
+                        RawValue::Int(i) => e.int(&a.key, *i),
+                        RawValue::Float(f) => e.float(&a.key, *f),
+                        RawValue::Bool(b) => e.bool(&a.key, *b),
+                        RawValue::Timestamp(t) => e.timestamp(&a.key, *t),
+                    };
+                }
+            })?;
+        }
+        tb.done();
+        Ok(())
+    }
+
+    /// Parses the attribute children of one `<event>` element.
+    fn parse_event_attrs(&mut self) -> Result<Vec<RawAttr>> {
+        let mut out = Vec::new();
+        loop {
+            match self.parser.next_event()? {
+                Some(XmlEvent::StartElement { name, attributes, self_closing }) => {
+                    if let Some(attr) = self.attr_from(&name, &attributes)? {
+                        out.push(attr);
+                    }
+                    if !self_closing {
+                        self.skip_subtree()?;
+                    }
+                }
+                Some(XmlEvent::EndElement { name }) if name == "event" => return Ok(out),
+                Some(_) => {}
+                None => return Err(self.err("unexpected end of input inside <event>")),
+            }
+        }
+    }
+
+    /// Restores class-level attributes from the nested-attribute convention:
+    /// `<string key="gecco:classattr" value="CLASS"> <k=v children/> </string>`.
+    fn parse_class_attrs(&mut self, outer: &RawAttr, self_closing: bool) -> Result<()> {
+        let class = match &outer.value {
+            RawValue::Str(s) => s.clone(),
+            _ => return Err(self.err("gecco:classattr value must be the class name")),
+        };
+        if self_closing {
+            return Ok(());
+        }
+        loop {
+            match self.parser.next_event()? {
+                Some(XmlEvent::StartElement { name, attributes, self_closing }) => {
+                    if let Some(attr) = self.attr_from(&name, &attributes)? {
+                        match &attr.value {
+                            RawValue::Str(s) => {
+                                self.builder.class_attr_str(&class, &attr.key, s)?;
+                            }
+                            _ => return Err(self.err("class-level attributes must be strings")),
+                        }
+                    }
+                    if !self_closing {
+                        self.skip_subtree()?;
+                    }
+                }
+                Some(XmlEvent::EndElement { .. }) => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err("unexpected end of input in class attributes")),
+            }
+        }
+    }
+
+    /// Interprets a start element as a typed XES attribute, if it is one.
+    fn attr_from(&self, tag: &str, attributes: &[(String, String)]) -> Result<Option<RawAttr>> {
+        let typed = matches!(tag, "string" | "date" | "int" | "float" | "boolean" | "id");
+        if !typed {
+            return Ok(None);
+        }
+        let key = attributes
+            .iter()
+            .find(|(k, _)| k == "key")
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| self.err(format!("<{tag}> without `key`")))?;
+        let raw = attributes
+            .iter()
+            .find(|(k, _)| k == "value")
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| self.err(format!("<{tag} key=\"{key}\"> without `value`")))?;
+        let value = match tag {
+            "string" | "id" => RawValue::Str(raw),
+            "date" => RawValue::Timestamp(parse_iso8601(&raw)?),
+            "int" => RawValue::Int(
+                raw.parse().map_err(|_| self.err(format!("bad int value {raw:?} for key {key:?}")))?,
+            ),
+            "float" => RawValue::Float(
+                raw.parse()
+                    .map_err(|_| self.err(format!("bad float value {raw:?} for key {key:?}")))?,
+            ),
+            "boolean" => match raw.as_str() {
+                "true" | "True" | "TRUE" | "1" => RawValue::Bool(true),
+                "false" | "False" | "FALSE" | "0" => RawValue::Bool(false),
+                _ => return Err(self.err(format!("bad boolean value {raw:?} for key {key:?}"))),
+            },
+            _ => unreachable!(),
+        };
+        Ok(Some(RawAttr { key, value }))
+    }
+
+    /// Consumes events until the element opened last is closed.
+    fn skip_subtree(&mut self) -> Result<()> {
+        let mut depth = 1usize;
+        loop {
+            match self.parser.next_event()? {
+                Some(XmlEvent::StartElement { self_closing, .. }) => {
+                    if !self_closing {
+                        depth += 1;
+                    } else {
+                        // Self-closing emits a synthetic EndElement next.
+                        depth += 1;
+                    }
+                }
+                Some(XmlEvent::EndElement { .. }) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(XmlEvent::Text(_)) => {}
+                None => return Err(self.err("unexpected end of input while skipping element")),
+            }
+        }
+    }
+
+    fn intern_value(&mut self, raw: RawValue) -> AttributeValue {
+        match raw {
+            RawValue::Str(s) => AttributeValue::Str(self.builder.intern(&s)),
+            RawValue::Int(i) => AttributeValue::Int(i),
+            RawValue::Float(f) => AttributeValue::Float(f),
+            RawValue::Bool(b) => AttributeValue::Bool(b),
+            RawValue::Timestamp(t) => AttributeValue::Timestamp(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0" xes.features="">
+  <extension name="Concept" prefix="concept" uri="http://www.xes-standard.org/concept.xesext"/>
+  <global scope="event">
+    <string key="concept:name" value="__INVALID__"/>
+  </global>
+  <classifier name="Activity" keys="concept:name"/>
+  <string key="concept:name" value="running-example"/>
+  <trace>
+    <string key="concept:name" value="case-1"/>
+    <event>
+      <string key="concept:name" value="rcp"/>
+      <string key="org:role" value="clerk"/>
+      <date key="time:timestamp" value="2021-03-01T08:00:00.000+00:00"/>
+      <int key="cost" value="12"/>
+      <float key="effort" value="0.5"/>
+      <boolean key="rework" value="false"/>
+    </event>
+    <event>
+      <string key="concept:name" value="acc"/>
+      <string key="org:role" value="manager"/>
+      <date key="time:timestamp" value="2021-03-01T09:30:00.000+00:00"/>
+    </event>
+  </trace>
+  <trace>
+    <string key="concept:name" value="case-2"/>
+    <event><string key="concept:name" value="rcp"/></event>
+  </trace>
+</log>"#;
+
+    #[test]
+    fn parses_sample_log() {
+        let log = parse_str(SAMPLE).unwrap();
+        assert_eq!(log.traces().len(), 2);
+        assert_eq!(log.num_classes(), 2);
+        assert_eq!(log.num_events(), 3);
+        let t0 = &log.traces()[0];
+        let case = t0.attribute(log.std_keys().concept_name).unwrap();
+        assert_eq!(log.resolve(case.as_symbol().unwrap()), "case-1");
+        let e0 = &t0.events()[0];
+        assert_eq!(log.class_name(e0.class()), "rcp");
+        let role = e0.attribute(log.std_keys().role).unwrap().as_symbol().unwrap();
+        assert_eq!(log.resolve(role), "clerk");
+        assert_eq!(
+            e0.attribute(log.key("cost").unwrap()),
+            Some(&AttributeValue::Int(12))
+        );
+        assert_eq!(
+            e0.attribute(log.key("effort").unwrap()),
+            Some(&AttributeValue::Float(0.5))
+        );
+        assert_eq!(
+            e0.attribute(log.key("rework").unwrap()),
+            Some(&AttributeValue::Bool(false))
+        );
+        let ts = e0.timestamp(log.std_keys().timestamp).unwrap();
+        assert_eq!(crate::time::format_iso8601(ts), "2021-03-01T08:00:00.000Z");
+    }
+
+    #[test]
+    fn log_level_attributes_survive() {
+        let log = parse_str(SAMPLE).unwrap();
+        let key = log.key("concept:name").unwrap();
+        let (_, v) = log.attributes().iter().find(|(k, _)| *k == key).unwrap();
+        assert_eq!(log.resolve(v.as_symbol().unwrap()), "running-example");
+    }
+
+    #[test]
+    fn event_without_class_is_an_error() {
+        let doc = r#"<log><trace><event><int key="cost" value="1"/></event></trace></log>"#;
+        let err = parse_str(doc).unwrap_err();
+        assert!(err.to_string().contains("concept:name"), "{err}");
+    }
+
+    #[test]
+    fn class_attr_convention_round_trip() {
+        let doc = r#"<log>
+          <string key="gecco:classattr" value="A_Submit">
+            <string key="system" value="A"/>
+          </string>
+          <trace><event><string key="concept:name" value="A_Submit"/></event></trace>
+        </log>"#;
+        let log = parse_str(doc).unwrap();
+        let id = log.class_by_name("A_Submit").unwrap();
+        let key = log.key("system").unwrap();
+        let v = log.classes().info(id).attribute(key).unwrap();
+        assert_eq!(log.resolve(v.as_symbol().unwrap()), "A");
+    }
+
+    #[test]
+    fn bad_typed_values_are_errors() {
+        for (tag, val) in [("int", "xx"), ("float", "--"), ("boolean", "maybe"), ("date", "nope")] {
+            let doc = format!(
+                r#"<log><trace><event><string key="concept:name" value="a"/><{tag} key="k" value="{val}"/></event></trace></log>"#
+            );
+            assert!(parse_str(&doc).is_err(), "accepted bad {tag} value");
+        }
+    }
+
+    #[test]
+    fn missing_log_element_is_an_error() {
+        assert!(parse_str("<notalog/>").is_err());
+    }
+
+    #[test]
+    fn empty_and_self_closing_traces() {
+        let log = parse_str("<log><trace/><trace></trace></log>").unwrap();
+        assert_eq!(log.traces().len(), 2);
+        assert_eq!(log.num_events(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! XES serialization of an [`EventLog`].
+
+use crate::error::Result;
+use crate::interner::Symbol;
+use crate::log::EventLog;
+use crate::time::format_iso8601;
+use crate::value::AttributeValue;
+use crate::xes::reader::CLASS_ATTR_KEY;
+use crate::xes::xml::escape;
+use std::fmt::Write as _;
+
+/// Serializes `log` to an XES string.
+pub fn write_string(log: &EventLog) -> String {
+    let mut out = String::with_capacity(1024 + log.num_events() * 128);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<log xes.version=\"1.0\" xes.features=\"nested-attributes\">\n");
+    out.push_str(
+        "  <extension name=\"Concept\" prefix=\"concept\" uri=\"http://www.xes-standard.org/concept.xesext\"/>\n",
+    );
+    out.push_str(
+        "  <extension name=\"Time\" prefix=\"time\" uri=\"http://www.xes-standard.org/time.xesext\"/>\n",
+    );
+    out.push_str(
+        "  <extension name=\"Organizational\" prefix=\"org\" uri=\"http://www.xes-standard.org/org.xesext\"/>\n",
+    );
+    out.push_str("  <classifier name=\"Activity\" keys=\"concept:name\"/>\n");
+    for (k, v) in log.attributes() {
+        write_attr(&mut out, log, 1, *k, v);
+    }
+    // Persist class-level attributes via the nested-attribute convention.
+    for id in log.classes().ids() {
+        let info = log.classes().info(id);
+        if info.attributes.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  <string key=\"{}\" value=\"{}\">",
+            CLASS_ATTR_KEY,
+            escape(log.resolve(info.name))
+        );
+        for (k, v) in &info.attributes {
+            write_attr(&mut out, log, 2, *k, v);
+        }
+        out.push_str("  </string>\n");
+    }
+    for trace in log.traces() {
+        out.push_str("  <trace>\n");
+        for (k, v) in trace.attributes() {
+            write_attr(&mut out, log, 2, *k, v);
+        }
+        for event in trace.events() {
+            out.push_str("    <event>\n");
+            let class_name = log.class_name(event.class());
+            let has_concept_name =
+                event.attributes().iter().any(|(k, _)| *k == log.std_keys().concept_name);
+            if !has_concept_name {
+                let _ = writeln!(
+                    out,
+                    "      <string key=\"concept:name\" value=\"{}\"/>",
+                    escape(class_name)
+                );
+            }
+            for (k, v) in event.attributes() {
+                write_attr(&mut out, log, 3, *k, v);
+            }
+            out.push_str("    </event>\n");
+        }
+        out.push_str("  </trace>\n");
+    }
+    out.push_str("</log>\n");
+    out
+}
+
+/// Serializes `log` to a file.
+pub fn write_file(log: &EventLog, path: impl AsRef<std::path::Path>) -> Result<()> {
+    std::fs::write(path, write_string(log))?;
+    Ok(())
+}
+
+fn write_attr(out: &mut String, log: &EventLog, indent: usize, key: Symbol, value: &AttributeValue) {
+    let pad = "  ".repeat(indent);
+    let key = escape(log.resolve(key));
+    let _ = match value {
+        AttributeValue::Str(s) => writeln!(
+            out,
+            "{pad}<string key=\"{key}\" value=\"{}\"/>",
+            escape(log.resolve(*s))
+        ),
+        AttributeValue::Int(i) => writeln!(out, "{pad}<int key=\"{key}\" value=\"{i}\"/>"),
+        AttributeValue::Float(f) => writeln!(out, "{pad}<float key=\"{key}\" value=\"{f}\"/>"),
+        AttributeValue::Bool(b) => writeln!(out, "{pad}<boolean key=\"{key}\" value=\"{b}\"/>"),
+        AttributeValue::Timestamp(t) => {
+            writeln!(out, "{pad}<date key=\"{key}\" value=\"{}\"/>", format_iso8601(*t))
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogBuilder;
+    use crate::xes::reader::parse_str;
+
+    fn sample_log() -> EventLog {
+        let mut b = LogBuilder::new();
+        b.log_attr_str("concept:name", "sample <log> & co");
+        b.class_attr_str("a", "system", "S1").unwrap();
+        b.trace("case-1")
+            .event_with("a", |e| {
+                e.str("org:role", "clerk")
+                    .timestamp("time:timestamp", 1_485_938_415_250)
+                    .int("cost", -3)
+                    .float("effort", 1.25)
+                    .bool("rework", true);
+            })
+            .unwrap()
+            .event("b \"quoted\"")
+            .unwrap()
+            .done();
+        b.trace("case-2").event("a").unwrap().done();
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let log = sample_log();
+        let xes = write_string(&log);
+        let back = parse_str(&xes).unwrap();
+        assert_eq!(back.traces().len(), log.traces().len());
+        assert_eq!(back.num_classes(), log.num_classes());
+        assert_eq!(back.num_events(), log.num_events());
+        // Trace 0, event 0 attributes survive with types.
+        let e = &back.traces()[0].events()[0];
+        assert_eq!(back.class_name(e.class()), "a");
+        assert_eq!(e.attribute(back.key("cost").unwrap()), Some(&AttributeValue::Int(-3)));
+        assert_eq!(e.attribute(back.key("effort").unwrap()), Some(&AttributeValue::Float(1.25)));
+        assert_eq!(e.attribute(back.key("rework").unwrap()), Some(&AttributeValue::Bool(true)));
+        assert_eq!(e.timestamp(back.std_keys().timestamp), Some(1_485_938_415_250));
+        // Special characters in class names survive.
+        assert!(back.class_by_name("b \"quoted\"").is_some());
+    }
+
+    #[test]
+    fn round_trip_preserves_class_attributes() {
+        let log = sample_log();
+        let back = parse_str(&write_string(&log)).unwrap();
+        let a = back.class_by_name("a").unwrap();
+        let key = back.key("system").unwrap();
+        let v = back.classes().info(a).attribute(key).unwrap();
+        assert_eq!(back.resolve(v.as_symbol().unwrap()), "S1");
+    }
+
+    #[test]
+    fn round_trip_preserves_case_ids() {
+        let log = sample_log();
+        let back = parse_str(&write_string(&log)).unwrap();
+        let case = back.traces()[1].attribute(back.std_keys().concept_name).unwrap();
+        assert_eq!(back.resolve(case.as_symbol().unwrap()), "case-2");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("gecco-xes-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.xes");
+        write_file(&log, &path).unwrap();
+        let back = crate::xes::parse_file(&path).unwrap();
+        assert_eq!(back.num_events(), log.num_events());
+        std::fs::remove_file(&path).ok();
+    }
+}

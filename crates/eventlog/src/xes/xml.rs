@@ -1,0 +1,433 @@
+//! A minimal, dependency-free XML pull parser.
+//!
+//! Supports exactly what XES serializations of event logs need: elements
+//! with attributes, self-closing tags, character data (skipped by the XES
+//! reader), comments, processing instructions, DOCTYPE, CDATA and the five
+//! predefined entities plus numeric character references. It does **not**
+//! implement namespaces-aware processing, DTD expansion or validation — XES
+//! files do not require them.
+
+use crate::error::{Error, Result};
+
+/// One event yielded by [`XmlParser::next_event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlEvent {
+    /// `<name a="v" …>` or `<name … />`.
+    StartElement {
+        /// Element name (namespace prefixes retained verbatim).
+        name: String,
+        /// Attributes in document order, entity-decoded.
+        attributes: Vec<(String, String)>,
+        /// Whether the element was self-closing.
+        self_closing: bool,
+    },
+    /// `</name>`. Also emitted synthetically after self-closing elements.
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+/// Streaming pull parser over a UTF-8 document.
+#[derive(Debug)]
+pub struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+    /// Name to synthesize an `EndElement` for after a self-closing tag.
+    pending_end: Option<String>,
+    open: Vec<String>,
+}
+
+impl<'a> XmlParser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlParser { input: input.as_bytes(), pos: 0, line: 1, pending_end: None, open: Vec::new() }
+    }
+
+    /// Current 1-based line number (for error reporting).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Xml { line: self.line, message: message.into() }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char))),
+            None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
+        }
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn advance_over(&mut self, s: &[u8]) {
+        for _ in 0..s.len() {
+            self.bump();
+        }
+    }
+
+    /// Skips until (and over) the byte sequence `until`.
+    fn skip_until(&mut self, until: &[u8]) -> Result<()> {
+        while self.pos < self.input.len() {
+            if self.starts_with(until) {
+                self.advance_over(until);
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.err(format!("unterminated construct; expected `{}`", String::from_utf8_lossy(until))))
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn decode_entities(&self, raw: &str) -> Result<String> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            rest = &rest[amp..];
+            let semi = rest.find(';').ok_or_else(|| self.err("unterminated entity reference"))?;
+            let ent = &rest[1..semi];
+            match ent {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let code = u32::from_str_radix(&ent[2..], 16)
+                        .map_err(|_| self.err(format!("bad character reference `&{ent};`")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err(format!("invalid code point &{ent};")))?,
+                    );
+                }
+                _ if ent.starts_with('#') => {
+                    let code = ent[1..]
+                        .parse::<u32>()
+                        .map_err(|_| self.err(format!("bad character reference `&{ent};`")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err(format!("invalid code point &{ent};")))?,
+                    );
+                }
+                _ => return Err(self.err(format!("unknown entity `&{ent};`"))),
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+
+    fn read_attribute_value(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.bump();
+                return self.decode_entities(&raw);
+            }
+            if b == b'<' {
+                return Err(self.err("`<` not allowed in attribute value"));
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    /// Pulls the next event, or `None` at end of document.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(XmlEvent::EndElement { name }));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if let Some(open) = self.open.last() {
+                    return Err(self.err(format!("unexpected end of input; `<{open}>` not closed")));
+                }
+                return Ok(None);
+            }
+            if self.peek() != Some(b'<') {
+                // Character data.
+                let start = self.pos;
+                while self.peek().is_some_and(|b| b != b'<') {
+                    self.bump();
+                }
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let text = self.decode_entities(&raw)?;
+                if text.chars().all(char::is_whitespace) {
+                    continue; // inter-element whitespace
+                }
+                return Ok(Some(XmlEvent::Text(text)));
+            }
+            // A `<…>` construct.
+            if self.starts_with(b"<?") {
+                self.skip_until(b"?>")?;
+                continue;
+            }
+            if self.starts_with(b"<!--") {
+                self.skip_until(b"-->")?;
+                continue;
+            }
+            if self.starts_with(b"<![CDATA[") {
+                self.advance_over(b"<![CDATA[");
+                let start = self.pos;
+                while self.pos < self.input.len() && !self.starts_with(b"]]>") {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.skip_until(b"]]>")?;
+                return Ok(Some(XmlEvent::Text(text)));
+            }
+            if self.starts_with(b"<!") {
+                self.skip_until(b">")?; // DOCTYPE etc.
+                continue;
+            }
+            if self.starts_with(b"</") {
+                self.advance_over(b"</");
+                let name = self.read_name()?;
+                self.skip_whitespace();
+                self.expect(b'>')?;
+                match self.open.pop() {
+                    Some(expected) if expected == name => {}
+                    Some(expected) => {
+                        return Err(self.err(format!("mismatched `</{name}>`; expected `</{expected}>`")))
+                    }
+                    None => return Err(self.err(format!("closing `</{name}>` with no open element"))),
+                }
+                return Ok(Some(XmlEvent::EndElement { name }));
+            }
+            // Start tag.
+            self.expect(b'<')?;
+            let name = self.read_name()?;
+            let mut attributes = Vec::new();
+            loop {
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.bump();
+                        self.open.push(name.clone());
+                        return Ok(Some(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: false,
+                        }));
+                    }
+                    Some(b'/') => {
+                        self.bump();
+                        self.expect(b'>')?;
+                        self.pending_end = Some(name.clone());
+                        return Ok(Some(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: true,
+                        }));
+                    }
+                    Some(_) => {
+                        let key = self.read_name()?;
+                        self.skip_whitespace();
+                        self.expect(b'=')?;
+                        self.skip_whitespace();
+                        let value = self.read_attribute_value()?;
+                        attributes.push((key, value));
+                    }
+                    None => return Err(self.err("unterminated start tag")),
+                }
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion in XML attribute values or text.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events(s: &str) -> Vec<XmlEvent> {
+        let mut p = XmlParser::new(s);
+        let mut out = Vec::new();
+        while let Some(e) = p.next_event().unwrap() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let events = all_events(r#"<log a="1"><trace><event/></trace></log>"#);
+        assert_eq!(events.len(), 6);
+        match &events[0] {
+            XmlEvent::StartElement { name, attributes, self_closing } => {
+                assert_eq!(name, "log");
+                assert_eq!(attributes, &[("a".to_string(), "1".to_string())]);
+                assert!(!self_closing);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&events[2], XmlEvent::StartElement { name, self_closing: true, .. } if name == "event"));
+        assert!(matches!(&events[3], XmlEvent::EndElement { name } if name == "event"));
+        assert!(matches!(&events[5], XmlEvent::EndElement { name } if name == "log"));
+    }
+
+    #[test]
+    fn skips_prolog_comments_doctype() {
+        let doc = "<?xml version=\"1.0\"?><!DOCTYPE log><!-- hi --><log></log>";
+        let events = all_events(doc);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn decodes_entities_in_attributes_and_text() {
+        let events =
+            all_events(r#"<a k="x &amp; y &lt; &#65; &#x42;">T &gt; 1</a>"#);
+        match &events[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].1, "x & y < A B");
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(&events[1], XmlEvent::Text(t) if t == "T > 1"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_skipped() {
+        let events = all_events("<a>\n   <b/>\n</a>");
+        assert_eq!(events.len(), 4); // a, b, /b, /a
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let events = all_events("<a><![CDATA[1 < 2 & 3]]></a>");
+        assert!(matches!(&events[1], XmlEvent::Text(t) if t == "1 < 2 & 3"));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let events = all_events("<a k='v'/>");
+        match &events[0] {
+            XmlEvent::StartElement { attributes, .. } => assert_eq!(attributes[0].1, "v"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "<a><b></a>",
+            "<a",
+            "<a k=>",
+            "<a k=\"v>",
+            "</a>",
+            "<a>&bogus;</a>",
+            "<a>&#xZZ;</a>",
+            "<a><b>",
+        ] {
+            let mut p = XmlParser::new(bad);
+            let mut result = Ok(());
+            loop {
+                match p.next_event() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            assert!(result.is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let mut p = XmlParser::new("<a>\n<b>\n</c>");
+        let mut last = None;
+        loop {
+            match p.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    last = Some(e);
+                    break;
+                }
+            }
+        }
+        let msg = last.unwrap().to_string();
+        assert!(msg.contains("line 3"), "got {msg}");
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "a<b>&\"'c";
+        let escaped = escape(s);
+        let events = all_events(&format!("<a k=\"{escaped}\"/>"));
+        match &events[0] {
+            XmlEvent::StartElement { attributes, .. } => assert_eq!(attributes[0].1, s),
+            _ => panic!(),
+        }
+    }
+}

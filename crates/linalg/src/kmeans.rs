@@ -1,0 +1,171 @@
+//! k-means clustering with deterministic farthest-point seeding.
+//!
+//! Used to cluster the rows of the spectral embedding in `BL_P`. Seeding is
+//! deterministic (first centroid = point with the largest norm, then
+//! farthest-point), so baseline runs are reproducible without threading an
+//! RNG through the experiment harness.
+
+use crate::matrix::Matrix;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per input row.
+    pub assignment: Vec<usize>,
+    /// Final centroids (k × dims).
+    pub centroids: Matrix,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters the rows of `points` into `k` clusters (Lloyd's algorithm,
+/// at most `max_iters` rounds).
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the number of rows.
+pub fn kmeans(points: &Matrix, k: usize, max_iters: usize) -> KMeansResult {
+    let n = points.rows();
+    let d = points.cols();
+    assert!(k >= 1 && k <= n, "need 1 <= k <= #points, got k={k}, n={n}");
+    // Farthest-point seeding.
+    let mut centroid_rows: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .max_by(|&i, &j| {
+            sq_dist(points.row(i), &vec![0.0; d]).total_cmp(&sq_dist(points.row(j), &vec![0.0; d]))
+        })
+        .expect("non-empty");
+    centroid_rows.push(first);
+    while centroid_rows.len() < k {
+        let next = (0..n)
+            .max_by(|&i, &j| {
+                let di = centroid_rows.iter().map(|&c| sq_dist(points.row(i), points.row(c))).fold(f64::INFINITY, f64::min);
+                let dj = centroid_rows.iter().map(|&c| sq_dist(points.row(j), points.row(c))).fold(f64::INFINITY, f64::min);
+                di.total_cmp(&dj)
+            })
+            .expect("non-empty");
+        centroid_rows.push(next);
+    }
+    let mut centroids = Matrix::zeros(k, d);
+    for (ci, &r) in centroid_rows.iter().enumerate() {
+        for j in 0..d {
+            centroids[(ci, j)] = points[(r, j)];
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(points.row(i), centroids.row(a))
+                        .total_cmp(&sq_dist(points.row(i), centroids.row(b)))
+                })
+                .expect("k >= 1");
+            if *slot != best {
+                *slot = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignment[i]] += 1;
+            for j in 0..d {
+                sums[(assignment[i], j)] += points[(i, j)];
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid assignment.
+                let far = (0..n)
+                    .max_by(|&i, &j| {
+                        sq_dist(points.row(i), centroids.row(assignment[i]))
+                            .total_cmp(&sq_dist(points.row(j), centroids.row(assignment[j])))
+                    })
+                    .expect("non-empty");
+                for j in 0..d {
+                    centroids[(c, j)] = points[(far, j)];
+                }
+            } else {
+                for j in 0..d {
+                    centroids[(c, j)] = sums[(c, j)] / counts[c] as f64;
+                }
+            }
+        }
+    }
+    let inertia =
+        (0..n).map(|i| sq_dist(points.row(i), centroids.row(assignment[i]))).sum();
+    KMeansResult { assignment, centroids, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let pts = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[5.0, 5.0],
+            &[5.1, 5.0],
+            &[5.0, 5.1],
+        ]);
+        let r = kmeans(&pts, 2, 100);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[1], r.assignment[2]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_eq!(r.assignment[4], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+        assert!(r.inertia < 0.1);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let r = kmeans(&pts, 3, 100);
+        assert!(r.inertia < 1e-12);
+        let mut sorted = r.assignment.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let pts = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let r = kmeans(&pts, 1, 100);
+        assert_eq!(r.assignment, vec![0, 0]);
+        assert!((r.centroids[(0, 0)] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[5.0, 5.0], &[6.0, 6.0]]);
+        let a = kmeans(&pts, 2, 50);
+        let b = kmeans(&pts, 2, 50);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k")]
+    fn rejects_bad_k() {
+        let pts = Matrix::from_rows(&[&[0.0]]);
+        kmeans(&pts, 2, 10);
+    }
+}

@@ -1,0 +1,14 @@
+//! Minimal dense linear algebra for the spectral-partitioning baseline.
+//!
+//! Provides exactly what `BL_P` (§VI-A) needs: a dense [`Matrix`], a
+//! symmetric [`jacobi`] eigensolver (cyclic Jacobi rotations — robust and
+//! dependency-free, ideal at DFG sizes of ≤ 256 nodes) and [`kmeans()`] with
+//! farthest-point seeding for clustering the spectral embedding.
+
+pub mod jacobi;
+pub mod kmeans;
+pub mod matrix;
+
+pub use jacobi::{eigen_symmetric, Eigen};
+pub use kmeans::{kmeans, KMeansResult};
+pub use matrix::Matrix;

@@ -1,0 +1,169 @@
+//! Dense row-major matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a nested array (rows of equal length).
+    pub fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-matrix product.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix is symmetric within `eps`.
+    pub fn is_symmetric(&self, eps: f64) -> bool {
+        self.rows == self.cols
+            && (0..self.rows)
+                .all(|i| (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= eps))
+    }
+
+    /// Frobenius norm of the off-diagonal part.
+    pub fn off_diagonal_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    s += self[(i, j)] * self[(i, j)];
+                }
+            }
+        }
+        s.sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(Matrix::identity(2)[(1, 1)], 1.0);
+        assert_eq!(Matrix::identity(2)[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.matmul(&Matrix::identity(2)), m);
+        let sq = m.matmul(&m);
+        assert_eq!(sq[(0, 0)], 7.0);
+        assert_eq!(sq[(1, 1)], 22.0);
+    }
+
+    #[test]
+    fn transpose_and_symmetry() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 5.0]]);
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.transpose(), m);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(!a.is_symmetric(1e-12));
+        assert_eq!(a.transpose()[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn off_diagonal_norm() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0], &[4.0, 2.0]]);
+        assert!((m.off_diagonal_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(Matrix::identity(3).off_diagonal_norm(), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Pairwise event-class distances.
+//!
+//! Following the proximity notion of Günther & van der Aalst's Fuzzy
+//! Miner \[32\], the distance between two event classes is their *average
+//! positional distance*: for every trace where both occur, each occurrence
+//! of one class is matched to the nearest occurrence of the other, and the
+//! absolute index differences are averaged (symmetrically). Classes that
+//! never co-occur get the log's average trace length as a conservative
+//! "far" default.
+
+use gecco_eventlog::{ClassId, EventLog};
+
+/// Precomputed symmetric distance matrix over the event classes of a log.
+#[derive(Debug, Clone)]
+pub struct ClassDistances {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl ClassDistances {
+    /// Computes all pairwise distances for `log`.
+    pub fn compute(log: &EventLog) -> ClassDistances {
+        let n = log.num_classes();
+        let mut sum = vec![0.0f64; n * n];
+        let mut cnt = vec![0u64; n * n];
+        // Positions per class, reused per trace.
+        let mut positions: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for trace in log.traces() {
+            for p in &mut positions {
+                p.clear();
+            }
+            for (i, e) in trace.events().iter().enumerate() {
+                positions[e.class().index()].push(i as u32);
+            }
+            for a in 0..n {
+                if positions[a].is_empty() {
+                    continue;
+                }
+                for b in (a + 1)..n {
+                    if positions[b].is_empty() {
+                        continue;
+                    }
+                    // Mean nearest-occurrence distance, symmetrized.
+                    let d_ab = mean_nearest(&positions[a], &positions[b]);
+                    let d_ba = mean_nearest(&positions[b], &positions[a]);
+                    let d = (d_ab + d_ba) / 2.0;
+                    sum[a * n + b] += d;
+                    cnt[a * n + b] += 1;
+                }
+            }
+        }
+        let total_events: usize = log.num_events();
+        let avg_len = if log.traces().is_empty() {
+            1.0
+        } else {
+            total_events as f64 / log.traces().len() as f64
+        };
+        let mut dist = vec![0.0f64; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = if cnt[a * n + b] > 0 {
+                    sum[a * n + b] / cnt[a * n + b] as f64
+                } else {
+                    avg_len.max(1.0)
+                };
+                dist[a * n + b] = d;
+                dist[b * n + a] = d;
+            }
+        }
+        ClassDistances { n, dist }
+    }
+
+    /// The distance between two classes (0 for identical classes).
+    #[inline]
+    pub fn get(&self, a: ClassId, b: ClassId) -> f64 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// Number of classes covered.
+    pub fn num_classes(&self) -> usize {
+        self.n
+    }
+}
+
+/// For each position in `from`, the distance to the nearest position in
+/// `to`, averaged. Both slices are ascending.
+fn mean_nearest(from: &[u32], to: &[u32]) -> f64 {
+    let mut total = 0.0;
+    for &p in from {
+        // Binary search for the nearest element of `to`.
+        let idx = to.partition_point(|&t| t < p);
+        let mut best = u32::MAX;
+        if idx < to.len() {
+            best = best.min(to[idx] - p);
+        }
+        if idx > 0 {
+            best = best.min(p - to[idx - 1]);
+        }
+        total += best as f64;
+    }
+    total / from.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogBuilder;
+
+    fn build(traces: &[&[&str]]) -> EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("t{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn adjacent_classes_are_close() {
+        let log = build(&[&["a", "b", "c", "d"]]);
+        let d = ClassDistances::compute(&log);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        let dd = log.class_by_name("d").unwrap();
+        assert_eq!(d.get(a, b), 1.0);
+        assert_eq!(d.get(a, dd), 3.0);
+        assert!(d.get(a, b) < d.get(a, dd));
+        assert_eq!(d.get(a, b), d.get(b, a), "symmetric");
+    }
+
+    #[test]
+    fn repeated_occurrences_use_nearest() {
+        // a at 0 and 4; b at 1: a→b nearest distances are 1 and 3 → 2;
+        // b→a nearest is 1 → symmetrized 1.5.
+        let log = build(&[&["a", "b", "x", "y", "a"]]);
+        let d = ClassDistances::compute(&log);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        assert!((d.get(a, b) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_co_occurring_classes_are_far() {
+        let log = build(&[&["a", "b"], &["c", "d"]]);
+        let d = ClassDistances::compute(&log);
+        let a = log.class_by_name("a").unwrap();
+        let c = log.class_by_name("c").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        assert_eq!(d.get(a, c), 2.0, "avg trace length default");
+        assert!(d.get(a, b) < d.get(a, c));
+    }
+
+    #[test]
+    fn averaged_across_traces() {
+        let log = build(&[&["a", "b"], &["a", "x", "b"]]);
+        let d = ClassDistances::compute(&log);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        assert!((d.get(a, b) - 1.5).abs() < 1e-12, "(1 + 2) / 2");
+    }
+}

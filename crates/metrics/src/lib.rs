@@ -1,0 +1,17 @@
+//! Evaluation measures of §VI-A.
+//!
+//! * [`reduction`] — size reduction (`1 − |G|/|C_L|`) and control-flow
+//!   complexity reduction via the [`gecco_discovery`] substrate;
+//! * [`classdist`] — the pairwise event-class distance of \[32\]
+//!   (average positional distance à la Fuzzy Miner proximity);
+//! * [`silhouette`] — the silhouette coefficient \[31\] of a grouping under
+//!   that distance, quantifying intra-group cohesion vs. inter-group
+//!   separation.
+
+pub mod classdist;
+pub mod reduction;
+pub mod silhouette;
+
+pub use classdist::ClassDistances;
+pub use reduction::{complexity_reduction, size_reduction};
+pub use silhouette::silhouette_coefficient;

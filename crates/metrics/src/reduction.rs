@@ -1,0 +1,66 @@
+//! Size and complexity reduction (§VI-A "Measures").
+//!
+//! Reported so that **larger is better** (more abstraction): the paper's
+//! prose compares configurations that way (e.g. "BL_G achieves an average
+//! size reduction of 0.47, whereas DFG_k yields 0.64").
+
+use gecco_discovery::{discover, DiscoveryOptions, ModelComplexity};
+use gecco_eventlog::EventLog;
+
+/// Size reduction `1 − |G| / |C_L|`.
+pub fn size_reduction(num_groups: usize, num_classes: usize) -> f64 {
+    if num_classes == 0 {
+        0.0
+    } else {
+        1.0 - num_groups as f64 / num_classes as f64
+    }
+}
+
+/// Control-flow complexity reduction `1 − CFC(L') / CFC(L)`, measured on
+/// models discovered from both logs with identical options.
+pub fn complexity_reduction(
+    original: &EventLog,
+    abstracted: &EventLog,
+    options: DiscoveryOptions,
+) -> f64 {
+    let before = ModelComplexity::of(&discover(original, options));
+    let after = ModelComplexity::of(&discover(abstracted, options));
+    before.cfc_reduction(&after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::LogBuilder;
+
+    #[test]
+    fn size_reduction_formula() {
+        assert!((size_reduction(8, 24) - (1.0 - 8.0 / 24.0)).abs() < 1e-12);
+        assert_eq!(size_reduction(5, 5), 0.0);
+        assert_eq!(size_reduction(0, 0), 0.0);
+    }
+
+    #[test]
+    fn complexity_reduction_on_simplified_log() {
+        // Original: XOR between b/c; abstracted: plain sequence.
+        let mut b = LogBuilder::new();
+        b.trace("t1").event("a").unwrap().event("b").unwrap().event("d").unwrap().done();
+        b.trace("t2").event("a").unwrap().event("c").unwrap().event("d").unwrap().done();
+        let original = b.build();
+        let mut b2 = LogBuilder::new();
+        b2.trace("t1").event("a").unwrap().event("bc").unwrap().event("d").unwrap().done();
+        b2.trace("t2").event("a").unwrap().event("bc").unwrap().event("d").unwrap().done();
+        let abstracted = b2.build();
+        let red = complexity_reduction(&original, &abstracted, DiscoveryOptions::default());
+        assert!(red > 0.99, "all branching disappears: {red}");
+    }
+
+    #[test]
+    fn no_change_no_reduction() {
+        let mut b = LogBuilder::new();
+        b.trace("t1").event("a").unwrap().event("b").unwrap().done();
+        let log = b.build();
+        let red = complexity_reduction(&log, &log, DiscoveryOptions::default());
+        assert_eq!(red, 0.0);
+    }
+}

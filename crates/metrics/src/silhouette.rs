@@ -1,0 +1,114 @@
+//! Silhouette coefficient of a grouping.
+//!
+//! The standard cluster-quality measure \[31\]: for each class `c` in group
+//! `g`, `a(c)` is its mean distance to the other members of `g` and `b(c)`
+//! the minimum over other groups of the mean distance to their members;
+//! `s(c) = (b − a)/max(a, b)`. Classes in singleton groups score 0 (the
+//! usual convention). The coefficient is the mean over all classes;
+//! negative values indicate groupings that are neither cohesive nor
+//! separated (cf. `BL_Q`'s −0.20 in Table VII).
+
+use crate::classdist::ClassDistances;
+use gecco_eventlog::{ClassId, ClassSet};
+
+/// Computes the silhouette coefficient of `groups` under `distances`.
+/// Returns 0 for degenerate inputs (fewer than two groups or one class).
+pub fn silhouette_coefficient(distances: &ClassDistances, groups: &[ClassSet]) -> f64 {
+    if groups.len() < 2 {
+        return 0.0;
+    }
+    let members: Vec<Vec<ClassId>> = groups.iter().map(|g| g.iter().collect()).collect();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (gi, group) in members.iter().enumerate() {
+        for &c in group {
+            count += 1;
+            if group.len() == 1 {
+                continue; // s = 0 by convention
+            }
+            let a: f64 = group.iter().filter(|&&o| o != c).map(|&o| distances.get(c, o)).sum::<f64>()
+                / (group.len() - 1) as f64;
+            let b = members
+                .iter()
+                .enumerate()
+                .filter(|(gj, other)| *gj != gi && !other.is_empty())
+                .map(|(_, other)| {
+                    other.iter().map(|&o| distances.get(c, o)).sum::<f64>() / other.len() as f64
+                })
+                .fold(f64::INFINITY, f64::min);
+            if b.is_finite() {
+                let denom = a.max(b);
+                if denom > 0.0 {
+                    total += (b - a) / denom;
+                }
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecco_eventlog::{EventLog, LogBuilder};
+
+    fn build(traces: &[&[&str]]) -> EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("t{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    fn set(log: &EventLog, names: &[&str]) -> ClassSet {
+        names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn cohesive_grouping_scores_positive() {
+        // a,b always adjacent; c,d always adjacent; blocks far apart.
+        let t: &[&str] = &["a", "b", "x", "x", "x", "c", "d"];
+        let log = build(&[t, t, t]);
+        let d = ClassDistances::compute(&log);
+        let good = [set(&log, &["a", "b"]), set(&log, &["c", "d"]), set(&log, &["x"])];
+        let bad = [set(&log, &["a", "d"]), set(&log, &["c", "b"]), set(&log, &["x"])];
+        let s_good = silhouette_coefficient(&d, &good);
+        let s_bad = silhouette_coefficient(&d, &bad);
+        assert!(s_good > 0.0, "cohesive grouping should be positive: {s_good}");
+        assert!(s_bad < 0.0, "scattered grouping should be negative: {s_bad}");
+        assert!(s_good > s_bad);
+    }
+
+    #[test]
+    fn all_singletons_score_zero() {
+        let log = build(&[&["a", "b", "c"]]);
+        let d = ClassDistances::compute(&log);
+        let groups = [set(&log, &["a"]), set(&log, &["b"]), set(&log, &["c"])];
+        assert_eq!(silhouette_coefficient(&d, &groups), 0.0);
+    }
+
+    #[test]
+    fn single_group_degenerate() {
+        let log = build(&[&["a", "b"]]);
+        let d = ClassDistances::compute(&log);
+        assert_eq!(silhouette_coefficient(&d, &[set(&log, &["a", "b"])]), 0.0);
+    }
+
+    #[test]
+    fn bounded_in_minus_one_one() {
+        let t: &[&str] = &["a", "b", "c", "d", "e", "f"];
+        let log = build(&[t, t]);
+        let d = ClassDistances::compute(&log);
+        let groups = [set(&log, &["a", "f"]), set(&log, &["b", "c"]), set(&log, &["d", "e"])];
+        let s = silhouette_coefficient(&d, &groups);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

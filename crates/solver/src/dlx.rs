@@ -1,0 +1,463 @@
+//! Dancing-links exact cover with cost minimization and cardinality bounds.
+//!
+//! GECCO's Step-2 problem — pick disjoint candidate groups covering every
+//! event class exactly once at minimal total distance, optionally with
+//! bounds on the number of selected groups — is weighted set partitioning,
+//! i.e. *min-cost exact cover*. Knuth's Algorithm X with dancing links
+//! enumerates exact covers efficiently; we add branch-and-bound pruning on
+//! an admissible per-column lower bound (`min over rows covering c of
+//! cost(row)/|row|`) and on the selection-cardinality bounds.
+
+/// Outcome of an exact-cover solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoverOutcome {
+    /// Proven minimum-cost exact cover.
+    Optimal {
+        /// Indexes of the selected rows (sets).
+        rows: Vec<usize>,
+        /// Total cost.
+        cost: f64,
+    },
+    /// Node budget exhausted; best cover found so far (not proven optimal).
+    Feasible {
+        /// Indexes of the selected rows (sets).
+        rows: Vec<usize>,
+        /// Total cost.
+        cost: f64,
+    },
+    /// Complete search found no exact cover under the cardinality bounds.
+    Infeasible,
+    /// Node budget exhausted before any cover was found.
+    Unknown,
+}
+
+impl CoverOutcome {
+    /// The selected rows and cost if any cover was found.
+    pub fn solution(&self) -> Option<(&[usize], f64)> {
+        match self {
+            CoverOutcome::Optimal { rows, cost } | CoverOutcome::Feasible { rows, cost } => {
+                Some((rows, *cost))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A weighted exact-cover instance.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCover {
+    n_cols: usize,
+    rows: Vec<(Vec<usize>, f64)>,
+}
+
+impl ExactCover {
+    /// An instance over `n_cols` elements to cover.
+    pub fn new(n_cols: usize) -> Self {
+        ExactCover { n_cols, rows: Vec::new() }
+    }
+
+    /// Adds a candidate set covering `cols` (unique, `< n_cols`) at `cost`;
+    /// returns its row index.
+    pub fn add_row(&mut self, cols: Vec<usize>, cost: f64) -> usize {
+        debug_assert!(cols.iter().all(|&c| c < self.n_cols));
+        debug_assert!(!cols.is_empty(), "empty rows can never be selected");
+        self.rows.push((cols, cost));
+        self.rows.len() - 1
+    }
+
+    /// Number of candidate rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves for the minimum-cost exact cover with `min_rows ≤ |selection|
+    /// ≤ max_rows` (either bound optional) under a search-node budget.
+    pub fn solve(
+        &self,
+        min_rows: Option<usize>,
+        max_rows: Option<usize>,
+        max_nodes: usize,
+    ) -> CoverOutcome {
+        if self.n_cols == 0 {
+            return if min_rows.unwrap_or(0) == 0 {
+                CoverOutcome::Optimal { rows: vec![], cost: 0.0 }
+            } else {
+                CoverOutcome::Infeasible
+            };
+        }
+        let mut links = Links::build(self);
+        let mut search = DlxSearch {
+            links: &mut links,
+            rows: &self.rows,
+            min_rows: min_rows.unwrap_or(0),
+            max_rows: max_rows.unwrap_or(usize::MAX),
+            max_row_len: self.rows.iter().map(|(c, _)| c.len()).max().unwrap_or(1),
+            selection: Vec::new(),
+            cost: 0.0,
+            best: None,
+            nodes: 0,
+            max_nodes,
+            exhausted: false,
+        };
+        search.run();
+        let exhausted = search.exhausted;
+        match search.best {
+            Some((rows, cost)) => {
+                if exhausted {
+                    CoverOutcome::Feasible { rows, cost }
+                } else {
+                    CoverOutcome::Optimal { rows, cost }
+                }
+            }
+            None => {
+                if exhausted {
+                    CoverOutcome::Unknown
+                } else {
+                    CoverOutcome::Infeasible
+                }
+            }
+        }
+    }
+}
+
+/// Doubly-linked torus of the exact-cover matrix.
+struct Links {
+    l: Vec<usize>,
+    r: Vec<usize>,
+    u: Vec<usize>,
+    d: Vec<usize>,
+    /// Column header of each node.
+    col: Vec<usize>,
+    /// Active rows per column header.
+    size: Vec<usize>,
+    /// Source row index of each node.
+    row_id: Vec<usize>,
+    /// Admissible cost share per column: min over covering rows of
+    /// cost/len. `Σ` over active columns lower-bounds the completion cost.
+    min_share: Vec<f64>,
+    /// Current Σ of min_share over active columns.
+    lb: f64,
+}
+
+const ROOT: usize = 0;
+
+impl Links {
+    fn build(instance: &ExactCover) -> Links {
+        let n = instance.n_cols;
+        let num_nodes = 1 + n + instance.rows.iter().map(|(c, _)| c.len()).sum::<usize>();
+        let mut links = Links {
+            l: vec![0; num_nodes],
+            r: vec![0; num_nodes],
+            u: vec![0; num_nodes],
+            d: vec![0; num_nodes],
+            col: vec![0; num_nodes],
+            size: vec![0; 1 + n],
+            row_id: vec![usize::MAX; num_nodes],
+            min_share: vec![f64::INFINITY; 1 + n],
+            lb: 0.0,
+        };
+        // Root and column headers form a circular list 0..=n.
+        for i in 0..=n {
+            links.l[i] = if i == 0 { n } else { i - 1 };
+            links.r[i] = if i == n { 0 } else { i + 1 };
+            links.u[i] = i;
+            links.d[i] = i;
+            links.col[i] = i;
+        }
+        let mut next = n + 1;
+        for (row_idx, (cols, cost)) in instance.rows.iter().enumerate() {
+            let share = cost / cols.len() as f64;
+            let first = next;
+            for &c in cols {
+                let header = c + 1;
+                let node = next;
+                next += 1;
+                links.col[node] = header;
+                links.row_id[node] = row_idx;
+                // Vertical insert above header (end of column).
+                links.d[node] = header;
+                links.u[node] = links.u[header];
+                links.d[links.u[header]] = node;
+                links.u[header] = node;
+                links.size[header] += 1;
+                links.min_share[header] = links.min_share[header].min(share);
+                // Horizontal circular link within the row.
+                if node == first {
+                    links.l[node] = node;
+                    links.r[node] = node;
+                } else {
+                    links.l[node] = links.l[first];
+                    links.r[node] = first;
+                    links.r[links.l[first]] = node;
+                    links.l[first] = node;
+                }
+            }
+        }
+        // Columns with no covering row make the whole instance infeasible;
+        // leave min_share = ∞ so the bound prunes immediately.
+        links.lb = (1..=n).map(|h| links.min_share[h]).sum();
+        links
+    }
+
+    fn cover(&mut self, header: usize) {
+        self.lb -= self.min_share[header];
+        self.r[self.l[header]] = self.r[header];
+        self.l[self.r[header]] = self.l[header];
+        let mut i = self.d[header];
+        while i != header {
+            let mut j = self.r[i];
+            while j != i {
+                self.d[self.u[j]] = self.d[j];
+                self.u[self.d[j]] = self.u[j];
+                self.size[self.col[j]] -= 1;
+                j = self.r[j];
+            }
+            i = self.d[i];
+        }
+    }
+
+    fn uncover(&mut self, header: usize) {
+        let mut i = self.u[header];
+        while i != header {
+            let mut j = self.l[i];
+            while j != i {
+                self.size[self.col[j]] += 1;
+                self.d[self.u[j]] = j;
+                self.u[self.d[j]] = j;
+                j = self.l[j];
+            }
+            i = self.u[i];
+        }
+        self.r[self.l[header]] = header;
+        self.l[self.r[header]] = header;
+        self.lb += self.min_share[header];
+    }
+
+    /// Number of active (uncovered) columns.
+    fn active_columns(&self) -> usize {
+        let mut n = 0;
+        let mut c = self.r[ROOT];
+        while c != ROOT {
+            n += 1;
+            c = self.r[c];
+        }
+        n
+    }
+}
+
+struct DlxSearch<'a> {
+    links: &'a mut Links,
+    rows: &'a [(Vec<usize>, f64)],
+    min_rows: usize,
+    max_rows: usize,
+    max_row_len: usize,
+    selection: Vec<usize>,
+    cost: f64,
+    best: Option<(Vec<usize>, f64)>,
+    nodes: usize,
+    max_nodes: usize,
+    exhausted: bool,
+}
+
+impl DlxSearch<'_> {
+    fn run(&mut self) {
+        if self.exhausted {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.exhausted = true;
+            return;
+        }
+        if self.links.r[ROOT] == ROOT {
+            // Complete cover.
+            if self.selection.len() >= self.min_rows
+                && self.best.as_ref().is_none_or(|(_, b)| self.cost < *b - 1e-12)
+            {
+                self.best = Some((self.selection.clone(), self.cost));
+            }
+            return;
+        }
+        // Cost bound (admissible: every active column costs at least its
+        // cheapest share).
+        if let Some((_, best)) = &self.best {
+            if self.cost + self.links.lb >= *best - 1e-12 {
+                return;
+            }
+        }
+        // Cardinality bounds.
+        let active = self.links.active_columns();
+        let needed_at_least = active.div_ceil(self.max_row_len);
+        if self.selection.len() + needed_at_least > self.max_rows {
+            return;
+        }
+        if self.selection.len() + active < self.min_rows {
+            return; // even all-singleton completion falls short
+        }
+        // Choose the active column with the fewest covering rows.
+        let mut chosen = self.links.r[ROOT];
+        {
+            let mut c = self.links.r[ROOT];
+            while c != ROOT {
+                if self.links.size[c] < self.links.size[chosen] {
+                    chosen = c;
+                }
+                c = self.links.r[c];
+            }
+        }
+        if self.links.size[chosen] == 0 {
+            return; // dead end
+        }
+        self.links.cover(chosen);
+        let mut i = self.links.d[chosen];
+        while i != chosen {
+            let row = self.links.row_id[i];
+            let row_cost = self.rows[row].1;
+            self.selection.push(row);
+            self.cost += row_cost;
+            let mut j = self.links.r[i];
+            while j != i {
+                self.links.cover(self.links.col[j]);
+                j = self.links.r[j];
+            }
+            self.run();
+            let mut j = self.links.l[i];
+            while j != i {
+                self.links.uncover(self.links.col[j]);
+                j = self.links.l[j];
+            }
+            self.cost -= row_cost;
+            self.selection.pop();
+            if self.exhausted {
+                break;
+            }
+            i = self.links.d[i];
+        }
+        self.links.uncover(chosen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: CoverOutcome) -> (Vec<usize>, f64) {
+        match outcome {
+            CoverOutcome::Optimal { mut rows, cost } => {
+                rows.sort_unstable();
+                (rows, cost)
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn knuth_toy_instance() {
+        // Knuth's classic 7-column example (costs all 1 → minimize #rows).
+        let mut ec = ExactCover::new(7);
+        ec.add_row(vec![2, 4, 5], 1.0); // 0
+        ec.add_row(vec![0, 3, 6], 1.0); // 1
+        ec.add_row(vec![1, 2, 5], 1.0); // 2
+        ec.add_row(vec![0, 3], 1.0); // 3
+        ec.add_row(vec![1, 6], 1.0); // 4
+        ec.add_row(vec![3, 4, 6], 1.0); // 5
+        let (rows, cost) = optimal(ec.solve(None, None, 1 << 20));
+        assert_eq!(rows, vec![0, 3, 4]);
+        assert_eq!(cost, 3.0);
+    }
+
+    #[test]
+    fn picks_cheaper_cover() {
+        let mut ec = ExactCover::new(3);
+        ec.add_row(vec![0, 1, 2], 10.0); // expensive all-in-one
+        ec.add_row(vec![0], 1.0);
+        ec.add_row(vec![1], 1.0);
+        ec.add_row(vec![2], 1.0);
+        let (rows, cost) = optimal(ec.solve(None, None, 1 << 20));
+        assert_eq!(rows, vec![1, 2, 3]);
+        assert_eq!(cost, 3.0);
+        // Flip the pricing: the big set wins.
+        let mut ec = ExactCover::new(3);
+        ec.add_row(vec![0, 1, 2], 2.0);
+        ec.add_row(vec![0], 1.0);
+        ec.add_row(vec![1], 1.0);
+        ec.add_row(vec![2], 1.0);
+        let (rows, cost) = optimal(ec.solve(None, None, 1 << 20));
+        assert_eq!(rows, vec![0]);
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn cardinality_bounds_enforced() {
+        let mut ec = ExactCover::new(3);
+        ec.add_row(vec![0, 1, 2], 2.0); // 0
+        ec.add_row(vec![0], 0.1); // 1
+        ec.add_row(vec![1], 0.1); // 2
+        ec.add_row(vec![2], 0.1); // 3
+        // Unbounded: singletons win.
+        let (rows, _) = optimal(ec.solve(None, None, 1 << 20));
+        assert_eq!(rows, vec![1, 2, 3]);
+        // At most 1 set: forced to the big one.
+        let (rows, cost) = optimal(ec.solve(None, Some(1), 1 << 20));
+        assert_eq!(rows, vec![0]);
+        assert_eq!(cost, 2.0);
+        // At least 2 sets: big one excluded.
+        let (rows, _) = optimal(ec.solve(Some(2), None, 1 << 20));
+        assert_eq!(rows, vec![1, 2, 3]);
+        // Exactly 2: impossible (1+1+1 or 3).
+        assert_eq!(ec.solve(Some(2), Some(2), 1 << 20), CoverOutcome::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_when_column_uncoverable() {
+        let mut ec = ExactCover::new(2);
+        ec.add_row(vec![0], 1.0);
+        assert_eq!(ec.solve(None, None, 1 << 20), CoverOutcome::Infeasible);
+    }
+
+    #[test]
+    fn overlapping_rows_cannot_both_be_chosen() {
+        let mut ec = ExactCover::new(3);
+        ec.add_row(vec![0, 1], 1.0);
+        ec.add_row(vec![1, 2], 1.0);
+        // {0,1} and {1,2} overlap on 1; no singleton for the leftover.
+        assert_eq!(ec.solve(None, None, 1 << 20), CoverOutcome::Infeasible);
+        ec.add_row(vec![2], 0.5);
+        ec.add_row(vec![0], 0.5);
+        let (rows, cost) = optimal(ec.solve(None, None, 1 << 20));
+        assert!(rows == vec![0, 2] || rows == vec![1, 3]);
+        assert!((cost - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let ec = ExactCover::new(0);
+        assert_eq!(
+            ec.solve(None, None, 1 << 20),
+            CoverOutcome::Optimal { rows: vec![], cost: 0.0 }
+        );
+        assert_eq!(ec.solve(Some(1), None, 1 << 20), CoverOutcome::Infeasible);
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let mut ec = ExactCover::new(6);
+        for i in 0..6 {
+            ec.add_row(vec![i], 1.0);
+        }
+        for i in 0..5 {
+            ec.add_row(vec![i, i + 1], 1.5);
+        }
+        match ec.solve(None, None, 2) {
+            CoverOutcome::Feasible { .. } | CoverOutcome::Unknown => {}
+            other => panic!("expected budget-limited outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solution_accessor() {
+        let o = CoverOutcome::Optimal { rows: vec![1], cost: 2.0 };
+        assert_eq!(o.solution(), Some((&[1usize][..], 2.0)));
+        assert_eq!(CoverOutcome::Infeasible.solution(), None);
+    }
+}

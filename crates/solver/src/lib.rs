@@ -1,0 +1,31 @@
+//! Exact optimization substrate for GECCO's Step 2 (§V-C).
+//!
+//! The paper formulates optimal group selection as a mixed-integer program
+//! and solves it with Gurobi. Gurobi is closed source, so this crate
+//! provides exact replacements built from scratch:
+//!
+//! * [`simplex`] — a two-phase dense primal simplex for linear programs
+//!   with Bland's anti-cycling rule;
+//! * [`branch_bound`] — branch-and-bound over the LP relaxation for binary
+//!   programs (a small but genuine MIP solver);
+//! * [`dlx`] — an Algorithm-X / dancing-links exact-cover engine with
+//!   cost-based branch-and-bound and cardinality side constraints, which is
+//!   the natural specialized solver for the weighted set-partitioning
+//!   structure of GECCO's selection problem;
+//! * [`setpart`] — the set-partitioning problem type both engines accept,
+//!   so results can be cross-validated against each other.
+//!
+//! Both engines are exact: on feasible instances they return provably
+//! optimal solutions (the test suite cross-validates them against each
+//! other and against brute force).
+
+pub mod branch_bound;
+pub mod dlx;
+pub mod model;
+pub mod setpart;
+pub mod simplex;
+
+pub use branch_bound::{solve_binary_program, BnbOptions, BnbResult};
+pub use model::{LinearConstraint, Model, Sense};
+pub use setpart::{SetPartitionProblem, SetPartitionSolution, SolveEngine};
+pub use simplex::{solve_lp, LpResult, LpSolution};

@@ -1,0 +1,112 @@
+//! Linear/integer program model shared by the solver backends.
+
+/// Sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A sparse linear constraint `Σ aᵢ·x_{idx(i)}  sense  rhs`.
+#[derive(Debug, Clone)]
+pub struct LinearConstraint {
+    /// `(variable index, coefficient)` pairs; indexes must be unique.
+    pub terms: Vec<(usize, f64)>,
+    /// Relation between the linear form and `rhs`.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization program over non-negative variables.
+///
+/// For [`crate::branch_bound`] all variables are additionally binary
+/// (`xᵢ ∈ {0,1}`); for the plain LP relaxation they range over `[0, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    costs: Vec<f64>,
+    constraints: Vec<LinearConstraint>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with objective coefficient `cost`; returns its index.
+    pub fn add_var(&mut self, cost: f64) -> usize {
+        self.costs.push(cost);
+        self.costs.len() - 1
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) {
+        debug_assert!(terms.iter().all(|&(i, _)| i < self.costs.len()), "term out of range");
+        self.constraints.push(LinearConstraint { terms, sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Objective coefficients.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        self.costs.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Whether `x` satisfies every constraint within tolerance `eps`.
+    pub fn is_feasible(&self, x: &[f64], eps: f64) -> bool {
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(i, a)| a * x[i]).sum();
+            match c.sense {
+                Sense::Le => lhs <= c.rhs + eps,
+                Sense::Ge => lhs >= c.rhs - eps,
+                Sense::Eq => (lhs - c.rhs).abs() <= eps,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        let y = m.add_var(2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 1.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.objective(&[1.0, 0.0]), 1.0);
+        assert!(m.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn sense_checks() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0);
+        m.add_constraint(vec![(x, 2.0)], Sense::Le, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 0.2);
+        assert!(m.is_feasible(&[0.4], 1e-9));
+        assert!(!m.is_feasible(&[0.1], 1e-9));
+        assert!(!m.is_feasible(&[0.6], 1e-9));
+    }
+}

@@ -1,0 +1,367 @@
+//! Two-phase dense primal simplex.
+//!
+//! Solves `min c'x` subject to `Ax {≤,≥,=} b`, `x ≥ 0`, via the textbook
+//! tableau method: slack/surplus variables make all constraints equalities,
+//! phase 1 drives artificial variables out of the basis, phase 2 optimizes
+//! the true objective. Bland's rule guarantees termination on degenerate
+//! instances. Dense storage is intentional — GECCO's LP relaxations have at
+//! most a few hundred rows (one per event class), where dense pivoting is
+//! both simple and fast.
+
+use crate::model::{Model, Sense};
+
+const EPS: f64 = 1e-9;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// The constraint system has no solution with `x ≥ 0`.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Primal values for the model's variables.
+    pub values: Vec<f64>,
+    /// Objective value `c'x`.
+    pub objective: f64,
+}
+
+/// Solves the LP relaxation of `model` (variables in `[0, ∞)`); callers that
+/// need `x ≤ 1` add those rows explicitly (see [`solve_lp_box`]).
+pub fn solve_lp(model: &Model) -> LpResult {
+    Tableau::build(model).solve(model)
+}
+
+/// Solves the LP relaxation with box constraints `0 ≤ x ≤ 1` on every
+/// variable, which is the relaxation of a binary program.
+pub fn solve_lp_box(model: &Model) -> LpResult {
+    let mut boxed = model.clone();
+    for v in 0..model.num_vars() {
+        boxed.add_constraint(vec![(v, 1.0)], Sense::Le, 1.0);
+    }
+    match solve_lp(&boxed) {
+        LpResult::Optimal(mut s) => {
+            s.values.truncate(model.num_vars());
+            LpResult::Optimal(s)
+        }
+        other => other,
+    }
+}
+
+struct Tableau {
+    /// `rows × cols` coefficient matrix; the last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basis: `basis[r]` is the column basic in row `r`.
+    basis: Vec<usize>,
+    /// Index of the first artificial column.
+    art_start: usize,
+    num_structural: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * self.cols + c]
+    }
+
+    fn build(model: &Model) -> Tableau {
+        let m = model.constraints().len();
+        let n = model.num_vars();
+        // Count auxiliary columns.
+        let mut num_slack = 0;
+        for c in model.constraints() {
+            if matches!(c.sense, Sense::Le | Sense::Ge) {
+                num_slack += 1;
+            }
+        }
+        // One artificial per row keeps the construction simple; phase 1
+        // eliminates them all.
+        let art_start = n + num_slack;
+        let cols = art_start + m + 1; // + RHS
+        let mut a = vec![0.0; m * cols];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+        for (r, con) in model.constraints().iter().enumerate() {
+            let mut rhs = con.rhs;
+            let mut flip = false;
+            if rhs < 0.0 {
+                flip = true;
+                rhs = -rhs;
+            }
+            for &(v, coeff) in &con.terms {
+                a[r * cols + v] = if flip { -coeff } else { coeff };
+            }
+            let sense = match (con.sense, flip) {
+                (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+                (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+                (Sense::Eq, _) => Sense::Eq,
+            };
+            match sense {
+                Sense::Le => {
+                    a[r * cols + slack_idx] = 1.0;
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Sense::Ge => {
+                    a[r * cols + slack_idx] = -1.0;
+                    slack_idx += 1;
+                    a[r * cols + art_start + r] = 1.0;
+                    basis[r] = art_start + r;
+                }
+                Sense::Eq => {
+                    a[r * cols + art_start + r] = 1.0;
+                    basis[r] = art_start + r;
+                }
+            }
+            a[r * cols + cols - 1] = rhs;
+        }
+        Tableau { a, rows: m, cols, basis, art_start, num_structural: n }
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let piv = self.at(pr, pc);
+        debug_assert!(piv.abs() > EPS, "pivot on ~0 element");
+        for c in 0..self.cols {
+            *self.at_mut(pr, c) /= piv;
+        }
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..self.cols {
+                let delta = factor * self.at(pr, c);
+                *self.at_mut(r, c) -= delta;
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Runs simplex iterations for the objective `obj` (length `cols-1`,
+    /// reduced against the current basis inside). Returns `false` on
+    /// unboundedness.
+    fn optimize(&mut self, obj: &[f64], allow_cols: usize) -> bool {
+        // Reduced cost row: z_j - c_j form, maintained implicitly by
+        // recomputation per iteration with Bland's rule (cheap at our sizes).
+        loop {
+            // Compute simplex multipliers via basic costs: reduced cost of
+            // column j is c_j - Σ_r c_B[r] * a[r][j].
+            let basic_costs: Vec<f64> = self.basis.iter().map(|&b| obj[b]).collect();
+            let mut entering = None;
+            for (j, &cost_j) in obj.iter().enumerate().take(allow_cols) {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut reduced = cost_j;
+                for (r, &basic_cost) in basic_costs.iter().enumerate() {
+                    reduced -= basic_cost * self.at(r, j);
+                }
+                if reduced < -EPS {
+                    entering = Some(j); // Bland: smallest index
+                    break;
+                }
+            }
+            let Some(pc) = entering else { return true };
+            // Ratio test (Bland tie-break on smallest basis index).
+            let mut pivot_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let coeff = self.at(r, pc);
+                if coeff > EPS {
+                    let ratio = self.at(r, self.cols - 1) / coeff;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && pivot_row.is_some_and(|pr| self.basis[r] < self.basis[pr]));
+                    if better {
+                        best_ratio = ratio;
+                        pivot_row = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = pivot_row else { return false };
+            self.pivot(pr, pc);
+        }
+    }
+
+    fn solve(mut self, model: &Model) -> LpResult {
+        let total_cols = self.cols - 1;
+        // Phase 1: minimize the sum of artificials.
+        let mut phase1 = vec![0.0; total_cols];
+        for slot in phase1.iter_mut().skip(self.art_start) {
+            *slot = 1.0;
+        }
+        if !self.optimize(&phase1, total_cols) {
+            // Phase-1 objective is bounded below by 0, so this cannot happen.
+            return LpResult::Infeasible;
+        }
+        let art_value: f64 = self
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b >= self.art_start)
+            .map(|(r, _)| self.at(r, self.cols - 1))
+            .sum();
+        if art_value > 1e-7 {
+            return LpResult::Infeasible;
+        }
+        // Drive any degenerate artificials out of the basis.
+        for r in 0..self.rows {
+            if self.basis[r] >= self.art_start {
+                let pc = (0..self.art_start).find(|&j| self.at(r, j).abs() > EPS);
+                if let Some(pc) = pc {
+                    self.pivot(r, pc);
+                }
+                // If the whole row is zero the constraint was redundant.
+            }
+        }
+        // Phase 2: original objective; artificial columns are barred.
+        let mut phase2 = vec![0.0; total_cols];
+        phase2[..self.num_structural].copy_from_slice(model.costs());
+        if !self.optimize(&phase2, self.art_start) {
+            return LpResult::Unbounded;
+        }
+        let mut values = vec![0.0; self.num_structural];
+        for r in 0..self.rows {
+            if self.basis[r] < self.num_structural {
+                values[self.basis[r]] = self.at(r, self.cols - 1).max(0.0);
+            }
+        }
+        let objective = model.objective(&values);
+        LpResult::Optimal(LpSolution { values, objective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn optimal(result: LpResult) -> LpSolution {
+        match result {
+            LpResult::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_assignment() {
+        // min x + 2y s.t. x + y = 1  →  x = 1.
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        let y = m.add_var(2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 1.0);
+        let s = optimal(solve_lp(&m));
+        assert!((s.objective - 1.0).abs() < 1e-7);
+        assert!((s.values[x] - 1.0).abs() < 1e-7);
+        assert!(s.values[y].abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 1 → x=3, y=1, obj 9.
+        let mut m = Model::new();
+        let x = m.add_var(2.0);
+        let y = m.add_var(3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 4.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 1.0);
+        m.add_constraint(vec![(y, 1.0)], Sense::Ge, 1.0);
+        let s = optimal(solve_lp(&m));
+        assert!((s.objective - 9.0).abs() < 1e-7, "{s:?}");
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x >= 2 and x <= 1 is infeasible.
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Le, 1.0);
+        assert_eq!(solve_lp(&m), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x s.t. x >= 0 → unbounded.
+        let mut m = Model::new();
+        let x = m.add_var(-1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 0.0);
+        assert_eq!(solve_lp(&m), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn box_relaxation_caps_at_one() {
+        // min -x → with box constraints x = 1.
+        let mut m = Model::new();
+        let x = m.add_var(-1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 0.0);
+        let s = optimal(solve_lp_box(&m));
+        assert!((s.values[x] - 1.0).abs() < 1e-7);
+        assert_eq!(s.values.len(), 1);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x <= -2  ⇔  x >= 2.
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_constraint(vec![(x, -1.0)], Sense::Le, -2.0);
+        let s = optimal(solve_lp(&m));
+        assert!((s.values[x] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fractional_lp_solution() {
+        // Set-partitioning relaxation with a fractional optimum:
+        // classes {0,1,2}; sets {0,1}, {1,2}, {0,2}, each cost 1.
+        // LP optimum picks each at 0.5 → objective 1.5.
+        let mut m = Model::new();
+        let s01 = m.add_var(1.0);
+        let s12 = m.add_var(1.0);
+        let s02 = m.add_var(1.0);
+        m.add_constraint(vec![(s01, 1.0), (s02, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(s01, 1.0), (s12, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(s12, 1.0), (s02, 1.0)], Sense::Eq, 1.0);
+        let s = optimal(solve_lp(&m));
+        assert!((s.objective - 1.5).abs() < 1e-7, "{s:?}");
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints (degeneracy stresses Bland's rule).
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        let y = m.add_var(1.0);
+        for _ in 0..4 {
+            m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 1.0);
+        }
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        let s = optimal(solve_lp(&m));
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Eq, 3.0);
+        m.add_constraint(vec![(x, 2.0)], Sense::Eq, 6.0);
+        let s = optimal(solve_lp(&m));
+        assert!((s.values[x] - 3.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's case study (§VI-D): abstracting a loan-application log so
+//! that no activity mixes events from different IT systems.
+//!
+//! Run with `cargo run --release --example case_study_loan`.
+
+use gecco::core::Budget;
+use gecco::discovery::{discover, filter_dfg, DiscoveryOptions, ModelComplexity};
+use gecco::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log = gecco::datagen::loan_log(200, 2017);
+    let dfg = Dfg::from_log(&log);
+    println!(
+        "Loan log: {} classes from systems A/O/W, {} traces, {} DFG edges",
+        log.num_classes(),
+        log.traces().len(),
+        dfg.num_edges()
+    );
+    let spaghetti = filter_dfg(&dfg, 0.8);
+    println!("80/20 DFG still has {} edges — a spaghetti model (Fig. 1).", spaghetti.num_edges());
+
+    // |g.origin| <= 1: activities must come from a single system.
+    let constraints = ConstraintSet::parse("distinct(class, \"system\") <= 1; size(g) <= 8;")?;
+    let result = Gecco::new(&log)
+        .constraints(constraints)
+        .candidates(CandidateStrategy::DfgUnbounded)
+        .budget(Budget::max_checks(10_000))
+        .label_by("system")
+        .run()?
+        .expect_abstracted();
+
+    println!("\n{} system-pure activities:", result.grouping().len());
+    for (group, name) in result.grouping().iter().zip(result.activity_names()) {
+        println!("  {:<4} ← {}", name, log.format_group(group));
+    }
+
+    let before = ModelComplexity::of(&discover(&log, DiscoveryOptions::default()));
+    let after = ModelComplexity::of(&discover(result.log(), DiscoveryOptions::default()));
+    println!(
+        "\nModel complexity: CFC {:.0} → {:.0} ({:.0}% reduction), size {} → {}",
+        before.cfc,
+        after.cfc,
+        before.cfc_reduction(&after) * 100.0,
+        before.size,
+        after.size
+    );
+    println!("The abstracted 80/20 DFG (Fig. 8) exposes the A → O → A hand-overs");
+    println!("that the constraint preserves and an unconstrained abstraction would blur.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Tour of the constraint DSL: every constraint category of Table II, plus
+//! infeasibility diagnostics when the requirements cannot be met.
+//!
+//! Run with `cargo run --example constraint_dsl`.
+
+use gecco::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log = gecco::datagen::running_example();
+
+    // One statement per constraint category (cf. Table II):
+    let program = r#"
+        # R_G — grouping constraints
+        groups >= 2;
+        groups <= 6;
+
+        # R_C — class-based constraints
+        size(g) <= 4;
+        cannot_link("rcp", "acc");
+        must_link("inf", "arv");
+
+        # R_I — instance-based constraints
+        distinct(instance, "org:role") <= 1;     # one role per instance
+        sum("cost") <= 2000;                     # bounded instance cost
+        gap("time:timestamp") <= 300000;         # events at most 5 min apart
+        atleast 0.75 of instances: span("time:timestamp") <= 180000;
+    "#;
+    let constraints = ConstraintSet::parse(program)?;
+    println!("Parsed {} constraints:", constraints.len());
+    for c in constraints.constraints() {
+        println!("  [{:?}] {}", c.monotonicity(), c);
+    }
+
+    match Gecco::new(&log).constraints(constraints).label_by("org:role").run()? {
+        Outcome::Abstracted(result) => {
+            println!("\nFeasible: {} groups, dist = {:.3}", result.grouping().len(), result.distance());
+            println!("{}", result.grouping().render(&log));
+        }
+        Outcome::Infeasible(report) => {
+            println!("\nInfeasible. GECCO's diagnostics (§V-C):\n{}", report.summary);
+        }
+    }
+
+    // GECCO's future-work §VIII: let the tool suggest constraints.
+    println!("\nSuggested constraints for this log:");
+    for s in gecco::constraints::suggest_constraints(&log) {
+        println!("  {}    # {}", s.constraint, s.rationale);
+    }
+
+    // Now an unsatisfiable program — watch the diagnostics explain why.
+    let impossible = ConstraintSet::parse("count(instance) >= 3; size(g) <= 2;")?;
+    match Gecco::new(&log).constraints(impossible).run()? {
+        Outcome::Abstracted(_) => println!("\nunexpectedly feasible?"),
+        Outcome::Infeasible(report) => {
+            println!("\nAs expected, `count(instance) >= 3; size(g) <= 2` is infeasible:");
+            println!("{}", report.summary);
+        }
+    }
+    Ok(())
+}

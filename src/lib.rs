@@ -1,0 +1,56 @@
+//! # GECCO — Constraint-driven Abstraction of Low-level Event Logs
+//!
+//! A from-scratch Rust reproduction of *GECCO* (Rebmann, Weidlich, van der
+//! Aa — ICDE 2022): group the event classes of a low-level event log into
+//! high-level activities such that user-defined constraints hold and a
+//! behavioral distance to the original log is minimal.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`eventlog`] — log model, XES/CSV I/O, DFG, variants, statistics;
+//! * [`constraints`] — grouping/class/instance constraints and their DSL;
+//! * [`solver`] — exact MIP substrate (simplex + B&B, DLX exact cover);
+//! * [`core`] — candidate computation, optimal selection, abstraction;
+//! * [`discovery`] — filtered-DFG process models and complexity metrics;
+//! * [`baselines`] — the paper's BL_Q, BL_P and BL_G comparators;
+//! * [`datagen`] — process-tree simulation of the evaluation logs;
+//! * [`metrics`] — size/complexity reduction and silhouette.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gecco::prelude::*;
+//!
+//! // The paper's running example (Table I).
+//! let log = gecco::datagen::running_example();
+//!
+//! // "Each activity may only group events of a single executing role."
+//! let constraints = ConstraintSet::parse("distinct(instance, \"org:role\") <= 1;").unwrap();
+//!
+//! let outcome = Gecco::new(&log)
+//!     .constraints(constraints)
+//!     .candidates(CandidateStrategy::DfgUnbounded)
+//!     .run()
+//!     .unwrap();
+//!
+//! let result = outcome.expect_abstracted();
+//! assert_eq!(result.grouping().len(), 4); // {rcp,ckc,ckt}, {acc}, {rej}, {prio,inf,arv}
+//! ```
+
+pub use gecco_baselines as baselines;
+pub use gecco_constraints as constraints;
+pub use gecco_core as core;
+pub use gecco_datagen as datagen;
+pub use gecco_discovery as discovery;
+pub use gecco_eventlog as eventlog;
+pub use gecco_metrics as metrics;
+pub use gecco_solver as solver;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use gecco_constraints::{Constraint, ConstraintSet};
+    pub use gecco_core::{
+        AbstractionStrategy, BeamWidth, CandidateStrategy, Gecco, Grouping, Outcome,
+    };
+    pub use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog, LogBuilder, LogStats};
+}

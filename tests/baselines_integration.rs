@@ -1,0 +1,88 @@
+//! Integration tests of the three baselines against GECCO (§VI-C claims as
+//! executable assertions).
+
+use gecco::baselines::{greedy_grouping, query_candidates, spectral_partitioning};
+use gecco::constraints::CompiledConstraintSet;
+use gecco::core::{grouping::occurring_classes, Budget, DistanceOracle, SelectionOptions};
+use gecco::eventlog::Segmenter;
+use gecco::prelude::*;
+
+fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
+    CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
+}
+
+#[test]
+fn blq_candidates_are_a_subset_of_geccos() {
+    // BL_Q's query yields "not as comprehensive" candidate sets (§VI-C): on
+    // the running example they must be a subset of DFG∞ + Algorithm 3.
+    let log = gecco::datagen::running_example();
+    let dsl = "size(g) <= 5;";
+    let constraints = compile(&log, dsl);
+    let blq = query_candidates(&log, &constraints, 5);
+    let gecco_result = Gecco::new(&log)
+        .constraints(ConstraintSet::parse(dsl).unwrap())
+        .candidates(CandidateStrategy::DfgUnbounded)
+        .run()
+        .unwrap()
+        .expect_abstracted();
+    // Selection over BL_Q candidates is no better than GECCO's optimum.
+    let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+    let blq_selection = gecco::core::select_optimal(
+        &log,
+        &blq,
+        &oracle,
+        (None, None),
+        SelectionOptions::default(),
+    )
+    .expect("singletons keep BL_Q feasible");
+    assert!(gecco_result.distance() <= blq_selection.distance + 1e-9);
+}
+
+#[test]
+fn blp_partitions_match_bl4_but_score_worse_distance() {
+    let log = gecco::datagen::running_example();
+    let n = occurring_classes(&log).len().div_ceil(2);
+    let partition = spectral_partitioning(&log, n).expect("feasible n");
+    assert_eq!(partition.len(), n);
+    // GECCO under the same grouping bound.
+    let dsl = format!("size(g) <= 8; groups == {n};");
+    let gecco_result = Gecco::new(&log)
+        .constraints(ConstraintSet::parse(&dsl).unwrap())
+        .candidates(CandidateStrategy::Exhaustive)
+        .budget(Budget::max_checks(5_000))
+        .run()
+        .unwrap()
+        .expect_abstracted();
+    assert_eq!(gecco_result.grouping().len(), n);
+    // GECCO optimizes the distance directly, so it cannot lose.
+    let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+    let blp_distance: f64 = partition.iter().map(|g| oracle.distance(g)).sum();
+    assert!(gecco_result.distance() <= blp_distance + 1e-9);
+}
+
+#[test]
+fn blg_is_dominated_on_the_running_example() {
+    let log = gecco::datagen::running_example();
+    let dsl = "size(g) <= 8; distinct(instance, \"org:role\") <= 1;";
+    let constraints = compile(&log, dsl);
+    let (greedy, greedy_distance) = greedy_grouping(&log, &constraints).expect("feasible");
+    let gecco_result = Gecco::new(&log)
+        .constraints(ConstraintSet::parse(dsl).unwrap())
+        .candidates(CandidateStrategy::Exhaustive)
+        .run()
+        .unwrap()
+        .expect_abstracted();
+    assert!(gecco_result.distance() <= greedy_distance + 1e-9);
+    assert!(greedy.is_exact_cover(&log));
+}
+
+#[test]
+fn baselines_terminate_on_a_collection_log() {
+    let collection =
+        gecco::datagen::evaluation_collection(gecco::datagen::CollectionScale::Smoke);
+    let log = &collection[6].log; // the 8-class log
+    let constraints = compile(log, "size(g) <= 5;");
+    assert!(!query_candidates(log, &constraints, 5).is_empty());
+    assert!(spectral_partitioning(log, 4).is_some());
+    assert!(greedy_grouping(log, &constraints).is_some());
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of GECCO's end-to-end invariants on randomly
+//! generated logs.
+
+use gecco::core::Budget;
+use gecco::prelude::*;
+use proptest::prelude::*;
+
+/// Random small logs: up to 6 classes, up to 8 traces of length ≤ 8, with a
+/// role attribute drawn from two roles.
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    let trace = proptest::collection::vec(0usize..6, 1..=8);
+    proptest::collection::vec(trace, 1..=8).prop_map(|traces| {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("case-{i}"));
+            for (j, &cls) in t.iter().enumerate() {
+                let name = format!("c{cls}");
+                let role = if cls % 2 == 0 { "even" } else { "odd" };
+                tb = tb
+                    .event_with(&name, |e| {
+                        e.str("org:role", role)
+                            .timestamp("time:timestamp", (i as i64) * 10_000 + (j as i64) * 100)
+                            .int("cost", (cls as i64 + 1) * 10);
+                    })
+                    .expect("small logs");
+            }
+            tb.done();
+        }
+        b.build()
+    })
+}
+
+fn run(log: &EventLog, dsl: &str, strategy: CandidateStrategy) -> Outcome {
+    Gecco::new(log)
+        .constraints(ConstraintSet::parse(dsl).expect("valid dsl"))
+        .candidates(strategy)
+        .budget(Budget::max_checks(3_000))
+        .run()
+        .expect("compiles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn groupings_are_exact_covers_and_constraint_satisfying(log in arb_log()) {
+        let dsl = "size(g) <= 3; distinct(instance, \"org:role\") <= 1;";
+        for strategy in [CandidateStrategy::Exhaustive, CandidateStrategy::DfgUnbounded] {
+            if let Outcome::Abstracted(result) = run(&log, dsl, strategy) {
+                prop_assert!(result.grouping().is_exact_cover(&log));
+                let compiled = gecco::constraints::CompiledConstraintSet::compile(
+                    &ConstraintSet::parse(dsl).unwrap(),
+                    &log,
+                )
+                .unwrap();
+                for g in result.grouping().iter() {
+                    prop_assert!(compiled.holds(g, &log), "violating group selected");
+                }
+                prop_assert!(result.distance().is_finite());
+                prop_assert!(result.distance() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_never_worse_than_beam(log in arb_log()) {
+        let dsl = "size(g) <= 3;";
+        let exh = run(&log, dsl, CandidateStrategy::Exhaustive);
+        let beam = run(&log, dsl, CandidateStrategy::DfgBeam { k: BeamWidth::Fixed(3) });
+        if let (Some(e), Some(b)) = (exh.abstracted(), beam.abstracted()) {
+            prop_assert!(e.distance() <= b.distance() + 1e-9,
+                "exhaustive {} worse than beam {}", e.distance(), b.distance());
+        }
+    }
+
+    #[test]
+    fn singleton_grouping_bounds_the_optimum(log in arb_log()) {
+        // dist of all-singletons = number of occurring classes; any optimum
+        // found without constraints must be at least as good.
+        if let Outcome::Abstracted(result) = run(&log, "", CandidateStrategy::Exhaustive) {
+            let singletons = gecco::core::Grouping::singletons(&log);
+            prop_assert!(result.distance() <= singletons.len() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn abstracted_log_preserves_trace_count(log in arb_log()) {
+        if let Outcome::Abstracted(result) = run(&log, "", CandidateStrategy::DfgUnbounded) {
+            prop_assert_eq!(result.log().traces().len(), log.traces().len());
+            // Completion strategy: every trace keeps at least one event per
+            // non-empty original trace.
+            for (orig, abs) in log.traces().iter().zip(result.log().traces()) {
+                prop_assert_eq!(orig.is_empty(), abs.is_empty());
+                prop_assert!(abs.len() <= orig.len());
+            }
+        }
+    }
+
+    #[test]
+    fn infeasibility_reports_never_panic(log in arb_log()) {
+        let outcome = run(&log, "count(instance) >= 4; size(g) <= 2;", CandidateStrategy::Exhaustive);
+        if let Outcome::Infeasible(report) = outcome {
+            prop_assert!(!report.summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn group_count_bounds_respected(log in arb_log()) {
+        let classes = gecco::core::grouping::occurring_classes(&log).len();
+        if classes >= 2 {
+            let dsl = format!("groups >= {};", classes.div_ceil(2));
+            if let Outcome::Abstracted(result) =
+                run(&log, &dsl, CandidateStrategy::DfgUnbounded)
+            {
+                prop_assert!(result.grouping().len() >= classes.div_ceil(2));
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based round-trip tests for the hand-rolled XES and CSV codecs.
+
+use gecco::eventlog::{csv, xes, AttributeValue, EventLog, LogBuilder};
+use proptest::prelude::*;
+
+/// Class/attribute names including XML-hostile characters.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z<>&\"' _:éß0-9]{1,12}").expect("valid regex")
+}
+
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    let event = (arb_name(), any::<i32>(), proptest::option::of(-1.0e6f64..1.0e6));
+    let trace = proptest::collection::vec(event, 0..6);
+    (proptest::collection::vec(trace, 0..5), proptest::collection::vec(arb_name(), 1..4))
+        .prop_map(|(traces, class_pool)| {
+            let mut b = LogBuilder::new();
+            for (i, t) in traces.iter().enumerate() {
+                let mut tb = b.trace(&format!("case {i} & co"));
+                for (name_seed, cost, weight) in t {
+                    let class = &class_pool[name_seed.len() % class_pool.len()];
+                    tb = tb
+                        .event_with(class, |e| {
+                            e.int("cost", *cost as i64)
+                                .timestamp("time:timestamp", (*cost as i64) * 1000)
+                                .str("note", name_seed);
+                            if let Some(w) = weight {
+                                e.float("weight", *w);
+                            }
+                        })
+                        .expect("few classes");
+                }
+                tb.done();
+            }
+            b.build()
+        })
+}
+
+fn logs_equivalent(a: &EventLog, b: &EventLog) -> bool {
+    if a.traces().len() != b.traces().len() || a.num_events() != b.num_events() {
+        return false;
+    }
+    for (ta, tb) in a.traces().iter().zip(b.traces()) {
+        if ta.len() != tb.len() {
+            return false;
+        }
+        for (ea, eb) in ta.events().iter().zip(tb.events()) {
+            if a.class_name(ea.class()) != b.class_name(eb.class()) {
+                return false;
+            }
+            // Compare attributes by resolved key/value.
+            let mut attrs_a: Vec<(String, String)> = ea
+                .attributes()
+                .iter()
+                .map(|(k, v)| {
+                    (a.resolve(*k).to_string(), v.display(a.interner()).to_string())
+                })
+                .collect();
+            let mut attrs_b: Vec<(String, String)> = eb
+                .attributes()
+                .iter()
+                .filter(|(k, _)| b.resolve(*k) != "concept:name")
+                .map(|(k, v)| {
+                    (b.resolve(*k).to_string(), v.display(b.interner()).to_string())
+                })
+                .collect();
+            attrs_a.retain(|(k, _)| k != "concept:name");
+            attrs_a.sort();
+            attrs_b.sort();
+            if attrs_a != attrs_b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xes_round_trip_preserves_logs(log in arb_log()) {
+        let text = xes::write_string(&log);
+        let back = xes::parse_str(&text).expect("own output must parse");
+        prop_assert!(logs_equivalent(&log, &back), "round trip changed the log");
+    }
+
+    #[test]
+    fn double_round_trip_is_stable(log in arb_log()) {
+        let once = xes::parse_str(&xes::write_string(&log)).unwrap();
+        let twice = xes::parse_str(&xes::write_string(&once)).unwrap();
+        prop_assert!(logs_equivalent(&once, &twice));
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_event_counts(log in arb_log()) {
+        let text = csv::write_string(&log);
+        let back = csv::read_str(&text, &csv::CsvOptions::default()).expect("own output parses");
+        // Empty traces are not representable in event-per-row CSV.
+        let non_empty = log.traces().iter().filter(|t| !t.is_empty()).count();
+        prop_assert_eq!(back.traces().len(), non_empty);
+        prop_assert_eq!(back.num_events(), log.num_events());
+    }
+
+    #[test]
+    fn timestamps_survive_xes(millis in -62_000_000_000_000i64..253_000_000_000_000) {
+        let mut b = LogBuilder::new();
+        b.trace("t")
+            .event_with("a", |e| {
+                e.timestamp("time:timestamp", millis);
+            })
+            .unwrap()
+            .done();
+        let log = b.build();
+        let back = xes::parse_str(&xes::write_string(&log)).unwrap();
+        let e = &back.traces()[0].events()[0];
+        prop_assert_eq!(
+            e.attribute(back.std_keys().timestamp),
+            Some(&AttributeValue::Timestamp(millis))
+        );
+    }
+}
