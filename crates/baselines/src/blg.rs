@@ -34,9 +34,9 @@ pub fn greedy_grouping(
                 let merged = groups[i].union(&groups[j]);
                 // Merging classes that never co-occur only inflates
                 // missing(); still allowed — the distance handles it.
-                let candidate_total = total - oracle.distance(&groups[i])
-                    - oracle.distance(&groups[j])
-                    + oracle.distance(&merged);
+                let candidate_total =
+                    total - oracle.distance(&groups[i]) - oracle.distance(&groups[j])
+                        + oracle.distance(&merged);
                 if candidate_total < total - 1e-12
                     && best.as_ref().is_none_or(|(_, _, b)| candidate_total < *b)
                     && constraints.holds(&merged, log)

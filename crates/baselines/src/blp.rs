@@ -78,9 +78,7 @@ pub fn spectral_partitioning(log: &EventLog, n: usize) -> Option<Vec<ClassSet>> 
     // member of the largest group to keep exactly n non-empty partitions.
     for gi in 0..n {
         if groups[gi].is_empty() {
-            let largest = (0..n)
-                .max_by_key(|&i| groups[i].len())
-                .expect("n >= 1");
+            let largest = (0..n).max_by_key(|&i| groups[i].len()).expect("n >= 1");
             if groups[largest].len() > 1 {
                 let victim = groups[largest].iter().next().expect("non-empty");
                 groups[largest].remove(victim);

@@ -9,9 +9,9 @@
 //! instance-based and grouping constraints are ignored by construction —
 //! the selection step downstream still enforces grouping bounds.
 
+use crate::graphdb::{NodeId, PathPattern, PropertyGraph, PropertyValue};
 use gecco_constraints::CompiledConstraintSet;
 use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog};
-use crate::graphdb::{NodeId, PathPattern, PropertyGraph, PropertyValue};
 use std::collections::HashSet;
 
 /// Loads the DFG of `log` into a property graph (one node per occurring
@@ -36,10 +36,11 @@ pub fn dfg_to_graph(log: &EventLog, dfg: &Dfg) -> (PropertyGraph, Vec<ClassId>) 
         }
     }
     for (a, b, count) in dfg.edges() {
-        graph.add_edge(node_of[&a], node_of[&b], vec![(
-            "freq".to_string(),
-            PropertyValue::Int(count as i64),
-        )]);
+        graph.add_edge(
+            node_of[&a],
+            node_of[&b],
+            vec![("freq".to_string(), PropertyValue::Int(count as i64))],
+        );
     }
     (graph, classes)
 }

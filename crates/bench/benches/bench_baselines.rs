@@ -24,9 +24,7 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| {
             Gecco::new(&log)
                 .constraints(ConstraintSet::parse(dsl).unwrap())
-                .candidates(CandidateStrategy::DfgBeam {
-                    k: gecco_core::BeamWidth::PerClass(5),
-                })
+                .candidates(CandidateStrategy::DfgBeam { k: gecco_core::BeamWidth::PerClass(5) })
                 .budget(Budget::max_checks(2_000))
                 .run()
                 .expect("compiles")

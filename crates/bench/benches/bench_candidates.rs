@@ -40,6 +40,38 @@ fn bench_candidates(c: &mut Criterion) {
     group.bench_function("exhaustive_no_anti_pruning", |b| {
         b.iter(|| exhaustive_candidates(&log, &no_prune, budget))
     });
+    // Serial vs chunk-parallel hot path (gecco-core feature `rayon`, on by
+    // default for this crate): identical work and bit-identical output,
+    // toggled at runtime. Thread count follows RAYON_NUM_THREADS/cores; on
+    // a single-core host the parallel configuration falls back to serial.
+    #[cfg(feature = "rayon")]
+    {
+        let heavy = loan_log(400, 4);
+        let heavy_anti = compile(&heavy, "size(g) <= 4; distinct(instance, \"org:role\") <= 1;");
+        let heavy_budget = Budget::max_checks(4_000);
+        for (label, enabled) in [("serial", false), ("parallel", true)] {
+            group.bench_with_input(
+                BenchmarkId::new("dfg_unbounded_mode", label),
+                &enabled,
+                |b, &enabled| {
+                    gecco_core::set_parallel(enabled);
+                    b.iter(|| {
+                        dfg_candidates(&heavy, &heavy_anti, None, heavy_budget, &mut NoObserver)
+                    });
+                    gecco_core::set_parallel(true);
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("exhaustive_mode", label),
+                &enabled,
+                |b, &enabled| {
+                    gecco_core::set_parallel(enabled);
+                    b.iter(|| exhaustive_candidates(&heavy, &heavy_anti, heavy_budget));
+                    gecco_core::set_parallel(true);
+                },
+            );
+        }
+    }
     group.finish();
 }
 

@@ -9,12 +9,8 @@ use gecco_eventlog::{instances, ClassSet, Segmenter};
 fn bench_instances(c: &mut Criterion) {
     let log = loan_log(200, 3);
     // A mid-sized group: the first 4 application-system classes.
-    let group: ClassSet = log
-        .classes()
-        .ids()
-        .filter(|&cid| log.class_name(cid).starts_with("A_"))
-        .take(4)
-        .collect();
+    let group: ClassSet =
+        log.classes().ids().filter(|&cid| log.class_name(cid).starts_with("A_")).take(4).collect();
     let mut g = c.benchmark_group("instances");
     g.bench_function("segment_log", |b| {
         b.iter(|| {

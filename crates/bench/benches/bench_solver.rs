@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gecco_solver::{SetPartitionProblem, SolveEngine};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Random partitionable instance: `n` elements, singletons (guaranteeing
 /// feasibility) plus `extra` random sets of size 2–4.

@@ -20,8 +20,7 @@ impl IterationObserver for Figure5Printer<'_> {
         println!("\nFigure 5 — DFG-based candidate computation, iteration {iteration}:");
         for (path, holds) in examined {
             let mark = if *holds { "✓" } else { "✗" };
-            let nodes: Vec<&str> =
-                path.nodes.iter().map(|&c| self.log.class_name(c)).collect();
+            let nodes: Vec<&str> = path.nodes.iter().map(|&c| self.log.class_name(c)).collect();
             println!("  {mark} [{}]", nodes.join(", "));
         }
     }

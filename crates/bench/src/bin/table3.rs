@@ -35,8 +35,7 @@ fn main() {
         "Ref", "|C_L|", "Traces", "Variants", "|E|", "Avg|σ|", "paper|C_L|", "paperTr"
     );
     println!("{}", "-".repeat(78));
-    for (generated, (paper_classes, paper_traces)) in
-        evaluation_collection(scale).iter().zip(PAPER)
+    for (generated, (paper_classes, paper_traces)) in evaluation_collection(scale).iter().zip(PAPER)
     {
         let stats = LogStats::from_log(&generated.log);
         println!(

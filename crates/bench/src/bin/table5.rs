@@ -42,9 +42,7 @@ fn main() {
     };
     let collection = evaluation_collection(scale);
     println!("Table V — Exh configuration per constraint set (ours vs paper)");
-    println!(
-        "(candidate budget: {budget} checks — the analogue of the paper's 5h timeout)\n"
-    );
+    println!("(candidate budget: {budget} checks — the analogue of the paper's 5h timeout)\n");
     header("Const.");
     let mut total_problems = 0usize;
     for set in ALL_SETS {

@@ -45,7 +45,9 @@ fn run_blq(log: &EventLog, dsl: &str) -> Option<ProblemOutcome> {
             let (s_red, c_red, sil) = evaluate_grouping(log, sel.grouping.groups());
             ProblemOutcome { solved: true, s_red, c_red, sil, seconds, groups: sel.grouping.len() }
         }
-        None => ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds, groups: 0 },
+        None => {
+            ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds, groups: 0 }
+        }
     })
 }
 
@@ -60,7 +62,9 @@ fn run_blp(log: &EventLog) -> ProblemOutcome {
             let (s_red, c_red, sil) = evaluate_grouping(log, &groups);
             ProblemOutcome { solved: true, s_red, c_red, sil, seconds, groups: groups.len() }
         }
-        None => ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds, groups: 0 },
+        None => {
+            ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds, groups: 0 }
+        }
     }
 }
 
@@ -75,7 +79,9 @@ fn run_blg(log: &EventLog, dsl: &str) -> Option<ProblemOutcome> {
             let (s_red, c_red, sil) = evaluate_grouping(log, grouping.groups());
             ProblemOutcome { solved: true, s_red, c_red, sil, seconds, groups: grouping.len() }
         }
-        None => ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds, groups: 0 },
+        None => {
+            ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds, groups: 0 }
+        }
     })
 }
 

@@ -143,8 +143,7 @@ mod tests {
             }
             let dsl = constraint_dsl(set, &log);
             let spec = ConstraintSet::parse(&dsl).unwrap_or_else(|e| panic!("{set:?}: {e}"));
-            CompiledConstraintSet::compile(&spec, &log)
-                .unwrap_or_else(|e| panic!("{set:?}: {e}"));
+            CompiledConstraintSet::compile(&spec, &log).unwrap_or_else(|e| panic!("{set:?}: {e}"));
         }
     }
 

@@ -54,15 +54,13 @@ mod tests {
     #[test]
     fn rows_do_not_panic() {
         header("Const.");
-        let agg = Aggregate {
-            solved: 1.0,
-            s_red: 0.5,
-            c_red: 0.4,
-            sil: 0.1,
-            seconds: 2.0,
-            problems: 3,
-        };
-        row("A", &agg, Some(PaperRow { solved: 1.0, s_red: 0.68, c_red: 0.63, sil: 0.15, t_minutes: 146.0 }));
+        let agg =
+            Aggregate { solved: 1.0, s_red: 0.5, c_red: 0.4, sil: 0.1, seconds: 2.0, problems: 3 };
+        row(
+            "A",
+            &agg,
+            Some(PaperRow { solved: 1.0, s_red: 0.68, c_red: 0.63, sil: 0.15, t_minutes: 146.0 }),
+        );
         row("X", &agg, None);
     }
 }

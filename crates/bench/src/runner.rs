@@ -62,7 +62,10 @@ pub fn run_gecco(log: &EventLog, dsl: &str, config: RunConfig) -> Result<Problem
         .constraints(constraints)
         .candidates(config.strategy)
         .budget(config.budget)
-        .selection(SelectionOptions { engine: Default::default(), max_nodes: config.selection_nodes })
+        .selection(SelectionOptions {
+            engine: Default::default(),
+            max_nodes: config.selection_nodes,
+        })
         .run()
         .map_err(|e| e.to_string())?;
     let seconds = start.elapsed().as_secs_f64();
@@ -78,9 +81,14 @@ pub fn run_gecco(log: &EventLog, dsl: &str, config: RunConfig) -> Result<Problem
                 groups: result.grouping().len(),
             })
         }
-        Outcome::Infeasible(_) => {
-            Ok(ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds, groups: 0 })
-        }
+        Outcome::Infeasible(_) => Ok(ProblemOutcome {
+            solved: false,
+            s_red: 0.0,
+            c_red: 0.0,
+            sil: 0.0,
+            seconds,
+            groups: 0,
+        }),
     }
 }
 
@@ -89,12 +97,21 @@ pub fn run_gecco(log: &EventLog, dsl: &str, config: RunConfig) -> Result<Problem
 pub fn evaluate_grouping(log: &EventLog, groups: &[ClassSet]) -> (f64, f64, f64) {
     let grouping = Grouping::new(groups.to_vec());
     let names = activity_names(log, &grouping, Some("org:role"));
-    let abstracted =
-        abstract_log(log, &grouping, &names, AbstractionStrategy::Completion, Segmenter::RepeatSplit);
+    let abstracted = abstract_log(
+        log,
+        &grouping,
+        &names,
+        AbstractionStrategy::Completion,
+        Segmenter::RepeatSplit,
+    );
     grouping_measures(log, &grouping, &abstracted)
 }
 
-fn grouping_measures(log: &EventLog, grouping: &Grouping, abstracted: &EventLog) -> (f64, f64, f64) {
+fn grouping_measures(
+    log: &EventLog,
+    grouping: &Grouping,
+    abstracted: &EventLog,
+) -> (f64, f64, f64) {
     let s_red = size_reduction(grouping.len(), occurring_class_count(log));
     let c_red = complexity_reduction(log, abstracted, DiscoveryOptions::default());
     let distances = ClassDistances::compute(log);
@@ -172,9 +189,30 @@ mod tests {
     #[test]
     fn aggregate_averages_over_solved() {
         let outcomes = vec![
-            ProblemOutcome { solved: true, s_red: 0.6, c_red: 0.4, sil: 0.2, seconds: 1.0, groups: 3 },
-            ProblemOutcome { solved: false, s_red: 0.0, c_red: 0.0, sil: 0.0, seconds: 9.0, groups: 0 },
-            ProblemOutcome { solved: true, s_red: 0.4, c_red: 0.2, sil: 0.0, seconds: 3.0, groups: 5 },
+            ProblemOutcome {
+                solved: true,
+                s_red: 0.6,
+                c_red: 0.4,
+                sil: 0.2,
+                seconds: 1.0,
+                groups: 3,
+            },
+            ProblemOutcome {
+                solved: false,
+                s_red: 0.0,
+                c_red: 0.0,
+                sil: 0.0,
+                seconds: 9.0,
+                groups: 0,
+            },
+            ProblemOutcome {
+                solved: true,
+                s_red: 0.4,
+                c_red: 0.2,
+                sil: 0.0,
+                seconds: 3.0,
+                groups: 5,
+            },
         ];
         let agg = Aggregate::from_outcomes(&outcomes);
         assert!((agg.solved - 2.0 / 3.0).abs() < 1e-12);

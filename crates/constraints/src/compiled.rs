@@ -147,10 +147,18 @@ impl CompiledConstraintSet {
                     class_checks.push((i, check, mono));
                 }
                 Constraint::CannotLink { a, b } => {
-                    class_checks.push((i, ClassCheck::CannotLink(lookup_class(a)?, lookup_class(b)?), mono));
+                    class_checks.push((
+                        i,
+                        ClassCheck::CannotLink(lookup_class(a)?, lookup_class(b)?),
+                        mono,
+                    ));
                 }
                 Constraint::MustLink { a, b } => {
-                    class_checks.push((i, ClassCheck::MustLink(lookup_class(a)?, lookup_class(b)?), mono));
+                    class_checks.push((
+                        i,
+                        ClassCheck::MustLink(lookup_class(a)?, lookup_class(b)?),
+                        mono,
+                    ));
                 }
                 Constraint::InstanceBound { expr, cmp, bound, min_fraction } => {
                     let compiled = match expr {
@@ -354,7 +362,8 @@ pub(crate) fn eval_expr(expr: &InstExpr, trace: &Trace, inst: &GroupInstance) ->
     match expr {
         InstExpr::Count => Some(inst.len() as f64),
         InstExpr::CountClass(c) => {
-            Some(inst.positions().iter().filter(|&&p| events[p as usize].class() == *c).count() as f64)
+            Some(inst.positions().iter().filter(|&&p| events[p as usize].class() == *c).count()
+                as f64)
         }
         InstExpr::Distinct(key) => {
             let mut seen = HashSet::new();
@@ -454,7 +463,10 @@ mod tests {
                 tb = tb
                     .event_with(cls, |e| {
                         e.str("org:role", role_of(cls))
-                            .timestamp("time:timestamp", (i as i64) * 1_000_000 + (j as i64) * 60_000)
+                            .timestamp(
+                                "time:timestamp",
+                                (i as i64) * 1_000_000 + (j as i64) * 60_000,
+                            )
                             .float("duration", 10.0 + j as f64)
                             .int("cost", 100 * (j as i64 + 1));
                     })
@@ -485,7 +497,10 @@ mod tests {
     #[test]
     fn size_and_links() {
         let log = running_example();
-        let cs = compile(&log, "size(g) <= 2; cannot_link(\"rcp\", \"acc\"); must_link(\"inf\", \"arv\");");
+        let cs = compile(
+            &log,
+            "size(g) <= 2; cannot_link(\"rcp\", \"acc\"); must_link(\"inf\", \"arv\");",
+        );
         assert!(cs.check_class(&group(&log, &["rcp", "ckc"]), &log).is_ok());
         // size violation
         assert_eq!(cs.check_class(&group(&log, &["rcp", "ckc", "ckt"]), &log), Err(0));

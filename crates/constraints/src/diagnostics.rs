@@ -80,11 +80,8 @@ impl Diagnostics {
         }
         let mut reports = Vec::new();
         for (idx, constraint) in spec.iter().enumerate() {
-            let frac = if inst_total > 0 {
-                inst_violations[idx] as f64 / inst_total as f64
-            } else {
-                0.0
-            };
+            let frac =
+                if inst_total > 0 { inst_violations[idx] as f64 / inst_total as f64 } else { 0.0 };
             if !violating[idx].is_empty() || frac > 0.0 {
                 reports.push(ConstraintReport {
                     spec_index: idx,

@@ -293,9 +293,8 @@ impl Parser {
                     "class" => Scope::Class,
                     "instance" => Scope::Instance,
                     other => {
-                        return Err(self.err(format!(
-                            "expected scope `class` or `instance`, found `{other}`"
-                        )))
+                        return Err(self
+                            .err(format!("expected scope `class` or `instance`, found `{other}`")))
                     }
                 };
                 self.expect(Token::Comma, "`,`")?;
@@ -404,10 +403,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(set.len(), 16);
-        assert_eq!(
-            set.constraints()[0],
-            Constraint::GroupCount { cmp: Cmp::Le, bound: 10 }
-        );
+        assert_eq!(set.constraints()[0], Constraint::GroupCount { cmp: Cmp::Le, bound: 10 });
         assert_eq!(
             set.constraints()[3],
             Constraint::ClassBound {

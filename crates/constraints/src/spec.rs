@@ -119,9 +119,9 @@ impl Constraint {
     pub fn category(&self) -> Category {
         match self {
             Constraint::GroupCount { .. } => Category::Grouping,
-            Constraint::ClassBound { .. } | Constraint::CannotLink { .. } | Constraint::MustLink { .. } => {
-                Category::Class
-            }
+            Constraint::ClassBound { .. }
+            | Constraint::CannotLink { .. }
+            | Constraint::MustLink { .. } => Category::Class,
             Constraint::InstanceBound { .. } => Category::Instance,
         }
     }

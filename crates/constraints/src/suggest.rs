@@ -74,7 +74,12 @@ fn suggest_categorical_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
                     continue;
                 }
                 if let Some(sym) = value.as_symbol() {
-                    observed.entry(*key).or_default().entry(event.class().0).or_default().insert(sym);
+                    observed
+                        .entry(*key)
+                        .or_default()
+                        .entry(event.class().0)
+                        .or_default()
+                        .insert(sym);
                 }
             }
         }
@@ -87,8 +92,7 @@ fn suggest_categorical_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
         if !constant_per_class {
             continue;
         }
-        let blocks: HashSet<Symbol> =
-            per_class.values().flat_map(|v| v.iter().copied()).collect();
+        let blocks: HashSet<Symbol> = per_class.values().flat_map(|v| v.iter().copied()).collect();
         if (2..=8).contains(&blocks.len()) && blocks.len() < log.num_classes() {
             let name = log.resolve(key).to_string();
             out.push(Suggestion {

@@ -132,8 +132,7 @@ pub fn abstract_log(
             for inst in instances(trace, group, segmenter) {
                 let first = inst.first();
                 let last = inst.last();
-                let ts_of =
-                    |p: u32| trace.events()[p as usize].timestamp(ts_key);
+                let ts_of = |p: u32| trace.events()[p as usize].timestamp(ts_key);
                 match strategy {
                     AbstractionStrategy::Completion => emits.push(Emit {
                         position: last,
@@ -247,8 +246,13 @@ mod tests {
         let log = running_example_with_roles();
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
-        let abstracted =
-            abstract_log(&log, &grouping, &names, AbstractionStrategy::Completion, Segmenter::RepeatSplit);
+        let abstracted = abstract_log(
+            &log,
+            &grouping,
+            &names,
+            AbstractionStrategy::Completion,
+            Segmenter::RepeatSplit,
+        );
         // σ1 = ⟨rcp ckc acc prio inf arv⟩ → ⟨clerk1, acc, clerk2⟩.
         assert_eq!(abstracted.format_trace(&abstracted.traces()[0]), "⟨clerk1, acc, clerk2⟩");
         // σ4 (restart) → ⟨clerk1, rej, clerk1, acc, clerk2⟩.
@@ -350,16 +354,18 @@ mod tests {
         let log = running_example_with_roles();
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
-        let abstracted =
-            abstract_log(&log, &grouping, &names, AbstractionStrategy::Completion, Segmenter::RepeatSplit);
+        let abstracted = abstract_log(
+            &log,
+            &grouping,
+            &names,
+            AbstractionStrategy::Completion,
+            Segmenter::RepeatSplit,
+        );
         let first = &abstracted.traces()[0].events()[0];
         // clerk1 of σ1 completes at ckc (position 1) → ts 60_000.
         assert_eq!(first.timestamp(abstracted.std_keys().timestamp), Some(60_000));
         let size_key = abstracted.key("gecco:instance_size").unwrap();
-        assert_eq!(
-            first.attribute(size_key),
-            Some(&gecco_eventlog::AttributeValue::Int(2))
-        );
+        assert_eq!(first.attribute(size_key), Some(&gecco_eventlog::AttributeValue::Int(2)));
     }
 
     #[test]

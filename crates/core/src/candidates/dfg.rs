@@ -7,7 +7,7 @@
 //! arbitrary class additions. Each iteration keeps only the `k` paths with
 //! the lowest group distance (the beam).
 
-use super::{BeamWidth, Budget, CandidateSet};
+use super::{BeamWidth, Budget, CandidateSet, PreevaluatedChecks};
 use crate::distance::DistanceOracle;
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
 use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog};
@@ -80,6 +80,10 @@ pub fn dfg_candidates(
 
     while !to_check.is_empty() {
         out.stats.iterations += 1;
+        // The sort below evaluates dist once per frontier path; score the
+        // uncached groups over all cores first (no-op when parallelism is
+        // off — see `DistanceOracle::prime`).
+        oracle.prime(to_check.iter().map(|(p, _)| p.set));
         // Sort by group distance, lowest first (most cohesive paths first).
         to_check.sort_by(|a, b| {
             oracle
@@ -87,6 +91,15 @@ pub fn dfg_candidates(
                 .total_cmp(&oracle.distance(&b.0.set))
                 .then_with(|| a.0.nodes.cmp(&b.0.nodes))
         });
+        // Pre-evaluate the beam's constraint checks in parallel; the loop
+        // replays its bookkeeping against the verdicts (see exhaustive.rs).
+        let pre = PreevaluatedChecks::evaluate(
+            log,
+            constraints,
+            to_check.iter().take(k).map(|(p, f)| (p.set, *f)),
+            budget,
+            out.stats.checked + out.stats.monotonic_shortcuts,
+        );
         let mut to_expand: Vec<Path> = Vec::new();
         let mut examined: Vec<(Path, bool)> = Vec::new();
         for (path, has_satisfied_subset) in to_check.iter().take(k) {
@@ -101,7 +114,10 @@ pub fn dfg_candidates(
                 true
             } else {
                 out.stats.checked += 1;
-                constraints.holds(&group, log)
+                match &pre {
+                    Some(pre) => pre.holds(&group, log, constraints),
+                    None => constraints.holds(&group, log),
+                }
             };
             examined.push((path.clone(), holds));
             if holds {
@@ -110,7 +126,11 @@ pub fn dfg_candidates(
             }
             let expandable = match mode {
                 CheckingMode::AntiMonotonic => {
-                    holds || constraints.holds_anti_monotonic(&group, log)
+                    holds
+                        || match &pre {
+                            Some(pre) => pre.holds_anti_monotonic(&group, log, constraints),
+                            None => constraints.holds_anti_monotonic(&group, log),
+                        }
                 }
                 CheckingMode::Monotonic | CheckingMode::NonMonotonic => true,
             };
@@ -270,8 +290,13 @@ mod tests {
             assert!(unbounded.groups().contains(g), "beam invented a candidate");
         }
         // Even a width-1 beam keeps producing *valid* candidates.
-        let tiny =
-            dfg_candidates(&log, &cs, Some(BeamWidth::Fixed(1)), Budget::UNLIMITED, &mut NoObserver);
+        let tiny = dfg_candidates(
+            &log,
+            &cs,
+            Some(BeamWidth::Fixed(1)),
+            Budget::UNLIMITED,
+            &mut NoObserver,
+        );
         for g in tiny.groups() {
             assert!(cs.holds(g, &log));
         }
@@ -310,7 +335,8 @@ mod tests {
         // DFG candidates ⊆ exhaustive candidates (paths are a restriction).
         let log = role_log();
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
-        let exh = crate::candidates::exhaustive::exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let exh =
+            crate::candidates::exhaustive::exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
         let dfg = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
         for g in dfg.groups() {
             assert!(exh.groups().contains(g), "{g:?} not in exhaustive set");

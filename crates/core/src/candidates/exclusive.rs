@@ -27,19 +27,22 @@ pub fn extend_with_exclusive_candidates(
     candidates: &mut CandidateSet,
 ) -> usize {
     let dfg = Dfg::from_log(log);
-    // Index the current candidates by (preset, postset).
+    // Index the current candidates by (preset, postset). Computing the two
+    // boundary sets walks every DFG edge per group, so fan the per-group
+    // computation out over all cores (serial when parallelism is off).
+    let snapshot: Vec<ClassSet> = candidates.groups().to_vec();
+    let keys: Vec<(ClassSet, ClassSet)> =
+        crate::parallel::par_map(&snapshot, 32, |g| (dfg.preset(g), dfg.postset(g)));
     let mut by_pre_post: HashMap<(ClassSet, ClassSet), Vec<ClassSet>> = HashMap::new();
-    for g in candidates.groups() {
-        by_pre_post.entry((dfg.preset(g), dfg.postset(g))).or_default().push(*g);
+    for (g, key) in snapshot.iter().zip(&keys) {
+        by_pre_post.entry(*key).or_default().push(*g);
     }
     let mut added = 0usize;
     let mut seen: HashSet<ClassSet> = HashSet::new();
-    let snapshot: Vec<ClassSet> = candidates.groups().to_vec();
-    for g in snapshot {
+    for (g, key) in snapshot.iter().copied().zip(keys.iter().copied()) {
         if seen.contains(&g) {
             continue;
         }
-        let key = (dfg.preset(&g), dfg.postset(&g));
         let mut equiv_groups: Vec<ClassSet> =
             by_pre_post.get(&key).cloned().unwrap_or_else(|| vec![g]);
         let mut pairs: Vec<(ClassSet, ClassSet)> = Vec::new();

@@ -15,7 +15,7 @@
 //! `G_new`" would lose completeness (see DESIGN.md, interpretation 4);
 //! both behaviors coincide when all constraints are anti-monotonic.
 
-use super::{Budget, CandidateSet};
+use super::{Budget, CandidateSet, PreevaluatedChecks};
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
 use gecco_eventlog::{ClassId, ClassSet, EventLog};
 use std::collections::HashMap;
@@ -48,6 +48,17 @@ pub fn exhaustive_candidates(
 
     while !to_check.is_empty() {
         out.stats.iterations += 1;
+        // With parallelism on, evaluate this level's constraint checks over
+        // all cores first; the loop below then replays the budget/shortcut
+        // bookkeeping against the stored verdicts (identical results either
+        // way — see `PreevaluatedChecks`).
+        let pre = PreevaluatedChecks::evaluate(
+            log,
+            constraints,
+            to_check.iter().copied(),
+            budget,
+            out.stats.checked + out.stats.monotonic_shortcuts,
+        );
         let mut admitted: Vec<(ClassSet, bool)> = Vec::new(); // (group, expandable)
         for (group, has_satisfied_subset) in &to_check {
             if budget.exhausted(out.stats.checked + out.stats.monotonic_shortcuts) {
@@ -59,7 +70,10 @@ pub fn exhaustive_candidates(
                 true
             } else {
                 out.stats.checked += 1;
-                constraints.holds(group, log)
+                match &pre {
+                    Some(pre) => pre.holds(group, log, constraints),
+                    None => constraints.holds(group, log),
+                }
             };
             if holds {
                 out.stats.satisfied += 1;
@@ -69,7 +83,11 @@ pub fn exhaustive_candidates(
                 // Anti-monotonic mode: only expand groups that satisfy the
                 // anti-monotonic constraint subset.
                 CheckingMode::AntiMonotonic => {
-                    holds || constraints.holds_anti_monotonic(group, log)
+                    holds
+                        || match &pre {
+                            Some(pre) => pre.holds_anti_monotonic(group, log, constraints),
+                            None => constraints.holds_anti_monotonic(group, log),
+                        }
                 }
                 // Monotonic / non-monotonic: expand everything (supergroups
                 // of violating groups may still satisfy the constraints).
@@ -187,10 +205,8 @@ mod tests {
             assert_eq!(roles.len(), 1, "mixed-role group {:?}", names(&log, g));
         }
         // The paper's winning group {rcp, ckc, ckt} must be among them.
-        let target: ClassSet = ["rcp", "ckc", "ckt"]
-            .iter()
-            .map(|n| log.class_by_name(n).unwrap())
-            .collect();
+        let target: ClassSet =
+            ["rcp", "ckc", "ckt"].iter().map(|n| log.class_by_name(n).unwrap()).collect();
         assert!(out.groups().contains(&target));
     }
 
@@ -241,8 +257,12 @@ mod tests {
         let ids: Vec<ClassId> = log.classes().ids().collect();
         let mut expected = Vec::new();
         for mask in 1u32..(1 << ids.len()) {
-            let g: ClassSet =
-                ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, c)| *c).collect();
+            let g: ClassSet = ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, c)| *c)
+                .collect();
             if log.occurs(&g) && cs.holds(&g, &log) {
                 expected.push(g);
             }

@@ -4,8 +4,9 @@ pub mod dfg;
 pub mod exclusive;
 pub mod exhaustive;
 
-use gecco_eventlog::ClassSet;
-use std::collections::HashSet;
+use gecco_constraints::{CheckingMode, CompiledConstraintSet};
+use gecco_eventlog::{ClassSet, EventLog};
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Which Step-1 instantiation to run.
@@ -99,6 +100,92 @@ pub struct CandidateStats {
     /// Additional candidates contributed by exclusive-alternative merging
     /// (Algorithm 3).
     pub exclusive_candidates: usize,
+}
+
+/// Constraint verdicts pre-evaluated in parallel for one enumeration level.
+///
+/// Which entries of a level the serial loops of Algorithms 1/2 actually
+/// check is decided by budget and shortcut bookkeeping alone — never by a
+/// check's outcome — so the checks can be evaluated up front, fanned out
+/// over all cores, and the loop replayed against the stored verdicts with
+/// bit-identical results and statistics.
+#[derive(Debug, Default)]
+pub(crate) struct PreevaluatedChecks {
+    /// `group -> holds(group)` for every group the replay will check.
+    holds: HashMap<ClassSet, bool>,
+    /// `group -> holds_anti_monotonic(group)` for non-holding groups in
+    /// anti-monotonic mode (the expansion gate's second question).
+    anti: HashMap<ClassSet, bool>,
+}
+
+impl PreevaluatedChecks {
+    /// Evaluates, in parallel, every constraint check the serial loop would
+    /// perform on `entries` (each `(group, has_satisfied_subset)`), given
+    /// `touched` budget units already consumed. Returns `None` when
+    /// parallelism is disabled — callers then check inline as before.
+    pub(crate) fn evaluate(
+        log: &EventLog,
+        constraints: &CompiledConstraintSet,
+        entries: impl Iterator<Item = (ClassSet, bool)>,
+        budget: Budget,
+        mut touched: usize,
+    ) -> Option<Self> {
+        if !crate::parallel::parallel_enabled() {
+            return None;
+        }
+        let mode = constraints.mode();
+        // Replay the loop's bookkeeping without performing any check, to
+        // learn which groups will be checked before the budget runs out.
+        let mut need: Vec<ClassSet> = Vec::new();
+        let mut seen: HashSet<ClassSet> = HashSet::new();
+        for (group, has_satisfied_subset) in entries {
+            if budget.exhausted(touched) {
+                break;
+            }
+            touched += 1;
+            if mode == CheckingMode::Monotonic && has_satisfied_subset {
+                continue; // shortcut: admitted without a check
+            }
+            if seen.insert(group) {
+                need.push(group);
+            }
+        }
+        let verdicts = crate::parallel::par_map(&need, 2, |g| constraints.holds(g, log));
+        let anti_need: Vec<ClassSet> = if mode == CheckingMode::AntiMonotonic {
+            need.iter().zip(&verdicts).filter(|(_, &holds)| !holds).map(|(g, _)| *g).collect()
+        } else {
+            Vec::new()
+        };
+        let anti_verdicts =
+            crate::parallel::par_map(&anti_need, 2, |g| constraints.holds_anti_monotonic(g, log));
+        Some(PreevaluatedChecks {
+            holds: need.into_iter().zip(verdicts).collect(),
+            anti: anti_need.into_iter().zip(anti_verdicts).collect(),
+        })
+    }
+
+    /// The stored `holds` verdict, falling back to an inline check.
+    pub(crate) fn holds(
+        &self,
+        group: &ClassSet,
+        log: &EventLog,
+        constraints: &CompiledConstraintSet,
+    ) -> bool {
+        self.holds.get(group).copied().unwrap_or_else(|| constraints.holds(group, log))
+    }
+
+    /// The stored anti-monotonic verdict, falling back to an inline check.
+    pub(crate) fn holds_anti_monotonic(
+        &self,
+        group: &ClassSet,
+        log: &EventLog,
+        constraints: &CompiledConstraintSet,
+    ) -> bool {
+        self.anti
+            .get(group)
+            .copied()
+            .unwrap_or_else(|| constraints.holds_anti_monotonic(group, log))
+    }
 }
 
 /// The output of Step 1: a deduplicated set of constraint-satisfying groups.

@@ -18,28 +18,59 @@
 //! `{{rcp,ckc,ckt}, {acc}, {rej}, {prio,inf,arv}}` scores exactly
 //! `37/12 ≈ 3.08`, matching Figure 7 (see this module's tests).
 
-use gecco_eventlog::{instances, ClassSet, EventLog, Segmenter};
+use gecco_eventlog::{instances, ClassSet, EventLog, Segmenter, Trace};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Traces below this count are scored serially even when parallelism is on;
+/// thread fan-out costs more than it saves on small logs.
+const MIN_PARALLEL_TRACES: usize = 64;
 
 /// Computes `dist(g, L)` (Eq. 1).
 ///
 /// Returns `f64::INFINITY` for groups with no instance in the log — such
 /// groups can never contribute to an abstraction.
+///
+/// With the `rayon` feature enabled (and [`crate::parallel::set_parallel`]
+/// not turned off), the per-trace accumulation fans out over all cores.
+/// Serial and parallel results are bit-identical: both sum one subtotal per
+/// trace, in trace order.
 pub fn group_distance(log: &EventLog, group: &ClassSet, segmenter: Segmenter) -> f64 {
+    group_distance_impl(log, group, segmenter, crate::parallel::parallel_enabled())
+}
+
+fn group_distance_impl(
+    log: &EventLog,
+    group: &ClassSet,
+    segmenter: Segmenter,
+    parallel: bool,
+) -> f64 {
     let group_size = group.len();
     debug_assert!(group_size > 0, "distance of the empty group is undefined");
+    let traces = log.traces();
+    let trace_sets = log.trace_class_sets();
     let mut total = 0.0;
     let mut count = 0usize;
-    for (ti, trace) in log.traces().iter().enumerate() {
-        if !log.trace_class_sets()[ti].intersects(group) {
-            continue;
+    if parallel && traces.len() >= MIN_PARALLEL_TRACES {
+        let subtotals = crate::parallel::par_map_range(traces.len(), MIN_PARALLEL_TRACES, |ti| {
+            if trace_sets[ti].intersects(group) {
+                trace_contribution(&traces[ti], group, group_size, segmenter)
+            } else {
+                (0.0, 0)
+            }
+        });
+        for (sub, n) in subtotals {
+            total += sub;
+            count += n;
         }
-        for inst in instances(trace, group, segmenter) {
-            total += inst.interrupts() as f64 / inst.len() as f64
-                + inst.missing(group_size) as f64 / group_size as f64
-                + 1.0 / group_size as f64;
-            count += 1;
+    } else {
+        for (ti, trace) in traces.iter().enumerate() {
+            if !trace_sets[ti].intersects(group) {
+                continue;
+            }
+            let (sub, n) = trace_contribution(trace, group, group_size, segmenter);
+            total += sub;
+            count += n;
         }
     }
     if count == 0 {
@@ -47,6 +78,24 @@ pub fn group_distance(log: &EventLog, group: &ClassSet, segmenter: Segmenter) ->
     } else {
         total / count as f64
     }
+}
+
+/// One trace's summands of Eq. 1: `(Σ per-instance terms, #instances)`.
+fn trace_contribution(
+    trace: &Trace,
+    group: &ClassSet,
+    group_size: usize,
+    segmenter: Segmenter,
+) -> (f64, usize) {
+    let mut sub = 0.0;
+    let mut n = 0usize;
+    for inst in instances(trace, group, segmenter) {
+        sub += inst.interrupts() as f64 / inst.len() as f64
+            + inst.missing(group_size) as f64 / group_size as f64
+            + 1.0 / group_size as f64;
+        n += 1;
+    }
+    (sub, n)
 }
 
 /// Computes `dist(G, L)` (Eq. 2): the sum of the group distances.
@@ -83,6 +132,35 @@ impl<'a> DistanceOracle<'a> {
         let d = group_distance(self.log, group, self.segmenter);
         self.cache.borrow_mut().insert(*group, d);
         d
+    }
+
+    /// Fills the cache for `groups` ahead of time, scoring the uncached
+    /// ones in parallel (one worker per chunk of candidates).
+    ///
+    /// A no-op when parallelism is off — lazy evaluation in [`Self::distance`]
+    /// is then strictly better. Each parallel worker scores its candidates
+    /// with the serial per-trace loop, so cached values are bit-identical to
+    /// what [`Self::distance`] would have computed.
+    pub fn prime(&self, groups: impl Iterator<Item = ClassSet>) {
+        if !crate::parallel::parallel_enabled() {
+            return;
+        }
+        let missing: Vec<ClassSet> = {
+            let cache = self.cache.borrow();
+            let mut seen = HashSet::new();
+            groups.filter(|g| !cache.contains_key(g) && seen.insert(*g)).collect()
+        };
+        if missing.len() < 2 {
+            return;
+        }
+        let (log, segmenter) = (self.log, self.segmenter);
+        let distances = crate::parallel::par_map(&missing, 2, |g| {
+            group_distance_impl(log, g, segmenter, false)
+        });
+        let mut cache = self.cache.borrow_mut();
+        for (g, d) in missing.into_iter().zip(distances) {
+            cache.insert(g, d);
+        }
     }
 
     /// Number of distinct groups evaluated so far.

@@ -22,12 +22,14 @@ pub mod abstraction;
 pub mod candidates;
 pub mod distance;
 pub mod grouping;
+pub mod parallel;
 pub mod pipeline;
 pub mod selection;
 
 pub use abstraction::AbstractionStrategy;
-pub use candidates::{Budget, CandidateSet, CandidateStats, CandidateStrategy, BeamWidth};
+pub use candidates::{BeamWidth, Budget, CandidateSet, CandidateStats, CandidateStrategy};
 pub use distance::{group_distance, grouping_distance, DistanceOracle};
 pub use grouping::Grouping;
+pub use parallel::{parallel_enabled, set_parallel};
 pub use pipeline::{AbstractionResult, Gecco, GeccoError, InfeasibilityReport, Outcome};
 pub use selection::{select_optimal, SelectionOptions};

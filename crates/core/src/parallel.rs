@@ -1,0 +1,116 @@
+//! Opt-in parallel execution of the candidate-generation hot path.
+//!
+//! Built with the `rayon` cargo feature, the expensive, embarrassingly
+//! parallel pieces of Step 1 — per-candidate constraint checks, per-trace
+//! distance accumulation, and DFG pre-/postset indexing — fan out over all
+//! cores. Without the feature every function here degenerates to its serial
+//! form and [`set_parallel`] is a no-op, so callers never need `cfg` guards.
+//!
+//! Parallel runs are **bit-identical** to serial runs: work is split into
+//! ordered chunks, partial results are combined in the exact order the
+//! serial code would produce them (floating-point accumulation included),
+//! and budget/shortcut bookkeeping is replayed serially against
+//! pre-evaluated verdicts. `parallel == serial` is asserted by
+//! `tests/parallel_equivalence.rs`.
+//!
+//! Parallelism defaults to **on** when the feature is compiled in; flip it
+//! at runtime with [`set_parallel`] (process-wide, e.g. for A/B
+//! benchmarking — see `bench_candidates`). The worker count follows the
+//! `RAYON_NUM_THREADS` environment variable, falling back to the number of
+//! available cores.
+
+#[cfg(feature = "rayon")]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(feature = "rayon")]
+static PARALLEL: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables parallel execution process-wide.
+///
+/// Without the `rayon` feature this is a no-op and execution is always
+/// serial. Results are identical either way; only wall-clock time changes.
+pub fn set_parallel(enabled: bool) {
+    #[cfg(feature = "rayon")]
+    PARALLEL.store(enabled, Ordering::Relaxed);
+    #[cfg(not(feature = "rayon"))]
+    let _ = enabled;
+}
+
+/// Whether parallel execution is compiled in *and* currently enabled.
+pub fn parallel_enabled() -> bool {
+    #[cfg(feature = "rayon")]
+    {
+        PARALLEL.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "rayon"))]
+    {
+        false
+    }
+}
+
+/// Maps `f` over `items`, in parallel when enabled and there are at least
+/// `min_items` of them; output order always matches input order.
+pub(crate) fn par_map<T, R, F>(items: &[T], min_items: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    #[cfg(feature = "rayon")]
+    {
+        use rayon::prelude::*;
+        if parallel_enabled() && items.len() >= min_items && rayon::current_num_threads() > 1 {
+            return items.par_iter().map(f).collect();
+        }
+    }
+    let _ = min_items;
+    items.iter().map(f).collect()
+}
+
+/// Maps `f` over `0..len`, in parallel when enabled and the range is at
+/// least `min_items` long; output order always matches index order. Unlike
+/// [`par_map`], needs no backing slice — the hot distance loop uses this to
+/// avoid allocating an index vector per candidate.
+pub(crate) fn par_map_range<R, F>(len: usize, min_items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    #[cfg(feature = "rayon")]
+    {
+        use rayon::prelude::*;
+        if parallel_enabled() && len >= min_items && rayon::current_num_threads() > 1 {
+            return (0..len).into_par_iter().map(f).collect();
+        }
+    }
+    let _ = min_items;
+    (0..len).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_range_matches_serial() {
+        let out = par_map_range(50, 1, |i| i * i);
+        assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = par_map(&items, 1, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn toggle_round_trips() {
+        let initial = parallel_enabled();
+        set_parallel(false);
+        assert!(!parallel_enabled());
+        set_parallel(true);
+        assert_eq!(parallel_enabled(), cfg!(feature = "rayon"));
+        set_parallel(initial);
+    }
+}

@@ -236,12 +236,15 @@ impl<'a> Gecco<'a> {
     /// Runs the three steps with a custom Step-1 observer (used to render
     /// the paper's Figure 5).
     pub fn run_observed(self, observer: &mut dyn IterationObserver) -> Result<Outcome, GeccoError> {
-        let compiled = CompiledConstraintSet::compile_with(&self.constraints, self.log, self.segmenter)?;
+        let compiled =
+            CompiledConstraintSet::compile_with(&self.constraints, self.log, self.segmenter)?;
 
         // Step 1: candidate computation.
         let t0 = Instant::now();
         let mut candidates: CandidateSet = match self.strategy {
-            CandidateStrategy::Exhaustive => exhaustive_candidates(self.log, &compiled, self.budget),
+            CandidateStrategy::Exhaustive => {
+                exhaustive_candidates(self.log, &compiled, self.budget)
+            }
             CandidateStrategy::DfgUnbounded => {
                 dfg_candidates(self.log, &compiled, None, self.budget, observer)
             }
@@ -284,8 +287,7 @@ impl<'a> Gecco<'a> {
 
         // Step 3: abstraction.
         let t2 = Instant::now();
-        let names =
-            activity_names(self.log, &selection.grouping, self.label_attribute.as_deref());
+        let names = activity_names(self.log, &selection.grouping, self.label_attribute.as_deref());
         let abstracted =
             abstract_log(self.log, &selection.grouping, &names, self.abstraction, self.segmenter);
         let abstraction_time = t2.elapsed();
@@ -361,10 +363,7 @@ mod tests {
         assert!((result.distance() - 37.0 / 12.0).abs() < 1e-9, "paper: dist = 3.08");
         assert!(result.proven_optimal());
         assert_eq!(result.activity_names(), &["clerk1", "acc", "clerk2", "rej"]);
-        assert_eq!(
-            result.log().format_trace(&result.log().traces()[0]),
-            "⟨clerk1, acc, clerk2⟩"
-        );
+        assert_eq!(result.log().format_trace(&result.log().traces()[0]), "⟨clerk1, acc, clerk2⟩");
     }
 
     #[test]
@@ -419,8 +418,7 @@ mod tests {
         // At least two groups of at least 5 classes each needs ≥ 10
         // classes, but the log has 8: structurally infeasible.
         let constraints = ConstraintSet::parse("size(g) >= 5; groups >= 2;").unwrap();
-        let outcome =
-            Gecco::new(&log).constraints(constraints).run().unwrap();
+        let outcome = Gecco::new(&log).constraints(constraints).run().unwrap();
         match outcome {
             Outcome::Infeasible(rep) => {
                 assert!(rep.summary.contains("no feasible grouping"));
@@ -450,22 +448,16 @@ mod tests {
     #[test]
     fn timings_are_recorded() {
         let log = running_example();
-        let out = Gecco::new(&log)
-            .constraints(role_constraint())
-            .run()
-            .unwrap()
-            .expect_abstracted();
+        let out =
+            Gecco::new(&log).constraints(role_constraint()).run().unwrap().expect_abstracted();
         assert!(out.timings().total() > Duration::ZERO);
     }
 
     #[test]
     fn disabling_exclusive_merging_changes_result() {
         let log = running_example();
-        let with = Gecco::new(&log)
-            .constraints(role_constraint())
-            .run()
-            .unwrap()
-            .expect_abstracted();
+        let with =
+            Gecco::new(&log).constraints(role_constraint()).run().unwrap().expect_abstracted();
         let without = Gecco::new(&log)
             .constraints(role_constraint())
             .merge_exclusive(false)

@@ -128,8 +128,9 @@ mod tests {
         let log = running_example();
         let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
         let candidates = figure7_candidates(&log);
-        let sel = select_optimal(&log, &candidates, &oracle, (None, None), SelectionOptions::default())
-            .expect("feasible");
+        let sel =
+            select_optimal(&log, &candidates, &oracle, (None, None), SelectionOptions::default())
+                .expect("feasible");
         assert!(sel.proven_optimal);
         assert!((sel.distance - 37.0 / 12.0).abs() < 1e-9, "Fig. 7: dist = 3.08");
         let expected = Grouping::new(vec![
@@ -199,8 +200,14 @@ mod tests {
         let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
         // Candidates that cannot cover `prio`.
         let candidates = vec![set(&log, &["rcp"]), set(&log, &["ckc"])];
-        assert!(select_optimal(&log, &candidates, &oracle, (None, None), SelectionOptions::default())
-            .is_none());
+        assert!(select_optimal(
+            &log,
+            &candidates,
+            &oracle,
+            (None, None),
+            SelectionOptions::default()
+        )
+        .is_none());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Parallel candidate generation must be indistinguishable from serial —
+//! same candidates, same statistics, bit-identical distances.
+//!
+//! Only meaningful with the `rayon` feature; without it `set_parallel` is a
+//! no-op and both runs are serial (the assertions then hold trivially).
+//! `RAYON_NUM_THREADS` is forced above the machine's core count so real
+//! thread fan-out happens even on single-core CI runners.
+
+use gecco_core::candidates::dfg::{dfg_candidates, NoObserver};
+use gecco_core::candidates::exclusive::extend_with_exclusive_candidates;
+use gecco_core::candidates::exhaustive::exhaustive_candidates;
+use gecco_core::{group_distance, set_parallel, BeamWidth, Budget, CandidateSet};
+use gecco_datagen::loan_log;
+use gecco_eventlog::{EventLog, Segmenter};
+
+fn compile(log: &EventLog, dsl: &str) -> gecco_constraints::CompiledConstraintSet {
+    gecco_constraints::CompiledConstraintSet::compile(
+        &gecco_constraints::ConstraintSet::parse(dsl).unwrap(),
+        log,
+    )
+    .unwrap()
+}
+
+fn force_threads() {
+    // Safe on edition 2021; tests that call this all set the same value.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+/// Serializes tests that flip the process-wide parallelism toggle.
+static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` twice — serially and in parallel — and returns both results.
+fn both<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = TOGGLE_LOCK.lock().unwrap();
+    force_threads();
+    set_parallel(false);
+    let serial = f();
+    set_parallel(true);
+    let parallel = f();
+    set_parallel(true);
+    (serial, parallel)
+}
+
+fn assert_same(serial: &CandidateSet, parallel: &CandidateSet) {
+    assert_eq!(serial.groups(), parallel.groups(), "candidate sets diverge");
+    assert_eq!(serial.stats, parallel.stats, "statistics diverge");
+}
+
+#[test]
+fn exhaustive_parallel_matches_serial() {
+    let log = loan_log(40, 3);
+    for dsl in ["", "size(g) <= 3;", "distinct(instance, \"org:role\") <= 1;"] {
+        let constraints = compile(&log, dsl);
+        let (serial, parallel) =
+            both(|| exhaustive_candidates(&log, &constraints, Budget::max_checks(3_000)));
+        assert_same(&serial, &parallel);
+    }
+}
+
+#[test]
+fn dfg_parallel_matches_serial() {
+    let log = loan_log(40, 3);
+    for dsl in ["", "size(g) <= 4;", "distinct(instance, \"org:role\") <= 1;"] {
+        let constraints = compile(&log, dsl);
+        for beam in [None, Some(BeamWidth::Fixed(8)), Some(BeamWidth::PerClass(5))] {
+            let (serial, parallel) = both(|| {
+                dfg_candidates(&log, &constraints, beam, Budget::max_checks(2_000), &mut NoObserver)
+            });
+            assert_same(&serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn exclusive_parallel_matches_serial() {
+    let log = loan_log(40, 3);
+    let constraints = compile(&log, "size(g) <= 3;");
+    let ((serial_added, serial), (parallel_added, parallel)) = both(|| {
+        let mut cands = exhaustive_candidates(&log, &constraints, Budget::max_checks(2_000));
+        let added = extend_with_exclusive_candidates(&log, &constraints, &mut cands);
+        (added, cands)
+    });
+    assert_eq!(serial_added, parallel_added);
+    assert_same(&serial, &parallel);
+}
+
+#[test]
+fn distance_is_bit_identical() {
+    // Enough traces to cross the parallel threshold (64).
+    let log = loan_log(120, 4);
+    let classes: Vec<_> = log.classes().ids().collect();
+    let groups: Vec<gecco_eventlog::ClassSet> = (0..classes.len().saturating_sub(1))
+        .map(|i| [classes[i], classes[i + 1]].into_iter().collect())
+        .collect();
+    for group in &groups {
+        let (serial, parallel) = both(|| group_distance(&log, group, Segmenter::RepeatSplit));
+        assert_eq!(
+            serial.to_bits(),
+            parallel.to_bits(),
+            "distance of {group:?} differs between serial and parallel"
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_equivalent() {
+    // Tiny budgets stop mid-level; replay must match serial exactly.
+    let log = loan_log(30, 2);
+    let constraints = compile(&log, "");
+    for max_checks in [1, 3, 7, 20, 95] {
+        let (serial, parallel) =
+            both(|| exhaustive_candidates(&log, &constraints, Budget::max_checks(max_checks)));
+        assert_same(&serial, &parallel);
+        let (serial, parallel) = both(|| {
+            dfg_candidates(
+                &log,
+                &constraints,
+                Some(BeamWidth::Fixed(5)),
+                Budget::max_checks(max_checks),
+                &mut NoObserver,
+            )
+        });
+        assert_same(&serial, &parallel);
+    }
+}

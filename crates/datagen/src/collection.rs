@@ -11,7 +11,7 @@
 use crate::tree::{simulate, Activity, ProcessTree, SimulationOptions};
 use gecco_eventlog::EventLog;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// How much of the full collection to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,9 +147,7 @@ fn build_block(acts: &[Activity], rng: &mut StdRng, depth: usize) -> ProcessTree
         return ProcessTree::Task(acts[0].clone());
     }
     if acts.len() <= 3 || depth >= 4 {
-        return ProcessTree::Sequence(
-            acts.iter().map(|a| ProcessTree::Task(a.clone())).collect(),
-        );
+        return ProcessTree::Sequence(acts.iter().map(|a| ProcessTree::Task(a.clone())).collect());
     }
     // Split into 2–4 parts.
     let parts = 2 + rng.random_range(0..=2usize.min(acts.len() / 2 - 1));
@@ -173,8 +171,7 @@ fn build_block(acts: &[Activity], rng: &mut StdRng, depth: usize) -> ProcessTree
         // Sequences dominate real processes.
         0..=4 => ProcessTree::Sequence(children),
         5..=6 => {
-            let weighted =
-                children.into_iter().map(|c| (0.3 + rng.random::<f64>(), c)).collect();
+            let weighted = children.into_iter().map(|c| (0.3 + rng.random::<f64>(), c)).collect();
             ProcessTree::Exclusive(weighted)
         }
         7..=8 => ProcessTree::Parallel(children),

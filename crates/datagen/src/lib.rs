@@ -20,4 +20,4 @@ pub mod tree;
 pub use collection::{evaluation_collection, CollectionScale, GeneratedLog};
 pub use loan::loan_log;
 pub use running::running_example;
-pub use tree::{Activity, ProcessTree, SimulationOptions, simulate};
+pub use tree::{simulate, Activity, ProcessTree, SimulationOptions};

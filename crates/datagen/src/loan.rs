@@ -12,9 +12,7 @@ use crate::tree::{simulate, Activity, ProcessTree, SimulationOptions};
 use gecco_eventlog::EventLog;
 
 fn a(name: &str, origin: &str, role: &str) -> ProcessTree {
-    ProcessTree::Task(
-        Activity::new(name).role(role).system(origin).duration(300.0).cost(120.0),
-    )
+    ProcessTree::Task(Activity::new(name).role(role).system(origin).duration(300.0).cost(120.0))
 }
 
 /// Generates the loan log (`num_traces` cases, deterministic per seed).
@@ -25,7 +23,13 @@ pub fn loan_log(num_traces: usize, seed: u64) -> EventLog {
         a("A_Create Application", "A", "system"),
         T::Exclusive(vec![
             (0.65, a("A_Submitted", "A", "applicant")),
-            (0.35, T::Sequence(vec![a("W_Handle leads", "W", "clerk"), a("A_Submitted", "A", "applicant")])),
+            (
+                0.35,
+                T::Sequence(vec![
+                    a("W_Handle leads", "W", "clerk"),
+                    a("A_Submitted", "A", "applicant"),
+                ]),
+            ),
         ]),
         a("A_Concept", "A", "system"),
         a("A_Accepted", "A", "clerk"),
@@ -73,27 +77,9 @@ pub fn loan_log(num_traces: usize, seed: u64) -> EventLog {
     ]);
     // Outcome.
     let outcome = T::Exclusive(vec![
-        (
-            0.5,
-            T::Sequence(vec![
-                a("O_Accepted", "O", "system"),
-                a("A_Pending", "A", "system"),
-            ]),
-        ),
-        (
-            0.25,
-            T::Sequence(vec![
-                a("A_Denied", "A", "clerk"),
-                a("O_Refused", "O", "system"),
-            ]),
-        ),
-        (
-            0.25,
-            T::Sequence(vec![
-                a("A_Cancelled", "A", "system"),
-                a("O_Cancelled", "O", "system"),
-            ]),
-        ),
+        (0.5, T::Sequence(vec![a("O_Accepted", "O", "system"), a("A_Pending", "A", "system")])),
+        (0.25, T::Sequence(vec![a("A_Denied", "A", "clerk"), a("O_Refused", "O", "system")])),
+        (0.25, T::Sequence(vec![a("A_Cancelled", "A", "system"), a("O_Cancelled", "O", "system")])),
     ]);
     // Follow-up calls interleave with the whole offer/validation tail,
     // which is what tangles the DFG of Figure 1.
@@ -106,10 +92,7 @@ pub fn loan_log(num_traces: usize, seed: u64) -> EventLog {
             (0.3, a("W_Call incomplete files", "W", "clerk")),
             (0.7, T::Sequence(vec![])),
         ]),
-        T::Exclusive(vec![
-            (0.25, a("W_Handle leads", "W", "clerk")),
-            (0.75, T::Sequence(vec![])),
-        ]),
+        T::Exclusive(vec![(0.25, a("W_Handle leads", "W", "clerk")), (0.75, T::Sequence(vec![]))]),
     ]);
     let tail = T::Parallel(vec![T::Sequence(vec![offers, validation_block]), calls]);
     let tree = T::Sequence(vec![intake, tail, outcome]);

@@ -2,7 +2,7 @@
 
 use gecco_eventlog::{EventLog, LogBuilder};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// An activity (leaf) of a process tree: one event class plus the attribute
 /// distributions its events draw from.

@@ -244,11 +244,7 @@ mod tests {
     #[test]
     fn mixed_branches_get_xor_over_clusters() {
         // s → {a, b} concurrent; s → c exclusive alternative.
-        let log = build(&[
-            &["s", "a", "b", "e"],
-            &["s", "b", "a", "e"],
-            &["s", "c", "e"],
-        ]);
+        let log = build(&[&["s", "a", "b", "e"], &["s", "b", "a", "e"], &["s", "c", "e"]]);
         let model = discover(&log, DiscoveryOptions::default());
         let kinds: Vec<GatewayKind> = model.splits().iter().map(|g| g.kind).collect();
         assert!(kinds.contains(&GatewayKind::And));

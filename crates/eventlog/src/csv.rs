@@ -45,7 +45,10 @@ fn split_record(lines: &[&str], start: usize, delim: char) -> Result<(Vec<String
             if in_quotes {
                 li += 1;
                 if li >= lines.len() {
-                    return Err(Error::Csv { line: start + 1, message: "unterminated quote".into() });
+                    return Err(Error::Csv {
+                        line: start + 1,
+                        message: "unterminated quote".into(),
+                    });
                 }
                 field.push('\n');
                 chars = lines[li].chars().collect();
@@ -90,9 +93,8 @@ pub fn read_str(input: &str, options: &CsvOptions) -> Result<EventLog> {
         return Ok(LogBuilder::new().build());
     }
     let (header, mut row_start) = split_record(&lines, 0, options.delimiter)?;
-    let case_idx = header.iter().position(|h| *h == options.case_column).ok_or_else(|| Error::Csv {
-        line: 1,
-        message: format!("missing case column {:?}", options.case_column),
+    let case_idx = header.iter().position(|h| *h == options.case_column).ok_or_else(|| {
+        Error::Csv { line: 1, message: format!("missing case column {:?}", options.case_column) }
     })?;
     let act_idx =
         header.iter().position(|h| *h == options.activity_column).ok_or_else(|| Error::Csv {
@@ -238,7 +240,10 @@ mod tests {
                    c,a,2021-01-01T00:00:00Z,3,2.5,true,hello\n";
         let log = read_str(csv, &CsvOptions::default()).unwrap();
         let e = &log.traces()[0].events()[0];
-        assert!(matches!(e.attribute(log.key("when").unwrap()), Some(AttributeValue::Timestamp(_))));
+        assert!(matches!(
+            e.attribute(log.key("when").unwrap()),
+            Some(AttributeValue::Timestamp(_))
+        ));
         assert_eq!(e.attribute(log.key("x").unwrap()), Some(&AttributeValue::Int(3)));
         assert_eq!(e.attribute(log.key("y").unwrap()), Some(&AttributeValue::Float(2.5)));
         assert_eq!(e.attribute(log.key("flag").unwrap()), Some(&AttributeValue::Bool(true)));
@@ -260,18 +265,14 @@ mod tests {
     fn missing_columns_are_errors() {
         let err = read_str("a,b\n1,2\n", &CsvOptions::default()).unwrap_err();
         assert!(err.to_string().contains("case column"));
-        let err =
-            read_str("case:concept:name,b\n1,2\n", &CsvOptions::default()).unwrap_err();
+        let err = read_str("case:concept:name,b\n1,2\n", &CsvOptions::default()).unwrap_err();
         assert!(err.to_string().contains("activity column"));
     }
 
     #[test]
     fn field_count_mismatch_reports_line() {
-        let err = read_str(
-            "case:concept:name,concept:name\nc1,a\nc1\n",
-            &CsvOptions::default(),
-        )
-        .unwrap_err();
+        let err = read_str("case:concept:name,concept:name\nc1,a\nc1\n", &CsvOptions::default())
+            .unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
     }
 

@@ -123,10 +123,9 @@ pub fn log_instances<'a>(
     group: &'a ClassSet,
     segmenter: Segmenter,
 ) -> impl Iterator<Item = (usize, GroupInstance)> + 'a {
-    log.traces()
-        .iter()
-        .enumerate()
-        .flat_map(move |(i, t)| instances(t, group, segmenter).into_iter().map(move |inst| (i, inst)))
+    log.traces().iter().enumerate().flat_map(move |(i, t)| {
+        instances(t, group, segmenter).into_iter().map(move |inst| (i, inst))
+    })
 }
 
 #[cfg(test)]

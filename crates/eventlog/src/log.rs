@@ -261,7 +261,11 @@ impl TraceBuilder<'_> {
     }
 
     /// Appends an event of class `class`, configuring attributes in `f`.
-    pub fn event_with(mut self, class: &str, f: impl FnOnce(&mut AttrsBuilder)) -> Result<Self> {
+    pub fn event_with(
+        mut self,
+        class: &str,
+        f: impl FnOnce(&mut AttrsBuilder<'_>),
+    ) -> Result<Self> {
         let id = self.log.class(class)?;
         let mut attrs = AttrsBuilder { interner: &mut self.log.interner, out: Vec::new() };
         f(&mut attrs);
@@ -385,8 +389,9 @@ mod tests {
         let log = toy_log();
         let t = &log.traces()[0];
         assert_eq!(log.format_trace(t), "⟨a, b⟩");
-        let g: ClassSet =
-            [log.class_by_name("b").unwrap(), log.class_by_name("a").unwrap()].into_iter().collect();
+        let g: ClassSet = [log.class_by_name("b").unwrap(), log.class_by_name("a").unwrap()]
+            .into_iter()
+            .collect();
         assert_eq!(log.format_group(&g), "{a, b}");
     }
 

@@ -31,7 +31,11 @@ impl LogStats {
             num_traces,
             num_variants: Variants::from_log(log).len(),
             num_events,
-            avg_trace_len: if num_traces == 0 { 0.0 } else { num_events as f64 / num_traces as f64 },
+            avg_trace_len: if num_traces == 0 {
+                0.0
+            } else {
+                num_events as f64 / num_traces as f64
+            },
             num_dfg_edges: dfg.num_edges(),
         }
     }
@@ -40,7 +44,11 @@ impl LogStats {
     pub fn table_row(&self) -> String {
         format!(
             "{:>5} {:>9} {:>9} {:>10} {:>8.2}",
-            self.num_classes, self.num_traces, self.num_variants, self.num_events, self.avg_trace_len
+            self.num_classes,
+            self.num_traces,
+            self.num_variants,
+            self.num_events,
+            self.avg_trace_len
         )
     }
 }

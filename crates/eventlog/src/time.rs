@@ -97,7 +97,9 @@ pub fn parse_iso8601(s: &str) -> Result<i64> {
             let mut frac: i64 = 0;
             for i in 0..3 {
                 frac = frac * 10
-                    + b.get(start + i).filter(|c| c.is_ascii_digit()).map_or(0, |c| (c - b'0') as i64);
+                    + b.get(start + i)
+                        .filter(|c| c.is_ascii_digit())
+                        .map_or(0, |c| (c - b'0') as i64);
             }
             millis += frac;
         }

@@ -122,7 +122,8 @@ impl<'a> Reader<'a> {
             match self.parser.next_event()? {
                 Some(XmlEvent::StartElement { name, attributes, self_closing }) => {
                     if name == "event" {
-                        let attrs = if self_closing { Vec::new() } else { self.parse_event_attrs()? };
+                        let attrs =
+                            if self_closing { Vec::new() } else { self.parse_event_attrs()? };
                         let class = attrs
                             .iter()
                             .find(|a| a.key == "concept:name")
@@ -246,7 +247,8 @@ impl<'a> Reader<'a> {
             "string" | "id" => RawValue::Str(raw),
             "date" => RawValue::Timestamp(parse_iso8601(&raw)?),
             "int" => RawValue::Int(
-                raw.parse().map_err(|_| self.err(format!("bad int value {raw:?} for key {key:?}")))?,
+                raw.parse()
+                    .map_err(|_| self.err(format!("bad int value {raw:?} for key {key:?}")))?,
             ),
             "float" => RawValue::Float(
                 raw.parse()
@@ -345,18 +347,9 @@ mod tests {
         assert_eq!(log.class_name(e0.class()), "rcp");
         let role = e0.attribute(log.std_keys().role).unwrap().as_symbol().unwrap();
         assert_eq!(log.resolve(role), "clerk");
-        assert_eq!(
-            e0.attribute(log.key("cost").unwrap()),
-            Some(&AttributeValue::Int(12))
-        );
-        assert_eq!(
-            e0.attribute(log.key("effort").unwrap()),
-            Some(&AttributeValue::Float(0.5))
-        );
-        assert_eq!(
-            e0.attribute(log.key("rework").unwrap()),
-            Some(&AttributeValue::Bool(false))
-        );
+        assert_eq!(e0.attribute(log.key("cost").unwrap()), Some(&AttributeValue::Int(12)));
+        assert_eq!(e0.attribute(log.key("effort").unwrap()), Some(&AttributeValue::Float(0.5)));
+        assert_eq!(e0.attribute(log.key("rework").unwrap()), Some(&AttributeValue::Bool(false)));
         let ts = e0.timestamp(log.std_keys().timestamp).unwrap();
         assert_eq!(crate::time::format_iso8601(ts), "2021-03-01T08:00:00.000Z");
     }

@@ -78,15 +78,19 @@ pub fn write_file(log: &EventLog, path: impl AsRef<std::path::Path>) -> Result<(
     Ok(())
 }
 
-fn write_attr(out: &mut String, log: &EventLog, indent: usize, key: Symbol, value: &AttributeValue) {
+fn write_attr(
+    out: &mut String,
+    log: &EventLog,
+    indent: usize,
+    key: Symbol,
+    value: &AttributeValue,
+) {
     let pad = "  ".repeat(indent);
     let key = escape(log.resolve(key));
     let _ = match value {
-        AttributeValue::Str(s) => writeln!(
-            out,
-            "{pad}<string key=\"{key}\" value=\"{}\"/>",
-            escape(log.resolve(*s))
-        ),
+        AttributeValue::Str(s) => {
+            writeln!(out, "{pad}<string key=\"{key}\" value=\"{}\"/>", escape(log.resolve(*s)))
+        }
         AttributeValue::Int(i) => writeln!(out, "{pad}<int key=\"{key}\" value=\"{i}\"/>"),
         AttributeValue::Float(f) => writeln!(out, "{pad}<float key=\"{key}\" value=\"{f}\"/>"),
         AttributeValue::Bool(b) => writeln!(out, "{pad}<boolean key=\"{key}\" value=\"{b}\"/>"),

@@ -80,7 +80,9 @@ impl<'a> XmlParser<'a> {
     fn expect(&mut self, b: u8) -> Result<()> {
         match self.bump() {
             Some(got) if got == b => Ok(()),
-            Some(got) => Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char))),
+            Some(got) => {
+                Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char)))
+            }
             None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
         }
     }
@@ -104,13 +106,15 @@ impl<'a> XmlParser<'a> {
             }
             self.bump();
         }
-        Err(self.err(format!("unterminated construct; expected `{}`", String::from_utf8_lossy(until))))
+        Err(self
+            .err(format!("unterminated construct; expected `{}`", String::from_utf8_lossy(until))))
     }
 
     fn read_name(&mut self) -> Result<String> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -240,9 +244,13 @@ impl<'a> XmlParser<'a> {
                 match self.open.pop() {
                     Some(expected) if expected == name => {}
                     Some(expected) => {
-                        return Err(self.err(format!("mismatched `</{name}>`; expected `</{expected}>`")))
+                        return Err(
+                            self.err(format!("mismatched `</{name}>`; expected `</{expected}>`"))
+                        )
                     }
-                    None => return Err(self.err(format!("closing `</{name}>` with no open element"))),
+                    None => {
+                        return Err(self.err(format!("closing `</{name}>` with no open element")))
+                    }
                 }
                 return Ok(Some(XmlEvent::EndElement { name }));
             }
@@ -328,7 +336,9 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(&events[2], XmlEvent::StartElement { name, self_closing: true, .. } if name == "event"));
+        assert!(
+            matches!(&events[2], XmlEvent::StartElement { name, self_closing: true, .. } if name == "event")
+        );
         assert!(matches!(&events[3], XmlEvent::EndElement { name } if name == "event"));
         assert!(matches!(&events[5], XmlEvent::EndElement { name } if name == "log"));
     }
@@ -342,8 +352,7 @@ mod tests {
 
     #[test]
     fn decodes_entities_in_attributes_and_text() {
-        let events =
-            all_events(r#"<a k="x &amp; y &lt; &#65; &#x42;">T &gt; 1</a>"#);
+        let events = all_events(r#"<a k="x &amp; y &lt; &#65; &#x42;">T &gt; 1</a>"#);
         match &events[0] {
             XmlEvent::StartElement { attributes, .. } => {
                 assert_eq!(attributes[0].1, "x & y < A B");

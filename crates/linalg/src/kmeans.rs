@@ -44,8 +44,14 @@ pub fn kmeans(points: &Matrix, k: usize, max_iters: usize) -> KMeansResult {
     while centroid_rows.len() < k {
         let next = (0..n)
             .max_by(|&i, &j| {
-                let di = centroid_rows.iter().map(|&c| sq_dist(points.row(i), points.row(c))).fold(f64::INFINITY, f64::min);
-                let dj = centroid_rows.iter().map(|&c| sq_dist(points.row(j), points.row(c))).fold(f64::INFINITY, f64::min);
+                let di = centroid_rows
+                    .iter()
+                    .map(|&c| sq_dist(points.row(i), points.row(c)))
+                    .fold(f64::INFINITY, f64::min);
+                let dj = centroid_rows
+                    .iter()
+                    .map(|&c| sq_dist(points.row(j), points.row(c)))
+                    .fold(f64::INFINITY, f64::min);
                 di.total_cmp(&dj)
             })
             .expect("non-empty");
@@ -107,8 +113,7 @@ pub fn kmeans(points: &Matrix, k: usize, max_iters: usize) -> KMeansResult {
             }
         }
     }
-    let inertia =
-        (0..n).map(|i| sq_dist(points.row(i), centroids.row(assignment[i]))).sum();
+    let inertia = (0..n).map(|i| sq_dist(points.row(i), centroids.row(assignment[i]))).sum();
     KMeansResult { assignment, centroids, inertia, iterations }
 }
 

@@ -85,8 +85,7 @@ impl Matrix {
     /// Whether the matrix is symmetric within `eps`.
     pub fn is_symmetric(&self, eps: f64) -> bool {
         self.rows == self.cols
-            && (0..self.rows)
-                .all(|i| (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= eps))
+            && (0..self.rows).all(|i| (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= eps))
     }
 
     /// Frobenius norm of the off-diagonal part.

@@ -26,8 +26,9 @@ pub fn silhouette_coefficient(distances: &ClassDistances, groups: &[ClassSet]) -
             if group.len() == 1 {
                 continue; // s = 0 by convention
             }
-            let a: f64 = group.iter().filter(|&&o| o != c).map(|&o| distances.get(c, o)).sum::<f64>()
-                / (group.len() - 1) as f64;
+            let a: f64 =
+                group.iter().filter(|&&o| o != c).map(|&o| distances.get(c, o)).sum::<f64>()
+                    / (group.len() - 1) as f64;
             let b = members
                 .iter()
                 .enumerate()

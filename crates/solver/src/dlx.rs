@@ -394,7 +394,7 @@ mod tests {
         ec.add_row(vec![0], 0.1); // 1
         ec.add_row(vec![1], 0.1); // 2
         ec.add_row(vec![2], 0.1); // 3
-        // Unbounded: singletons win.
+                                  // Unbounded: singletons win.
         let (rows, _) = optimal(ec.solve(None, None, 1 << 20));
         assert_eq!(rows, vec![1, 2, 3]);
         // At most 1 set: forced to the big one.

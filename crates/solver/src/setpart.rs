@@ -116,8 +116,10 @@ impl SetPartitionProblem {
         if let Some(min) = self.min_sets {
             model.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Sense::Ge, min as f64);
         }
-        match solve_binary_program(&model, BnbOptions { max_nodes: self.budget(), ..Default::default() })
-        {
+        match solve_binary_program(
+            &model,
+            BnbOptions { max_nodes: self.budget(), ..Default::default() },
+        ) {
             BnbResult::Optimal { values, objective } => {
                 let selected: Vec<usize> =
                     (0..self.sets.len()).filter(|&i| values[vars[i]] > 0.5).collect();

@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match Gecco::new(&log).constraints(constraints).label_by("org:role").run()? {
         Outcome::Abstracted(result) => {
-            println!("\nFeasible: {} groups, dist = {:.3}", result.grouping().len(), result.distance());
+            println!(
+                "\nFeasible: {} groups, dist = {:.3}",
+                result.grouping().len(),
+                result.distance()
+            );
             println!("{}", result.grouping().render(&log));
         }
         Outcome::Infeasible(report) => {

@@ -27,14 +27,9 @@ fn blq_candidates_are_a_subset_of_geccos() {
         .expect_abstracted();
     // Selection over BL_Q candidates is no better than GECCO's optimum.
     let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
-    let blq_selection = gecco::core::select_optimal(
-        &log,
-        &blq,
-        &oracle,
-        (None, None),
-        SelectionOptions::default(),
-    )
-    .expect("singletons keep BL_Q feasible");
+    let blq_selection =
+        gecco::core::select_optimal(&log, &blq, &oracle, (None, None), SelectionOptions::default())
+            .expect("singletons keep BL_Q feasible");
     assert!(gecco_result.distance() <= blq_selection.distance + 1e-9);
 }
 
@@ -78,8 +73,7 @@ fn blg_is_dominated_on_the_running_example() {
 
 #[test]
 fn baselines_terminate_on_a_collection_log() {
-    let collection =
-        gecco::datagen::evaluation_collection(gecco::datagen::CollectionScale::Smoke);
+    let collection = gecco::datagen::evaluation_collection(gecco::datagen::CollectionScale::Smoke);
     let log = &collection[6].log; // the 8-class log
     let constraints = compile(log, "size(g) <= 5;");
     assert!(!query_candidates(log, &constraints, 5).is_empty());

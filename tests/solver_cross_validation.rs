@@ -23,8 +23,8 @@ fn brute_force(p: &SetPartitionProblem) -> Option<f64> {
             }
         }
         let exact = covered.iter().all(|&c| c == 1);
-        let card_ok = p.min_sets.is_none_or(|m| count >= m)
-            && p.max_sets.is_none_or(|m| count <= m);
+        let card_ok =
+            p.min_sets.is_none_or(|m| count >= m) && p.max_sets.is_none_or(|m| count <= m);
         if exact && card_ok && best.is_none_or(|b| cost < b) {
             best = Some(cost);
         }
@@ -36,10 +36,7 @@ fn arb_problem() -> impl Strategy<Value = SetPartitionProblem> {
     // Up to 7 elements, up to 12 candidate sets, optional cardinality bounds.
     (2usize..=7, 1usize..=12).prop_flat_map(|(elements, num_sets)| {
         let sets = proptest::collection::vec(
-            (
-                proptest::collection::btree_set(0..elements, 1..=elements),
-                0.1f64..10.0,
-            ),
+            (proptest::collection::btree_set(0..elements, 1..=elements), 0.1f64..10.0),
             num_sets,
         );
         (Just(elements), sets, proptest::option::of(0usize..3), proptest::option::of(1usize..5))

@@ -11,8 +11,8 @@ fn arb_name() -> impl Strategy<Value = String> {
 fn arb_log() -> impl Strategy<Value = EventLog> {
     let event = (arb_name(), any::<i32>(), proptest::option::of(-1.0e6f64..1.0e6));
     let trace = proptest::collection::vec(event, 0..6);
-    (proptest::collection::vec(trace, 0..5), proptest::collection::vec(arb_name(), 1..4))
-        .prop_map(|(traces, class_pool)| {
+    (proptest::collection::vec(trace, 0..5), proptest::collection::vec(arb_name(), 1..4)).prop_map(
+        |(traces, class_pool)| {
             let mut b = LogBuilder::new();
             for (i, t) in traces.iter().enumerate() {
                 let mut tb = b.trace(&format!("case {i} & co"));
@@ -32,7 +32,8 @@ fn arb_log() -> impl Strategy<Value = EventLog> {
                 tb.done();
             }
             b.build()
-        })
+        },
+    )
 }
 
 fn logs_equivalent(a: &EventLog, b: &EventLog) -> bool {
@@ -51,17 +52,13 @@ fn logs_equivalent(a: &EventLog, b: &EventLog) -> bool {
             let mut attrs_a: Vec<(String, String)> = ea
                 .attributes()
                 .iter()
-                .map(|(k, v)| {
-                    (a.resolve(*k).to_string(), v.display(a.interner()).to_string())
-                })
+                .map(|(k, v)| (a.resolve(*k).to_string(), v.display(a.interner()).to_string()))
                 .collect();
             let mut attrs_b: Vec<(String, String)> = eb
                 .attributes()
                 .iter()
                 .filter(|(k, _)| b.resolve(*k) != "concept:name")
-                .map(|(k, v)| {
-                    (b.resolve(*k).to_string(), v.display(b.interner()).to_string())
-                })
+                .map(|(k, v)| (b.resolve(*k).to_string(), v.display(b.interner()).to_string()))
                 .collect();
             attrs_a.retain(|(k, _)| k != "concept:name");
             attrs_a.sort();

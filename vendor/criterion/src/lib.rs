@@ -1,0 +1,255 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the `gecco-bench` benchmarks use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock harness: per benchmark it calibrates an
+//! iteration count targeting ~25 ms per sample, takes `sample_size`
+//! samples, and prints `min / median / max` per-iteration times (plus
+//! throughput when declared).
+//!
+//! Statistical analysis, HTML reports and baseline comparison are out of
+//! scope; swap the workspace dependency to real criterion to get them back.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+const TARGET_SAMPLE_NANOS: u128 = 25_000_000;
+const MAX_CALIBRATION_ITERS: u64 = 10_000;
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// When true (set by `cargo test`, which passes `--test` to bench
+    /// binaries), benchmarks are registered but not measured.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Reads harness arguments: `--test` switches to compile-smoke mode.
+    pub fn configure_from_args() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+            test_mode: self.test_mode,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name: String = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.run_one(&name, f);
+        group.finish();
+    }
+}
+
+/// A named set of related benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    // Tie the group to its Criterion like the real API does, so group
+    // lifetimes behave identically at call sites.
+    _marker: std::marker::PhantomData<&'c ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run_one(&id.full_name(), move |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        self.run_one(&id.full_name(), move |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        if self.test_mode {
+            println!("{full:<50} (skipped: --test mode)");
+            return;
+        }
+        let mut bencher = Bencher { sample_size: self.sample_size, samples_ns: Vec::new() };
+        f(&mut bencher);
+        bencher.report(&full, self.throughput.as_ref());
+    }
+}
+
+/// Work-loop driver passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration nanoseconds for `sample_size`
+    /// samples. The iteration count per sample is calibrated from a single
+    /// warmup call so fast and slow benchmarks both finish promptly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed().as_nanos().max(1);
+        let iters = ((TARGET_SAMPLE_NANOS / once).clamp(1, MAX_CALIBRATION_ITERS as u128)) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters as f64);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<&Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let median = sorted[sorted.len() / 2];
+        let tp = match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mb_s = *bytes as f64 / (median / 1e9) / 1e6;
+                format!("   thrpt: {mb_s:>8.1} MB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_s = *n as f64 / (median / 1e9);
+                format!("   thrpt: {elem_s:>10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!("{name:<50} time: [{} {} {}]{tp}", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A benchmark name with a parameter, e.g. `BenchmarkId::new("dlx", "12x30")`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    fn full_name(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Accepts both plain strings and [`BenchmarkId`]s as benchmark names.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self.to_string(), parameter: String::new() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self, parameter: String::new() }
+    }
+}
+
+/// Declared per-iteration workload, used for throughput reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,582 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! this workspace's test suites use, over a deterministic per-case seed
+//! (case `i` of every test always sees the same inputs, in every run and
+//! on every machine). Shrinking is not implemented: a failing case panics
+//! with the ordinary assertion message, and because generation is
+//! deterministic the failure reproduces by just re-running the test.
+//!
+//! Supported surface: range strategies over ints and floats, tuples up to
+//! arity 6, [`Just`], `prop_map` / `prop_flat_map`, [`collection::vec`],
+//! [`collection::btree_set`], [`option::of`], [`string::string_regex`]
+//! (character-class patterns of the form `[...]{m,n}` only), `any::<T>()`
+//! for primitive `T`, `ProptestConfig::with_cases`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng;
+
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic generator for one test case.
+#[doc(hidden)]
+pub fn rng_for_case(case: u64) -> StdRng {
+    <StdRng as SeedableRng>::seed_from_u64(
+        0xC0FF_EE00_0000_0000 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform over the entire domain of a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct FullDomain<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullDomain<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullDomain<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullDomain { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullDomain<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullDomain<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullDomain { _marker: std::marker::PhantomData }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Inclusive bounds on generated collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub min: usize,
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.min..=self.max)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, StdRng, Strategy};
+    use std::collections::BTreeSet;
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet`s with a size in `size` (if the element domain is large
+    /// enough to provide that many distinct values).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates only shrink the set, so over-draw generously; the
+            // element domain may still be smaller than `target`, in which
+            // case the set is as large as that domain allows.
+            let attempts = 16 * (target + 1);
+            for _ in 0..attempts {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Rng, StdRng, Strategy};
+
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` roughly half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.random_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies.
+
+    use super::{Rng, StdRng, Strategy};
+
+    /// Error returned for regex shapes the stand-in does not support.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported string_regex pattern: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        alphabet: Vec<char>,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// Strings matching a character-class regex of the form `[...]{m,n}`
+    /// (also `[...]{n}`, `[...]*`, `[...]+`). Ranges like `a-z` and literal
+    /// characters — including multi-byte ones — are supported inside the
+    /// class; that covers every pattern used in this workspace.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let err = || Error(pattern.to_string());
+        let rest = pattern.strip_prefix('[').ok_or_else(err)?;
+        let close = rest.find(']').ok_or_else(err)?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        if class.is_empty() {
+            return Err(err());
+        }
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                if lo > hi {
+                    return Err(err());
+                }
+                alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        let quantifier = &rest[close + 1..];
+        let (min_len, max_len) = match quantifier {
+            "*" => (0, 8),
+            "+" => (1, 8),
+            "" => (1, 1),
+            q => {
+                let body = q.strip_prefix('{').and_then(|b| b.strip_suffix('}')).ok_or_else(err)?;
+                match body.split_once(',') {
+                    Some((m, n)) => {
+                        (m.trim().parse().map_err(|_| err())?, n.trim().parse().map_err(|_| err())?)
+                    }
+                    None => {
+                        let n = body.trim().parse().map_err(|_| err())?;
+                        (n, n)
+                    }
+                }
+            }
+        };
+        if min_len > max_len {
+            return Err(err());
+        }
+        Ok(RegexStrategy { alphabet, min_len, max_len })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let len = rng.random_range(self.min_len..=self.max_len);
+            (0..len).map(|_| self.alphabet[rng.random_range(0..self.alphabet.len())]).collect()
+        }
+    }
+}
+
+/// Declares deterministic random-input tests; see the crate docs for the
+/// supported subset of real proptest's grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident($arg:ident in $strategy:expr) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = $strategy;
+                for case in 0..config.cases {
+                    let mut rng = $crate::rng_for_case(case as u64);
+                    let $arg = $crate::Strategy::generate(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            panic!(
+                "property failed: {} == {}\n  left: {left:?}\n right: {right:?}",
+                stringify!($left),
+                stringify!($right)
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0usize..100, 1..=10);
+        let mut a = crate::rng_for_case(5);
+        let mut b = crate::rng_for_case(5);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let strat = crate::collection::vec(0usize..10, 2..=5);
+        for case in 0..200 {
+            let v = strat.generate(&mut crate::rng_for_case(case));
+            assert!((2..=5).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_when_domain_allows() {
+        let strat = crate::collection::btree_set(0usize..100, 3..=3);
+        for case in 0..50 {
+            let s = strat.generate(&mut crate::rng_for_case(case));
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn string_regex_supports_class_with_ranges_and_literals() {
+        let strat = crate::string::string_regex("[a-zA-Z<>&\"' _:éß0-9]{1,12}").unwrap();
+        for case in 0..100 {
+            let s = strat.generate(&mut crate::rng_for_case(case));
+            let n = s.chars().count();
+            assert!((1..=12).contains(&n));
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || "<>&\"' _:éß".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported_shapes() {
+        assert!(crate::string::string_regex("(a|b)+").is_err());
+        assert!(crate::string::string_regex("[]").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_and_combinators_work(pair in (0usize..10, 0usize..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 20);
+            prop_assert_eq!(pair, pair);
+        }
+    }
+}

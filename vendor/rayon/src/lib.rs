@@ -1,0 +1,283 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this crate provides the
+//! small parallel-iterator subset `gecco-core` uses — `par_iter().map(..)`
+//! `.collect()`, `par_chunks`, and `join` — backed by `std::thread::scope`
+//! with one contiguous chunk per available core. Results are returned in
+//! input order, exactly like rayon's indexed parallel iterators.
+//!
+//! Swapping in the real rayon later requires only changing the workspace
+//! dependency; call sites are written against rayon's names.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Number of worker threads a parallel operation will use: the
+/// `RAYON_NUM_THREADS` environment variable (like real rayon) when set to a
+/// positive integer, otherwise the number of available cores.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join worker panicked"))
+    })
+}
+
+/// `.into_par_iter()` on owned collections; implemented for `Range<usize>`
+/// (the shape the workspace uses — index-parallel loops without allocating
+/// an index vector).
+pub trait IntoParallelIterator {
+    type Iter;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over an index range (order-preserving).
+#[derive(Debug)]
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap { range: self.range, f }
+    }
+}
+
+/// The result of [`ParRange::map`]; consume with [`ParRangeMap::collect`].
+#[derive(Debug)]
+pub struct ParRangeMap<F> {
+    range: std::ops::Range<usize>,
+    f: F,
+}
+
+impl<R, F> ParRangeMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let (start, len) = (self.range.start, self.range.len());
+        let f = self.f;
+        C::from(par_map_indexed(len, |i| f(start + i)))
+    }
+}
+
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks { items: self, chunk_size }
+    }
+}
+
+/// Borrowing parallel iterator over slice elements (order-preserving).
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Accepted for rayon compatibility; chunking is always one contiguous
+    /// block per thread here, so the hint has nothing further to do.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// Parallel iterator over contiguous sub-slices (order-preserving).
+#[derive(Debug)]
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        ParChunksMap { items: self.items, chunk_size: self.chunk_size, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; consume with [`ParMap::collect`].
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Maps every element (in parallel when more than one core is available)
+    /// and collects the results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_indexed(self.items.len(), |i| (self.f)(&self.items[i])))
+    }
+}
+
+/// The result of [`ParChunks::map`]; consume with [`ParChunksMap::collect`].
+#[derive(Debug)]
+pub struct ParChunksMap<'a, T, F> {
+    items: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'a, T, R, F> ParChunksMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let chunks: Vec<&'a [T]> = self.items.chunks(self.chunk_size).collect();
+        C::from(par_map_indexed(chunks.len(), |i| (self.f)(chunks[i])))
+    }
+}
+
+/// Maps `0..len` through `f` across one contiguous index block per thread,
+/// preserving order in the output.
+fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let block = len.div_ceil(threads);
+    let f = &f;
+    let mut blocks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(block)
+            .map(|start| {
+                let end = (start + block).min(len);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            blocks.push(handle.join().expect("rayon-shim: worker panicked"));
+        }
+    });
+    blocks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_everything() {
+        let input: Vec<u64> = (0..103).collect();
+        let sums: Vec<u64> = input.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u64>(), input.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
