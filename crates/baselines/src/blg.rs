@@ -10,20 +10,20 @@
 
 use gecco_constraints::CompiledConstraintSet;
 use gecco_core::{DistanceOracle, Grouping};
-use gecco_eventlog::{ClassSet, EventLog};
+use gecco_eventlog::{ClassSet, EvalContext};
 
 /// Runs the greedy baseline; returns `None` when even the singleton
 /// grouping violates the constraints (the greedy strategy then has no
 /// feasible starting point — its key weakness for monotonic constraint
 /// sets like `M`).
 pub fn greedy_grouping(
-    log: &EventLog,
+    ctx: &EvalContext<'_>,
     constraints: &CompiledConstraintSet,
 ) -> Option<(Grouping, f64)> {
-    let oracle = DistanceOracle::new(log, constraints.segmenter());
-    let mut groups: Vec<ClassSet> = Grouping::singletons(log).groups().to_vec();
+    let oracle = DistanceOracle::new(ctx, constraints.segmenter());
+    let mut groups: Vec<ClassSet> = Grouping::singletons(ctx.log()).groups().to_vec();
     // The starting point itself must be feasible.
-    if !groups.iter().all(|g| constraints.holds(g, log)) {
+    if !groups.iter().all(|g| constraints.holds(g, ctx)) {
         return None;
     }
     let mut total: f64 = groups.iter().map(|g| oracle.distance(g)).sum();
@@ -39,7 +39,7 @@ pub fn greedy_grouping(
                         + oracle.distance(&merged);
                 if candidate_total < total - 1e-12
                     && best.as_ref().is_none_or(|(_, _, b)| candidate_total < *b)
-                    && constraints.holds(&merged, log)
+                    && constraints.holds(&merged, ctx)
                 {
                     best = Some((i, j, candidate_total));
                 }
@@ -63,6 +63,7 @@ mod tests {
     use super::*;
     use gecco_constraints::ConstraintSet;
     use gecco_datagen::running_example;
+    use gecco_eventlog::EventLog;
 
     fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
         CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
@@ -71,15 +72,17 @@ mod tests {
     #[test]
     fn merges_improve_distance() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
-        let (grouping, total) = greedy_grouping(&log, &cs).unwrap();
+        let (grouping, total) = greedy_grouping(&ctx, &cs).unwrap();
         assert!(grouping.is_exact_cover(&log));
         assert!(grouping.len() < log.num_classes(), "some merge must help");
         // Never worse than all singletons (distance |C_L| = 8).
         assert!(total < 8.0);
         // All groups satisfy the constraint.
         for g in grouping.iter() {
-            assert!(cs.holds(g, &log));
+            assert!(cs.holds(g, &ctx));
         }
     }
 
@@ -87,9 +90,11 @@ mod tests {
     fn greedy_is_no_better_than_optimal() {
         use gecco_core::{CandidateStrategy, Gecco};
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let dsl = "distinct(instance, \"org:role\") <= 1;";
         let cs = compile(&log, dsl);
-        let (_, greedy_total) = greedy_grouping(&log, &cs).unwrap();
+        let (_, greedy_total) = greedy_grouping(&ctx, &cs).unwrap();
         let optimal = Gecco::new(&log)
             .constraints(ConstraintSet::parse(dsl).unwrap())
             .candidates(CandidateStrategy::Exhaustive)
@@ -102,16 +107,20 @@ mod tests {
     #[test]
     fn infeasible_singletons_abort() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         // Singletons have exactly 1 event per instance; require 2.
         let cs = compile(&log, "count(instance) >= 2;");
-        assert!(greedy_grouping(&log, &cs).is_none());
+        assert!(greedy_grouping(&ctx, &cs).is_none());
     }
 
     #[test]
     fn constraints_block_merges() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "size(g) <= 1;");
-        let (grouping, _) = greedy_grouping(&log, &cs).unwrap();
+        let (grouping, _) = greedy_grouping(&ctx, &cs).unwrap();
         assert_eq!(grouping.len(), 8, "nothing may merge");
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::graphdb::{NodeId, PathPattern, PropertyGraph, PropertyValue};
 use gecco_constraints::CompiledConstraintSet;
-use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog};
+use gecco_eventlog::{ClassId, ClassSet, Dfg, EvalContext, EventLog};
 use std::collections::HashSet;
 
 /// Loads the DFG of `log` into a property graph (one node per occurring
@@ -50,17 +50,18 @@ pub fn dfg_to_graph(log: &EventLog, dfg: &Dfg) -> (PropertyGraph, Vec<ClassId>) 
 /// groups. Singletons are always included so that the downstream exact
 /// cover stays feasible whenever singletons satisfy the constraints.
 pub fn query_candidates(
-    log: &EventLog,
+    ctx: &EvalContext<'_>,
     constraints: &CompiledConstraintSet,
     max_path_len: usize,
 ) -> Vec<ClassSet> {
+    let log = ctx.log();
     let dfg = Dfg::from_log(log);
     let (graph, classes) = dfg_to_graph(log, &dfg);
     let class_of = |n: NodeId| classes[n.0 as usize];
     // The WHERE clause over the full path: node set satisfies R_C.
     let group_ok = |_: &PropertyGraph, path: &[NodeId]| {
         let group: ClassSet = path.iter().map(|&n| class_of(n)).collect();
-        constraints.check_class(&group, log).is_ok()
+        constraints.check_class(&group, ctx).is_ok()
     };
     let pattern = PathPattern {
         min_len: 1,
@@ -84,7 +85,7 @@ pub fn query_candidates(
     // any that the pattern may have filtered out only if they satisfy R_C.
     for &c in &classes {
         let g = ClassSet::singleton(c);
-        if constraints.check_class(&g, log).is_ok() && seen.insert(g) {
+        if constraints.check_class(&g, ctx).is_ok() && seen.insert(g) {
             out.push(g);
         }
     }
@@ -117,8 +118,10 @@ mod tests {
     #[test]
     fn query_respects_size_bound() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "size(g) <= 2;");
-        let candidates = query_candidates(&log, &cs, 5);
+        let candidates = query_candidates(&ctx, &cs, 5);
         assert!(candidates.iter().all(|g| g.len() <= 2));
         // All 8 singletons plus connected pairs.
         assert!(candidates.iter().filter(|g| g.len() == 1).count() == 8);
@@ -128,10 +131,12 @@ mod tests {
     #[test]
     fn query_respects_cannot_link() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "size(g) <= 3; cannot_link(\"rcp\", \"acc\");");
         let rcp = log.class_by_name("rcp").unwrap();
         let acc = log.class_by_name("acc").unwrap();
-        for g in query_candidates(&log, &cs, 5) {
+        for g in query_candidates(&ctx, &cs, 5) {
             assert!(!(g.contains(rcp) && g.contains(acc)));
         }
     }
@@ -139,8 +144,10 @@ mod tests {
     #[test]
     fn query_only_sees_connected_groups() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "size(g) <= 2;");
-        let candidates = query_candidates(&log, &cs, 5);
+        let candidates = query_candidates(&ctx, &cs, 5);
         // {ckc, ckt} is not connected by any DFG edge → not reachable as a
         // simple path → absent (this is BL_Q's structural weakness vs
         // Algorithm 3).

@@ -5,20 +5,23 @@ use gecco_baselines::{greedy_grouping, query_candidates, spectral_partitioning};
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
 use gecco_core::{Budget, CandidateStrategy, Gecco};
 use gecco_datagen::loan_log;
+use gecco_eventlog::{EvalContext, LogIndex};
 
 fn bench_baselines(c: &mut Criterion) {
     let log = loan_log(80, 5);
     let dsl = "size(g) <= 5;";
     let compiled =
         CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), &log).unwrap();
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     let mut group = c.benchmark_group("baselines");
     group.sample_size(10);
-    group.bench_function("blq_query", |b| b.iter(|| query_candidates(&log, &compiled, 5)));
+    group.bench_function("blq_query", |b| b.iter(|| query_candidates(&ctx, &compiled, 5)));
     group.bench_function("blp_spectral", |b| {
         b.iter(|| spectral_partitioning(&log, 12).expect("feasible"))
     });
     group.bench_function("blg_greedy", |b| {
-        b.iter(|| greedy_grouping(&log, &compiled).expect("feasible"))
+        b.iter(|| greedy_grouping(&ctx, &compiled).expect("feasible"))
     });
     group.bench_function("gecco_dfg_beam", |b| {
         b.iter(|| {

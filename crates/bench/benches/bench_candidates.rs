@@ -1,13 +1,14 @@
 //! Candidate-computation scaling: Algorithm 1 vs Algorithm 2, plus the
-//! ablations DESIGN.md calls out (beam width sweep, pruning modes).
+//! ablations DESIGN.md calls out (beam width sweep, pruning modes) and the
+//! scan-vs-indexed candidate-check comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
 use gecco_core::candidates::dfg::{dfg_candidates, NoObserver};
 use gecco_core::candidates::exhaustive::exhaustive_candidates;
 use gecco_core::{BeamWidth, Budget};
-use gecco_datagen::loan_log;
-use gecco_eventlog::EventLog;
+use gecco_datagen::{evaluation_collection, loan_log, CollectionScale};
+use gecco_eventlog::{ClassSet, Dfg, EvalContext, EventLog, InstanceCache, LogIndex};
 
 fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
     CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
@@ -15,21 +16,23 @@ fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
 
 fn bench_candidates(c: &mut Criterion) {
     let log = loan_log(100, 4);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     let anti = compile(&log, "size(g) <= 4; distinct(instance, \"org:role\") <= 1;");
     let budget = Budget::max_checks(2_000);
     let mut group = c.benchmark_group("candidates");
     group.sample_size(10);
     group.bench_function("exhaustive_anti_monotonic", |b| {
-        b.iter(|| exhaustive_candidates(&log, &anti, budget))
+        b.iter(|| exhaustive_candidates(&ctx, &anti, budget))
     });
     group.bench_function("dfg_unbounded", |b| {
-        b.iter(|| dfg_candidates(&log, &anti, None, budget, &mut NoObserver))
+        b.iter(|| dfg_candidates(&ctx, &anti, None, budget, &mut NoObserver))
     });
     // Ablation: beam width sweep (the paper's k = 5·|C_L| vs narrower).
     for k in [1usize, 24, 120] {
         group.bench_with_input(BenchmarkId::new("dfg_beam", k), &k, |b, &k| {
             b.iter(|| {
-                dfg_candidates(&log, &anti, Some(BeamWidth::Fixed(k)), budget, &mut NoObserver)
+                dfg_candidates(&ctx, &anti, Some(BeamWidth::Fixed(k)), budget, &mut NoObserver)
             })
         });
     }
@@ -38,7 +41,7 @@ fn bench_candidates(c: &mut Criterion) {
     // pruning and forces full expansion under the same budget.
     let no_prune = compile(&log, "size(g) >= 1;");
     group.bench_function("exhaustive_no_anti_pruning", |b| {
-        b.iter(|| exhaustive_candidates(&log, &no_prune, budget))
+        b.iter(|| exhaustive_candidates(&ctx, &no_prune, budget))
     });
     // Serial vs chunk-parallel hot path (gecco-core feature `rayon`, on by
     // default for this crate): identical work and bit-identical output,
@@ -47,6 +50,8 @@ fn bench_candidates(c: &mut Criterion) {
     #[cfg(feature = "rayon")]
     {
         let heavy = loan_log(400, 4);
+        let heavy_index = LogIndex::build(&heavy);
+        let heavy_ctx = EvalContext::new(&heavy, &heavy_index);
         let heavy_anti = compile(&heavy, "size(g) <= 4; distinct(instance, \"org:role\") <= 1;");
         let heavy_budget = Budget::max_checks(4_000);
         for (label, enabled) in [("serial", false), ("parallel", true)] {
@@ -56,7 +61,7 @@ fn bench_candidates(c: &mut Criterion) {
                 |b, &enabled| {
                     gecco_core::set_parallel(enabled);
                     b.iter(|| {
-                        dfg_candidates(&heavy, &heavy_anti, None, heavy_budget, &mut NoObserver)
+                        dfg_candidates(&heavy_ctx, &heavy_anti, None, heavy_budget, &mut NoObserver)
                     });
                     gecco_core::set_parallel(true);
                 },
@@ -66,13 +71,60 @@ fn bench_candidates(c: &mut Criterion) {
                 &enabled,
                 |b, &enabled| {
                     gecco_core::set_parallel(enabled);
-                    b.iter(|| exhaustive_candidates(&heavy, &heavy_anti, heavy_budget));
+                    b.iter(|| exhaustive_candidates(&heavy_ctx, &heavy_anti, heavy_budget));
                     gecco_core::set_parallel(true);
                 },
             );
         }
     }
     group.finish();
+    bench_check_modes(c);
+}
+
+/// Scan vs indexed vs indexed+cache per-candidate checks on a collection
+/// workload: 70 event classes over 90 traces, so the typical candidate's
+/// classes occur in only a small fraction of the traces — exactly the shape
+/// where the full-log scan wastes its time on foreign traces.
+fn bench_check_modes(c: &mut Criterion) {
+    let collection = evaluation_collection(CollectionScale::Full);
+    let generated =
+        collection.into_iter().max_by_key(|g| g.log.num_classes()).expect("collection non-empty");
+    let log = generated.log;
+    let index = LogIndex::build(&log);
+    let constraints =
+        compile(&log, "size(g) <= 4; distinct(instance, \"org:role\") <= 1; count(instance) >= 1;");
+    // A realistic candidate pool: every occurring singleton plus every
+    // DFG-adjacent pair (what the first two beam iterations examine).
+    let dfg = Dfg::from_log(&log);
+    let mut pool: Vec<ClassSet> =
+        gecco_core::grouping::occurring_classes(&log).iter().map(ClassSet::singleton).collect();
+    for (a, b, _) in dfg.edges() {
+        if a != b {
+            pool.push([a, b].into_iter().collect());
+        }
+    }
+    let mut group = c.benchmark_group("candidate_checks");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("mode", "scan"), |b| {
+        b.iter(|| pool.iter().filter(|g| constraints.holds_scan(g, &log)).count())
+    });
+    group.bench_function(BenchmarkId::new("mode", "indexed"), |b| {
+        let ctx = EvalContext::new(&log, &index);
+        b.iter(|| pool.iter().filter(|g| constraints.holds(g, &ctx)).count())
+    });
+    group.bench_function(BenchmarkId::new("mode", "indexed_cached"), |b| {
+        // Cross-candidate cache: after the first pass every verdict is a
+        // lookup (the cross-constraint-set reuse measured in table5/table6).
+        let cache = InstanceCache::new();
+        let ctx = EvalContext::with_cache(&log, &index, &cache);
+        b.iter(|| pool.iter().filter(|g| constraints.holds(g, &ctx)).count())
+    });
+    group.finish();
+    // Sanity: all three modes agree (cheap here; a debug aid for the bench).
+    let ctx = EvalContext::new(&log, &index);
+    for g in &pool {
+        assert_eq!(constraints.holds(g, &ctx), constraints.holds_scan(g, &log));
+    }
 }
 
 criterion_group!(benches, bench_candidates);

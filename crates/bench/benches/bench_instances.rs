@@ -1,18 +1,21 @@
 //! Instance segmentation (`inst`) and distance evaluation (Eq. 1) costs —
-//! the inner loop of candidate checking.
+//! the inner loop of candidate checking — scan vs indexed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gecco_core::group_distance;
+use gecco_core::{group_distance, group_distance_scan};
 use gecco_datagen::loan_log;
-use gecco_eventlog::{instances, ClassSet, Segmenter};
+use gecco_eventlog::{instances, ClassSet, EvalContext, LogIndex, Segmenter};
+use std::ops::ControlFlow;
 
 fn bench_instances(c: &mut Criterion) {
     let log = loan_log(200, 3);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     // A mid-sized group: the first 4 application-system classes.
     let group: ClassSet =
         log.classes().ids().filter(|&cid| log.class_name(cid).starts_with("A_")).take(4).collect();
     let mut g = c.benchmark_group("instances");
-    g.bench_function("segment_log", |b| {
+    g.bench_function("segment_log_scan", |b| {
         b.iter(|| {
             let mut n = 0usize;
             for t in log.traces() {
@@ -21,8 +24,21 @@ fn bench_instances(c: &mut Criterion) {
             n
         })
     });
-    g.bench_function("group_distance", |b| {
-        b.iter(|| group_distance(&log, &group, Segmenter::RepeatSplit))
+    g.bench_function("segment_log_indexed", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            let _: Option<()> = ctx.visit_instances(&group, Segmenter::RepeatSplit, |_, _| {
+                n += 1;
+                ControlFlow::Continue(())
+            });
+            n
+        })
+    });
+    g.bench_function("group_distance_scan", |b| {
+        b.iter(|| group_distance_scan(&log, &group, Segmenter::RepeatSplit))
+    });
+    g.bench_function("group_distance_indexed", |b| {
+        b.iter(|| group_distance(&ctx, &group, Segmenter::RepeatSplit))
     });
     g.finish();
 }

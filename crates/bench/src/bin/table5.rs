@@ -6,7 +6,9 @@
 //! logs and a small candidate budget.
 
 use gecco_bench::report::{header, row, smoke_requested, PaperRow};
-use gecco_bench::{applicable, constraint_dsl, run_gecco, Aggregate, RunConfig, ALL_SETS};
+use gecco_bench::{
+    applicable, constraint_dsl, run_gecco_shared, Aggregate, LogSession, RunConfig, ALL_SETS,
+};
 use gecco_core::{Budget, CandidateStrategy};
 use gecco_datagen::{evaluation_collection, CollectionScale};
 
@@ -41,18 +43,22 @@ fn main() {
         ..Default::default()
     };
     let collection = evaluation_collection(scale);
+    // One session per log: the occurrence index is built once and the
+    // instance/verdict cache is shared across all ten constraint sets.
+    let sessions: Vec<LogSession<'_>> =
+        collection.iter().map(|generated| LogSession::new(&generated.log)).collect();
     println!("Table V — Exh configuration per constraint set (ours vs paper)");
     println!("(candidate budget: {budget} checks — the analogue of the paper's 5h timeout)\n");
     header("Const.");
     let mut total_problems = 0usize;
     for set in ALL_SETS {
         let mut outcomes = Vec::new();
-        for generated in &collection {
+        for (generated, session) in collection.iter().zip(&sessions) {
             if !applicable(set, &generated.log) {
                 continue;
             }
             let dsl = constraint_dsl(set, &generated.log);
-            match run_gecco(&generated.log, &dsl, config) {
+            match run_gecco_shared(session, &dsl, config) {
                 Ok(outcome) => outcomes.push(outcome),
                 Err(e) => eprintln!("  [skip] {} on {}: {e}", set.name(), generated.reference),
             }

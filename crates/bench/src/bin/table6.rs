@@ -2,7 +2,9 @@
 //! `DFGk` with `k = 5·|C_L|`) over all solvable problems.
 
 use gecco_bench::report::{header, row, smoke_requested, PaperRow};
-use gecco_bench::{applicable, constraint_dsl, run_gecco, Aggregate, RunConfig, ALL_SETS};
+use gecco_bench::{
+    applicable, constraint_dsl, run_gecco_shared, Aggregate, LogSession, RunConfig, ALL_SETS,
+};
 use gecco_core::{BeamWidth, Budget, CandidateStrategy};
 use gecco_datagen::{evaluation_collection, CollectionScale};
 
@@ -14,6 +16,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 1_000 } else { 10_000 });
     let collection = evaluation_collection(scale);
+    // One session per log, shared across constraint sets and configurations
+    // (instances depend only on the group and segmenter, never on the
+    // Step-1 strategy).
+    let sessions: Vec<LogSession<'_>> =
+        collection.iter().map(|generated| LogSession::new(&generated.log)).collect();
     let configs: [(&str, CandidateStrategy, Option<PaperRow>); 3] = [
         (
             "Exh",
@@ -37,13 +44,13 @@ fn main() {
         let config =
             RunConfig { strategy, budget: Budget::max_checks(budget), ..Default::default() };
         let mut outcomes = Vec::new();
-        for generated in &collection {
+        for (generated, session) in collection.iter().zip(&sessions) {
             for set in ALL_SETS {
                 if !applicable(set, &generated.log) {
                     continue;
                 }
                 let dsl = constraint_dsl(set, &generated.log);
-                if let Ok(outcome) = run_gecco(&generated.log, &dsl, config) {
+                if let Ok(outcome) = run_gecco_shared(session, &dsl, config) {
                     outcomes.push(outcome);
                 }
             }

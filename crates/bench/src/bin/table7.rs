@@ -17,7 +17,7 @@ use gecco_core::{
     SelectionOptions,
 };
 use gecco_datagen::{evaluation_collection, CollectionScale, GeneratedLog};
-use gecco_eventlog::{EventLog, Segmenter};
+use gecco_eventlog::{EvalContext, EventLog, LogIndex, Segmenter};
 use std::time::Instant;
 
 fn compile(log: &EventLog, dsl: &str) -> Option<CompiledConstraintSet> {
@@ -29,9 +29,13 @@ fn compile(log: &EventLog, dsl: &str) -> Option<CompiledConstraintSet> {
 /// selection over them.
 fn run_blq(log: &EventLog, dsl: &str) -> Option<ProblemOutcome> {
     let constraints = compile(log, dsl)?;
+    // Index construction stays outside the timed region, matching
+    // run_gecco (whose LogSession builds the index before its clock starts).
+    let index = LogIndex::build(log);
+    let ctx = EvalContext::new(log, &index);
     let start = Instant::now();
-    let candidates = query_candidates(log, &constraints, 5);
-    let oracle = DistanceOracle::new(log, Segmenter::RepeatSplit);
+    let candidates = query_candidates(&ctx, &constraints, 5);
+    let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
     let selection = gecco_core::select_optimal(
         log,
         &candidates,
@@ -71,8 +75,10 @@ fn run_blp(log: &EventLog) -> ProblemOutcome {
 /// BL_G: greedy agglomerative grouping under the compiled constraints.
 fn run_blg(log: &EventLog, dsl: &str) -> Option<ProblemOutcome> {
     let constraints = compile(log, dsl)?;
+    let index = LogIndex::build(log);
+    let ctx = EvalContext::new(log, &index);
     let start = Instant::now();
-    let result = greedy_grouping(log, &constraints);
+    let result = greedy_grouping(&ctx, &constraints);
     let seconds = start.elapsed().as_secs_f64();
     Some(match result {
         Some((grouping, _)) => {

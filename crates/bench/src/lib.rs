@@ -15,4 +15,7 @@ pub mod report;
 pub mod runner;
 
 pub use constraint_sets::{applicable, constraint_dsl, ConstraintSetId, ALL_SETS};
-pub use runner::{evaluate_grouping, run_gecco, Aggregate, ProblemOutcome, RunConfig};
+pub use runner::{
+    evaluate_grouping, run_gecco, run_gecco_shared, Aggregate, LogSession, ProblemOutcome,
+    RunConfig,
+};

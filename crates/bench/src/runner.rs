@@ -6,9 +6,48 @@ use gecco_core::{
     AbstractionStrategy, Budget, CandidateStrategy, Gecco, Grouping, Outcome, SelectionOptions,
 };
 use gecco_discovery::DiscoveryOptions;
-use gecco_eventlog::{ClassSet, EventLog, Segmenter};
+use gecco_eventlog::{
+    CacheStats, ClassSet, EvalContext, EventLog, InstanceCache, LogIndex, Segmenter,
+};
 use gecco_metrics::{complexity_reduction, silhouette_coefficient, size_reduction, ClassDistances};
 use std::time::Instant;
+
+/// Shared per-log evaluation state for a *series* of abstraction problems:
+/// the occurrence index (built once) plus the cross-candidate,
+/// cross-constraint-set instance/verdict cache.
+///
+/// The evaluation harness runs the same log under up to ten constraint
+/// sets (Tables V–VII); every set re-examines largely the same candidate
+/// groups, so sharing one session avoids re-indexing the log and
+/// re-materializing `inst(L, g)` per set.
+#[derive(Debug)]
+pub struct LogSession<'a> {
+    log: &'a EventLog,
+    index: LogIndex,
+    cache: InstanceCache,
+}
+
+impl<'a> LogSession<'a> {
+    /// Indexes `log` and starts an empty shared cache.
+    pub fn new(log: &'a EventLog) -> LogSession<'a> {
+        LogSession { log, index: LogIndex::build(log), cache: InstanceCache::new() }
+    }
+
+    /// The session's log.
+    pub fn log(&self) -> &'a EventLog {
+        self.log
+    }
+
+    /// An evaluation context over the session's shared state.
+    pub fn context(&self) -> EvalContext<'_> {
+        EvalContext::with_cache(self.log, &self.index, &self.cache)
+    }
+
+    /// Usage counters of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
 
 /// Number of classes that actually occur in traces.
 pub fn occurring_class_count(log: &EventLog) -> usize {
@@ -55,7 +94,24 @@ impl Default for RunConfig {
 
 /// Runs GECCO on `(log, dsl)` and measures the outcome. `Err` means the
 /// constraints do not apply to this log (e.g. BL3 without class attributes).
+///
+/// Builds a throwaway [`LogSession`]; callers evaluating several
+/// constraint sets over one log should build the session once and use
+/// [`run_gecco_shared`].
 pub fn run_gecco(log: &EventLog, dsl: &str, config: RunConfig) -> Result<ProblemOutcome, String> {
+    let session = LogSession::new(log);
+    run_gecco_shared(&session, dsl, config)
+}
+
+/// Like [`run_gecco`], but reuses a [`LogSession`]: the log index is built
+/// once per log, and materialized instances/verdicts are shared across
+/// candidates and constraint sets (the ROADMAP's "shared candidate cache").
+pub fn run_gecco_shared(
+    session: &LogSession<'_>,
+    dsl: &str,
+    config: RunConfig,
+) -> Result<ProblemOutcome, String> {
+    let log = session.log();
     let constraints = ConstraintSet::parse(dsl).map_err(|e| e.to_string())?;
     let start = Instant::now();
     let outcome = Gecco::new(log)
@@ -66,6 +122,8 @@ pub fn run_gecco(log: &EventLog, dsl: &str, config: RunConfig) -> Result<Problem
             engine: Default::default(),
             max_nodes: config.selection_nodes,
         })
+        .with_index(&session.index)
+        .instance_cache(&session.cache)
         .run()
         .map_err(|e| e.to_string())?;
     let seconds = start.elapsed().as_secs_f64();
@@ -97,8 +155,10 @@ pub fn run_gecco(log: &EventLog, dsl: &str, config: RunConfig) -> Result<Problem
 pub fn evaluate_grouping(log: &EventLog, groups: &[ClassSet]) -> (f64, f64, f64) {
     let grouping = Grouping::new(groups.to_vec());
     let names = activity_names(log, &grouping, Some("org:role"));
+    let index = LogIndex::build(log);
+    let ctx = EvalContext::new(log, &index);
     let abstracted = abstract_log(
-        log,
+        &ctx,
         &grouping,
         &names,
         AbstractionStrategy::Completion,
@@ -176,6 +236,40 @@ mod tests {
         assert!((out.s_red - 0.5).abs() < 1e-9, "8 classes → 4 groups");
         assert!(out.c_red > 0.0, "abstraction must simplify the model");
         assert!(out.seconds >= 0.0);
+    }
+
+    #[test]
+    fn shared_session_reuses_instances_across_constraint_sets() {
+        let log = running_example();
+        let session = LogSession::new(&log);
+        let config = RunConfig { strategy: CandidateStrategy::DfgUnbounded, ..Default::default() };
+        let a =
+            run_gecco_shared(&session, "distinct(instance, \"org:role\") <= 1;", config).unwrap();
+        let after_first = session.cache_stats();
+        assert!(after_first.instance_entries > 0, "first run populates the cache");
+        // A second constraint set over the same log: same candidates, so the
+        // materialized instances are reused instead of recomputed.
+        let b = run_gecco_shared(
+            &session,
+            "size(g) <= 8; distinct(instance, \"org:role\") <= 1;",
+            config,
+        )
+        .unwrap();
+        let after_second = session.cache_stats();
+        assert!(after_second.instance_hits > after_first.instance_hits);
+        assert!(a.solved && b.solved);
+        // Re-running the *same* specification re-compiles it, but the
+        // structural signature resolves to the same verdict token, so the
+        // whole candidate search is answered from the verdict cache.
+        let a2 =
+            run_gecco_shared(&session, "distinct(instance, \"org:role\") <= 1;", config).unwrap();
+        assert!(session.cache_stats().verdict_hits > after_second.verdict_hits);
+        assert_eq!(a2.groups, a.groups);
+        // Shared-session outcomes match isolated runs.
+        let isolated = run_gecco(&log, "distinct(instance, \"org:role\") <= 1;", config).unwrap();
+        assert_eq!(a.groups, isolated.groups);
+        assert!((a.s_red - isolated.s_red).abs() < 1e-12);
+        assert!((a.sil - isolated.sil).abs() < 1e-12);
     }
 
     #[test]

@@ -4,14 +4,29 @@
 //! before instance-based ones because the former need no pass over the log
 //! (§V-B "we check constraints in R_C before ones in R_I, … minimizing the
 //! validation cost per candidate").
+//!
+//! Evaluation runs against an [`EvalContext`]: instance-based checks
+//! materialize group instances through the log's
+//! [`gecco_eventlog::LogIndex`] (touching only traces that contain a group
+//! class) and, when the context carries a shared
+//! [`gecco_eventlog::InstanceCache`], reuse materialized instances across
+//! candidates and constraint sets and memoize `holds` verdicts per compiled
+//! set. The naive full-log scan survives as the
+//! [`CompiledConstraintSet::holds_scan`] /
+//! [`CompiledConstraintSet::check_instances_scan`] oracle used by the
+//! equivalence test suites and the scan-vs-indexed benchmarks; both paths
+//! are bit-identical by construction (they share the per-instance
+//! accumulator).
 
 use crate::monotonicity::{checking_mode, CheckingMode, Monotonicity};
 use crate::spec::{ClassExpr, Cmp, Constraint, ConstraintSet, InstanceExpr};
 use gecco_eventlog::{
-    instances, ClassId, ClassSet, EventLog, GroupInstance, Segmenter, Symbol, Trace,
+    instances, ClassId, ClassSet, EvalContext, EventLog, GroupInstance, Segmenter, Symbol, Trace,
 };
 use std::collections::HashSet;
 use std::fmt;
+use std::fmt::Write as _;
+use std::ops::ControlFlow;
 
 /// Error raised when a specification does not fit the log.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +103,12 @@ pub struct CompiledConstraintSet {
     group_max: Option<u32>,
     mode: CheckingMode,
     segmenter: Segmenter,
+    /// Structural signature of this compilation (rendered constraints plus
+    /// segmenter), resolved to a verdict-cache token via
+    /// [`gecco_eventlog::InstanceCache::token_for`]. Re-compilations of an
+    /// identical specification share the signature, so memoized verdicts
+    /// stay hittable across pipeline runs over the same cache.
+    signature: String,
 }
 
 impl CompiledConstraintSet {
@@ -189,6 +210,10 @@ impl CompiledConstraintSet {
                 .map(|(_, _, m)| *m)
                 .chain(inst_checks.iter().map(|c| c.monotonicity)),
         );
+        let mut signature = format!("{segmenter:?}");
+        for constraint in spec.constraints() {
+            let _ = write!(signature, ";{constraint}");
+        }
         Ok(CompiledConstraintSet {
             spec: spec.clone(),
             class_checks,
@@ -197,6 +222,7 @@ impl CompiledConstraintSet {
             group_max,
             mode,
             segmenter,
+            signature,
         })
     }
 
@@ -233,10 +259,17 @@ impl CompiledConstraintSet {
         !self.inst_checks.is_empty()
     }
 
+    /// Structural signature of this compilation (verdict-cache key
+    /// component; equal for re-compilations of the same specification).
+    pub fn signature(&self) -> &str {
+        &self.signature
+    }
+
     /// Checks `R_C` for one group; returns the spec index of the first
-    /// violated constraint.
-    pub fn check_class(&self, group: &ClassSet, log: &EventLog) -> Result<(), usize> {
-        self.check_class_filtered(group, log, |_| true)
+    /// violated constraint. Class-based checks never touch the traces, so
+    /// only the context's log is consulted.
+    pub fn check_class(&self, group: &ClassSet, ctx: &EvalContext<'_>) -> Result<(), usize> {
+        self.check_class_filtered(group, ctx.log(), |_| true)
     }
 
     fn check_class_filtered(
@@ -270,16 +303,16 @@ impl CompiledConstraintSet {
         Ok(())
     }
 
-    /// Checks `R_I` for one group over the whole log; returns the spec index
-    /// of the first violated constraint.
-    pub fn check_instances(&self, group: &ClassSet, log: &EventLog) -> Result<(), usize> {
-        self.check_instances_filtered(group, log, |_| true)
+    /// Checks `R_I` for one group over the whole log via the context's
+    /// index; returns the spec index of the first violated constraint.
+    pub fn check_instances(&self, group: &ClassSet, ctx: &EvalContext<'_>) -> Result<(), usize> {
+        self.check_instances_filtered(group, ctx, |_| true)
     }
 
     fn check_instances_filtered(
         &self,
         group: &ClassSet,
-        log: &EventLog,
+        ctx: &EvalContext<'_>,
         filter: impl Fn(Monotonicity) -> bool,
     ) -> Result<(), usize> {
         let active: Vec<&InstCheck> =
@@ -287,59 +320,108 @@ impl CompiledConstraintSet {
         if active.is_empty() {
             return Ok(());
         }
-        let all_strict = active.iter().all(|c| c.min_fraction >= 1.0);
-        let mut total_instances = 0usize;
-        let mut violations = vec![0usize; active.len()];
+        let mut acc = InstanceAccumulator::new(&active);
+        let traces = ctx.log().traces();
+        // With a shared cache attached, materialize `inst(L, g)` once and
+        // reuse it for every constraint set evaluating the same group.
+        if let Some(cache) = ctx.cache() {
+            let cached = cache.get_or_insert_instances(group, self.segmenter, || {
+                let mut out = Vec::new();
+                let _: Option<()> = ctx.visit_instances(group, self.segmenter, |ti, inst| {
+                    out.push((ti as u32, inst));
+                    ControlFlow::Continue(())
+                });
+                out
+            });
+            for (ti, inst) in cached.iter() {
+                if let ControlFlow::Break(spec_index) = acc.feed(&traces[*ti as usize], inst) {
+                    return Err(spec_index);
+                }
+            }
+            return acc.finish();
+        }
+        let early =
+            ctx.visit_instances(group, self.segmenter, |ti, inst| acc.feed(&traces[ti], &inst));
+        match early {
+            Some(spec_index) => Err(spec_index),
+            None => acc.finish(),
+        }
+    }
+
+    /// The naive full-log-scan evaluation of `R_I`, kept as the oracle for
+    /// the index-equivalence test suites and the scan-vs-indexed
+    /// benchmarks. Bit-identical to [`Self::check_instances`].
+    pub fn check_instances_scan(&self, group: &ClassSet, log: &EventLog) -> Result<(), usize> {
+        let active: Vec<&InstCheck> = self.inst_checks.iter().collect();
+        if active.is_empty() {
+            return Ok(());
+        }
+        let mut acc = InstanceAccumulator::new(&active);
         for (ti, trace) in log.traces().iter().enumerate() {
             if !log.trace_class_sets()[ti].intersects(group) {
                 continue; // vacuously satisfied for this trace
             }
             for inst in instances(trace, group, self.segmenter) {
-                total_instances += 1;
-                for (ci, check) in active.iter().enumerate() {
-                    let ok = match eval_expr(&check.expr, trace, &inst) {
-                        Some(v) => check.cmp.eval(v, check.bound),
-                        None => true, // vacuous: no values to aggregate
-                    };
-                    if !ok {
-                        if all_strict {
-                            return Err(check.spec_index);
-                        }
-                        violations[ci] += 1;
-                    }
+                if let ControlFlow::Break(spec_index) = acc.feed(trace, &inst) {
+                    return Err(spec_index);
                 }
             }
         }
-        if !all_strict && total_instances > 0 {
-            for (ci, check) in active.iter().enumerate() {
-                let satisfied = (total_instances - violations[ci]) as f64;
-                if satisfied / total_instances as f64 + 1e-12 < check.min_fraction {
-                    return Err(check.spec_index);
-                }
-            }
-        }
-        Ok(())
+        acc.finish()
     }
 
     /// The full per-group `holds` predicate: `R_C` first, then `R_I`.
-    pub fn holds(&self, group: &ClassSet, log: &EventLog) -> bool {
-        self.check_class(group, log).is_ok() && self.check_instances(group, log).is_ok()
+    /// Verdicts are memoized in the context's shared cache (keyed by this
+    /// compilation's token) when one is attached.
+    pub fn holds(&self, group: &ClassSet, ctx: &EvalContext<'_>) -> bool {
+        self.cached_verdict(ctx, group, VerdictKind::Full, |cs| {
+            cs.check_class(group, ctx).is_ok() && cs.check_instances(group, ctx).is_ok()
+        })
+    }
+
+    /// Scan-oracle twin of [`Self::holds`]: evaluates against the raw log
+    /// with no index and no cache.
+    pub fn holds_scan(&self, group: &ClassSet, log: &EventLog) -> bool {
+        self.check_class_filtered(group, log, |_| true).is_ok()
+            && self.check_instances_scan(group, log).is_ok()
     }
 
     /// Like [`Self::holds`], but reports the violated spec index.
-    pub fn holds_detailed(&self, group: &ClassSet, log: &EventLog) -> Result<(), usize> {
-        self.check_class(group, log)?;
-        self.check_instances(group, log)
+    pub fn holds_detailed(&self, group: &ClassSet, ctx: &EvalContext<'_>) -> Result<(), usize> {
+        self.check_class(group, ctx)?;
+        self.check_instances(group, ctx)
     }
 
     /// Checks only the **anti-monotonic** subset of the constraints. Used
     /// as the expansion gate in anti-monotonic checking mode: a group that
     /// fails any anti-monotonic constraint can never be repaired by growing
     /// it, while failures of monotonic/non-monotonic constraints can.
-    pub fn holds_anti_monotonic(&self, group: &ClassSet, log: &EventLog) -> bool {
-        let anti = |m: Monotonicity| m == Monotonicity::AntiMonotonic;
-        self.check_class_filtered(group, log, anti).is_ok()
-            && self.check_instances_filtered(group, log, anti).is_ok()
+    pub fn holds_anti_monotonic(&self, group: &ClassSet, ctx: &EvalContext<'_>) -> bool {
+        self.cached_verdict(ctx, group, VerdictKind::AntiMonotonic, |cs| {
+            let anti = |m: Monotonicity| m == Monotonicity::AntiMonotonic;
+            cs.check_class_filtered(group, ctx.log(), anti).is_ok()
+                && cs.check_instances_filtered(group, ctx, anti).is_ok()
+        })
+    }
+
+    /// Memoizes a boolean verdict in the context's shared cache, if any.
+    fn cached_verdict(
+        &self,
+        ctx: &EvalContext<'_>,
+        group: &ClassSet,
+        kind: VerdictKind,
+        compute: impl FnOnce(&Self) -> bool,
+    ) -> bool {
+        let Some(cache) = ctx.cache() else {
+            return compute(self);
+        };
+        let key = (cache.token_for(&self.signature) << 1) | kind as u64;
+        if let Some(verdict) = cache.verdict(key, group) {
+            return verdict;
+        }
+        let verdict = compute(self);
+        cache.store_verdict(key, group, verdict);
+        verdict
     }
 
     /// All must-link pairs (needed by baselines that merge rather than
@@ -352,6 +434,69 @@ impl CompiledConstraintSet {
                 _ => None,
             })
             .collect()
+    }
+}
+
+/// Which verdict a cache entry stores; folded into the cache key next to
+/// the compilation token.
+#[derive(Debug, Clone, Copy)]
+enum VerdictKind {
+    Full = 0,
+    AntiMonotonic = 1,
+}
+
+/// The per-instance bookkeeping of `R_I` evaluation, shared by the indexed
+/// path, the cached path and the scan oracle so their verdicts cannot
+/// diverge: strict constraints (min_fraction ≥ 1) fail fast on the first
+/// violating instance, loose ones tally violations and compare fractions
+/// at the end.
+struct InstanceAccumulator<'a, 'b> {
+    active: &'a [&'b InstCheck],
+    all_strict: bool,
+    total_instances: usize,
+    violations: Vec<usize>,
+}
+
+impl<'a, 'b> InstanceAccumulator<'a, 'b> {
+    fn new(active: &'a [&'b InstCheck]) -> Self {
+        InstanceAccumulator {
+            active,
+            all_strict: active.iter().all(|c| c.min_fraction >= 1.0),
+            total_instances: 0,
+            violations: vec![0usize; active.len()],
+        }
+    }
+
+    /// Feeds one instance; breaks with the violated spec index when a
+    /// strict evaluation can already conclude.
+    fn feed(&mut self, trace: &Trace, inst: &GroupInstance) -> ControlFlow<usize> {
+        self.total_instances += 1;
+        for (ci, check) in self.active.iter().enumerate() {
+            let ok = match eval_expr(&check.expr, trace, inst) {
+                Some(v) => check.cmp.eval(v, check.bound),
+                None => true, // vacuous: no values to aggregate
+            };
+            if !ok {
+                if self.all_strict {
+                    return ControlFlow::Break(check.spec_index);
+                }
+                self.violations[ci] += 1;
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Final verdict once every instance has been fed.
+    fn finish(self) -> Result<(), usize> {
+        if !self.all_strict && self.total_instances > 0 {
+            for (ci, check) in self.active.iter().enumerate() {
+                let satisfied = (self.total_instances - self.violations[ci]) as f64;
+                if satisfied / self.total_instances as f64 + 1e-12 < check.min_fraction {
+                    return Err(check.spec_index);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -488,28 +633,32 @@ mod tests {
     #[test]
     fn role_constraint_separates_clerk_and_manager() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
-        assert!(cs.holds(&group(&log, &["rcp", "ckc", "ckt"]), &log));
-        assert!(cs.holds(&group(&log, &["acc"]), &log));
-        assert!(!cs.holds(&group(&log, &["ckc", "acc"]), &log), "mixes clerk and manager");
+        assert!(cs.holds(&group(&log, &["rcp", "ckc", "ckt"]), &ctx));
+        assert!(cs.holds(&group(&log, &["acc"]), &ctx));
+        assert!(!cs.holds(&group(&log, &["ckc", "acc"]), &ctx), "mixes clerk and manager");
     }
 
     #[test]
     fn size_and_links() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(
             &log,
             "size(g) <= 2; cannot_link(\"rcp\", \"acc\"); must_link(\"inf\", \"arv\");",
         );
-        assert!(cs.check_class(&group(&log, &["rcp", "ckc"]), &log).is_ok());
+        assert!(cs.check_class(&group(&log, &["rcp", "ckc"]), &ctx).is_ok());
         // size violation
-        assert_eq!(cs.check_class(&group(&log, &["rcp", "ckc", "ckt"]), &log), Err(0));
+        assert_eq!(cs.check_class(&group(&log, &["rcp", "ckc", "ckt"]), &ctx), Err(0));
         // cannot-link violation
-        assert_eq!(cs.check_class(&group(&log, &["rcp", "acc"]), &log), Err(1));
+        assert_eq!(cs.check_class(&group(&log, &["rcp", "acc"]), &ctx), Err(1));
         // must-link violation: inf without arv
-        assert_eq!(cs.check_class(&group(&log, &["inf", "prio"]), &log), Err(2));
+        assert_eq!(cs.check_class(&group(&log, &["inf", "prio"]), &ctx), Err(2));
         // both inf and arv: fine
-        assert!(cs.check_class(&group(&log, &["inf", "arv"]), &log).is_ok());
+        assert!(cs.check_class(&group(&log, &["inf", "arv"]), &ctx).is_ok());
     }
 
     #[test]
@@ -529,56 +678,64 @@ mod tests {
     #[test]
     fn instance_aggregates() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         // duration = 10 + position. Every instance of {rcp, ckc} contains at
         // least rcp (duration ≥ 10), so sum ≥ 10 holds; σ2's instance is just
         // ⟨rcp⟩ with duration exactly 10, so sum ≥ 11 fails.
         let cs = compile(&log, "sum(\"duration\") >= 10;");
-        assert!(cs.holds(&group(&log, &["rcp", "ckc"]), &log));
+        assert!(cs.holds(&group(&log, &["rcp", "ckc"]), &ctx));
         let cs = compile(&log, "sum(\"duration\") >= 11;");
-        assert!(!cs.holds(&group(&log, &["rcp", "ckc"]), &log));
+        assert!(!cs.holds(&group(&log, &["rcp", "ckc"]), &ctx));
         // cost = 100·(position+1): rcp instances cost 100 except σ4's
         // restart at position 3 (cost 400); arv always occurs at position ≥ 4.
         let cs = compile(&log, "avg(\"cost\") <= 400;");
-        assert!(cs.holds(&group(&log, &["rcp"]), &log));
-        assert!(!cs.holds(&group(&log, &["arv"]), &log), "arv occurs late, cost high");
+        assert!(cs.holds(&group(&log, &["rcp"]), &ctx));
+        assert!(!cs.holds(&group(&log, &["arv"]), &ctx), "arv occurs late, cost high");
     }
 
     #[test]
     fn span_and_gap_use_timestamps() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         // Events are 60s apart; instance ⟨rcp,ckc⟩ spans 60_000ms.
         let cs = compile(&log, "span(\"time:timestamp\") <= 60000;");
-        assert!(cs.holds(&group(&log, &["rcp", "ckc"]), &log));
+        assert!(cs.holds(&group(&log, &["rcp", "ckc"]), &ctx));
         // {rcp, arv}: spans nearly the whole trace — violated.
-        assert!(!cs.holds(&group(&log, &["rcp", "arv"]), &log));
+        assert!(!cs.holds(&group(&log, &["rcp", "arv"]), &ctx));
         let cs = compile(&log, "gap(\"time:timestamp\") <= 60000;");
-        assert!(cs.holds(&group(&log, &["rcp", "ckc"]), &log));
-        assert!(!cs.holds(&group(&log, &["rcp", "prio"]), &log));
+        assert!(cs.holds(&group(&log, &["rcp", "ckc"]), &ctx));
+        assert!(!cs.holds(&group(&log, &["rcp", "prio"]), &ctx));
     }
 
     #[test]
     fn count_class_cardinality() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         // With RepeatSplit every instance has at most 1 event per class.
         let cs = compile(&log, "count(instance, \"rcp\") <= 1;");
-        assert!(cs.holds(&group(&log, &["rcp", "ckc", "ckt"]), &log));
+        assert!(cs.holds(&group(&log, &["rcp", "ckc", "ckt"]), &ctx));
         // NoSplit: σ4's single instance contains rcp twice.
         let spec = ConstraintSet::parse("count(instance, \"rcp\") <= 1;").unwrap();
         let cs = CompiledConstraintSet::compile_with(&spec, &log, Segmenter::NoSplit).unwrap();
-        assert!(!cs.holds(&group(&log, &["rcp", "ckc", "ckt"]), &log));
+        assert!(!cs.holds(&group(&log, &["rcp", "ckc", "ckt"]), &ctx));
     }
 
     #[test]
     fn loose_constraints_tolerate_a_fraction() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         // Group {prio}: 3 instances (σ1, σ2, σ4), each cost depends on position.
         // σ1: prio at pos 3 → cost 400; σ2: pos 3 → 400; σ4: pos 6 → 700.
         let strict = compile(&log, "sum(\"cost\") <= 400;");
-        assert!(!strict.holds(&group(&log, &["prio"]), &log));
+        assert!(!strict.holds(&group(&log, &["prio"]), &ctx));
         let loose = compile(&log, "atleast 0.6 of instances: sum(\"cost\") <= 400;");
-        assert!(loose.holds(&group(&log, &["prio"]), &log), "2/3 instances satisfy");
+        assert!(loose.holds(&group(&log, &["prio"]), &ctx), "2/3 instances satisfy");
         let too_tight = compile(&log, "atleast 0.7 of instances: sum(\"cost\") <= 400;");
-        assert!(!too_tight.holds(&group(&log, &["prio"]), &log));
+        assert!(!too_tight.holds(&group(&log, &["prio"]), &ctx));
     }
 
     #[test]
@@ -589,9 +746,11 @@ mod tests {
         b.class_attr_str("c", "system", "Y").unwrap();
         b.trace("t").event("a").unwrap().event("b").unwrap().event("c").unwrap().done();
         let log = b.build();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(class, \"system\") <= 1;");
-        assert!(cs.holds(&group(&log, &["a", "b"]), &log));
-        assert!(!cs.holds(&group(&log, &["a", "c"]), &log));
+        assert!(cs.holds(&group(&log, &["a", "b"]), &ctx));
+        assert!(!cs.holds(&group(&log, &["a", "c"]), &ctx));
         // A log without the attribute on all classes: compile error.
         let mut b2 = LogBuilder::new();
         b2.class_attr_str("a", "system", "X").unwrap();
@@ -639,21 +798,85 @@ mod tests {
     #[test]
     fn anti_monotonic_gate_ignores_other_constraints() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "size(g) <= 2; size(g) >= 2;");
         let singleton = group(&log, &["rcp"]);
         // Violates the monotonic (>= 2) constraint but not the anti-monotonic one.
-        assert!(!cs.holds(&singleton, &log));
-        assert!(cs.holds_anti_monotonic(&singleton, &log));
+        assert!(!cs.holds(&singleton, &ctx));
+        assert!(cs.holds_anti_monotonic(&singleton, &ctx));
         let triple = group(&log, &["rcp", "ckc", "ckt"]);
-        assert!(!cs.holds_anti_monotonic(&triple, &log));
+        assert!(!cs.holds_anti_monotonic(&triple, &ctx));
+    }
+
+    #[test]
+    fn indexed_checks_match_scan_oracle() {
+        let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let sets = [
+            "sum(\"duration\") >= 11;",
+            "span(\"time:timestamp\") <= 60000;",
+            "atleast 0.6 of instances: sum(\"cost\") <= 400;",
+            "count(instance, \"rcp\") <= 1; size(g) <= 2;",
+            "distinct(instance, \"org:role\") <= 1;",
+        ];
+        let ids: Vec<ClassId> = log.classes().ids().collect();
+        for dsl in sets {
+            let cs = compile(&log, dsl);
+            for mask in 1u32..(1 << ids.len()) {
+                let g: ClassSet = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, c)| *c)
+                    .collect();
+                assert_eq!(cs.holds(&g, &ctx), cs.holds_scan(&g, &log), "{dsl} on {g:?}");
+                assert_eq!(
+                    cs.check_instances(&g, &ctx),
+                    cs.check_instances_scan(&g, &log),
+                    "{dsl} on {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_reuses_instances_and_verdicts() {
+        let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let cache = gecco_eventlog::InstanceCache::new();
+        let ctx = EvalContext::with_cache(&log, &index, &cache);
+        let cs1 = compile(&log, "sum(\"duration\") >= 11;");
+        let cs2 = compile(&log, "avg(\"cost\") <= 400;");
+        assert_ne!(cs1.signature(), cs2.signature());
+        let g = group(&log, &["rcp", "ckc"]);
+        // First set materializes the instances; the second reuses them.
+        let v1 = cs1.holds(&g, &ctx);
+        let stats = cache.stats();
+        assert_eq!(stats.instance_entries, 1);
+        let v2 = cs2.holds(&g, &ctx);
+        let stats = cache.stats();
+        assert_eq!(stats.instance_entries, 1, "instances shared across constraint sets");
+        assert!(stats.instance_hits >= 1);
+        // Verdicts are per-set: re-asking either set hits the verdict cache
+        // and returns the stored (correct) answer.
+        let before = cache.stats().verdict_hits;
+        assert_eq!(cs1.holds(&g, &ctx), v1);
+        assert_eq!(cs2.holds(&g, &ctx), v2);
+        assert_eq!(cache.stats().verdict_hits, before + 2);
+        assert_eq!(v1, cs1.holds_scan(&g, &log));
+        assert_eq!(v2, cs2.holds_scan(&g, &log));
     }
 
     #[test]
     fn vacuous_traces_do_not_count() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         // {prio} never occurs in σ3; constraint still evaluable.
         let cs = compile(&log, "count(instance) >= 1;");
-        assert!(cs.holds(&group(&log, &["prio"]), &log));
+        assert!(cs.holds(&group(&log, &["prio"]), &ctx));
     }
 
     #[test]
@@ -661,6 +884,8 @@ mod tests {
         // For every anti-monotonic constraint: holds(g) implies holds(g')
         // for g' ⊂ g — checked over all pairs of nested groups up to size 3.
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let cs = compile(&log, "span(\"time:timestamp\") <= 120000; size(g) <= 2;");
         let ids: Vec<ClassId> = log.classes().ids().collect();
         for i in 0..ids.len() {
@@ -669,12 +894,12 @@ mod tests {
                 if !log.occurs(&pair) {
                     continue;
                 }
-                if cs.holds_anti_monotonic(&pair, &log) {
+                if cs.holds_anti_monotonic(&pair, &ctx) {
                     assert!(
-                        cs.holds_anti_monotonic(&ClassSet::singleton(ids[i]), &log),
+                        cs.holds_anti_monotonic(&ClassSet::singleton(ids[i]), &ctx),
                         "anti-monotonicity violated for subset"
                     );
-                    assert!(cs.holds_anti_monotonic(&ClassSet::singleton(ids[j]), &log));
+                    assert!(cs.holds_anti_monotonic(&ClassSet::singleton(ids[j]), &ctx));
                 }
             }
         }

@@ -6,7 +6,8 @@
 //! constraints in R_I are violated", so users can refine their constraints.
 
 use crate::compiled::CompiledConstraintSet;
-use gecco_eventlog::{instances, ClassId, ClassSet, EventLog};
+use gecco_eventlog::{ClassId, ClassSet, EvalContext, EventLog};
+use std::ops::ControlFlow;
 
 /// Findings for one constraint.
 #[derive(Debug, Clone)]
@@ -37,41 +38,40 @@ impl Diagnostics {
     /// A singleton that violates an anti-monotonic constraint can never be
     /// covered (no supergroup will satisfy it either), which makes this the
     /// sharpest cheap infeasibility witness available.
-    pub fn probe(constraints: &CompiledConstraintSet, log: &EventLog) -> Diagnostics {
+    pub fn probe(constraints: &CompiledConstraintSet, ctx: &EvalContext<'_>) -> Diagnostics {
+        let log = ctx.log();
         let spec = constraints.spec().constraints();
         let mut violating: Vec<Vec<ClassId>> = vec![Vec::new(); spec.len()];
         // Class-based: which singletons violate which constraint.
         for c in log.classes().ids() {
             let g = ClassSet::singleton(c);
-            if let Err(idx) = constraints.check_class(&g, log) {
+            if let Err(idx) = constraints.check_class(&g, ctx) {
                 violating[idx].push(c);
             }
         }
         // Instance-based: per-constraint violation fractions over all
-        // singleton instances.
+        // singleton instances, materialized through the index (only the
+        // class's own traces are touched).
         let mut inst_total = 0usize;
         let mut inst_violations = vec![0usize; spec.len()];
+        let traces = log.traces();
         for c in log.classes().ids() {
             let g = ClassSet::singleton(c);
             let mut violated_for_class = vec![false; spec.len()];
-            for (ti, trace) in log.traces().iter().enumerate() {
-                if !log.trace_class_sets()[ti].contains(c) {
-                    continue;
-                }
-                for inst in instances(trace, &g, constraints.segmenter()) {
-                    inst_total += 1;
-                    for check in &constraints.inst_checks {
-                        let ok = match crate::compiled::eval_expr(&check.expr, trace, &inst) {
-                            Some(v) => check.cmp.eval(v, check.bound),
-                            None => true,
-                        };
-                        if !ok {
-                            inst_violations[check.spec_index] += 1;
-                            violated_for_class[check.spec_index] = true;
-                        }
+            let _: Option<()> = ctx.visit_instances(&g, constraints.segmenter(), |ti, inst| {
+                inst_total += 1;
+                for check in &constraints.inst_checks {
+                    let ok = match crate::compiled::eval_expr(&check.expr, &traces[ti], &inst) {
+                        Some(v) => check.cmp.eval(v, check.bound),
+                        None => true,
+                    };
+                    if !ok {
+                        inst_violations[check.spec_index] += 1;
+                        violated_for_class[check.spec_index] = true;
                     }
                 }
-            }
+                ControlFlow::Continue(())
+            });
             for (idx, flag) in violated_for_class.iter().enumerate() {
                 if *flag {
                     violating[idx].push(c);
@@ -149,7 +149,9 @@ mod tests {
         let log = toy_log();
         let spec = ConstraintSet::parse("sum(\"cost\") <= 100;").unwrap();
         let cs = CompiledConstraintSet::compile(&spec, &log).unwrap();
-        let d = Diagnostics::probe(&cs, &log);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let d = Diagnostics::probe(&cs, &ctx);
         assert_eq!(d.reports.len(), 1);
         let r = &d.reports[0];
         assert_eq!(r.violating_classes.len(), 1);
@@ -163,7 +165,9 @@ mod tests {
         let log = toy_log();
         let spec = ConstraintSet::parse("size(g) >= 2;").unwrap();
         let cs = CompiledConstraintSet::compile(&spec, &log).unwrap();
-        let d = Diagnostics::probe(&cs, &log);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let d = Diagnostics::probe(&cs, &ctx);
         // Every singleton violates a min-size-2 constraint.
         assert_eq!(d.reports[0].violating_classes.len(), 2);
     }
@@ -173,7 +177,9 @@ mod tests {
         let log = toy_log();
         let spec = ConstraintSet::parse("size(g) <= 8;").unwrap();
         let cs = CompiledConstraintSet::compile(&spec, &log).unwrap();
-        let d = Diagnostics::probe(&cs, &log);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let d = Diagnostics::probe(&cs, &ctx);
         assert!(d.is_empty());
         assert!(d.render(&log).contains("no violation evidence"));
     }

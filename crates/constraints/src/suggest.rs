@@ -302,10 +302,12 @@ mod tests {
             let compiled = CompiledConstraintSet::compile(&set, &log)
                 .unwrap_or_else(|e| panic!("suggestion {:?} failed to compile: {e}", s.constraint));
             // Every suggestion must be satisfiable at least by singletons.
+            let index = gecco_eventlog::LogIndex::build(&log);
+            let ctx = gecco_eventlog::EvalContext::new(&log, &index);
             let feasible = log
                 .classes()
                 .ids()
-                .all(|c| compiled.holds(&gecco_eventlog::ClassSet::singleton(c), &log));
+                .all(|c| compiled.holds(&gecco_eventlog::ClassSet::singleton(c), &ctx));
             assert!(feasible, "suggestion {} infeasible for singletons", s.constraint);
         }
     }

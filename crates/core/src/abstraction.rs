@@ -13,7 +13,7 @@
 //!   `σ5^{s+c}` example).
 
 use crate::grouping::Grouping;
-use gecco_eventlog::{instances, EventLog, LogBuilder, Segmenter};
+use gecco_eventlog::{EvalContext, EventLog, LogBuilder, Segmenter};
 
 /// Trace-rewriting strategy for Step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,16 +99,18 @@ fn shared_value(
     value.map(|s| log.resolve(s).to_string())
 }
 
-/// Abstracts `log` under `grouping` (Step 3), yielding the high-level log
-/// `L'`. `names` provides one activity name per group (see
-/// [`activity_names`]).
+/// Abstracts the context's log under `grouping` (Step 3), yielding the
+/// high-level log `L'`. `names` provides one activity name per group (see
+/// [`activity_names`]). Instance identification goes through the context's
+/// index, so each trace only pays for the groups it actually contains.
 pub fn abstract_log(
-    log: &EventLog,
+    ctx: &EvalContext<'_>,
     grouping: &Grouping,
     names: &[String],
     strategy: AbstractionStrategy,
     segmenter: Segmenter,
 ) -> EventLog {
+    let log = ctx.log();
     assert_eq!(names.len(), grouping.len(), "one name per group required");
     let ts_key = log.std_keys().timestamp;
     let mut builder = LogBuilder::new();
@@ -129,7 +131,7 @@ pub fn abstract_log(
         }
         let mut emits: Vec<Emit> = Vec::new();
         for (gi, group) in grouping.iter().enumerate() {
-            for inst in instances(trace, group, segmenter) {
+            for inst in ctx.instances_in(ti, group, segmenter) {
                 let first = inst.first();
                 let last = inst.last();
                 let ts_of = |p: u32| trace.events()[p as usize].timestamp(ts_key);
@@ -244,10 +246,12 @@ mod tests {
     #[test]
     fn completion_strategy_rewrites_sigma1() {
         let log = running_example_with_roles();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
         let abstracted = abstract_log(
-            &log,
+            &ctx,
             &grouping,
             &names,
             AbstractionStrategy::Completion,
@@ -309,10 +313,12 @@ mod tests {
         }
         tb.done();
         let log = b.build();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
         let abstracted = abstract_log(
-            &log,
+            &ctx,
             &grouping,
             &names,
             AbstractionStrategy::StartComplete,
@@ -334,13 +340,15 @@ mod tests {
         }
         tb.done();
         let log = b.build();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let set = |names: &[&str]| -> ClassSet {
             names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
         };
         let grouping = Grouping::new(vec![set(&["a"]), set(&["p", "q"]), set(&["m"])]);
         let names = vec!["a".into(), "pq".into(), "m".into()];
         let abstracted = abstract_log(
-            &log,
+            &ctx,
             &grouping,
             &names,
             AbstractionStrategy::Completion,
@@ -352,10 +360,12 @@ mod tests {
     #[test]
     fn timestamps_carry_over() {
         let log = running_example_with_roles();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
         let abstracted = abstract_log(
-            &log,
+            &ctx,
             &grouping,
             &names,
             AbstractionStrategy::Completion,
@@ -372,7 +382,9 @@ mod tests {
     #[should_panic(expected = "one name per group")]
     fn name_count_must_match() {
         let log = running_example_with_roles();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let grouping = paper_grouping(&log);
-        abstract_log(&log, &grouping, &[], AbstractionStrategy::Completion, Segmenter::RepeatSplit);
+        abstract_log(&ctx, &grouping, &[], AbstractionStrategy::Completion, Segmenter::RepeatSplit);
     }
 }

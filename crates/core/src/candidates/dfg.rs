@@ -10,7 +10,7 @@
 use super::{BeamWidth, Budget, CandidateSet, PreevaluatedChecks};
 use crate::distance::DistanceOracle;
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
-use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog};
+use gecco_eventlog::{ClassId, ClassSet, Dfg, EvalContext, EventLog};
 use std::collections::HashMap;
 
 /// A path through the DFG: the candidate group is `nodes(p)`.
@@ -60,17 +60,19 @@ impl IterationObserver for NoObserver {
     fn iteration(&mut self, _: usize, _: &[(Path, bool)]) {}
 }
 
-/// Runs Algorithm 2 and returns the candidate set.
-pub fn dfg_candidates(
-    log: &EventLog,
+/// Runs Algorithm 2 and returns the candidate set. Constraint checks and
+/// distance scoring go through `ctx`.
+pub fn dfg_candidates<'a>(
+    ctx: &'a EvalContext<'a>,
     constraints: &CompiledConstraintSet,
     beam: Option<BeamWidth>,
     budget: Budget,
     observer: &mut dyn IterationObserver,
 ) -> CandidateSet {
+    let log = ctx.log();
     let mode = constraints.mode();
     let dfg = Dfg::from_log(log);
-    let oracle = DistanceOracle::new(log, constraints.segmenter());
+    let oracle = DistanceOracle::new(ctx, constraints.segmenter());
     let mut out = CandidateSet::new();
     let occurring = crate::grouping::occurring_classes(log);
     let k = beam.map(|b| b.resolve(occurring.len())).unwrap_or(usize::MAX);
@@ -94,7 +96,7 @@ pub fn dfg_candidates(
         // Pre-evaluate the beam's constraint checks in parallel; the loop
         // replays its bookkeeping against the verdicts (see exhaustive.rs).
         let pre = PreevaluatedChecks::evaluate(
-            log,
+            ctx,
             constraints,
             to_check.iter().take(k).map(|(p, f)| (p.set, *f)),
             budget,
@@ -115,8 +117,8 @@ pub fn dfg_candidates(
             } else {
                 out.stats.checked += 1;
                 match &pre {
-                    Some(pre) => pre.holds(&group, log, constraints),
-                    None => constraints.holds(&group, log),
+                    Some(pre) => pre.holds(&group, ctx, constraints),
+                    None => constraints.holds(&group, ctx),
                 }
             };
             examined.push((path.clone(), holds));
@@ -128,8 +130,8 @@ pub fn dfg_candidates(
                 CheckingMode::AntiMonotonic => {
                     holds
                         || match &pre {
-                            Some(pre) => pre.holds_anti_monotonic(&group, log, constraints),
-                            None => constraints.holds_anti_monotonic(&group, log),
+                            Some(pre) => pre.holds_anti_monotonic(&group, ctx, constraints),
+                            None => constraints.holds_anti_monotonic(&group, ctx),
                         }
                 }
                 CheckingMode::Monotonic | CheckingMode::NonMonotonic => true,
@@ -237,8 +239,10 @@ mod tests {
     #[test]
     fn finds_connected_cohesive_candidates() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
-        let out = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        let out = dfg_candidates(&ctx, &cs, None, Budget::UNLIMITED, &mut NoObserver);
         // Figure 5's iteration-2 group {prio, inf, arv} must be found, as
         // must the initial clerk block {rcp, ckc} / {rcp, ckt}.
         assert!(out.groups().contains(&set(&log, &["prio", "inf", "arv"])));
@@ -246,15 +250,17 @@ mod tests {
         assert!(out.groups().contains(&set(&log, &["rcp", "ckt"])));
         // All candidates satisfy the constraint.
         for g in out.groups() {
-            assert!(cs.holds(g, &log));
+            assert!(cs.holds(g, &ctx));
         }
     }
 
     #[test]
     fn avoids_distant_unconnected_pairs() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
-        let out = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        let out = dfg_candidates(&ctx, &cs, None, Budget::UNLIMITED, &mut NoObserver);
         // {ckt, inf} are both clerk steps but never adjacent in the DFG; the
         // path-based search cannot produce that exact pair as a group.
         assert!(!out.groups().contains(&set(&log, &["ckt", "inf"])));
@@ -263,10 +269,12 @@ mod tests {
     #[test]
     fn violating_paths_are_not_expanded_in_anti_monotonic_mode() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         // acc/inf mix roles → the pair violates; no supergroup of it may appear.
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
         assert_eq!(cs.mode(), CheckingMode::AntiMonotonic);
-        let out = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        let out = dfg_candidates(&ctx, &cs, None, Budget::UNLIMITED, &mut NoObserver);
         let bad = set(&log, &["acc", "inf"]);
         for g in out.groups() {
             assert!(!bad.is_subset(g), "found supergroup of a violating pair: {g:?}");
@@ -276,10 +284,12 @@ mod tests {
     #[test]
     fn beam_restricts_and_is_subset_of_unbounded() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
-        let unbounded = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+        let unbounded = dfg_candidates(&ctx, &cs, None, Budget::UNLIMITED, &mut NoObserver);
         let narrow = dfg_candidates(
-            &log,
+            &ctx,
             &cs,
             Some(BeamWidth::Fixed(3)),
             Budget::UNLIMITED,
@@ -291,14 +301,14 @@ mod tests {
         }
         // Even a width-1 beam keeps producing *valid* candidates.
         let tiny = dfg_candidates(
-            &log,
+            &ctx,
             &cs,
             Some(BeamWidth::Fixed(1)),
             Budget::UNLIMITED,
             &mut NoObserver,
         );
         for g in tiny.groups() {
-            assert!(cs.holds(g, &log));
+            assert!(cs.holds(g, &ctx));
         }
     }
 
@@ -313,9 +323,11 @@ mod tests {
             }
         }
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
         let mut obs = Collect { iterations: vec![] };
-        dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut obs);
+        dfg_candidates(&ctx, &cs, None, Budget::UNLIMITED, &mut obs);
         assert!(!obs.iterations.is_empty());
         // Iteration 1 examines all 8 singleton paths.
         assert_eq!(obs.iterations[0], (1, 8));
@@ -324,8 +336,10 @@ mod tests {
     #[test]
     fn budget_degrades_gracefully() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "");
-        let out = dfg_candidates(&log, &cs, None, Budget::max_checks(4), &mut NoObserver);
+        let out = dfg_candidates(&ctx, &cs, None, Budget::max_checks(4), &mut NoObserver);
         assert!(out.stats.budget_exhausted);
         assert!(out.len() <= 4);
     }
@@ -334,10 +348,12 @@ mod tests {
     fn subset_of_exhaustive() {
         // DFG candidates ⊆ exhaustive candidates (paths are a restriction).
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
         let exh =
-            crate::candidates::exhaustive::exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
-        let dfg = dfg_candidates(&log, &cs, None, Budget::UNLIMITED, &mut NoObserver);
+            crate::candidates::exhaustive::exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
+        let dfg = dfg_candidates(&ctx, &cs, None, Budget::UNLIMITED, &mut NoObserver);
         for g in dfg.groups() {
             assert!(exh.groups().contains(g), "{g:?} not in exhaustive set");
         }

@@ -16,16 +16,17 @@
 
 use super::CandidateSet;
 use gecco_constraints::CompiledConstraintSet;
-use gecco_eventlog::{ClassSet, Dfg, EventLog};
+use gecco_eventlog::{ClassSet, Dfg, EvalContext};
 use std::collections::{HashMap, HashSet};
 
 /// Runs Algorithm 3, extending `candidates` in place. Returns the number of
 /// new candidates added.
 pub fn extend_with_exclusive_candidates(
-    log: &EventLog,
+    ctx: &EvalContext<'_>,
     constraints: &CompiledConstraintSet,
     candidates: &mut CandidateSet,
 ) -> usize {
+    let log = ctx.log();
     let dfg = Dfg::from_log(log);
     // Index the current candidates by (preset, postset). Computing the two
     // boundary sets walks every DFG edge per group, so fan the per-group
@@ -56,7 +57,7 @@ pub fn extend_with_exclusive_candidates(
                 continue;
             }
             let gij = gi.union(&gj);
-            if !dfg.exclusive(&gi, &gj) || constraints.check_class(&gij, log).is_err() {
+            if !dfg.exclusive(&gi, &gj) || constraints.check_class(&gij, ctx).is_err() {
                 continue;
             }
             if candidates.insert(gij) {
@@ -68,15 +69,15 @@ pub fn extend_with_exclusive_candidates(
             let post = dfg.postset(&gi);
             let both = pre.union(&post);
             let combos: [ClassSet; 3] = [both, pre, post];
-            for ctx in combos {
-                if ctx.is_empty() {
+            for boundary in combos {
+                if boundary.is_empty() {
                     continue;
                 }
-                let with_gi = ctx.union(&gi);
-                let with_gj = ctx.union(&gj);
+                let with_gi = boundary.union(&gi);
+                let with_gj = boundary.union(&gj);
                 if candidates.contains(&with_gi) && candidates.contains(&with_gj) {
-                    let merged = ctx.union(&gij);
-                    if constraints.check_class(&merged, log).is_ok() && candidates.insert(merged) {
+                    let merged = boundary.union(&gij);
+                    if constraints.check_class(&merged, ctx).is_ok() && candidates.insert(merged) {
                         added += 1;
                     }
                     break; // paper's if/else-if cascade: first applicable only
@@ -102,7 +103,7 @@ mod tests {
     use crate::candidates::exhaustive::exhaustive_candidates;
     use crate::candidates::Budget;
     use gecco_constraints::ConstraintSet;
-    use gecco_eventlog::LogBuilder;
+    use gecco_eventlog::{EventLog, LogBuilder};
 
     fn running_example() -> EventLog {
         let role_of = |c: &str| match c {
@@ -141,19 +142,21 @@ mod tests {
     #[test]
     fn figure6_merges_proper_alternatives_only() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
         // DFG-based candidates: {ckc, ckt} has no connecting path of length
         // 2 (no DFG edge between the alternatives), so it is absent before
         // the exclusive-merging pass.
         let mut cands = crate::candidates::dfg::dfg_candidates(
-            &log,
+            &ctx,
             &cs,
             None,
             Budget::UNLIMITED,
             &mut crate::candidates::dfg::NoObserver,
         );
         assert!(!cands.groups().contains(&set(&log, &["ckc", "ckt"])));
-        let added = extend_with_exclusive_candidates(&log, &cs, &mut cands);
+        let added = extend_with_exclusive_candidates(&ctx, &cs, &mut cands);
         assert!(added > 0);
         // {ckc, ckt}: identical pre ({rcp}) and post ({acc, rej}) → merged.
         assert!(cands.groups().contains(&set(&log, &["ckc", "ckt"])));
@@ -165,15 +168,17 @@ mod tests {
     fn merge_with_preset_produces_winning_group() {
         // The paper: {rcp, ckc} and {rcp, ckt} in G ⟹ {rcp, ckc, ckt} added.
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
         let mut cands = crate::candidates::dfg::dfg_candidates(
-            &log,
+            &ctx,
             &cs,
             None,
             Budget::UNLIMITED,
             &mut crate::candidates::dfg::NoObserver,
         );
-        extend_with_exclusive_candidates(&log, &cs, &mut cands);
+        extend_with_exclusive_candidates(&ctx, &cs, &mut cands);
         assert!(
             cands.groups().contains(&set(&log, &["rcp", "ckc", "ckt"])),
             "the optimal grouping's first group must be constructible"
@@ -183,10 +188,12 @@ mod tests {
     #[test]
     fn class_constraints_still_bind_merges() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "size(g) <= 1;");
-        let mut cands = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let mut cands = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
         let before = cands.len();
-        let added = extend_with_exclusive_candidates(&log, &cs, &mut cands);
+        let added = extend_with_exclusive_candidates(&ctx, &cs, &mut cands);
         assert_eq!(added, 0, "merges would violate size(g) <= 1");
         assert_eq!(cands.len(), before);
     }
@@ -208,9 +215,11 @@ mod tests {
             }
         }
         let log = b.build();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "");
-        let mut cands = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
-        extend_with_exclusive_candidates(&log, &cs, &mut cands);
+        let mut cands = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
+        extend_with_exclusive_candidates(&ctx, &cs, &mut cands);
         assert!(cands.groups().contains(&set(&log, &["v1", "v2"])));
         assert!(cands.groups().contains(&set(&log, &["v1", "v2", "v3"])), "iterative merging");
     }
@@ -218,9 +227,11 @@ mod tests {
     #[test]
     fn stats_track_added_candidates() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "");
-        let mut cands = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
-        let added = extend_with_exclusive_candidates(&log, &cs, &mut cands);
+        let mut cands = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
+        let added = extend_with_exclusive_candidates(&ctx, &cs, &mut cands);
         assert_eq!(cands.stats.exclusive_candidates, added);
     }
 }

@@ -17,15 +17,17 @@
 
 use super::{Budget, CandidateSet, PreevaluatedChecks};
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
-use gecco_eventlog::{ClassId, ClassSet, EventLog};
+use gecco_eventlog::{ClassId, ClassSet, EvalContext};
 use std::collections::HashMap;
 
-/// Runs Algorithm 1 and returns the candidate set.
+/// Runs Algorithm 1 and returns the candidate set. Constraint checks go
+/// through `ctx`, so each candidate only pays for its own occurrences.
 pub fn exhaustive_candidates(
-    log: &EventLog,
+    ctx: &EvalContext<'_>,
     constraints: &CompiledConstraintSet,
     budget: Budget,
 ) -> CandidateSet {
+    let log = ctx.log();
     let mode = constraints.mode();
     let mut out = CandidateSet::new();
     let occurring = crate::grouping::occurring_classes(log);
@@ -53,7 +55,7 @@ pub fn exhaustive_candidates(
         // bookkeeping against the stored verdicts (identical results either
         // way — see `PreevaluatedChecks`).
         let pre = PreevaluatedChecks::evaluate(
-            log,
+            ctx,
             constraints,
             to_check.iter().copied(),
             budget,
@@ -71,8 +73,8 @@ pub fn exhaustive_candidates(
             } else {
                 out.stats.checked += 1;
                 match &pre {
-                    Some(pre) => pre.holds(group, log, constraints),
-                    None => constraints.holds(group, log),
+                    Some(pre) => pre.holds(group, ctx, constraints),
+                    None => constraints.holds(group, ctx),
                 }
             };
             if holds {
@@ -85,8 +87,8 @@ pub fn exhaustive_candidates(
                 CheckingMode::AntiMonotonic => {
                     holds
                         || match &pre {
-                            Some(pre) => pre.holds_anti_monotonic(group, log, constraints),
-                            None => constraints.holds_anti_monotonic(group, log),
+                            Some(pre) => pre.holds_anti_monotonic(group, ctx, constraints),
+                            None => constraints.holds_anti_monotonic(group, ctx),
                         }
                 }
                 // Monotonic / non-monotonic: expand everything (supergroups
@@ -138,7 +140,7 @@ pub fn exhaustive_candidates(
 mod tests {
     use super::*;
     use gecco_constraints::ConstraintSet;
-    use gecco_eventlog::LogBuilder;
+    use gecco_eventlog::{EventLog, LogBuilder};
 
     fn role_log() -> EventLog {
         let role_of = |c: &str| match c {
@@ -182,8 +184,10 @@ mod tests {
         b.trace("t1").event("a").unwrap().event("b").unwrap().done();
         b.trace("t2").event("c").unwrap().done();
         let log = b.build();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "");
-        let out = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let out = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
         // {a}, {b}, {c}, {a,b} — but not {a,c}, {b,c}, {a,b,c}.
         assert_eq!(out.len(), 4);
         assert!(!out.stats.budget_exhausted);
@@ -192,8 +196,10 @@ mod tests {
     #[test]
     fn role_constraint_excludes_mixed_groups() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1;");
-        let out = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let out = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
         for g in out.groups() {
             let roles: std::collections::HashSet<&str> = g
                 .iter()
@@ -213,15 +219,17 @@ mod tests {
     #[test]
     fn anti_monotonic_pruning_cuts_search() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let anti = compile(&log, "size(g) <= 2;");
-        let pruned = exhaustive_candidates(&log, &anti, Budget::UNLIMITED);
+        let pruned = exhaustive_candidates(&ctx, &anti, Budget::UNLIMITED);
         // No candidate exceeds the bound and nothing above level 3 was checked.
         assert!(pruned.groups().iter().all(|g| g.len() <= 2));
         assert!(pruned.stats.iterations <= 3);
         // Anti-monotonic pruning touches strictly fewer groups than full
         // enumeration (whose touched set is checks + monotonic shortcuts).
         let unconstrained = compile(&log, "");
-        let full = exhaustive_candidates(&log, &unconstrained, Budget::UNLIMITED);
+        let full = exhaustive_candidates(&ctx, &unconstrained, Budget::UNLIMITED);
         let touched_full = full.stats.checked + full.stats.monotonic_shortcuts;
         let touched_pruned = pruned.stats.checked + pruned.stats.monotonic_shortcuts;
         assert!(touched_pruned < touched_full, "{touched_pruned} !< {touched_full}");
@@ -230,8 +238,10 @@ mod tests {
     #[test]
     fn monotonic_shortcut_skips_validation() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "size(g) >= 1;"); // trivially monotonic
-        let out = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let out = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
         assert!(out.stats.monotonic_shortcuts > 0);
         // Every co-occurring group satisfies size >= 1.
         assert_eq!(out.stats.satisfied, out.len());
@@ -240,8 +250,10 @@ mod tests {
     #[test]
     fn budget_stops_early_with_partial_results() {
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "");
-        let out = exhaustive_candidates(&log, &cs, Budget::max_checks(5));
+        let out = exhaustive_candidates(&ctx, &cs, Budget::max_checks(5));
         assert!(out.stats.budget_exhausted);
         assert!(out.len() <= 5);
         assert!(!out.is_empty(), "partial results are kept");
@@ -252,8 +264,10 @@ mod tests {
         // Cross-check against brute force: every subset of C_L up to size 8
         // that co-occurs and satisfies the constraints must be found.
         let log = role_log();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "distinct(instance, \"org:role\") <= 1; size(g) <= 3;");
-        let out = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let out = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
         let ids: Vec<ClassId> = log.classes().ids().collect();
         let mut expected = Vec::new();
         for mask in 1u32..(1 << ids.len()) {
@@ -263,7 +277,7 @@ mod tests {
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, c)| *c)
                 .collect();
-            if log.occurs(&g) && cs.holds(&g, &log) {
+            if log.occurs(&g) && cs.holds(&g, &ctx) {
                 expected.push(g);
             }
         }
@@ -288,9 +302,11 @@ mod tests {
             .unwrap()
             .done();
         let log = b.build();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let cs = compile(&log, "avg(\"v\") <= 50;");
         assert_eq!(cs.mode(), CheckingMode::NonMonotonic);
-        let out = exhaustive_candidates(&log, &cs, Budget::UNLIMITED);
+        let out = exhaustive_candidates(&ctx, &cs, Budget::UNLIMITED);
         // {hi} violates (avg 100) but {hi, lo} satisfies (avg 50).
         let hi = log.class_by_name("hi").unwrap();
         let lo = log.class_by_name("lo").unwrap();

@@ -5,7 +5,7 @@ pub mod exclusive;
 pub mod exhaustive;
 
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
-use gecco_eventlog::{ClassSet, EventLog};
+use gecco_eventlog::{ClassSet, EvalContext};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -121,10 +121,12 @@ pub(crate) struct PreevaluatedChecks {
 impl PreevaluatedChecks {
     /// Evaluates, in parallel, every constraint check the serial loop would
     /// perform on `entries` (each `(group, has_satisfied_subset)`), given
-    /// `touched` budget units already consumed. Returns `None` when
-    /// parallelism is disabled — callers then check inline as before.
+    /// `touched` budget units already consumed. Each chunk worker rebuilds
+    /// a private [`EvalContext`] (its own scratch buffers) from the shared
+    /// parts of `ctx`. Returns `None` when parallelism is disabled —
+    /// callers then check inline as before.
     pub(crate) fn evaluate(
-        log: &EventLog,
+        ctx: &EvalContext<'_>,
         constraints: &CompiledConstraintSet,
         entries: impl Iterator<Item = (ClassSet, bool)>,
         budget: Budget,
@@ -150,14 +152,24 @@ impl PreevaluatedChecks {
                 need.push(group);
             }
         }
-        let verdicts = crate::parallel::par_map(&need, 2, |g| constraints.holds(g, log));
+        let parts = ctx.parts();
+        let verdicts = crate::parallel::par_map_scoped(
+            &need,
+            2,
+            || parts.context(),
+            |worker_ctx, g| constraints.holds(g, worker_ctx),
+        );
         let anti_need: Vec<ClassSet> = if mode == CheckingMode::AntiMonotonic {
             need.iter().zip(&verdicts).filter(|(_, &holds)| !holds).map(|(g, _)| *g).collect()
         } else {
             Vec::new()
         };
-        let anti_verdicts =
-            crate::parallel::par_map(&anti_need, 2, |g| constraints.holds_anti_monotonic(g, log));
+        let anti_verdicts = crate::parallel::par_map_scoped(
+            &anti_need,
+            2,
+            || parts.context(),
+            |worker_ctx, g| constraints.holds_anti_monotonic(g, worker_ctx),
+        );
         Some(PreevaluatedChecks {
             holds: need.into_iter().zip(verdicts).collect(),
             anti: anti_need.into_iter().zip(anti_verdicts).collect(),
@@ -168,23 +180,23 @@ impl PreevaluatedChecks {
     pub(crate) fn holds(
         &self,
         group: &ClassSet,
-        log: &EventLog,
+        ctx: &EvalContext<'_>,
         constraints: &CompiledConstraintSet,
     ) -> bool {
-        self.holds.get(group).copied().unwrap_or_else(|| constraints.holds(group, log))
+        self.holds.get(group).copied().unwrap_or_else(|| constraints.holds(group, ctx))
     }
 
     /// The stored anti-monotonic verdict, falling back to an inline check.
     pub(crate) fn holds_anti_monotonic(
         &self,
         group: &ClassSet,
-        log: &EventLog,
+        ctx: &EvalContext<'_>,
         constraints: &CompiledConstraintSet,
     ) -> bool {
         self.anti
             .get(group)
             .copied()
-            .unwrap_or_else(|| constraints.holds_anti_monotonic(group, log))
+            .unwrap_or_else(|| constraints.holds_anti_monotonic(group, ctx))
     }
 }
 

@@ -18,7 +18,7 @@
 //! `{{rcp,ckc,ckt}, {acc}, {rej}, {prio,inf,arv}}` scores exactly
 //! `37/12 ≈ 3.08`, matching Figure 7 (see this module's tests).
 
-use gecco_eventlog::{instances, ClassSet, EventLog, Segmenter, Trace};
+use gecco_eventlog::{instances, ClassSet, EvalContext, EventLog, GroupInstance, Segmenter, Trace};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
@@ -26,52 +26,66 @@ use std::collections::{HashMap, HashSet};
 /// thread fan-out costs more than it saves on small logs.
 const MIN_PARALLEL_TRACES: usize = 64;
 
-/// Computes `dist(g, L)` (Eq. 1).
+/// Computes `dist(g, L)` (Eq. 1) through the context's index: only traces
+/// containing at least one class of the group are visited at all.
 ///
 /// Returns `f64::INFINITY` for groups with no instance in the log — such
 /// groups can never contribute to an abstraction.
 ///
 /// With the `rayon` feature enabled (and [`crate::parallel::set_parallel`]
-/// not turned off), the per-trace accumulation fans out over all cores.
-/// Serial and parallel results are bit-identical: both sum one subtotal per
-/// trace, in trace order.
-pub fn group_distance(log: &EventLog, group: &ClassSet, segmenter: Segmenter) -> f64 {
-    group_distance_impl(log, group, segmenter, crate::parallel::parallel_enabled())
+/// not turned off), the per-trace accumulation fans out over all cores,
+/// each worker scoring its chunk of the relevant traces with a private
+/// context. Serial and parallel results are bit-identical: both sum one
+/// subtotal per relevant trace, in trace order, exactly like the
+/// [`group_distance_scan`] oracle.
+pub fn group_distance(ctx: &EvalContext<'_>, group: &ClassSet, segmenter: Segmenter) -> f64 {
+    debug_assert!(!group.is_empty(), "distance of the empty group is undefined");
+    if crate::parallel::parallel_active() {
+        let trace_ids = ctx.index().group_traces(group);
+        if trace_ids.len() >= MIN_PARALLEL_TRACES {
+            let parts = ctx.parts();
+            let subtotals = crate::parallel::par_map_scoped(
+                &trace_ids,
+                MIN_PARALLEL_TRACES,
+                || parts.context(),
+                |worker_ctx, &ti| trace_contribution_indexed(worker_ctx, ti, group, segmenter),
+            );
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (sub, n) in subtotals {
+                total += sub;
+                count += n;
+            }
+            return if count == 0 { f64::INFINITY } else { total / count as f64 };
+        }
+    }
+    group_distance_serial(ctx, group, segmenter)
 }
 
-fn group_distance_impl(
-    log: &EventLog,
-    group: &ClassSet,
-    segmenter: Segmenter,
-    parallel: bool,
-) -> f64 {
+/// The strictly serial indexed scoring loop, used directly by parallel
+/// workers (which must not fan out again). Streams through one postings
+/// merge, accumulating a per-trace subtotal so the floating-point
+/// summation order matches the scan oracle (and the parallel path) exactly.
+fn group_distance_serial(ctx: &EvalContext<'_>, group: &ClassSet, segmenter: Segmenter) -> f64 {
     let group_size = group.len();
-    debug_assert!(group_size > 0, "distance of the empty group is undefined");
-    let traces = log.traces();
-    let trace_sets = log.trace_class_sets();
     let mut total = 0.0;
     let mut count = 0usize;
-    if parallel && traces.len() >= MIN_PARALLEL_TRACES {
-        let subtotals = crate::parallel::par_map_range(traces.len(), MIN_PARALLEL_TRACES, |ti| {
-            if trace_sets[ti].intersects(group) {
-                trace_contribution(&traces[ti], group, group_size, segmenter)
-            } else {
-                (0.0, 0)
+    let mut current_trace = usize::MAX;
+    let mut sub = 0.0;
+    let _: Option<()> = ctx.visit_instances(group, segmenter, |ti, inst| {
+        if ti != current_trace {
+            if current_trace != usize::MAX {
+                total += sub;
             }
-        });
-        for (sub, n) in subtotals {
-            total += sub;
-            count += n;
+            sub = 0.0;
+            current_trace = ti;
         }
-    } else {
-        for (ti, trace) in traces.iter().enumerate() {
-            if !trace_sets[ti].intersects(group) {
-                continue;
-            }
-            let (sub, n) = trace_contribution(trace, group, group_size, segmenter);
-            total += sub;
-            count += n;
-        }
+        sub += instance_terms(&inst, group_size);
+        count += 1;
+        std::ops::ControlFlow::Continue(())
+    });
+    if current_trace != usize::MAX {
+        total += sub;
     }
     if count == 0 {
         f64::INFINITY
@@ -80,7 +94,49 @@ fn group_distance_impl(
     }
 }
 
-/// One trace's summands of Eq. 1: `(Σ per-instance terms, #instances)`.
+/// The naive full-log-scan evaluation of Eq. 1, kept as the oracle for the
+/// index-equivalence suite and the scan-vs-indexed benchmarks.
+/// Bit-identical to [`group_distance`].
+pub fn group_distance_scan(log: &EventLog, group: &ClassSet, segmenter: Segmenter) -> f64 {
+    let group_size = group.len();
+    debug_assert!(group_size > 0, "distance of the empty group is undefined");
+    let trace_sets = log.trace_class_sets();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (ti, trace) in log.traces().iter().enumerate() {
+        if !trace_sets[ti].intersects(group) {
+            continue;
+        }
+        let (sub, n) = trace_contribution(trace, group, group_size, segmenter);
+        total += sub;
+        count += n;
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        total / count as f64
+    }
+}
+
+/// One trace's summands of Eq. 1 via the index:
+/// `(Σ per-instance terms, #instances)`.
+fn trace_contribution_indexed(
+    ctx: &EvalContext<'_>,
+    ti: u32,
+    group: &ClassSet,
+    segmenter: Segmenter,
+) -> (f64, usize) {
+    let group_size = group.len();
+    let mut sub = 0.0;
+    let mut n = 0usize;
+    for inst in ctx.instances_in(ti as usize, group, segmenter) {
+        sub += instance_terms(&inst, group_size);
+        n += 1;
+    }
+    (sub, n)
+}
+
+/// One trace's summands of Eq. 1 via the scan (oracle path).
 fn trace_contribution(
     trace: &Trace,
     group: &ClassSet,
@@ -90,38 +146,46 @@ fn trace_contribution(
     let mut sub = 0.0;
     let mut n = 0usize;
     for inst in instances(trace, group, segmenter) {
-        sub += inst.interrupts() as f64 / inst.len() as f64
-            + inst.missing(group_size) as f64 / group_size as f64
-            + 1.0 / group_size as f64;
+        sub += instance_terms(&inst, group_size);
         n += 1;
     }
     (sub, n)
 }
 
+/// The three summands of Eq. 1 for one instance — shared by the indexed
+/// and scan paths so their floating-point results cannot diverge.
+#[inline]
+fn instance_terms(inst: &GroupInstance, group_size: usize) -> f64 {
+    inst.interrupts() as f64 / inst.len() as f64
+        + inst.missing(group_size) as f64 / group_size as f64
+        + 1.0 / group_size as f64
+}
+
 /// Computes `dist(G, L)` (Eq. 2): the sum of the group distances.
 pub fn grouping_distance(
-    log: &EventLog,
+    ctx: &EvalContext<'_>,
     groups: impl IntoIterator<Item = ClassSet>,
     segmenter: Segmenter,
 ) -> f64 {
-    groups.into_iter().map(|g| group_distance(log, &g, segmenter)).sum()
+    groups.into_iter().map(|g| group_distance(ctx, &g, segmenter)).sum()
 }
 
 /// Memoizing distance evaluator.
 ///
 /// Candidate computation (the beam sort of Algorithm 2 in particular) and
 /// selection evaluate `dist` for the same groups repeatedly; the oracle
-/// caches per-[`ClassSet`] results.
+/// caches per-[`ClassSet`] results, scoring misses through its
+/// [`EvalContext`]'s index.
 pub struct DistanceOracle<'a> {
-    log: &'a EventLog,
+    ctx: &'a EvalContext<'a>,
     segmenter: Segmenter,
     cache: RefCell<HashMap<ClassSet, f64>>,
 }
 
 impl<'a> DistanceOracle<'a> {
-    /// Creates an oracle for `log`.
-    pub fn new(log: &'a EventLog, segmenter: Segmenter) -> Self {
-        DistanceOracle { log, segmenter, cache: RefCell::new(HashMap::new()) }
+    /// Creates an oracle over `ctx`'s log.
+    pub fn new(ctx: &'a EvalContext<'a>, segmenter: Segmenter) -> Self {
+        DistanceOracle { ctx, segmenter, cache: RefCell::new(HashMap::new()) }
     }
 
     /// `dist(g, L)`, memoized.
@@ -129,13 +193,14 @@ impl<'a> DistanceOracle<'a> {
         if let Some(&d) = self.cache.borrow().get(group) {
             return d;
         }
-        let d = group_distance(self.log, group, self.segmenter);
+        let d = group_distance(self.ctx, group, self.segmenter);
         self.cache.borrow_mut().insert(*group, d);
         d
     }
 
     /// Fills the cache for `groups` ahead of time, scoring the uncached
-    /// ones in parallel (one worker per chunk of candidates).
+    /// ones in parallel (one worker per chunk of candidates, each with its
+    /// own private context).
     ///
     /// A no-op when parallelism is off — lazy evaluation in [`Self::distance`]
     /// is then strictly better. Each parallel worker scores its candidates
@@ -153,10 +218,14 @@ impl<'a> DistanceOracle<'a> {
         if missing.len() < 2 {
             return;
         }
-        let (log, segmenter) = (self.log, self.segmenter);
-        let distances = crate::parallel::par_map(&missing, 2, |g| {
-            group_distance_impl(log, g, segmenter, false)
-        });
+        let segmenter = self.segmenter;
+        let parts = self.ctx.parts();
+        let distances = crate::parallel::par_map_scoped(
+            &missing,
+            2,
+            || parts.context(),
+            |worker_ctx, g| group_distance_serial(worker_ctx, g, segmenter),
+        );
         let mut cache = self.cache.borrow_mut();
         for (g, d) in missing.into_iter().zip(distances) {
             cache.insert(g, d);
@@ -168,9 +237,14 @@ impl<'a> DistanceOracle<'a> {
         self.cache.borrow().len()
     }
 
+    /// The evaluation context this oracle scores against.
+    pub fn ctx(&self) -> &'a EvalContext<'a> {
+        self.ctx
+    }
+
     /// The log this oracle evaluates against.
     pub fn log(&self) -> &'a EventLog {
-        self.log
+        self.ctx.log()
     }
 
     /// The segmenter used for instance computation.
@@ -210,17 +284,19 @@ mod tests {
     #[test]
     fn figure7_optimal_grouping_scores_3_08() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let g1 = group(&log, &["rcp", "ckc", "ckt"]);
         let g2 = group(&log, &["acc"]);
         let g3 = group(&log, &["rej"]);
         let g4 = group(&log, &["prio", "inf", "arv"]);
         let seg = Segmenter::RepeatSplit;
         // Component values derived by hand in the paper's terms:
-        assert!((group_distance(&log, &g1, seg) - 2.0 / 3.0).abs() < 1e-12);
-        assert!((group_distance(&log, &g2, seg) - 1.0).abs() < 1e-12);
-        assert!((group_distance(&log, &g3, seg) - 1.0).abs() < 1e-12);
-        assert!((group_distance(&log, &g4, seg) - 5.0 / 12.0).abs() < 1e-12);
-        let total = grouping_distance(&log, [g1, g2, g3, g4], seg);
+        assert!((group_distance(&ctx, &g1, seg) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((group_distance(&ctx, &g2, seg) - 1.0).abs() < 1e-12);
+        assert!((group_distance(&ctx, &g3, seg) - 1.0).abs() < 1e-12);
+        assert!((group_distance(&ctx, &g4, seg) - 5.0 / 12.0).abs() < 1e-12);
+        let total = grouping_distance(&ctx, [g1, g2, g3, g4], seg);
         assert!((total - 37.0 / 12.0).abs() < 1e-12, "Fig. 7 reports dist = 3.08, got {total}");
         assert_eq!(format!("{total:.2}"), "3.08");
     }
@@ -228,8 +304,10 @@ mod tests {
     #[test]
     fn unary_groups_have_distance_at_least_one_over_size() {
         let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         for c in log.classes().ids() {
-            let d = group_distance(&log, &ClassSet::singleton(c), Segmenter::RepeatSplit);
+            let d = group_distance(&ctx, &ClassSet::singleton(c), Segmenter::RepeatSplit);
             assert!(d >= 1.0 - 1e-12, "singletons have perfect cohesion but pay 1/|g| = 1");
         }
     }
@@ -251,9 +329,11 @@ mod tests {
             .unwrap()
             .done();
         let log = b.build();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
         let seg = Segmenter::RepeatSplit;
-        let ae = group_distance(&log, &group(&log, &["a", "e"]), seg);
-        let ab = group_distance(&log, &group(&log, &["a", "b"]), seg);
+        let ae = group_distance(&ctx, &group(&log, &["a", "e"]), seg);
+        let ab = group_distance(&ctx, &group(&log, &["a", "b"]), seg);
         assert!(ae > ab);
         // {a,e}: interrupts 3/2, missing 0, 1/2 → 2.0; {a,b}: 0 + 0 + 1/2.
         assert!((ae - 2.0).abs() < 1e-12);
@@ -267,7 +347,9 @@ mod tests {
         lb.trace("t1").event("a").unwrap().event("b").unwrap().done();
         lb.trace("t2").event("a").unwrap().done();
         let log = lb.build();
-        let d = group_distance(&log, &group(&log, &["a", "b"]), Segmenter::RepeatSplit);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let d = group_distance(&ctx, &group(&log, &["a", "b"]), Segmenter::RepeatSplit);
         // Instance 1: 0 + 0 + 1/2; instance 2: 0 + 1/2 + 1/2 → avg = 3/4.
         assert!((d - 0.75).abs() < 1e-12);
     }
@@ -290,18 +372,46 @@ mod tests {
         lb2.class("ghost").unwrap();
         lb2.trace("t").event("real").unwrap().done();
         let log2 = lb2.build();
+        let index2 = gecco_eventlog::LogIndex::build(&log2);
+        let ctx2 = EvalContext::new(&log2, &index2);
         let ghost = log2.class_by_name("ghost").unwrap();
         assert_eq!(
-            group_distance(&log2, &ClassSet::singleton(ghost), Segmenter::RepeatSplit),
+            group_distance(&ctx2, &ClassSet::singleton(ghost), Segmenter::RepeatSplit),
             f64::INFINITY
         );
         let _ = (log, a);
     }
 
     #[test]
+    fn indexed_distance_matches_scan_oracle() {
+        let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let ids: Vec<_> = log.classes().ids().collect();
+        for seg in [Segmenter::RepeatSplit, Segmenter::NoSplit] {
+            for mask in 1u32..(1 << ids.len()) {
+                let g: ClassSet = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, c)| *c)
+                    .collect();
+                let indexed = group_distance(&ctx, &g, seg);
+                let scan = group_distance_scan(&log, &g, seg);
+                assert!(
+                    indexed == scan || (indexed.is_infinite() && scan.is_infinite()),
+                    "dist mismatch on {g:?}: {indexed} vs {scan}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn oracle_caches() {
         let log = running_example();
-        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
         let g = group(&log, &["rcp", "ckc", "ckt"]);
         let d1 = oracle.distance(&g);
         let d2 = oracle.distance(&g);

@@ -28,7 +28,7 @@ pub mod selection;
 
 pub use abstraction::AbstractionStrategy;
 pub use candidates::{BeamWidth, Budget, CandidateSet, CandidateStats, CandidateStrategy};
-pub use distance::{group_distance, grouping_distance, DistanceOracle};
+pub use distance::{group_distance, group_distance_scan, grouping_distance, DistanceOracle};
 pub use grouping::Grouping;
 pub use parallel::{parallel_enabled, set_parallel};
 pub use pipeline::{AbstractionResult, Gecco, GeccoError, InfeasibilityReport, Outcome};

@@ -48,6 +48,20 @@ pub fn parallel_enabled() -> bool {
     }
 }
 
+/// Whether a parallel fan-out would actually use more than one worker.
+/// Lets hot paths skip parallel-shaped work (chunking, per-worker state)
+/// that costs more than the serial loop when only one thread is available.
+pub(crate) fn parallel_active() -> bool {
+    #[cfg(feature = "rayon")]
+    {
+        parallel_enabled() && rayon::current_num_threads() > 1
+    }
+    #[cfg(not(feature = "rayon"))]
+    {
+        false
+    }
+}
+
 /// Maps `f` over `items`, in parallel when enabled and there are at least
 /// `min_items` of them; output order always matches input order.
 pub(crate) fn par_map<T, R, F>(items: &[T], min_items: usize, f: F) -> Vec<R>
@@ -67,24 +81,40 @@ where
     items.iter().map(f).collect()
 }
 
-/// Maps `f` over `0..len`, in parallel when enabled and the range is at
-/// least `min_items` long; output order always matches index order. Unlike
-/// [`par_map`], needs no backing slice — the hot distance loop uses this to
-/// avoid allocating an index vector per candidate.
-pub(crate) fn par_map_range<R, F>(len: usize, min_items: usize, f: F) -> Vec<R>
+/// Maps `f` over `items` with per-worker state: every worker (one
+/// contiguous chunk of the input) builds its own `S` via `init` and threads
+/// it through its chunk. Output order always matches input order.
+///
+/// This is how the chunk workers get a private
+/// [`gecco_eventlog::EvalContext`] — the context's scratch buffers are not
+/// `Sync`, so each worker rebuilds one from the shared
+/// [`gecco_eventlog::ContextParts`] and reuses it across its whole chunk.
+pub(crate) fn par_map_scoped<T, R, S, I, F>(items: &[T], min_items: usize, init: I, f: F) -> Vec<R>
 where
+    T: Sync,
     R: Send,
-    F: Fn(usize) -> R + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
 {
     #[cfg(feature = "rayon")]
     {
         use rayon::prelude::*;
-        if parallel_enabled() && len >= min_items && rayon::current_num_threads() > 1 {
-            return (0..len).into_par_iter().map(f).collect();
+        let threads = rayon::current_num_threads();
+        if parallel_enabled() && items.len() >= min_items && threads > 1 {
+            let chunk_size = items.len().div_ceil(threads);
+            let per_chunk: Vec<Vec<R>> = items
+                .par_chunks(chunk_size)
+                .map(|chunk| {
+                    let mut state = init();
+                    chunk.iter().map(|item| f(&mut state, item)).collect()
+                })
+                .collect();
+            return per_chunk.into_iter().flatten().collect();
         }
     }
     let _ = min_items;
-    (0..len).map(f).collect()
+    let mut state = init();
+    items.iter().map(|item| f(&mut state, item)).collect()
 }
 
 #[cfg(test)]
@@ -92,9 +122,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn par_map_range_matches_serial() {
-        let out = par_map_range(50, 1, |i| i * i);
-        assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    fn par_map_scoped_matches_serial_map() {
+        let items: Vec<u32> = (0..200).collect();
+        let out = par_map_scoped(&items, 1, Vec::<u32>::new, |scratch, &x| {
+            scratch.push(x); // reused within a worker's chunk
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

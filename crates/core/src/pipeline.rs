@@ -11,7 +11,7 @@ use crate::distance::DistanceOracle;
 use crate::grouping::Grouping;
 use crate::selection::{select_optimal, SelectionOptions};
 use gecco_constraints::{CompileError, CompiledConstraintSet, ConstraintSet, Diagnostics};
-use gecco_eventlog::{EventLog, Segmenter};
+use gecco_eventlog::{EvalContext, EventLog, InstanceCache, LogIndex, Segmenter};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -165,6 +165,8 @@ pub struct Gecco<'a> {
     selection: SelectionOptions,
     merge_exclusive: bool,
     label_attribute: Option<String>,
+    index: Option<&'a LogIndex>,
+    instance_cache: Option<&'a InstanceCache>,
 }
 
 impl<'a> Gecco<'a> {
@@ -181,6 +183,8 @@ impl<'a> Gecco<'a> {
             selection: SelectionOptions::default(),
             merge_exclusive: true,
             label_attribute: None,
+            index: None,
+            instance_cache: None,
         }
     }
 
@@ -233,33 +237,66 @@ impl<'a> Gecco<'a> {
         self
     }
 
+    /// Reuses a pre-built [`LogIndex`] instead of building one per run.
+    /// Callers running several constraint sets over the same log (the
+    /// benchmark harness in particular) build the index once.
+    ///
+    /// The index must have been built from this run's log.
+    pub fn with_index(mut self, index: &'a LogIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// Attaches a shared [`InstanceCache`]: materialized group instances
+    /// are reused across candidates and — because instances depend only on
+    /// the group and segmenter — across every run over the same log, and
+    /// `holds` verdicts are memoized per compiled constraint set.
+    pub fn instance_cache(mut self, cache: &'a InstanceCache) -> Self {
+        self.instance_cache = Some(cache);
+        self
+    }
+
     /// Runs the three steps with a custom Step-1 observer (used to render
     /// the paper's Figure 5).
     pub fn run_observed(self, observer: &mut dyn IterationObserver) -> Result<Outcome, GeccoError> {
         let compiled =
             CompiledConstraintSet::compile_with(&self.constraints, self.log, self.segmenter)?;
 
+        // The evaluation context every step shares: the log's occurrence
+        // index (built once per run unless the caller provides one) plus
+        // the optional cross-run instance/verdict cache.
+        let owned_index;
+        let index: &LogIndex = match self.index {
+            Some(index) => index,
+            None => {
+                owned_index = LogIndex::build(self.log);
+                &owned_index
+            }
+        };
+        let ctx = match self.instance_cache {
+            Some(cache) => EvalContext::with_cache(self.log, index, cache),
+            None => EvalContext::new(self.log, index),
+        };
+
         // Step 1: candidate computation.
         let t0 = Instant::now();
         let mut candidates: CandidateSet = match self.strategy {
-            CandidateStrategy::Exhaustive => {
-                exhaustive_candidates(self.log, &compiled, self.budget)
-            }
+            CandidateStrategy::Exhaustive => exhaustive_candidates(&ctx, &compiled, self.budget),
             CandidateStrategy::DfgUnbounded => {
-                dfg_candidates(self.log, &compiled, None, self.budget, observer)
+                dfg_candidates(&ctx, &compiled, None, self.budget, observer)
             }
             CandidateStrategy::DfgBeam { k } => {
-                dfg_candidates(self.log, &compiled, Some(k), self.budget, observer)
+                dfg_candidates(&ctx, &compiled, Some(k), self.budget, observer)
             }
         };
         if self.merge_exclusive {
-            extend_with_exclusive_candidates(self.log, &compiled, &mut candidates);
+            extend_with_exclusive_candidates(&ctx, &compiled, &mut candidates);
         }
         let candidates_time = t0.elapsed();
 
         // Step 2: optimal grouping.
         let t1 = Instant::now();
-        let oracle = DistanceOracle::new(self.log, self.segmenter);
+        let oracle = DistanceOracle::new(&ctx, self.segmenter);
         let selected = select_optimal(
             self.log,
             candidates.groups(),
@@ -270,7 +307,7 @@ impl<'a> Gecco<'a> {
         let selection_time = t1.elapsed();
 
         let Some(selection) = selected else {
-            let diagnostics = Diagnostics::probe(&compiled, self.log);
+            let diagnostics = Diagnostics::probe(&compiled, &ctx);
             let summary = format!(
                 "no feasible grouping over {} candidates (checked {} groups{}).\n{}",
                 candidates.len(),
@@ -289,7 +326,7 @@ impl<'a> Gecco<'a> {
         let t2 = Instant::now();
         let names = activity_names(self.log, &selection.grouping, self.label_attribute.as_deref());
         let abstracted =
-            abstract_log(self.log, &selection.grouping, &names, self.abstraction, self.segmenter);
+            abstract_log(&ctx, &selection.grouping, &names, self.abstraction, self.segmenter);
         let abstraction_time = t2.elapsed();
 
         Ok(Outcome::Abstracted(AbstractionResult {

@@ -126,7 +126,9 @@ mod tests {
     #[test]
     fn figure7_selection_matches_paper() {
         let log = running_example();
-        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
         let candidates = figure7_candidates(&log);
         let sel =
             select_optimal(&log, &candidates, &oracle, (None, None), SelectionOptions::default())
@@ -145,7 +147,9 @@ mod tests {
     #[test]
     fn both_engines_agree() {
         let log = running_example();
-        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
         let candidates = figure7_candidates(&log);
         let dlx = select_optimal(
             &log,
@@ -169,7 +173,9 @@ mod tests {
     #[test]
     fn group_bounds_change_selection() {
         let log = running_example();
-        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
         let candidates = figure7_candidates(&log);
         // At most 3 groups: impossible (acc/rej are mandatory singletons
         // here and the other six classes split into at least two groups).
@@ -197,7 +203,9 @@ mod tests {
     #[test]
     fn infeasible_without_covering_candidates() {
         let log = running_example();
-        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
         // Candidates that cannot cover `prio`.
         let candidates = vec![set(&log, &["rcp"]), set(&log, &["ckc"])];
         assert!(select_optimal(
@@ -213,7 +221,9 @@ mod tests {
     #[test]
     fn empty_log_trivial_grouping() {
         let log = LogBuilder::new().build();
-        let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
         let sel =
             select_optimal(&log, &[], &oracle, (None, None), SelectionOptions::default()).unwrap();
         assert!(sel.grouping.is_empty());

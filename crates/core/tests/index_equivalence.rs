@@ -1,0 +1,135 @@
+//! Property-based equivalence of indexed and scan-based evaluation.
+//!
+//! The `LogIndex` k-way-merge materialization, the `EvalContext` instance
+//! APIs, indexed constraint checking and indexed distance scoring must all
+//! be **bit-identical** to the naive full-log scan, on arbitrary logs, for
+//! arbitrary groups, under both `Segmenter` modes, with and without a
+//! shared `InstanceCache` — and under the `rayon` feature (CI runs this
+//! suite with `--features rayon`, where candidate checks and distance
+//! accumulation fan out over worker threads).
+
+use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
+use gecco_core::{group_distance, group_distance_scan};
+use gecco_eventlog::{
+    instances, log_instances, ClassSet, EvalContext, EventLog, InstanceCache, LogBuilder, LogIndex,
+    Segmenter,
+};
+use proptest::prelude::*;
+
+/// Random small logs: up to 6 classes, up to 10 traces of length ≤ 12.
+/// Every event carries deterministic `v`/`time:timestamp` attributes (a
+/// function of its coordinates) so aggregate constraints have data, and an
+/// `org:role` drawn from the class parity.
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    let trace = proptest::collection::vec(0usize..6, 0..=12);
+    proptest::collection::vec(trace, 1..=10).prop_map(|traces| {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("case-{i}"));
+            for (j, &cls) in t.iter().enumerate() {
+                let role = if cls % 2 == 0 { "even" } else { "odd" };
+                tb = tb
+                    .event_with(&format!("c{cls}"), |e| {
+                        e.str("org:role", role)
+                            .timestamp("time:timestamp", (i as i64) * 10_000 + (j as i64) * 100)
+                            .int("v", ((i * 31 + j * 7 + cls) % 100) as i64);
+                    })
+                    .expect("small logs stay within class limits");
+            }
+            tb.done();
+        }
+        b.build()
+    })
+}
+
+/// All non-empty groups over the log's registered classes (≤ 6 classes, so
+/// at most 63 subsets — cheap enough to enumerate exhaustively per case).
+fn all_groups(log: &EventLog) -> Vec<ClassSet> {
+    let ids: Vec<_> = log.classes().ids().collect();
+    (1u32..(1 << ids.len()))
+        .map(|mask| {
+            ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, c)| *c).collect()
+        })
+        .collect()
+}
+
+const CONSTRAINT_SETS: &[&str] = &[
+    "count(instance) >= 2;",
+    "sum(\"v\") <= 120;",
+    "avg(\"v\") <= 50; size(g) <= 3;",
+    "atleast 0.5 of instances: sum(\"v\") <= 80;",
+    "distinct(instance, \"org:role\") <= 1;",
+    "span(\"time:timestamp\") <= 500; gap(\"time:timestamp\") <= 300;",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_instances_match_scan(log in arb_log()) {
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        for segmenter in [Segmenter::RepeatSplit, Segmenter::NoSplit] {
+            for group in all_groups(&log) {
+                for (ti, trace) in log.traces().iter().enumerate() {
+                    prop_assert_eq!(
+                        ctx.instances_in(ti, &group, segmenter),
+                        instances(trace, &group, segmenter),
+                        "instances_in diverges on trace {} group {:?}", ti, group
+                    );
+                }
+                let scan: Vec<_> = log_instances(&log, &group, segmenter).collect();
+                prop_assert_eq!(ctx.log_instances(&group, segmenter), scan);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_verdicts_match_scan(log in arb_log()) {
+        let index = LogIndex::build(&log);
+        let cache = InstanceCache::new();
+        let plain = EvalContext::new(&log, &index);
+        let cached = EvalContext::with_cache(&log, &index, &cache);
+        let groups = all_groups(&log);
+        for (dsl, segmenter) in CONSTRAINT_SETS
+            .iter()
+            .flat_map(|d| [(d, Segmenter::RepeatSplit), (d, Segmenter::NoSplit)])
+        {
+            let Ok(spec) = ConstraintSet::parse(dsl) else { unreachable!("fixed DSL parses") };
+            // Logs whose traces never produced the attribute reject
+            // compilation (UnknownAttribute) — nothing to compare there.
+            let Ok(cs) = CompiledConstraintSet::compile_with(&spec, &log, segmenter) else {
+                continue;
+            };
+            for group in &groups {
+                let scan = cs.check_instances_scan(group, &log);
+                prop_assert_eq!(cs.check_instances(group, &plain), scan,
+                    "indexed check diverges: {} on {:?}", dsl, group);
+                prop_assert_eq!(cs.check_instances(group, &cached), scan,
+                    "cached check diverges: {} on {:?}", dsl, group);
+                let holds_scan = cs.holds_scan(group, &log);
+                prop_assert_eq!(cs.holds(group, &plain), holds_scan);
+                // Twice through the cached context: second hit is a pure
+                // verdict-cache lookup and must agree too.
+                prop_assert_eq!(cs.holds(group, &cached), holds_scan);
+                prop_assert_eq!(cs.holds(group, &cached), holds_scan);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_distance_matches_scan(log in arb_log()) {
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        for segmenter in [Segmenter::RepeatSplit, Segmenter::NoSplit] {
+            for group in all_groups(&log) {
+                let indexed = group_distance(&ctx, &group, segmenter);
+                let scan = group_distance_scan(&log, &group, segmenter);
+                prop_assert!(
+                    indexed.to_bits() == scan.to_bits(),
+                    "distance diverges on {:?}: {} vs {}", group, indexed, scan
+                );
+            }
+        }
+    }
+}

@@ -11,7 +11,7 @@ use gecco_core::candidates::exclusive::extend_with_exclusive_candidates;
 use gecco_core::candidates::exhaustive::exhaustive_candidates;
 use gecco_core::{group_distance, set_parallel, BeamWidth, Budget, CandidateSet};
 use gecco_datagen::loan_log;
-use gecco_eventlog::{EventLog, Segmenter};
+use gecco_eventlog::{EvalContext, EventLog, LogIndex, Segmenter};
 
 fn compile(log: &EventLog, dsl: &str) -> gecco_constraints::CompiledConstraintSet {
     gecco_constraints::CompiledConstraintSet::compile(
@@ -49,10 +49,12 @@ fn assert_same(serial: &CandidateSet, parallel: &CandidateSet) {
 #[test]
 fn exhaustive_parallel_matches_serial() {
     let log = loan_log(40, 3);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     for dsl in ["", "size(g) <= 3;", "distinct(instance, \"org:role\") <= 1;"] {
         let constraints = compile(&log, dsl);
         let (serial, parallel) =
-            both(|| exhaustive_candidates(&log, &constraints, Budget::max_checks(3_000)));
+            both(|| exhaustive_candidates(&ctx, &constraints, Budget::max_checks(3_000)));
         assert_same(&serial, &parallel);
     }
 }
@@ -60,11 +62,13 @@ fn exhaustive_parallel_matches_serial() {
 #[test]
 fn dfg_parallel_matches_serial() {
     let log = loan_log(40, 3);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     for dsl in ["", "size(g) <= 4;", "distinct(instance, \"org:role\") <= 1;"] {
         let constraints = compile(&log, dsl);
         for beam in [None, Some(BeamWidth::Fixed(8)), Some(BeamWidth::PerClass(5))] {
             let (serial, parallel) = both(|| {
-                dfg_candidates(&log, &constraints, beam, Budget::max_checks(2_000), &mut NoObserver)
+                dfg_candidates(&ctx, &constraints, beam, Budget::max_checks(2_000), &mut NoObserver)
             });
             assert_same(&serial, &parallel);
         }
@@ -74,10 +78,12 @@ fn dfg_parallel_matches_serial() {
 #[test]
 fn exclusive_parallel_matches_serial() {
     let log = loan_log(40, 3);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     let constraints = compile(&log, "size(g) <= 3;");
     let ((serial_added, serial), (parallel_added, parallel)) = both(|| {
-        let mut cands = exhaustive_candidates(&log, &constraints, Budget::max_checks(2_000));
-        let added = extend_with_exclusive_candidates(&log, &constraints, &mut cands);
+        let mut cands = exhaustive_candidates(&ctx, &constraints, Budget::max_checks(2_000));
+        let added = extend_with_exclusive_candidates(&ctx, &constraints, &mut cands);
         (added, cands)
     });
     assert_eq!(serial_added, parallel_added);
@@ -88,12 +94,14 @@ fn exclusive_parallel_matches_serial() {
 fn distance_is_bit_identical() {
     // Enough traces to cross the parallel threshold (64).
     let log = loan_log(120, 4);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     let classes: Vec<_> = log.classes().ids().collect();
     let groups: Vec<gecco_eventlog::ClassSet> = (0..classes.len().saturating_sub(1))
         .map(|i| [classes[i], classes[i + 1]].into_iter().collect())
         .collect();
     for group in &groups {
-        let (serial, parallel) = both(|| group_distance(&log, group, Segmenter::RepeatSplit));
+        let (serial, parallel) = both(|| group_distance(&ctx, group, Segmenter::RepeatSplit));
         assert_eq!(
             serial.to_bits(),
             parallel.to_bits(),
@@ -106,14 +114,16 @@ fn distance_is_bit_identical() {
 fn budget_exhaustion_is_equivalent() {
     // Tiny budgets stop mid-level; replay must match serial exactly.
     let log = loan_log(30, 2);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
     let constraints = compile(&log, "");
     for max_checks in [1, 3, 7, 20, 95] {
         let (serial, parallel) =
-            both(|| exhaustive_candidates(&log, &constraints, Budget::max_checks(max_checks)));
+            both(|| exhaustive_candidates(&ctx, &constraints, Budget::max_checks(max_checks)));
         assert_same(&serial, &parallel);
         let (serial, parallel) = both(|| {
             dfg_candidates(
-                &log,
+                &ctx,
                 &constraints,
                 Some(BeamWidth::Fixed(5)),
                 Budget::max_checks(max_checks),

@@ -1,0 +1,708 @@
+//! Indexed instance materialization: [`LogIndex`], [`EvalContext`] and
+//! [`InstanceCache`].
+//!
+//! GECCO's Step-1 search checks thousands of candidate groups against the
+//! log, and the naive [`crate::instances()`] scan walks every event of every
+//! trace per check — even when none of the group's classes occurs in a
+//! trace. The [`LogIndex`] precomputes **per-class postings**: for every
+//! event class, the sorted `(trace, position)` occurrences, stored as one
+//! run per trace slicing into a flat position array. Instance
+//! materialization then becomes a k-way merge over the postings of the
+//! group's classes, so its cost is proportional to the group's own
+//! occurrences rather than to the log size, and traces containing no group
+//! class are never touched.
+//!
+//! The merge is **bit-identical** to the scan: it yields the same events in
+//! the same order, and the shared segmentation logic produces exactly the
+//! same [`GroupInstance`]s (asserted by the `index_equivalence` proptest
+//! suite in `gecco-core`, which also covers the `rayon` feature).
+//!
+//! [`EvalContext`] bundles the log, its index, reusable scratch buffers and
+//! an optional shared [`InstanceCache`] — the unit that constraint
+//! evaluation and candidate computation thread through the stack. Contexts
+//! are cheap to create; parallel workers build one each from
+//! [`EvalContext::parts`] so every thread gets its own scratch.
+
+use crate::classes::{ClassId, ClassSet};
+use crate::instances::{GroupInstance, Segmenter};
+use crate::log::EventLog;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One run of a class's postings: all its occurrences in one trace,
+/// slicing `start .. start + len` of the flat position array.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    trace: u32,
+    start: u32,
+    len: u32,
+}
+
+/// Per-class occurrence index over one [`EventLog`].
+///
+/// Built once per log (one pass over all events) and shared read-only by
+/// any number of [`EvalContext`]s. For every class it stores the postings
+/// runs (one per trace the class occurs in, ascending by trace id), the
+/// total occurrence count, and — mirroring [`EventLog::trace_class_sets`] —
+/// the per-trace class bitmaps used for cheap intersection tests.
+#[derive(Debug, Clone)]
+pub struct LogIndex {
+    class_runs: Vec<Vec<Run>>,
+    positions: Vec<u32>,
+    class_counts: Vec<u32>,
+    num_traces: usize,
+}
+
+impl LogIndex {
+    /// Builds the index with one pass over the log's events.
+    pub fn build(log: &EventLog) -> LogIndex {
+        let num_classes = log.num_classes();
+        let mut per_class_pos: Vec<Vec<u32>> = vec![Vec::new(); num_classes];
+        let mut per_class_runs: Vec<Vec<Run>> = vec![Vec::new(); num_classes];
+        for (ti, trace) in log.traces().iter().enumerate() {
+            for (pos, event) in trace.events().iter().enumerate() {
+                let c = event.class().index();
+                let plist = &mut per_class_pos[c];
+                match per_class_runs[c].last_mut() {
+                    Some(run) if run.trace == ti as u32 => run.len += 1,
+                    _ => per_class_runs[c].push(Run {
+                        trace: ti as u32,
+                        start: plist.len() as u32,
+                        len: 1,
+                    }),
+                }
+                plist.push(pos as u32);
+            }
+        }
+        // Flatten the per-class position lists into one array; the runs'
+        // start offsets shift by the class's base.
+        let mut positions = Vec::with_capacity(log.num_events());
+        let mut class_runs = Vec::with_capacity(num_classes);
+        let mut class_counts = Vec::with_capacity(num_classes);
+        for (plist, mut runs) in per_class_pos.into_iter().zip(per_class_runs) {
+            let base = positions.len() as u32;
+            for run in &mut runs {
+                run.start += base;
+            }
+            class_counts.push(plist.len() as u32);
+            positions.extend_from_slice(&plist);
+            class_runs.push(runs);
+        }
+        LogIndex { class_runs, positions, class_counts, num_traces: log.traces().len() }
+    }
+
+    /// Total number of events of class `c`, `Σ_σ |σ↓{c}|`.
+    #[inline]
+    pub fn class_occurrences(&self, c: ClassId) -> usize {
+        self.class_counts[c.index()] as usize
+    }
+
+    /// Number of traces class `c` occurs in.
+    #[inline]
+    pub fn trace_count(&self, c: ClassId) -> usize {
+        self.class_runs[c.index()].len()
+    }
+
+    /// Number of traces of the log this index was built from. Per-trace
+    /// class bitmaps are *not* duplicated here — read them from
+    /// [`EventLog::trace_class_sets`].
+    #[inline]
+    pub fn num_traces(&self) -> usize {
+        self.num_traces
+    }
+
+    /// Ascending ids of the traces containing at least one class of
+    /// `group` — the traces the scan path would not skip.
+    pub fn group_traces(&self, group: &ClassSet) -> Vec<u32> {
+        let classes: Vec<ClassId> = group.iter().filter(|c| !self.runs(*c).is_empty()).collect();
+        let mut cursors = vec![0u32; classes.len()];
+        let mut out = Vec::new();
+        while let Some(trace) = self.next_merged_trace(&classes, &mut cursors, |_, _| {}) {
+            out.push(trace);
+        }
+        out
+    }
+
+    /// One step of the k-way trace merge shared by [`Self::group_traces`]
+    /// and [`EvalContext::visit_instances`]: finds the smallest trace id
+    /// under the cursors (cursor `i` indexes class `i`'s run list),
+    /// advances every cursor sitting on that trace, and reports each
+    /// advanced run. `None` once all cursors are exhausted. One
+    /// implementation keeps the two callers' traversal orders identical by
+    /// construction.
+    fn next_merged_trace(
+        &self,
+        classes: &[ClassId],
+        cursors: &mut [u32],
+        mut on_run: impl FnMut(Run, ClassId),
+    ) -> Option<u32> {
+        // k = |g ∩ C_L| is small, so a linear scan beats a heap.
+        let mut t_min = u32::MAX;
+        for (i, &c) in classes.iter().enumerate() {
+            let runs = self.runs(c);
+            if (cursors[i] as usize) < runs.len() {
+                t_min = t_min.min(runs[cursors[i] as usize].trace);
+            }
+        }
+        if t_min == u32::MAX {
+            return None;
+        }
+        for (i, &c) in classes.iter().enumerate() {
+            let runs = self.runs(c);
+            if (cursors[i] as usize) < runs.len() && runs[cursors[i] as usize].trace == t_min {
+                on_run(runs[cursors[i] as usize], c);
+                cursors[i] += 1;
+            }
+        }
+        Some(t_min)
+    }
+
+    #[inline]
+    fn runs(&self, c: ClassId) -> &[Run] {
+        &self.class_runs[c.index()]
+    }
+}
+
+/// Scratch buffers reused across instance materializations; plain data so
+/// one context can serve any number of candidate checks without
+/// re-allocating.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Run cursor per group class (parallel to `classes`).
+    cursors: Vec<u32>,
+    /// The group's classes that occur in the log at all.
+    classes: Vec<ClassId>,
+    /// Active merge sources of the current trace: `(cur, end)` into the
+    /// index's flat position array, plus the source class.
+    active: Vec<(u32, u32, u16)>,
+    /// The merged `(position, class)` projection of the current trace.
+    merged: Vec<(u32, u16)>,
+}
+
+/// Borrowed, `Copy` view of a context's shared parts. `Send + Sync`, so
+/// parallel workers can each rebuild a private [`EvalContext`] (with its
+/// own scratch) from one of these.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextParts<'a> {
+    log: &'a EventLog,
+    index: &'a LogIndex,
+    cache: Option<&'a InstanceCache>,
+}
+
+impl<'a> ContextParts<'a> {
+    /// Builds a fresh context (new scratch) over the shared parts.
+    pub fn context(&self) -> EvalContext<'a> {
+        EvalContext {
+            log: self.log,
+            index: self.index,
+            cache: self.cache,
+            scratch: RefCell::default(),
+        }
+    }
+}
+
+/// Everything constraint evaluation needs for one log: the log itself, its
+/// [`LogIndex`], per-context scratch buffers, and an optional shared
+/// [`InstanceCache`].
+///
+/// Not `Sync` (the scratch is a [`RefCell`]); parallel code clones
+/// [`EvalContext::parts`] across threads and builds one context per worker.
+#[derive(Debug)]
+pub struct EvalContext<'a> {
+    log: &'a EventLog,
+    index: &'a LogIndex,
+    cache: Option<&'a InstanceCache>,
+    scratch: RefCell<Scratch>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Creates a context without a shared cache.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `index` was built from a log with a
+    /// different trace count — a stale index (e.g. one built before
+    /// abstraction rewrote the log) would otherwise evaluate constraints
+    /// against the wrong traces.
+    pub fn new(log: &'a EventLog, index: &'a LogIndex) -> EvalContext<'a> {
+        debug_assert_eq!(
+            index.num_traces(),
+            log.traces().len(),
+            "EvalContext: index was built from a different log"
+        );
+        EvalContext { log, index, cache: None, scratch: RefCell::default() }
+    }
+
+    /// Creates a context sharing `cache` across candidates (and, via the
+    /// constraint-set tokens, across constraint sets). The cache must only
+    /// ever be shared between contexts over the *same* log — its keys
+    /// carry no log identity.
+    pub fn with_cache(
+        log: &'a EventLog,
+        index: &'a LogIndex,
+        cache: &'a InstanceCache,
+    ) -> EvalContext<'a> {
+        debug_assert_eq!(
+            index.num_traces(),
+            log.traces().len(),
+            "EvalContext: index was built from a different log"
+        );
+        EvalContext { log, index, cache: Some(cache), scratch: RefCell::default() }
+    }
+
+    /// The underlying log.
+    #[inline]
+    pub fn log(&self) -> &'a EventLog {
+        self.log
+    }
+
+    /// The log's index.
+    #[inline]
+    pub fn index(&self) -> &'a LogIndex {
+        self.index
+    }
+
+    /// The shared cache, if one is attached.
+    #[inline]
+    pub fn cache(&self) -> Option<&'a InstanceCache> {
+        self.cache
+    }
+
+    /// The shared (thread-safe) parts, for fanning work out over threads.
+    #[inline]
+    pub fn parts(&self) -> ContextParts<'a> {
+        ContextParts { log: self.log, index: self.index, cache: self.cache }
+    }
+
+    /// Visits `inst(L, g)` — every `(trace index, instance)` pair, in
+    /// exactly the order [`crate::log_instances`] yields them — using the
+    /// postings merge, so traces without any group class are skipped
+    /// entirely. `f` may stop the traversal early by returning
+    /// [`ControlFlow::Break`]; the break value is returned.
+    ///
+    /// **Not reentrant**: the context's scratch buffers stay borrowed
+    /// while `f` runs, so `f` must not call this context's instance APIs
+    /// (`visit_instances`, `instances_in`, `log_instances`) — doing so
+    /// panics. Use a second context from [`Self::parts`] for nested
+    /// materialization.
+    pub fn visit_instances<B>(
+        &self,
+        group: &ClassSet,
+        segmenter: Segmenter,
+        mut f: impl FnMut(usize, GroupInstance) -> ControlFlow<B>,
+    ) -> Option<B> {
+        let index = self.index;
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { cursors, classes, active, merged } = &mut *scratch;
+        classes.clear();
+        classes.extend(group.iter().filter(|c| !index.runs(*c).is_empty()));
+        cursors.clear();
+        cursors.resize(classes.len(), 0);
+        loop {
+            active.clear();
+            let trace = index.next_merged_trace(classes, cursors, |run, class| {
+                active.push((run.start, run.start + run.len, class.0));
+            })?;
+            merge_runs(&index.positions, active, merged);
+            if let ControlFlow::Break(b) =
+                segment_merged(merged, segmenter, |inst| f(trace as usize, inst))
+            {
+                return Some(b);
+            }
+        }
+    }
+
+    /// `inst(σ_ti, g)` via the index: identical to
+    /// [`crate::instances()`]`(&log.traces()[ti], group, segmenter)` but only
+    /// touching the group's own occurrences in that trace.
+    pub fn instances_in(
+        &self,
+        ti: usize,
+        group: &ClassSet,
+        segmenter: Segmenter,
+    ) -> Vec<GroupInstance> {
+        let index = self.index;
+        if !self.log.trace_class_sets()[ti].intersects(group) {
+            return Vec::new();
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { active, merged, .. } = &mut *scratch;
+        active.clear();
+        for c in group.iter() {
+            let runs = index.runs(c);
+            if let Ok(ri) = runs.binary_search_by_key(&(ti as u32), |r| r.trace) {
+                let run = runs[ri];
+                active.push((run.start, run.start + run.len, c.0));
+            }
+        }
+        merge_runs(&index.positions, active, merged);
+        let mut out = Vec::new();
+        let _: ControlFlow<()> = segment_merged(merged, segmenter, |inst| {
+            out.push(inst);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Collects `inst(L, g)` as `(trace index, instance)` pairs — the
+    /// indexed equivalent of [`crate::log_instances`].
+    pub fn log_instances(
+        &self,
+        group: &ClassSet,
+        segmenter: Segmenter,
+    ) -> Vec<(usize, GroupInstance)> {
+        let mut out = Vec::new();
+        let _: Option<()> = self.visit_instances(group, segmenter, |ti, inst| {
+            out.push((ti, inst));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+}
+
+/// Merges the active postings runs (each sorted, pairwise disjoint) into
+/// `merged`, ascending by position. Exactly the subsequence of the trace's
+/// events whose class belongs to the group.
+fn merge_runs(positions: &[u32], active: &mut Vec<(u32, u32, u16)>, merged: &mut Vec<(u32, u16)>) {
+    merged.clear();
+    if let [(cur, end, class)] = active[..] {
+        // Single-class fast path: the run is already the projection.
+        merged.extend(positions[cur as usize..end as usize].iter().map(|&p| (p, class)));
+        return;
+    }
+    while !active.is_empty() {
+        let mut best = 0;
+        for i in 1..active.len() {
+            if positions[active[i].0 as usize] < positions[active[best].0 as usize] {
+                best = i;
+            }
+        }
+        let (cur, end, class) = &mut active[best];
+        merged.push((positions[*cur as usize], *class));
+        *cur += 1;
+        if cur == end {
+            active.swap_remove(best);
+        }
+    }
+}
+
+/// Runs the segmentation of [`crate::instances`] over a merged projection,
+/// emitting each finished [`GroupInstance`]. Shared by every indexed path
+/// so indexed and scan materialization cannot diverge.
+fn segment_merged<B>(
+    merged: &[(u32, u16)],
+    segmenter: Segmenter,
+    mut emit: impl FnMut(GroupInstance) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    let mut current_positions: Vec<u32> = Vec::new();
+    let mut current_classes = ClassSet::new();
+    for &(pos, class) in merged {
+        let class = ClassId(class);
+        if segmenter == Segmenter::RepeatSplit && current_classes.contains(class) {
+            let inst = GroupInstance::from_parts(
+                std::mem::take(&mut current_positions),
+                current_classes.len() as u16,
+            );
+            current_classes = ClassSet::new();
+            emit(inst)?;
+        }
+        current_positions.push(pos);
+        current_classes.insert(class);
+    }
+    if !current_positions.is_empty() {
+        let distinct = current_classes.len() as u16;
+        emit(GroupInstance::from_parts(current_positions, distinct))?;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Materialized instances of one group: `(trace index, instance)` pairs in
+/// scan order.
+pub type CachedInstances = Arc<Vec<(u32, GroupInstance)>>;
+
+/// Cross-candidate, cross-constraint-set evaluation cache keyed by
+/// [`ClassSet`].
+///
+/// Two tiers:
+///
+/// * **instances** — `inst(L, g)` depends only on the group and the
+///   segmenter, so materialized instances are shared across *all*
+///   constraint sets evaluated over the same log;
+/// * **verdicts** — boolean `holds` results are only valid for one
+///   compiled constraint set, so they are additionally keyed by the
+///   caller-supplied token (see `CompiledConstraintSet` in
+///   `gecco-constraints`, which derives a unique token per compilation).
+///
+/// Thread-safe (`RwLock` + atomic hit counters): one cache may serve
+/// parallel candidate-check workers and successive pipeline runs alike.
+#[derive(Debug, Default)]
+pub struct InstanceCache {
+    instances: RwLock<HashMap<(ClassSet, Segmenter), CachedInstances>>,
+    verdicts: RwLock<HashMap<(u64, ClassSet), bool>>,
+    /// Structural signature → verdict-token assignment. Two compilations
+    /// of the *same* constraint set resolve to the same token, so verdicts
+    /// stay hittable across pipeline runs that re-compile their DSL.
+    tokens: RwLock<HashMap<String, u64>>,
+    instance_hits: AtomicUsize,
+    instance_misses: AtomicUsize,
+    verdict_hits: AtomicUsize,
+    verdict_misses: AtomicUsize,
+}
+
+/// Point-in-time usage counters of an [`InstanceCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Materialized instance entries.
+    pub instance_entries: usize,
+    /// Stored verdicts.
+    pub verdict_entries: usize,
+    /// Instance lookups answered from the cache.
+    pub instance_hits: usize,
+    /// Instance lookups that had to materialize.
+    pub instance_misses: usize,
+    /// Verdict lookups answered from the cache.
+    pub verdict_hits: usize,
+    /// Verdict lookups that had to evaluate.
+    pub verdict_misses: usize,
+}
+
+impl InstanceCache {
+    /// Creates an empty cache.
+    pub fn new() -> InstanceCache {
+        InstanceCache::default()
+    }
+
+    /// The materialized instances of `(group, segmenter)`, if cached.
+    pub fn instances(&self, group: &ClassSet, segmenter: Segmenter) -> Option<CachedInstances> {
+        let hit = self
+            .instances
+            .read()
+            .expect("instance cache lock poisoned")
+            .get(&(*group, segmenter))
+            .cloned();
+        match hit {
+            Some(v) => {
+                self.instance_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.instance_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns the cached instances of `(group, segmenter)`, materializing
+    /// via `build` on a miss. Concurrent misses may build twice; the result
+    /// is identical either way and one copy wins.
+    pub fn get_or_insert_instances(
+        &self,
+        group: &ClassSet,
+        segmenter: Segmenter,
+        build: impl FnOnce() -> Vec<(u32, GroupInstance)>,
+    ) -> CachedInstances {
+        if let Some(hit) = self.instances(group, segmenter) {
+            return hit;
+        }
+        let built: CachedInstances = Arc::new(build());
+        let mut map = self.instances.write().expect("instance cache lock poisoned");
+        map.entry((*group, segmenter)).or_insert(built).clone()
+    }
+
+    /// Resolves a caller-supplied structural signature (e.g. a rendered
+    /// constraint set plus its segmenter) to a stable token for
+    /// [`Self::verdict`]/[`Self::store_verdict`]. Equal signatures always
+    /// resolve to the same token within one cache, so verdicts survive
+    /// re-compilation of an identical specification.
+    pub fn token_for(&self, signature: &str) -> u64 {
+        if let Some(&t) = self.tokens.read().expect("token map lock poisoned").get(signature) {
+            return t;
+        }
+        let mut map = self.tokens.write().expect("token map lock poisoned");
+        let next = map.len() as u64;
+        *map.entry(signature.to_string()).or_insert(next)
+    }
+
+    /// The stored verdict for `(token, group)`, if any.
+    pub fn verdict(&self, token: u64, group: &ClassSet) -> Option<bool> {
+        let hit = self
+            .verdicts
+            .read()
+            .expect("verdict cache lock poisoned")
+            .get(&(token, *group))
+            .copied();
+        match hit {
+            Some(v) => {
+                self.verdict_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.verdict_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a verdict for `(token, group)`.
+    pub fn store_verdict(&self, token: u64, group: &ClassSet, verdict: bool) {
+        self.verdicts
+            .write()
+            .expect("verdict cache lock poisoned")
+            .insert((token, *group), verdict);
+    }
+
+    /// Current usage counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            instance_entries: self.instances.read().expect("lock poisoned").len(),
+            verdict_entries: self.verdicts.read().expect("lock poisoned").len(),
+            instance_hits: self.instance_hits.load(Ordering::Relaxed),
+            instance_misses: self.instance_misses.load(Ordering::Relaxed),
+            verdict_hits: self.verdict_hits.load(Ordering::Relaxed),
+            verdict_misses: self.verdict_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{instances, log_instances};
+    use crate::log::LogBuilder;
+
+    fn log_from(traces: &[&[&str]]) -> EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("c{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    fn group(log: &EventLog, names: &[&str]) -> ClassSet {
+        names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn postings_count_occurrences_and_traces() {
+        let log = log_from(&[&["a", "b", "a"], &["b"], &["c"]]);
+        let index = LogIndex::build(&log);
+        let a = log.class_by_name("a").unwrap();
+        let b = log.class_by_name("b").unwrap();
+        let c = log.class_by_name("c").unwrap();
+        assert_eq!(index.class_occurrences(a), 2);
+        assert_eq!(index.trace_count(a), 1);
+        assert_eq!(index.class_occurrences(b), 2);
+        assert_eq!(index.trace_count(b), 2);
+        assert_eq!(index.trace_count(c), 1);
+        assert_eq!(index.num_traces(), log.traces().len());
+    }
+
+    #[test]
+    fn group_traces_skips_foreign_traces() {
+        let log = log_from(&[&["a"], &["x"], &["b", "a"], &["x", "y"], &["b"]]);
+        let index = LogIndex::build(&log);
+        let g = group(&log, &["a", "b"]);
+        assert_eq!(index.group_traces(&g), vec![0, 2, 4]);
+        assert_eq!(index.group_traces(&ClassSet::EMPTY), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn indexed_instances_match_scan_on_paper_example() {
+        let log = log_from(&[
+            &["rcp", "ckc", "acc", "prio", "inf", "arv"],
+            &["rcp", "ckt", "rej", "prio", "arv", "inf"],
+            &["rcp", "ckc", "acc", "inf", "arv"],
+            &["rcp", "ckc", "rej", "rcp", "ckt", "acc", "prio", "arv", "inf"],
+        ]);
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let g = group(&log, &["rcp", "ckc", "ckt"]);
+        for seg in [Segmenter::RepeatSplit, Segmenter::NoSplit] {
+            for (ti, trace) in log.traces().iter().enumerate() {
+                assert_eq!(ctx.instances_in(ti, &g, seg), instances(trace, &g, seg));
+            }
+            let scan: Vec<_> = log_instances(&log, &g, seg).collect();
+            assert_eq!(ctx.log_instances(&g, seg), scan);
+        }
+    }
+
+    #[test]
+    fn visit_instances_breaks_early() {
+        let log = log_from(&[&["a"], &["a"], &["a"]]);
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let g = group(&log, &["a"]);
+        let mut seen = 0;
+        let out = ctx.visit_instances(&g, Segmenter::RepeatSplit, |ti, _| {
+            seen += 1;
+            if ti == 1 {
+                ControlFlow::Break("stop")
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(out, Some("stop"));
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_groups() {
+        let log = log_from(&[&["a", "b", "c", "a"], &["c", "b"], &["a"]]);
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        for names in [&["a"][..], &["a", "b"], &["b", "c"], &["a", "b", "c"]] {
+            let g = group(&log, names);
+            let scan: Vec<_> = log_instances(&log, &g, Segmenter::RepeatSplit).collect();
+            assert_eq!(ctx.log_instances(&g, Segmenter::RepeatSplit), scan);
+        }
+    }
+
+    #[test]
+    fn cache_shares_instances_and_verdicts() {
+        let log = log_from(&[&["a", "b"], &["b"]]);
+        let index = LogIndex::build(&log);
+        let cache = InstanceCache::new();
+        let ctx = EvalContext::with_cache(&log, &index, &cache);
+        let g = group(&log, &["a", "b"]);
+        let build = || {
+            ctx.log_instances(&g, Segmenter::RepeatSplit)
+                .into_iter()
+                .map(|(ti, inst)| (ti as u32, inst))
+                .collect::<Vec<_>>()
+        };
+        let first = cache.get_or_insert_instances(&g, Segmenter::RepeatSplit, build);
+        let second = cache.get_or_insert_instances(&g, Segmenter::RepeatSplit, || {
+            panic!("second lookup must hit the cache")
+        });
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.verdict(7, &g), None);
+        cache.store_verdict(7, &g, true);
+        assert_eq!(cache.verdict(7, &g), Some(true));
+        assert_eq!(cache.verdict(8, &g), None, "tokens separate constraint sets");
+        let stats = cache.stats();
+        assert_eq!(stats.instance_entries, 1);
+        assert_eq!(stats.verdict_entries, 1);
+        assert!(stats.instance_hits >= 1 && stats.instance_misses >= 1);
+        assert!(stats.verdict_hits >= 1 && stats.verdict_misses >= 2);
+    }
+
+    #[test]
+    fn parts_rebuild_equivalent_contexts() {
+        let log = log_from(&[&["a", "b", "a"]]);
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let forked = ctx.parts().context();
+        let g = group(&log, &["a", "b"]);
+        assert_eq!(
+            ctx.log_instances(&g, Segmenter::RepeatSplit),
+            forked.log_instances(&g, Segmenter::RepeatSplit)
+        );
+        assert!(forked.cache().is_none());
+    }
+}

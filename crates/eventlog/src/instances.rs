@@ -19,7 +19,7 @@ use crate::classes::ClassSet;
 use crate::trace::Trace;
 
 /// Strategy for splitting a projected trace into group instances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Segmenter {
     /// Start a new instance when a class already present in the current
     /// instance re-occurs (recurrence detection à la \[9\]); the default.
@@ -38,6 +38,13 @@ pub struct GroupInstance {
 }
 
 impl GroupInstance {
+    /// Internal constructor shared with the indexed materialization path
+    /// (see [`crate::index`]).
+    #[inline]
+    pub(crate) fn from_parts(positions: Vec<u32>, distinct_classes: u16) -> GroupInstance {
+        GroupInstance { positions, distinct_classes }
+    }
+
     /// Event indexes of this instance within its trace, ascending.
     #[inline]
     pub fn positions(&self) -> &[u32] {

@@ -23,12 +23,18 @@ impl Symbol {
 
 /// An append-only string interner.
 ///
-/// Strings are stored once; [`Interner::intern`] is idempotent and
-/// [`Interner::resolve`] is an O(1) slice lookup.
+/// Each string is stored exactly once, in `strings`; the lookup side maps
+/// the string's hash to the (almost always one) symbol(s) whose string has
+/// that hash, so no second copy of the text is kept as a map key.
+/// [`Interner::intern`] is idempotent and [`Interner::resolve`] is an O(1)
+/// slice lookup.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
     strings: Vec<Box<str>>,
-    lookup: HashMap<Box<str>, Symbol>,
+    /// `hash(string) → symbols with that hash`; collisions are resolved by
+    /// comparing against `strings`.
+    buckets: HashMap<u64, Vec<Symbol>>,
+    hasher: std::collections::hash_map::RandomState,
 }
 
 impl Interner {
@@ -37,21 +43,28 @@ impl Interner {
         Self::default()
     }
 
+    fn hash_of(&self, s: &str) -> u64 {
+        use std::hash::BuildHasher;
+        self.hasher.hash_one(s)
+    }
+
     /// Interns `s`, returning the existing symbol if it was seen before.
     pub fn intern(&mut self, s: &str) -> Symbol {
-        if let Some(&sym) = self.lookup.get(s) {
+        let hash = self.hash_of(s);
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Some(&sym) = bucket.iter().find(|sym| &*self.strings[sym.index()] == s) {
             return sym;
         }
         let sym = Symbol(self.strings.len() as u32);
-        let boxed: Box<str> = s.into();
-        self.strings.push(boxed.clone());
-        self.lookup.insert(boxed, sym);
+        self.strings.push(s.into());
+        bucket.push(sym);
         sym
     }
 
     /// Returns the symbol for `s` if it has been interned.
     pub fn get(&self, s: &str) -> Option<Symbol> {
-        self.lookup.get(s).copied()
+        let bucket = self.buckets.get(&self.hash_of(s))?;
+        bucket.iter().find(|sym| &*self.strings[sym.index()] == s).copied()
     }
 
     /// Resolves a symbol back to its string.
@@ -120,6 +133,22 @@ mod tests {
         i.intern("b");
         let collected: Vec<_> = i.iter().map(|(s, w)| (s.0, w.to_string())).collect();
         assert_eq!(collected, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn many_strings_round_trip_through_buckets() {
+        // Exercises the hash-bucket lookup (including any collisions) at a
+        // size where every code path of intern/get is hit repeatedly.
+        let mut i = Interner::new();
+        let syms: Vec<Symbol> = (0..10_000).map(|n| i.intern(&format!("s{n}"))).collect();
+        assert_eq!(i.len(), 10_000);
+        for (n, sym) in syms.iter().enumerate() {
+            assert_eq!(i.intern(&format!("s{n}")), *sym, "re-intern must dedupe");
+            assert_eq!(i.get(&format!("s{n}")), Some(*sym));
+            assert_eq!(i.resolve(*sym), format!("s{n}"));
+        }
+        assert_eq!(i.len(), 10_000);
+        assert_eq!(i.get("never-interned"), None);
     }
 
     #[test]

@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The greedy baseline for contrast (§VI-C: local optima).
     let compiled = CompiledConstraintSet::compile(&ConstraintSet::parse(dsl)?, log)?;
-    if let Some((grouping, total)) = gecco::baselines::greedy_grouping(log, &compiled) {
+    let index = gecco::eventlog::LogIndex::build(log);
+    let ctx = gecco::eventlog::EvalContext::new(log, &index);
+    if let Some((grouping, total)) = gecco::baselines::greedy_grouping(&ctx, &compiled) {
         println!("\nGreedy baseline (BL_G): {} groups, dist = {:.3}", grouping.len(), total);
     }
     Ok(())

@@ -4,7 +4,7 @@
 use gecco::baselines::{greedy_grouping, query_candidates, spectral_partitioning};
 use gecco::constraints::CompiledConstraintSet;
 use gecco::core::{grouping::occurring_classes, Budget, DistanceOracle, SelectionOptions};
-use gecco::eventlog::Segmenter;
+use gecco::eventlog::{EvalContext, LogIndex, Segmenter};
 use gecco::prelude::*;
 
 fn compile(log: &EventLog, dsl: &str) -> CompiledConstraintSet {
@@ -18,7 +18,9 @@ fn blq_candidates_are_a_subset_of_geccos() {
     let log = gecco::datagen::running_example();
     let dsl = "size(g) <= 5;";
     let constraints = compile(&log, dsl);
-    let blq = query_candidates(&log, &constraints, 5);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let blq = query_candidates(&ctx, &constraints, 5);
     let gecco_result = Gecco::new(&log)
         .constraints(ConstraintSet::parse(dsl).unwrap())
         .candidates(CandidateStrategy::DfgUnbounded)
@@ -26,7 +28,7 @@ fn blq_candidates_are_a_subset_of_geccos() {
         .unwrap()
         .expect_abstracted();
     // Selection over BL_Q candidates is no better than GECCO's optimum.
-    let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+    let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
     let blq_selection =
         gecco::core::select_optimal(&log, &blq, &oracle, (None, None), SelectionOptions::default())
             .expect("singletons keep BL_Q feasible");
@@ -50,7 +52,9 @@ fn blp_partitions_match_bl4_but_score_worse_distance() {
         .expect_abstracted();
     assert_eq!(gecco_result.grouping().len(), n);
     // GECCO optimizes the distance directly, so it cannot lose.
-    let oracle = DistanceOracle::new(&log, Segmenter::RepeatSplit);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
     let blp_distance: f64 = partition.iter().map(|g| oracle.distance(g)).sum();
     assert!(gecco_result.distance() <= blp_distance + 1e-9);
 }
@@ -60,7 +64,9 @@ fn blg_is_dominated_on_the_running_example() {
     let log = gecco::datagen::running_example();
     let dsl = "size(g) <= 8; distinct(instance, \"org:role\") <= 1;";
     let constraints = compile(&log, dsl);
-    let (greedy, greedy_distance) = greedy_grouping(&log, &constraints).expect("feasible");
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let (greedy, greedy_distance) = greedy_grouping(&ctx, &constraints).expect("feasible");
     let gecco_result = Gecco::new(&log)
         .constraints(ConstraintSet::parse(dsl).unwrap())
         .candidates(CandidateStrategy::Exhaustive)
@@ -76,7 +82,9 @@ fn baselines_terminate_on_a_collection_log() {
     let collection = gecco::datagen::evaluation_collection(gecco::datagen::CollectionScale::Smoke);
     let log = &collection[6].log; // the 8-class log
     let constraints = compile(log, "size(g) <= 5;");
-    assert!(!query_candidates(log, &constraints, 5).is_empty());
+    let index = LogIndex::build(log);
+    let ctx = EvalContext::new(log, &index);
+    assert!(!query_candidates(&ctx, &constraints, 5).is_empty());
     assert!(spectral_partitioning(log, 4).is_some());
-    assert!(greedy_grouping(log, &constraints).is_some());
+    assert!(greedy_grouping(&ctx, &constraints).is_some());
 }

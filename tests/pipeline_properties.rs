@@ -53,8 +53,11 @@ proptest! {
                     &log,
                 )
                 .unwrap();
+                let index = gecco::eventlog::LogIndex::build(&log);
+                let ctx = gecco::eventlog::EvalContext::new(&log, &index);
                 for g in result.grouping().iter() {
-                    prop_assert!(compiled.holds(g, &log), "violating group selected");
+                    prop_assert!(compiled.holds(g, &ctx), "violating group selected");
+                    prop_assert!(compiled.holds_scan(g, &log), "indexed and scan verdicts agree");
                 }
                 prop_assert!(result.distance().is_finite());
                 prop_assert!(result.distance() >= 0.0);

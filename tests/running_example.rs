@@ -106,7 +106,9 @@ fn naive_role_grouping_is_unreachable_for_dfg_candidates() {
     let naive = set(&["rcp", "ckc", "ckt", "prio", "inf", "arv"]);
     let spec = ConstraintSet::parse("distinct(instance, \"org:role\") <= 1;").unwrap();
     let compiled = CompiledConstraintSet::compile(&spec, &log).unwrap();
-    let candidates = dfg_candidates(&log, &compiled, None, Budget::UNLIMITED, &mut NoObserver);
+    let index = gecco::eventlog::LogIndex::build(&log);
+    let ctx = gecco::eventlog::EvalContext::new(&log, &index);
+    let candidates = dfg_candidates(&ctx, &compiled, None, Budget::UNLIMITED, &mut NoObserver);
     assert!(
         !candidates.groups().contains(&naive),
         "the naive clerk group must not arise from role-pure DFG paths"
@@ -114,7 +116,7 @@ fn naive_role_grouping_is_unreachable_for_dfg_candidates() {
     // …whereas the exhaustive instantiation does reach it (it co-occurs in
     // σ4), which is exactly the Exh-vs-DFG trade-off the paper evaluates.
     let exhaustive = gecco::core::candidates::exhaustive::exhaustive_candidates(
-        &log,
+        &ctx,
         &compiled,
         Budget::UNLIMITED,
     );

@@ -77,8 +77,10 @@ fn facade_baselines() {
         &log,
     )
     .unwrap();
+    let index = gecco::eventlog::LogIndex::build(&log);
+    let ctx = gecco::eventlog::EvalContext::new(&log, &index);
     let (grouping, _distance) =
-        gecco::baselines::greedy_grouping(&log, &compiled).expect("feasible");
+        gecco::baselines::greedy_grouping(&ctx, &compiled).expect("feasible");
     assert!(!grouping.is_empty());
 }
 
