@@ -125,6 +125,76 @@ fn bench_check_modes(c: &mut Criterion) {
     for g in &pool {
         assert_eq!(constraints.holds(g, &ctx), constraints.holds_scan(g, &log));
     }
+    bench_occurs_modes(c, &log, &index);
+}
+
+/// `occurs(g, L)` on an expansion-shaped workload: all pairs over the
+/// occurring classes — exactly what Algorithms 1/2 probe when growing
+/// candidates. `scan` tests trace class bitmaps (early exit on the first
+/// hit), `indexed` gallops through the classes' trace-id run lists,
+/// `adaptive` is the `EvalContext::occurs` dispatch candidate expansion
+/// actually uses.
+///
+/// Two regimes: the 90-trace collection log, where the scan's early exit
+/// wins, and a sharded multi-process build (3 shards × 40 replications:
+/// 210 shard-local classes over 10800 traces), where most pairs never
+/// co-occur — the scan pays a full pass over every trace bitmap per such
+/// pair while the galloping cursors detect the disjoint run blocks in a
+/// few jumps. The adaptive mode must sit near the winner on both.
+fn bench_occurs_modes(c: &mut Criterion, log: &EventLog, index: &LogIndex) {
+    let sharded = sharded_log(log, 3, 40);
+    let sharded_index = LogIndex::build(&sharded);
+    for (label, log, index) in [("90tr", log, index), ("sharded_10800tr", &sharded, &sharded_index)]
+    {
+        let ctx = EvalContext::new(log, index);
+        let classes: Vec<_> = gecco_core::grouping::occurring_classes(log).iter().collect();
+        let mut pairs: Vec<ClassSet> = Vec::new();
+        for (i, &a) in classes.iter().enumerate() {
+            for &b in classes.iter().skip(i + 1) {
+                pairs.push([a, b].into_iter().collect());
+            }
+        }
+        let mut group = c.benchmark_group(format!("occurs_{label}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("mode", "scan"), |b| {
+            b.iter(|| pairs.iter().filter(|g| log.occurs(g)).count())
+        });
+        group.bench_function(BenchmarkId::new("mode", "indexed"), |b| {
+            b.iter(|| pairs.iter().filter(|g| index.occurs(g)).count())
+        });
+        group.bench_function(BenchmarkId::new("mode", "adaptive"), |b| {
+            b.iter(|| pairs.iter().filter(|g| ctx.occurs(g)).count())
+        });
+        group.finish();
+        // Sanity: all modes agree on every pair.
+        for g in &pairs {
+            assert_eq!(index.occurs(g), log.occurs(g));
+            assert_eq!(ctx.occurs(g), log.occurs(g));
+        }
+    }
+}
+
+/// Builds a multi-process event store from `log`: `shards` copies with
+/// shard-local class names (`rcp#0`, `rcp#1`, …), each shard's traces
+/// replicated `reps` times. Classes never cross shards, so the trace count
+/// grows `shards × reps`-fold while every class's selectivity stays
+/// shard-local — the co-occurrence shape of a store serving many processes.
+fn sharded_log(log: &EventLog, shards: usize, reps: usize) -> EventLog {
+    let mut b = gecco_eventlog::LogBuilder::new();
+    for rep in 0..reps {
+        for shard in 0..shards {
+            for (i, trace) in log.traces().iter().enumerate() {
+                let mut tb = b.trace(&format!("s{shard}-r{rep}-c{i}"));
+                for event in trace.events() {
+                    tb = tb
+                        .event(&format!("{}#{shard}", log.class_name(event.class())))
+                        .expect("shards × classes stay within MAX_CLASSES");
+                }
+                tb.done();
+            }
+        }
+    }
+    b.build()
 }
 
 criterion_group!(benches, bench_candidates);

@@ -1,9 +1,11 @@
 //! Instance segmentation (`inst`) and distance evaluation (Eq. 1) costs —
-//! the inner loop of candidate checking — scan vs indexed.
+//! the inner loop of candidate checking — scan vs indexed, plus Step-3
+//! index maintenance: incremental splice vs full rebuild.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use gecco_core::{group_distance, group_distance_scan};
-use gecco_datagen::loan_log;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gecco_core::abstraction::{abstract_log, activity_names, AbstractionStrategy};
+use gecco_core::{group_distance, group_distance_scan, Grouping};
+use gecco_datagen::{evaluation_collection, loan_log, CollectionScale};
 use gecco_eventlog::{instances, ClassSet, EvalContext, LogIndex, Segmenter};
 use std::ops::ControlFlow;
 
@@ -41,6 +43,68 @@ fn bench_instances(c: &mut Criterion) {
         b.iter(|| group_distance(&ctx, &group, Segmenter::RepeatSplit))
     });
     g.finish();
+    bench_abstraction_index(c);
+}
+
+/// Step-3 index maintenance on the 70-class collection log: ending up with
+/// `(L', index)` by splicing during the rewrite (`incremental`) vs
+/// rebuilding from scratch afterwards (`rebuild`, the pre-incremental
+/// behavior of every pipeline pass). The `rebuild` configuration also pays
+/// the (cheap) splice `abstract_log` now always performs, so the measured
+/// gap *understates* the win slightly.
+fn bench_abstraction_index(c: &mut Criterion) {
+    let collection = evaluation_collection(CollectionScale::Full);
+    let generated =
+        collection.into_iter().max_by_key(|g| g.log.num_classes()).expect("collection non-empty");
+    let log = generated.log;
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    // A deterministic mid-coarseness grouping: occurring classes chunked
+    // five at a time (abstraction itself does not require an exact cover).
+    let ids: Vec<_> = gecco_core::grouping::occurring_classes(&log).iter().collect();
+    let groups: Vec<ClassSet> =
+        ids.chunks(5).map(|chunk| chunk.iter().copied().collect()).collect();
+    let grouping = Grouping::new(groups);
+    let names = activity_names(&log, &grouping, None);
+    let mut g = c.benchmark_group("abstraction_index");
+    // The configurations differ by one `LogIndex::build` over the (small)
+    // abstracted log; enough samples to keep the median stable against
+    // container noise.
+    g.sample_size(40);
+    g.bench_function(BenchmarkId::new("config", "rebuild"), |b| {
+        b.iter(|| {
+            let (abstracted, _spliced) = abstract_log(
+                &ctx,
+                &grouping,
+                &names,
+                AbstractionStrategy::Completion,
+                Segmenter::RepeatSplit,
+            );
+            LogIndex::build(&abstracted)
+        })
+    });
+    g.bench_function(BenchmarkId::new("config", "incremental"), |b| {
+        b.iter(|| {
+            let (_abstracted, spliced) = abstract_log(
+                &ctx,
+                &grouping,
+                &names,
+                AbstractionStrategy::Completion,
+                Segmenter::RepeatSplit,
+            );
+            spliced
+        })
+    });
+    g.finish();
+    // Sanity (debug aid for the bench): the two configurations agree.
+    let (abstracted, spliced) = abstract_log(
+        &ctx,
+        &grouping,
+        &names,
+        AbstractionStrategy::Completion,
+        Segmenter::RepeatSplit,
+    );
+    assert_eq!(spliced, LogIndex::build(&abstracted));
 }
 
 criterion_group!(benches, bench_instances);

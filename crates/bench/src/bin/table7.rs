@@ -8,8 +8,8 @@
 use gecco_baselines::{greedy_grouping, query_candidates, spectral_partitioning};
 use gecco_bench::report::{header, row, smoke_requested, PaperRow};
 use gecco_bench::{
-    applicable, constraint_dsl, evaluate_grouping, run_gecco, Aggregate, ConstraintSetId,
-    ProblemOutcome, RunConfig,
+    applicable, constraint_dsl, evaluate_grouping, evaluate_grouping_in, run_gecco, Aggregate,
+    ConstraintSetId, ProblemOutcome, RunConfig,
 };
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
 use gecco_core::{
@@ -46,7 +46,7 @@ fn run_blq(log: &EventLog, dsl: &str) -> Option<ProblemOutcome> {
     let seconds = start.elapsed().as_secs_f64();
     Some(match selection {
         Some(sel) => {
-            let (s_red, c_red, sil) = evaluate_grouping(log, sel.grouping.groups());
+            let (s_red, c_red, sil) = evaluate_grouping_in(&ctx, sel.grouping.groups());
             ProblemOutcome { solved: true, s_red, c_red, sil, seconds, groups: sel.grouping.len() }
         }
         None => {
@@ -82,7 +82,7 @@ fn run_blg(log: &EventLog, dsl: &str) -> Option<ProblemOutcome> {
     let seconds = start.elapsed().as_secs_f64();
     Some(match result {
         Some((grouping, _)) => {
-            let (s_red, c_red, sil) = evaluate_grouping(log, grouping.groups());
+            let (s_red, c_red, sil) = evaluate_grouping_in(&ctx, grouping.groups());
             ProblemOutcome { solved: true, s_red, c_red, sil, seconds, groups: grouping.len() }
         }
         None => {

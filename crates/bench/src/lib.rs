@@ -16,6 +16,6 @@ pub mod runner;
 
 pub use constraint_sets::{applicable, constraint_dsl, ConstraintSetId, ALL_SETS};
 pub use runner::{
-    evaluate_grouping, run_gecco, run_gecco_shared, Aggregate, LogSession, ProblemOutcome,
-    RunConfig,
+    evaluate_grouping, evaluate_grouping_in, run_gecco, run_gecco_shared, Aggregate, LogSession,
+    ProblemOutcome, RunConfig,
 };

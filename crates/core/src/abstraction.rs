@@ -13,7 +13,10 @@
 //!   `σ5^{s+c}` example).
 
 use crate::grouping::Grouping;
-use gecco_eventlog::{EvalContext, EventLog, LogBuilder, Segmenter};
+use gecco_eventlog::{
+    AttributeValue, ClassId, EvalContext, Event, EventLog, IndexSplicer, LogBuilder, LogIndex,
+    Segmenter, Symbol,
+};
 
 /// Trace-rewriting strategy for Step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,21 +103,50 @@ fn shared_value(
 }
 
 /// Abstracts the context's log under `grouping` (Step 3), yielding the
-/// high-level log `L'`. `names` provides one activity name per group (see
-/// [`activity_names`]). Instance identification goes through the context's
-/// index, so each trace only pays for the groups it actually contains.
+/// high-level log `L'` **together with its [`LogIndex`]**. `names` provides
+/// one activity name per group (see [`activity_names`]). Instance
+/// identification goes through the context's index, so each trace only pays
+/// for the groups it actually contains.
+///
+/// The returned index is maintained *incrementally* while the traces are
+/// rewritten (see [`IndexSplicer`]): each replaced instance span collapses
+/// into a single posting appended to its abstracted class's run, so no
+/// second pass over `L'` is needed. It is bit-identical to
+/// `LogIndex::build(&L')` — the full rebuild stays available as the oracle
+/// (asserted by `tests/incremental_index_equivalence.rs`) — and seeds the
+/// next evaluation round in iterative use (see
+/// [`crate::pipeline::run_multipass`]).
 pub fn abstract_log(
     ctx: &EvalContext<'_>,
     grouping: &Grouping,
     names: &[String],
     strategy: AbstractionStrategy,
     segmenter: Segmenter,
-) -> EventLog {
+) -> (EventLog, LogIndex) {
     let log = ctx.log();
     assert_eq!(names.len(), grouping.len(), "one name per group required");
     let ts_key = log.std_keys().timestamp;
     let mut builder = LogBuilder::new();
     builder.log_attr_str("concept:name", "abstracted");
+    let mut splicer = IndexSplicer::new();
+    // Pre-render the lifecycle class names and pre-intern the attribute
+    // symbols once; the emit loop below runs once per high-level event and
+    // must neither allocate strings nor hash attribute keys.
+    let (start_names, complete_names): (Vec<String>, Vec<String>) = match strategy {
+        AbstractionStrategy::Completion => (Vec::new(), Vec::new()),
+        AbstractionStrategy::StartComplete => (
+            names.iter().map(|n| format!("{n}+s")).collect(),
+            names.iter().map(|n| format!("{n}+c")).collect(),
+        ),
+    };
+    let new_ts_sym = builder.intern("time:timestamp");
+    let lc_sym = builder.intern("lifecycle:transition");
+    let size_sym = builder.intern("gecco:instance_size");
+    let lc_values: [Symbol; 2] = [builder.intern("start"), builder.intern("complete")];
+    // Class-id cache per (group, lifecycle kind): the first emit of a name
+    // registers the class (keeping first-appearance id order, exactly what
+    // a rebuild would see); later emits skip the interner entirely.
+    let mut class_ids: Vec<[Option<ClassId>; 3]> = vec![[None; 3]; names.len()];
     for (ti, trace) in log.traces().iter().enumerate() {
         let case_id = trace
             .attribute(log.std_keys().concept_name)
@@ -174,27 +206,40 @@ pub fn abstract_log(
         }
         emits.sort_by_key(|e| e.position);
         let mut tb = builder.trace(&case_id);
-        for e in emits {
-            let class_name = match e.lifecycle {
-                None => names[e.name_idx].clone(),
-                Some("start") => format!("{}+s", names[e.name_idx]),
-                Some(_) => format!("{}+c", names[e.name_idx]),
+        splicer.begin_trace();
+        for (new_pos, e) in emits.into_iter().enumerate() {
+            let kind = match e.lifecycle {
+                None => 0,
+                Some("start") => 1,
+                Some(_) => 2,
             };
-            tb = tb
-                .event_with(&class_name, |attrs| {
-                    if let Some(ts) = e.timestamp {
-                        attrs.timestamp("time:timestamp", ts);
-                    }
-                    if let Some(lc) = e.lifecycle {
-                        attrs.str("lifecycle:transition", lc);
-                    }
-                    attrs.int("gecco:instance_size", e.size as i64);
-                })
-                .expect("abstracted logs have few classes");
+            let class_id = match class_ids[e.name_idx][kind] {
+                Some(id) => id,
+                None => {
+                    let class_name: &str = match kind {
+                        0 => &names[e.name_idx],
+                        1 => &start_names[e.name_idx],
+                        _ => &complete_names[e.name_idx],
+                    };
+                    let id = tb.class(class_name).expect("abstracted logs have few classes");
+                    class_ids[e.name_idx][kind] = Some(id);
+                    id
+                }
+            };
+            splicer.push(class_id, new_pos as u32);
+            let mut attrs: Vec<(Symbol, AttributeValue)> = Vec::with_capacity(3);
+            if let Some(ts) = e.timestamp {
+                attrs.push((new_ts_sym, AttributeValue::Timestamp(ts)));
+            }
+            if e.lifecycle.is_some() {
+                attrs.push((lc_sym, AttributeValue::Str(lc_values[kind - 1])));
+            }
+            attrs.push((size_sym, AttributeValue::Int(e.size as i64)));
+            tb = tb.push_event(Event::new(class_id, attrs));
         }
         tb.done();
     }
-    builder.build()
+    (builder.build(), splicer.finish())
 }
 
 #[cfg(test)]
@@ -250,7 +295,7 @@ mod tests {
         let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
-        let abstracted = abstract_log(
+        let (abstracted, _) = abstract_log(
             &ctx,
             &grouping,
             &names,
@@ -317,7 +362,7 @@ mod tests {
         let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
-        let abstracted = abstract_log(
+        let (abstracted, _) = abstract_log(
             &ctx,
             &grouping,
             &names,
@@ -347,7 +392,7 @@ mod tests {
         };
         let grouping = Grouping::new(vec![set(&["a"]), set(&["p", "q"]), set(&["m"])]);
         let names = vec!["a".into(), "pq".into(), "m".into()];
-        let abstracted = abstract_log(
+        let (abstracted, _) = abstract_log(
             &ctx,
             &grouping,
             &names,
@@ -364,7 +409,7 @@ mod tests {
         let ctx = gecco_eventlog::EvalContext::new(&log, &index);
         let grouping = paper_grouping(&log);
         let names = activity_names(&log, &grouping, Some("org:role"));
-        let abstracted = abstract_log(
+        let (abstracted, _) = abstract_log(
             &ctx,
             &grouping,
             &names,

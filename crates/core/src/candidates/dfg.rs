@@ -10,7 +10,7 @@
 use super::{BeamWidth, Budget, CandidateSet, PreevaluatedChecks};
 use crate::distance::DistanceOracle;
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
-use gecco_eventlog::{ClassId, ClassSet, Dfg, EvalContext, EventLog};
+use gecco_eventlog::{ClassId, ClassSet, Dfg, EvalContext};
 use std::collections::HashMap;
 
 /// A path through the DFG: the candidate group is `nodes(p)`.
@@ -162,7 +162,7 @@ pub fn dfg_candidates<'a>(
                 }
                 if !path.set.contains(succ) {
                     let p = path.extended_back(succ);
-                    consider(log, &mut out, &mut next, p, in_g);
+                    consider(ctx, &mut out, &mut next, p, in_g);
                 }
             }
             for pred in dfg.predecessors(first) {
@@ -171,7 +171,7 @@ pub fn dfg_candidates<'a>(
                 }
                 if !path.set.contains(pred) {
                     let p = path.extended_front(pred);
-                    consider(log, &mut out, &mut next, p, in_g);
+                    consider(ctx, &mut out, &mut next, p, in_g);
                 }
             }
         }
@@ -181,13 +181,15 @@ pub fn dfg_candidates<'a>(
 }
 
 fn consider(
-    log: &EventLog,
+    ctx: &EvalContext<'_>,
     out: &mut CandidateSet,
     next: &mut HashMap<(ClassSet, ClassId, ClassId), (Path, bool)>,
     path: Path,
     parent_in_g: bool,
 ) {
-    if !log.occurs(&path.set) {
+    // Adaptive `occurs(g, L)`: a galloping intersection of the classes'
+    // trace-id runs on large logs, the early-exit bitmap scan on small ones.
+    if !ctx.occurs(&path.set) {
         out.stats.pruned_non_occurring += 1;
         return;
     }
@@ -200,7 +202,7 @@ fn consider(
 mod tests {
     use super::*;
     use gecco_constraints::ConstraintSet;
-    use gecco_eventlog::LogBuilder;
+    use gecco_eventlog::{EventLog, LogBuilder};
 
     fn role_log() -> EventLog {
         let role_of = |c: &str| match c {

@@ -1,7 +1,9 @@
 //! Algorithm 3: merging exclusive behavioral alternatives.
 //!
 //! Exclusive event classes never co-occur in a trace, so the
-//! `occurs(g, L)` pruning of Algorithms 1/2 deliberately skips groups
+//! `occurs(g, L)` pruning of Algorithms 1/2 — evaluated on the hot
+//! expansion path via the postings-intersection
+//! [`gecco_eventlog::LogIndex::occurs`] — deliberately skips groups
 //! containing them. But when exclusive groups are *proper alternatives* —
 //! identical presets and postsets in the DFG, like the two check variants
 //! `ckc`/`ckt` of the running example (Fig. 6) — merging them reduces log

@@ -120,8 +120,11 @@ pub fn exhaustive_candidates(
                 }
                 let mut bigger = group;
                 bigger.insert(c);
-                // Full co-occurrence check (pairwise is necessary only).
-                if !log.occurs(&bigger) {
+                // Full co-occurrence check (pairwise is necessary only),
+                // via the adaptive dispatch: a galloping intersection of
+                // the classes' trace-id runs on large logs, the early-exit
+                // bitmap scan on small ones.
+                if !ctx.occurs(&bigger) {
                     out.stats.pruned_non_occurring += 1;
                     continue;
                 }

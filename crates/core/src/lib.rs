@@ -31,5 +31,8 @@ pub use candidates::{BeamWidth, Budget, CandidateSet, CandidateStats, CandidateS
 pub use distance::{group_distance, group_distance_scan, grouping_distance, DistanceOracle};
 pub use grouping::Grouping;
 pub use parallel::{parallel_enabled, set_parallel};
-pub use pipeline::{AbstractionResult, Gecco, GeccoError, InfeasibilityReport, Outcome};
+pub use pipeline::{
+    run_multipass, AbstractionResult, Gecco, GeccoError, InfeasibilityReport, MultiPassResult,
+    Outcome, PassReport,
+};
 pub use selection::{select_optimal, SelectionOptions};

@@ -54,6 +54,7 @@ pub struct InfeasibilityReport {
 #[derive(Debug)]
 pub struct AbstractionResult {
     log: EventLog,
+    index: LogIndex,
     grouping: Grouping,
     names: Vec<String>,
     distance: f64,
@@ -84,6 +85,20 @@ impl AbstractionResult {
     /// The abstracted log `L'`.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// The [`LogIndex`] of `L'`, spliced incrementally during Step 3 —
+    /// bit-identical to `LogIndex::build(result.log())`, available without
+    /// paying for that rebuild. Feed it (via [`Gecco::with_index`]) to any
+    /// follow-up evaluation over the abstracted log.
+    pub fn index(&self) -> &LogIndex {
+        &self.index
+    }
+
+    /// Consumes the result into the abstracted log and its index — the
+    /// seed state of the next pass in iterative abstraction.
+    pub fn into_log_and_index(self) -> (EventLog, LogIndex) {
+        (self.log, self.index)
     }
 
     /// The selected grouping `G`.
@@ -322,15 +337,17 @@ impl<'a> Gecco<'a> {
             }));
         };
 
-        // Step 3: abstraction.
+        // Step 3: abstraction. The trace rewrite splices the new log's
+        // index as it goes, so the result carries both.
         let t2 = Instant::now();
         let names = activity_names(self.log, &selection.grouping, self.label_attribute.as_deref());
-        let abstracted =
+        let (abstracted, abstracted_index) =
             abstract_log(&ctx, &selection.grouping, &names, self.abstraction, self.segmenter);
         let abstraction_time = t2.elapsed();
 
         Ok(Outcome::Abstracted(AbstractionResult {
             log: abstracted,
+            index: abstracted_index,
             grouping: selection.grouping,
             names,
             distance: selection.distance,
@@ -348,6 +365,112 @@ impl<'a> Gecco<'a> {
     pub fn run(self) -> Result<Outcome, GeccoError> {
         self.run_observed(&mut NoObserver)
     }
+}
+
+/// One pass's summary in an iterative [`run_multipass`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct PassReport {
+    /// Zero-based index of the constraint set this pass applied.
+    pub pass: usize,
+    /// Whether a feasible grouping was found (an infeasible pass leaves
+    /// the log unchanged and the run continues).
+    pub feasible: bool,
+    /// Number of groups selected (0 when infeasible).
+    pub groups: usize,
+    /// `dist(G, L)` of the selected grouping (0.0 when infeasible).
+    pub distance: f64,
+}
+
+/// Final state of an iterative abstraction run.
+#[derive(Debug)]
+pub struct MultiPassResult {
+    log: EventLog,
+    index: LogIndex,
+    reports: Vec<PassReport>,
+}
+
+impl MultiPassResult {
+    /// The log after the last feasible pass (the input log if none was).
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The final log's [`LogIndex`]. After at least one feasible pass this
+    /// is the incrementally spliced index of the last abstraction, handed
+    /// from pass to pass without ever rebuilding.
+    pub fn index(&self) -> &LogIndex {
+        &self.index
+    }
+
+    /// Per-pass summaries, in application order.
+    pub fn reports(&self) -> &[PassReport] {
+        &self.reports
+    }
+
+    /// Consumes the result into the final log and its index.
+    pub fn into_log_and_index(self) -> (EventLog, LogIndex) {
+        (self.log, self.index)
+    }
+}
+
+/// Iterative abstraction — the paper's re-abstraction use case: applies
+/// `constraint_sets` in order, each pass running the full pipeline over the
+/// previous pass's abstracted log. Step 3 returns the rewritten log
+/// *together with* its incrementally spliced index, and that index seeds
+/// the next pass's evaluation context, so [`LogIndex::build`] runs exactly
+/// once (for the input log) no matter how many passes execute.
+///
+/// `configure` customizes each pass's [`Gecco`] builder (strategy, budget,
+/// labeling, …); the pass's constraint set, index and a fresh per-pass
+/// [`InstanceCache`] are applied afterwards and take precedence. The cache
+/// override is deliberate: cache keys carry no log identity, so a cache
+/// attached in `configure` would leak instances materialized from one
+/// pass's log into the next pass's different log — each pass instead
+/// shares instances across its own candidates only. Infeasible passes are
+/// recorded and skipped — the log carries over unchanged, matching the
+/// single-run behavior of returning the initial log (§V-C).
+pub fn run_multipass(
+    log: &EventLog,
+    constraint_sets: &[ConstraintSet],
+    configure: impl for<'b> Fn(Gecco<'b>) -> Gecco<'b>,
+) -> Result<MultiPassResult, GeccoError> {
+    let mut current: Option<(EventLog, LogIndex)> = None;
+    let mut seed_index: Option<LogIndex> = None;
+    let mut reports = Vec::with_capacity(constraint_sets.len());
+    for (pass, constraints) in constraint_sets.iter().enumerate() {
+        let (pass_log, pass_index): (&EventLog, &LogIndex) = match &current {
+            Some((l, idx)) => (l, idx),
+            None => {
+                let idx = seed_index.get_or_insert_with(|| LogIndex::build(log));
+                (log, idx)
+            }
+        };
+        let pass_cache = InstanceCache::new();
+        let outcome = configure(Gecco::new(pass_log))
+            .constraints(constraints.clone())
+            .with_index(pass_index)
+            .instance_cache(&pass_cache)
+            .run()?;
+        match outcome {
+            Outcome::Abstracted(result) => {
+                reports.push(PassReport {
+                    pass,
+                    feasible: true,
+                    groups: result.grouping().len(),
+                    distance: result.distance(),
+                });
+                current = Some(result.into_log_and_index());
+            }
+            Outcome::Infeasible(_) => {
+                reports.push(PassReport { pass, feasible: false, groups: 0, distance: 0.0 });
+            }
+        }
+    }
+    let (final_log, final_index) = match current {
+        Some(pair) => pair,
+        None => (log.clone(), seed_index.unwrap_or_else(|| LogIndex::build(log))),
+    };
+    Ok(MultiPassResult { log: final_log, index: final_index, reports })
 }
 
 #[cfg(test)]
@@ -480,6 +603,67 @@ mod tests {
         let err = Gecco::new(&log).constraints(constraints).run().unwrap_err();
         assert!(matches!(err, GeccoError::Compile(_)));
         assert!(err.to_string().contains("no_such"));
+    }
+
+    #[test]
+    fn result_index_matches_full_rebuild() {
+        let log = running_example();
+        let result =
+            Gecco::new(&log).constraints(role_constraint()).run().unwrap().expect_abstracted();
+        assert_eq!(result.index(), &LogIndex::build(result.log()));
+        assert!(result.index().validate(result.log()).is_ok());
+    }
+
+    #[test]
+    fn multipass_chains_spliced_indexes() {
+        let log = running_example();
+        let sets = vec![role_constraint(), ConstraintSet::parse("size(g) <= 2;").unwrap()];
+        let out = run_multipass(&log, &sets, |g| g.label_by("org:role")).unwrap();
+        assert_eq!(out.reports().len(), 2);
+        assert!(out.reports()[0].feasible && out.reports()[1].feasible);
+        // The index handed out of the last pass is bit-identical to a
+        // from-scratch rebuild of the final log.
+        assert_eq!(out.index(), &LogIndex::build(out.log()));
+        // And the loop matches chaining two runs by hand.
+        let first = Gecco::new(&log)
+            .constraints(role_constraint())
+            .label_by("org:role")
+            .run()
+            .unwrap()
+            .expect_abstracted();
+        let (mid_log, mid_index) = first.into_log_and_index();
+        let second = Gecco::new(&mid_log)
+            .constraints(sets[1].clone())
+            .with_index(&mid_index)
+            .label_by("org:role")
+            .run()
+            .unwrap()
+            .expect_abstracted();
+        assert_eq!(out.log().traces().len(), second.log().traces().len());
+        for (a, b) in out.log().traces().iter().zip(second.log().traces()) {
+            assert_eq!(out.log().format_trace(a), second.log().format_trace(b));
+        }
+    }
+
+    #[test]
+    fn multipass_skips_infeasible_passes() {
+        let log = running_example();
+        let sets =
+            vec![ConstraintSet::parse("size(g) >= 5; groups >= 2;").unwrap(), role_constraint()];
+        let out = run_multipass(&log, &sets, |g| g).unwrap();
+        assert!(!out.reports()[0].feasible, "structurally infeasible pass is recorded");
+        assert!(out.reports()[1].feasible, "the run continues over the unchanged log");
+        assert_eq!(out.reports()[1].groups, 4);
+        assert_eq!(out.index(), &LogIndex::build(out.log()));
+    }
+
+    #[test]
+    fn multipass_without_sets_returns_the_input() {
+        let log = running_example();
+        let out = run_multipass(&log, &[], |g| g).unwrap();
+        assert!(out.reports().is_empty());
+        assert_eq!(out.log().traces().len(), log.traces().len());
+        assert_eq!(out.index(), &LogIndex::build(out.log()));
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Property-based equivalence of incremental and from-scratch index
+//! maintenance under Step-3 abstraction.
+//!
+//! `abstract_log` splices the abstracted log's `LogIndex` while rewriting
+//! the traces (see `IndexSplicer`); `LogIndex::build` on the finished log
+//! is the oracle. The two must be **bit-identical** — structural equality
+//! over runs, positions and counts — on arbitrary logs, for arbitrary
+//! groupings (including partial covers that drop classes and empty whole
+//! traces), under both `Segmenter` modes and both `AbstractionStrategy`s,
+//! and under the `rayon` feature (CI runs this suite with
+//! `--features rayon` as well).
+//!
+//! Deterministic regression tests below pin the pathological splices:
+//! instances at trace boundaries, back-to-back instances, classes fully
+//! consumed by abstraction, and traces left empty.
+
+use gecco_core::abstraction::{abstract_log, activity_names, AbstractionStrategy};
+use gecco_core::Grouping;
+use gecco_eventlog::{ClassSet, EvalContext, EventLog, LogBuilder, LogIndex, Segmenter};
+use proptest::prelude::*;
+
+/// Random small logs: up to 6 classes, up to 10 traces of length ≤ 12,
+/// with deterministic timestamps so the abstracted events carry data.
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    let trace = proptest::collection::vec(0usize..6, 0..=12);
+    proptest::collection::vec(trace, 1..=10).prop_map(|traces| {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("case-{i}"));
+            for (j, &cls) in t.iter().enumerate() {
+                tb = tb
+                    .event_with(&format!("c{cls}"), |e| {
+                        e.timestamp("time:timestamp", (i as i64) * 10_000 + (j as i64) * 100);
+                    })
+                    .expect("small logs stay within class limits");
+            }
+            tb.done();
+        }
+        b.build()
+    })
+}
+
+/// Derives a grouping from a seed: classes are dealt into `buckets` groups
+/// round-robin-by-seed, and classes whose bucket exceeds `kept` are dropped
+/// entirely (not covered by any group) — exercising vanished classes and
+/// emptied traces alongside ordinary partitions.
+fn seeded_grouping(log: &EventLog, seed: u64, buckets: usize, kept: usize) -> Grouping {
+    let mut groups: Vec<ClassSet> = vec![ClassSet::new(); buckets];
+    let mut state = seed | 1;
+    for c in log.classes().ids() {
+        // xorshift64: cheap, deterministic, seed-sensitive.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let bucket = (state as usize) % buckets;
+        if bucket < kept {
+            groups[bucket].insert(c);
+        }
+    }
+    Grouping::new(groups.into_iter().filter(|g| !g.is_empty()).collect())
+}
+
+fn assert_spliced_matches_rebuild(
+    log: &EventLog,
+    grouping: &Grouping,
+    strategy: AbstractionStrategy,
+    segmenter: Segmenter,
+) {
+    let index = LogIndex::build(log);
+    let ctx = EvalContext::new(log, &index);
+    let names = activity_names(log, grouping, None);
+    let (abstracted, spliced) = abstract_log(&ctx, grouping, &names, strategy, segmenter);
+    let rebuilt = LogIndex::build(&abstracted);
+    prop_assert_eq!(
+        &spliced,
+        &rebuilt,
+        "spliced index diverges from rebuild ({:?}, {:?})",
+        strategy,
+        segmenter
+    );
+    prop_assert!(spliced.validate(&abstracted).is_ok(), "spliced index fails validation");
+    // The spliced index must also be usable: a context over it yields the
+    // same instances as one over the rebuild.
+    let spliced_ctx = EvalContext::new(&abstracted, &spliced);
+    let rebuilt_ctx = EvalContext::new(&abstracted, &rebuilt);
+    for c in abstracted.classes().ids() {
+        let g = ClassSet::singleton(c);
+        prop_assert_eq!(
+            spliced_ctx.log_instances(&g, segmenter),
+            rebuilt_ctx.log_instances(&g, segmenter)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spliced_index_is_bit_identical_to_rebuild(
+        input in (arb_log(), any::<u64>(), 1usize..=4, 0usize..=1)
+    ) {
+        let (log, seed, buckets, dropped) = input;
+        let kept = buckets.saturating_sub(dropped).max(1);
+        let grouping = seeded_grouping(&log, seed, buckets, kept);
+        for strategy in [AbstractionStrategy::Completion, AbstractionStrategy::StartComplete] {
+            for segmenter in [Segmenter::RepeatSplit, Segmenter::NoSplit] {
+                assert_spliced_matches_rebuild(&log, &grouping, strategy, segmenter);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic regressions: pathological splices.
+// ---------------------------------------------------------------------------
+
+fn log_from(traces: &[&[&str]]) -> EventLog {
+    let mut b = LogBuilder::new();
+    for (i, t) in traces.iter().enumerate() {
+        let mut tb = b.trace(&format!("c{i}"));
+        for cls in *t {
+            tb = tb.event(cls).unwrap();
+        }
+        tb.done();
+    }
+    b.build()
+}
+
+fn set(log: &EventLog, names: &[&str]) -> ClassSet {
+    names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+}
+
+fn check_all_modes(log: &EventLog, grouping: &Grouping) {
+    let index = LogIndex::build(log);
+    let ctx = EvalContext::new(log, &index);
+    let names = activity_names(log, grouping, None);
+    for strategy in [AbstractionStrategy::Completion, AbstractionStrategy::StartComplete] {
+        for segmenter in [Segmenter::RepeatSplit, Segmenter::NoSplit] {
+            let (abstracted, spliced) = abstract_log(&ctx, grouping, &names, strategy, segmenter);
+            assert_eq!(
+                spliced,
+                LogIndex::build(&abstracted),
+                "splice diverges under {strategy:?}/{segmenter:?}"
+            );
+            assert!(spliced.validate(&abstracted).is_ok());
+        }
+    }
+}
+
+#[test]
+fn instance_at_trace_start_and_end() {
+    // The grouped span opens the first trace and closes the second.
+    let log = log_from(&[&["a", "b", "x"], &["x", "a", "b"]]);
+    let grouping = Grouping::new(vec![set(&log, &["a", "b"]), set(&log, &["x"])]);
+    check_all_modes(&log, &grouping);
+}
+
+#[test]
+fn back_to_back_instances_collapse_to_adjacent_postings() {
+    // ⟨a b a b⟩ under RepeatSplit: two instances of {a,b} with no gap — the
+    // abstracted class's postings run must carry two adjacent positions.
+    let log = log_from(&[&["a", "b", "a", "b"]]);
+    let grouping = Grouping::new(vec![set(&log, &["a", "b"])]);
+    check_all_modes(&log, &grouping);
+
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let names = activity_names(&log, &grouping, None);
+    let (abstracted, spliced) = abstract_log(
+        &ctx,
+        &grouping,
+        &names,
+        AbstractionStrategy::Completion,
+        Segmenter::RepeatSplit,
+    );
+    let activity = abstracted.class_by_name("Activity1").unwrap();
+    assert_eq!(spliced.class_occurrences(activity), 2, "two back-to-back instances");
+    assert_eq!(spliced.trace_count(activity), 1, "one postings run covers both");
+}
+
+#[test]
+fn fully_consumed_class_leaves_no_postings() {
+    // `b` exists only inside the abstracted group: the new log must not
+    // register it at all, so no stale postings run can survive.
+    let log = log_from(&[&["a", "b", "c"], &["c", "a", "b"]]);
+    let grouping = Grouping::new(vec![set(&log, &["a", "b"]), set(&log, &["c"])]);
+    check_all_modes(&log, &grouping);
+
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let names = activity_names(&log, &grouping, None);
+    let (abstracted, spliced) = abstract_log(
+        &ctx,
+        &grouping,
+        &names,
+        AbstractionStrategy::Completion,
+        Segmenter::RepeatSplit,
+    );
+    assert!(abstracted.class_by_name("b").is_none(), "consumed class vanishes");
+    assert!(abstracted.class_by_name("a").is_none());
+    // The singleton group keeps its class name; the merged group is renamed.
+    let c = abstracted.class_by_name("c").unwrap();
+    assert_eq!(spliced.class_occurrences(c), 2);
+}
+
+#[test]
+fn uncovered_class_empties_its_trace() {
+    // Trace 1 consists solely of a class no group covers: the abstracted
+    // trace is empty, and the splicer must still count it so trace ids in
+    // the postings keep matching the log.
+    let log = log_from(&[&["a", "z"], &["z", "z"], &["a"]]);
+    let grouping = Grouping::new(vec![set(&log, &["a"])]);
+    check_all_modes(&log, &grouping);
+
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let names = activity_names(&log, &grouping, None);
+    let (abstracted, spliced) = abstract_log(
+        &ctx,
+        &grouping,
+        &names,
+        AbstractionStrategy::Completion,
+        Segmenter::RepeatSplit,
+    );
+    assert_eq!(abstracted.traces().len(), 3, "empty traces are preserved");
+    assert!(abstracted.traces()[1].is_empty());
+    assert_eq!(spliced.num_traces(), 3);
+    let a = abstracted.class_by_name("a").unwrap();
+    // Postings must point at traces 0 and 2 — a splicer that skipped the
+    // empty trace would shift them onto trace 1.
+    let ctx2 = EvalContext::new(&abstracted, &spliced);
+    let hits: Vec<usize> = ctx2
+        .log_instances(&ClassSet::singleton(a), Segmenter::RepeatSplit)
+        .into_iter()
+        .map(|(ti, _)| ti)
+        .collect();
+    assert_eq!(hits, vec![0, 2]);
+}
+
+#[test]
+fn start_complete_doubles_postings_per_multi_event_instance() {
+    let log = log_from(&[&["a", "x", "b"], &["a", "b", "a", "b"]]);
+    let grouping = Grouping::new(vec![set(&log, &["a", "b"]), set(&log, &["x"])]);
+    check_all_modes(&log, &grouping);
+
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let names = activity_names(&log, &grouping, None);
+    let (abstracted, spliced) = abstract_log(
+        &ctx,
+        &grouping,
+        &names,
+        AbstractionStrategy::StartComplete,
+        Segmenter::RepeatSplit,
+    );
+    let start = abstracted.class_by_name("Activity1+s").unwrap();
+    let complete = abstracted.class_by_name("Activity1+c").unwrap();
+    assert_eq!(spliced.class_occurrences(start), 3);
+    assert_eq!(spliced.class_occurrences(complete), 3);
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "index does not match the log")]
+fn pre_abstraction_index_is_rejected_for_the_abstracted_log() {
+    // The exact latent-gap scenario: abstraction preserves the trace count,
+    // so the old trace-count-only debug assertion accepted a pre-abstraction
+    // index for the rewritten log. The full postings validation rejects it.
+    let log = log_from(&[&["a", "b", "c"], &["a", "c", "b"]]);
+    let grouping = Grouping::new(vec![set(&log, &["a", "b"]), set(&log, &["c"])]);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let names = activity_names(&log, &grouping, None);
+    let (abstracted, _spliced) = abstract_log(
+        &ctx,
+        &grouping,
+        &names,
+        AbstractionStrategy::Completion,
+        Segmenter::RepeatSplit,
+    );
+    let _ = EvalContext::new(&abstracted, &index);
+}

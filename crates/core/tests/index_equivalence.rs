@@ -118,6 +118,22 @@ proptest! {
     }
 
     #[test]
+    fn indexed_occurs_matches_bitmap_scan(log in arb_log()) {
+        let index = LogIndex::build(&log);
+        // Every non-empty group over the registered classes — covering
+        // single-class groups and groups no trace fully contains — plus the
+        // empty group, must agree with the all-trace-bitmaps scan.
+        for group in all_groups(&log) {
+            prop_assert_eq!(
+                index.occurs(&group),
+                log.occurs(&group),
+                "indexed occurs diverges on {:?}", group
+            );
+        }
+        prop_assert_eq!(index.occurs(&ClassSet::EMPTY), log.occurs(&ClassSet::EMPTY));
+    }
+
+    #[test]
     fn indexed_distance_matches_scan(log in arb_log()) {
         let index = LogIndex::build(&log);
         let ctx = EvalContext::new(&log, &index);

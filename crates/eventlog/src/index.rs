@@ -22,8 +22,15 @@
 //! evaluation and candidate computation thread through the stack. Contexts
 //! are cheap to create; parallel workers build one each from
 //! [`EvalContext::parts`] so every thread gets its own scratch.
+//!
+//! Two further consumers of the postings live here: [`LogIndex::occurs`]
+//! answers the `occurs(g, L)` co-occurrence test of Algorithms 1/2 by
+//! intersecting per-class trace-id runs instead of scanning all trace
+//! bitmaps, and [`IndexSplicer`] maintains the index *incrementally* while
+//! Step-3 abstraction rewrites the log, so re-abstraction never pays a
+//! from-scratch [`LogIndex::build`] per pass.
 
-use crate::classes::{ClassId, ClassSet};
+use crate::classes::{ClassId, ClassSet, MAX_CLASSES};
 use crate::instances::{GroupInstance, Segmenter};
 use crate::log::EventLog;
 use std::cell::RefCell;
@@ -34,7 +41,7 @@ use std::sync::{Arc, RwLock};
 
 /// One run of a class's postings: all its occurrences in one trace,
 /// slicing `start .. start + len` of the flat position array.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Run {
     trace: u32,
     start: u32,
@@ -48,7 +55,11 @@ struct Run {
 /// runs (one per trace the class occurs in, ascending by trace id), the
 /// total occurrence count, and — mirroring [`EventLog::trace_class_sets`] —
 /// the per-trace class bitmaps used for cheap intersection tests.
-#[derive(Debug, Clone)]
+/// Equality is structural and therefore *bit-exact*: two indexes compare
+/// equal iff they hold identical runs, positions and counts — the property
+/// the incremental-maintenance proptests assert between a spliced index
+/// (see [`IndexSplicer`]) and a fresh [`LogIndex::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogIndex {
     class_runs: Vec<Vec<Run>>,
     positions: Vec<u32>,
@@ -77,21 +88,7 @@ impl LogIndex {
                 plist.push(pos as u32);
             }
         }
-        // Flatten the per-class position lists into one array; the runs'
-        // start offsets shift by the class's base.
-        let mut positions = Vec::with_capacity(log.num_events());
-        let mut class_runs = Vec::with_capacity(num_classes);
-        let mut class_counts = Vec::with_capacity(num_classes);
-        for (plist, mut runs) in per_class_pos.into_iter().zip(per_class_runs) {
-            let base = positions.len() as u32;
-            for run in &mut runs {
-                run.start += base;
-            }
-            class_counts.push(plist.len() as u32);
-            positions.extend_from_slice(&plist);
-            class_runs.push(runs);
-        }
-        LogIndex { class_runs, positions, class_counts, num_traces: log.traces().len() }
+        flatten(per_class_pos, per_class_runs, log.traces().len())
     }
 
     /// Total number of events of class `c`, `Σ_σ |σ↓{c}|`.
@@ -112,6 +109,144 @@ impl LogIndex {
     #[inline]
     pub fn num_traces(&self) -> usize {
         self.num_traces
+    }
+
+    /// Indexed `occurs(g, L)` (Algorithm 1 line 13): whether at least one
+    /// trace contains *every* class of `group`.
+    ///
+    /// Equivalent to [`EventLog::occurs`], but instead of testing every
+    /// trace's class bitmap it intersects the per-class trace-id run lists
+    /// with galloping cursors, so the cost depends on the group's own
+    /// occurrence structure — never on the log's trace count. Candidate
+    /// expansion reaches this through the adaptive [`EvalContext::occurs`],
+    /// which falls back to the bitmap scan on small logs where the scan's
+    /// early exit wins.
+    pub fn occurs(&self, group: &ClassSet) -> bool {
+        // Fixed-size scratch on the stack: this runs once per expansion
+        // product on the candidate hot path, so no per-call allocation.
+        let mut classes = [ClassId(0); MAX_CLASSES];
+        let mut k = 0usize;
+        // Any class with no occurrences makes the group non-occurring.
+        for c in group.iter() {
+            if self.runs(c).is_empty() {
+                return false;
+            }
+            classes[k] = c;
+            k += 1;
+        }
+        if k == 0 {
+            // ∅ ⊆ cs for every trace class set: matches the scan semantics.
+            return self.num_traces > 0;
+        }
+        // Existence check on the k-way intersection, by galloping cursor
+        // alignment: keep a target trace id (the largest under any cursor)
+        // and advance every other cursor to it with exponential + binary
+        // search. Co-occurring groups stop at the first common trace;
+        // block-disjoint classes (e.g. different tenants of a multi-process
+        // store) resolve in O(k log runs) instead of walking either list.
+        let mut cursors = [0u32; MAX_CLASSES];
+        let mut target = self.runs(classes[0])[0].trace;
+        let mut aligned = 1; // how many consecutive lists currently sit on `target`
+        let mut i = 1 % k;
+        while aligned < k {
+            let runs = self.runs(classes[i]);
+            let cur = gallop_to(runs, cursors[i] as usize, target);
+            cursors[i] = cur as u32;
+            match runs.get(cur) {
+                None => return false,
+                Some(run) if run.trace == target => aligned += 1,
+                Some(run) => {
+                    target = run.trace;
+                    aligned = 1;
+                }
+            }
+            i = (i + 1) % k;
+        }
+        true
+    }
+
+    /// Checks every structural invariant of the index against `log`:
+    /// matching trace/class counts, runs strictly ascending by trace,
+    /// postings sorted, in-bounds and pointing at events of the right
+    /// class. `Err` carries a description of the first violation.
+    ///
+    /// This is the oracle behind the [`EvalContext`] debug assertion: a
+    /// stale index (e.g. one built before abstraction rewrote the log, or a
+    /// botched splice) is rejected before it can evaluate constraints
+    /// against the wrong events. O(number of events) — debug builds only on
+    /// the context path; call it directly in tests.
+    pub fn validate(&self, log: &EventLog) -> Result<(), String> {
+        if self.num_traces != log.traces().len() {
+            return Err(format!(
+                "index covers {} traces, log has {}",
+                self.num_traces,
+                log.traces().len()
+            ));
+        }
+        if self.class_runs.len() != log.num_classes() {
+            return Err(format!(
+                "index covers {} classes, log has {}",
+                self.class_runs.len(),
+                log.num_classes()
+            ));
+        }
+        let mut total = 0usize;
+        for (ci, runs) in self.class_runs.iter().enumerate() {
+            let mut count = 0u32;
+            let mut prev_trace: Option<u32> = None;
+            for run in runs {
+                if prev_trace.is_some_and(|p| p >= run.trace) {
+                    return Err(format!("class {ci}: runs not strictly ascending by trace"));
+                }
+                prev_trace = Some(run.trace);
+                if run.len == 0 {
+                    return Err(format!("class {ci}: empty run for trace {}", run.trace));
+                }
+                let (start, end) = (run.start as usize, (run.start + run.len) as usize);
+                if end > self.positions.len() {
+                    return Err(format!("class {ci}: run exceeds the position array"));
+                }
+                let trace = log.traces().get(run.trace as usize).ok_or_else(|| {
+                    format!("class {ci}: run for nonexistent trace {}", run.trace)
+                })?;
+                let mut prev_pos: Option<u32> = None;
+                for &pos in &self.positions[start..end] {
+                    if prev_pos.is_some_and(|p| p >= pos) {
+                        return Err(format!(
+                            "class {ci}, trace {}: postings not strictly ascending",
+                            run.trace
+                        ));
+                    }
+                    prev_pos = Some(pos);
+                    let event = trace.events().get(pos as usize).ok_or_else(|| {
+                        format!(
+                            "class {ci}, trace {}: position {pos} out of bounds (len {})",
+                            run.trace,
+                            trace.len()
+                        )
+                    })?;
+                    if event.class().index() != ci {
+                        return Err(format!(
+                            "class {ci}, trace {}: position {pos} holds class {}",
+                            run.trace,
+                            event.class().index()
+                        ));
+                    }
+                }
+                count += run.len;
+            }
+            if count != self.class_counts[ci] {
+                return Err(format!(
+                    "class {ci}: runs cover {count} events, count says {}",
+                    self.class_counts[ci]
+                ));
+            }
+            total += count as usize;
+        }
+        if total != log.num_events() {
+            return Err(format!("index covers {total} events, log has {}", log.num_events()));
+        }
+        Ok(())
     }
 
     /// Ascending ids of the traces containing at least one class of
@@ -163,6 +298,127 @@ impl LogIndex {
     #[inline]
     fn runs(&self, c: ClassId) -> &[Run] {
         &self.class_runs[c.index()]
+    }
+}
+
+/// First index `>= from` whose run's trace id is `>= target`, by galloping
+/// (exponential probe, then binary search within the bracketed window).
+/// Cheap when the answer is near `from`, logarithmic when it is far.
+fn gallop_to(runs: &[Run], from: usize, target: u32) -> usize {
+    if from >= runs.len() || runs[from].trace >= target {
+        return from;
+    }
+    let mut step = 1usize;
+    let mut lo = from;
+    let mut hi = from + step;
+    while hi < runs.len() && runs[hi].trace < target {
+        lo = hi;
+        step *= 2;
+        hi = from + step;
+    }
+    let hi = hi.min(runs.len());
+    lo + runs[lo..hi].partition_point(|r| r.trace < target)
+}
+
+/// Flattens per-class position lists into the packed [`LogIndex`] layout;
+/// the runs' start offsets shift by the class's base. One implementation
+/// shared by [`LogIndex::build`] and [`IndexSplicer::finish`] keeps the two
+/// construction paths bit-identical by construction.
+fn flatten(
+    per_class_pos: Vec<Vec<u32>>,
+    per_class_runs: Vec<Vec<Run>>,
+    num_traces: usize,
+) -> LogIndex {
+    let num_events = per_class_pos.iter().map(Vec::len).sum();
+    let mut positions = Vec::with_capacity(num_events);
+    let mut class_runs = Vec::with_capacity(per_class_runs.len());
+    let mut class_counts = Vec::with_capacity(per_class_pos.len());
+    for (plist, mut runs) in per_class_pos.into_iter().zip(per_class_runs) {
+        let base = positions.len() as u32;
+        for run in &mut runs {
+            run.start += base;
+        }
+        class_counts.push(plist.len() as u32);
+        positions.extend_from_slice(&plist);
+        class_runs.push(runs);
+    }
+    LogIndex { class_runs, positions, class_counts, num_traces }
+}
+
+/// Incremental [`LogIndex`] maintenance for a log that is being *rewritten*
+/// trace by trace (Step-3 abstraction).
+///
+/// `abstract_log` replaces each activity-instance span with a single
+/// high-level event; instead of throwing the old index away and paying a
+/// full [`LogIndex::build`] pass over the rewritten log, the rewriter
+/// reports each new trace and each emitted event as it goes, and the
+/// splicer patches the postings directly: a replaced span collapses into
+/// one posting appended to the abstracted class's current run, untouched
+/// runs stay as-is, and occurrence counts grow with the pushes rather than
+/// being recounted. [`IndexSplicer::finish`] packs the runs through the
+/// same flattening as [`LogIndex::build`], so the result is **bit-identical**
+/// to a fresh build on the finished log (asserted by the
+/// `incremental_index_equivalence` proptest suite in `gecco-core`).
+///
+/// Contract: call [`Self::begin_trace`] once per trace of the new log —
+/// including traces left empty by the rewrite — and [`Self::push`] with
+/// strictly ascending positions within each trace, using the class ids of
+/// the log under construction.
+#[derive(Debug, Default)]
+pub struct IndexSplicer {
+    per_class_pos: Vec<Vec<u32>>,
+    per_class_runs: Vec<Vec<Run>>,
+    num_traces: usize,
+    /// Debug guard: the last position pushed for the current trace.
+    last_pos: Option<u32>,
+}
+
+impl IndexSplicer {
+    /// Creates a splicer with no traces.
+    pub fn new() -> IndexSplicer {
+        IndexSplicer::default()
+    }
+
+    /// Starts the next trace (trace ids are assigned 0, 1, … in call
+    /// order). Must also be called for traces that end up with no events,
+    /// so trace ids keep matching the log being built.
+    pub fn begin_trace(&mut self) {
+        self.num_traces += 1;
+        self.last_pos = None;
+    }
+
+    /// Records the event at `position` of the current trace carrying
+    /// `class`. Positions must be pushed in strictly ascending order within
+    /// a trace.
+    ///
+    /// # Panics
+    /// If called before [`Self::begin_trace`], or (debug builds) when
+    /// `position` does not ascend.
+    pub fn push(&mut self, class: ClassId, position: u32) {
+        assert!(self.num_traces > 0, "IndexSplicer::push before begin_trace");
+        debug_assert!(
+            self.last_pos.is_none_or(|p| p < position),
+            "IndexSplicer: positions must ascend within a trace"
+        );
+        self.last_pos = Some(position);
+        let ci = class.index();
+        if ci >= self.per_class_pos.len() {
+            self.per_class_pos.resize_with(ci + 1, Vec::new);
+            self.per_class_runs.resize_with(ci + 1, Vec::new);
+        }
+        let trace = (self.num_traces - 1) as u32;
+        let plist = &mut self.per_class_pos[ci];
+        match self.per_class_runs[ci].last_mut() {
+            Some(run) if run.trace == trace => run.len += 1,
+            _ => self.per_class_runs[ci].push(Run { trace, start: plist.len() as u32, len: 1 }),
+        }
+        plist.push(position);
+    }
+
+    /// Packs the spliced runs into a [`LogIndex`], identical to
+    /// [`LogIndex::build`] on the log the pushes described.
+    pub fn finish(self) -> LogIndex {
+        flatten(self.per_class_pos, self.per_class_runs, self.num_traces)
     }
 }
 
@@ -222,16 +478,18 @@ impl<'a> EvalContext<'a> {
     /// Creates a context without a shared cache.
     ///
     /// # Panics
-    /// In debug builds, panics if `index` was built from a log with a
-    /// different trace count — a stale index (e.g. one built before
-    /// abstraction rewrote the log) would otherwise evaluate constraints
-    /// against the wrong traces.
+    /// In debug builds, panics if `index` is inconsistent with `log` (see
+    /// [`LogIndex::validate`]): wrong trace/class counts, but also postings
+    /// that are unsorted, out of bounds, or pointing at events of the wrong
+    /// class — a stale index (e.g. one built before abstraction rewrote the
+    /// log, or a botched splice) would otherwise evaluate constraints
+    /// against the wrong events. Trace counts alone are not enough:
+    /// abstraction preserves the trace count while changing every position.
     pub fn new(log: &'a EventLog, index: &'a LogIndex) -> EvalContext<'a> {
-        debug_assert_eq!(
-            index.num_traces(),
-            log.traces().len(),
-            "EvalContext: index was built from a different log"
-        );
+        #[cfg(debug_assertions)]
+        if let Err(e) = index.validate(log) {
+            panic!("EvalContext: index does not match the log ({e})");
+        }
         EvalContext { log, index, cache: None, scratch: RefCell::default() }
     }
 
@@ -244,11 +502,10 @@ impl<'a> EvalContext<'a> {
         index: &'a LogIndex,
         cache: &'a InstanceCache,
     ) -> EvalContext<'a> {
-        debug_assert_eq!(
-            index.num_traces(),
-            log.traces().len(),
-            "EvalContext: index was built from a different log"
-        );
+        #[cfg(debug_assertions)]
+        if let Err(e) = index.validate(log) {
+            panic!("EvalContext: index does not match the log ({e})");
+        }
         EvalContext { log, index, cache: Some(cache), scratch: RefCell::default() }
     }
 
@@ -268,6 +525,27 @@ impl<'a> EvalContext<'a> {
     #[inline]
     pub fn cache(&self) -> Option<&'a InstanceCache> {
         self.cache
+    }
+
+    /// Adaptive `occurs(g, L)` over this context's log.
+    ///
+    /// Picks between the two oracle-equivalent implementations: the bitmap
+    /// scan ([`EventLog::occurs`]) tests one tiny class bitset per trace and
+    /// exits on the first hit, while the galloping postings intersection
+    /// ([`LogIndex::occurs`]) costs a cursor setup plus `O(k log runs)`
+    /// alignment steps. Per-trace bitset tests are sub-nanosecond, so up to
+    /// roughly a thousand traces the scan wins even without an early exit;
+    /// past that, the intersection's trace-count-independent alignment wins
+    /// (orders of magnitude on sharded multi-process logs, where most
+    /// expansion products never co-occur — see the `occurs_*` benches in
+    /// `bench_candidates`). Candidate expansion calls this per product.
+    pub fn occurs(&self, group: &ClassSet) -> bool {
+        const SCAN_BEATS_INTERSECTION_BELOW: usize = 1024;
+        if self.index.num_traces() < SCAN_BEATS_INTERSECTION_BELOW {
+            self.log.occurs(group)
+        } else {
+            self.index.occurs(group)
+        }
     }
 
     /// The shared (thread-safe) parts, for fanning work out over threads.
@@ -601,6 +879,70 @@ mod tests {
         assert_eq!(index.trace_count(b), 2);
         assert_eq!(index.trace_count(c), 1);
         assert_eq!(index.num_traces(), log.traces().len());
+    }
+
+    #[test]
+    fn indexed_occurs_matches_bitmap_scan() {
+        let log = log_from(&[&["a", "b", "a"], &["b", "c"], &["d"]]);
+        let index = LogIndex::build(&log);
+        for names in
+            [&["a"][..], &["a", "b"], &["b", "c"], &["a", "c"], &["a", "b", "c"], &["c", "d"]]
+        {
+            let g = group(&log, names);
+            assert_eq!(index.occurs(&g), log.occurs(&g), "occurs diverges on {names:?}");
+        }
+        // Empty group: occurs iff the log has at least one trace.
+        assert!(index.occurs(&ClassSet::EMPTY));
+        assert!(!LogIndex::build(&LogBuilder::new().build()).occurs(&ClassSet::EMPTY));
+    }
+
+    #[test]
+    fn splicer_matches_build_and_counts_empty_traces() {
+        let log = log_from(&[&["a", "b", "a"], &[], &["b"]]);
+        let mut splicer = IndexSplicer::new();
+        for trace in log.traces() {
+            splicer.begin_trace();
+            for (pos, event) in trace.events().iter().enumerate() {
+                splicer.push(event.class(), pos as u32);
+            }
+        }
+        let spliced = splicer.finish();
+        assert_eq!(spliced, LogIndex::build(&log));
+        assert_eq!(spliced.num_traces(), 3);
+        assert!(spliced.validate(&log).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "before begin_trace")]
+    fn splicer_rejects_push_without_trace() {
+        IndexSplicer::new().push(ClassId(0), 0);
+    }
+
+    #[test]
+    fn validate_pinpoints_corruption() {
+        let log = log_from(&[&["a", "b"], &["a"]]);
+        let index = LogIndex::build(&log);
+        assert!(index.validate(&log).is_ok());
+        // A log with the same trace count and classes but different event
+        // placement: the old index's postings point at the wrong events —
+        // the stale-index shape the previous trace-count-only assertion
+        // missed.
+        let reshuffled = log_from(&[&["a"], &["b"]]);
+        let err = index.validate(&reshuffled).unwrap_err();
+        assert!(err.contains("out of bounds") || err.contains("holds class"), "{err}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "index does not match the log")]
+    fn stale_index_is_rejected_by_context() {
+        // Same trace count, same classes, different positions: exactly what
+        // reusing a pre-abstraction index against the abstracted log looks
+        // like. The old debug assertion (trace count only) let this through.
+        let old = log_from(&[&["a", "b", "a"]]);
+        let new = log_from(&[&["a", "b"]]);
+        let index = LogIndex::build(&old);
+        let _ = EvalContext::new(&new, &index);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! as a single instance, which is what a user wants when imposing
 //! cardinality constraints such as "at least 2 events of class X per
 //! instance".
+//!
+//! Instances are consumed on two paths: constraint evaluation (via the
+//! indexed [`crate::EvalContext`] materialization, bit-identical to the
+//! scan here) and Step-3 abstraction, where each instance's span collapses
+//! into a high-level event whose posting is spliced straight into the new
+//! log's index (see [`crate::IndexSplicer`]).
 
 use crate::classes::ClassSet;
 use crate::trace::Trace;

@@ -38,7 +38,9 @@ pub use classes::{ClassId, ClassInfo, ClassRegistry, ClassSet, MAX_CLASSES};
 pub use dfg::Dfg;
 pub use error::{Error, Result};
 pub use event::Event;
-pub use index::{CacheStats, CachedInstances, ContextParts, EvalContext, InstanceCache, LogIndex};
+pub use index::{
+    CacheStats, CachedInstances, ContextParts, EvalContext, IndexSplicer, InstanceCache, LogIndex,
+};
 pub use instances::{instances, log_instances, GroupInstance, Segmenter};
 pub use interner::{Interner, Symbol};
 pub use log::{EventLog, LogBuilder, TraceBuilder};

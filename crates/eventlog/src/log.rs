@@ -102,7 +102,10 @@ impl EventLog {
     }
 
     /// Whether at least one trace contains every class of `group`
-    /// (`occurs(g, L)`, Algorithm 1 line 13).
+    /// (`occurs(g, L)`, Algorithm 1 line 13), by scanning every trace's
+    /// class bitmap. Hot paths with an index at hand use the
+    /// postings-intersection [`crate::LogIndex::occurs`] instead; this scan
+    /// stays as its oracle.
     pub fn occurs(&self, group: &ClassSet) -> bool {
         self.trace_class_sets.iter().any(|cs| group.is_subset(cs))
     }
@@ -253,6 +256,16 @@ impl TraceBuilder<'_> {
     /// Interns a string in the owning log's interner.
     pub fn intern(&mut self, s: &str) -> Symbol {
         self.log.interner.intern(s)
+    }
+
+    /// Registers (or fetches) the class named `name` in the owning log,
+    /// returning the id a subsequent [`TraceBuilder::event_with`] for that
+    /// name will use. Incremental index maintenance needs the id *while*
+    /// emitting events (see [`crate::IndexSplicer`]); registration order —
+    /// and therefore id assignment — is unchanged, because the event
+    /// emitted right after registers the same class anyway.
+    pub fn class(&mut self, name: &str) -> Result<ClassId> {
+        self.log.class(name)
     }
 
     /// Appends an event of class `class` with no attributes.
