@@ -1,14 +1,30 @@
-//! CSV import/export for event logs.
+//! CSV import/export for event logs — chunked like the XES pipeline.
 //!
 //! Many real-world logs (including several 4TU datasets) ship as CSV with
 //! one event per row. The importer expects a header row naming at least the
 //! case and activity columns; remaining columns become event attributes.
 //! Values are typed by sniffing: ISO-8601 → timestamp, integer → int,
 //! float → float, `true`/`false` → bool, otherwise string.
+//!
+//! Import runs in three phases. Phase A splits the input into records with
+//! a single quote-aware byte scan — unquoted fields are *borrowed* slices
+//! of the input, only quoted fields (escape/newline normalization) ever
+//! allocate. Phase B sniffs and locally interns record chunks — in parallel
+//! under the `rayon` feature (type sniffing, i.e. the timestamp/number
+//! parse attempts, dominates import time). Phase C merges the chunk
+//! interners in order via [`LogBuilder::merge_interner`] — the same
+//! fragment-merge machinery the XES reader uses — and groups rows into
+//! traces by case, in first-seen order. Chunk boundaries never influence
+//! the result: serial and parallel imports are bit-identical
+//! (`tests/ingest_equivalence.rs`).
 
 use crate::error::{Error, Result};
-use crate::log::{EventLog, LogBuilder};
+use crate::interner::{Interner, Symbol};
+use crate::log::{remap_attr, EventLog, LogBuilder};
+use crate::parallel;
 use crate::time::parse_iso8601;
+use crate::value::AttributeValue;
+use std::borrow::Cow;
 
 /// Column configuration for [`read_str`].
 #[derive(Debug, Clone)]
@@ -31,68 +47,246 @@ impl Default for CsvOptions {
     }
 }
 
-/// Splits one CSV record, honoring quotes. Returns the fields and the number
-/// of input lines consumed (quoted fields may span lines).
-fn split_record(lines: &[&str], start: usize, delim: char) -> Result<(Vec<String>, usize)> {
-    let mut fields = Vec::new();
-    let mut field = String::new();
-    let mut in_quotes = false;
-    let mut li = start;
-    let mut chars: Vec<char> = lines[li].chars().collect();
-    let mut ci = 0;
-    loop {
-        if ci >= chars.len() {
-            if in_quotes {
-                li += 1;
-                if li >= lines.len() {
-                    return Err(Error::Csv {
-                        line: start + 1,
-                        message: "unterminated quote".into(),
-                    });
-                }
-                field.push('\n');
-                chars = lines[li].chars().collect();
-                ci = 0;
-                continue;
+/// How one field ended: at a delimiter, or at the end of the record.
+enum FieldEnd {
+    Delim,
+    Record,
+}
+
+/// Quote-aware record splitter over the raw input bytes. Unquoted fields
+/// are borrowed slices; quoted fields allocate once for unescaping.
+struct RecordSplitter<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    /// UTF-8 encoding of the delimiter (multi-byte delimiters supported).
+    delim: [u8; 4],
+    delim_len: usize,
+    pos: usize,
+    /// 1-based physical line number at `pos`.
+    line: usize,
+}
+
+impl<'a> RecordSplitter<'a> {
+    fn new(input: &'a str, delimiter: char) -> Self {
+        let mut delim = [0u8; 4];
+        let delim_len = delimiter.encode_utf8(&mut delim).len();
+        RecordSplitter { input, bytes: input.as_bytes(), delim, delim_len, pos: 0, line: 1 }
+    }
+
+    fn at_delim(&self) -> bool {
+        self.bytes[self.pos..].starts_with(&self.delim[..self.delim_len])
+    }
+
+    /// Consumes a record terminator (`\r\n`, `\n`, or end of input) at the
+    /// current position, updating the line counter.
+    fn consume_record_end(&mut self) {
+        match self.bytes.get(self.pos) {
+            Some(b'\r') if self.bytes.get(self.pos + 1) == Some(&b'\n') => {
+                self.pos += 2;
+                self.line += 1;
             }
-            fields.push(std::mem::take(&mut field));
-            return Ok((fields, li - start + 1));
+            Some(b'\n') => {
+                self.pos += 1;
+                self.line += 1;
+            }
+            _ => {}
         }
-        let c = chars[ci];
-        if in_quotes {
-            if c == '"' {
-                if chars.get(ci + 1) == Some(&'"') {
-                    field.push('"');
-                    ci += 2;
-                } else {
-                    in_quotes = false;
-                    ci += 1;
-                }
-            } else {
-                field.push(c);
-                ci += 1;
+    }
+
+    /// Whether the current position starts a record terminator.
+    fn at_record_end(&self) -> bool {
+        match self.bytes.get(self.pos) {
+            None | Some(b'\n') => true,
+            Some(b'\r') => self.bytes.get(self.pos + 1) == Some(&b'\n'),
+            _ => false,
+        }
+    }
+
+    /// Parses one unquoted field: a borrowed slice up to the next
+    /// delimiter or record end (quotes past the first byte are literal).
+    fn unquoted_field(&mut self) -> (Cow<'a, str>, FieldEnd) {
+        let start = self.pos;
+        loop {
+            if self.at_record_end() {
+                return (Cow::Borrowed(&self.input[start..self.pos]), FieldEnd::Record);
             }
-        } else if c == '"' && field.is_empty() {
-            in_quotes = true;
-            ci += 1;
-        } else if c == delim {
-            fields.push(std::mem::take(&mut field));
-            ci += 1;
-        } else {
-            field.push(c);
-            ci += 1;
+            if self.at_delim() {
+                let field = Cow::Borrowed(&self.input[start..self.pos]);
+                self.pos += self.delim_len;
+                return (field, FieldEnd::Delim);
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses one field that starts with a quote: quoted span with `""`
+    /// escapes and embedded (normalized) newlines, then a literal tail up
+    /// to the delimiter or record end.
+    fn quoted_field(&mut self, record_line: usize) -> Result<(Cow<'a, str>, FieldEnd)> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        let mut seg_start = self.pos;
+        // Inside quotes.
+        loop {
+            match self.bytes.get(self.pos) {
+                None => {
+                    return Err(Error::Csv {
+                        line: record_line,
+                        message: "unterminated quote".into(),
+                    })
+                }
+                Some(b'"') => {
+                    out.push_str(&self.input[seg_start..self.pos]);
+                    if self.bytes.get(self.pos + 1) == Some(&b'"') {
+                        out.push('"');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        break; // closing quote
+                    }
+                    seg_start = self.pos;
+                }
+                Some(b'\r') if self.bytes.get(self.pos + 1) == Some(&b'\n') => {
+                    out.push_str(&self.input[seg_start..self.pos]);
+                    out.push('\n'); // normalize CRLF inside quotes
+                    self.pos += 2;
+                    self.line += 1;
+                    seg_start = self.pos;
+                }
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Literal tail after the closing quote (quotes here are literal
+        // characters, exactly as in the line-based splitter this replaces).
+        let seg_start = self.pos;
+        loop {
+            if self.at_record_end() {
+                out.push_str(&self.input[seg_start..self.pos]);
+                return Ok((Cow::Owned(out), FieldEnd::Record));
+            }
+            if self.at_delim() {
+                out.push_str(&self.input[seg_start..self.pos]);
+                self.pos += self.delim_len;
+                return Ok((Cow::Owned(out), FieldEnd::Delim));
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Reads the next record. When `skip_blank` is set, whitespace-only
+    /// lines before the record are skipped (matching the original
+    /// line-based splitter, which only did this between body records).
+    /// Returns the record's starting line and its fields.
+    fn next_record(&mut self, skip_blank: bool) -> Result<Option<(usize, Vec<Cow<'a, str>>)>> {
+        if skip_blank {
+            while self.pos < self.bytes.len() {
+                let line_end = self.bytes[self.pos..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(self.bytes.len(), |i| self.pos + i);
+                if self.input[self.pos..line_end].trim().is_empty() {
+                    self.pos = line_end;
+                    self.consume_record_end();
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let record_line = self.line;
+        let mut fields = Vec::new();
+        loop {
+            let (field, end) = if self.bytes.get(self.pos) == Some(&b'"') {
+                self.quoted_field(record_line)?
+            } else {
+                self.unquoted_field()
+            };
+            fields.push(field);
+            match end {
+                FieldEnd::Delim => {}
+                FieldEnd::Record => {
+                    self.consume_record_end();
+                    return Ok(Some((record_line, fields)));
+                }
+            }
         }
     }
 }
 
-/// Parses a CSV document into an event log. Rows are grouped into traces by
-/// the case column, preserving row order within each case.
-pub fn read_str(input: &str, options: &CsvOptions) -> Result<EventLog> {
-    let lines: Vec<&str> = input.lines().collect();
-    if lines.is_empty() {
-        return Ok(LogBuilder::new().build());
+/// One split record: its starting (1-based) line plus its fields.
+type Record<'a> = (usize, Vec<Cow<'a, str>>);
+
+/// The events of one trace-in-progress: `(class symbol, attributes)`.
+type CaseEvents = Vec<(Symbol, Vec<(Symbol, AttributeValue)>)>;
+
+/// One sniffed row in a chunk fragment's local symbol space.
+struct CsvRow {
+    case: Symbol,
+    class: Symbol,
+    attrs: Vec<(Symbol, AttributeValue)>,
+}
+
+/// A chunk of sniffed rows with its thread-local interner.
+struct CsvFragment {
+    interner: Interner,
+    rows: Vec<CsvRow>,
+}
+
+/// Phase B: types and locally interns one chunk of records.
+fn sniff_chunk(
+    records: &[Record<'_>],
+    header: &[Cow<'_, str>],
+    case_idx: usize,
+    act_idx: usize,
+) -> CsvFragment {
+    let mut interner = Interner::new();
+    let mut rows = Vec::with_capacity(records.len());
+    for (_, fields) in records {
+        let case = interner.intern(&fields[case_idx]);
+        let class = interner.intern(&fields[act_idx]);
+        let mut attrs = Vec::new();
+        for (i, value) in fields.iter().enumerate() {
+            if i == case_idx || i == act_idx || value.is_empty() {
+                continue;
+            }
+            let key = interner.intern(&header[i]);
+            let typed = if let Ok(ts) = parse_iso8601(value) {
+                AttributeValue::Timestamp(ts)
+            } else if let Ok(i64v) = value.parse::<i64>() {
+                AttributeValue::Int(i64v)
+            } else if let Ok(f64v) = value.parse::<f64>() {
+                AttributeValue::Float(f64v)
+            } else if value.as_ref() == "true" || value.as_ref() == "false" {
+                AttributeValue::Bool(value.as_ref() == "true")
+            } else {
+                AttributeValue::Str(interner.intern(value))
+            };
+            attrs.push((key, typed));
+        }
+        rows.push(CsvRow { case, class, attrs });
     }
-    let (header, mut row_start) = split_record(&lines, 0, options.delimiter)?;
+    CsvFragment { interner, rows }
+}
+
+/// Minimum number of records before phase B fans out.
+const MIN_PARALLEL_RECORDS: usize = 512;
+
+/// Parses a CSV document into an event log. Rows are grouped into traces by
+/// the case column, preserving row order within each case; traces appear in
+/// first-seen case order.
+pub fn read_str(input: &str, options: &CsvOptions) -> Result<EventLog> {
+    let mut splitter = RecordSplitter::new(input, options.delimiter);
+    // Header (blank lines before it are NOT skipped, matching the original
+    // importer).
+    let Some((_, header)) = splitter.next_record(false)? else {
+        return Ok(LogBuilder::new().build());
+    };
     let case_idx = header.iter().position(|h| *h == options.case_column).ok_or_else(|| {
         Error::Csv { line: 1, message: format!("missing case column {:?}", options.case_column) }
     })?;
@@ -102,60 +296,49 @@ pub fn read_str(input: &str, options: &CsvOptions) -> Result<EventLog> {
             message: format!("missing activity column {:?}", options.activity_column),
         })?;
 
-    // Collect rows per case, in first-seen case order.
-    let mut case_order: Vec<String> = Vec::new();
-    let mut rows_by_case: std::collections::HashMap<String, Vec<Vec<String>>> =
-        std::collections::HashMap::new();
-    while row_start < lines.len() {
-        if lines[row_start].trim().is_empty() {
-            row_start += 1;
-            continue;
-        }
-        let (fields, consumed) = split_record(&lines, row_start, options.delimiter)?;
+    // Phase A: split every record (serial — this is a cheap byte scan) and
+    // validate field counts in document order.
+    let mut records: Vec<Record<'_>> = Vec::new();
+    while let Some((line, fields)) = splitter.next_record(true)? {
         if fields.len() != header.len() {
             return Err(Error::Csv {
-                line: row_start + 1,
+                line,
                 message: format!("expected {} fields, found {}", header.len(), fields.len()),
             });
         }
-        let case = fields[case_idx].clone();
-        if !rows_by_case.contains_key(&case) {
-            case_order.push(case.clone());
-        }
-        rows_by_case.entry(case).or_default().push(fields);
-        row_start += consumed;
+        records.push((line, fields));
     }
 
+    // Phase B: sniff + locally intern chunks, in parallel when enabled.
+    let workers = parallel::worker_count();
+    let chunk_size = records.len().div_ceil(workers.max(1)).max(1);
+    let chunks: Vec<&[Record<'_>]> = records.chunks(chunk_size).collect();
+    let min_chunks = if records.len() >= MIN_PARALLEL_RECORDS { 2 } else { usize::MAX };
+    let fragments =
+        parallel::par_map(&chunks, min_chunks, |c| sniff_chunk(c, &header, case_idx, act_idx));
+
+    // Phase C: merge fragments in chunk order, group rows by case.
     let mut builder = LogBuilder::new();
-    for case in case_order {
-        let rows = rows_by_case.remove(&case).expect("case registered above");
-        let mut tb = builder.trace(&case);
-        for row in rows {
-            let class = row[act_idx].clone();
-            tb = tb.event_with(&class, |e| {
-                for (i, value) in row.iter().enumerate() {
-                    if i == case_idx || i == act_idx {
-                        continue;
-                    }
-                    let key = &header[i];
-                    if value.is_empty() {
-                        continue;
-                    }
-                    if let Ok(ts) = parse_iso8601(value) {
-                        e.timestamp(key, ts);
-                    } else if let Ok(i64v) = value.parse::<i64>() {
-                        e.int(key, i64v);
-                    } else if let Ok(f64v) = value.parse::<f64>() {
-                        e.float(key, f64v);
-                    } else if value == "true" || value == "false" {
-                        e.bool(key, value == "true");
-                    } else {
-                        e.str(key, value);
-                    }
-                }
-            })?;
+    let concept_key = builder.intern("concept:name");
+    let mut case_index: std::collections::HashMap<Symbol, usize> = std::collections::HashMap::new();
+    let mut cases: Vec<(Symbol, CaseEvents)> = Vec::new();
+    for fragment in fragments {
+        let map = builder.merge_interner(&fragment.interner);
+        for row in fragment.rows {
+            let case = map[row.case.index()];
+            let class = map[row.class.index()];
+            let attrs: Vec<_> =
+                row.attrs.into_iter().map(|(k, v)| remap_attr(&map, k, v)).collect();
+            let slot = *case_index.entry(case).or_insert_with(|| {
+                cases.push((case, Vec::new()));
+                cases.len() - 1
+            });
+            cases[slot].1.push((class, attrs));
         }
-        tb.done();
+    }
+    for (case, events) in cases {
+        let attributes = vec![(concept_key, AttributeValue::Str(case))];
+        builder.push_trace_symbols(attributes, events)?;
     }
     Ok(builder.build())
 }
@@ -262,6 +445,28 @@ mod tests {
     }
 
     #[test]
+    fn quoted_field_spanning_lines() {
+        let csv = "case:concept:name,concept:name,note\nc,a,\"two\nlines\"\n";
+        let log = read_str(csv, &CsvOptions::default()).unwrap();
+        let e = &log.traces()[0].events()[0];
+        let note = e.attribute(log.key("note").unwrap()).unwrap().as_symbol().unwrap();
+        assert_eq!(log.resolve(note), "two\nlines");
+        // CRLF inside quotes normalizes to LF, like the line-based splitter.
+        let csv = "case:concept:name,concept:name,note\r\nc,a,\"two\r\nlines\"\r\n";
+        let log = read_str(csv, &CsvOptions::default()).unwrap();
+        let e = &log.traces()[0].events()[0];
+        let note = e.attribute(log.key("note").unwrap()).unwrap().as_symbol().unwrap();
+        assert_eq!(log.resolve(note), "two\nlines");
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = read_str("case:concept:name,concept:name\nc,\"oops\n", &CsvOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("unterminated quote"), "{err}");
+    }
+
+    #[test]
     fn missing_columns_are_errors() {
         let err = read_str("a,b\n1,2\n", &CsvOptions::default()).unwrap_err();
         assert!(err.to_string().contains("case column"));
@@ -274,6 +479,14 @@ mod tests {
         let err = read_str("case:concept:name,concept:name\nc1,a\nc1\n", &CsvOptions::default())
             .unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_between_records_are_skipped() {
+        let csv = "case:concept:name,concept:name\n\n  \nc1,a\n\nc1,b\n";
+        let log = read_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(log.traces().len(), 1);
+        assert_eq!(log.num_events(), 2);
     }
 
     #[test]

@@ -90,6 +90,22 @@ impl Interner {
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
         self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), s.as_ref()))
     }
+
+    /// Interns every string of `other` (in `other`'s symbol order) and
+    /// returns the remap table: `table[local.index()]` is the corresponding
+    /// symbol in `self`.
+    ///
+    /// This is the merge primitive of the chunked ingestion pipeline: chunk
+    /// workers intern into thread-local interners, and the single merge
+    /// pass folds them into the log's interner in deterministic chunk
+    /// order. Because a chunk's symbol order is its first-occurrence order,
+    /// concatenating per-chunk merges reproduces the exact symbol
+    /// numbering a serial document-order pass would have produced.
+    pub fn merge_from(&mut self, other: &Interner) -> Vec<Symbol> {
+        let mut table = Vec::with_capacity(other.strings.len());
+        table.extend(other.strings.iter().map(|s| self.intern(s)));
+        table
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +165,21 @@ mod tests {
         }
         assert_eq!(i.len(), 10_000);
         assert_eq!(i.get("never-interned"), None);
+    }
+
+    #[test]
+    fn merge_from_builds_remap_table() {
+        let mut global = Interner::new();
+        let shared = global.intern("shared");
+        let mut local = Interner::new();
+        let l_new = local.intern("only-local");
+        let l_shared = local.intern("shared");
+        let table = global.merge_from(&local);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[l_shared.index()], shared);
+        assert_eq!(global.resolve(table[l_new.index()]), "only-local");
+        // Merging is idempotent: a second merge maps to the same symbols.
+        assert_eq!(global.merge_from(&local), table);
     }
 
     #[test]

@@ -12,9 +12,13 @@
 //!   proportional to a group's own occurrences instead of the log size,
 //! * the directly-follows graph ([`Dfg`]) over event classes,
 //! * trace [`variants`] and summary [`stats`],
-//! * a hand-rolled [XES](crate::xes) reader/writer (own minimal XML pull
+//! * a hand-rolled [XES](crate::xes) reader/writer (own zero-copy XML pull
 //!   parser — no external XML dependency) and a [CSV](crate::csv)
-//!   importer/exporter.
+//!   importer/exporter, both built as chunked pipelines: a byte-level
+//!   scanner splits the input, chunks parse into [`LogFragment`]s with
+//!   thread-local interners (chunk-parallel under the `rayon` feature,
+//!   see [`parallel`]), and a document-order merge makes the result
+//!   bit-identical to a serial parse.
 //!
 //! The crate is dependency-free and forms the bottom layer of the workspace.
 
@@ -27,6 +31,7 @@ pub mod index;
 pub mod instances;
 pub mod interner;
 pub mod log;
+pub mod parallel;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -43,7 +48,8 @@ pub use index::{
 };
 pub use instances::{instances, log_instances, GroupInstance, Segmenter};
 pub use interner::{Interner, Symbol};
-pub use log::{EventLog, LogBuilder, TraceBuilder};
+pub use log::{EventLog, FragmentTrace, LogBuilder, LogFragment, TraceBuilder};
+pub use parallel::{parallel_enabled, set_parallel};
 pub use stats::LogStats;
 pub use trace::Trace;
 pub use value::AttributeValue;

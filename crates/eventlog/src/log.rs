@@ -214,6 +214,59 @@ impl LogBuilder {
         TraceBuilder { log: self, attributes: Vec::new(), events: Vec::new() }
     }
 
+    /// Appends a trace already expressed in **this builder's interner**:
+    /// case attributes plus events given as `(class-name symbol, attrs)`.
+    /// Classes are registered (or fetched) in event order. This is the
+    /// low-level sink shared by [`LogBuilder::merge_fragment`] and the
+    /// chunked CSV importer.
+    pub fn push_trace_symbols(
+        &mut self,
+        attributes: Vec<(Symbol, AttributeValue)>,
+        events: Vec<(Symbol, Vec<(Symbol, AttributeValue)>)>,
+    ) -> Result<()> {
+        let mut out = Vec::with_capacity(events.len());
+        for (class_name, attrs) in events {
+            let class = self.classes.get_or_insert(class_name)?;
+            out.push(Event::new(class, attrs));
+        }
+        self.traces.push(Trace::new(attributes, out));
+        Ok(())
+    }
+
+    /// Interns every string of `other` into this builder's interner (in
+    /// `other`'s symbol order) and returns the remap table; see
+    /// [`Interner::merge_from`].
+    pub fn merge_interner(&mut self, other: &Interner) -> Vec<Symbol> {
+        self.interner.merge_from(other)
+    }
+
+    /// Merges a chunk-parsed [`LogFragment`] into this builder: the
+    /// fragment's thread-local interner is folded into the builder's (one
+    /// intern per *distinct* string), every symbol is remapped through the
+    /// resulting table, and the fragment's traces are appended in order.
+    ///
+    /// Merging fragments in document order reproduces, bit for bit, the
+    /// symbol numbering and class-id assignment of a serial document-order
+    /// parse — regardless of how the document was chunked or how many
+    /// workers parsed the chunks.
+    pub fn merge_fragment(&mut self, fragment: LogFragment) -> Result<()> {
+        let map = self.merge_interner(&fragment.interner);
+        for trace in fragment.traces {
+            let attributes =
+                trace.attributes.into_iter().map(|(k, v)| remap_attr(&map, k, v)).collect();
+            let events = trace
+                .events
+                .into_iter()
+                .map(|(class, attrs)| {
+                    let attrs = attrs.into_iter().map(|(k, v)| remap_attr(&map, k, v)).collect();
+                    (map[class.index()], attrs)
+                })
+                .collect();
+            self.push_trace_symbols(attributes, events)?;
+        }
+        Ok(())
+    }
+
     /// Finishes the log.
     pub fn build(self) -> EventLog {
         let trace_class_sets = self.traces.iter().map(Trace::class_set).collect();
@@ -225,6 +278,52 @@ impl LogBuilder {
             attributes: self.attributes,
             std_keys: self.std_keys,
         }
+    }
+}
+
+/// Remaps one `(key, value)` attribute pair from a fragment's local symbol
+/// space through `map` into the merged builder's symbol space.
+pub fn remap_attr(map: &[Symbol], key: Symbol, value: AttributeValue) -> (Symbol, AttributeValue) {
+    let value = match value {
+        AttributeValue::Str(s) => AttributeValue::Str(map[s.index()]),
+        other => other,
+    };
+    (map[key.index()], value)
+}
+
+/// One chunk of parsed log content, expressed against its own thread-local
+/// [`Interner`]. Chunk workers (XES trace chunks, CSV row chunks) fill a
+/// fragment each; [`LogBuilder::merge_fragment`] folds them into the final
+/// log in deterministic document order.
+#[derive(Debug, Default)]
+pub struct LogFragment {
+    interner: Interner,
+    traces: Vec<FragmentTrace>,
+}
+
+/// One trace inside a [`LogFragment`], in fragment-local symbols.
+#[derive(Debug)]
+pub struct FragmentTrace {
+    /// Case-level attributes in document order.
+    pub attributes: Vec<(Symbol, AttributeValue)>,
+    /// Events as `(class-name symbol, attributes)` in document order.
+    pub events: Vec<(Symbol, Vec<(Symbol, AttributeValue)>)>,
+}
+
+impl LogFragment {
+    /// Creates an empty fragment with a fresh local interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string in the fragment's local interner.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Appends a trace to the fragment.
+    pub fn push_trace(&mut self, trace: FragmentTrace) {
+        self.traces.push(trace);
     }
 }
 
@@ -406,6 +505,58 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(log.format_group(&g), "{a, b}");
+    }
+
+    #[test]
+    fn merge_fragment_matches_direct_building() {
+        // Build the same two-trace log once directly and once via a
+        // fragment; symbol numbering and class ids must be identical.
+        let build_direct = || {
+            let mut b = LogBuilder::new();
+            b.trace("c1")
+                .event_with("a", |e| {
+                    e.str("org:role", "clerk").int("cost", 5);
+                })
+                .unwrap()
+                .event("b")
+                .unwrap()
+                .done();
+            b.trace("c2").event("a").unwrap().done();
+            b.build()
+        };
+        let direct = build_direct();
+
+        let mut frag = LogFragment::new();
+        let concept = frag.intern("concept:name");
+        let c1 = frag.intern("c1");
+        let a = frag.intern("a");
+        let role_k = frag.intern("org:role");
+        let clerk = frag.intern("clerk");
+        let cost_k = frag.intern("cost");
+        let b_cls = frag.intern("b");
+        let c2 = frag.intern("c2");
+        frag.push_trace(FragmentTrace {
+            attributes: vec![(concept, AttributeValue::Str(c1))],
+            events: vec![
+                (a, vec![(role_k, AttributeValue::Str(clerk)), (cost_k, AttributeValue::Int(5))]),
+                (b_cls, vec![]),
+            ],
+        });
+        frag.push_trace(FragmentTrace {
+            attributes: vec![(concept, AttributeValue::Str(c2))],
+            events: vec![(a, vec![])],
+        });
+        let mut builder = LogBuilder::new();
+        builder.merge_fragment(frag).unwrap();
+        let merged = builder.build();
+
+        assert_eq!(merged.traces(), direct.traces());
+        assert_eq!(merged.num_classes(), direct.num_classes());
+        let merged_syms: Vec<_> =
+            merged.interner().iter().map(|(s, w)| (s, w.to_string())).collect();
+        let direct_syms: Vec<_> =
+            direct.interner().iter().map(|(s, w)| (s, w.to_string())).collect();
+        assert_eq!(merged_syms, direct_syms);
     }
 
     #[test]

@@ -32,6 +32,27 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
     (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
+/// Whether `y` is a leap year in the proleptic Gregorian calendar.
+fn is_leap_year(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in month `m` (1–12) of year `y`.
+fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
 fn digits(s: &[u8], n: usize, at: usize) -> Option<i64> {
     if s.len() < at + n {
         return None;
@@ -51,6 +72,16 @@ fn digits(s: &[u8], n: usize, at: usize) -> Option<i64> {
 /// Accepted shapes: `YYYY-MM-DD`, `YYYY-MM-DDTHH:MM:SS`, with optional
 /// `.fff` fractional seconds (1–9 digits, truncated to milliseconds) and an
 /// optional zone: `Z`, `+HH:MM`, `-HH:MM`, `+HHMM` or `+HH`.
+///
+/// The calendar date is validated against real month lengths (leap-year
+/// aware): `2021-02-30` or `2021-04-31` are rejected instead of silently
+/// normalizing into a different instant via `days_from_civil`.
+///
+/// **Leap-second policy:** a seconds field of `60` is accepted anywhere (we
+/// cannot know the historical leap-second table, and real logs contain such
+/// stamps) and normalizes to the first instant of the *following* minute —
+/// the Unix-time convention of folding the leap second into its successor.
+/// Seconds `61`+ are rejected.
 pub fn parse_iso8601(s: &str) -> Result<i64> {
     let b = s.trim().as_bytes();
     let fail = || Error::Timestamp(s.to_string());
@@ -63,7 +94,7 @@ pub fn parse_iso8601(s: &str) -> Result<i64> {
         return Err(fail());
     }
     let day = digits(b, 2, 8).ok_or_else(fail)? as u32;
-    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+    if !(1..=12).contains(&month) || !(1..=days_in_month(year, month)).contains(&day) {
         return Err(fail());
     }
     let mut millis = days_from_civil(year, month, day) * 86_400_000;
@@ -217,6 +248,41 @@ mod tests {
         ] {
             assert!(parse_iso8601(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn impossible_calendar_dates_are_rejected() {
+        // Regression: these used to parse and silently normalize into the
+        // following month via days_from_civil.
+        for bad in [
+            "2021-02-30",
+            "2021-02-29", // 2021 is not a leap year
+            "2100-02-29", // century non-leap year
+            "2021-04-31",
+            "2021-06-31",
+            "2021-09-31",
+            "2021-11-31",
+            "2021-02-30T00:00:00Z",
+            "2021-04-31T12:00:00+01:00",
+        ] {
+            assert!(parse_iso8601(bad).is_err(), "accepted impossible date {bad:?}");
+        }
+        // The matching valid dates still parse.
+        for good in ["2020-02-29", "2000-02-29", "2021-04-30", "2021-12-31"] {
+            assert!(parse_iso8601(good).is_ok(), "rejected valid date {good:?}");
+        }
+    }
+
+    #[test]
+    fn leap_second_folds_into_next_minute() {
+        // Explicit policy: second 60 is accepted and normalizes to the first
+        // instant of the following minute; 61+ is rejected.
+        let leap = parse_iso8601("2016-12-31T23:59:60Z").unwrap();
+        let next = parse_iso8601("2017-01-01T00:00:00Z").unwrap();
+        assert_eq!(leap, next);
+        let with_frac = parse_iso8601("2016-12-31T23:59:60.500Z").unwrap();
+        assert_eq!(with_frac, next + 500);
+        assert!(parse_iso8601("2016-12-31T23:59:61Z").is_err());
     }
 
     #[test]

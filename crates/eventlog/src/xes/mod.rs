@@ -8,8 +8,9 @@
 //! `boolean`), on top of the in-crate [`xml`] pull parser.
 
 pub mod reader;
+pub mod scan;
 pub mod writer;
 pub mod xml;
 
-pub use reader::{parse_file, parse_str};
+pub use reader::{parse_bytes, parse_file, parse_str};
 pub use writer::{write_file, write_string};

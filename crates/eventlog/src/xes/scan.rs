@@ -1,0 +1,341 @@
+//! Byte-level document scanner: stage one of the chunked XES pipeline.
+//!
+//! [`scan_document`] splits an XES document into *segments* without
+//! building a single string: byte ranges of log-level content (attributes,
+//! extensions, `gecco:classattr` wrappers, …) interleaved, in document
+//! order, with byte ranges that each cover one complete
+//! `<trace>…</trace>` subtree. Trace segments can then be parsed into
+//! [`crate::log::LogFragment`]s independently — and in parallel — while the
+//! (tiny) log-level segments are parsed serially, and everything is merged
+//! back in document order so the result is identical to a single serial
+//! pass.
+//!
+//! The scanner is a deliberately shallow tokenizer: it only understands
+//! enough XML to find tag boundaries — quoted attribute values (a `>`
+//! inside quotes does not end a tag), comments, CDATA sections, processing
+//! instructions and DOCTYPE declarations (a `</trace>` inside any of those
+//! is not a real end tag). Everything else — attribute decoding, name
+//! validation, well-formedness *within* a chunk — is left to the real
+//! parser in stage two.
+
+use crate::error::{Error, Result};
+use crate::xes::xml::{line_at, skip_past, take_name_bytes};
+use std::ops::Range;
+
+/// One document-order piece of the `<log>` body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// Log-level content between traces: typed attributes, extensions,
+    /// classifiers, `gecco:classattr` wrappers. Parsed serially.
+    Log(Range<usize>),
+    /// One complete `<trace …>…</trace>` (or self-closing `<trace/>`)
+    /// subtree. Parsed independently per chunk.
+    Trace(Range<usize>),
+}
+
+/// The result of [`scan_document`]: the log body split into segments.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedDocument {
+    /// Segments of the `<log>` body in document order.
+    pub segments: Vec<Segment>,
+}
+
+/// What the shallow tokenizer saw at one `<…>` construct.
+enum RawTag<'a> {
+    Start { name: &'a [u8], self_closing: bool },
+    End { name: &'a [u8] },
+}
+
+struct Scanner<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Xml { line: line_at(self.input, self.pos), message: message.into() }
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    /// Advances to (and over) the byte sequence `until`; shares
+    /// [`skip_past`] with the real parser so both stages skip comments,
+    /// PIs and CDATA identically.
+    fn skip_until(&mut self, until: &[u8]) -> Result<()> {
+        if skip_past(self.input, &mut self.pos, until) {
+            return Ok(());
+        }
+        Err(self
+            .err(format!("unterminated construct; expected `{}`", String::from_utf8_lossy(until))))
+    }
+
+    /// Reads the name bytes at the current position (same accepted set as
+    /// the real parser via [`take_name_bytes`]; validation happens in
+    /// stage two).
+    fn read_name_bytes(&mut self) -> &'a [u8] {
+        take_name_bytes(self.input, &mut self.pos)
+    }
+
+    /// Advances to the next element tag, skipping text, comments, CDATA,
+    /// processing instructions and DOCTYPE. Returns the tag and the byte
+    /// offset of its opening `<`, or `None` at end of input.
+    fn next_tag(&mut self) -> Result<Option<(usize, RawTag<'a>)>> {
+        loop {
+            match self.input[self.pos..].iter().position(|&b| b == b'<') {
+                Some(i) => self.pos += i,
+                None => {
+                    self.pos = self.input.len();
+                    return Ok(None);
+                }
+            }
+            let tag_start = self.pos;
+            if self.starts_with(b"<?") {
+                self.skip_until(b"?>")?;
+                continue;
+            }
+            if self.starts_with(b"<!--") {
+                self.skip_until(b"-->")?;
+                continue;
+            }
+            if self.starts_with(b"<![CDATA[") {
+                self.skip_until(b"]]>")?;
+                continue;
+            }
+            if self.starts_with(b"<!") {
+                self.skip_until(b">")?; // DOCTYPE etc.
+                continue;
+            }
+            if self.starts_with(b"</") {
+                self.pos += 2;
+                let name = self.read_name_bytes();
+                self.skip_until(b">")?;
+                return Ok(Some((tag_start, RawTag::End { name })));
+            }
+            // Start tag: scan to `>`/`/>`, honoring quoted attribute values.
+            self.pos += 1;
+            let name = self.read_name_bytes();
+            let mut self_closing = false;
+            loop {
+                match self.input.get(self.pos) {
+                    Some(b'"') | Some(b'\'') => {
+                        let quote = self.input[self.pos];
+                        self.pos += 1;
+                        match self.input[self.pos..].iter().position(|&b| b == quote) {
+                            Some(i) => self.pos += i + 1,
+                            None => {
+                                self.pos = self.input.len();
+                                return Err(self.err("unterminated attribute value"));
+                            }
+                        }
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(b'/') if self.input.get(self.pos + 1) == Some(&b'>') => {
+                        self.pos += 2;
+                        self_closing = true;
+                        break;
+                    }
+                    Some(_) => self.pos += 1,
+                    None => return Err(self.err("unterminated start tag")),
+                }
+            }
+            return Ok(Some((tag_start, RawTag::Start { name, self_closing })));
+        }
+    }
+
+    /// Skips the remainder of a subtree whose start tag was just consumed.
+    fn skip_subtree(&mut self) -> Result<()> {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.next_tag()? {
+                Some((_, RawTag::Start { self_closing, .. })) => {
+                    if !self_closing {
+                        depth += 1;
+                    }
+                }
+                Some((_, RawTag::End { .. })) => depth -= 1,
+                None => return Err(self.err("unexpected end of input while skipping element")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scans a document into log-level segments and per-trace chunks.
+///
+/// Errors mirror the serial parser: a missing `<log>` root is an XES error,
+/// unterminated constructs are XML errors. Structural problems *inside* a
+/// chunk (mismatched tags, bad attributes) are intentionally not detected
+/// here — stage two reports them with document-accurate line numbers.
+pub fn scan_document(input: &[u8]) -> Result<ScannedDocument> {
+    let mut scanner = Scanner { input, pos: 0 };
+    // Find the root <log>, skipping any other top-level subtrees (the
+    // serial parser accepted and ignored them).
+    loop {
+        match scanner.next_tag()? {
+            Some((_, RawTag::Start { name: b"log", self_closing })) => {
+                if self_closing {
+                    return Ok(ScannedDocument::default());
+                }
+                break;
+            }
+            Some((_, RawTag::Start { self_closing, .. })) => {
+                if !self_closing {
+                    scanner.skip_subtree()?;
+                }
+            }
+            Some((_, RawTag::End { .. })) => {
+                return Err(Error::Xes {
+                    line: line_at(input, scanner.pos),
+                    message: "no <log> element found".into(),
+                })
+            }
+            None => {
+                return Err(Error::Xes {
+                    line: line_at(input, scanner.pos),
+                    message: "no <log> element found".into(),
+                })
+            }
+        }
+    }
+    let mut segments = Vec::new();
+    let mut log_seg_start = scanner.pos;
+    // Pushes the pending log-level range [log_seg_start, end) unless it is
+    // pure inter-element whitespace.
+    let push_log_segment = |segments: &mut Vec<Segment>, start: usize, end: usize| {
+        if input[start..end].iter().any(|b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n')) {
+            segments.push(Segment::Log(start..end));
+        }
+    };
+    let mut depth = 1usize; // inside <log>
+    loop {
+        match scanner.next_tag()? {
+            Some((tag_start, RawTag::Start { name, self_closing })) => {
+                if depth == 1 && name == b"trace" {
+                    push_log_segment(&mut segments, log_seg_start, tag_start);
+                    if !self_closing {
+                        scanner.skip_subtree()?;
+                    }
+                    segments.push(Segment::Trace(tag_start..scanner.pos));
+                    log_seg_start = scanner.pos;
+                } else if !self_closing {
+                    depth += 1;
+                }
+            }
+            Some((tag_start, RawTag::End { name })) => {
+                depth -= 1;
+                if depth == 0 {
+                    if name != b"log" {
+                        return Err(Error::Xml {
+                            line: line_at(input, tag_start),
+                            message: format!(
+                                "mismatched `</{}>`; expected `</log>`",
+                                String::from_utf8_lossy(name)
+                            ),
+                        });
+                    }
+                    push_log_segment(&mut segments, log_seg_start, tag_start);
+                    return Ok(ScannedDocument { segments });
+                }
+            }
+            None => {
+                return Err(Error::Xml {
+                    line: line_at(input, scanner.pos),
+                    message: "unexpected end of input; `<log>` not closed".into(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segs(doc: &str) -> Vec<Segment> {
+        scan_document(doc.as_bytes()).unwrap().segments
+    }
+
+    #[test]
+    fn splits_prologue_traces_and_trailing() {
+        let doc = r#"<log><string key="a" value="1"/><trace><event/></trace><trace/><int key="b" value="2"/></log>"#;
+        let s = segs(doc);
+        assert_eq!(s.len(), 4);
+        assert!(matches!(&s[0], Segment::Log(_)));
+        match &s[1] {
+            Segment::Trace(r) => assert_eq!(&doc[r.clone()], "<trace><event/></trace>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s[2] {
+            Segment::Trace(r) => assert_eq!(&doc[r.clone()], "<trace/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s[3] {
+            Segment::Log(r) => assert_eq!(&doc[r.clone()], r#"<int key="b" value="2"/>"#),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_only_gaps_produce_no_segments() {
+        let s = segs("<log>\n  <trace/>\n  <trace/>\n</log>");
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|s| matches!(s, Segment::Trace(_))));
+    }
+
+    #[test]
+    fn tricky_content_does_not_end_a_trace() {
+        let doc = "<log><trace><!-- </trace> --><event a=\"</trace>\"/>\
+                   <![CDATA[</trace>]]></trace></log>";
+        let s = segs(doc);
+        assert_eq!(s.len(), 1);
+        match &s[0] {
+            Segment::Trace(r) => assert!(doc[r.clone()].ends_with("]]></trace>")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_elements_inside_traces_are_tracked() {
+        let doc = "<log><trace><event><string key=\"k\" value=\"v\"/></event></trace></log>";
+        assert_eq!(segs(doc).len(), 1);
+    }
+
+    #[test]
+    fn classattr_wrappers_stay_in_log_segments() {
+        let doc = "<log><string key=\"gecco:classattr\" value=\"A\">\
+                   <string key=\"s\" value=\"x\"/></string><trace/></log>";
+        let s = segs(doc);
+        assert_eq!(s.len(), 2);
+        assert!(matches!(&s[0], Segment::Log(_)));
+        assert!(matches!(&s[1], Segment::Trace(_)));
+    }
+
+    #[test]
+    fn self_closing_log_is_empty() {
+        assert_eq!(scan_document(b"<log/>").unwrap().segments.len(), 0);
+        assert_eq!(scan_document(b"<?xml version=\"1.0\"?><log></log>").unwrap().segments.len(), 0);
+    }
+
+    #[test]
+    fn missing_log_is_an_error() {
+        assert!(scan_document(b"<notalog/>").is_err());
+        assert!(scan_document(b"plain text").is_err());
+    }
+
+    #[test]
+    fn unterminated_log_is_an_error() {
+        assert!(scan_document(b"<log><trace>").is_err());
+        assert!(scan_document(b"<log>").is_err());
+    }
+
+    #[test]
+    fn non_log_top_level_subtrees_are_skipped() {
+        let s = segs("<meta><x/></meta><log><trace/></log>");
+        assert_eq!(s.len(), 1);
+    }
+}

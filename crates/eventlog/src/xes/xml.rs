@@ -1,4 +1,4 @@
-//! A minimal, dependency-free XML pull parser.
+//! A minimal, dependency-free, zero-copy XML pull parser.
 //!
 //! Supports exactly what XES serializations of event logs need: elements
 //! with attributes, self-closing tags, character data (skipped by the XES
@@ -6,54 +6,72 @@
 //! predefined entities plus numeric character references. It does **not**
 //! implement namespaces-aware processing, DTD expansion or validation — XES
 //! files do not require them.
+//!
+//! The parser operates on `&[u8]` and yields events that *borrow* from the
+//! input: element and attribute names are `&str` slices of the document, and
+//! attribute values / character data are [`Cow`]s that only allocate when an
+//! entity reference has to be decoded. Element and attribute names must be
+//! valid UTF-8 (malformed bytes are a parse error); attribute values and
+//! text tolerate invalid UTF-8 via lossy decoding, matching what the old
+//! allocating parser did. Line numbers for errors are computed lazily, so
+//! the hot path never counts newlines.
 
 use crate::error::{Error, Result};
+use std::borrow::Cow;
 
-/// One event yielded by [`XmlParser::next_event`].
+/// One event yielded by [`XmlParser::next_event`], borrowing from the input
+/// document.
 #[derive(Debug, Clone, PartialEq)]
-pub enum XmlEvent {
+pub enum XmlEvent<'a> {
     /// `<name a="v" …>` or `<name … />`.
     StartElement {
         /// Element name (namespace prefixes retained verbatim).
-        name: String,
+        name: &'a str,
         /// Attributes in document order, entity-decoded.
-        attributes: Vec<(String, String)>,
+        attributes: Vec<(&'a str, Cow<'a, str>)>,
         /// Whether the element was self-closing.
         self_closing: bool,
     },
     /// `</name>`. Also emitted synthetically after self-closing elements.
     EndElement {
         /// Element name.
-        name: String,
+        name: &'a str,
     },
     /// Character data between tags (entity-decoded, whitespace preserved).
-    Text(String),
+    Text(Cow<'a, str>),
 }
 
-/// Streaming pull parser over a UTF-8 document.
+/// Streaming pull parser over a byte document.
 #[derive(Debug)]
 pub struct XmlParser<'a> {
     input: &'a [u8],
     pos: usize,
-    line: usize,
     /// Name to synthesize an `EndElement` for after a self-closing tag.
-    pending_end: Option<String>,
-    open: Vec<String>,
+    pending_end: Option<&'a str>,
+    open: Vec<&'a str>,
 }
 
 impl<'a> XmlParser<'a> {
-    /// Creates a parser over `input`.
+    /// Creates a parser over a string document.
     pub fn new(input: &'a str) -> Self {
-        XmlParser { input: input.as_bytes(), pos: 0, line: 1, pending_end: None, open: Vec::new() }
+        Self::from_bytes(input.as_bytes())
     }
 
-    /// Current 1-based line number (for error reporting).
+    /// Creates a parser over a byte document (zero-copy entry point used by
+    /// the chunked XES reader).
+    pub fn from_bytes(input: &'a [u8]) -> Self {
+        XmlParser { input, pos: 0, pending_end: None, open: Vec::new() }
+    }
+
+    /// Current 1-based line number (for error reporting). Computed lazily by
+    /// counting newlines up to the current position — errors are rare, the
+    /// hot path should not pay for line tracking.
     pub fn line(&self) -> usize {
-        self.line
+        line_at(self.input, self.pos)
     }
 
     fn err(&self, message: impl Into<String>) -> Error {
-        Error::Xml { line: self.line, message: message.into() }
+        Error::Xml { line: self.line(), message: message.into() }
     }
 
     #[inline]
@@ -65,15 +83,18 @@ impl<'a> XmlParser<'a> {
     fn bump(&mut self) -> Option<u8> {
         let b = self.peek()?;
         self.pos += 1;
-        if b == b'\n' {
-            self.line += 1;
-        }
         Some(b)
+    }
+
+    /// Reborrows a sub-slice of the input with the *input's* lifetime.
+    #[inline]
+    fn slice(&self, start: usize, end: usize) -> &'a [u8] {
+        &self.input[start..end]
     }
 
     fn skip_whitespace(&mut self) {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.bump();
+            self.pos += 1;
         }
     }
 
@@ -91,47 +112,32 @@ impl<'a> XmlParser<'a> {
         self.input[self.pos..].starts_with(s)
     }
 
-    fn advance_over(&mut self, s: &[u8]) {
-        for _ in 0..s.len() {
-            self.bump();
-        }
-    }
-
     /// Skips until (and over) the byte sequence `until`.
     fn skip_until(&mut self, until: &[u8]) -> Result<()> {
-        while self.pos < self.input.len() {
-            if self.starts_with(until) {
-                self.advance_over(until);
-                return Ok(());
-            }
-            self.bump();
+        if skip_past(self.input, &mut self.pos, until) {
+            return Ok(());
         }
         Err(self
             .err(format!("unterminated construct; expected `{}`", String::from_utf8_lossy(until))))
     }
 
-    fn read_name(&mut self) -> Result<String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            let ok =
-                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
-            if !ok {
-                break;
-            }
-            self.bump();
-        }
-        if self.pos == start {
+    fn read_name(&mut self) -> Result<&'a str> {
+        let name = take_name_bytes(self.input, &mut self.pos);
+        if name.is_empty() {
             return Err(self.err("expected a name"));
         }
-        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+        std::str::from_utf8(name).map_err(|_| self.err("name is not valid UTF-8"))
     }
 
-    fn decode_entities(&self, raw: &str) -> Result<String> {
-        if !raw.contains('&') {
-            return Ok(raw.to_string());
+    /// Lossily decodes `raw` and expands entity references; borrows the
+    /// input when no entity (and no invalid UTF-8) is present.
+    fn decode_entities(&self, raw: &'a [u8]) -> Result<Cow<'a, str>> {
+        if !raw.contains(&b'&') {
+            return Ok(String::from_utf8_lossy(raw));
         }
-        let mut out = String::with_capacity(raw.len());
-        let mut rest = raw;
+        let src = String::from_utf8_lossy(raw);
+        let mut out = String::with_capacity(src.len());
+        let mut rest: &str = &src;
         while let Some(amp) = rest.find('&') {
             out.push_str(&rest[..amp]);
             rest = &rest[amp..];
@@ -165,31 +171,32 @@ impl<'a> XmlParser<'a> {
             rest = &rest[semi + 1..];
         }
         out.push_str(rest);
-        Ok(out)
+        Ok(Cow::Owned(out))
     }
 
-    fn read_attribute_value(&mut self) -> Result<String> {
+    fn read_attribute_value(&mut self) -> Result<Cow<'a, str>> {
         let quote = match self.bump() {
             Some(q @ (b'"' | b'\'')) => q,
             _ => return Err(self.err("expected quoted attribute value")),
         };
         let start = self.pos;
-        while let Some(b) = self.peek() {
+        while self.pos < self.input.len() {
+            let b = self.input[self.pos];
             if b == quote {
-                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-                self.bump();
-                return self.decode_entities(&raw);
+                let raw = self.slice(start, self.pos);
+                self.pos += 1;
+                return self.decode_entities(raw);
             }
             if b == b'<' {
                 return Err(self.err("`<` not allowed in attribute value"));
             }
-            self.bump();
+            self.pos += 1;
         }
         Err(self.err("unterminated attribute value"))
     }
 
     /// Pulls the next event, or `None` at end of document.
-    pub fn next_event(&mut self) -> Result<Option<XmlEvent>> {
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent<'a>>> {
         if let Some(name) = self.pending_end.take() {
             return Ok(Some(XmlEvent::EndElement { name }));
         }
@@ -203,13 +210,21 @@ impl<'a> XmlParser<'a> {
             if self.peek() != Some(b'<') {
                 // Character data.
                 let start = self.pos;
-                while self.peek().is_some_and(|b| b != b'<') {
-                    self.bump();
+                let len = self.input[self.pos..]
+                    .iter()
+                    .position(|&b| b == b'<')
+                    .unwrap_or(self.input.len() - self.pos);
+                self.pos += len;
+                let raw = self.slice(start, self.pos);
+                // Fast path: inter-element whitespace is skipped without
+                // decoding (an entity could still decode to whitespace, so
+                // raw bytes containing `&` go through the slow path).
+                if raw.iter().all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n')) {
+                    continue;
                 }
-                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-                let text = self.decode_entities(&raw)?;
+                let text = self.decode_entities(raw)?;
                 if text.chars().all(char::is_whitespace) {
-                    continue; // inter-element whitespace
+                    continue; // inter-element whitespace (via entities)
                 }
                 return Ok(Some(XmlEvent::Text(text)));
             }
@@ -223,21 +238,21 @@ impl<'a> XmlParser<'a> {
                 continue;
             }
             if self.starts_with(b"<![CDATA[") {
-                self.advance_over(b"<![CDATA[");
+                self.pos += b"<![CDATA[".len();
                 let start = self.pos;
                 while self.pos < self.input.len() && !self.starts_with(b"]]>") {
-                    self.bump();
+                    self.pos += 1;
                 }
-                let text = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let raw = self.slice(start, self.pos);
                 self.skip_until(b"]]>")?;
-                return Ok(Some(XmlEvent::Text(text)));
+                return Ok(Some(XmlEvent::Text(String::from_utf8_lossy(raw))));
             }
             if self.starts_with(b"<!") {
                 self.skip_until(b">")?; // DOCTYPE etc.
                 continue;
             }
             if self.starts_with(b"</") {
-                self.advance_over(b"</");
+                self.pos += 2;
                 let name = self.read_name()?;
                 self.skip_whitespace();
                 self.expect(b'>')?;
@@ -262,8 +277,8 @@ impl<'a> XmlParser<'a> {
                 self.skip_whitespace();
                 match self.peek() {
                     Some(b'>') => {
-                        self.bump();
-                        self.open.push(name.clone());
+                        self.pos += 1;
+                        self.open.push(name);
                         return Ok(Some(XmlEvent::StartElement {
                             name,
                             attributes,
@@ -271,9 +286,9 @@ impl<'a> XmlParser<'a> {
                         }));
                     }
                     Some(b'/') => {
-                        self.bump();
+                        self.pos += 1;
                         self.expect(b'>')?;
-                        self.pending_end = Some(name.clone());
+                        self.pending_end = Some(name);
                         return Ok(Some(XmlEvent::StartElement {
                             name,
                             attributes,
@@ -293,6 +308,55 @@ impl<'a> XmlParser<'a> {
             }
         }
     }
+}
+
+/// 1-based line number of byte offset `pos` in `input`.
+pub(crate) fn line_at(input: &[u8], pos: usize) -> usize {
+    1 + input[..pos.min(input.len())].iter().filter(|&&b| b == b'\n').count()
+}
+
+/// Whether `b` may appear in an element or attribute name. Shared with the
+/// chunk scanner so both stages agree on where a name ends.
+#[inline]
+pub(crate) fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+}
+
+/// Consumes the name bytes at `*pos`, returning the (possibly empty) range
+/// as a slice. Shared with the chunk scanner.
+#[inline]
+pub(crate) fn take_name_bytes<'a>(input: &'a [u8], pos: &mut usize) -> &'a [u8] {
+    let start = *pos;
+    while let Some(&b) = input.get(*pos) {
+        if !is_name_byte(b) {
+            break;
+        }
+        *pos += 1;
+    }
+    &input[start..*pos]
+}
+
+/// Advances `*pos` to just past the next occurrence of `until`. Returns
+/// `false` (with `*pos` at end of input) when the sequence never occurs.
+/// Shared with the chunk scanner so skipping of comments / PIs / CDATA is
+/// identical in both stages.
+pub(crate) fn skip_past(input: &[u8], pos: &mut usize, until: &[u8]) -> bool {
+    let first = until[0];
+    while *pos < input.len() {
+        match input[*pos..].iter().position(|&b| b == first) {
+            Some(i) => {
+                *pos += i;
+                if input[*pos..].starts_with(until) {
+                    *pos += until.len();
+                    return true;
+                }
+                *pos += 1;
+            }
+            None => break,
+        }
+    }
+    *pos = input.len();
+    false
 }
 
 /// Escapes a string for inclusion in XML attribute values or text.
@@ -315,7 +379,7 @@ pub fn escape(s: &str) -> String {
 mod tests {
     use super::*;
 
-    fn all_events(s: &str) -> Vec<XmlEvent> {
+    fn all_events(s: &str) -> Vec<XmlEvent<'_>> {
         let mut p = XmlParser::new(s);
         let mut out = Vec::new();
         while let Some(e) = p.next_event().unwrap() {
@@ -330,17 +394,17 @@ mod tests {
         assert_eq!(events.len(), 6);
         match &events[0] {
             XmlEvent::StartElement { name, attributes, self_closing } => {
-                assert_eq!(name, "log");
-                assert_eq!(attributes, &[("a".to_string(), "1".to_string())]);
+                assert_eq!(*name, "log");
+                assert_eq!(attributes, &[("a", Cow::Borrowed("1"))]);
                 assert!(!self_closing);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(
-            matches!(&events[2], XmlEvent::StartElement { name, self_closing: true, .. } if name == "event")
+            matches!(&events[2], XmlEvent::StartElement { name, self_closing: true, .. } if *name == "event")
         );
-        assert!(matches!(&events[3], XmlEvent::EndElement { name } if name == "event"));
-        assert!(matches!(&events[5], XmlEvent::EndElement { name } if name == "log"));
+        assert!(matches!(&events[3], XmlEvent::EndElement { name } if *name == "event"));
+        assert!(matches!(&events[5], XmlEvent::EndElement { name } if *name == "log"));
     }
 
     #[test]
@@ -363,9 +427,23 @@ mod tests {
     }
 
     #[test]
+    fn plain_values_borrow_from_the_input() {
+        let events = all_events(r#"<a k="plain">body text</a>"#);
+        match &events[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert!(matches!(&attributes[0].1, Cow::Borrowed("plain")));
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(&events[1], XmlEvent::Text(Cow::Borrowed("body text"))));
+    }
+
+    #[test]
     fn whitespace_only_text_is_skipped() {
         let events = all_events("<a>\n   <b/>\n</a>");
         assert_eq!(events.len(), 4); // a, b, /b, /a
+        let entity_ws = all_events("<a>&#32;&#9;</a>");
+        assert_eq!(entity_ws.len(), 2, "entity-encoded whitespace is still whitespace");
     }
 
     #[test]
@@ -412,6 +490,35 @@ mod tests {
     }
 
     #[test]
+    fn invalid_utf8_in_names_is_an_error() {
+        let mut p = XmlParser::from_bytes(b"<a\xFFb k=\"v\"/>");
+        let mut saw_err = false;
+        loop {
+            match p.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    saw_err = true;
+                    assert!(e.to_string().contains("UTF-8"), "{e}");
+                    break;
+                }
+            }
+        }
+        assert!(saw_err);
+    }
+
+    #[test]
+    fn invalid_utf8_in_values_is_lossy() {
+        let mut p = XmlParser::from_bytes(b"<a k=\"x\xFFy\"/>");
+        match p.next_event().unwrap().unwrap() {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].1, "x\u{FFFD}y");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_reports_line_numbers() {
         let mut p = XmlParser::new("<a>\n<b>\n</c>");
         let mut last = None;
@@ -433,8 +540,9 @@ mod tests {
     fn escape_round_trips() {
         let s = "a<b>&\"'c";
         let escaped = escape(s);
-        let events = all_events(&format!("<a k=\"{escaped}\"/>"));
-        match &events[0] {
+        let doc = format!("<a k=\"{escaped}\"/>");
+        let mut p = XmlParser::new(&doc);
+        match p.next_event().unwrap().unwrap() {
             XmlEvent::StartElement { attributes, .. } => assert_eq!(attributes[0].1, s),
             _ => panic!(),
         }
