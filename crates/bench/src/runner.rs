@@ -87,6 +87,9 @@ pub struct RunConfig {
     pub budget: Budget,
     /// Step-2 node budget.
     pub selection_nodes: usize,
+    /// Step-2 presolve + component decomposition (on by default; off is
+    /// the seed single-solve path, kept for ablation).
+    pub presolve: bool,
 }
 
 impl Default for RunConfig {
@@ -95,6 +98,7 @@ impl Default for RunConfig {
             strategy: CandidateStrategy::Exhaustive,
             budget: Budget::max_checks(10_000),
             selection_nodes: 2_000_000,
+            presolve: true,
         }
     }
 }
@@ -126,8 +130,9 @@ pub fn run_gecco_shared(
         .candidates(config.strategy)
         .budget(config.budget)
         .selection(SelectionOptions {
-            engine: Default::default(),
             max_nodes: config.selection_nodes,
+            presolve: config.presolve,
+            ..Default::default()
         })
         .with_index(&session.index)
         .instance_cache(&session.cache)

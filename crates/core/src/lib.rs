@@ -35,4 +35,4 @@ pub use pipeline::{
     run_multipass, AbstractionResult, Gecco, GeccoError, InfeasibilityReport, MultiPassResult,
     Outcome, PassReport,
 };
-pub use selection::{select_optimal, SelectionOptions};
+pub use selection::{select_optimal, solve_set_partition, SelectionOptions};

@@ -4,19 +4,76 @@
 //! MIP of Eqs. 3–5: select a minimum-distance subset of candidates covering
 //! every occurring event class exactly once, optionally bounding the number
 //! of selected groups.
+//!
+//! By default the solve routes through [`mod@gecco_solver::presolve`]:
+//! duplicate candidates collapse, classes covered by a single candidate
+//! are fixed, dominated candidates disappear, and the residual
+//! candidate/class graph decomposes into connected components that solve
+//! independently — in parallel under the `rayon` feature, with results
+//! bit-identical to the serial order (components assemble in a fixed
+//! order and the final distance is recomputed canonically). The
+//! un-presolved single solve stays available (`presolve: false`) as the
+//! oracle for differential tests.
 
 use crate::distance::DistanceOracle;
 use crate::grouping::{occurring_classes, Grouping};
+use crate::parallel::par_map;
 use gecco_eventlog::{ClassId, ClassSet, EventLog};
-use gecco_solver::{SetPartitionProblem, SolveEngine};
+use gecco_solver::{
+    presolve, PresolveOptions, PresolveOutcome, SetPartitionProblem, SetPartitionSolution,
+    SolveEngine,
+};
 
 /// Options for the selection step.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SelectionOptions {
     /// Which solver backend to use.
     pub engine: SolveEngine,
-    /// Search budget (0 = backend default).
+    /// Search budget (0 = backend default). With presolve on, the budget
+    /// applies to each independent component rather than globally.
     pub max_nodes: usize,
+    /// Route through presolve + component decomposition (the default).
+    /// `false` is the seed single-solve path, kept as the oracle for
+    /// differential tests and ablation benchmarks.
+    pub presolve: bool,
+}
+
+impl Default for SelectionOptions {
+    fn default() -> Self {
+        SelectionOptions { engine: SolveEngine::default(), max_nodes: 0, presolve: true }
+    }
+}
+
+/// Solves a raw weighted set-partitioning instance through the configured
+/// route: either the direct single solve (`presolve: false`), or presolve
+/// → connected-component decomposition → per-component engines, fanning
+/// the components out in parallel under the `rayon` feature. Component
+/// order is fixed, so parallel and serial runs assemble bit-identical
+/// solutions.
+pub fn solve_set_partition(
+    problem: &SetPartitionProblem,
+    options: SelectionOptions,
+) -> Option<SetPartitionSolution> {
+    // A non-zero option budget overrides the instance's own.
+    let rebudgeted;
+    let problem = if options.max_nodes != 0 && options.max_nodes != problem.max_nodes {
+        rebudgeted = SetPartitionProblem { max_nodes: options.max_nodes, ..problem.clone() };
+        &rebudgeted
+    } else {
+        problem
+    };
+    if !options.presolve {
+        return problem.solve(options.engine);
+    }
+    match presolve(problem, &PresolveOptions::default()) {
+        PresolveOutcome::Infeasible => None,
+        PresolveOutcome::Solved(solution) => Some(solution),
+        PresolveOutcome::Reduced(reduced) => {
+            let ids: Vec<usize> = (0..reduced.components().len()).collect();
+            let solutions = par_map(&ids, 2, |&i| reduced.solve_component(i, options.engine));
+            reduced.assemble(solutions)
+        }
+    }
 }
 
 /// The result of the selection step.
@@ -56,7 +113,10 @@ pub fn select_optimal(
     problem.min_sets = group_bounds.0.map(|b| b as usize);
     problem.max_sets = group_bounds.1.map(|b| b as usize);
     problem.max_nodes = options.max_nodes;
-    for group in candidates {
+    // Problem-set index → candidate index (empty or infinite-distance
+    // candidates are skipped, so the two indexings can diverge).
+    let mut kept: Vec<usize> = Vec::with_capacity(candidates.len());
+    for (candidate, group) in candidates.iter().enumerate() {
         debug_assert!(group.is_subset(&universe), "candidate contains unknown class");
         let members: Vec<usize> = group.iter().map(index_of).collect();
         if members.is_empty() {
@@ -65,13 +125,18 @@ pub fn select_optimal(
         let cost = oracle.distance(group);
         if cost.is_finite() {
             problem.add_set(members, cost);
+            kept.push(candidate);
         }
     }
-    let solution = problem.solve(options.engine)?;
-    let groups: Vec<ClassSet> = solution.selected.iter().map(|&i| candidates[i]).collect();
+    let solution = solve_set_partition(&problem, options)?;
+    let groups: Vec<ClassSet> = solution.selected.iter().map(|&i| candidates[kept[i]]).collect();
     let grouping = Grouping::new(groups);
     debug_assert!(grouping.is_exact_cover(log));
-    Some(Selection { grouping, distance: solution.cost, proven_optimal: solution.proven_optimal })
+    // Canonical distance: the selected costs summed in ascending
+    // problem-set order, so every route (presolved or not, serial or
+    // parallel) reports bit-identical totals for the same selection.
+    let distance = solution.selected.iter().map(|&i| problem.sets[i].1).sum();
+    Some(Selection { grouping, distance, proven_optimal: solution.proven_optimal })
 }
 
 #[cfg(test)]
@@ -156,7 +221,7 @@ mod tests {
             &candidates,
             &oracle,
             (None, None),
-            SelectionOptions { engine: SolveEngine::Dlx, max_nodes: 0 },
+            SelectionOptions { engine: SolveEngine::Dlx, ..Default::default() },
         )
         .unwrap();
         let bnb = select_optimal(
@@ -164,10 +229,61 @@ mod tests {
             &candidates,
             &oracle,
             (None, None),
-            SelectionOptions { engine: SolveEngine::SimplexBnb, max_nodes: 0 },
+            SelectionOptions { engine: SolveEngine::SimplexBnb, ..Default::default() },
         )
         .unwrap();
         assert!((dlx.distance - bnb.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure7_presolved_routes_match_the_seed_solve() {
+        // The Fig. 7 optimum is unique, so every route — presolved or
+        // not, either engine — must return the *same* Selection, bit for
+        // bit: same grouping, same distance, same optimality proof.
+        let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+        let candidates = figure7_candidates(&log);
+        let seed = select_optimal(
+            &log,
+            &candidates,
+            &oracle,
+            (None, None),
+            SelectionOptions { presolve: false, ..Default::default() },
+        )
+        .unwrap();
+        for engine in [SolveEngine::Dlx, SolveEngine::SimplexBnb] {
+            let routed = select_optimal(
+                &log,
+                &candidates,
+                &oracle,
+                (None, None),
+                SelectionOptions { engine, presolve: true, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(routed.grouping, seed.grouping, "{engine:?}");
+            assert_eq!(routed.distance.to_bits(), seed.distance.to_bits(), "{engine:?}");
+            assert!(routed.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn presolve_handles_duplicate_candidates() {
+        // The Fig. 7 pool with every candidate listed twice: dedup keeps
+        // one copy of each; the selection is unchanged.
+        let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+        let mut candidates = figure7_candidates(&log);
+        candidates.extend(figure7_candidates(&log));
+        let sel =
+            select_optimal(&log, &candidates, &oracle, (None, None), SelectionOptions::default())
+                .expect("feasible");
+        assert!((sel.distance - 37.0 / 12.0).abs() < 1e-9);
+        assert!(sel.proven_optimal);
+        assert!(sel.grouping.is_exact_cover(&log));
     }
 
     #[test]

@@ -17,11 +17,20 @@ pub struct BnbOptions {
     pub max_nodes: usize,
     /// Integrality tolerance.
     pub tolerance: f64,
+    /// Warm-start incumbent `(values, objective)`: a 0/1 assignment the
+    /// caller guarantees feasible, with `objective = c'values`. Seeds the
+    /// incumbent so the search prunes from the first node instead of
+    /// searching cold; returned unchanged if nothing better is found.
+    pub incumbent: Option<(Vec<f64>, f64)>,
+    /// External admissible lower bound on the optimum (e.g. an LP
+    /// relaxation solved by the caller). Once the incumbent reaches it the
+    /// search stops with a proven optimum.
+    pub lower_bound: Option<f64>,
 }
 
 impl Default for BnbOptions {
     fn default() -> Self {
-        BnbOptions { max_nodes: 200_000, tolerance: 1e-6 }
+        BnbOptions { max_nodes: 200_000, tolerance: 1e-6, incumbent: None, lower_bound: None }
     }
 }
 
@@ -35,28 +44,49 @@ pub enum BnbResult {
         /// Objective value.
         objective: f64,
     },
+    /// Node budget exhausted; best incumbent found so far (not proven
+    /// optimal).
+    Feasible {
+        /// The assignment (each entry 0.0 or 1.0).
+        values: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+    },
     /// No 0/1 assignment satisfies the constraints.
     Infeasible,
-    /// Node budget exhausted before proving optimality.
+    /// Node budget exhausted before any feasible assignment was found.
     NodeLimit,
 }
 
 struct Search {
     best: Option<(Vec<f64>, f64)>,
     nodes: usize,
-    options: BnbOptions,
+    max_nodes: usize,
+    tolerance: f64,
+    lower_bound: Option<f64>,
     exhausted: bool,
+    /// The incumbent reached the external lower bound: optimal, stop.
+    proved: bool,
 }
 
 /// Solves `min c'x`, `Ax {≤,≥,=} b`, `x ∈ {0,1}ⁿ`.
 pub fn solve_binary_program(model: &Model, options: BnbOptions) -> BnbResult {
-    let mut search = Search { best: None, nodes: 0, options, exhausted: false };
+    let mut search = Search {
+        best: options.incumbent.clone(),
+        nodes: 0,
+        max_nodes: options.max_nodes,
+        tolerance: options.tolerance,
+        lower_bound: options.lower_bound,
+        exhausted: false,
+        proved: false,
+    };
+    search.check_bound_proved();
     let mut fixed: Vec<Option<bool>> = vec![None; model.num_vars()];
     search.recurse(model, &mut fixed);
     match search.best {
         Some((values, objective)) => {
-            if search.exhausted {
-                BnbResult::NodeLimit
+            if search.exhausted && !search.proved {
+                BnbResult::Feasible { values, objective }
             } else {
                 BnbResult::Optimal { values, objective }
             }
@@ -72,12 +102,22 @@ pub fn solve_binary_program(model: &Model, options: BnbOptions) -> BnbResult {
 }
 
 impl Search {
+    /// Stops the search once the incumbent matches the external lower
+    /// bound: no strictly better assignment can exist.
+    fn check_bound_proved(&mut self) {
+        if let (Some((_, best)), Some(lb)) = (&self.best, self.lower_bound) {
+            if *best <= lb + 1e-9 {
+                self.proved = true;
+            }
+        }
+    }
+
     fn recurse(&mut self, model: &Model, fixed: &mut Vec<Option<bool>>) {
-        if self.exhausted {
+        if self.exhausted || self.proved {
             return;
         }
         self.nodes += 1;
-        if self.nodes > self.options.max_nodes {
+        if self.nodes > self.max_nodes {
             self.exhausted = true;
             return;
         }
@@ -100,7 +140,7 @@ impl Search {
             }
         }
         // Most fractional variable.
-        let tol = self.options.tolerance;
+        let tol = self.tolerance;
         let frac = solution
             .values
             .iter()
@@ -117,6 +157,7 @@ impl Search {
                     let obj = model.objective(&values);
                     if self.best.as_ref().is_none_or(|(_, b)| obj < *b - 1e-12) {
                         self.best = Some((values, obj));
+                        self.check_bound_proved();
                     }
                 }
             }
@@ -203,12 +244,115 @@ mod tests {
         for i in 0..3 {
             m.add_constraint(vec![(vars[i], 1.0), (vars[(i + 1) % 3], 1.0)], Sense::Ge, 1.0);
         }
-        let r = solve_binary_program(&m, BnbOptions { max_nodes: 1, tolerance: 1e-6 });
+        let r = solve_binary_program(&m, BnbOptions { max_nodes: 1, ..Default::default() });
         assert_eq!(r, BnbResult::NodeLimit);
         // With a real budget the optimum (two vertices) is proven.
         let r = solve_binary_program(&m, BnbOptions::default());
         match r {
             BnbResult::Optimal { objective, .. } => assert!((objective - 2.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Set partitioning over two disjoint odd 3-cycles: elements `{0,1,2}`
+    /// and `{3,4,5}`, each with its three overlapping pairs plus
+    /// singletons. Both cycle relaxations are fractional (pairs at 0.5),
+    /// so the search must branch in both blocks before it can complete —
+    /// the first incumbent appears well before the tree is exhausted.
+    fn double_odd_cycle() -> Model {
+        let mut m = Model::new();
+        let mut vars = Vec::new();
+        for block in 0..2 {
+            let base = 3 * block;
+            for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+                vars.push((vec![base + a, base + b], 1.0));
+            }
+            for e in 0..3 {
+                // Distinct costs keep the optimum unique.
+                vars.push((vec![base + e], 0.55 + 0.01 * (base + e) as f64));
+            }
+        }
+        let ids: Vec<usize> = vars.iter().map(|(_, c)| m.add_var(*c)).collect();
+        for e in 0..6 {
+            let terms: Vec<(usize, f64)> = vars
+                .iter()
+                .enumerate()
+                .filter(|(_, (members, _))| members.contains(&e))
+                .map(|(i, _)| (ids[i], 1.0))
+                .collect();
+            m.add_constraint(terms, Sense::Eq, 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn node_limit_keeps_incumbent() {
+        let m = double_odd_cycle();
+        // Unlimited: proven optimal (pair + cheapest singleton per cycle).
+        let full_optimum = match solve_binary_program(&m, BnbOptions::default()) {
+            BnbResult::Optimal { objective, .. } => objective,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!((full_optimum - (1.0 + 0.55 + 1.0 + 0.58)).abs() < 1e-9);
+        // Find the node count at which the first incumbent appears, then
+        // stop the search right there: the incumbent must come back as
+        // `Feasible` instead of being discarded (the seed bug returned
+        // `NodeLimit`, losing it).
+        let mut saw_feasible = false;
+        for budget in 1.. {
+            match solve_binary_program(&m, BnbOptions { max_nodes: budget, ..Default::default() }) {
+                BnbResult::NodeLimit => continue,
+                BnbResult::Feasible { values, objective } => {
+                    assert!(m.is_feasible(&values, 1e-6));
+                    assert!((m.objective(&values) - objective).abs() < 1e-9);
+                    assert!(objective >= full_optimum - 1e-9);
+                    saw_feasible = true;
+                    break;
+                }
+                BnbResult::Optimal { .. } => {
+                    panic!("search of a fractional double cycle finished in {budget} nodes")
+                }
+                BnbResult::Infeasible => panic!("instance is feasible"),
+            }
+        }
+        assert!(saw_feasible, "some budget must exhaust with an incumbent");
+    }
+
+    #[test]
+    fn warm_start_and_lower_bound_prove_without_search() {
+        // Seed the search with the known optimum and a matching lower
+        // bound: it must return immediately, proven optimal.
+        let mut m = Model::new();
+        let a = m.add_var(1.0);
+        let b = m.add_var(2.0);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0)], Sense::Eq, 1.0);
+        let r = solve_binary_program(
+            &m,
+            BnbOptions {
+                incumbent: Some((vec![1.0, 0.0], 1.0)),
+                lower_bound: Some(1.0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r, BnbResult::Optimal { values: vec![1.0, 0.0], objective: 1.0 });
+    }
+
+    #[test]
+    fn warm_start_is_replaced_by_a_better_solution() {
+        let mut m = Model::new();
+        let a = m.add_var(1.0);
+        let b = m.add_var(2.0);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0)], Sense::Eq, 1.0);
+        // Feasible but suboptimal incumbent: picking b at cost 2.
+        let r = solve_binary_program(
+            &m,
+            BnbOptions { incumbent: Some((vec![0.0, 1.0], 2.0)), ..Default::default() },
+        );
+        match r {
+            BnbResult::Optimal { values, objective } => {
+                assert_eq!(values, vec![1.0, 0.0]);
+                assert!((objective - 1.0).abs() < 1e-9);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -78,8 +78,15 @@ impl ExactCover {
         max_rows: Option<usize>,
         max_nodes: usize,
     ) -> CoverOutcome {
+        self.solve_params(&SolveParams { min_rows, max_rows, max_nodes, ..Default::default() })
+    }
+
+    /// Like [`ExactCover::solve`], with a warm-start incumbent and an
+    /// external lower bound threaded into the branch-and-bound (see
+    /// [`SolveParams`]).
+    pub fn solve_params(&self, params: &SolveParams) -> CoverOutcome {
         if self.n_cols == 0 {
-            return if min_rows.unwrap_or(0) == 0 {
+            return if params.min_rows.unwrap_or(0) == 0 {
                 CoverOutcome::Optimal { rows: vec![], cost: 0.0 }
             } else {
                 CoverOutcome::Infeasible
@@ -89,21 +96,25 @@ impl ExactCover {
         let mut search = DlxSearch {
             links: &mut links,
             rows: &self.rows,
-            min_rows: min_rows.unwrap_or(0),
-            max_rows: max_rows.unwrap_or(usize::MAX),
+            min_rows: params.min_rows.unwrap_or(0),
+            max_rows: params.max_rows.unwrap_or(usize::MAX),
             max_row_len: self.rows.iter().map(|(c, _)| c.len()).max().unwrap_or(1),
             selection: Vec::new(),
             cost: 0.0,
-            best: None,
+            best: params.warm_start.clone(),
             nodes: 0,
-            max_nodes,
+            max_nodes: if params.max_nodes == 0 { 5_000_000 } else { params.max_nodes },
+            lower_bound: params.lower_bound,
             exhausted: false,
+            proved: false,
         };
+        search.check_bound_proved();
         search.run();
         let exhausted = search.exhausted;
+        let proved = search.proved;
         match search.best {
             Some((rows, cost)) => {
-                if exhausted {
+                if exhausted && !proved {
                     CoverOutcome::Feasible { rows, cost }
                 } else {
                     CoverOutcome::Optimal { rows, cost }
@@ -118,6 +129,27 @@ impl ExactCover {
             }
         }
     }
+}
+
+/// Parameters for [`ExactCover::solve_params`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveParams {
+    /// Minimum number of selected rows.
+    pub min_rows: Option<usize>,
+    /// Maximum number of selected rows.
+    pub max_rows: Option<usize>,
+    /// Search budget in nodes; `0` means the default of 5 million (the
+    /// same convention as `SetPartitionProblem::max_nodes`).
+    pub max_nodes: usize,
+    /// Warm-start incumbent `(rows, cost)`: a cover the caller guarantees
+    /// feasible (exact, within the cardinality bounds, cost = Σ row costs).
+    /// Seeds the branch-and-bound so it prunes from the first node;
+    /// returned unchanged if the search finds nothing better.
+    pub warm_start: Option<(Vec<usize>, f64)>,
+    /// External admissible lower bound on the optimal cost (e.g. the LP
+    /// relaxation). Once the incumbent reaches it the search stops with a
+    /// proven optimum.
+    pub lower_bound: Option<f64>,
 }
 
 /// Doubly-linked torus of the exact-cover matrix.
@@ -256,12 +288,25 @@ struct DlxSearch<'a> {
     best: Option<(Vec<usize>, f64)>,
     nodes: usize,
     max_nodes: usize,
+    lower_bound: Option<f64>,
     exhausted: bool,
+    /// The incumbent reached the external lower bound: optimal, stop.
+    proved: bool,
 }
 
 impl DlxSearch<'_> {
+    /// Stops the search once the incumbent matches the external lower
+    /// bound: no strictly better cover can exist.
+    fn check_bound_proved(&mut self) {
+        if let (Some((_, best)), Some(lb)) = (&self.best, self.lower_bound) {
+            if *best <= lb + 1e-9 {
+                self.proved = true;
+            }
+        }
+    }
+
     fn run(&mut self) {
-        if self.exhausted {
+        if self.exhausted || self.proved {
             return;
         }
         self.nodes += 1;
@@ -275,6 +320,7 @@ impl DlxSearch<'_> {
                 && self.best.as_ref().is_none_or(|(_, b)| self.cost < *b - 1e-12)
             {
                 self.best = Some((self.selection.clone(), self.cost));
+                self.check_bound_proved();
             }
             return;
         }
@@ -328,7 +374,7 @@ impl DlxSearch<'_> {
             }
             self.cost -= row_cost;
             self.selection.pop();
-            if self.exhausted {
+            if self.exhausted || self.proved {
                 break;
             }
             i = self.links.d[i];
@@ -451,6 +497,70 @@ mod tests {
         match ec.solve(None, None, 2) {
             CoverOutcome::Feasible { .. } | CoverOutcome::Unknown => {}
             other => panic!("expected budget-limited outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_survives_and_is_improved_upon() {
+        let mut ec = ExactCover::new(3);
+        ec.add_row(vec![0, 1, 2], 2.0); // 0: the optimum
+        ec.add_row(vec![0], 1.0); // 1
+        ec.add_row(vec![1], 1.0); // 2
+        ec.add_row(vec![2], 1.0); // 3
+                                  // Suboptimal warm start (the singletons): the search must improve
+                                  // on it.
+        let params = SolveParams {
+            max_nodes: 1 << 20,
+            warm_start: Some((vec![1, 2, 3], 3.0)),
+            ..Default::default()
+        };
+        match ec.solve_params(&params) {
+            CoverOutcome::Optimal { rows, cost } => {
+                assert_eq!(rows, vec![0]);
+                assert!((cost - 2.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Warm start equal to the optimum + matching bound: returned as
+        // proven optimal without searching (one node suffices as budget
+        // because the bound check fires before any node is expanded).
+        let params = SolveParams {
+            max_nodes: 1,
+            warm_start: Some((vec![0], 2.0)),
+            lower_bound: Some(2.0),
+            ..Default::default()
+        };
+        match ec.solve_params(&params) {
+            CoverOutcome::Optimal { rows, cost } => {
+                assert_eq!(rows, vec![0]);
+                assert!((cost - 2.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_returned_as_feasible_on_exhaustion() {
+        // A budget of 1 node cannot complete the search, but the
+        // warm-start incumbent must survive as `Feasible`.
+        let mut ec = ExactCover::new(4);
+        for i in 0..4 {
+            ec.add_row(vec![i], 1.0);
+        }
+        for i in 0..3 {
+            ec.add_row(vec![i, i + 1], 1.5);
+        }
+        let params = SolveParams {
+            max_nodes: 1,
+            warm_start: Some((vec![0, 1, 2, 3], 4.0)),
+            ..Default::default()
+        };
+        match ec.solve_params(&params) {
+            CoverOutcome::Feasible { rows, cost } => {
+                assert_eq!(rows, vec![0, 1, 2, 3]);
+                assert!((cost - 4.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -13,19 +13,29 @@
 //!   the natural specialized solver for the weighted set-partitioning
 //!   structure of GECCO's selection problem;
 //! * [`setpart`] — the set-partitioning problem type both engines accept,
-//!   so results can be cross-validated against each other.
+//!   so results can be cross-validated against each other;
+//! * [`mod@presolve`] — exact reductions (duplicate dedup, element dominance,
+//!   mandatory fixing) and connected-component decomposition, plus greedy
+//!   warm starts and LP/share lower bounds threaded into both engines.
 //!
 //! Both engines are exact: on feasible instances they return provably
 //! optimal solutions (the test suite cross-validates them against each
-//! other and against brute force).
+//! other and against brute force). The presolved route
+//! ([`SetPartitionProblem::solve_presolved`]) is cost-equivalent to the
+//! direct solve, which stays available as the differential-testing oracle.
 
 pub mod branch_bound;
 pub mod dlx;
 pub mod model;
+pub mod presolve;
 pub mod setpart;
 pub mod simplex;
 
 pub use branch_bound::{solve_binary_program, BnbOptions, BnbResult};
+pub use dlx::{CoverOutcome, ExactCover, SolveParams};
 pub use model::{LinearConstraint, Model, Sense};
+pub use presolve::{
+    presolve, Component, PresolveOptions, PresolveOutcome, PresolveStats, ReducedProblem,
+};
 pub use setpart::{SetPartitionProblem, SetPartitionSolution, SolveEngine};
 pub use simplex::{solve_lp, LpResult, LpSolution};

@@ -7,8 +7,9 @@
 //! backends accept this type, so they can be cross-validated.
 
 use crate::branch_bound::{solve_binary_program, BnbOptions, BnbResult};
-use crate::dlx::{CoverOutcome, ExactCover};
+use crate::dlx::{CoverOutcome, ExactCover, SolveParams};
 use crate::model::{Model, Sense};
+use crate::presolve::{presolve, PresolveOptions, PresolveOutcome};
 
 /// Which backend solves the partitioning problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,8 +55,13 @@ impl SetPartitionProblem {
         SetPartitionProblem { num_elements, ..Default::default() }
     }
 
-    /// Adds a candidate set; returns its index.
-    pub fn add_set(&mut self, members: Vec<usize>, cost: f64) -> usize {
+    /// Adds a candidate set; returns its index. Members are normalized to
+    /// sorted unique order — a set either covers an element or it does
+    /// not, and the engines (the exact-cover links in particular) rely on
+    /// each element appearing once per set.
+    pub fn add_set(&mut self, mut members: Vec<usize>, cost: f64) -> usize {
+        members.sort_unstable();
+        members.dedup();
         self.sets.push((members, cost));
         self.sets.len() - 1
     }
@@ -72,17 +78,76 @@ impl SetPartitionProblem {
     /// exhausted without any cover found).
     pub fn solve(&self, engine: SolveEngine) -> Option<SetPartitionSolution> {
         match engine {
-            SolveEngine::Dlx => self.solve_dlx(),
-            SolveEngine::SimplexBnb => self.solve_bnb(),
+            SolveEngine::Dlx => self.solve_dlx_with(None, None),
+            SolveEngine::SimplexBnb => self.solve_bnb_with(None, None),
         }
     }
 
-    fn solve_dlx(&self) -> Option<SetPartitionSolution> {
+    /// Solves through the presolve → decompose → per-component pipeline:
+    /// duplicate sets collapse to the cheapest, dominated sets and
+    /// redundant elements disappear, elements covered by a single set are
+    /// fixed, and the residual element/set graph splits into connected
+    /// components solved independently (each with a greedy warm start and
+    /// an LP/share lower bound). Cost-equivalent to [`Self::solve`], which
+    /// stays as the un-presolved oracle for differential tests.
+    pub fn solve_presolved(
+        &self,
+        engine: SolveEngine,
+        options: &PresolveOptions,
+    ) -> Option<SetPartitionSolution> {
+        match presolve(self, options) {
+            PresolveOutcome::Infeasible => None,
+            PresolveOutcome::Solved(solution) => Some(solution),
+            PresolveOutcome::Reduced(reduced) => reduced.solve(engine),
+        }
+    }
+
+    /// The binary program of Eqs. 3–5 (set variables, exactly-one rows,
+    /// optional cardinality rows); shared by the simplex engine and the
+    /// presolve LP bound.
+    pub(crate) fn binary_model(&self) -> Model {
+        let mut model = Model::new();
+        let vars: Vec<usize> = self.sets.iter().map(|(_, cost)| model.add_var(*cost)).collect();
+        // Eq. 3/4 combined: each element covered by exactly one selected
+        // set. Single pass over the sets building per-element term lists
+        // (the sets already know their members; scanning every set per
+        // element would be O(sets × elements)).
+        let mut terms: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_elements];
+        for (i, (members, _)) in self.sets.iter().enumerate() {
+            for &element in members {
+                terms[element].push((vars[i], 1.0));
+            }
+        }
+        for element_terms in terms {
+            model.add_constraint(element_terms, Sense::Eq, 1.0);
+        }
+        // Eq. 5: cardinality bounds.
+        if let Some(max) = self.max_sets {
+            model.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, max as f64);
+        }
+        if let Some(min) = self.min_sets {
+            model.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Sense::Ge, min as f64);
+        }
+        model
+    }
+
+    pub(crate) fn solve_dlx_with(
+        &self,
+        warm_start: Option<(Vec<usize>, f64)>,
+        lower_bound: Option<f64>,
+    ) -> Option<SetPartitionSolution> {
         let mut ec = ExactCover::new(self.num_elements);
         for (members, cost) in &self.sets {
             ec.add_row(members.clone(), *cost);
         }
-        match ec.solve(self.min_sets, self.max_sets, self.budget()) {
+        let params = SolveParams {
+            min_rows: self.min_sets,
+            max_rows: self.max_sets,
+            max_nodes: self.budget(),
+            warm_start,
+            lower_bound,
+        };
+        match ec.solve_params(&params) {
             CoverOutcome::Optimal { mut rows, cost } => {
                 rows.sort_unstable();
                 Some(SetPartitionSolution { selected: rows, cost, proven_optimal: true })
@@ -95,35 +160,32 @@ impl SetPartitionProblem {
         }
     }
 
-    fn solve_bnb(&self) -> Option<SetPartitionSolution> {
-        let mut model = Model::new();
-        let vars: Vec<usize> = self.sets.iter().map(|(_, cost)| model.add_var(*cost)).collect();
-        // Eq. 3/4 combined: each element covered by exactly one selected set.
-        for element in 0..self.num_elements {
-            let terms: Vec<(usize, f64)> = self
-                .sets
-                .iter()
-                .enumerate()
-                .filter(|(_, (members, _))| members.contains(&element))
-                .map(|(i, _)| (vars[i], 1.0))
-                .collect();
-            model.add_constraint(terms, Sense::Eq, 1.0);
-        }
-        // Eq. 5: cardinality bounds.
-        if let Some(max) = self.max_sets {
-            model.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, max as f64);
-        }
-        if let Some(min) = self.min_sets {
-            model.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Sense::Ge, min as f64);
-        }
-        match solve_binary_program(
-            &model,
-            BnbOptions { max_nodes: self.budget(), ..Default::default() },
-        ) {
+    pub(crate) fn solve_bnb_with(
+        &self,
+        warm_start: Option<(Vec<usize>, f64)>,
+        lower_bound: Option<f64>,
+    ) -> Option<SetPartitionSolution> {
+        let model = self.binary_model();
+        // Translate a row-index warm start into a 0/1 assignment.
+        let incumbent = warm_start.map(|(rows, cost)| {
+            let mut values = vec![0.0; self.sets.len()];
+            for &row in &rows {
+                values[row] = 1.0;
+            }
+            (values, cost)
+        });
+        let options =
+            BnbOptions { max_nodes: self.budget(), incumbent, lower_bound, ..Default::default() };
+        match solve_binary_program(&model, options) {
             BnbResult::Optimal { values, objective } => {
                 let selected: Vec<usize> =
-                    (0..self.sets.len()).filter(|&i| values[vars[i]] > 0.5).collect();
+                    (0..self.sets.len()).filter(|&i| values[i] > 0.5).collect();
                 Some(SetPartitionSolution { selected, cost: objective, proven_optimal: true })
+            }
+            BnbResult::Feasible { values, objective } => {
+                let selected: Vec<usize> =
+                    (0..self.sets.len()).filter(|&i| values[i] > 0.5).collect();
+                Some(SetPartitionSolution { selected, cost: objective, proven_optimal: false })
             }
             BnbResult::Infeasible | BnbResult::NodeLimit => None,
         }
@@ -133,6 +195,58 @@ impl SetPartitionProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Two disjoint odd 3-cycles with singletons: both blocks have
+    /// fractional LP relaxations, so the simplex engine must branch in
+    /// both before finishing — the first incumbent appears well before
+    /// the search tree is exhausted.
+    fn double_odd_cycle() -> SetPartitionProblem {
+        let mut p = SetPartitionProblem::new(6);
+        for block in 0..2usize {
+            let base = 3 * block;
+            for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+                p.add_set(vec![base + a, base + b], 1.0);
+            }
+            for e in 0..3 {
+                p.add_set(vec![base + e], 0.55 + 0.01 * (base + e) as f64);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn bnb_engine_returns_incumbent_on_node_budget() {
+        // Regression: on node-budget exhaustion the DLX engine returns
+        // its incumbent with `proven_optimal: false`, but the simplex
+        // engine mapped `BnbResult::NodeLimit` to `None`, discarding its
+        // incumbent. Both engines must degrade the same way.
+        let mut p = double_odd_cycle();
+        let optimum = p.solve(SolveEngine::SimplexBnb).unwrap();
+        assert!(optimum.proven_optimal);
+        let mut saw_incumbent = false;
+        for budget in 1..=200 {
+            p.max_nodes = budget;
+            if let Some(s) = p.solve(SolveEngine::SimplexBnb) {
+                if !s.proven_optimal {
+                    // The budget ran out after an incumbent was found: it
+                    // must be a valid cover, no worse than nothing.
+                    let mut covered = vec![0u8; p.num_elements];
+                    for &i in &s.selected {
+                        for &m in &p.sets[i].0 {
+                            covered[m] += 1;
+                        }
+                    }
+                    assert!(covered.iter().all(|&c| c == 1));
+                    assert!(s.cost >= optimum.cost - 1e-9);
+                    saw_incumbent = true;
+                    break;
+                }
+                assert!((s.cost - optimum.cost).abs() < 1e-9);
+                break;
+            }
+        }
+        assert!(saw_incumbent, "some budget must exhaust with an incumbent");
+    }
 
     #[test]
     fn engines_agree_on_small_instances() {

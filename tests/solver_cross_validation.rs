@@ -2,7 +2,7 @@
 //! each other and against brute force — the evidence that replacing Gurobi
 //! with in-repo solvers preserves optimality.
 
-use gecco::solver::{SetPartitionProblem, SolveEngine};
+use gecco::solver::{PresolveOptions, SetPartitionProblem, SolveEngine};
 use proptest::prelude::*;
 
 /// Brute-force optimum by enumerating all 2^k subsets.
@@ -77,6 +77,44 @@ proptest! {
             (None, None) => {}
             (Some(a), Some(b)) => prop_assert!((a.cost - b.cost).abs() < 1e-9),
             _ => prop_assert!(false, "engines disagree on feasibility: {dlx:?} vs {bnb:?}"),
+        }
+    }
+
+    #[test]
+    fn presolved_route_matches_brute_force(p in arb_problem()) {
+        let brute = brute_force(&p);
+        for engine in [SolveEngine::Dlx, SolveEngine::SimplexBnb] {
+            let presolved = p.solve_presolved(engine, &PresolveOptions::default());
+            match (brute, &presolved) {
+                (None, None) => {}
+                (Some(b), Some(s)) => {
+                    prop_assert!(s.proven_optimal, "{engine:?}");
+                    prop_assert!(
+                        (s.cost - b).abs() < 1e-9,
+                        "{engine:?} presolved {} vs brute {}", s.cost, b
+                    );
+                    // The reported cost matches the reported selection.
+                    let recomputed: f64 = s.selected.iter().map(|&i| p.sets[i].1).sum();
+                    prop_assert!((s.cost - recomputed).abs() < 1e-9);
+                    let mut covered = vec![0u8; p.num_elements];
+                    for &i in &s.selected {
+                        for &m in &p.sets[i].0 {
+                            covered[m] += 1;
+                        }
+                    }
+                    prop_assert!(covered.iter().all(|&c| c == 1));
+                    if let Some(min) = p.min_sets {
+                        prop_assert!(s.selected.len() >= min);
+                    }
+                    if let Some(max) = p.max_sets {
+                        prop_assert!(s.selected.len() <= max);
+                    }
+                }
+                (b, s) => prop_assert!(
+                    false,
+                    "{engine:?} feasibility disagreement: brute {b:?} vs presolved {s:?}"
+                ),
+            }
         }
     }
 
