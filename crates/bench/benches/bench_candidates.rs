@@ -78,7 +78,24 @@ fn bench_candidates(c: &mut Criterion) {
         }
     }
     group.finish();
+    bench_dfg_build(c);
     bench_check_modes(c);
+}
+
+/// DFG construction: the event-by-event log scan vs the postings-based
+/// rebuild from the `LogIndex` the pipeline already owns. The candidate
+/// stage always has the index at hand, so `from_index` is what Step 1 now
+/// calls; `from_log` remains for index-free callers and as the oracle.
+fn bench_dfg_build(c: &mut Criterion) {
+    let log = loan_log(400, 4);
+    let index = LogIndex::build(&log);
+    let mut group = c.benchmark_group("dfg_build");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("mode", "scan"), |b| b.iter(|| Dfg::from_log(&log)));
+    group.bench_function(BenchmarkId::new("mode", "postings"), |b| {
+        b.iter(|| Dfg::from_index(&log, &index))
+    });
+    group.finish();
 }
 
 /// Scan vs indexed vs indexed+cache per-candidate checks on a collection

@@ -239,7 +239,10 @@ pub fn abstract_log(
         }
         tb.done();
     }
-    (builder.build(), splicer.finish())
+    // The splicer tracked each rewritten trace's class bitmap alongside the
+    // postings, so the new log's metadata needs no rescan either.
+    let (index, trace_class_sets) = splicer.finish_parts();
+    (builder.build_with_trace_class_sets(trace_class_sets), index)
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ pub fn dfg_candidates<'a>(
 ) -> CandidateSet {
     let log = ctx.log();
     let mode = constraints.mode();
-    let dfg = Dfg::from_log(log);
+    let dfg = Dfg::from_index(log, ctx.index());
     let oracle = DistanceOracle::new(ctx, constraints.segmenter());
     let mut out = CandidateSet::new();
     let occurring = crate::grouping::occurring_classes(log);

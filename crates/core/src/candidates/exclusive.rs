@@ -29,7 +29,7 @@ pub fn extend_with_exclusive_candidates(
     candidates: &mut CandidateSet,
 ) -> usize {
     let log = ctx.log();
-    let dfg = Dfg::from_log(log);
+    let dfg = Dfg::from_index(log, ctx.index());
     // Index the current candidates by (preset, postset). Computing the two
     // boundary sets walks every DFG edge per group, so fan the per-group
     // computation out over all cores (serial when parallelism is off).

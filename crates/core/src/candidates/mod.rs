@@ -3,6 +3,7 @@
 pub mod dfg;
 pub mod exclusive;
 pub mod exhaustive;
+pub mod session;
 
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
 use gecco_eventlog::{ClassSet, EvalContext};

@@ -1,0 +1,263 @@
+//! Typed artifacts flowing along the edges of a [`crate::graph`] pipeline.
+//!
+//! Every node consumes and produces [`Artifact`]s — the same values the
+//! linear pipeline threads from step to step, wrapped so the executor can
+//! type-check a graph before running it and share results across branches
+//! without copying. Large payloads travel behind [`std::sync::Arc`]s (a
+//! fan-out to N branches clones N pointers, not N logs), and the input
+//! log/index pair can stay borrowed from the caller for the whole run.
+
+use crate::candidates::CandidateSet;
+use crate::pipeline::InfeasibilityReport;
+use crate::selection::Selection;
+use gecco_eventlog::{EventLog, LogIndex};
+use std::sync::Arc;
+
+/// The type tag of an [`Artifact`], used for static graph validation and
+/// for conditional-edge routing at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// An event log together with its [`LogIndex`].
+    Log,
+    /// A Step-1 [`CandidateSet`].
+    Candidates,
+    /// A Step-2 [`Selection`] (grouping, distance, optimality proof).
+    Selection,
+    /// The marker a selector emits instead of a [`Selection`] when no
+    /// feasible grouping exists.
+    Infeasible,
+    /// A Step-3 [`AbstractionOutput`].
+    Abstraction,
+    /// A rendered [`InfeasibilityReport`].
+    Report,
+}
+
+impl std::fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ArtifactKind::Log => "log",
+            ArtifactKind::Candidates => "candidates",
+            ArtifactKind::Selection => "selection",
+            ArtifactKind::Infeasible => "infeasible",
+            ArtifactKind::Abstraction => "abstraction",
+            ArtifactKind::Report => "report",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A log that is either borrowed from the caller (the graph's input) or
+/// produced by a node (an abstracted log handed down a pass chain).
+#[derive(Debug, Clone)]
+pub enum LogRef<'a> {
+    /// Borrowed from outside the graph.
+    Borrowed(&'a EventLog),
+    /// Produced by a node during this run.
+    Owned(Arc<EventLog>),
+}
+
+impl std::ops::Deref for LogRef<'_> {
+    type Target = EventLog;
+    fn deref(&self) -> &EventLog {
+        match self {
+            LogRef::Borrowed(log) => log,
+            LogRef::Owned(log) => log,
+        }
+    }
+}
+
+/// Companion of [`LogRef`] for the log's [`LogIndex`].
+#[derive(Debug, Clone)]
+pub enum IndexRef<'a> {
+    /// Borrowed from outside the graph.
+    Borrowed(&'a LogIndex),
+    /// Produced by a node during this run (a spliced index).
+    Owned(Arc<LogIndex>),
+}
+
+impl std::ops::Deref for IndexRef<'_> {
+    type Target = LogIndex;
+    fn deref(&self) -> &LogIndex {
+        match self {
+            IndexRef::Borrowed(index) => index,
+            IndexRef::Owned(index) => index,
+        }
+    }
+}
+
+/// An event log paired with its index — the unit every stage of the
+/// pipeline evaluates against (cf. [`gecco_eventlog::EvalContext`]).
+#[derive(Debug, Clone)]
+pub struct LogArtifact<'a> {
+    /// The log.
+    pub log: LogRef<'a>,
+    /// Its index; must have been built from (or spliced for) `log`.
+    pub index: IndexRef<'a>,
+}
+
+impl<'a> LogArtifact<'a> {
+    /// Wraps a caller-owned log/index pair.
+    pub fn borrowed(log: &'a EventLog, index: &'a LogIndex) -> LogArtifact<'a> {
+        LogArtifact { log: LogRef::Borrowed(log), index: IndexRef::Borrowed(index) }
+    }
+
+    /// Wraps a log/index pair produced inside the graph.
+    pub fn owned(log: EventLog, index: LogIndex) -> LogArtifact<'a> {
+        LogArtifact { log: LogRef::Owned(Arc::new(log)), index: IndexRef::Owned(Arc::new(index)) }
+    }
+
+    /// The log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The log's index.
+    pub fn index(&self) -> &LogIndex {
+        &self.index
+    }
+
+    /// Consumes the artifact into an owned pair, cloning only when the
+    /// data is still shared (borrowed input, or an `Arc` another branch
+    /// also holds).
+    pub fn into_owned(self) -> (EventLog, LogIndex) {
+        let log = match self.log {
+            LogRef::Borrowed(l) => l.clone(),
+            LogRef::Owned(l) => Arc::try_unwrap(l).unwrap_or_else(|shared| (*shared).clone()),
+        };
+        let index = match self.index {
+            IndexRef::Borrowed(i) => i.clone(),
+            IndexRef::Owned(i) => Arc::try_unwrap(i).unwrap_or_else(|shared| (*shared).clone()),
+        };
+        (log, index)
+    }
+}
+
+/// What an abstractor node produces: the rewritten log, its incrementally
+/// spliced index, and the selection it realized. The pipeline wrapper
+/// combines this with the candidate statistics and node timings into the
+/// public [`crate::pipeline::AbstractionResult`].
+#[derive(Debug, Clone)]
+pub struct AbstractionOutput {
+    /// The abstracted log `L'`.
+    pub log: EventLog,
+    /// Its spliced [`LogIndex`].
+    pub index: LogIndex,
+    /// The grouping that was applied.
+    pub grouping: crate::grouping::Grouping,
+    /// One activity name per group.
+    pub names: Vec<String>,
+    /// `dist(G, L)` of the applied grouping.
+    pub distance: f64,
+    /// Whether the solver proved the grouping optimal.
+    pub proven_optimal: bool,
+}
+
+/// The marker artifact a selector emits when no feasible grouping exists;
+/// conditional edges route it to a diagnostics emitter (see
+/// [`crate::graph::DiagnosticsNode`]) instead of aborting the run.
+#[derive(Debug, Clone, Default)]
+pub struct InfeasibleSignal {}
+
+/// A typed value traveling along a graph edge.
+#[derive(Debug, Clone)]
+pub enum Artifact<'a> {
+    /// A log with its index.
+    Log(LogArtifact<'a>),
+    /// A candidate set.
+    Candidates(Arc<CandidateSet>),
+    /// A feasible selection.
+    Selection(Arc<Selection>),
+    /// Selection found no feasible grouping.
+    Infeasible(Arc<InfeasibleSignal>),
+    /// An abstracted log with its provenance.
+    Abstraction(Arc<AbstractionOutput>),
+    /// A rendered infeasibility report.
+    Report(Arc<InfeasibilityReport>),
+}
+
+impl<'a> Artifact<'a> {
+    /// Wraps a caller-owned log/index pair.
+    pub fn log(log: &'a EventLog, index: &'a LogIndex) -> Artifact<'a> {
+        Artifact::Log(LogArtifact::borrowed(log, index))
+    }
+
+    /// This artifact's type tag.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            Artifact::Log(_) => ArtifactKind::Log,
+            Artifact::Candidates(_) => ArtifactKind::Candidates,
+            Artifact::Selection(_) => ArtifactKind::Selection,
+            Artifact::Infeasible(_) => ArtifactKind::Infeasible,
+            Artifact::Abstraction(_) => ArtifactKind::Abstraction,
+            Artifact::Report(_) => ArtifactKind::Report,
+        }
+    }
+
+    /// The log payload, if this is a [`Artifact::Log`].
+    pub fn as_log(&self) -> Option<&LogArtifact<'a>> {
+        match self {
+            Artifact::Log(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The candidate set, if this is a [`Artifact::Candidates`].
+    pub fn as_candidates(&self) -> Option<&CandidateSet> {
+        match self {
+            Artifact::Candidates(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The selection, if this is a [`Artifact::Selection`].
+    pub fn as_selection(&self) -> Option<&Selection> {
+        match self {
+            Artifact::Selection(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The abstraction output, if this is an [`Artifact::Abstraction`].
+    pub fn as_abstraction(&self) -> Option<&AbstractionOutput> {
+        match self {
+            Artifact::Abstraction(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The infeasibility report, if this is an [`Artifact::Report`].
+    pub fn as_report(&self) -> Option<&InfeasibilityReport> {
+        match self {
+            Artifact::Report(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes an [`Artifact::Abstraction`], cloning only if shared.
+    pub fn into_abstraction(self) -> Option<AbstractionOutput> {
+        match self {
+            Artifact::Abstraction(a) => {
+                Some(Arc::try_unwrap(a).unwrap_or_else(|shared| (*shared).clone()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes an [`Artifact::Report`], cloning only if shared.
+    pub fn into_report(self) -> Option<InfeasibilityReport> {
+        match self {
+            Artifact::Report(r) => {
+                Some(Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes an [`Artifact::Log`] into an owned pair.
+    pub fn into_log(self) -> Option<(EventLog, LogIndex)> {
+        match self {
+            Artifact::Log(l) => Some(l.into_owned()),
+            _ => None,
+        }
+    }
+}

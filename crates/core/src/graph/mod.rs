@@ -1,0 +1,47 @@
+//! Pipeline-as-graph: a configurable DAG executor over typed pipeline
+//! artifacts.
+//!
+//! The classic entry points run a fixed Step 1→2→3 chain. This module
+//! generalizes that chain into a validated directed acyclic graph of
+//! [`GraphNode`]s exchanging typed [`Artifact`]s, so scenario variants
+//! (new candidate sources, diagnostics sinks, multi-pass topologies) plug
+//! in as nodes instead of forking the pipeline:
+//!
+//! * **Nodes** — [`CandidateSourceNode`] (Algorithms 1/2),
+//!   [`SessionCandidateSourceNode`] (session-based segmentation),
+//!   [`ExclusiveMergeNode`] (Algorithm 3), [`UnionCandidatesNode`],
+//!   [`SelectorNode`] (Step 2), [`AbstractorNode`] (Step 3),
+//!   [`DiagnosticsNode`], and [`PassNode`] (one whole pass, for chains and
+//!   fan-outs). Custom stages implement [`GraphNode`].
+//! * **Artifacts** — a log with its index, candidate sets, selections,
+//!   abstraction outputs and infeasibility reports; large payloads are
+//!   reference-counted so fan-out is free.
+//! * **Executor** — [`PipelineGraph`] validates arity/kinds/acyclicity up
+//!   front, then schedules ready nodes in deterministic waves; independent
+//!   branches run in parallel under the `rayon` feature, bit-identical to
+//!   serial execution.
+//! * **Conditional edges** — [`EdgeCond::IfKind`] routes a selector's
+//!   infeasible outcome to a diagnostics emitter while the abstractor is
+//!   skipped, instead of aborting the run.
+//!
+//! [`crate::Gecco::run`], [`crate::run_multipass`] and
+//! [`crate::run_fanout`] are thin wrappers building default graphs over
+//! this executor; the linear implementations survive as
+//! [`crate::Gecco::run_linear`] / [`crate::run_multipass_linear`] and
+//! serve as the bit-identity oracles (see `tests/graph_equivalence.rs` and
+//! `docs/adr-pipeline-graph.md`).
+
+mod artifact;
+mod executor;
+mod node;
+mod nodes;
+
+pub use artifact::{
+    AbstractionOutput, Artifact, ArtifactKind, IndexRef, InfeasibleSignal, LogArtifact, LogRef,
+};
+pub use executor::{EdgeCond, GraphError, GraphRun, NodeId, NodeState, PipelineGraph};
+pub use node::{GraphNode, InputKinds, NodeOutput};
+pub use nodes::{
+    AbstractorNode, CandidateSourceNode, DiagnosticsNode, ExclusiveMergeNode, InputNode, PassNode,
+    SelectorNode, SessionCandidateSourceNode, UnionCandidatesNode,
+};

@@ -1,0 +1,564 @@
+//! Built-in nodes: the pipeline steps of Figure 4 plus pass composition
+//! and the session-based segmentation scenario source.
+
+use super::artifact::{AbstractionOutput, Artifact, ArtifactKind, InfeasibleSignal, LogArtifact};
+use super::node::{GraphNode, InputKinds, NodeOutput};
+use crate::abstraction::{abstract_log, activity_names, AbstractionStrategy};
+use crate::candidates::{
+    dfg::{dfg_candidates, NoObserver},
+    exclusive::extend_with_exclusive_candidates,
+    exhaustive::exhaustive_candidates,
+    session::{session_candidates, SessionConfig},
+    Budget, CandidateSet, CandidateStrategy,
+};
+use crate::distance::DistanceOracle;
+use crate::pipeline::{GeccoError, InfeasibilityReport, PassReport};
+use crate::selection::{select_optimal, SelectionOptions};
+use gecco_constraints::{CompiledConstraintSet, ConstraintSet, Diagnostics};
+use gecco_eventlog::{EvalContext, InstanceCache, Segmenter};
+use std::sync::Arc;
+
+/// Builds the evaluation context a node shares with the linear pipeline:
+/// the artifact's log and index plus the optional caller-provided cache.
+fn context<'c>(input: &'c LogArtifact<'_>, cache: Option<&'c InstanceCache>) -> EvalContext<'c> {
+    match cache {
+        Some(cache) => EvalContext::with_cache(input.log(), input.index(), cache),
+        None => EvalContext::new(input.log(), input.index()),
+    }
+}
+
+/// A source node publishing a caller-supplied artifact — how a graph's
+/// external inputs (the log under abstraction, a precomputed candidate
+/// set, …) enter the executor.
+pub struct InputNode<'a> {
+    artifact: Artifact<'a>,
+    kinds: [ArtifactKind; 1],
+}
+
+impl<'a> InputNode<'a> {
+    /// Wraps `artifact` as a source node.
+    pub fn new(artifact: Artifact<'a>) -> InputNode<'a> {
+        let kinds = [artifact.kind()];
+        InputNode { artifact, kinds }
+    }
+}
+
+impl<'a> GraphNode<'a> for InputNode<'a> {
+    fn name(&self) -> &str {
+        "input"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &self.kinds
+    }
+
+    fn run(&self, _inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        Ok(self.artifact.clone().into())
+    }
+}
+
+/// Step 1 as a node: computes the candidate set of its input log with one
+/// of the paper's strategies (Algorithm 1 or 2).
+pub struct CandidateSourceNode<'a> {
+    strategy: CandidateStrategy,
+    budget: Budget,
+    constraints: Arc<CompiledConstraintSet>,
+    cache: Option<&'a InstanceCache>,
+    name: String,
+}
+
+impl<'a> CandidateSourceNode<'a> {
+    /// Creates the node; `constraints` must be compiled against the log
+    /// this node will receive.
+    pub fn new(
+        strategy: CandidateStrategy,
+        budget: Budget,
+        constraints: Arc<CompiledConstraintSet>,
+        cache: Option<&'a InstanceCache>,
+    ) -> CandidateSourceNode<'a> {
+        let name = match strategy {
+            CandidateStrategy::Exhaustive => "candidates:exhaustive".to_string(),
+            CandidateStrategy::DfgUnbounded => "candidates:dfg".to_string(),
+            CandidateStrategy::DfgBeam { .. } => "candidates:dfg-beam".to_string(),
+        };
+        CandidateSourceNode { strategy, budget, constraints, cache, name }
+    }
+}
+
+impl<'a> GraphNode<'a> for CandidateSourceNode<'a> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[ArtifactKind::Log])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Candidates]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let input = inputs[0].as_log().expect("validated port");
+        let ctx = context(input, self.cache);
+        let candidates = match self.strategy {
+            CandidateStrategy::Exhaustive => {
+                exhaustive_candidates(&ctx, &self.constraints, self.budget)
+            }
+            CandidateStrategy::DfgUnbounded => {
+                dfg_candidates(&ctx, &self.constraints, None, self.budget, &mut NoObserver)
+            }
+            CandidateStrategy::DfgBeam { k } => {
+                dfg_candidates(&ctx, &self.constraints, Some(k), self.budget, &mut NoObserver)
+            }
+        };
+        Ok(Artifact::Candidates(Arc::new(candidates)).into())
+    }
+}
+
+/// The session-based segmentation scenario source: candidate groups are
+/// the class sets of gap- or attribute-window sessions (see
+/// [`crate::candidates::session`]).
+pub struct SessionCandidateSourceNode<'a> {
+    config: SessionConfig,
+    constraints: Arc<CompiledConstraintSet>,
+    cache: Option<&'a InstanceCache>,
+}
+
+impl<'a> SessionCandidateSourceNode<'a> {
+    /// Creates the node.
+    pub fn new(
+        config: SessionConfig,
+        constraints: Arc<CompiledConstraintSet>,
+        cache: Option<&'a InstanceCache>,
+    ) -> SessionCandidateSourceNode<'a> {
+        SessionCandidateSourceNode { config, constraints, cache }
+    }
+}
+
+impl<'a> GraphNode<'a> for SessionCandidateSourceNode<'a> {
+    fn name(&self) -> &str {
+        "candidates:session"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[ArtifactKind::Log])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Candidates]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let input = inputs[0].as_log().expect("validated port");
+        let ctx = context(input, self.cache);
+        let candidates = session_candidates(&ctx, &self.constraints, &self.config);
+        Ok(Artifact::Candidates(Arc::new(candidates)).into())
+    }
+}
+
+/// Algorithm 3 as a candidate-filter node: extends a candidate set with
+/// merged exclusive alternatives.
+pub struct ExclusiveMergeNode<'a> {
+    constraints: Arc<CompiledConstraintSet>,
+    cache: Option<&'a InstanceCache>,
+}
+
+impl<'a> ExclusiveMergeNode<'a> {
+    /// Creates the node.
+    pub fn new(
+        constraints: Arc<CompiledConstraintSet>,
+        cache: Option<&'a InstanceCache>,
+    ) -> ExclusiveMergeNode<'a> {
+        ExclusiveMergeNode { constraints, cache }
+    }
+}
+
+impl<'a> GraphNode<'a> for ExclusiveMergeNode<'a> {
+    fn name(&self) -> &str {
+        "filter:exclusive-merge"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[ArtifactKind::Log, ArtifactKind::Candidates])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Candidates]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let input = inputs[0].as_log().expect("validated port");
+        let ctx = context(input, self.cache);
+        let mut candidates = inputs[1].as_candidates().expect("validated port").clone();
+        extend_with_exclusive_candidates(&ctx, &self.constraints, &mut candidates);
+        Ok(Artifact::Candidates(Arc::new(candidates)).into())
+    }
+}
+
+/// Merges any number of candidate sets in edge-insertion order — groups
+/// deduplicate on insertion, statistics accumulate field-wise — so several
+/// scenario sources can feed one selector. The deterministic merge order
+/// keeps parallel branch execution bit-identical to serial.
+pub struct UnionCandidatesNode;
+
+impl<'a> GraphNode<'a> for UnionCandidatesNode {
+    fn name(&self) -> &str {
+        "filter:union"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Variadic(ArtifactKind::Candidates)
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Candidates]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let mut union = CandidateSet::new();
+        for input in inputs {
+            let candidates = input.as_candidates().expect("validated port");
+            for &group in candidates.groups() {
+                union.insert(group);
+            }
+            let s = &candidates.stats;
+            union.stats.checked += s.checked;
+            union.stats.satisfied += s.satisfied;
+            union.stats.monotonic_shortcuts += s.monotonic_shortcuts;
+            union.stats.pruned_non_occurring += s.pruned_non_occurring;
+            union.stats.iterations += s.iterations;
+            union.stats.budget_exhausted |= s.budget_exhausted;
+            union.stats.exclusive_candidates += s.exclusive_candidates;
+        }
+        Ok(Artifact::Candidates(Arc::new(union)).into())
+    }
+}
+
+/// Step 2 as a node: solves the set-partitioning MIP over the incoming
+/// candidates. Emits a [`ArtifactKind::Selection`] when feasible and an
+/// [`ArtifactKind::Infeasible`] marker otherwise — pair it with
+/// [`super::EdgeCond::IfKind`] edges to route the two cases.
+pub struct SelectorNode<'a> {
+    constraints: Arc<CompiledConstraintSet>,
+    segmenter: Segmenter,
+    options: SelectionOptions,
+    cache: Option<&'a InstanceCache>,
+}
+
+impl<'a> SelectorNode<'a> {
+    /// Creates the node.
+    pub fn new(
+        constraints: Arc<CompiledConstraintSet>,
+        segmenter: Segmenter,
+        options: SelectionOptions,
+        cache: Option<&'a InstanceCache>,
+    ) -> SelectorNode<'a> {
+        SelectorNode { constraints, segmenter, options, cache }
+    }
+}
+
+impl<'a> GraphNode<'a> for SelectorNode<'a> {
+    fn name(&self) -> &str {
+        "selector"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[ArtifactKind::Log, ArtifactKind::Candidates])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Selection, ArtifactKind::Infeasible]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let input = inputs[0].as_log().expect("validated port");
+        let candidates = inputs[1].as_candidates().expect("validated port");
+        let ctx = context(input, self.cache);
+        let oracle = DistanceOracle::new(&ctx, self.segmenter);
+        let selected = select_optimal(
+            input.log(),
+            candidates.groups(),
+            &oracle,
+            self.constraints.group_count_bounds(),
+            self.options,
+        );
+        Ok(match selected {
+            Some(selection) => Artifact::Selection(Arc::new(selection)).into(),
+            None => Artifact::Infeasible(Arc::new(InfeasibleSignal::default())).into(),
+        })
+    }
+}
+
+/// Step 3 as a node: rewrites the incoming log under the incoming
+/// selection, yielding the abstracted log with its spliced index.
+pub struct AbstractorNode<'a> {
+    strategy: AbstractionStrategy,
+    segmenter: Segmenter,
+    label_attribute: Option<String>,
+    cache: Option<&'a InstanceCache>,
+}
+
+impl<'a> AbstractorNode<'a> {
+    /// Creates the node.
+    pub fn new(
+        strategy: AbstractionStrategy,
+        segmenter: Segmenter,
+        label_attribute: Option<String>,
+        cache: Option<&'a InstanceCache>,
+    ) -> AbstractorNode<'a> {
+        AbstractorNode { strategy, segmenter, label_attribute, cache }
+    }
+}
+
+impl<'a> GraphNode<'a> for AbstractorNode<'a> {
+    fn name(&self) -> &str {
+        "abstractor"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[ArtifactKind::Log, ArtifactKind::Selection])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Abstraction]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let input = inputs[0].as_log().expect("validated port");
+        let selection = inputs[1].as_selection().expect("validated port");
+        let ctx = context(input, self.cache);
+        let names =
+            activity_names(input.log(), &selection.grouping, self.label_attribute.as_deref());
+        let (log, index) =
+            abstract_log(&ctx, &selection.grouping, &names, self.strategy, self.segmenter);
+        Ok(Artifact::Abstraction(Arc::new(AbstractionOutput {
+            log,
+            index,
+            grouping: selection.grouping.clone(),
+            names,
+            distance: selection.distance,
+            proven_optimal: selection.proven_optimal,
+        }))
+        .into())
+    }
+}
+
+/// The diagnostics emitter infeasible selections route to: probes the
+/// constraints against the log (§V-C "indicates possible causes") and
+/// renders the same report the linear pipeline returns.
+pub struct DiagnosticsNode<'a> {
+    constraints: Arc<CompiledConstraintSet>,
+    cache: Option<&'a InstanceCache>,
+}
+
+impl<'a> DiagnosticsNode<'a> {
+    /// Creates the node.
+    pub fn new(
+        constraints: Arc<CompiledConstraintSet>,
+        cache: Option<&'a InstanceCache>,
+    ) -> DiagnosticsNode<'a> {
+        DiagnosticsNode { constraints, cache }
+    }
+}
+
+impl<'a> GraphNode<'a> for DiagnosticsNode<'a> {
+    fn name(&self) -> &str {
+        "diagnostics"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[ArtifactKind::Log, ArtifactKind::Candidates, ArtifactKind::Infeasible])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Report]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let input = inputs[0].as_log().expect("validated port");
+        let candidates = inputs[1].as_candidates().expect("validated port");
+        let ctx = context(input, self.cache);
+        let diagnostics = Diagnostics::probe(&self.constraints, &ctx);
+        let summary = format!(
+            "no feasible grouping over {} candidates (checked {} groups{}).\n{}",
+            candidates.len(),
+            candidates.stats.checked,
+            if candidates.stats.budget_exhausted { ", budget exhausted" } else { "" },
+            diagnostics.render(input.log())
+        );
+        Ok(Artifact::Report(Arc::new(InfeasibilityReport {
+            diagnostics,
+            candidate_stats: candidates.stats.clone(),
+            summary,
+        }))
+        .into())
+    }
+}
+
+/// One full abstraction pass as a node: takes a log, runs the default
+/// single-pass graph over it (via [`crate::Gecco::run`]) under its own
+/// constraint set and a fresh per-pass [`InstanceCache`], and emits the
+/// resulting log — unchanged when the pass is infeasible, exactly like the
+/// linear loop of [`crate::run_multipass`]. A [`PassReport`] rides along
+/// as the node's report.
+pub struct PassNode<F> {
+    pass: usize,
+    constraints: ConstraintSet,
+    configure: Arc<F>,
+    name: String,
+}
+
+impl<F> PassNode<F>
+where
+    F: for<'b> Fn(crate::Gecco<'b>) -> crate::Gecco<'b> + Send + Sync,
+{
+    /// Creates pass number `pass` applying `constraints`; `configure`
+    /// customizes the pass's builder exactly as in [`crate::run_multipass`].
+    pub fn new(pass: usize, constraints: ConstraintSet, configure: Arc<F>) -> PassNode<F> {
+        PassNode { pass, constraints, configure, name: format!("pass:{pass}") }
+    }
+}
+
+impl<'a, F> GraphNode<'a> for PassNode<F>
+where
+    F: for<'b> Fn(crate::Gecco<'b>) -> crate::Gecco<'b> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[ArtifactKind::Log])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Log]
+    }
+
+    fn run(&self, inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        let input = inputs[0].as_log().expect("validated port");
+        // Fresh per-pass cache: cache keys carry no log identity, so a
+        // cache shared across passes would mix instances of different logs
+        // (same rationale as the linear loop).
+        let pass_cache = InstanceCache::new();
+        let outcome = (self.configure)(crate::Gecco::new(input.log()))
+            .constraints(self.constraints.clone())
+            .with_index(input.index())
+            .instance_cache(&pass_cache)
+            .run()?;
+        Ok(match outcome {
+            crate::Outcome::Abstracted(result) => {
+                let report = PassReport {
+                    pass: self.pass,
+                    feasible: true,
+                    groups: result.grouping().len(),
+                    distance: result.distance(),
+                };
+                let (log, index) = result.into_log_and_index();
+                NodeOutput {
+                    artifact: Artifact::Log(LogArtifact::owned(log, index)),
+                    report: Some(report),
+                }
+            }
+            crate::Outcome::Infeasible(_) => NodeOutput {
+                artifact: inputs[0].clone(),
+                report: Some(PassReport {
+                    pass: self.pass,
+                    feasible: false,
+                    groups: 0,
+                    distance: 0.0,
+                }),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::session::SessionConfig;
+    use crate::graph::{EdgeCond, PipelineGraph};
+    use gecco_eventlog::{EventLog, LogBuilder, LogIndex};
+
+    /// Keyboard/mouse-style traces whose timestamp bursts mirror two
+    /// high-level tasks: ⟨open edit⟩ then — after a long gap — ⟨save mail⟩.
+    fn burst_log() -> EventLog {
+        let mut b = LogBuilder::new();
+        for (case, events) in [
+            ("c1", vec![("open", 0), ("edit", 100), ("save", 10_000), ("mail", 10_100)]),
+            ("c2", vec![("open", 0), ("edit", 50), ("save", 10_000), ("mail", 10_050)]),
+        ] {
+            let mut tb = b.trace(case);
+            for (cls, ts) in events {
+                tb = tb
+                    .event_with(cls, |e| {
+                        e.timestamp("time:timestamp", ts);
+                    })
+                    .unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    /// A custom two-source topology: DFG and session candidates unioned
+    /// into one selector, then abstracted — the scenario-composition shape
+    /// the graph refactor exists for.
+    #[test]
+    fn session_and_dfg_sources_compose() {
+        let log = burst_log();
+        let index = LogIndex::build(&log);
+        let compiled = Arc::new(
+            CompiledConstraintSet::compile(&ConstraintSet::parse("size(g) >= 1;").unwrap(), &log)
+                .unwrap(),
+        );
+        let mut graph = PipelineGraph::new();
+        let input = graph.add_node(InputNode::new(Artifact::log(&log, &index)));
+        let dfg = graph.add_node(CandidateSourceNode::new(
+            CandidateStrategy::DfgUnbounded,
+            Budget::UNLIMITED,
+            Arc::clone(&compiled),
+            None,
+        ));
+        let session = graph.add_node(SessionCandidateSourceNode::new(
+            SessionConfig::gap(1_000),
+            Arc::clone(&compiled),
+            None,
+        ));
+        let union = graph.add_node(UnionCandidatesNode);
+        let selector = graph.add_node(SelectorNode::new(
+            Arc::clone(&compiled),
+            Segmenter::RepeatSplit,
+            SelectionOptions::default(),
+            None,
+        ));
+        let abstractor = graph.add_node(AbstractorNode::new(
+            AbstractionStrategy::Completion,
+            Segmenter::RepeatSplit,
+            None,
+            None,
+        ));
+        graph.add_edge(input, dfg);
+        graph.add_edge(input, session);
+        graph.add_edge(dfg, union);
+        graph.add_edge(session, union);
+        graph.add_edge(input, selector);
+        graph.add_edge(union, selector);
+        graph.add_edge(input, abstractor);
+        graph.add_edge_when(selector, abstractor, EdgeCond::IfKind(ArtifactKind::Selection));
+        let mut run = graph.execute().unwrap();
+        let merged = run.artifact(union).and_then(Artifact::as_candidates).unwrap();
+        let burst = [log.class_by_name("open").unwrap(), log.class_by_name("edit").unwrap()]
+            .into_iter()
+            .collect();
+        assert!(merged.contains(&burst), "session source contributed the burst group");
+        let out = run.take_artifact(abstractor).and_then(Artifact::into_abstraction).unwrap();
+        assert!(out.grouping.is_exact_cover(&log));
+        assert_eq!(out.index, LogIndex::build(&out.log), "spliced index matches a rebuild");
+    }
+}

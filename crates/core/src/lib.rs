@@ -16,23 +16,29 @@
 //!    events by high-level activity instances (completion-only or
 //!    start+complete strategies, §V-D).
 //!
-//! [`pipeline::Gecco`] ties the steps together behind a builder API.
+//! [`pipeline::Gecco`] ties the steps together behind a builder API. Since
+//! the pipeline-as-graph refactor the builder's entry points are thin
+//! wrappers assembling default graphs over the [`graph`] module's DAG
+//! executor — custom topologies (extra candidate sources, fan-outs,
+//! diagnostics sinks) plug in as [`graph::GraphNode`]s.
 
 pub mod abstraction;
 pub mod candidates;
 pub mod distance;
+pub mod graph;
 pub mod grouping;
 pub mod parallel;
 pub mod pipeline;
 pub mod selection;
 
 pub use abstraction::AbstractionStrategy;
+pub use candidates::session::{SessionBoundary, SessionConfig};
 pub use candidates::{BeamWidth, Budget, CandidateSet, CandidateStats, CandidateStrategy};
 pub use distance::{group_distance, group_distance_scan, grouping_distance, DistanceOracle};
 pub use grouping::Grouping;
 pub use parallel::{parallel_enabled, set_parallel};
 pub use pipeline::{
-    run_multipass, AbstractionResult, Gecco, GeccoError, InfeasibilityReport, MultiPassResult,
-    Outcome, PassReport,
+    run_fanout, run_multipass, run_multipass_linear, AbstractionResult, BranchOutcome, Gecco,
+    GeccoError, InfeasibilityReport, MultiPassResult, Outcome, PassReport,
 };
 pub use selection::{select_optimal, solve_set_partition, SelectionOptions};

@@ -1,4 +1,12 @@
 //! The end-to-end GECCO pipeline (Figure 4).
+//!
+//! Since the pipeline-as-graph refactor, [`Gecco::run`], [`run_multipass`]
+//! and [`run_fanout`] are thin wrappers that build default graphs over the
+//! [`crate::graph`] executor. The pre-refactor linear implementations
+//! survive as [`Gecco::run_linear`] (reached through
+//! [`Gecco::run_observed`]) and [`run_multipass_linear`]; they are the
+//! bit-identity oracles the `graph_equivalence` proptest suite holds the
+//! graph route to.
 
 use crate::abstraction::{abstract_log, activity_names, AbstractionStrategy};
 use crate::candidates::{
@@ -8,11 +16,16 @@ use crate::candidates::{
     Budget, CandidateSet, CandidateStrategy,
 };
 use crate::distance::DistanceOracle;
+use crate::graph::{
+    AbstractorNode, Artifact, ArtifactKind, CandidateSourceNode, DiagnosticsNode, EdgeCond,
+    ExclusiveMergeNode, GraphError, InputNode, PassNode, PipelineGraph, SelectorNode,
+};
 use crate::grouping::Grouping;
 use crate::selection::{select_optimal, SelectionOptions};
 use gecco_constraints::{CompileError, CompiledConstraintSet, ConstraintSet, Diagnostics};
 use gecco_eventlog::{EvalContext, EventLog, InstanceCache, LogIndex, Segmenter};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors that abort the pipeline before it can produce an outcome.
@@ -20,12 +33,16 @@ use std::time::{Duration, Instant};
 pub enum GeccoError {
     /// The constraint specification does not fit the log.
     Compile(CompileError),
+    /// A custom pipeline graph failed validation (cycle, arity or artifact
+    /// kind mismatch). The prebuilt default graphs never raise this.
+    Graph(GraphError),
 }
 
 impl fmt::Display for GeccoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeccoError::Compile(e) => write!(f, "constraint compilation failed: {e}"),
+            GeccoError::Graph(e) => write!(f, "invalid pipeline graph: {e}"),
         }
     }
 }
@@ -40,7 +57,7 @@ impl From<CompileError> for GeccoError {
 
 /// Explanation returned when no feasible grouping exists (§V-C: GECCO
 /// "returns the initial log" and "indicates possible causes").
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InfeasibilityReport {
     /// Per-constraint violation evidence.
     pub diagnostics: Diagnostics,
@@ -271,8 +288,14 @@ impl<'a> Gecco<'a> {
         self
     }
 
-    /// Runs the three steps with a custom Step-1 observer (used to render
-    /// the paper's Figure 5).
+    /// Runs the three steps **linearly** with a custom Step-1 observer
+    /// (used to render the paper's Figure 5).
+    ///
+    /// This is the pre-refactor fixed chain, kept verbatim: it calls the
+    /// same step functions as the graph route behind [`Gecco::run`] and is
+    /// the oracle that route is proven bit-identical to (observers are not
+    /// `Sync`, so the observed path cannot run on the parallel executor —
+    /// which makes it the natural place for the serial reference).
     pub fn run_observed(self, observer: &mut dyn IterationObserver) -> Result<Outcome, GeccoError> {
         let compiled =
             CompiledConstraintSet::compile_with(&self.constraints, self.log, self.segmenter)?;
@@ -361,8 +384,114 @@ impl<'a> Gecco<'a> {
         }))
     }
 
-    /// Runs the three steps.
+    /// Runs the three steps through the default pipeline graph:
+    ///
+    /// ```text
+    ///        input ──► candidates ──► exclusive-merge ─┬─► selector
+    ///          │                                       │      │ Selection
+    ///          ├───────────────────────────────────────┤      ├─────────► abstractor
+    ///          │                                       │      │ Infeasible
+    ///          └───────────────────────────────────────┴──────┴─────────► diagnostics
+    /// ```
+    ///
+    /// The selector emits either a selection or an infeasible marker;
+    /// conditional edges route the former to the abstractor and the latter
+    /// to the diagnostics emitter (the other sink is skipped). The outcome
+    /// is bit-identical to the linear [`Gecco::run_linear`] route — the
+    /// `graph_equivalence` proptest suite asserts it, serially and under
+    /// the `rayon` feature.
     pub fn run(self) -> Result<Outcome, GeccoError> {
+        let compiled = Arc::new(CompiledConstraintSet::compile_with(
+            &self.constraints,
+            self.log,
+            self.segmenter,
+        )?);
+        let owned_index;
+        let index: &LogIndex = match self.index {
+            Some(index) => index,
+            None => {
+                owned_index = LogIndex::build(self.log);
+                &owned_index
+            }
+        };
+        let cache = self.instance_cache;
+
+        let mut graph = PipelineGraph::new();
+        let input = graph.add_node(InputNode::new(Artifact::log(self.log, index)));
+        let source = graph.add_node(CandidateSourceNode::new(
+            self.strategy,
+            self.budget,
+            Arc::clone(&compiled),
+            cache,
+        ));
+        graph.add_edge(input, source);
+        let (candidates, merge) = if self.merge_exclusive {
+            let merge = graph.add_node(ExclusiveMergeNode::new(Arc::clone(&compiled), cache));
+            graph.add_edge(input, merge);
+            graph.add_edge(source, merge);
+            (merge, Some(merge))
+        } else {
+            (source, None)
+        };
+        let selector = graph.add_node(SelectorNode::new(
+            Arc::clone(&compiled),
+            self.segmenter,
+            self.selection,
+            cache,
+        ));
+        graph.add_edge(input, selector);
+        graph.add_edge(candidates, selector);
+        let abstractor = graph.add_node(AbstractorNode::new(
+            self.abstraction,
+            self.segmenter,
+            self.label_attribute,
+            cache,
+        ));
+        graph.add_edge(input, abstractor);
+        graph.add_edge_when(selector, abstractor, EdgeCond::IfKind(ArtifactKind::Selection));
+        let diagnostics = graph.add_node(DiagnosticsNode::new(Arc::clone(&compiled), cache));
+        graph.add_edge(input, diagnostics);
+        graph.add_edge(candidates, diagnostics);
+        graph.add_edge_when(selector, diagnostics, EdgeCond::IfKind(ArtifactKind::Infeasible));
+
+        let mut executed = graph.execute()?;
+        let candidate_stats = executed
+            .artifact(candidates)
+            .and_then(Artifact::as_candidates)
+            .expect("the candidate stage always runs")
+            .stats
+            .clone();
+        let timings = Timings {
+            candidates: executed.node_time(source)
+                + merge.map(|m| executed.node_time(m)).unwrap_or_default(),
+            selection: executed.node_time(selector),
+            abstraction: executed.node_time(abstractor),
+        };
+        if let Some(output) =
+            executed.take_artifact(abstractor).and_then(Artifact::into_abstraction)
+        {
+            Ok(Outcome::Abstracted(AbstractionResult {
+                log: output.log,
+                index: output.index,
+                grouping: output.grouping,
+                names: output.names,
+                distance: output.distance,
+                proven_optimal: output.proven_optimal,
+                candidate_stats,
+                timings,
+            }))
+        } else {
+            let report = executed
+                .take_artifact(diagnostics)
+                .and_then(Artifact::into_report)
+                .expect("the selector routes to the abstractor or to diagnostics");
+            Ok(Outcome::Infeasible(report))
+        }
+    }
+
+    /// Runs the pre-refactor linear chain — the serial oracle the graph
+    /// route of [`Gecco::run`] is held bit-identical to.
+    pub fn run_linear(self) -> Result<Outcome, GeccoError> {
         self.run_observed(&mut NoObserver)
     }
 }
@@ -420,6 +549,11 @@ impl MultiPassResult {
 /// the next pass's evaluation context, so [`LogIndex::build`] runs exactly
 /// once (for the input log) no matter how many passes execute.
 ///
+/// Since the pipeline-as-graph refactor this builds a chain of
+/// [`PassNode`]s over the graph executor (each pass node internally runs
+/// the default single-pass graph of [`Gecco::run`]); the pre-refactor loop
+/// survives as [`run_multipass_linear`], the bit-identity oracle.
+///
 /// `configure` customizes each pass's [`Gecco`] builder (strategy, budget,
 /// labeling, …); the pass's constraint set, index and a fresh per-pass
 /// [`InstanceCache`] are applied afterwards and take precedence. The cache
@@ -430,6 +564,36 @@ impl MultiPassResult {
 /// recorded and skipped — the log carries over unchanged, matching the
 /// single-run behavior of returning the initial log (§V-C).
 pub fn run_multipass(
+    log: &EventLog,
+    constraint_sets: &[ConstraintSet],
+    configure: impl for<'b> Fn(Gecco<'b>) -> Gecco<'b> + Send + Sync,
+) -> Result<MultiPassResult, GeccoError> {
+    let seed_index = LogIndex::build(log);
+    let configure = Arc::new(configure);
+    let mut graph = PipelineGraph::new();
+    let input = graph.add_node(InputNode::new(Artifact::log(log, &seed_index)));
+    let mut prev = input;
+    let mut passes = Vec::with_capacity(constraint_sets.len());
+    for (pass, constraints) in constraint_sets.iter().enumerate() {
+        let node = graph.add_node(PassNode::new(pass, constraints.clone(), Arc::clone(&configure)));
+        graph.add_edge(prev, node);
+        passes.push(node);
+        prev = node;
+    }
+    let mut executed = graph.execute()?;
+    let reports =
+        passes.iter().map(|&p| executed.report(p).expect("pass nodes always run")).collect();
+    let (final_log, final_index) = executed
+        .take_artifact(prev)
+        .and_then(Artifact::into_log)
+        .expect("a pass chain ends in a log");
+    Ok(MultiPassResult { log: final_log, index: final_index, reports })
+}
+
+/// The pre-refactor linear loop behind [`run_multipass`] — the serial
+/// oracle the graph route is held bit-identical to (including pass
+/// reports, the final log and its spliced index).
+pub fn run_multipass_linear(
     log: &EventLog,
     constraint_sets: &[ConstraintSet],
     configure: impl for<'b> Fn(Gecco<'b>) -> Gecco<'b>,
@@ -450,7 +614,7 @@ pub fn run_multipass(
             .constraints(constraints.clone())
             .with_index(pass_index)
             .instance_cache(&pass_cache)
-            .run()?;
+            .run_linear()?;
         match outcome {
             Outcome::Abstracted(result) => {
                 reports.push(PassReport {
@@ -471,6 +635,82 @@ pub fn run_multipass(
         None => (log.clone(), seed_index.unwrap_or_else(|| LogIndex::build(log))),
     };
     Ok(MultiPassResult { log: final_log, index: final_index, reports })
+}
+
+/// The outcome of one independent branch of a [`run_fanout`] run.
+#[derive(Debug)]
+pub struct BranchOutcome {
+    log: EventLog,
+    index: LogIndex,
+    report: PassReport,
+}
+
+impl BranchOutcome {
+    /// The branch's abstracted log (the input log if the branch's
+    /// constraint set was infeasible).
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The branch log's [`LogIndex`] (spliced during abstraction — never
+    /// rebuilt).
+    pub fn index(&self) -> &LogIndex {
+        &self.index
+    }
+
+    /// The branch's pass summary; `report().pass` is the index of the
+    /// constraint set the branch applied.
+    pub fn report(&self) -> &PassReport {
+        &self.report
+    }
+
+    /// Consumes the branch into its log and index.
+    pub fn into_log_and_index(self) -> (EventLog, LogIndex) {
+        (self.log, self.index)
+    }
+}
+
+/// Comparative abstraction — runs one independent pipeline pass per
+/// constraint set over the *same* input log and returns every outcome, in
+/// constraint-set order. This is the multi-branch counterpart of
+/// [`run_multipass`]: the branches share nothing downstream of the input
+/// node, so the graph executor schedules them in one wave and — under the
+/// `rayon` feature — runs them on separate cores, bit-identical to serial
+/// execution. Use it to compare alternative constraint formulations (e.g.
+/// the paper's `DFG∞` vs. session-shaped scenarios) without `N` sequential
+/// runs.
+///
+/// `configure` plays the same role as in [`run_multipass`] and is applied
+/// to every branch; each branch gets a fresh per-branch [`InstanceCache`].
+/// An infeasible branch yields the input log unchanged with
+/// `report.feasible == false` rather than failing the whole fan-out.
+pub fn run_fanout(
+    log: &EventLog,
+    constraint_sets: &[ConstraintSet],
+    configure: impl for<'b> Fn(Gecco<'b>) -> Gecco<'b> + Send + Sync,
+) -> Result<Vec<BranchOutcome>, GeccoError> {
+    let seed_index = LogIndex::build(log);
+    let configure = Arc::new(configure);
+    let mut graph = PipelineGraph::new();
+    let input = graph.add_node(InputNode::new(Artifact::log(log, &seed_index)));
+    let mut branches = Vec::with_capacity(constraint_sets.len());
+    for (pass, constraints) in constraint_sets.iter().enumerate() {
+        let node = graph.add_node(PassNode::new(pass, constraints.clone(), Arc::clone(&configure)));
+        graph.add_edge(input, node);
+        branches.push(node);
+    }
+    let mut executed = graph.execute()?;
+    branches
+        .into_iter()
+        .map(|node| {
+            let report = executed.report(node).expect("pass nodes always run");
+            let (branch_log, branch_index) = executed
+                .take_artifact(node)
+                .and_then(Artifact::into_log)
+                .expect("a pass node yields a log");
+            Ok(BranchOutcome { log: branch_log, index: branch_index, report })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -688,5 +928,90 @@ mod tests {
         // Without Algorithm 3 the ckc/ckt alternatives cannot merge, so the
         // optimum is strictly worse.
         assert!(without.distance() > with.distance() + 1e-9);
+    }
+
+    /// Renders every trace of `log` — the strictest cheap log fingerprint.
+    fn formatted(log: &EventLog) -> Vec<String> {
+        log.traces().iter().map(|t| log.format_trace(t)).collect()
+    }
+
+    #[test]
+    fn graph_route_matches_linear_oracle() {
+        let log = running_example();
+        let build = || {
+            Gecco::new(&log)
+                .constraints(role_constraint())
+                .candidates(CandidateStrategy::DfgUnbounded)
+                .label_by("org:role")
+        };
+        let graph = build().run().unwrap().expect_abstracted();
+        let linear = build().run_linear().unwrap().expect_abstracted();
+        assert_eq!(graph.grouping(), linear.grouping());
+        assert_eq!(graph.distance().to_bits(), linear.distance().to_bits());
+        assert_eq!(graph.activity_names(), linear.activity_names());
+        assert_eq!(formatted(graph.log()), formatted(linear.log()));
+        assert_eq!(graph.index(), linear.index());
+        assert_eq!(graph.candidate_stats(), linear.candidate_stats());
+    }
+
+    #[test]
+    fn graph_route_matches_linear_oracle_when_infeasible() {
+        let log = running_example();
+        let constraints = || ConstraintSet::parse("size(g) >= 5; groups >= 2;").unwrap();
+        let graph = Gecco::new(&log).constraints(constraints()).run().unwrap();
+        let linear = Gecco::new(&log).constraints(constraints()).run_linear().unwrap();
+        match (graph, linear) {
+            (Outcome::Infeasible(g), Outcome::Infeasible(l)) => {
+                assert_eq!(g.summary, l.summary, "diagnostics summary is byte-identical");
+                assert_eq!(g.candidate_stats, l.candidate_stats);
+            }
+            _ => panic!("both routes must report infeasibility"),
+        }
+    }
+
+    #[test]
+    fn multipass_graph_matches_linear_oracle() {
+        let log = running_example();
+        let sets = vec![
+            ConstraintSet::parse("size(g) >= 5; groups >= 2;").unwrap(), // infeasible
+            role_constraint(),
+            ConstraintSet::parse("size(g) <= 2;").unwrap(),
+        ];
+        let graph = run_multipass(&log, &sets, |g| g.label_by("org:role")).unwrap();
+        let linear = run_multipass_linear(&log, &sets, |g| g.label_by("org:role")).unwrap();
+        assert_eq!(graph.reports().len(), linear.reports().len());
+        for (g, l) in graph.reports().iter().zip(linear.reports()) {
+            assert_eq!((g.pass, g.feasible, g.groups), (l.pass, l.feasible, l.groups));
+            assert_eq!(g.distance.to_bits(), l.distance.to_bits());
+        }
+        assert_eq!(formatted(graph.log()), formatted(linear.log()));
+        assert_eq!(graph.index(), linear.index());
+    }
+
+    #[test]
+    fn fanout_branches_match_independent_runs() {
+        let log = running_example();
+        let sets = vec![
+            role_constraint(),
+            ConstraintSet::parse("size(g) <= 2;").unwrap(),
+            ConstraintSet::parse("size(g) >= 5; groups >= 2;").unwrap(), // infeasible
+        ];
+        let branches = run_fanout(&log, &sets, |g| g.label_by("org:role")).unwrap();
+        assert_eq!(branches.len(), 3);
+        for (i, branch) in branches.iter().enumerate() {
+            assert_eq!(branch.report().pass, i);
+            let single =
+                run_multipass_linear(&log, &sets[i..i + 1], |g| g.label_by("org:role")).unwrap();
+            assert_eq!(branch.report().feasible, single.reports()[0].feasible);
+            assert_eq!(branch.report().distance.to_bits(), single.reports()[0].distance.to_bits());
+            assert_eq!(formatted(branch.log()), formatted(single.log()));
+            assert_eq!(branch.index(), single.index());
+        }
+        assert!(!branches[2].report().feasible);
+        assert_eq!(
+            formatted(branches[2].log()),
+            formatted(&log),
+            "infeasible branch passes through"
+        );
     }
 }

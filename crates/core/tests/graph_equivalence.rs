@@ -1,0 +1,196 @@
+//! Property-based bit-identity of the graph-executor pipeline and the
+//! linear oracle.
+//!
+//! The pipeline-as-graph refactor re-expresses `Gecco::run` and
+//! `run_multipass` as default graphs over `gecco_core::graph`; the
+//! pre-refactor linear implementations survive as `Gecco::run_linear` and
+//! `run_multipass_linear`. This suite holds the two routes **bit-identical**
+//! on arbitrary logs — groupings, `f64` distance bits, activity names,
+//! rewritten traces, the spliced index, candidate statistics, infeasibility
+//! summaries and per-pass reports — both serially and (CI runs this suite
+//! with `--features rayon`) with the executor's waves fanned out over
+//! worker threads.
+
+use gecco_constraints::ConstraintSet;
+use gecco_core::{
+    run_fanout, run_multipass, run_multipass_linear, set_parallel, CandidateStrategy, Gecco,
+    GeccoError, MultiPassResult, Outcome,
+};
+use gecco_eventlog::{EventLog, LogBuilder};
+use proptest::prelude::*;
+
+/// Random small logs: up to 5 classes, up to 8 traces of length ≤ 10, with
+/// deterministic `v`/`time:timestamp`/`org:role` attributes so aggregate
+/// and distinct constraints have data to work on.
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    let trace = proptest::collection::vec(0usize..5, 0..=10);
+    proptest::collection::vec(trace, 1..=8).prop_map(|traces| {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("case-{i}"));
+            for (j, &cls) in t.iter().enumerate() {
+                let role = if cls % 2 == 0 { "even" } else { "odd" };
+                tb = tb
+                    .event_with(&format!("c{cls}"), |e| {
+                        e.str("org:role", role)
+                            .timestamp("time:timestamp", (i as i64) * 10_000 + (j as i64) * 100)
+                            .int("v", ((i * 31 + j * 7 + cls) % 100) as i64);
+                    })
+                    .expect("small logs stay within class limits");
+            }
+            tb.done();
+        }
+        b.build()
+    })
+}
+
+/// Constraint formulations to drive both routes through: feasible ones,
+/// aggregate ones, and structurally infeasible ones (to exercise the
+/// graph's conditional diagnostics routing).
+const CONSTRAINT_SETS: &[&str] = &[
+    "size(g) <= 2;",
+    "count(instance) >= 1;",
+    "sum(\"v\") <= 120;",
+    "distinct(instance, \"org:role\") <= 1;",
+    "size(g) >= 4; groups >= 3;",
+];
+
+/// Renders every trace — the strictest cheap fingerprint of a log.
+fn formatted(log: &EventLog) -> Vec<String> {
+    log.traces().iter().map(|t| log.format_trace(t)).collect()
+}
+
+/// Asserts two outcomes are bit-identical (including the infeasible arm's
+/// rendered summary, which the graph's diagnostics node must reproduce
+/// byte for byte).
+fn assert_outcomes_identical(graph: &Outcome, linear: &Outcome) {
+    match (graph, linear) {
+        (Outcome::Abstracted(g), Outcome::Abstracted(l)) => {
+            prop_assert_eq!(g.grouping(), l.grouping());
+            prop_assert_eq!(g.distance().to_bits(), l.distance().to_bits());
+            prop_assert_eq!(g.proven_optimal(), l.proven_optimal());
+            prop_assert_eq!(g.activity_names(), l.activity_names());
+            prop_assert_eq!(formatted(g.log()), formatted(l.log()));
+            prop_assert_eq!(g.index(), l.index());
+            prop_assert_eq!(g.candidate_stats(), l.candidate_stats());
+        }
+        (Outcome::Infeasible(g), Outcome::Infeasible(l)) => {
+            prop_assert_eq!(&g.summary, &l.summary);
+            prop_assert_eq!(&g.candidate_stats, &l.candidate_stats);
+        }
+        _ => prop_assert!(false, "routes disagree on feasibility"),
+    }
+}
+
+fn assert_multipass_identical(graph: &MultiPassResult, linear: &MultiPassResult) {
+    prop_assert_eq!(graph.reports().len(), linear.reports().len());
+    for (g, l) in graph.reports().iter().zip(linear.reports()) {
+        prop_assert_eq!(g.pass, l.pass);
+        prop_assert_eq!(g.feasible, l.feasible);
+        prop_assert_eq!(g.groups, l.groups);
+        prop_assert_eq!(g.distance.to_bits(), l.distance.to_bits());
+    }
+    prop_assert_eq!(formatted(graph.log()), formatted(linear.log()));
+    prop_assert_eq!(graph.index(), linear.index());
+}
+
+/// Serializes tests that flip the process-wide parallelism toggle.
+static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` serially and in parallel and returns both results. Without the
+/// `rayon` feature `set_parallel` is a no-op and both runs are serial (the
+/// comparison then holds trivially).
+fn both<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = TOGGLE_LOCK.lock().unwrap();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    set_parallel(false);
+    let serial = f();
+    set_parallel(true);
+    let parallel = f();
+    set_parallel(false);
+    (serial, parallel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn graph_run_matches_linear(log in arb_log()) {
+        for dsl in CONSTRAINT_SETS {
+            for strategy in [CandidateStrategy::Exhaustive, CandidateStrategy::DfgUnbounded] {
+                let build = || {
+                    Gecco::new(&log)
+                        .constraints(ConstraintSet::parse(dsl).unwrap())
+                        .candidates(strategy)
+                        .label_by("org:role")
+                };
+                match (build().run(), build().run_linear()) {
+                    (Ok(graph), Ok(linear)) => assert_outcomes_identical(&graph, &linear),
+                    (Err(GeccoError::Compile(g)), Err(GeccoError::Compile(l))) => {
+                        // Attribute never occurs in this log: both routes
+                        // must reject compilation identically.
+                        prop_assert_eq!(g.to_string(), l.to_string());
+                    }
+                    (g, l) => prop_assert!(false, "routes diverge: {:?} vs {:?}", g, l),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_multipass_matches_linear(log in arb_log()) {
+        let sets: Vec<ConstraintSet> = [
+            "size(g) >= 4; groups >= 3;", // often infeasible: exercises pass-through
+            "size(g) <= 2;",
+            "count(instance) >= 1;",
+        ]
+        .iter()
+        .map(|d| ConstraintSet::parse(d).unwrap())
+        .collect();
+        let graph = run_multipass(&log, &sets, |g| g.label_by("org:role")).unwrap();
+        let linear = run_multipass_linear(&log, &sets, |g| g.label_by("org:role")).unwrap();
+        assert_multipass_identical(&graph, &linear);
+    }
+
+    #[test]
+    fn fanout_matches_independent_passes(log in arb_log()) {
+        let sets: Vec<ConstraintSet> = ["size(g) <= 2;", "size(g) >= 4; groups >= 3;"]
+            .iter()
+            .map(|d| ConstraintSet::parse(d).unwrap())
+            .collect();
+        let branches = run_fanout(&log, &sets, |g| g).unwrap();
+        prop_assert_eq!(branches.len(), sets.len());
+        for (i, branch) in branches.iter().enumerate() {
+            let single =
+                run_multipass_linear(&log, &sets[i..i + 1], |g| g).unwrap();
+            prop_assert_eq!(branch.report().pass, i);
+            prop_assert_eq!(branch.report().feasible, single.reports()[0].feasible);
+            prop_assert_eq!(
+                branch.report().distance.to_bits(),
+                single.reports()[0].distance.to_bits()
+            );
+            prop_assert_eq!(formatted(branch.log()), formatted(single.log()));
+            prop_assert_eq!(branch.index(), single.index());
+        }
+    }
+
+    #[test]
+    fn parallel_branches_match_serial(log in arb_log()) {
+        // A multi-branch fan-out (independent passes in one wave) run with
+        // the executor's parallelism on and off must be bit-identical.
+        let sets: Vec<ConstraintSet> =
+            ["size(g) <= 2;", "count(instance) >= 1;", "size(g) >= 4; groups >= 3;"]
+                .iter()
+                .map(|d| ConstraintSet::parse(d).unwrap())
+                .collect();
+        let (serial, parallel) = both(|| run_fanout(&log, &sets, |g| g).unwrap());
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(s.report().pass, p.report().pass);
+            prop_assert_eq!(s.report().feasible, p.report().feasible);
+            prop_assert_eq!(s.report().distance.to_bits(), p.report().distance.to_bits());
+            prop_assert_eq!(formatted(s.log()), formatted(p.log()));
+            prop_assert_eq!(s.index(), p.index());
+        }
+    }
+}

@@ -6,10 +6,11 @@
 //! the discovery substrate and the spectral baseline weight by them.
 
 use crate::classes::{ClassId, ClassSet};
+use crate::index::LogIndex;
 use crate::log::EventLog;
 
 /// A frequency-annotated directly-follows graph over `|C_L|` classes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dfg {
     n: usize,
     /// Row-major `n × n` matrix of directly-follows counts.
@@ -47,6 +48,66 @@ impl Dfg {
             for pair in events.windows(2) {
                 let (a, b) = (pair[0].class().index(), pair[1].class().index());
                 dfg.counts[a * n + b] += 1;
+            }
+        }
+        dfg
+    }
+
+    /// Builds the DFG from `log`'s [`LogIndex`] postings instead of
+    /// rescanning the traces, bit-identical to [`Dfg::from_log`] (asserted
+    /// by the tests below and the `graph_equivalence` suite in gecco-core).
+    ///
+    /// The postings already carry every `(trace, position, class)` triple,
+    /// so the class sequence of each trace is reconstructed by scattering
+    /// class ids into a dense per-log array — one pass over the postings
+    /// plus one pass over that array, never touching an event struct or its
+    /// attribute vector. On the Step-1 hot path (Algorithms 2 and 3 both
+    /// build a DFG per run) this replaces the cache-unfriendly event walk
+    /// of [`Dfg::from_log`]; `bench_candidates`'s `dfg_build` group
+    /// compares the two.
+    ///
+    /// `index` must have been built from `log`.
+    pub fn from_index(log: &EventLog, index: &LogIndex) -> Dfg {
+        let n = log.num_classes();
+        // Prefix-sum the trace lengths so every (trace, position) posting
+        // maps to one slot of a flat class-sequence array.
+        let traces = log.traces();
+        let mut offsets = Vec::with_capacity(traces.len() + 1);
+        let mut total = 0usize;
+        for t in traces {
+            offsets.push(total);
+            total += t.len();
+        }
+        offsets.push(total);
+        let mut seq = vec![0u16; total];
+        let mut class_counts = vec![0u64; n];
+        for (c, count) in class_counts.iter_mut().enumerate() {
+            let id = ClassId(c as u16);
+            *count = index.class_occurrences(id) as u64;
+            for (trace, positions) in index.postings(id) {
+                let base = offsets[trace as usize];
+                for &p in positions {
+                    seq[base + p as usize] = c as u16;
+                }
+            }
+        }
+        let mut dfg = Dfg {
+            n,
+            counts: vec![0; n * n],
+            class_counts,
+            start_counts: vec![0; n],
+            end_counts: vec![0; n],
+        };
+        for t in 0..traces.len() {
+            let classes = &seq[offsets[t]..offsets[t + 1]];
+            if let Some(&first) = classes.first() {
+                dfg.start_counts[first as usize] += 1;
+            }
+            if let Some(&last) = classes.last() {
+                dfg.end_counts[last as usize] += 1;
+            }
+            for pair in classes.windows(2) {
+                dfg.counts[pair[0] as usize * n + pair[1] as usize] += 1;
             }
         }
         dfg
@@ -264,6 +325,35 @@ mod tests {
         // c -> a is the only incoming edge from outside {a, b}.
         assert_eq!(dfg.preset(&ab), ClassSet::singleton(c));
         assert_eq!(dfg.postset(&ab), ClassSet::singleton(c));
+    }
+
+    #[test]
+    fn from_index_matches_from_log() {
+        let logs = [
+            log_from(&[&["a", "b", "c"], &["a", "b", "b"]]),
+            log_from(&[&["rcp", "ckc", "rej", "rcp", "ckt", "acc", "prio", "arv", "inf"]]),
+            log_from(&[&["x"], &[], &["y", "x", "y", "y"]]),
+            log_from(&[]),
+        ];
+        for log in &logs {
+            let index = crate::index::LogIndex::build(log);
+            assert_eq!(Dfg::from_index(log, &index), Dfg::from_log(log));
+        }
+    }
+
+    #[test]
+    fn from_index_on_spliced_index() {
+        // The index handed out of an incremental splice must drive the
+        // same DFG as a scan of the rewritten log.
+        let log = log_from(&[&["a"], &["a"]]);
+        let mut splicer = crate::index::IndexSplicer::new();
+        let a = log.class_by_name("a").unwrap();
+        splicer.begin_trace();
+        splicer.push(a, 0);
+        splicer.begin_trace();
+        splicer.push(a, 0);
+        let spliced = splicer.finish();
+        assert_eq!(Dfg::from_index(&log, &spliced), Dfg::from_log(&log));
     }
 
     #[test]

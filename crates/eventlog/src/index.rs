@@ -111,6 +111,21 @@ impl LogIndex {
         self.num_traces
     }
 
+    /// The postings of class `c`: one `(trace id, positions)` pair per trace
+    /// the class occurs in, ascending by trace id, with the positions sorted
+    /// ascending within the trace. This is the raw per-class occurrence data
+    /// the index stores; [`crate::Dfg::from_index`] rebuilds the
+    /// directly-follows relation from it without touching any event struct.
+    pub fn postings(&self, c: ClassId) -> impl Iterator<Item = (u32, &[u32])> + '_ {
+        // A spliced index may store fewer run lists than the log has
+        // classes when the highest class ids never occur.
+        let runs = self.class_runs.get(c.index()).map(Vec::as_slice).unwrap_or(&[]);
+        runs.iter().map(move |run| {
+            let start = run.start as usize;
+            (run.trace, &self.positions[start..start + run.len as usize])
+        })
+    }
+
     /// Indexed `occurs(g, L)` (Algorithm 1 line 13): whether at least one
     /// trace contains *every* class of `group`.
     ///
@@ -368,6 +383,10 @@ fn flatten(
 pub struct IndexSplicer {
     per_class_pos: Vec<Vec<u32>>,
     per_class_runs: Vec<Vec<Run>>,
+    /// One class bitmap per spliced trace, maintained alongside the
+    /// postings so the rewritten log's `trace_class_sets` never needs a
+    /// rescan (see [`Self::finish_parts`]).
+    trace_class_sets: Vec<ClassSet>,
     num_traces: usize,
     /// Debug guard: the last position pushed for the current trace.
     last_pos: Option<u32>,
@@ -384,6 +403,7 @@ impl IndexSplicer {
     /// so trace ids keep matching the log being built.
     pub fn begin_trace(&mut self) {
         self.num_traces += 1;
+        self.trace_class_sets.push(ClassSet::new());
         self.last_pos = None;
     }
 
@@ -401,6 +421,7 @@ impl IndexSplicer {
             "IndexSplicer: positions must ascend within a trace"
         );
         self.last_pos = Some(position);
+        self.trace_class_sets.last_mut().expect("begin_trace called").insert(class);
         let ci = class.index();
         if ci >= self.per_class_pos.len() {
             self.per_class_pos.resize_with(ci + 1, Vec::new);
@@ -418,7 +439,17 @@ impl IndexSplicer {
     /// Packs the spliced runs into a [`LogIndex`], identical to
     /// [`LogIndex::build`] on the log the pushes described.
     pub fn finish(self) -> LogIndex {
-        flatten(self.per_class_pos, self.per_class_runs, self.num_traces)
+        self.finish_parts().0
+    }
+
+    /// Like [`Self::finish`], but also hands out the per-trace class
+    /// bitmaps accumulated during splicing — bit-identical to calling
+    /// [`crate::Trace::class_set`] on every rewritten trace. Step-3
+    /// abstraction feeds them to
+    /// [`crate::LogBuilder::build_with_trace_class_sets`] so finishing the
+    /// rewritten log never rescans its events.
+    pub fn finish_parts(self) -> (LogIndex, Vec<ClassSet>) {
+        (flatten(self.per_class_pos, self.per_class_runs, self.num_traces), self.trace_class_sets)
     }
 }
 

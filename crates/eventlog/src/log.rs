@@ -270,6 +270,29 @@ impl LogBuilder {
     /// Finishes the log.
     pub fn build(self) -> EventLog {
         let trace_class_sets = self.traces.iter().map(Trace::class_set).collect();
+        self.build_inner(trace_class_sets)
+    }
+
+    /// Builds the log with caller-supplied per-trace class bitmaps instead
+    /// of rescanning every event. The caller guarantees `sets[i]` equals
+    /// `traces[i].class_set()` — Step-3 abstraction maintains the bitmaps
+    /// during the index splice (see
+    /// [`crate::IndexSplicer::finish_parts`]), so the rewritten log's
+    /// metadata comes for free. Debug builds verify the claim against the
+    /// scan.
+    ///
+    /// # Panics
+    /// If `sets.len()` differs from the number of traces.
+    pub fn build_with_trace_class_sets(self, sets: Vec<ClassSet>) -> EventLog {
+        assert_eq!(sets.len(), self.traces.len(), "one class set per trace required");
+        debug_assert!(
+            self.traces.iter().zip(&sets).all(|(t, s)| t.class_set() == *s),
+            "supplied trace class sets diverge from the traces"
+        );
+        self.build_inner(sets)
+    }
+
+    fn build_inner(self, trace_class_sets: Vec<ClassSet>) -> EventLog {
         EventLog {
             interner: self.interner,
             classes: self.classes,

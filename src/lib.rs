@@ -50,7 +50,8 @@ pub use gecco_solver as solver;
 pub mod prelude {
     pub use gecco_constraints::{Constraint, ConstraintSet};
     pub use gecco_core::{
-        AbstractionStrategy, BeamWidth, CandidateStrategy, Gecco, Grouping, Outcome,
+        run_fanout, run_multipass, AbstractionStrategy, BeamWidth, CandidateStrategy, Gecco,
+        Grouping, Outcome, SessionConfig,
     };
     pub use gecco_eventlog::{ClassId, ClassSet, Dfg, EventLog, LogBuilder, LogStats};
 }
