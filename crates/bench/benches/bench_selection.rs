@@ -1,14 +1,18 @@
 //! Step-2 selection ablation: the presolved/decomposed/parallel pipeline
 //! versus the seed single solve, on both engines.
 //!
-//! Three instance shapes:
+//! Four instance shapes:
 //! * `fig7_pool` — a candidate pool at the scale of the paper's Fig. 7
 //!   (one connected block, overlapping candidates, duplicates);
 //! * `single_block` — one dense component where only dedup/dominance and
 //!   the warm start/lower bound can help;
 //! * `multi_component` — many independent blocks, the shape where
 //!   connected-component decomposition (and, under `rayon`, the parallel
-//!   component fan-out) pays off.
+//!   component fan-out) pays off;
+//! * `multi_component_bounded` — the same blocks under global
+//!   `count(groups)` bounds, exercising the cardinality-aware component
+//!   DP: decomposition must stay within ~2× of the unbounded variant
+//!   even though component solutions can no longer be combined freely.
 //!
 //! Configs: `engine/{dlx,bnb} × presolve/{off,on}`, plus a `par` variant
 //! of the presolved runs when parallelism is compiled in (identical
@@ -71,11 +75,23 @@ fn multi_component() -> SetPartitionProblem {
     p
 }
 
+/// The same eight blocks with global group-count bounds. Before the
+/// cardinality frontier DP, bounds forced one monolithic solve; with it
+/// the instance decomposes and should land within ~2× of the unbounded
+/// decomposed solve.
+fn multi_component_bounded() -> SetPartitionProblem {
+    let mut p = multi_component();
+    p.min_sets = Some(24);
+    p.max_sets = Some(56);
+    p
+}
+
 fn bench_selection(c: &mut Criterion) {
     let instances = [
         ("fig7_pool", fig7_pool()),
         ("single_block", single_block()),
         ("multi_component", multi_component()),
+        ("multi_component_bounded", multi_component_bounded()),
     ];
     for (name, problem) in instances {
         let mut group = c.benchmark_group(format!("selection_{name}"));

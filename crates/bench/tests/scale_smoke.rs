@@ -1,0 +1,76 @@
+//! Scale-path smoke tests over generated production logs.
+//!
+//! The first test doubles as a regression test for a simplex cycling bug:
+//! this exact instance (12-class production tree, 60 traces, `size(g) ≤ 4`)
+//! produced a degenerate column-generation master on which the old
+//! EPS-fuzzy ratio-test tie-break looped forever. With the strict Bland
+//! leaving rule the whole route finishes in milliseconds.
+
+use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
+use gecco_core::candidates::exhaustive::exhaustive_candidates;
+use gecco_core::{select_optimal, select_optimal_colgen, Budget, DistanceOracle, SelectionOptions};
+use gecco_datagen::{production_tree, simulate, SimulationOptions};
+use gecco_eventlog::{EvalContext, EventLog, LogIndex, Segmenter};
+
+fn production_log(classes: usize, traces: usize) -> EventLog {
+    let tree = production_tree(classes, 12, 0xACE + classes as u64);
+    simulate(&tree, &SimulationOptions { num_traces: traces, seed: 77, ..Default::default() })
+}
+
+#[test]
+fn colgen_matches_enumerated_on_the_cycling_instance() {
+    let log = production_log(12, 60);
+    let compiled =
+        CompiledConstraintSet::compile(&ConstraintSet::parse("size(g) <= 4;").unwrap(), &log)
+            .unwrap();
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+
+    let pool = exhaustive_candidates(&ctx, &compiled, Budget::UNLIMITED);
+    let enumerated = select_optimal(
+        &log,
+        pool.groups(),
+        &oracle,
+        compiled.group_count_bounds(),
+        SelectionOptions::default(),
+    )
+    .expect("feasible");
+
+    let lazy = select_optimal_colgen(
+        &log,
+        &compiled,
+        &oracle,
+        compiled.group_count_bounds(),
+        SelectionOptions { column_generation: true, ..Default::default() },
+    )
+    .expect("feasible");
+
+    assert_eq!(enumerated.grouping, lazy.grouping);
+    assert_eq!(enumerated.distance.to_bits(), lazy.distance.to_bits());
+    assert!(enumerated.proven_optimal && lazy.proven_optimal);
+    let pricing = lazy.pricing.expect("lazy route reports pricing stats");
+    assert!(pricing.columns_emitted <= pool.len(), "pricer cannot exceed the implicit pool");
+}
+
+#[test]
+fn colgen_lp_bound_is_a_valid_lower_bound() {
+    let log = production_log(10, 60);
+    let compiled =
+        CompiledConstraintSet::compile(&ConstraintSet::parse("size(g) <= 4;").unwrap(), &log)
+            .unwrap();
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+    let lazy = select_optimal_colgen(
+        &log,
+        &compiled,
+        &oracle,
+        compiled.group_count_bounds(),
+        SelectionOptions { column_generation: true, ..Default::default() },
+    )
+    .expect("feasible");
+    let stats = lazy.colgen.expect("colgen stats");
+    assert!(stats.lp_bound.is_finite());
+    assert!(stats.lp_bound <= lazy.distance + 1e-9, "{stats:?} vs {}", lazy.distance);
+}

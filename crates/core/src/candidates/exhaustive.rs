@@ -17,7 +17,7 @@
 
 use super::{Budget, CandidateSet, PreevaluatedChecks};
 use gecco_constraints::{CheckingMode, CompiledConstraintSet};
-use gecco_eventlog::{ClassId, ClassSet, EvalContext};
+use gecco_eventlog::{ClassCoOccurrence, ClassSet, EvalContext};
 use std::collections::HashMap;
 
 /// Runs Algorithm 1 and returns the candidate set. Constraint checks go
@@ -32,16 +32,13 @@ pub fn exhaustive_candidates(
     let mut out = CandidateSet::new();
     let occurring = crate::grouping::occurring_classes(log);
 
-    // Pairwise co-occurrence: co[c] = classes sharing a trace with c.
-    // `g ∪ {c}` can only occur if c pairwise co-occurs with every member —
-    // a cheap necessary condition checked before the full occurs() scan.
-    let mut co: HashMap<ClassId, ClassSet> = HashMap::new();
-    for cs in log.trace_class_sets() {
-        for c in cs.iter() {
-            let entry = co.entry(c).or_insert(ClassSet::EMPTY);
-            *entry = entry.union(cs);
-        }
-    }
+    // Co-occurrence sketches, built in one pass over the index postings.
+    // The pairwise rows are exact — `cooccurring(c)` is precisely the set
+    // of classes sharing a trace with c, the cheap necessary condition
+    // checked before the full occurs() scan — and `may_occur` adds
+    // higher-order (triple) filtering that is one-sided by construction:
+    // it never rejects a group that actually co-occurs.
+    let sketch = ClassCoOccurrence::build(ctx.index());
 
     // toCheck entries carry a witness flag: does the group have a subset
     // already admitted to G? (enables the monotonic-mode shortcut).
@@ -112,7 +109,7 @@ pub fn exhaustive_candidates(
             // Classes co-occurring with every member of the group.
             let mut cooc = occurring;
             for c in group.iter() {
-                cooc = cooc.intersection(&co[&c]);
+                cooc = cooc.intersection(sketch.cooccurring(c));
             }
             for c in cooc.difference(&group).iter() {
                 if next.len() >= frontier_cap {
@@ -120,10 +117,15 @@ pub fn exhaustive_candidates(
                 }
                 let mut bigger = group;
                 bigger.insert(c);
-                // Full co-occurrence check (pairwise is necessary only),
-                // via the adaptive dispatch: a galloping intersection of
-                // the classes' trace-id runs on large logs, the early-exit
-                // bitmap scan on small ones.
+                // Sketch fast-reject (pairwise passed, but a triple may
+                // still prove the classes never share a trace) before the
+                // exact co-occurrence check via the adaptive dispatch: a
+                // galloping intersection of the classes' trace-id runs on
+                // large logs, the early-exit bitmap scan on small ones.
+                if !sketch.may_occur(&bigger) {
+                    out.stats.pruned_by_sketch += 1;
+                    continue;
+                }
                 if !ctx.occurs(&bigger) {
                     out.stats.pruned_non_occurring += 1;
                     continue;
@@ -143,7 +145,7 @@ pub fn exhaustive_candidates(
 mod tests {
     use super::*;
     use gecco_constraints::ConstraintSet;
-    use gecco_eventlog::{EventLog, LogBuilder};
+    use gecco_eventlog::{ClassId, EventLog, LogBuilder};
 
     fn role_log() -> EventLog {
         let role_of = |c: &str| match c {

@@ -94,6 +94,11 @@ pub struct CandidateStats {
     pub monotonic_shortcuts: usize,
     /// Expansion products rejected because they do not co-occur in any trace.
     pub pruned_non_occurring: usize,
+    /// Expansion products rejected by the co-occurrence sketches before
+    /// the exact occurrence test ran (a subset of the non-occurring:
+    /// sketch rejection is one-sided, so these never include a group that
+    /// actually co-occurs).
+    pub pruned_by_sketch: usize,
     /// Level-wise / beam iterations executed.
     pub iterations: usize,
     /// Whether the budget ran out before completion.

@@ -13,7 +13,7 @@ use crate::candidates::{
 };
 use crate::distance::DistanceOracle;
 use crate::pipeline::{GeccoError, InfeasibilityReport, PassReport};
-use crate::selection::{select_optimal, SelectionOptions};
+use crate::selection::{select_optimal, select_optimal_colgen, SelectionOptions};
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet, Diagnostics};
 use gecco_eventlog::{EvalContext, InstanceCache, Segmenter};
 use std::sync::Arc;
@@ -280,13 +280,23 @@ impl<'a> GraphNode<'a> for SelectorNode<'a> {
         let candidates = inputs[1].as_candidates().expect("validated port");
         let ctx = context(input, self.cache);
         let oracle = DistanceOracle::new(&ctx, self.segmenter);
-        let selected = select_optimal(
-            input.log(),
-            candidates.groups(),
-            &oracle,
-            self.constraints.group_count_bounds(),
-            self.options,
-        );
+        let selected = if self.options.column_generation {
+            select_optimal_colgen(
+                input.log(),
+                &self.constraints,
+                &oracle,
+                self.constraints.group_count_bounds(),
+                self.options,
+            )
+        } else {
+            select_optimal(
+                input.log(),
+                candidates.groups(),
+                &oracle,
+                self.constraints.group_count_bounds(),
+                self.options,
+            )
+        };
         Ok(match selected {
             Some(selection) => Artifact::Selection(Arc::new(selection)).into(),
             None => Artifact::Infeasible(Arc::new(InfeasibleSignal::default())).into(),

@@ -41,4 +41,7 @@ pub use pipeline::{
     run_fanout, run_multipass, run_multipass_linear, AbstractionResult, BranchOutcome, Gecco,
     GeccoError, InfeasibilityReport, MultiPassResult, Outcome, PassReport,
 };
-pub use selection::{select_optimal, solve_set_partition, SelectionOptions};
+pub use selection::{
+    select_optimal, select_optimal_colgen, solve_set_partition, solve_set_partition_stats,
+    LazyPricingStats, Selection, SelectionOptions,
+};

@@ -21,7 +21,7 @@ use crate::graph::{
     ExclusiveMergeNode, GraphError, InputNode, PassNode, PipelineGraph, SelectorNode,
 };
 use crate::grouping::Grouping;
-use crate::selection::{select_optimal, SelectionOptions};
+use crate::selection::{select_optimal, select_optimal_colgen, SelectionOptions};
 use gecco_constraints::{CompileError, CompiledConstraintSet, ConstraintSet, Diagnostics};
 use gecco_eventlog::{EvalContext, EventLog, InstanceCache, LogIndex, Segmenter};
 use std::fmt;
@@ -332,16 +332,28 @@ impl<'a> Gecco<'a> {
         }
         let candidates_time = t0.elapsed();
 
-        // Step 2: optimal grouping.
+        // Step 2: optimal grouping. The column-generation route prices
+        // candidates lazily out of the implicit pool instead of using the
+        // Step-1 enumeration (which then only serves diagnostics).
         let t1 = Instant::now();
         let oracle = DistanceOracle::new(&ctx, self.segmenter);
-        let selected = select_optimal(
-            self.log,
-            candidates.groups(),
-            &oracle,
-            compiled.group_count_bounds(),
-            self.selection,
-        );
+        let selected = if self.selection.column_generation {
+            select_optimal_colgen(
+                self.log,
+                &compiled,
+                &oracle,
+                compiled.group_count_bounds(),
+                self.selection,
+            )
+        } else {
+            select_optimal(
+                self.log,
+                candidates.groups(),
+                &oracle,
+                compiled.group_count_bounds(),
+                self.selection,
+            )
+        };
         let selection_time = t1.elapsed();
 
         let Some(selection) = selected else {

@@ -15,7 +15,15 @@
 //! Runs with and without `--features rayon` (the CI matrix covers both);
 //! without the feature the parallel assertions hold trivially.
 
-use gecco_core::{set_parallel, solve_set_partition, SelectionOptions};
+use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
+use gecco_core::candidates::exhaustive::exhaustive_candidates;
+use gecco_core::{
+    select_optimal, select_optimal_colgen, set_parallel, solve_set_partition, Budget,
+    DistanceOracle, SelectionOptions,
+};
+use gecco_eventlog::{
+    ClassCoOccurrence, ClassSet, EvalContext, EventLog, LogBuilder, LogIndex, Segmenter,
+};
 use gecco_solver::{SetPartitionProblem, SetPartitionSolution, SolveEngine};
 use proptest::prelude::*;
 
@@ -157,6 +165,151 @@ proptest! {
     }
 }
 
+/// Random small logs with optional group-count bounds and a constraint
+/// toggle: `false` = unconstrained, `true` = the anti-monotonic
+/// `size(g) <= 2` (exercising the pricer's constraint gate).
+fn arb_selection_instance() -> impl Strategy<Value = (EventLog, Option<u32>, Option<u32>, bool)> {
+    let trace = proptest::collection::vec(0usize..6, 0..=10);
+    (
+        proptest::collection::vec(trace, 1..=8),
+        proptest::option::of(1u32..4),
+        proptest::option::of(1u32..6),
+        any::<bool>(),
+    )
+        .prop_map(|(traces, min, max, sized)| (build_log(traces), min, max, sized))
+}
+
+fn build_log(traces: Vec<Vec<usize>>) -> EventLog {
+    let mut b = LogBuilder::new();
+    for (i, t) in traces.iter().enumerate() {
+        let mut tb = b.trace(&format!("case-{i}"));
+        for &cls in t {
+            tb = tb.event(&format!("c{cls}")).expect("within class limits");
+        }
+        tb.done();
+    }
+    b.build()
+}
+
+fn compile(log: &EventLog, sized: bool) -> CompiledConstraintSet {
+    let dsl = if sized { "size(g) <= 2;" } else { "" };
+    CompiledConstraintSet::compile(&ConstraintSet::parse(dsl).unwrap(), log).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Column generation over the implicit pool versus the enumerated
+    /// presolved route over Algorithm 1's pool — the same candidate space
+    /// solved two ways, on both engines. Feasibility must agree, costs
+    /// must match, and when the optimum is unique (same grouping) the
+    /// canonical distances are bit-identical.
+    #[test]
+    fn colgen_matches_the_enumerated_oracle(instance in arb_selection_instance()) {
+        let (log, min, max, sized) = instance;
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+        let compiled = compile(&log, sized);
+        let pool = exhaustive_candidates(&ctx, &compiled, Budget::UNLIMITED);
+        for engine in [SolveEngine::Dlx, SolveEngine::SimplexBnb] {
+            let opts = SelectionOptions { engine, ..Default::default() };
+            let enumerated =
+                select_optimal(&log, pool.groups(), &oracle, (min, max), opts);
+            let lazy = select_optimal_colgen(&log, &compiled, &oracle, (min, max), opts);
+            match (&enumerated, &lazy) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert!(
+                        (a.distance - b.distance).abs() < 1e-9,
+                        "{engine:?}: {} vs {}", b.distance, a.distance
+                    );
+                    prop_assert!(a.proven_optimal && b.proven_optimal, "{engine:?}");
+                    prop_assert!(b.grouping.is_exact_cover(&log), "{engine:?}");
+                    if let Some(lo) = min {
+                        prop_assert!(b.grouping.len() >= lo as usize);
+                    }
+                    if let Some(hi) = max {
+                        prop_assert!(b.grouping.len() <= hi as usize);
+                    }
+                    if a.grouping == b.grouping {
+                        prop_assert_eq!(
+                            a.distance.to_bits(), b.distance.to_bits(),
+                            "{:?}: same selection, different bits", engine
+                        );
+                    }
+                }
+                _ => prop_assert!(
+                    false,
+                    "{engine:?} disagrees on feasibility: lazy {lazy:?} vs enumerated {enumerated:?}"
+                ),
+            }
+        }
+    }
+
+    /// The lazy route is deterministic and parallel-invariant: rerunning
+    /// it — serially or with the rayon fan-outs enabled — reproduces the
+    /// identical selection, bit for bit.
+    #[test]
+    fn colgen_is_deterministic_and_parallel_equivalent(instance in arb_selection_instance()) {
+        let (log, min, max, sized) = instance;
+        let compiled = compile(&log, sized);
+        let run = || {
+            let index = LogIndex::build(&log);
+            let ctx = EvalContext::new(&log, &index);
+            let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+            select_optimal_colgen(&log, &compiled, &oracle, (min, max), SelectionOptions::default())
+        };
+        let (serial, parallel) = both(run);
+        match (&serial, &parallel) {
+            (None, None) => {}
+            (Some(s), Some(p)) => {
+                prop_assert_eq!(&s.grouping, &p.grouping);
+                prop_assert_eq!(s.distance.to_bits(), p.distance.to_bits());
+                prop_assert_eq!(s.proven_optimal, p.proven_optimal);
+            }
+            _ => prop_assert!(false, "feasibility flip: {serial:?} vs {parallel:?}"),
+        }
+    }
+
+    /// Sketch-pruning safety end to end: filtering the enumerated pool
+    /// through `may_occur` removes nothing — every Algorithm-1 candidate
+    /// co-occurs and the sketch is one-sided — so the pruned pool
+    /// contains every group of every optimal selection and yields the
+    /// same optimum.
+    #[test]
+    fn sketch_pruning_never_drops_optimal_groups(instance in arb_selection_instance()) {
+        let (log, _, _, sized) = instance;
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+        let compiled = compile(&log, sized);
+        let pool = exhaustive_candidates(&ctx, &compiled, Budget::UNLIMITED);
+        let sketch = ClassCoOccurrence::build(&index);
+        let pruned: Vec<ClassSet> =
+            pool.groups().iter().copied().filter(|g| sketch.may_occur(g)).collect();
+        prop_assert_eq!(pruned.len(), pool.len(), "sketch pruned a co-occurring candidate");
+        let full = select_optimal(
+            &log, pool.groups(), &oracle, (None, None), SelectionOptions::default(),
+        );
+        let over_pruned = select_optimal(
+            &log, &pruned, &oracle, (None, None), SelectionOptions::default(),
+        );
+        match (&full, &over_pruned) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                // The pruned pool is the full pool, so the selected groups
+                // of the optimum all survive pruning.
+                for group in a.grouping.groups() {
+                    prop_assert!(pruned.contains(group), "optimal group lost to pruning");
+                }
+                prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+            _ => prop_assert!(false, "pruning flipped feasibility"),
+        }
+    }
+}
+
 /// A deterministic many-component instance with unique costs: every
 /// route must return the identical selection, not just the same cost.
 #[test]
@@ -218,7 +371,12 @@ fn budget_exhaustion_degrades_gracefully() {
     for engine in [SolveEngine::Dlx, SolveEngine::SimplexBnb] {
         let mut saw_unproven = false;
         for budget in 1..=500 {
-            let opts = SelectionOptions { engine, max_nodes: budget, presolve: true };
+            let opts = SelectionOptions {
+                engine,
+                max_nodes: budget,
+                presolve: true,
+                ..Default::default()
+            };
             match solve_set_partition(&p, opts) {
                 None => continue,
                 Some(s) => {

@@ -1,0 +1,145 @@
+//! Streams a synthetic production-scale XES log to disk.
+//!
+//! ```text
+//! datagen [--traces N] [--seed S] [--chunk C] [--preset NAME] [--out PATH]
+//! ```
+//!
+//! Memory stays proportional to one chunk regardless of `--traces`: the
+//! simulation is chunked ([`gecco_datagen::simulate_chunks`]) and the XES
+//! serialization is streamed. The run ends with a one-line report of
+//! traces, events, bytes and the process peak RSS (`VmHWM`), which is what
+//! the CI smoke asserts on.
+
+use gecco_datagen::{production_tree, write_xes_stream, ProcessTree, SimulationOptions};
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    traces: usize,
+    seed: u64,
+    chunk: usize,
+    preset: String,
+    out: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            traces: 1_000_000,
+            seed: 7,
+            chunk: 10_000,
+            preset: "production".to_string(),
+            out: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--traces" => {
+                args.traces = value("--traces")?.parse().map_err(|e| format!("--traces: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--chunk" => {
+                args.chunk = value("--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?;
+            }
+            "--preset" => args.preset = value("--preset")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: datagen [--traces N] [--seed S] [--chunk C] \
+                     [--preset production|wide|small] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The process tree behind each preset: (classes, target trace length).
+fn preset_tree(name: &str, seed: u64) -> Option<ProcessTree> {
+    let (classes, target_len) = match name {
+        "production" => (40, 12),
+        "wide" => (120, 25),
+        "small" => (12, 6),
+        _ => return None,
+    };
+    Some(production_tree(classes, target_len, seed))
+}
+
+/// Peak resident set size of this process in kB, from `/proc/self/status`.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("datagen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(tree) = preset_tree(&args.preset, args.seed) else {
+        eprintln!("datagen: unknown preset {:?} (production|wide|small)", args.preset);
+        return ExitCode::FAILURE;
+    };
+    let options = SimulationOptions {
+        num_traces: args.traces,
+        seed: args.seed,
+        log_name: format!("synthetic-{}-{}", args.preset, args.traces),
+        ..Default::default()
+    };
+
+    let started = Instant::now();
+    let result = match &args.out {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("datagen: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut out = BufWriter::new(file);
+            write_xes_stream(&tree, &options, args.chunk, &mut out)
+                .and_then(|stats| out.flush().map(|()| stats))
+        }
+        None => {
+            // No output path: stream into a sink, still exercising the
+            // full simulate-and-serialize path (for memory smoke runs).
+            let mut out = std::io::sink();
+            write_xes_stream(&tree, &options, args.chunk, &mut out)
+        }
+    };
+    let stats = match result {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("datagen: write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let rate = if elapsed > 0.0 { stats.events as f64 / elapsed } else { f64::INFINITY };
+    println!(
+        "traces={} events={} bytes={} chunks={} seconds={elapsed:.2} events_per_sec={rate:.0}",
+        stats.traces, stats.events, stats.bytes, stats.chunks
+    );
+    match vm_hwm_kb() {
+        Some(kb) => println!("vm_hwm_kb={kb}"),
+        None => println!("vm_hwm_kb=unavailable"),
+    }
+    ExitCode::SUCCESS
+}

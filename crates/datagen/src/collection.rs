@@ -102,6 +102,15 @@ pub fn evaluation_collection(scale: CollectionScale) -> Vec<GeneratedLog> {
         .collect()
 }
 
+/// A seeded random process tree shaped like a production system: choices,
+/// concurrency, rework loops, class-level `system` attributes and mid-range
+/// durations. This is the model behind the million-trace scale runs
+/// (`datagen` binary, `bench_scale`); the same `(num_classes, target_len,
+/// seed)` always yields the same tree.
+pub fn production_tree(num_classes: usize, target_len: usize, seed: u64) -> ProcessTree {
+    random_tree(seed, num_classes, target_len, true, Durations::Mid)
+}
+
 /// Builds a random block-structured tree over exactly `num_classes`
 /// distinct activities whose average trace length lands near `target_len`.
 fn random_tree(

@@ -15,9 +15,11 @@
 pub mod collection;
 pub mod loan;
 pub mod running;
+pub mod stream;
 pub mod tree;
 
-pub use collection::{evaluation_collection, CollectionScale, GeneratedLog};
+pub use collection::{evaluation_collection, production_tree, CollectionScale, GeneratedLog};
 pub use loan::loan_log;
 pub use running::running_example;
+pub use stream::{simulate_chunks, write_xes_stream, ChunkedSimulation, StreamStats};
 pub use tree::{simulate, Activity, ProcessTree, SimulationOptions};

@@ -1,0 +1,196 @@
+//! Chunked simulation and streaming XES export.
+//!
+//! [`simulate`](crate::simulate) materializes the whole log in memory, which stops scaling
+//! somewhere around a few million events. The chunked pipeline here keeps
+//! memory proportional to one chunk: [`simulate_chunks`] yields the same
+//! traces as [`simulate`](crate::simulate) — bit for bit, because one rng is carried across
+//! chunk boundaries and every chunk's builder registers the classes in the
+//! same order — and [`write_xes_stream`] serializes the chunks into a
+//! single well-formed XES document as they are produced.
+
+use crate::tree::{prepare_builder, simulate_trace, ProcessTree, SimulationOptions};
+use gecco_eventlog::xes::{write_footer, write_header, write_traces};
+use gecco_eventlog::EventLog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, Write};
+
+/// An iterator of simulated log chunks (see [`simulate_chunks`]).
+pub struct ChunkedSimulation<'a> {
+    tree: &'a ProcessTree,
+    options: SimulationOptions,
+    chunk_size: usize,
+    rng: StdRng,
+    next_trace: usize,
+}
+
+impl Iterator for ChunkedSimulation<'_> {
+    type Item = EventLog;
+
+    fn next(&mut self) -> Option<EventLog> {
+        if self.next_trace >= self.options.num_traces {
+            return None;
+        }
+        let end = (self.next_trace + self.chunk_size).min(self.options.num_traces);
+        let mut builder = prepare_builder(self.tree, &self.options);
+        for t in self.next_trace..end {
+            simulate_trace(self.tree, &mut self.rng, &mut builder, t, &self.options);
+        }
+        self.next_trace = end;
+        Some(builder.build())
+    }
+}
+
+/// Simulates `options.num_traces` traces in chunks of `chunk_size`,
+/// yielding each chunk as its own [`EventLog`]. Concatenating the chunks'
+/// traces reproduces [`simulate`](crate::simulate)'s output exactly: the trace indices
+/// (case ids, arrival clocks) are global and the rng state flows through.
+///
+/// [`simulate`](crate::simulate): crate::simulate
+pub fn simulate_chunks(
+    tree: &ProcessTree,
+    options: SimulationOptions,
+    chunk_size: usize,
+) -> ChunkedSimulation<'_> {
+    let rng = StdRng::seed_from_u64(options.seed);
+    ChunkedSimulation { tree, options, chunk_size: chunk_size.max(1), rng, next_trace: 0 }
+}
+
+/// Counters from one streaming export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Traces written.
+    pub traces: usize,
+    /// Events written.
+    pub events: usize,
+    /// Bytes of XES produced.
+    pub bytes: u64,
+    /// Chunks the simulation was split into.
+    pub chunks: usize,
+}
+
+/// Simulates `tree` and streams the XES serialization into `out`, holding
+/// at most one `chunk_size`-trace chunk in memory at a time. The bytes
+/// written are identical to `write_string(&simulate(tree, options))` —
+/// the header comes from the first chunk (whose builder registers every
+/// class and log attribute up front) and each chunk contributes exactly
+/// its `<trace>` elements.
+pub fn write_xes_stream<W: Write>(
+    tree: &ProcessTree,
+    options: &SimulationOptions,
+    chunk_size: usize,
+    out: &mut W,
+) -> io::Result<StreamStats> {
+    let mut stats = StreamStats::default();
+    let mut buffer = String::new();
+    for chunk in simulate_chunks(tree, options.clone(), chunk_size) {
+        buffer.clear();
+        if stats.chunks == 0 {
+            write_header(&mut buffer, &chunk);
+        }
+        write_traces(&mut buffer, &chunk);
+        out.write_all(buffer.as_bytes())?;
+        stats.chunks += 1;
+        stats.traces += chunk.traces().len();
+        stats.events += chunk.num_events();
+        stats.bytes += buffer.len() as u64;
+    }
+    if stats.chunks == 0 {
+        // Zero traces: the document still needs its prolog.
+        let empty = prepare_builder(tree, options).build();
+        write_header(&mut buffer, &empty);
+        out.write_all(buffer.as_bytes())?;
+        stats.bytes += buffer.len() as u64;
+    }
+    buffer.clear();
+    write_footer(&mut buffer);
+    out.write_all(buffer.as_bytes())?;
+    stats.bytes += buffer.len() as u64;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use crate::tree::Activity;
+    use gecco_eventlog::xes::{parse_str, write_string};
+    use ProcessTree as T;
+
+    fn sample_tree() -> ProcessTree {
+        T::Sequence(vec![
+            T::task(Activity::new("reg").role("clerk").system("S1")),
+            T::Loop {
+                body: Box::new(T::Exclusive(vec![
+                    (0.7, T::task(Activity::new("check"))),
+                    (
+                        0.3,
+                        T::Parallel(vec![T::task(Activity::new("a")), T::task(Activity::new("b"))]),
+                    ),
+                ])),
+                redo: Box::new(T::task(Activity::new("redo"))),
+                repeat_prob: 0.4,
+                max_repeats: 3,
+            },
+            T::task(Activity::new("end").role("boss")),
+        ])
+    }
+
+    fn opts(n: usize) -> SimulationOptions {
+        SimulationOptions { num_traces: n, seed: 11, ..Default::default() }
+    }
+
+    #[test]
+    fn chunked_simulation_matches_monolithic() {
+        let tree = sample_tree();
+        let whole = simulate(&tree, &opts(53));
+        for chunk_size in [1, 7, 53, 100] {
+            let mut position = 0usize;
+            for chunk in simulate_chunks(&tree, opts(53), chunk_size) {
+                for trace in chunk.traces() {
+                    let reference = &whole.traces()[position];
+                    assert_eq!(chunk.format_trace(trace), whole.format_trace(reference));
+                    position += 1;
+                }
+            }
+            assert_eq!(position, 53, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn streamed_xes_is_byte_identical_to_monolithic() {
+        let tree = sample_tree();
+        let reference = write_string(&simulate(&tree, &opts(29)));
+        for chunk_size in [1, 4, 29, 64] {
+            let mut streamed = Vec::new();
+            let stats = write_xes_stream(&tree, &opts(29), chunk_size, &mut streamed).unwrap();
+            assert_eq!(String::from_utf8(streamed).unwrap(), reference, "chunk {chunk_size}");
+            assert_eq!(stats.traces, 29);
+            assert_eq!(stats.bytes as usize, reference.len());
+        }
+    }
+
+    #[test]
+    fn streamed_xes_parses_back() {
+        let tree = sample_tree();
+        let mut streamed = Vec::new();
+        let stats = write_xes_stream(&tree, &opts(200), 32, &mut streamed).unwrap();
+        let back = parse_str(std::str::from_utf8(&streamed).unwrap()).unwrap();
+        assert_eq!(back.traces().len(), 200);
+        assert_eq!(back.num_events(), stats.events);
+        // Class-level attributes survive the streamed header.
+        let reg = back.class_by_name("reg").unwrap();
+        let key = back.key("system").unwrap();
+        assert!(back.classes().info(reg).attribute(key).is_some());
+    }
+
+    #[test]
+    fn zero_traces_still_yields_a_valid_document() {
+        let tree = sample_tree();
+        let mut streamed = Vec::new();
+        let stats = write_xes_stream(&tree, &opts(0), 8, &mut streamed).unwrap();
+        assert_eq!(stats.traces, 0);
+        let back = parse_str(std::str::from_utf8(&streamed).unwrap()).unwrap();
+        assert_eq!(back.traces().len(), 0);
+    }
+}

@@ -118,7 +118,7 @@ impl ProcessTree {
     }
 
     /// Samples one execution: the ordered activity sequence of a trace.
-    fn sample<'a>(&'a self, rng: &mut StdRng, out: &mut Vec<&'a Activity>) {
+    pub(crate) fn sample<'a>(&'a self, rng: &mut StdRng, out: &mut Vec<&'a Activity>) {
         match self {
             ProcessTree::Task(a) => out.push(a),
             ProcessTree::Sequence(cs) => {
@@ -206,37 +206,58 @@ impl Default for SimulationOptions {
 /// attribute.
 pub fn simulate(tree: &ProcessTree, options: &SimulationOptions) -> EventLog {
     let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut builder = prepare_builder(tree, options);
+    for t in 0..options.num_traces {
+        simulate_trace(tree, &mut rng, &mut builder, t, options);
+    }
+    builder.build()
+}
+
+/// A builder with the log attributes and every class (with class-level
+/// attributes) registered up front — also fixes the class-id order, so
+/// every chunk of a chunked simulation interns identically.
+pub(crate) fn prepare_builder(tree: &ProcessTree, options: &SimulationOptions) -> LogBuilder {
     let mut builder = LogBuilder::new();
     builder.log_attr_str("concept:name", &options.log_name);
-    // Register class-level attributes up front (also fixes class-id order).
     for a in tree.activities() {
         builder.class(&a.name).expect("class limit");
         if let Some(system) = &a.system {
             builder.class_attr_str(&a.name, "system", system).expect("class limit");
         }
     }
-    for t in 0..options.num_traces {
-        let mut steps = Vec::new();
-        tree.sample(&mut rng, &mut steps);
-        // Cases arrive ~10 minutes apart.
-        let mut clock = options.start_time + (t as i64) * 600_000;
-        let mut tb = builder.trace(&format!("case-{t}"));
-        for activity in steps {
-            let duration = activity.duration_mean * (0.5 + rng.random::<f64>());
-            let cost = (activity.cost_mean * (0.5 + rng.random::<f64>())).round() as i64;
-            clock += (duration * 1000.0) as i64;
-            tb = tb
-                .event_with(&activity.name, |e| {
-                    e.str("org:role", &activity.role)
-                        .timestamp("time:timestamp", clock)
-                        .float("duration", duration)
-                        .int("cost", cost);
-                })
-                .expect("class limit");
-        }
-        tb.done();
+    builder
+}
+
+/// Simulates the `t`-th trace into `builder`, advancing `rng` exactly as
+/// [`simulate`] does — the chunked pipeline carries one rng across chunk
+/// boundaries, so chunk concatenation reproduces the monolithic log bit
+/// for bit.
+pub(crate) fn simulate_trace(
+    tree: &ProcessTree,
+    rng: &mut StdRng,
+    builder: &mut LogBuilder,
+    t: usize,
+    options: &SimulationOptions,
+) {
+    let mut steps = Vec::new();
+    tree.sample(rng, &mut steps);
+    // Cases arrive ~10 minutes apart.
+    let mut clock = options.start_time + (t as i64) * 600_000;
+    let mut tb = builder.trace(&format!("case-{t}"));
+    for activity in steps {
+        let duration = activity.duration_mean * (0.5 + rng.random::<f64>());
+        let cost = (activity.cost_mean * (0.5 + rng.random::<f64>())).round() as i64;
+        clock += (duration * 1000.0) as i64;
+        tb = tb
+            .event_with(&activity.name, |e| {
+                e.str("org:role", &activity.role)
+                    .timestamp("time:timestamp", clock)
+                    .float("duration", duration)
+                    .int("cost", cost);
+            })
+            .expect("class limit");
     }
-    builder.build()
+    tb.done();
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ pub mod instances;
 pub mod interner;
 pub mod log;
 pub mod parallel;
+pub mod sketch;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -50,6 +51,7 @@ pub use instances::{instances, log_instances, GroupInstance, Segmenter};
 pub use interner::{Interner, Symbol};
 pub use log::{EventLog, FragmentTrace, LogBuilder, LogFragment, TraceBuilder};
 pub use parallel::{parallel_enabled, set_parallel};
+pub use sketch::{BloomFilter, ClassCoOccurrence, CountMinSketch};
 pub use stats::LogStats;
 pub use trace::Trace;
 pub use value::AttributeValue;

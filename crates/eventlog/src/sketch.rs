@@ -1,0 +1,412 @@
+//! Probabilistic co-occurrence summaries: [`BloomFilter`], [`CountMinSketch`]
+//! and the [`ClassCoOccurrence`] sketch built from a [`LogIndex`].
+//!
+//! Candidate generation (Algorithms 1/2) spends much of its budget asking
+//! `occurs(g, L)` — does any trace contain *every* class of `g`? The indexed
+//! intersection answers that exactly, but still pays a cursor alignment per
+//! query. This module precomputes, in **one pass over the postings**, a set
+//! of summaries that answer the *negative* case for free:
+//!
+//! * an exact pairwise co-occurrence matrix (one [`ClassSet`] row per class —
+//!   at most 256 × 32 bytes, so exactness costs nothing);
+//! * a [`CountMinSketch`] of per-pair trace supports (always an
+//!   **over**estimate, never an under-estimate);
+//! * a [`BloomFilter`] of class *triples*, filled only from traces whose
+//!   distinct-class count keeps the triple blow-up polynomial, with a
+//!   completeness flag that records whether every trace qualified.
+//!
+//! The contract is one-sided, which is what makes pruning **sound**:
+//! [`ClassCoOccurrence::may_occur`] never returns `false` for a group that
+//! actually occurs. If a trace contains every class of `g`, then every pair
+//! of `g` co-occurs in that trace (the exact matrix cannot miss it), and —
+//! when the triple filter is complete — every triple of `g` was inserted
+//! (Bloom filters have no false negatives). The reverse direction is
+//! deliberately approximate: `may_occur` may say `true` for a group that
+//! never co-occurs, in which case the caller falls back to the exact test.
+//! The `sketch_soundness` proptests pin the one-sided guarantee.
+
+use crate::classes::{ClassId, ClassSet, MAX_CLASSES};
+use crate::index::LogIndex;
+
+/// SplitMix64: a fast, well-mixed 64-bit finalizer. Used as the hash for
+/// both sketches (keys are small packed integers, so mixing quality —
+/// avalanche on low bits — matters more than throughput).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A classic Bloom filter over `u64` keys: `k` probes per key via
+/// double hashing (Kirsch–Mitzenmacher), no false negatives ever.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    /// Number of probes per key.
+    probes: u32,
+    /// Bit-index mask; the bit count is a power of two.
+    mask: u64,
+    /// Keys inserted (not distinct — reinsertions count).
+    insertions: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter with at least `min_bits` bits (rounded up to a
+    /// power of two, minimum 64) and `probes` probes per key.
+    pub fn new(min_bits: usize, probes: u32) -> BloomFilter {
+        let bits = min_bits.next_power_of_two().max(64);
+        BloomFilter {
+            bits: vec![0u64; bits / 64],
+            probes: probes.max(1),
+            mask: (bits - 1) as u64,
+            insertions: 0,
+        }
+    }
+
+    #[inline]
+    fn probe_bits(&self, key: u64, mut visit: impl FnMut(usize, u64) -> bool) -> bool {
+        let h1 = splitmix64(key);
+        let h2 = splitmix64(h1) | 1; // odd stride: visits all positions
+        for i in 0..self.probes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & self.mask;
+            if !visit((bit / 64) as usize, 1u64 << (bit % 64)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: u64) {
+        self.insertions += 1;
+        let h1 = splitmix64(key);
+        let h2 = splitmix64(h1) | 1;
+        for i in 0..self.probes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & self.mask;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Whether `key` may have been inserted. `false` is definitive; `true`
+    /// may be a false positive.
+    pub fn may_contain(&self, key: u64) -> bool {
+        self.probe_bits(key, |word, mask| self.bits[word] & mask != 0)
+    }
+
+    /// Number of insert calls so far.
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+}
+
+/// A count-min sketch over `u64` keys: `depth` rows of `width` saturating
+/// `u32` counters. Estimates never under-count.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: Vec<Vec<u32>>,
+    /// Column mask; the width is a power of two.
+    mask: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `depth` rows of at least `min_width` counters
+    /// each (rounded up to a power of two, minimum 64).
+    pub fn new(depth: usize, min_width: usize) -> CountMinSketch {
+        let width = min_width.next_power_of_two().max(64);
+        CountMinSketch { rows: vec![vec![0u32; width]; depth.max(1)], mask: (width - 1) as u64 }
+    }
+
+    #[inline]
+    fn column(&self, row: usize, key: u64) -> usize {
+        // Per-row seed keeps the rows' hash functions independent.
+        (splitmix64(key ^ (row as u64).wrapping_mul(0xa076_1d64_78bd_642f)) & self.mask) as usize
+    }
+
+    /// Adds `count` to `key` (saturating).
+    pub fn add(&mut self, key: u64, count: u32) {
+        for row in 0..self.rows.len() {
+            let col = self.column(row, key);
+            let cell = &mut self.rows[row][col];
+            *cell = cell.saturating_add(count);
+        }
+    }
+
+    /// The estimated count of `key`: exact or an over-estimate, never an
+    /// under-estimate (each row only ever aggregates colliding keys).
+    pub fn estimate(&self, key: u64) -> u32 {
+        (0..self.rows.len()).map(|row| self.rows[row][self.column(row, key)]).min().unwrap_or(0)
+    }
+}
+
+/// Packs an unordered class pair into a sketch key (canonical order).
+#[inline]
+fn pair_key(a: ClassId, b: ClassId) -> u64 {
+    let (lo, hi) = if a.index() <= b.index() { (a, b) } else { (b, a) };
+    ((lo.index() as u64) << 16) | hi.index() as u64
+}
+
+/// Packs an ascending class triple into a sketch key.
+#[inline]
+fn triple_key(a: usize, b: usize, c: usize) -> u64 {
+    debug_assert!(a < b && b < c);
+    ((a as u64) << 32) | ((b as u64) << 16) | c as u64
+}
+
+/// Traces with more distinct classes than this skip triple insertion (the
+/// triple count grows cubically); [`ClassCoOccurrence::triples_complete`]
+/// reports whether any trace was skipped. 24 classes cap a trace at
+/// C(24,3) = 2024 triples.
+pub const TRIPLE_CLASS_LIMIT: usize = 24;
+
+/// One-pass co-occurrence summary of a [`LogIndex`]: which classes ever
+/// share a trace (exact, pairwise), how many traces support each pair
+/// (count-min over-estimate), and which class triples share a trace
+/// (Bloom, possibly incomplete — see [`Self::triples_complete`]).
+#[derive(Debug, Clone)]
+pub struct ClassCoOccurrence {
+    /// Row `c`: the classes sharing at least one trace with `c`
+    /// (including `c` itself when `c` occurs at all).
+    pairs: Vec<ClassSet>,
+    /// Per-pair trace supports.
+    support: CountMinSketch,
+    /// Triples from qualifying traces.
+    triples: BloomFilter,
+    /// Whether *every* trace contributed its triples.
+    triples_complete: bool,
+    num_traces: usize,
+}
+
+impl ClassCoOccurrence {
+    /// Builds the sketch from the index's postings in one pass: the runs
+    /// of every class scatter into per-trace class lists, then each trace
+    /// inserts its pairs (exact matrix + support sketch) and — when small
+    /// enough — its triples. Cost: O(total runs + Σ per-trace pairs).
+    pub fn build(index: &LogIndex) -> ClassCoOccurrence {
+        let num_traces = index.num_traces();
+        let mut per_trace: Vec<Vec<u16>> = vec![Vec::new(); num_traces];
+        for c in 0..MAX_CLASSES {
+            let class = ClassId(c as u16);
+            for (trace, _) in index.postings(class) {
+                per_trace[trace as usize].push(c as u16);
+            }
+        }
+        let mut pairs = vec![ClassSet::new(); MAX_CLASSES];
+        // Width chosen so the full 256-class pair space (≈32k pairs)
+        // rarely collides; 4 rows push the over-estimate tail down.
+        let mut support = CountMinSketch::new(4, 64 * 1024);
+        let mut triples = BloomFilter::new(1 << 20, 4);
+        let mut triples_complete = true;
+        for classes in &per_trace {
+            // Postings scatter in ascending class order per trace.
+            for (i, &a) in classes.iter().enumerate() {
+                let ca = ClassId(a);
+                pairs[a as usize].insert(ca);
+                for &b in &classes[i + 1..] {
+                    pairs[a as usize].insert(ClassId(b));
+                    pairs[b as usize].insert(ca);
+                    support.add(pair_key(ca, ClassId(b)), 1);
+                }
+            }
+            if classes.len() > TRIPLE_CLASS_LIMIT {
+                triples_complete = false;
+                continue;
+            }
+            for (i, &a) in classes.iter().enumerate() {
+                for (j, &b) in classes.iter().enumerate().skip(i + 1) {
+                    for &c in &classes[j + 1..] {
+                        triples.insert(triple_key(a as usize, b as usize, c as usize));
+                    }
+                }
+            }
+        }
+        ClassCoOccurrence { pairs, support, triples, triples_complete, num_traces }
+    }
+
+    /// Whether `group` may co-occur in some trace. **Sound**: never
+    /// `false` for a group where `occurs(g, L)` holds — pairs are exact
+    /// and the triple filter is only consulted when complete (Bloom
+    /// filters have no false negatives). May return `true` for groups
+    /// that do not occur; callers confirm with the exact test.
+    pub fn may_occur(&self, group: &ClassSet) -> bool {
+        // Mirror the exact semantics on the empty group: ∅ occurs iff the
+        // log has a trace at all.
+        if group.is_empty() {
+            return self.num_traces > 0;
+        }
+        // Every pair must share a trace: row `a` must contain all of the
+        // group's classes (including `a` itself — singleton occurrence).
+        for a in group.iter() {
+            if !group.is_subset(&self.pairs[a.index()]) {
+                return false;
+            }
+        }
+        if self.triples_complete && group.len() >= 3 {
+            let classes: Vec<usize> = group.iter().map(|c| c.index()).collect();
+            for (i, &a) in classes.iter().enumerate() {
+                for (j, &b) in classes.iter().enumerate().skip(i + 1) {
+                    for &c in &classes[j + 1..] {
+                        if !self.triples.may_contain(triple_key(a, b, c)) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The classes that share at least one trace with `c` (including `c`
+    /// itself when it occurs). Candidate expansion intersects its
+    /// extension alphabet with this row so provably non-co-occurring
+    /// classes are never even tried.
+    pub fn cooccurring(&self, c: ClassId) -> &ClassSet {
+        &self.pairs[c.index()]
+    }
+
+    /// Over-estimate of the number of traces containing both `a` and `b`
+    /// (exact up to count-min collisions; never an under-estimate).
+    pub fn pair_support(&self, a: ClassId, b: ClassId) -> u32 {
+        if a == b {
+            return self
+                .support
+                .estimate(pair_key(a, b))
+                .max(self.pairs[a.index()].contains(a) as u32);
+        }
+        if !self.pairs[a.index()].contains(b) {
+            return 0; // exact: the pair never shares a trace
+        }
+        self.support.estimate(pair_key(a, b))
+    }
+
+    /// Whether every trace contributed its triples to the Bloom filter;
+    /// when `false`, [`Self::may_occur`] skips the triple check (it would
+    /// be unsound) and prunes on pairs alone.
+    pub fn triples_complete(&self) -> bool {
+        self.triples_complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{EventLog, LogBuilder};
+
+    fn log_from(traces: &[&[&str]]) -> EventLog {
+        let mut b = LogBuilder::new();
+        for (i, t) in traces.iter().enumerate() {
+            let mut tb = b.trace(&format!("c{i}"));
+            for cls in *t {
+                tb = tb.event(cls).unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    fn group(log: &EventLog, names: &[&str]) -> ClassSet {
+        names.iter().map(|n| log.class_by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut bloom = BloomFilter::new(1 << 10, 4);
+        for key in 0..500u64 {
+            bloom.insert(key * 7919);
+        }
+        for key in 0..500u64 {
+            assert!(bloom.may_contain(key * 7919));
+        }
+        assert_eq!(bloom.insertions(), 500);
+    }
+
+    #[test]
+    fn count_min_never_under_counts() {
+        let mut cm = CountMinSketch::new(4, 64);
+        // Deliberately tiny width so collisions definitely happen.
+        for key in 0..1000u64 {
+            cm.add(key, 1);
+        }
+        cm.add(42, 5);
+        assert!(cm.estimate(42) >= 6);
+        for key in 0..1000u64 {
+            assert!(cm.estimate(key) >= 1);
+        }
+    }
+
+    #[test]
+    fn pairwise_matrix_is_exact() {
+        let log = log_from(&[&["a", "b"], &["b", "c"], &["d"]]);
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        let [a, b, c, d] = ["a", "b", "c", "d"].map(|n| log.class_by_name(n).unwrap());
+        assert!(sketch.cooccurring(a).contains(b));
+        assert!(sketch.cooccurring(b).contains(c));
+        assert!(!sketch.cooccurring(a).contains(c));
+        assert!(!sketch.cooccurring(d).contains(a));
+        assert!(sketch.cooccurring(d).contains(d));
+        assert!(sketch.may_occur(&group(&log, &["a", "b"])));
+        assert!(!sketch.may_occur(&group(&log, &["a", "c"])), "a,c never share a trace");
+        assert!(!sketch.may_occur(&group(&log, &["a", "b", "c"])), "pair a,c already fails");
+    }
+
+    #[test]
+    fn triples_catch_pairwise_only_groups() {
+        // Every pair of {a,b,c} co-occurs, but no trace holds all three:
+        // only the (complete) triple filter can prune this group.
+        let log = log_from(&[&["a", "b"], &["b", "c"], &["a", "c"]]);
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        assert!(sketch.triples_complete());
+        let g = group(&log, &["a", "b", "c"]);
+        assert!(!log.occurs(&g));
+        assert!(!sketch.may_occur(&g), "complete triple filter prunes the pairwise-only group");
+        for names in [&["a", "b"][..], &["b", "c"], &["a", "c"]] {
+            assert!(sketch.may_occur(&group(&log, names)));
+        }
+    }
+
+    #[test]
+    fn may_occur_is_sound_on_occurring_groups() {
+        let log = log_from(&[&["a", "b", "c", "a"], &["b", "d"], &["a", "c", "e", "b"], &["e"]]);
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        // Exhaustive over all subsets of the 5 classes: occurs ⇒ may_occur.
+        let classes: Vec<ClassId> = (0..log.num_classes()).map(|i| ClassId(i as u16)).collect();
+        for mask in 0u32..(1 << classes.len()) {
+            let g: ClassSet = classes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &c)| c)
+                .collect();
+            if log.occurs(&g) {
+                assert!(sketch.may_occur(&g), "sound pruning violated on {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_group_matches_exact_semantics() {
+        let log = log_from(&[&["a"]]);
+        let sketch = ClassCoOccurrence::build(&LogIndex::build(&log));
+        assert!(sketch.may_occur(&ClassSet::EMPTY));
+        let empty = LogBuilder::new().build();
+        let sketch = ClassCoOccurrence::build(&LogIndex::build(&empty));
+        assert!(!sketch.may_occur(&ClassSet::EMPTY));
+    }
+
+    #[test]
+    fn pair_support_never_under_counts() {
+        let log = log_from(&[&["a", "b"], &["a", "b", "c"], &["a", "c"], &["b"]]);
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        let [a, b, c] = ["a", "b", "c"].map(|n| log.class_by_name(n).unwrap());
+        assert!(sketch.pair_support(a, b) >= 2);
+        assert!(sketch.pair_support(a, c) >= 2);
+        assert!(sketch.pair_support(b, c) >= 1);
+        let d_free = ClassId((log.num_classes()) as u16);
+        assert_eq!(sketch.pair_support(a, d_free), 0, "never-co-occurring pair is exact zero");
+    }
+}

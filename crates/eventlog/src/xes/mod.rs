@@ -13,4 +13,4 @@ pub mod writer;
 pub mod xml;
 
 pub use reader::{parse_bytes, parse_file, parse_str};
-pub use writer::{write_file, write_string};
+pub use writer::{write_file, write_footer, write_header, write_string, write_traces};

@@ -12,6 +12,17 @@ use std::fmt::Write as _;
 /// Serializes `log` to an XES string.
 pub fn write_string(log: &EventLog) -> String {
     let mut out = String::with_capacity(1024 + log.num_events() * 128);
+    write_header(&mut out, log);
+    write_traces(&mut out, log);
+    write_footer(&mut out);
+    out
+}
+
+/// Writes the XES prolog: declaration, extensions, classifier, log-level
+/// attributes and the class-level attribute blocks. Streaming writers
+/// emit this once (from the first chunk, whose builder registers every
+/// class up front) and then [`write_traces`] per chunk.
+pub fn write_header(out: &mut String, log: &EventLog) {
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
     out.push_str("<log xes.version=\"1.0\" xes.features=\"nested-attributes\">\n");
     out.push_str(
@@ -25,7 +36,7 @@ pub fn write_string(log: &EventLog) -> String {
     );
     out.push_str("  <classifier name=\"Activity\" keys=\"concept:name\"/>\n");
     for (k, v) in log.attributes() {
-        write_attr(&mut out, log, 1, *k, v);
+        write_attr(out, log, 1, *k, v);
     }
     // Persist class-level attributes via the nested-attribute convention.
     for id in log.classes().ids() {
@@ -40,14 +51,18 @@ pub fn write_string(log: &EventLog) -> String {
             escape(log.resolve(info.name))
         );
         for (k, v) in &info.attributes {
-            write_attr(&mut out, log, 2, *k, v);
+            write_attr(out, log, 2, *k, v);
         }
         out.push_str("  </string>\n");
     }
+}
+
+/// Writes the `<trace>` elements of `log` (no prolog, no closing tag).
+pub fn write_traces(out: &mut String, log: &EventLog) {
     for trace in log.traces() {
         out.push_str("  <trace>\n");
         for (k, v) in trace.attributes() {
-            write_attr(&mut out, log, 2, *k, v);
+            write_attr(out, log, 2, *k, v);
         }
         for event in trace.events() {
             out.push_str("    <event>\n");
@@ -62,14 +77,17 @@ pub fn write_string(log: &EventLog) -> String {
                 );
             }
             for (k, v) in event.attributes() {
-                write_attr(&mut out, log, 3, *k, v);
+                write_attr(out, log, 3, *k, v);
             }
             out.push_str("    </event>\n");
         }
         out.push_str("  </trace>\n");
     }
+}
+
+/// Closes the XES document.
+pub fn write_footer(out: &mut String) {
     out.push_str("</log>\n");
-    out
 }
 
 /// Serializes `log` to a file.

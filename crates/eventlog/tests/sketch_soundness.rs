@@ -1,0 +1,116 @@
+//! Property-based soundness of the co-occurrence sketches.
+//!
+//! The pruning contract is one-sided: [`ClassCoOccurrence::may_occur`] may
+//! say `true` for a group that never co-occurs (the exact test then runs),
+//! but it must **never** say `false` for a group that does — otherwise
+//! sketch-driven candidate pruning could silently drop feasible groups.
+//! These properties exercise arbitrary logs against the exact
+//! [`EventLog::occurs`] / [`LogIndex::occurs`] oracles, including the
+//! incomplete-triples regime (traces wider than `TRIPLE_CLASS_LIMIT`).
+
+use gecco_eventlog::sketch::TRIPLE_CLASS_LIMIT;
+use gecco_eventlog::{ClassCoOccurrence, ClassSet, EventLog, LogBuilder, LogIndex};
+use proptest::prelude::*;
+
+/// Random small logs over up to 8 classes, up to 12 traces of length ≤ 14.
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    let trace = proptest::collection::vec(0usize..8, 0..=14);
+    proptest::collection::vec(trace, 1..=12).prop_map(build_log)
+}
+
+/// Logs with some traces wider than [`TRIPLE_CLASS_LIMIT`] distinct
+/// classes, so the triple filter goes incomplete and `may_occur` must fall
+/// back to pairs alone.
+fn arb_wide_log() -> impl Strategy<Value = EventLog> {
+    let trace = (any::<bool>(), proptest::collection::vec(0usize..30, 0..=10)).prop_map(
+        |(wide, narrow)| {
+            if wide {
+                (0..=TRIPLE_CLASS_LIMIT + 2).collect::<Vec<usize>>()
+            } else {
+                narrow
+            }
+        },
+    );
+    proptest::collection::vec(trace, 1..=8).prop_map(build_log)
+}
+
+fn build_log(traces: Vec<Vec<usize>>) -> EventLog {
+    let mut b = LogBuilder::new();
+    for (i, t) in traces.iter().enumerate() {
+        let mut tb = b.trace(&format!("case-{i}"));
+        for &cls in t {
+            tb = tb.event(&format!("c{cls}")).expect("within class limits");
+        }
+        tb.done();
+    }
+    b.build()
+}
+
+/// All groups (including ∅) over the log's classes, capped to keep the
+/// subset enumeration affordable on wide logs.
+fn some_groups(log: &EventLog) -> Vec<ClassSet> {
+    let ids: Vec<_> = log.classes().ids().take(8).collect();
+    (0u32..(1 << ids.len()))
+        .map(|mask| {
+            ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, c)| *c).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn occurring_groups_are_never_pruned(log in arb_log()) {
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        for group in some_groups(&log) {
+            if log.occurs(&group) {
+                prop_assert!(
+                    sketch.may_occur(&group),
+                    "sound pruning violated on {:?}", group
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_triples_stay_sound(log in arb_wide_log()) {
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        for group in some_groups(&log) {
+            if log.occurs(&group) {
+                prop_assert!(sketch.may_occur(&group), "wide-log pruning violated on {:?}", group);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_rows_are_exact(log in arb_log()) {
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        let ids: Vec<_> = log.classes().ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let pair: ClassSet = [a, b].into_iter().collect();
+                let exact = log.occurs(&pair);
+                prop_assert_eq!(
+                    sketch.cooccurring(a).contains(b), exact,
+                    "pair row diverges on {:?},{:?}", a, b
+                );
+                // Pair supports never under-count the exact trace count.
+                if a != b {
+                    let count = log
+                        .trace_class_sets()
+                        .iter()
+                        .filter(|cs| cs.contains(a) && cs.contains(b))
+                        .count() as u32;
+                    prop_assert!(sketch.pair_support(a, b) >= count);
+                    if count == 0 {
+                        prop_assert_eq!(sketch.pair_support(a, b), 0);
+                    }
+                }
+            }
+        }
+    }
+}

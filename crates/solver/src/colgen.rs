@@ -1,0 +1,637 @@
+//! Column generation for weighted set partitioning.
+//!
+//! GECCO's Step-2 instances stop being enumerable once richer candidate
+//! sources multiply the pool, so this module solves the set-partitioning
+//! MIP without ever materializing the full column set. The classic
+//! restricted-master scheme:
+//!
+//! 1. **Restricted master LP** — the LP relaxation over the columns seen
+//!    so far, kept feasible by big-M artificial columns (one per element,
+//!    counted toward the minimum-cardinality row so residual `min_sets`
+//!    bounds cannot strand the master). [`crate::simplex::solve_lp_with_duals`]
+//!    returns the optimal dual prices.
+//! 2. **Pricing** — a caller-supplied [`ColumnSource`] receives the duals
+//!    and returns columns whose reduced cost
+//!    `c_S − Σ_{e∈S} y_e − y_card` lies below a threshold. An empty reply
+//!    is a *proof* that no such column exists; that contract is what makes
+//!    the loop exact.
+//! 3. **Restricted IP** — once the LP prices out (no column below `−ε`),
+//!    the existing presolve → decompose → branch-and-bound pipeline solves
+//!    the integer program over the restricted pool.
+//! 4. **Gap closing** — for set partitioning, any exact cover `S` obeys
+//!    `cost(S) ≥ z_LP + Σ_{j∈S} rc_j` (complementary slackness absorbs the
+//!    cardinality rows), and after convergence every column — seen or not —
+//!    has `rc ≥ 0`. So a cover beating the incumbent must contain a column
+//!    with `rc < z_IP − z_LP`: threshold-pricing at the gap either grows
+//!    the pool (and the loop repeats) or proves the incumbent optimal.
+//!
+//! The enumerated presolved route ([`SetPartitionProblem::solve_presolved`])
+//! stays as the differential oracle: on enumerable pools both routes return
+//! selections with bit-identical cost and validity (property-tested in
+//! `gecco-core`).
+
+use crate::model::{Model, Sense};
+use crate::presolve::PresolveOptions;
+use crate::setpart::{SetPartitionProblem, SetPartitionSolution, SolveEngine};
+use crate::simplex::{solve_lp_with_duals, LpDualResult};
+use std::collections::HashMap;
+
+/// Dual prices handed to a [`ColumnSource`].
+#[derive(Debug, Clone)]
+pub struct DualPrices<'a> {
+    /// `element[e]` is the dual of element `e`'s exactly-one row.
+    pub element: &'a [f64],
+    /// Sum of the cardinality-row duals; every set pays it once.
+    pub per_set: f64,
+}
+
+impl DualPrices<'_> {
+    /// Reduced cost of a column: `cost − Σ_{e∈members} y_e − per_set`.
+    pub fn reduced_cost(&self, members: &[usize], cost: f64) -> f64 {
+        let mut rc = cost - self.per_set;
+        for &e in members {
+            rc -= self.element[e];
+        }
+        rc
+    }
+}
+
+/// One pricing request.
+#[derive(Debug, Clone, Copy)]
+pub struct PricingRequest {
+    /// Return only columns whose reduced cost is strictly below this.
+    /// `f64::INFINITY` asks for every column not yet returned (the driver
+    /// falls back to it when the restricted pool cannot even form a cover).
+    pub threshold: f64,
+    /// Soft cap on columns per reply; the driver keeps asking while
+    /// replies are non-empty, so truncating is always safe.
+    pub max_columns: usize,
+}
+
+/// A lazy supplier of set-partitioning columns, driven by LP duals.
+///
+/// # Contract
+///
+/// * Each reply contains columns `(members, cost)` with reduced cost below
+///   `request.threshold` under `prices`; members need not be sorted and
+///   duplicates of earlier replies are tolerated (the driver dedups and
+///   keeps the cheapest), but a source should avoid resending columns — the
+///   driver treats a reply with no *new* columns as exhaustive.
+/// * **An empty reply is a proof** that no column of the full (implicit)
+///   pool prices below the threshold. Exactness of the whole loop rests on
+///   this: a source that forgets columns silently turns "proven optimal"
+///   into "optimal over what the source showed".
+pub trait ColumnSource {
+    /// Prices columns against `prices` per `request`.
+    fn price(
+        &mut self,
+        prices: &DualPrices<'_>,
+        request: &PricingRequest,
+    ) -> Vec<(Vec<usize>, f64)>;
+}
+
+/// A [`ColumnSource`] over a fully materialized pool — the test/bench
+/// harness and the bridge for callers that already enumerated candidates.
+#[derive(Debug, Clone)]
+pub struct EnumeratedColumnSource {
+    columns: Vec<(Vec<usize>, f64)>,
+    returned: Vec<bool>,
+}
+
+impl EnumeratedColumnSource {
+    /// Wraps an explicit column pool.
+    pub fn new(columns: Vec<(Vec<usize>, f64)>) -> Self {
+        let returned = vec![false; columns.len()];
+        EnumeratedColumnSource { columns, returned }
+    }
+}
+
+impl ColumnSource for EnumeratedColumnSource {
+    fn price(
+        &mut self,
+        prices: &DualPrices<'_>,
+        request: &PricingRequest,
+    ) -> Vec<(Vec<usize>, f64)> {
+        let mut out = Vec::new();
+        for (j, (members, cost)) in self.columns.iter().enumerate() {
+            if self.returned[j] {
+                continue;
+            }
+            if prices.reduced_cost(members, *cost) < request.threshold {
+                self.returned[j] = true;
+                out.push((members.clone(), *cost));
+                if out.len() >= request.max_columns {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Tuning knobs for the restricted-master loop.
+#[derive(Debug, Clone)]
+pub struct ColGenOptions {
+    /// Engine for the restricted integer solves.
+    pub engine: SolveEngine,
+    /// Presolve configuration for the restricted integer solves.
+    pub presolve: PresolveOptions,
+    /// Node budget per restricted integer solve (0 = engine default).
+    pub max_nodes: usize,
+    /// Cap on pricing calls across the whole run; hitting it degrades the
+    /// result to `proven_optimal: false` instead of looping forever on a
+    /// misbehaving source.
+    pub max_rounds: usize,
+    /// `max_columns` per pricing request.
+    pub pricing_batch: usize,
+    /// Reduced-cost tolerance: the LP loop prices at `−eps`, gap closing
+    /// adds `+eps` of slack so float noise never hides a useful column.
+    pub eps: f64,
+}
+
+impl Default for ColGenOptions {
+    fn default() -> Self {
+        ColGenOptions {
+            engine: SolveEngine::default(),
+            presolve: PresolveOptions::default(),
+            max_nodes: 0,
+            max_rounds: 10_000,
+            pricing_batch: 256,
+            eps: 1e-7,
+        }
+    }
+}
+
+/// Counters from one column-generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ColGenStats {
+    /// Master LP solves.
+    pub lp_solves: usize,
+    /// Pricing calls answered by the source.
+    pub pricing_calls: usize,
+    /// Columns priced into the master (after dedup).
+    pub columns_generated: usize,
+    /// Restricted integer solves.
+    pub ip_solves: usize,
+    /// Final LP relaxation value (a valid global lower bound once the LP
+    /// priced out); `NAN` if the master never reached optimality.
+    pub lp_bound: f64,
+}
+
+/// The outcome of [`solve_column_generation`].
+#[derive(Debug, Clone)]
+pub struct ColGenSolution {
+    /// Selected columns `(sorted members, cost)`, ordered by members.
+    pub columns: Vec<(Vec<usize>, f64)>,
+    /// Total cost of the selection.
+    pub cost: f64,
+    /// Whether the gap-closing loop proved global optimality (false when
+    /// a node budget or `max_rounds` ran out).
+    pub proven_optimal: bool,
+    /// Run counters.
+    pub stats: ColGenStats,
+}
+
+/// The restricted-master pool: dedup by member set, cheapest cost wins.
+struct Pool {
+    columns: Vec<(Vec<usize>, f64)>,
+    by_members: HashMap<Vec<usize>, usize>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        Pool { columns: Vec::new(), by_members: HashMap::new() }
+    }
+
+    /// Inserts a column; returns whether the pool improved (new member set
+    /// or strictly cheaper cost for a known one). Empty member sets are
+    /// rejected — they cover nothing and the presolved IP drops them, so
+    /// admitting them would let the LP and IP disagree.
+    fn insert(&mut self, mut members: Vec<usize>, cost: f64) -> bool {
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() {
+            return false;
+        }
+        match self.by_members.entry(members) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let members = e.key().clone();
+                self.columns.push((members, cost));
+                e.insert(self.columns.len() - 1);
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let held = &mut self.columns[*e.get()].1;
+                if cost < *held - 1e-12 {
+                    *held = cost;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Solves a set-partitioning instance by column generation over the
+/// implicit pool behind `source`, starting from the `initial` columns
+/// (typically a cheap feasible or near-feasible warm set — singletons, a
+/// greedy cover). Returns `None` when the instance is infeasible: the
+/// source priced out at `+∞` and still no exact cover within the bounds
+/// exists.
+pub fn solve_column_generation(
+    num_elements: usize,
+    bounds: (Option<usize>, Option<usize>),
+    initial: &[(Vec<usize>, f64)],
+    source: &mut dyn ColumnSource,
+    options: &ColGenOptions,
+) -> Option<ColGenSolution> {
+    let (min_sets, max_sets) = bounds;
+    let mut stats = ColGenStats { lp_bound: f64::NAN, ..Default::default() };
+    if num_elements == 0 {
+        // No elements: only empty sets could be selected and those are
+        // not admissible columns, so the empty selection is the sole
+        // candidate — feasible iff no minimum is demanded.
+        if min_sets.unwrap_or(0) > 0 {
+            return None;
+        }
+        return Some(ColGenSolution {
+            columns: Vec::new(),
+            cost: 0.0,
+            proven_optimal: true,
+            stats,
+        });
+    }
+    if min_sets.is_some_and(|min| min > num_elements) {
+        // Selected sets are disjoint and nonempty: at most one per element.
+        return None;
+    }
+
+    let mut pool = Pool::new();
+    for (members, cost) in initial {
+        if pool.insert(members.clone(), *cost) {
+            stats.columns_generated += 1;
+        }
+    }
+
+    let mut rounds_left = options.max_rounds;
+    let mut incumbent: Option<SetPartitionSolution> = None;
+    loop {
+        // Inner loop: re-solve the master and price until the LP is
+        // optimal over the *full* implicit pool.
+        let (duals, per_set, z_lp, art_usage) = loop {
+            let (model, art_vars) = master_model(&pool, num_elements, min_sets, max_sets);
+            stats.lp_solves += 1;
+            let (solution, duals) = match solve_lp_with_duals(&model) {
+                LpDualResult::Optimal { solution, duals } => (solution, duals),
+                // Artificials keep the master primal-feasible and the
+                // costs are nonnegative, so neither arm is reachable.
+                LpDualResult::Infeasible | LpDualResult::Unbounded => return None,
+            };
+            let art_usage: f64 = art_vars.iter().map(|&v| solution.values[v]).sum();
+            let per_set: f64 = duals[num_elements..].iter().sum();
+            let prices = DualPrices { element: &duals[..num_elements], per_set };
+            if rounds_left == 0 {
+                break (duals, per_set, solution.objective, art_usage);
+            }
+            rounds_left -= 1;
+            stats.pricing_calls += 1;
+            let request =
+                PricingRequest { threshold: -options.eps, max_columns: options.pricing_batch };
+            let fresh = price_into(&mut pool, source, &prices, &request, &mut stats);
+            if !fresh {
+                break (duals, per_set, solution.objective, art_usage);
+            }
+        };
+        let prices = DualPrices { element: &duals[..num_elements], per_set };
+
+        if art_usage > 1e-6 {
+            // The LP itself needs artificials: the restricted pool cannot
+            // even form a fractional cover. Ask for everything that is
+            // left; if the implicit pool is exhausted the instance is
+            // infeasible (the LP relaxation over the full pool has no
+            // solution, so neither has the IP).
+            if !exhaust(&mut pool, source, &prices, options, &mut rounds_left, &mut stats) {
+                return None;
+            }
+            continue;
+        }
+        stats.lp_bound = z_lp;
+
+        // Restricted IP over the real columns.
+        let mut problem = SetPartitionProblem::new(num_elements);
+        problem.min_sets = min_sets;
+        problem.max_sets = max_sets;
+        problem.max_nodes = options.max_nodes;
+        for (members, cost) in &pool.columns {
+            problem.add_set(members.clone(), *cost);
+        }
+        stats.ip_solves += 1;
+        match problem.solve_presolved(options.engine, &options.presolve) {
+            None => {
+                // LP-feasible but no integer cover in the restricted pool
+                // (cardinality bounds, parity…): only the full pool can
+                // decide, so fall back to exhaustive pricing.
+                if !exhaust(&mut pool, source, &prices, options, &mut rounds_left, &mut stats) {
+                    return incumbent.map(|s| finish(s, &pool, false, stats));
+                }
+                continue;
+            }
+            Some(solution) => {
+                let proven = solution.proven_optimal;
+                let better = incumbent.as_ref().is_none_or(|inc| solution.cost < inc.cost - 1e-12);
+                if better {
+                    incumbent = Some(solution.clone());
+                }
+                if !proven || rounds_left == 0 {
+                    let best = incumbent.expect("incumbent was just set or better");
+                    return Some(finish(best, &pool, false, stats));
+                }
+                let gap = solution.cost - z_lp;
+                if gap <= options.eps {
+                    let best = incumbent.expect("incumbent was just set or better");
+                    return Some(finish(best, &pool, true, stats));
+                }
+                // Any cover cheaper than the incumbent is built entirely
+                // from columns pricing below the gap (all reduced costs
+                // are ≥ −eps after convergence and they sum to < gap).
+                rounds_left -= 1;
+                stats.pricing_calls += 1;
+                let request = PricingRequest {
+                    threshold: gap + options.eps,
+                    max_columns: options.pricing_batch,
+                };
+                let fresh = price_into(&mut pool, source, &prices, &request, &mut stats);
+                if !fresh {
+                    let best = incumbent.expect("incumbent was just set or better");
+                    return Some(finish(best, &pool, true, stats));
+                }
+            }
+        }
+    }
+}
+
+/// Builds the restricted master LP: exactly-one rows per element, the
+/// optional cardinality rows, and one big-M artificial per element (in
+/// its cover row and the minimum row, never the maximum row, so the
+/// master is always feasible while artificials cannot mask a violated
+/// maximum). Returns the model and the artificial variable indices.
+fn master_model(
+    pool: &Pool,
+    num_elements: usize,
+    min_sets: Option<usize>,
+    max_sets: Option<usize>,
+) -> (Model, Vec<usize>) {
+    let max_cost = pool.columns.iter().map(|(_, c)| c.abs()).fold(1.0, f64::max);
+    let big_m = 10.0 * max_cost * (num_elements as f64 + 1.0);
+    let mut model = Model::new();
+    let vars: Vec<usize> = pool.columns.iter().map(|(_, cost)| model.add_var(*cost)).collect();
+    let art_vars: Vec<usize> = (0..num_elements).map(|_| model.add_var(big_m)).collect();
+    let mut cover: Vec<Vec<(usize, f64)>> =
+        (0..num_elements).map(|e| vec![(art_vars[e], 1.0)]).collect();
+    for (j, (members, _)) in pool.columns.iter().enumerate() {
+        for &e in members {
+            cover[e].push((vars[j], 1.0));
+        }
+    }
+    for terms in cover {
+        model.add_constraint(terms, Sense::Eq, 1.0);
+    }
+    if let Some(max) = max_sets {
+        model.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, max as f64);
+    }
+    if let Some(min) = min_sets {
+        let terms = vars.iter().chain(&art_vars).map(|&v| (v, 1.0)).collect();
+        model.add_constraint(terms, Sense::Ge, min as f64);
+    }
+    (model, art_vars)
+}
+
+/// One pricing call folded into the pool; returns whether anything new
+/// (or cheaper) arrived.
+fn price_into(
+    pool: &mut Pool,
+    source: &mut dyn ColumnSource,
+    prices: &DualPrices<'_>,
+    request: &PricingRequest,
+    stats: &mut ColGenStats,
+) -> bool {
+    let mut fresh = false;
+    for (members, cost) in source.price(prices, request) {
+        if pool.insert(members, cost) {
+            stats.columns_generated += 1;
+            fresh = true;
+        }
+    }
+    fresh
+}
+
+/// Prices with an infinite threshold until the source is exhausted.
+/// Returns whether the pool grew at all.
+fn exhaust(
+    pool: &mut Pool,
+    source: &mut dyn ColumnSource,
+    prices: &DualPrices<'_>,
+    options: &ColGenOptions,
+    rounds_left: &mut usize,
+    stats: &mut ColGenStats,
+) -> bool {
+    let mut grew = false;
+    while *rounds_left > 0 {
+        *rounds_left -= 1;
+        stats.pricing_calls += 1;
+        let request =
+            PricingRequest { threshold: f64::INFINITY, max_columns: options.pricing_batch };
+        let reply = source.price(prices, &request);
+        if reply.is_empty() {
+            return grew;
+        }
+        for (members, cost) in reply {
+            if pool.insert(members, cost) {
+                stats.columns_generated += 1;
+                grew = true;
+            }
+        }
+    }
+    grew
+}
+
+/// Maps a restricted-pool solution back to its columns.
+fn finish(
+    solution: SetPartitionSolution,
+    pool: &Pool,
+    proven_optimal: bool,
+    stats: ColGenStats,
+) -> ColGenSolution {
+    let mut columns: Vec<(Vec<usize>, f64)> =
+        solution.selected.iter().map(|&i| pool.columns[i].clone()).collect();
+    columns.sort_by(|a, b| a.0.cmp(&b.0));
+    ColGenSolution {
+        columns,
+        cost: solution.cost,
+        proven_optimal: proven_optimal && solution.proven_optimal,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colgen_over(
+        num_elements: usize,
+        bounds: (Option<usize>, Option<usize>),
+        pool: &[(&[usize], f64)],
+        initial: usize,
+    ) -> Option<ColGenSolution> {
+        let columns: Vec<(Vec<usize>, f64)> = pool.iter().map(|(m, c)| (m.to_vec(), *c)).collect();
+        let warm: Vec<(Vec<usize>, f64)> = columns[..initial].to_vec();
+        let mut source = EnumeratedColumnSource::new(columns);
+        solve_column_generation(num_elements, bounds, &warm, &mut source, &ColGenOptions::default())
+    }
+
+    fn oracle(
+        num_elements: usize,
+        bounds: (Option<usize>, Option<usize>),
+        pool: &[(&[usize], f64)],
+    ) -> Option<SetPartitionSolution> {
+        let mut p = SetPartitionProblem::new(num_elements);
+        p.min_sets = bounds.0;
+        p.max_sets = bounds.1;
+        for (members, cost) in pool {
+            p.add_set(members.to_vec(), *cost);
+        }
+        p.solve(SolveEngine::Dlx)
+    }
+
+    fn assert_matches_oracle(
+        num_elements: usize,
+        bounds: (Option<usize>, Option<usize>),
+        pool: &[(&[usize], f64)],
+        initial: usize,
+    ) -> Option<ColGenSolution> {
+        let cg = colgen_over(num_elements, bounds, pool, initial);
+        let oracle = oracle(num_elements, bounds, pool);
+        match (&cg, &oracle) {
+            (None, None) => {}
+            (Some(cg), Some(oracle)) => {
+                assert!(cg.proven_optimal, "{cg:?}");
+                assert!((cg.cost - oracle.cost).abs() < 1e-9, "{cg:?} vs {oracle:?}");
+                let mut covered = vec![0usize; num_elements];
+                for (members, _) in &cg.columns {
+                    for &e in members {
+                        covered[e] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "not an exact cover: {cg:?}");
+            }
+            other => panic!("routes disagree on feasibility: {other:?}"),
+        }
+        cg
+    }
+
+    #[test]
+    fn prices_in_the_optimal_pair() {
+        // Warm start: expensive singletons. The cheap pair {0,1} must be
+        // priced in through the duals.
+        let pool: &[(&[usize], f64)] =
+            &[(&[0], 1.0), (&[1], 1.0), (&[0, 1], 0.5), (&[0, 1, 2], 9.0), (&[2], 0.3)];
+        let s = assert_matches_oracle(3, (None, None), pool, 2).unwrap();
+        assert!((s.cost - 0.8).abs() < 1e-9);
+        assert_eq!(s.columns, vec![(vec![0, 1], 0.5), (vec![2], 0.3)]);
+    }
+
+    #[test]
+    fn gap_closing_prices_past_the_lp_optimum() {
+        // Odd cycle: the LP settles at 1.5 with the three pairs at ½ each
+        // and reduced cost of the triple (1.55 − 1.5) = 0.05 > 0, so the
+        // LP loop alone never admits it. Only the IP gap (1.7 − 1.5 = 0.2)
+        // prices it in; the true optimum is the triple at 1.55.
+        let pool: &[(&[usize], f64)] = &[
+            (&[0], 0.7),
+            (&[1], 0.7),
+            (&[2], 0.7),
+            (&[0, 1], 1.0),
+            (&[1, 2], 1.0),
+            (&[0, 2], 1.0),
+            (&[0, 1, 2], 1.55),
+        ];
+        let s = assert_matches_oracle(3, (None, None), pool, 6).unwrap();
+        assert!((s.cost - 1.55).abs() < 1e-9, "{s:?}");
+        assert_eq!(s.columns.len(), 1);
+        assert!(s.stats.ip_solves >= 2, "gap closing re-solved the IP: {:?}", s.stats);
+    }
+
+    #[test]
+    fn infeasible_when_the_full_pool_cannot_cover() {
+        let pool: &[(&[usize], f64)] = &[(&[0], 1.0), (&[1], 1.0)];
+        assert!(colgen_over(3, (None, None), pool, 1).is_none());
+    }
+
+    #[test]
+    fn cardinality_bounds_respected() {
+        // Optimum without bounds is the three singletons; max_sets = 2
+        // forces a pair in.
+        let pool: &[(&[usize], f64)] =
+            &[(&[0], 0.2), (&[1], 0.2), (&[2], 0.2), (&[0, 1], 1.0), (&[1, 2], 0.9)];
+        let s = assert_matches_oracle(3, (None, Some(2)), pool, 3).unwrap();
+        assert!((s.cost - 1.1).abs() < 1e-9, "{s:?}");
+        let s = assert_matches_oracle(3, (Some(3), None), pool, 5).unwrap();
+        assert!((s.cost - 0.6).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn restricted_infeasibility_triggers_exhaustive_pricing() {
+        // Warm start covers only {0}; with max_sets = 1 the restricted IP
+        // is infeasible until the full set {0,1,2} arrives.
+        let pool: &[(&[usize], f64)] = &[(&[0], 0.1), (&[0, 1, 2], 2.0), (&[1], 0.1), (&[2], 0.1)];
+        let s = assert_matches_oracle(3, (None, Some(1)), pool, 1).unwrap();
+        assert!((s.cost - 2.0).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn infeasible_bounds_detected() {
+        let pool: &[(&[usize], f64)] = &[(&[0, 1], 1.0), (&[0], 0.4), (&[1], 0.4)];
+        // min_sets = 3 > num_elements is impossible.
+        assert!(colgen_over(2, (Some(3), None), pool, 1).is_none());
+        // max_sets = 0 cannot cover anything.
+        assert!(colgen_over(2, (None, Some(0)), pool, 1).is_none());
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = colgen_over(0, (None, None), &[], 0).unwrap();
+        assert!(s.columns.is_empty());
+        assert_eq!(s.cost, 0.0);
+        assert!(s.proven_optimal);
+        assert!(colgen_over(0, (Some(1), None), &[], 0).is_none());
+    }
+
+    #[test]
+    fn empty_warm_start_bootstraps_from_artificials() {
+        // No initial columns at all: the first duals are pure big-M, which
+        // price every useful column in immediately.
+        let pool: &[(&[usize], f64)] = &[(&[0, 1], 1.0), (&[2], 0.5), (&[0], 0.8), (&[1], 0.8)];
+        let s = assert_matches_oracle(3, (None, None), pool, 0).unwrap();
+        assert!((s.cost - 1.5).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_columns_are_normalized() {
+        let pool: &[(&[usize], f64)] =
+            &[(&[1, 0], 1.0), (&[0, 1], 0.6), (&[1, 0, 1], 0.9), (&[0], 0.4), (&[1], 0.4)];
+        let s = assert_matches_oracle(2, (None, None), pool, 5).unwrap();
+        assert!((s.cost - 0.6).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn stats_track_the_run() {
+        let pool: &[(&[usize], f64)] = &[(&[0], 1.0), (&[1], 1.0), (&[0, 1], 0.5)];
+        let s = colgen_over(2, (None, None), pool, 2).unwrap();
+        assert!(s.stats.lp_solves >= 1);
+        assert!(s.stats.ip_solves >= 1);
+        assert_eq!(s.stats.columns_generated, 3);
+        assert!(s.stats.lp_bound.is_finite());
+        assert!(s.stats.lp_bound <= s.cost + 1e-9);
+    }
+}

@@ -25,6 +25,7 @@
 //! direct solve, which stays available as the differential-testing oracle.
 
 pub mod branch_bound;
+pub mod colgen;
 pub mod dlx;
 pub mod model;
 pub mod presolve;
@@ -32,10 +33,15 @@ pub mod setpart;
 pub mod simplex;
 
 pub use branch_bound::{solve_binary_program, BnbOptions, BnbResult};
+pub use colgen::{
+    solve_column_generation, ColGenOptions, ColGenSolution, ColGenStats, ColumnSource, DualPrices,
+    EnumeratedColumnSource, PricingRequest,
+};
 pub use dlx::{CoverOutcome, ExactCover, SolveParams};
 pub use model::{LinearConstraint, Model, Sense};
 pub use presolve::{
-    presolve, Component, PresolveOptions, PresolveOutcome, PresolveStats, ReducedProblem,
+    presolve, Component, DecompositionStatus, FrontierOutcome, PresolveOptions, PresolveOutcome,
+    PresolveStats, ReducedProblem,
 };
 pub use setpart::{SetPartitionProblem, SetPartitionSolution, SolveEngine};
-pub use simplex::{solve_lp, LpResult, LpSolution};
+pub use simplex::{solve_lp, solve_lp_with_duals, LpDualResult, LpResult, LpSolution};

@@ -20,8 +20,14 @@
 //!    implied by `a`'s and `b` leaves the universe.
 //! 4. **Connected-component decomposition** — the residual element/set
 //!    graph splits into connected components that share no elements;
-//!    each solves independently and the solutions concatenate. (Skipped
-//!    when residual cardinality bounds couple the components.)
+//!    each solves independently and the solutions concatenate. When
+//!    residual cardinality bounds couple the components, decomposition
+//!    still applies through the **cardinality frontier DP**: every
+//!    component is solved once per admissible set count `k` (its
+//!    `(cost, k)` frontier) and a dynamic program picks one frontier
+//!    entry per component so the total count lands inside the bounds at
+//!    minimum cost. [`PresolveStats::decomposition`] records which of
+//!    these paths ran — or why none did.
 //!
 //! Every reduction is exact: the reduced instance has the same optimal
 //! cost as the original, and solutions map back through the recorded
@@ -46,6 +52,12 @@ pub struct PresolveOptions {
     pub fix_mandatory: bool,
     /// Split the residual instance into connected components.
     pub decompose: bool,
+    /// When residual cardinality bounds couple the components, still
+    /// decompose and recombine per-component `(cost, #sets)` frontiers
+    /// with a dynamic program (see [`ReducedProblem::frontier_tasks`]).
+    /// `false` restores the pre-DP behavior: bounds force one monolithic
+    /// solve, recorded as [`DecompositionStatus::BoundsWithoutDp`].
+    pub cardinality_dp: bool,
     /// Seed each component with a greedy feasible cover.
     pub warm_start: bool,
     /// Tighten the lower bound of large DLX components with the LP
@@ -61,6 +73,23 @@ pub struct PresolveOptions {
     pub lp_bound_max_sets: usize,
 }
 
+impl PresolveOptions {
+    /// The LP-bound size threshold: DLX components with **more** than this
+    /// many sets compute the LP-relaxation lower bound before searching
+    /// (`lp_bound_min_sets` defaults to this + 1). Below it, the
+    /// dancing-links search with its built-in per-column share bound
+    /// finishes faster than one dense LP solve; measured on the
+    /// `bench_selection` instances the crossover sits near 256 sets.
+    /// Selections must be identical on both sides of the threshold — the
+    /// LP only tightens a lower bound, it never changes the optimum — and
+    /// a regression test pins that.
+    pub const LP_BOUND_SET_THRESHOLD: usize = 256;
+    /// Default ceiling for the LP bound: the dense tableau grows
+    /// quadratically, so past this many sets the LP costs more than the
+    /// pruning it buys.
+    pub const LP_BOUND_SET_CEILING: usize = 512;
+}
+
 impl Default for PresolveOptions {
     fn default() -> Self {
         PresolveOptions {
@@ -68,12 +97,37 @@ impl Default for PresolveOptions {
             dominance: true,
             fix_mandatory: true,
             decompose: true,
+            cardinality_dp: true,
             warm_start: true,
             lp_bound: true,
-            lp_bound_min_sets: 257,
-            lp_bound_max_sets: 512,
+            lp_bound_min_sets: Self::LP_BOUND_SET_THRESHOLD + 1,
+            lp_bound_max_sets: Self::LP_BOUND_SET_CEILING,
         }
     }
+}
+
+/// How the residual instance was (or was not) decomposed — surfaced so
+/// callers can see *why* a solve went monolithic instead of silently
+/// paying for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DecompositionStatus {
+    /// Presolve solved or refuted the instance outright; no residual was
+    /// left to decompose.
+    #[default]
+    NoResidual,
+    /// The residual split into two or more independent components.
+    Decomposed,
+    /// Residual cardinality bounds couple the components; they were still
+    /// split and recombined through the cardinality frontier DP.
+    CoupledDp,
+    /// The residual element/set graph is a single connected block.
+    SingleComponent,
+    /// [`PresolveOptions::decompose`] was off.
+    DisabledByOptions,
+    /// Residual cardinality bounds were present and
+    /// [`PresolveOptions::cardinality_dp`] was off, so the residual was
+    /// solved as one block.
+    BoundsWithoutDp,
 }
 
 /// What presolve removed, for logging and benchmarks.
@@ -90,6 +144,8 @@ pub struct PresolveStats {
     /// Connected components of the residual instance (0 when solved or
     /// infeasible outright).
     pub components: usize,
+    /// How (or why not) the residual decomposed.
+    pub decomposition: DecompositionStatus,
 }
 
 /// Outcome of presolving an instance.
@@ -98,7 +154,7 @@ pub enum PresolveOutcome<'a> {
     /// Presolve proved that no exact cover satisfies the bounds.
     Infeasible,
     /// Presolve solved the instance outright (everything was forced).
-    Solved(SetPartitionSolution),
+    Solved(SetPartitionSolution, PresolveStats),
     /// A reduced instance remains; solve its components and assemble.
     Reduced(ReducedProblem<'a>),
 }
@@ -137,6 +193,28 @@ pub struct ReducedProblem<'a> {
     /// Sets forced into every solution (ascending original indices).
     fixed: Vec<usize>,
     components: Vec<Component>,
+    /// Residual cardinality bounds after the forced selections. `None`
+    /// entries mean unbounded; when [`Self::is_coupled`] the component
+    /// problems carry no local bounds and these drive the frontier DP.
+    residual_min: Option<usize>,
+    residual_max: Option<usize>,
+    /// Per-component admissible `#sets` ranges `(lo, hi)`; nonempty only
+    /// when coupled.
+    ranges: Vec<(usize, usize)>,
+}
+
+/// One entry of a component's cardinality frontier: the outcome of
+/// solving the component with exactly `k` selected sets.
+#[derive(Debug, Clone)]
+pub enum FrontierOutcome {
+    /// The optimal cover with exactly that many sets (original indices).
+    Solution(SetPartitionSolution),
+    /// No cover with exactly that many sets exists.
+    Infeasible,
+    /// The node budget ran out undecided; an unproven incumbent may be
+    /// carried along (it keeps the assembly feasible but the assembled
+    /// solution loses its optimality proof).
+    Exhausted(Option<SetPartitionSolution>),
 }
 
 impl ReducedProblem<'_> {
@@ -153,6 +231,14 @@ impl ReducedProblem<'_> {
     /// What presolve removed.
     pub fn stats(&self) -> PresolveStats {
         self.stats
+    }
+
+    /// Whether residual cardinality bounds couple the components, i.e.
+    /// solving goes through [`Self::frontier_tasks`] /
+    /// [`Self::assemble_frontier`] instead of
+    /// [`Self::solve_component`] / [`Self::assemble`].
+    pub fn is_coupled(&self) -> bool {
+        !self.ranges.is_empty()
     }
 
     /// Solves component `idx` with `engine`, seeded with a greedy warm
@@ -219,9 +305,143 @@ impl ReducedProblem<'_> {
 
     /// Solves every component serially and assembles the result.
     pub fn solve(&self, engine: SolveEngine) -> Option<SetPartitionSolution> {
+        if self.is_coupled() {
+            let tasks = self.frontier_tasks();
+            let outcomes: Vec<FrontierOutcome> =
+                tasks.iter().map(|&(c, k)| self.solve_frontier_task(c, k, engine)).collect();
+            return self.assemble_frontier(outcomes);
+        }
         let solutions: Vec<Option<SetPartitionSolution>> =
             (0..self.components.len()).map(|i| self.solve_component(i, engine)).collect();
         self.assemble(solutions)
+    }
+
+    /// The `(component, k)` pairs the cardinality frontier DP needs, in a
+    /// fixed order. The tasks are fully independent — callers may solve
+    /// them in any order or in parallel and feed the outcomes back to
+    /// [`Self::assemble_frontier`] *in this order*; the assembled result
+    /// is identical either way. Empty unless [`Self::is_coupled`].
+    pub fn frontier_tasks(&self) -> Vec<(usize, usize)> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &(lo, hi))| (lo..=hi).map(move |k| (c, k)))
+            .collect()
+    }
+
+    /// Solves component `idx` with exactly `k` selected sets (one
+    /// frontier entry), seeded with a greedy warm start (when it happens
+    /// to hit `k`) and the share lower bound.
+    pub fn solve_frontier_task(
+        &self,
+        idx: usize,
+        k: usize,
+        engine: SolveEngine,
+    ) -> FrontierOutcome {
+        let component = &self.components[idx];
+        let mut problem = component.problem.clone();
+        problem.min_sets = Some(k);
+        problem.max_sets = Some(k);
+        let warm_start = if self.options.warm_start { greedy_cover(&problem) } else { None };
+        let lower_bound = Some(share_bound(&problem));
+        let (local, conclusive) = match engine {
+            SolveEngine::Dlx => problem.solve_dlx_outcome(warm_start, lower_bound),
+            SolveEngine::SimplexBnb => problem.solve_bnb_outcome(warm_start, lower_bound),
+        };
+        let mapped = local.map(|local| {
+            let mut selected: Vec<usize> =
+                local.selected.iter().map(|&i| component.set_map[i]).collect();
+            selected.sort_unstable();
+            SetPartitionSolution {
+                selected,
+                cost: local.cost,
+                proven_optimal: local.proven_optimal,
+            }
+        });
+        match (mapped, conclusive) {
+            (Some(solution), true) => FrontierOutcome::Solution(solution),
+            (None, true) => FrontierOutcome::Infeasible,
+            (incumbent, false) => FrontierOutcome::Exhausted(incumbent),
+        }
+    }
+
+    /// Combines per-component cardinality frontiers into the cheapest
+    /// selection whose total set count satisfies the residual bounds.
+    /// `outcomes` must match [`Self::frontier_tasks`] order. `None` when
+    /// no admissible combination exists. The DP is deterministic (strict
+    /// improvement, smallest total on cost ties), so serial and parallel
+    /// task solves assemble bit-identical results.
+    pub fn assemble_frontier(
+        &self,
+        outcomes: impl IntoIterator<Item = FrontierOutcome>,
+    ) -> Option<SetPartitionSolution> {
+        // Regroup the flat task list into per-component frontiers.
+        let mut frontiers: Vec<Vec<(usize, SetPartitionSolution)>> =
+            vec![Vec::new(); self.components.len()];
+        let mut exhausted = false;
+        for (&(c, k), outcome) in self.frontier_tasks().iter().zip(outcomes) {
+            match outcome {
+                FrontierOutcome::Solution(s) => frontiers[c].push((k, s)),
+                FrontierOutcome::Infeasible => {}
+                FrontierOutcome::Exhausted(incumbent) => {
+                    exhausted = true;
+                    if let Some(s) = incumbent {
+                        frontiers[c].push((k, s));
+                    }
+                }
+            }
+        }
+        if frontiers.iter().any(Vec::is_empty) {
+            return None;
+        }
+        let cap = self.residual_max.unwrap_or_else(|| self.ranges.iter().map(|&(_, hi)| hi).sum());
+        // dp[t] = min cost with exactly `t` sets over the components seen
+        // so far; `choice[c][t]` records which frontier entry of
+        // component `c` achieved it.
+        let mut dp = vec![f64::INFINITY; cap + 1];
+        dp[0] = 0.0;
+        let mut choice: Vec<Vec<Option<usize>>> = Vec::with_capacity(self.components.len());
+        for frontier in &frontiers {
+            let mut next = vec![f64::INFINITY; cap + 1];
+            let mut chosen = vec![None; cap + 1];
+            for (t, &base) in dp.iter().enumerate() {
+                if !base.is_finite() {
+                    continue;
+                }
+                for (entry, (k, solution)) in frontier.iter().enumerate() {
+                    let total = t + k;
+                    if total > cap {
+                        continue;
+                    }
+                    let cost = base + solution.cost;
+                    if cost < next[total] {
+                        next[total] = cost;
+                        chosen[total] = Some(entry);
+                    }
+                }
+            }
+            dp = next;
+            choice.push(chosen);
+        }
+        let lo = self.residual_min.unwrap_or(0);
+        let best_total = (lo..=cap)
+            .filter(|&t| dp[t].is_finite())
+            .min_by(|&a, &b| dp[a].total_cmp(&dp[b]).then(a.cmp(&b)))?;
+        // Walk the choices backwards to collect the selection.
+        let mut selected = self.fixed.clone();
+        let mut proven_optimal = !exhausted;
+        let mut total = best_total;
+        for (c, frontier) in frontiers.iter().enumerate().rev() {
+            let entry = choice[c][total].expect("dp reached this total through component c");
+            let (k, solution) = &frontier[entry];
+            proven_optimal &= solution.proven_optimal;
+            selected.extend_from_slice(&solution.selected);
+            total -= k;
+        }
+        debug_assert_eq!(total, 0);
+        selected.sort_unstable();
+        let cost = selected.iter().map(|&i| self.problem.sets[i].1).sum();
+        Some(SetPartitionSolution { selected, cost, proven_optimal })
     }
 }
 
@@ -532,19 +752,38 @@ pub fn presolve<'a>(
             return PresolveOutcome::Infeasible;
         }
         let cost = fixed.iter().map(|&i| problem.sets[i].1).sum();
-        return PresolveOutcome::Solved(SetPartitionSolution {
-            selected: fixed,
-            cost,
-            proven_optimal: true,
-        });
+        return PresolveOutcome::Solved(
+            SetPartitionSolution { selected: fixed, cost, proven_optimal: true },
+            stats,
+        );
     }
 
-    // Cardinality bounds couple the components; solve as one block then.
-    let bounded = residual_min.unwrap_or(0) > 0 || residual_max.is_some();
-    let element_groups: Vec<Vec<usize>> = if options.decompose && !bounded {
+    // A maximum at or above the residual element count can never bind
+    // (selected sets are disjoint and nonempty), so only a real minimum
+    // or a binding maximum couples the components.
+    let binding_max = residual_max.filter(|&max| max < alive_elements.len());
+    let bounded = residual_min.unwrap_or(0) > 0 || binding_max.is_some();
+    let coupled = bounded && options.decompose && options.cardinality_dp;
+    let element_groups: Vec<Vec<usize>> = if options.decompose && (!bounded || coupled) {
         connected_components(&reducer, &alive_elements)
     } else {
         vec![alive_elements]
+    };
+    // The frontier DP only earns its keep with ≥ 2 components; a single
+    // block solves directly with the bounds attached.
+    let coupled = coupled && element_groups.len() > 1;
+    stats.decomposition = if bounded && coupled {
+        DecompositionStatus::CoupledDp
+    } else if bounded && !options.decompose {
+        DecompositionStatus::DisabledByOptions
+    } else if bounded && !options.cardinality_dp {
+        DecompositionStatus::BoundsWithoutDp
+    } else if !options.decompose {
+        DecompositionStatus::DisabledByOptions
+    } else if element_groups.len() > 1 {
+        DecompositionStatus::Decomposed
+    } else {
+        DecompositionStatus::SingleComponent
     };
 
     let mut components = Vec::with_capacity(element_groups.len());
@@ -554,8 +793,10 @@ pub fn presolve<'a>(
             local_id.insert(element, local);
         }
         let mut local = SetPartitionProblem::new(elements.len());
-        local.min_sets = residual_min.filter(|&m| m > 0);
-        local.max_sets = residual_max;
+        if !coupled {
+            local.min_sets = residual_min.filter(|&m| m > 0);
+            local.max_sets = residual_max;
+        }
         local.max_nodes = problem.max_nodes;
         let mut set_map = Vec::new();
         for (set, members) in reducer.members.iter().enumerate() {
@@ -569,13 +810,76 @@ pub fn presolve<'a>(
         components.push(Component { problem: local, set_map });
     }
     stats.components = components.len();
+    let ranges = if coupled {
+        match frontier_ranges(&components, residual_min, residual_max) {
+            Some(ranges) => ranges,
+            // The k-ranges cannot meet the bounds no matter the costs.
+            None => return PresolveOutcome::Infeasible,
+        }
+    } else {
+        Vec::new()
+    };
     PresolveOutcome::Reduced(ReducedProblem {
         problem,
         options: options.clone(),
         stats,
         fixed,
         components,
+        residual_min: residual_min.filter(|&m| m > 0),
+        residual_max,
+        ranges,
     })
+}
+
+/// Per-component admissible set-count ranges `(lo, hi)` under the global
+/// residual bounds: `lo` from the pigeonhole bound `⌈|elements| / max set
+/// size⌉`, `hi` from the element count, both tightened to a fixpoint
+/// against what the *other* components must at least / can at most
+/// contribute. `None` when some range empties — the coupled instance is
+/// infeasible regardless of costs.
+fn frontier_ranges(
+    components: &[Component],
+    residual_min: Option<usize>,
+    residual_max: Option<usize>,
+) -> Option<Vec<(usize, usize)>> {
+    let mut ranges: Vec<(usize, usize)> = components
+        .iter()
+        .map(|c| {
+            let elements = c.problem.num_elements;
+            let largest = c.problem.sets.iter().map(|(m, _)| m.len()).max().unwrap_or(1);
+            (elements.div_ceil(largest), elements)
+        })
+        .collect();
+    loop {
+        let lo_sum: usize = ranges.iter().map(|&(lo, _)| lo).sum();
+        let hi_sum: usize = ranges.iter().map(|&(_, hi)| hi).sum();
+        let mut changed = false;
+        for range in &mut ranges {
+            let (lo, hi) = *range;
+            if let Some(max) = residual_max {
+                // The others need at least `lo_sum - lo` sets.
+                let budget = max.checked_sub(lo_sum - lo)?;
+                if budget < hi {
+                    range.1 = budget;
+                    changed = true;
+                }
+            }
+            if let Some(min) = residual_min {
+                // The others can contribute at most `hi_sum - hi` sets.
+                let need = min.saturating_sub(hi_sum - hi);
+                if need > lo {
+                    range.0 = need;
+                    changed = true;
+                }
+            }
+            if range.0 > range.1 {
+                return None;
+            }
+        }
+        if !changed {
+            return Some(ranges);
+        }
+    }
 }
 
 /// Groups alive elements into connected components of the element/set
@@ -656,10 +960,11 @@ mod tests {
         // makes {2} mandatory for element 2.
         let p = problem(3, &[(&[0, 1], 1.0), (&[1, 2], 1.0), (&[2], 0.5)]);
         match presolve(&p, &PresolveOptions::default()) {
-            PresolveOutcome::Solved(s) => {
+            PresolveOutcome::Solved(s, stats) => {
                 assert_eq!(s.selected, vec![0, 2]);
                 assert!((s.cost - 1.5).abs() < 1e-12);
                 assert!(s.proven_optimal);
+                assert_eq!(stats.decomposition, DecompositionStatus::NoResidual);
             }
             other => panic!("expected Solved, got {other:?}"),
         }
@@ -720,7 +1025,7 @@ mod tests {
     }
 
     #[test]
-    fn cardinality_bounds_disable_decomposition_but_stay_exact() {
+    fn cardinality_bounds_decompose_through_the_frontier_dp() {
         let mut p = problem(
             4,
             &[(&[0, 1], 1.0), (&[0], 0.7), (&[1], 0.7), (&[2, 3], 2.0), (&[2], 0.6), (&[3], 0.6)],
@@ -728,10 +1033,129 @@ mod tests {
         p.max_sets = Some(2);
         let opts = PresolveOptions { fix_mandatory: false, dominance: false, ..Default::default() };
         let r = reduced(&p, &opts);
-        assert_eq!(r.components().len(), 1, "bounds couple the blocks");
+        assert_eq!(r.components().len(), 2, "the DP keeps the blocks separate");
+        assert!(r.is_coupled());
+        assert_eq!(r.stats().decomposition, DecompositionStatus::CoupledDp);
         let s = r.solve(SolveEngine::Dlx).unwrap();
         let oracle = p.solve(SolveEngine::Dlx).unwrap();
         assert_eq!(s.selected, vec![0, 3]);
+        assert!((s.cost - oracle.cost).abs() < 1e-9);
+        assert!(s.proven_optimal);
+    }
+
+    #[test]
+    fn cardinality_dp_opt_out_solves_monolithically() {
+        // With the frontier DP disabled, bounds fall back to the old
+        // behavior: one coupled block carrying the residual bounds.
+        let mut p = problem(
+            4,
+            &[(&[0, 1], 1.0), (&[0], 0.7), (&[1], 0.7), (&[2, 3], 2.0), (&[2], 0.6), (&[3], 0.6)],
+        );
+        p.max_sets = Some(2);
+        let opts = PresolveOptions {
+            fix_mandatory: false,
+            dominance: false,
+            cardinality_dp: false,
+            ..Default::default()
+        };
+        let r = reduced(&p, &opts);
+        assert_eq!(r.components().len(), 1, "bounds couple the blocks");
+        assert!(!r.is_coupled());
+        assert_eq!(r.stats().decomposition, DecompositionStatus::BoundsWithoutDp);
+        let s = r.solve(SolveEngine::Dlx).unwrap();
+        let oracle = p.solve(SolveEngine::Dlx).unwrap();
+        assert_eq!(s.selected, vec![0, 3]);
+        assert!((s.cost - oracle.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_bounds_decompose_through_the_frontier_dp() {
+        // A minimum forces the expensive singletons in the cheapest way
+        // across both blocks; the DP must pick the global split (1 + 2 or
+        // 2 + 1), not a per-component guess.
+        let mut p = problem(
+            4,
+            &[(&[0, 1], 1.0), (&[0], 0.7), (&[1], 0.8), (&[2, 3], 1.0), (&[2], 0.6), (&[3], 0.85)],
+        );
+        p.min_sets = Some(3);
+        let opts = PresolveOptions { fix_mandatory: false, dominance: false, ..Default::default() };
+        let r = reduced(&p, &opts);
+        assert!(r.is_coupled());
+        for engine in [SolveEngine::Dlx, SolveEngine::SimplexBnb] {
+            let s = r.solve(engine).unwrap();
+            let oracle = p.solve(engine).unwrap();
+            assert!((s.cost - oracle.cost).abs() < 1e-9, "{engine:?}");
+            assert_eq!(s.selected, oracle.selected, "{engine:?}");
+            assert!(s.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn frontier_dp_detects_infeasible_ranges() {
+        // Two blocks of two elements each with only singleton covers:
+        // any cover needs 4 sets, but max_sets = 3.
+        let mut p = problem(4, &[(&[0], 0.5), (&[1], 0.5), (&[2], 0.5), (&[3], 0.5)]);
+        p.max_sets = Some(3);
+        let opts = PresolveOptions { fix_mandatory: false, dominance: false, ..Default::default() };
+        match presolve(&p, &opts) {
+            PresolveOutcome::Infeasible => {}
+            PresolveOutcome::Reduced(r) => assert!(r.solve(SolveEngine::Dlx).is_none()),
+            PresolveOutcome::Solved(s, _) => panic!("unexpected solve: {s:?}"),
+        }
+        assert!(p.solve(SolveEngine::Dlx).is_none(), "oracle agrees");
+    }
+
+    #[test]
+    fn lp_bound_threshold_is_selection_invariant() {
+        // The LP bound is a pruning aid, never a correctness lever:
+        // forcing a component to either side of
+        // `PresolveOptions::LP_BOUND_SET_THRESHOLD` must yield the same
+        // selection bit for bit. Build one odd-cycle-ish block (so the LP
+        // relaxation is fractional and actually differs from the IP) and
+        // solve it with the LP gate wide open and fully closed.
+        let mut p = SetPartitionProblem::new(9);
+        for i in 0..9usize {
+            p.add_set(vec![i, (i + 1) % 9], 1.0 + 0.01 * i as f64);
+            p.add_set(vec![i], 0.61 + 0.005 * i as f64);
+        }
+        let lp_on = PresolveOptions {
+            lp_bound_min_sets: 0,
+            lp_bound_max_sets: usize::MAX,
+            ..Default::default()
+        };
+        let lp_off = PresolveOptions { lp_bound: false, ..Default::default() };
+        assert!(p.sets.len() <= PresolveOptions::LP_BOUND_SET_THRESHOLD);
+        let on = p.solve_presolved(SolveEngine::Dlx, &lp_on).unwrap();
+        let off = p.solve_presolved(SolveEngine::Dlx, &lp_off).unwrap();
+        let default = p.solve_presolved(SolveEngine::Dlx, &PresolveOptions::default()).unwrap();
+        assert_eq!(on.selected, off.selected);
+        assert_eq!(on.selected, default.selected);
+        assert_eq!(on.cost.to_bits(), off.cost.to_bits());
+        assert_eq!(on.cost.to_bits(), default.cost.to_bits());
+        assert!(on.proven_optimal && off.proven_optimal);
+        // Both thresholds stay coherent: the window is non-empty.
+        const { assert!(PresolveOptions::LP_BOUND_SET_THRESHOLD < PresolveOptions::LP_BOUND_SET_CEILING) }
+        let defaults = PresolveOptions::default();
+        assert_eq!(defaults.lp_bound_min_sets, PresolveOptions::LP_BOUND_SET_THRESHOLD + 1);
+        assert_eq!(defaults.lp_bound_max_sets, PresolveOptions::LP_BOUND_SET_CEILING);
+    }
+
+    #[test]
+    fn loose_max_bound_does_not_couple() {
+        // max_sets ≥ residual element count can never bind, so plain
+        // decomposition applies and no frontier ranges are computed.
+        let mut p = problem(
+            4,
+            &[(&[0, 1], 1.0), (&[0], 0.7), (&[1], 0.7), (&[2, 3], 2.0), (&[2], 0.6), (&[3], 0.6)],
+        );
+        p.max_sets = Some(4);
+        let opts = PresolveOptions { fix_mandatory: false, dominance: false, ..Default::default() };
+        let r = reduced(&p, &opts);
+        assert_eq!(r.components().len(), 2);
+        assert!(!r.is_coupled());
+        assert_eq!(r.stats().decomposition, DecompositionStatus::Decomposed);
+        let s = r.solve(SolveEngine::Dlx).unwrap();
+        let oracle = p.solve(SolveEngine::Dlx).unwrap();
         assert!((s.cost - oracle.cost).abs() < 1e-9);
     }
 

@@ -97,7 +97,7 @@ impl SetPartitionProblem {
     ) -> Option<SetPartitionSolution> {
         match presolve(self, options) {
             PresolveOutcome::Infeasible => None,
-            PresolveOutcome::Solved(solution) => Some(solution),
+            PresolveOutcome::Solved(solution, _) => Some(solution),
             PresolveOutcome::Reduced(reduced) => reduced.solve(engine),
         }
     }
@@ -136,6 +136,19 @@ impl SetPartitionProblem {
         warm_start: Option<(Vec<usize>, f64)>,
         lower_bound: Option<f64>,
     ) -> Option<SetPartitionSolution> {
+        self.solve_dlx_outcome(warm_start, lower_bound).0
+    }
+
+    /// Like [`Self::solve_dlx_with`] but also reports whether the answer
+    /// is *conclusive* — `(None, true)` is proven infeasibility while
+    /// `(None, false)` means the node budget ran out undecided. The
+    /// cardinality frontier DP in [`crate::presolve`] needs that
+    /// distinction to keep its optimality proofs honest.
+    pub(crate) fn solve_dlx_outcome(
+        &self,
+        warm_start: Option<(Vec<usize>, f64)>,
+        lower_bound: Option<f64>,
+    ) -> (Option<SetPartitionSolution>, bool) {
         let mut ec = ExactCover::new(self.num_elements);
         for (members, cost) in &self.sets {
             ec.add_row(members.clone(), *cost);
@@ -150,13 +163,14 @@ impl SetPartitionProblem {
         match ec.solve_params(&params) {
             CoverOutcome::Optimal { mut rows, cost } => {
                 rows.sort_unstable();
-                Some(SetPartitionSolution { selected: rows, cost, proven_optimal: true })
+                (Some(SetPartitionSolution { selected: rows, cost, proven_optimal: true }), true)
             }
             CoverOutcome::Feasible { mut rows, cost } => {
                 rows.sort_unstable();
-                Some(SetPartitionSolution { selected: rows, cost, proven_optimal: false })
+                (Some(SetPartitionSolution { selected: rows, cost, proven_optimal: false }), false)
             }
-            CoverOutcome::Infeasible | CoverOutcome::Unknown => None,
+            CoverOutcome::Infeasible => (None, true),
+            CoverOutcome::Unknown => (None, false),
         }
     }
 
@@ -165,6 +179,16 @@ impl SetPartitionProblem {
         warm_start: Option<(Vec<usize>, f64)>,
         lower_bound: Option<f64>,
     ) -> Option<SetPartitionSolution> {
+        self.solve_bnb_outcome(warm_start, lower_bound).0
+    }
+
+    /// Outcome-reporting twin of [`Self::solve_bnb_with`]; see
+    /// [`Self::solve_dlx_outcome`].
+    pub(crate) fn solve_bnb_outcome(
+        &self,
+        warm_start: Option<(Vec<usize>, f64)>,
+        lower_bound: Option<f64>,
+    ) -> (Option<SetPartitionSolution>, bool) {
         let model = self.binary_model();
         // Translate a row-index warm start into a 0/1 assignment.
         let incumbent = warm_start.map(|(rows, cost)| {
@@ -180,14 +204,21 @@ impl SetPartitionProblem {
             BnbResult::Optimal { values, objective } => {
                 let selected: Vec<usize> =
                     (0..self.sets.len()).filter(|&i| values[i] > 0.5).collect();
-                Some(SetPartitionSolution { selected, cost: objective, proven_optimal: true })
+                (
+                    Some(SetPartitionSolution { selected, cost: objective, proven_optimal: true }),
+                    true,
+                )
             }
             BnbResult::Feasible { values, objective } => {
                 let selected: Vec<usize> =
                     (0..self.sets.len()).filter(|&i| values[i] > 0.5).collect();
-                Some(SetPartitionSolution { selected, cost: objective, proven_optimal: false })
+                (
+                    Some(SetPartitionSolution { selected, cost: objective, proven_optimal: false }),
+                    false,
+                )
             }
-            BnbResult::Infeasible | BnbResult::NodeLimit => None,
+            BnbResult::Infeasible => (None, true),
+            BnbResult::NodeLimit => (None, false),
         }
     }
 }

@@ -12,6 +12,11 @@ use crate::model::{Model, Sense};
 
 const EPS: f64 = 1e-9;
 
+/// Ratios below this are treated as exactly degenerate (zero progress) in
+/// the ratio test, so Bland's smallest-index tie-break sees exact ties
+/// instead of round-off noise. See [`Tableau::optimize`].
+const DEGENERATE_RATIO: f64 = 1e-9;
+
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpResult {
@@ -32,10 +37,46 @@ pub struct LpSolution {
     pub objective: f64,
 }
 
+/// Outcome of an LP solve that also reports the dual prices — the input to
+/// column-generation pricing (see [`crate::colgen`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpDualResult {
+    /// An optimal basic solution with one dual price per model constraint.
+    Optimal {
+        /// The primal solution.
+        solution: LpSolution,
+        /// `duals[r]` prices constraint `r` in its *original* orientation:
+        /// at optimality every structural column `j` satisfies
+        /// `c_j - Σ_r duals[r]·A[r][j] ≥ 0` and `Σ_r duals[r]·b_r` equals
+        /// the objective (strong duality).
+        duals: Vec<f64>,
+    },
+    /// The constraint system has no solution with `x ≥ 0`.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
 /// Solves the LP relaxation of `model` (variables in `[0, ∞)`); callers that
 /// need `x ≤ 1` add those rows explicitly (see [`solve_lp_box`]).
 pub fn solve_lp(model: &Model) -> LpResult {
-    Tableau::build(model).solve(model)
+    Tableau::build(model).solve(model).0
+}
+
+/// Solves the LP relaxation and extracts the optimal dual prices from the
+/// final tableau. Each row keeps an identity-start column (the slack of a
+/// `≤` row, the artificial of a `≥`/`=` row) whose final-tableau entries
+/// are `B⁻¹e_r`, so `y = c_B'B⁻¹` falls out of a single pass over the
+/// basis — no separate dual solve. Artificial columns are barred from
+/// re-entering the basis in phase 2 but their entries stay updated, which
+/// is exactly what makes this read-off valid.
+pub fn solve_lp_with_duals(model: &Model) -> LpDualResult {
+    match Tableau::build(model).solve(model) {
+        (LpResult::Optimal(solution), Some(duals)) => LpDualResult::Optimal { solution, duals },
+        (LpResult::Optimal(_), None) => unreachable!("optimal solves always produce duals"),
+        (LpResult::Infeasible, _) => LpDualResult::Infeasible,
+        (LpResult::Unbounded, _) => LpDualResult::Unbounded,
+    }
 }
 
 /// Solves the LP relaxation with box constraints `0 ≤ x ≤ 1` on every
@@ -64,6 +105,13 @@ struct Tableau {
     /// Index of the first artificial column.
     art_start: usize,
     num_structural: usize,
+    /// Per row: the column that started as `+e_r` (slack for `≤` rows,
+    /// artificial for `≥`/`=` rows). In the final tableau it holds
+    /// `B⁻¹e_r`, from which the duals are read off.
+    row_id_col: Vec<usize>,
+    /// Per row: whether the row was negated to normalize a negative RHS
+    /// (its dual flips sign back).
+    row_flip: Vec<bool>,
 }
 
 impl Tableau {
@@ -93,6 +141,8 @@ impl Tableau {
         let cols = art_start + m + 1; // + RHS
         let mut a = vec![0.0; m * cols];
         let mut basis = vec![0usize; m];
+        let mut row_id_col = vec![0usize; m];
+        let mut row_flip = vec![false; m];
         let mut slack_idx = n;
         for (r, con) in model.constraints().iter().enumerate() {
             let mut rhs = con.rhs;
@@ -101,6 +151,7 @@ impl Tableau {
                 flip = true;
                 rhs = -rhs;
             }
+            row_flip[r] = flip;
             for &(v, coeff) in &con.terms {
                 a[r * cols + v] = if flip { -coeff } else { coeff };
             }
@@ -113,6 +164,7 @@ impl Tableau {
                 Sense::Le => {
                     a[r * cols + slack_idx] = 1.0;
                     basis[r] = slack_idx;
+                    row_id_col[r] = slack_idx;
                     slack_idx += 1;
                 }
                 Sense::Ge => {
@@ -120,15 +172,17 @@ impl Tableau {
                     slack_idx += 1;
                     a[r * cols + art_start + r] = 1.0;
                     basis[r] = art_start + r;
+                    row_id_col[r] = art_start + r;
                 }
                 Sense::Eq => {
                     a[r * cols + art_start + r] = 1.0;
                     basis[r] = art_start + r;
+                    row_id_col[r] = art_start + r;
                 }
             }
             a[r * cols + cols - 1] = rhs;
         }
-        Tableau { a, rows: m, cols, basis, art_start, num_structural: n }
+        Tableau { a, rows: m, cols, basis, art_start, num_structural: n, row_id_col, row_flip }
     }
 
     fn pivot(&mut self, pr: usize, pc: usize) {
@@ -156,14 +210,38 @@ impl Tableau {
     /// Runs simplex iterations for the objective `obj` (length `cols-1`,
     /// reduced against the current basis inside). Returns `false` on
     /// unboundedness.
+    ///
+    /// Termination on degenerate instances needs two guards on top of the
+    /// textbook method. (1) Bland's rule with *exact* tie detection:
+    /// ratios within [`DEGENERATE_RATIO`] of zero are snapped to exactly
+    /// `0.0`, because round-off residue (a basic value of `1e-15`) would
+    /// otherwise make a degenerate tie look like a strict minimum and pick
+    /// the leaving row by noise instead of by smallest basis index — the
+    /// EPS-fuzzy tie-break this replaces cycled forever on real
+    /// column-generation masters. (2) A stall backstop: if
+    /// [`STALL_LIMIT`] consecutive pivots make no primal progress, the
+    /// entering tolerance is widened tenfold, excluding the noise-level
+    /// reduced costs that sustain any remaining cycle; each widening
+    /// either admits progress or empties the entering candidates, so the
+    /// loop provably terminates. In a sane run the backstop never fires
+    /// (degenerate stretches are orders of magnitude shorter).
     fn optimize(&mut self, obj: &[f64], allow_cols: usize) -> bool {
+        const STALL_LIMIT: u32 = 1_000;
         // Reduced cost row: z_j - c_j form, maintained implicitly by
         // recomputation per iteration with Bland's rule (cheap at our sizes).
+        let mut tolerance = EPS;
+        let mut stalled = 0u32;
         loop {
             // Compute simplex multipliers via basic costs: reduced cost of
-            // column j is c_j - Σ_r c_B[r] * a[r][j].
+            // column j is c_j - Σ_r c_B[r] * a[r][j]. While the solve makes
+            // primal progress, Dantzig's most-negative rule picks the
+            // entering column (fast in practice); inside a degenerate
+            // stall, Bland's smallest-index rule takes over so the stretch
+            // cannot cycle.
+            let bland = stalled > 0;
             let basic_costs: Vec<f64> = self.basis.iter().map(|&b| obj[b]).collect();
             let mut entering = None;
+            let mut most_negative = -tolerance;
             for (j, &cost_j) in obj.iter().enumerate().take(allow_cols) {
                 if self.basis.contains(&j) {
                     continue;
@@ -172,22 +250,32 @@ impl Tableau {
                 for (r, &basic_cost) in basic_costs.iter().enumerate() {
                     reduced -= basic_cost * self.at(r, j);
                 }
-                if reduced < -EPS {
-                    entering = Some(j); // Bland: smallest index
-                    break;
+                if reduced < most_negative {
+                    entering = Some(j);
+                    if bland {
+                        break; // Bland: smallest index
+                    }
+                    most_negative = reduced; // Dantzig: most negative
                 }
             }
             let Some(pc) = entering else { return true };
-            // Ratio test (Bland tie-break on smallest basis index).
+            // Ratio test: Bland's rule — among the rows attaining the
+            // minimum ratio, the basic variable with the smallest index
+            // leaves.
             let mut pivot_row: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for r in 0..self.rows {
                 let coeff = self.at(r, pc);
                 if coeff > EPS {
                     let ratio = self.at(r, self.cols - 1) / coeff;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && pivot_row.is_some_and(|pr| self.basis[r] < self.basis[pr]));
+                    let ratio = if ratio < DEGENERATE_RATIO { 0.0 } else { ratio };
+                    let better = match pivot_row {
+                        None => true,
+                        Some(pr) => {
+                            ratio < best_ratio
+                                || (ratio == best_ratio && self.basis[r] < self.basis[pr])
+                        }
+                    };
                     if better {
                         best_ratio = ratio;
                         pivot_row = Some(r);
@@ -196,10 +284,19 @@ impl Tableau {
             }
             let Some(pr) = pivot_row else { return false };
             self.pivot(pr, pc);
+            if best_ratio > 0.0 {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= STALL_LIMIT {
+                    stalled = 0;
+                    tolerance *= 10.0;
+                }
+            }
         }
     }
 
-    fn solve(mut self, model: &Model) -> LpResult {
+    fn solve(mut self, model: &Model) -> (LpResult, Option<Vec<f64>>) {
         let total_cols = self.cols - 1;
         // Phase 1: minimize the sum of artificials.
         let mut phase1 = vec![0.0; total_cols];
@@ -208,7 +305,7 @@ impl Tableau {
         }
         if !self.optimize(&phase1, total_cols) {
             // Phase-1 objective is bounded below by 0, so this cannot happen.
-            return LpResult::Infeasible;
+            return (LpResult::Infeasible, None);
         }
         let art_value: f64 = self
             .basis
@@ -218,7 +315,7 @@ impl Tableau {
             .map(|(r, _)| self.at(r, self.cols - 1))
             .sum();
         if art_value > 1e-7 {
-            return LpResult::Infeasible;
+            return (LpResult::Infeasible, None);
         }
         // Drive any degenerate artificials out of the basis.
         for r in 0..self.rows {
@@ -234,7 +331,7 @@ impl Tableau {
         let mut phase2 = vec![0.0; total_cols];
         phase2[..self.num_structural].copy_from_slice(model.costs());
         if !self.optimize(&phase2, self.art_start) {
-            return LpResult::Unbounded;
+            return (LpResult::Unbounded, None);
         }
         let mut values = vec![0.0; self.num_structural];
         for r in 0..self.rows {
@@ -243,7 +340,28 @@ impl Tableau {
             }
         }
         let objective = model.objective(&values);
-        LpResult::Optimal(LpSolution { values, objective })
+        // Duals: y' = c_B'B⁻¹. Column `row_id_col[r]` started as `+e_r`,
+        // so in the final tableau it holds `B⁻¹e_r` and `y_r` is its dot
+        // product with the basic costs; rows that were negated to
+        // normalize a negative RHS get their dual negated back.
+        let duals: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let id = self.row_id_col[r];
+                let mut y = 0.0;
+                for (i, &b) in self.basis.iter().enumerate() {
+                    let cost = phase2[b];
+                    if cost != 0.0 {
+                        y += cost * self.at(i, id);
+                    }
+                }
+                if self.row_flip[r] {
+                    -y
+                } else {
+                    y
+                }
+            })
+            .collect();
+        (LpResult::Optimal(LpSolution { values, objective }), Some(duals))
     }
 }
 
@@ -363,5 +481,82 @@ mod tests {
         m.add_constraint(vec![(x, 2.0)], Sense::Eq, 6.0);
         let s = optimal(solve_lp(&m));
         assert!((s.values[x] - 3.0).abs() < 1e-7);
+    }
+
+    /// Checks the two dual optimality certificates: strong duality
+    /// (`y'b = c'x*`) and dual feasibility (every structural column has
+    /// nonnegative reduced cost `c_j - y'A_j`).
+    fn assert_dual_certificates(m: &Model) -> Vec<f64> {
+        let (solution, duals) = match solve_lp_with_duals(m) {
+            LpDualResult::Optimal { solution, duals } => (solution, duals),
+            other => panic!("expected optimal, got {other:?}"),
+        };
+        let yb: f64 = m.constraints().iter().zip(&duals).map(|(c, y)| c.rhs * y).sum();
+        assert!((yb - solution.objective).abs() < 1e-7, "strong duality: {yb} vs {solution:?}");
+        for j in 0..m.num_vars() {
+            let mut reduced = m.costs()[j];
+            for (con, y) in m.constraints().iter().zip(&duals) {
+                for &(v, coeff) in &con.terms {
+                    if v == j {
+                        reduced -= y * coeff;
+                    }
+                }
+            }
+            assert!(reduced > -1e-7, "column {j} prices negative: {reduced}");
+        }
+        duals
+    }
+
+    #[test]
+    fn duals_on_set_partitioning_relaxation() {
+        // The fractional odd-cycle LP: unique duals y = (0.5, 0.5, 0.5).
+        let mut m = Model::new();
+        let s01 = m.add_var(1.0);
+        let s12 = m.add_var(1.0);
+        let s02 = m.add_var(1.0);
+        m.add_constraint(vec![(s01, 1.0), (s02, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(s01, 1.0), (s12, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(s12, 1.0), (s02, 1.0)], Sense::Eq, 1.0);
+        let duals = assert_dual_certificates(&m);
+        for y in duals {
+            assert!((y - 0.5).abs() < 1e-7, "{y}");
+        }
+    }
+
+    #[test]
+    fn duals_survive_rhs_normalization() {
+        // -x ≤ -2 is flipped to x ≥ 2 internally; the reported dual must
+        // price the *original* orientation: y·(-1) ≤ 1 and y·(-2) = 2.
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_constraint(vec![(x, -1.0)], Sense::Le, -2.0);
+        let duals = assert_dual_certificates(&m);
+        assert!((duals[0] + 1.0).abs() < 1e-7, "{duals:?}");
+    }
+
+    #[test]
+    fn duals_on_mixed_senses() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≤ 3, y ≥ 1 → x=3, y=1, obj 9.
+        let mut m = Model::new();
+        let x = m.add_var(2.0);
+        let y = m.add_var(3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 4.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Le, 3.0);
+        m.add_constraint(vec![(y, 1.0)], Sense::Ge, 1.0);
+        assert_dual_certificates(&m);
+    }
+
+    #[test]
+    fn duals_with_cardinality_rows() {
+        // A set-partitioning master with a max-cardinality row, the exact
+        // shape the column-generation master produces.
+        let mut m = Model::new();
+        let a = m.add_var(1.0);
+        let b = m.add_var(0.6);
+        let c = m.add_var(0.6);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(a, 1.0), (c, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Sense::Le, 2.0);
+        assert_dual_certificates(&m);
     }
 }

@@ -12,9 +12,64 @@
 //! scope; swap the workspace dependency to real criterion to get them back.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// Environment variable naming the JSON file benchmark medians are
+/// written to (see [`flush_json_report`]).
+pub const BENCH_JSON_ENV: &str = "GECCO_BENCH_JSON";
+
+fn registry() -> &'static Mutex<Vec<(String, f64)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Writes every measured benchmark's median (config → nanoseconds) as a
+/// JSON object to the path in `GECCO_BENCH_JSON`, merging with entries
+/// already in the file so several bench binaries can share one registry.
+/// No-op when the variable is unset. Called by `criterion_main!` after
+/// all groups run.
+pub fn flush_json_report() {
+    let Ok(path) = std::env::var(BENCH_JSON_ENV) else { return };
+    let measured = registry().lock().expect("bench registry poisoned");
+    if measured.is_empty() {
+        return;
+    }
+    let mut entries: Vec<(String, f64)> = read_json_entries(&path);
+    for (name, median) in measured.iter() {
+        match entries.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = *median,
+            None => entries.push((name.clone(), *median)),
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (name, median)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!("  \"{name}\": {median:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+/// Parses entries previously written by [`flush_json_report`]. Only the
+/// shim's own one-entry-per-line format is understood — enough to merge
+/// registries across bench binaries without a JSON dependency.
+fn read_json_entries(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let rest = line.strip_prefix('"')?;
+            let (name, value) = rest.split_once("\":")?;
+            Some((name.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
 
 const DEFAULT_SAMPLE_SIZE: usize = 10;
 const TARGET_SAMPLE_NANOS: u128 = 25_000_000;
@@ -167,6 +222,7 @@ impl Bencher {
             None => String::new(),
         };
         println!("{name:<50} time: [{} {} {}]{tp}", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+        registry().lock().expect("bench registry poisoned").push((name.to_string(), median));
     }
 }
 
@@ -250,6 +306,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_json_report();
         }
     };
 }
