@@ -43,5 +43,5 @@ pub use executor::{EdgeCond, GraphError, GraphRun, NodeId, NodeState, PipelineGr
 pub use node::{GraphNode, InputKinds, NodeOutput};
 pub use nodes::{
     AbstractorNode, CandidateSourceNode, DiagnosticsNode, ExclusiveMergeNode, InputNode, PassNode,
-    SelectorNode, SessionCandidateSourceNode, UnionCandidatesNode,
+    SelectorNode, SessionCandidateSourceNode, StoreInputNode, UnionCandidatesNode,
 };

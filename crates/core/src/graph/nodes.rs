@@ -15,7 +15,7 @@ use crate::distance::DistanceOracle;
 use crate::pipeline::{GeccoError, InfeasibilityReport, PassReport};
 use crate::selection::{select_optimal, select_optimal_colgen, SelectionOptions};
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet, Diagnostics};
-use gecco_eventlog::{EvalContext, InstanceCache, Segmenter};
+use gecco_eventlog::{EvalContext, InstanceCache, Segmenter, TraceStore};
 use std::sync::Arc;
 
 /// Builds the evaluation context a node shares with the linear pipeline:
@@ -58,6 +58,53 @@ impl<'a> GraphNode<'a> for InputNode<'a> {
 
     fn run(&self, _inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
         Ok(self.artifact.clone().into())
+    }
+}
+
+/// A source node publishing a log loaded from an on-disk
+/// [`TraceStore`] — the graph entry point of the streaming ingestion
+/// route. Loading happens once at construction (the store's batches are
+/// decoded and the index built batch by batch); `run` then hands out the
+/// shared artifact like [`InputNode`] does, so downstream nodes cannot
+/// tell which route produced their input.
+pub struct StoreInputNode {
+    artifact: LogArtifact<'static>,
+}
+
+impl StoreInputNode {
+    /// Opens the store at `dir` and materializes its log and index.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> gecco_eventlog::Result<StoreInputNode> {
+        StoreInputNode::from_store(&TraceStore::open(dir)?)
+    }
+
+    /// Materializes `store`'s log and index into a source node.
+    pub fn from_store(store: &TraceStore) -> gecco_eventlog::Result<StoreInputNode> {
+        let log = store.load_log()?;
+        let index = store.build_index()?;
+        Ok(StoreInputNode { artifact: LogArtifact::owned(log, index) })
+    }
+
+    /// The loaded artifact, for callers that want the log outside a graph.
+    pub fn artifact(&self) -> &LogArtifact<'static> {
+        &self.artifact
+    }
+}
+
+impl<'a> GraphNode<'a> for StoreInputNode {
+    fn name(&self) -> &str {
+        "store-input"
+    }
+
+    fn input_kinds(&self) -> InputKinds {
+        InputKinds::Exact(&[])
+    }
+
+    fn output_kinds(&self) -> &[ArtifactKind] {
+        &[ArtifactKind::Log]
+    }
+
+    fn run(&self, _inputs: &[Artifact<'a>]) -> Result<NodeOutput<'a>, GeccoError> {
+        Ok(Artifact::Log(self.artifact.clone()).into())
     }
 }
 
@@ -570,5 +617,45 @@ mod tests {
         let out = run.take_artifact(abstractor).and_then(Artifact::into_abstraction).unwrap();
         assert!(out.grouping.is_exact_cover(&log));
         assert_eq!(out.index, LogIndex::build(&out.log), "spliced index matches a rebuild");
+    }
+
+    /// The store-backed source must feed downstream nodes the same log
+    /// and index the in-memory route produces.
+    #[test]
+    fn store_input_matches_in_memory_input() {
+        let log = burst_log();
+        let doc = gecco_eventlog::xes::write_string(&log);
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-stores")
+            .join(format!("core-node-{}", std::process::id()));
+        let options = gecco_eventlog::IngestOptions {
+            batch_traces: 1,
+            ..gecco_eventlog::IngestOptions::default()
+        };
+        gecco_eventlog::ingest_to_store(doc.as_bytes(), &dir, &options).unwrap();
+        let node = StoreInputNode::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // Oracle: the in-memory parse of the same document (the writer
+        // synthesizes `concept:name` attributes the builder log lacks).
+        let expect = gecco_eventlog::xes::parse_str(&doc).unwrap();
+        assert_eq!(node.artifact().log().traces(), expect.traces());
+        assert_eq!(node.artifact().index(), &LogIndex::build(&expect));
+        let mut graph = PipelineGraph::new();
+        let input = graph.add_node(node);
+        let dfg = graph.add_node(CandidateSourceNode::new(
+            CandidateStrategy::DfgUnbounded,
+            Budget::UNLIMITED,
+            Arc::new(
+                CompiledConstraintSet::compile(
+                    &ConstraintSet::parse("size(g) >= 1;").unwrap(),
+                    &log,
+                )
+                .unwrap(),
+            ),
+            None,
+        ));
+        graph.add_edge(input, dfg);
+        let run = graph.execute().unwrap();
+        assert!(run.artifact(dfg).and_then(Artifact::as_candidates).is_some());
     }
 }

@@ -55,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: datagen [--traces N] [--seed S] [--chunk C] \
-                     [--preset production|wide|small] [--out PATH]"
+                     [--preset production|wide|small|lean] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -71,6 +71,9 @@ fn preset_tree(name: &str, seed: u64) -> Option<ProcessTree> {
         "production" => (40, 12),
         "wide" => (120, 25),
         "small" => (12, 6),
+        // CI ingestion smoke: short traces keep the materialized log (and
+        // its abstraction) inside the smoke's hard RSS ceiling.
+        "lean" => (8, 3),
         _ => return None,
     };
     Some(production_tree(classes, target_len, seed))
@@ -92,7 +95,7 @@ fn main() -> ExitCode {
         }
     };
     let Some(tree) = preset_tree(&args.preset, args.seed) else {
-        eprintln!("datagen: unknown preset {:?} (production|wide|small)", args.preset);
+        eprintln!("datagen: unknown preset {:?} (production|wide|small|lean)", args.preset);
         return ExitCode::FAILURE;
     };
     let options = SimulationOptions {

@@ -18,6 +18,8 @@ pub enum Error {
     Timestamp(String),
     /// The log references more event classes than [`crate::MAX_CLASSES`].
     TooManyClasses { found: usize },
+    /// A corrupt or incompatible on-disk trace store.
+    Store(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -34,6 +36,7 @@ impl fmt::Display for Error {
                 "log has {found} event classes; at most {} are supported",
                 crate::MAX_CLASSES
             ),
+            Error::Store(message) => write!(f, "trace-store error: {message}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

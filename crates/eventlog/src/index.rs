@@ -33,6 +33,7 @@
 use crate::classes::{ClassId, ClassSet, MAX_CLASSES};
 use crate::instances::{GroupInstance, Segmenter};
 use crate::log::EventLog;
+use crate::trace::Trace;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -89,6 +90,42 @@ impl LogIndex {
             }
         }
         flatten(per_class_pos, per_class_runs, log.traces().len())
+    }
+
+    /// Builds the index from trace batches without a finished
+    /// [`EventLog`] — bit-identical to [`LogIndex::build`] on the log
+    /// assembled from the same traces in the same order.
+    ///
+    /// `num_classes` is the final class-registry size: classes that never
+    /// occur in any event still get (empty) postings rows, exactly as
+    /// [`LogIndex::build`] allocates them from `log.num_classes()`. The
+    /// streaming store feeds its batches through here so index
+    /// construction never needs all traces in memory at once.
+    pub fn build_from_traces<'a>(
+        num_classes: usize,
+        traces: impl IntoIterator<Item = &'a Trace>,
+    ) -> LogIndex {
+        let mut per_class_pos: Vec<Vec<u32>> = vec![Vec::new(); num_classes];
+        let mut per_class_runs: Vec<Vec<Run>> = vec![Vec::new(); num_classes];
+        let mut num_traces = 0usize;
+        for trace in traces {
+            let ti = num_traces;
+            num_traces += 1;
+            for (pos, event) in trace.events().iter().enumerate() {
+                let c = event.class().index();
+                let plist = &mut per_class_pos[c];
+                match per_class_runs[c].last_mut() {
+                    Some(run) if run.trace == ti as u32 => run.len += 1,
+                    _ => per_class_runs[c].push(Run {
+                        trace: ti as u32,
+                        start: plist.len() as u32,
+                        len: 1,
+                    }),
+                }
+                plist.push(pos as u32);
+            }
+        }
+        flatten(per_class_pos, per_class_runs, num_traces)
     }
 
     /// Total number of events of class `c`, `Σ_σ |σ↓{c}|`.
@@ -396,6 +433,16 @@ impl IndexSplicer {
     /// Creates a splicer with no traces.
     pub fn new() -> IndexSplicer {
         IndexSplicer::default()
+    }
+
+    /// Pre-sizes the postings to `num_classes` rows so classes that never
+    /// occur in any spliced trace still get empty rows, matching
+    /// [`LogIndex::build`]'s allocation from the class registry.
+    pub fn ensure_classes(&mut self, num_classes: usize) {
+        if num_classes > self.per_class_pos.len() {
+            self.per_class_pos.resize_with(num_classes, Vec::new);
+            self.per_class_runs.resize_with(num_classes, Vec::new);
+        }
     }
 
     /// Starts the next trace (trace ids are assigned 0, 1, … in call

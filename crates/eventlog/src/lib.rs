@@ -34,6 +34,7 @@ pub mod log;
 pub mod parallel;
 pub mod sketch;
 pub mod stats;
+pub mod store;
 pub mod time;
 pub mod trace;
 pub mod value;
@@ -53,6 +54,8 @@ pub use log::{EventLog, FragmentTrace, LogBuilder, LogFragment, TraceBuilder};
 pub use parallel::{parallel_enabled, set_parallel};
 pub use sketch::{BloomFilter, ClassCoOccurrence, CountMinSketch};
 pub use stats::LogStats;
+pub use store::{ingest_to_store, StoreMeta, StoreWriter, TraceStore};
 pub use trace::Trace;
 pub use value::AttributeValue;
 pub use variants::Variants;
+pub use xes::{ingest_stream, parse_reader, BatchSink, IngestOptions, StreamScanner};

@@ -267,6 +267,57 @@ impl LogBuilder {
         Ok(())
     }
 
+    /// Takes the traces accumulated so far out of the builder, leaving the
+    /// interner, class registry and log attributes in place.
+    ///
+    /// This is the spill primitive of the streaming store: the store
+    /// writer merges fragments into a real builder (so symbol numbering
+    /// and class-id assignment stay bit-identical to the in-memory route)
+    /// and drains the materialized traces to disk after every batch,
+    /// keeping the builder's memory bounded by one batch.
+    pub fn drain_traces(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.traces)
+    }
+
+    /// Number of traces currently buffered in the builder.
+    pub fn num_buffered_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Read access to the builder's interner (the store writer persists
+    /// the string table in symbol order from here).
+    pub(crate) fn interner_ref(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Read access to the registered classes.
+    pub(crate) fn classes_ref(&self) -> &ClassRegistry {
+        &self.classes
+    }
+
+    /// Read access to the log-level attributes.
+    pub(crate) fn attributes_ref(&self) -> &[(Symbol, AttributeValue)] {
+        &self.attributes
+    }
+
+    /// Mutable access to the class registry (the store loader re-registers
+    /// classes in stored id order).
+    pub(crate) fn classes_mut(&mut self) -> &mut ClassRegistry {
+        &mut self.classes
+    }
+
+    /// Appends a log-level attribute whose symbols already live in this
+    /// builder's interner.
+    pub(crate) fn push_log_attr_raw(&mut self, key: Symbol, value: AttributeValue) {
+        self.attributes.push((key, value));
+    }
+
+    /// Appends an already-constructed trace whose symbols and class ids
+    /// belong to this builder.
+    pub(crate) fn push_raw_trace(&mut self, trace: Trace) {
+        self.traces.push(trace);
+    }
+
     /// Finishes the log.
     pub fn build(self) -> EventLog {
         let trace_class_sets = self.traces.iter().map(Trace::class_set).collect();

@@ -41,7 +41,7 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// A classic Bloom filter over `u64` keys: `k` probes per key via
 /// double hashing (Kirsch–Mitzenmacher), no false negatives ever.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     /// Number of probes per key.
@@ -103,7 +103,7 @@ impl BloomFilter {
 
 /// A count-min sketch over `u64` keys: `depth` rows of `width` saturating
 /// `u32` counters. Estimates never under-count.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountMinSketch {
     rows: Vec<Vec<u32>>,
     /// Column mask; the width is a power of two.
@@ -164,7 +164,7 @@ pub const TRIPLE_CLASS_LIMIT: usize = 24;
 /// share a trace (exact, pairwise), how many traces support each pair
 /// (count-min over-estimate), and which class triples share a trace
 /// (Bloom, possibly incomplete — see [`Self::triples_complete`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassCoOccurrence {
     /// Row `c`: the classes sharing at least one trace with `c`
     /// (including `c` itself when `c` occurs at all).
@@ -175,6 +175,9 @@ pub struct ClassCoOccurrence {
     triples: BloomFilter,
     /// Whether *every* trace contributed its triples.
     triples_complete: bool,
+    /// Exact number of traces each class occurs in — the degenerate
+    /// "pair" `(c, c)`, which the pair sketch never sees.
+    class_trace_counts: Vec<u32>,
     num_traces: usize,
 }
 
@@ -186,10 +189,12 @@ impl ClassCoOccurrence {
     pub fn build(index: &LogIndex) -> ClassCoOccurrence {
         let num_traces = index.num_traces();
         let mut per_trace: Vec<Vec<u16>> = vec![Vec::new(); num_traces];
-        for c in 0..MAX_CLASSES {
+        let mut class_trace_counts = vec![0u32; MAX_CLASSES];
+        for (c, count) in class_trace_counts.iter_mut().enumerate() {
             let class = ClassId(c as u16);
             for (trace, _) in index.postings(class) {
                 per_trace[trace as usize].push(c as u16);
+                *count += 1;
             }
         }
         let mut pairs = vec![ClassSet::new(); MAX_CLASSES];
@@ -221,7 +226,14 @@ impl ClassCoOccurrence {
                 }
             }
         }
-        ClassCoOccurrence { pairs, support, triples, triples_complete, num_traces }
+        ClassCoOccurrence {
+            pairs,
+            support,
+            triples,
+            triples_complete,
+            class_trace_counts,
+            num_traces,
+        }
     }
 
     /// Whether `group` may co-occur in some trace. **Sound**: never
@@ -266,13 +278,15 @@ impl ClassCoOccurrence {
     }
 
     /// Over-estimate of the number of traces containing both `a` and `b`
-    /// (exact up to count-min collisions; never an under-estimate).
+    /// (exact up to count-min collisions; never an under-estimate). The
+    /// degenerate query `(c, c)` is exact: it returns the number of traces
+    /// `c` occurs in. (The pair sketch never stores the diagonal — `build`
+    /// only inserts pairs from `classes[i + 1..]` — so routing `(c, c)`
+    /// through the count-min estimate under-counted a class occurring in
+    /// more than one trace, violating this contract.)
     pub fn pair_support(&self, a: ClassId, b: ClassId) -> u32 {
         if a == b {
-            return self
-                .support
-                .estimate(pair_key(a, b))
-                .max(self.pairs[a.index()].contains(a) as u32);
+            return self.class_trace_counts[a.index()];
         }
         if !self.pairs[a.index()].contains(b) {
             return 0; // exact: the pair never shares a trace
@@ -408,5 +422,22 @@ mod tests {
         assert!(sketch.pair_support(b, c) >= 1);
         let d_free = ClassId((log.num_classes()) as u16);
         assert_eq!(sketch.pair_support(a, d_free), 0, "never-co-occurring pair is exact zero");
+    }
+
+    #[test]
+    fn degenerate_pair_support_is_the_trace_count() {
+        // The diagonal never enters the pair sketch (`build` only inserts
+        // pairs from `classes[i + 1..]`), so `pair_support(c, c)` used to
+        // return at most 1 — under-counting any class that occurs in more
+        // than one trace.
+        let log = log_from(&[&["a", "b"], &["a"], &["a", "c"], &["b"]]);
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        let [a, b, c] = ["a", "b", "c"].map(|n| log.class_by_name(n).unwrap());
+        assert_eq!(sketch.pair_support(a, a), 3);
+        assert_eq!(sketch.pair_support(b, b), 2);
+        assert_eq!(sketch.pair_support(c, c), 1);
+        let free = ClassId(log.num_classes() as u16);
+        assert_eq!(sketch.pair_support(free, free), 0, "absent class supports nothing");
     }
 }

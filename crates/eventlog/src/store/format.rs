@@ -1,0 +1,456 @@
+//! Binary layout of the trace store: columnar batch segments and the
+//! store metadata file.
+//!
+//! A batch segment holds one batch of traces column-wise: per-trace
+//! counts first, then every event's class id in one dense `u16` column,
+//! then the attribute columns (keys, type tags, fixed-width payloads)
+//! flattened across the batch. All integers are little-endian; symbols
+//! and class ids are the *raw* values from the writer's builder, which
+//! the loader reproduces exactly by replaying the string table — so no
+//! per-value remapping happens on either side of the disk.
+//!
+//! The metadata file carries everything that is not a trace: the interner
+//! string table in symbol order, the class registry in id order (with
+//! class-level attributes), the log-level attributes, and the per-batch
+//! trace counts.
+
+use crate::classes::ClassId;
+use crate::error::{Error, Result};
+use crate::event::Event;
+use crate::interner::Symbol;
+use crate::trace::Trace;
+use crate::value::AttributeValue;
+
+/// Magic + version of a batch segment file.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"GSG1";
+/// Magic of the store metadata file.
+pub const META_MAGIC: &[u8; 4] = b"GSTO";
+/// Store format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Value type tags in attribute columns.
+const TAG_STR: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_TIMESTAMP: u8 = 4;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_value(value: &AttributeValue) -> (u8, u64) {
+    match *value {
+        AttributeValue::Str(s) => (TAG_STR, s.0 as u64),
+        AttributeValue::Int(i) => (TAG_INT, i as u64),
+        AttributeValue::Float(f) => (TAG_FLOAT, f.to_bits()),
+        AttributeValue::Bool(b) => (TAG_BOOL, b as u64),
+        AttributeValue::Timestamp(t) => (TAG_TIMESTAMP, t as u64),
+    }
+}
+
+fn decode_value(tag: u8, payload: u64) -> Result<AttributeValue> {
+    Ok(match tag {
+        TAG_STR => AttributeValue::Str(Symbol(
+            u32::try_from(payload)
+                .map_err(|_| Error::Store(format!("symbol payload {payload} exceeds u32")))?,
+        )),
+        TAG_INT => AttributeValue::Int(payload as i64),
+        TAG_FLOAT => AttributeValue::Float(f64::from_bits(payload)),
+        TAG_BOOL => AttributeValue::Bool(payload != 0),
+        TAG_TIMESTAMP => AttributeValue::Timestamp(payload as i64),
+        other => return Err(Error::Store(format!("unknown value tag {other}"))),
+    })
+}
+
+/// Sequential reader over encoded bytes with truncation checks.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| Error::Store("truncated store data".into()))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// One attribute list flattened into the three columns.
+fn push_attr_columns(
+    attrs: &[(Symbol, AttributeValue)],
+    keys: &mut Vec<u8>,
+    tags: &mut Vec<u8>,
+    payloads: &mut Vec<u8>,
+) {
+    for (key, value) in attrs {
+        put_u32(keys, key.0);
+        let (tag, payload) = encode_value(value);
+        tags.push(tag);
+        put_u64(payloads, payload);
+    }
+}
+
+/// Encodes one batch of traces into a columnar segment.
+pub fn encode_batch(traces: &[Trace]) -> Vec<u8> {
+    let mut counts = Vec::new(); // trace_attr_counts ++ event_counts
+    let mut event_classes = Vec::new();
+    let mut event_attr_counts = Vec::new();
+    let mut trace_keys = Vec::new();
+    let mut trace_tags = Vec::new();
+    let mut trace_payloads = Vec::new();
+    let mut event_keys = Vec::new();
+    let mut event_tags = Vec::new();
+    let mut event_payloads = Vec::new();
+
+    for trace in traces {
+        put_u32(&mut counts, trace.attributes().len() as u32);
+        put_u32(&mut counts, trace.events().len() as u32);
+        push_attr_columns(
+            trace.attributes(),
+            &mut trace_keys,
+            &mut trace_tags,
+            &mut trace_payloads,
+        );
+        for event in trace.events() {
+            put_u16(&mut event_classes, event.class().0);
+            put_u32(&mut event_attr_counts, event.attributes().len() as u32);
+            push_attr_columns(
+                event.attributes(),
+                &mut event_keys,
+                &mut event_tags,
+                &mut event_payloads,
+            );
+        }
+    }
+
+    let mut out = Vec::with_capacity(
+        16 + counts.len()
+            + event_classes.len()
+            + event_attr_counts.len()
+            + trace_keys.len()
+            + trace_tags.len()
+            + trace_payloads.len()
+            + event_keys.len()
+            + event_tags.len()
+            + event_payloads.len(),
+    );
+    out.extend_from_slice(SEGMENT_MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, traces.len() as u32);
+    for column in [
+        &counts,
+        &event_classes,
+        &event_attr_counts,
+        &trace_keys,
+        &trace_tags,
+        &trace_payloads,
+        &event_keys,
+        &event_tags,
+        &event_payloads,
+    ] {
+        out.extend_from_slice(column);
+    }
+    out
+}
+
+fn read_attrs(
+    count: usize,
+    keys: &mut Cursor<'_>,
+    tags: &mut Cursor<'_>,
+    payloads: &mut Cursor<'_>,
+) -> Result<Vec<(Symbol, AttributeValue)>> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = Symbol(keys.u32()?);
+        let value = decode_value(tags.u8()?, payloads.u64()?)?;
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+/// Decodes a batch segment back into traces, byte-exact inverse of
+/// [`encode_batch`].
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<Trace>> {
+    let mut header = Cursor::new(bytes);
+    if header.take(4)? != SEGMENT_MAGIC {
+        return Err(Error::Store("bad segment magic".into()));
+    }
+    let version = header.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(Error::Store(format!("unsupported segment version {version}")));
+    }
+    let num_traces = header.u32()? as usize;
+
+    // First pass over the counts column to size the later columns.
+    let mut counts = Vec::with_capacity(num_traces);
+    let mut total_events = 0usize;
+    let mut total_trace_attrs = 0usize;
+    for _ in 0..num_traces {
+        let trace_attrs = header.u32()? as usize;
+        let events = header.u32()? as usize;
+        total_trace_attrs += trace_attrs;
+        total_events += events;
+        counts.push((trace_attrs, events));
+    }
+    let mut cursor = header;
+
+    let mut event_classes = Vec::with_capacity(total_events);
+    for _ in 0..total_events {
+        event_classes.push(ClassId(cursor.u16()?));
+    }
+    let mut event_attr_counts = Vec::with_capacity(total_events);
+    let mut total_event_attrs = 0usize;
+    for _ in 0..total_events {
+        let n = cursor.u32()? as usize;
+        total_event_attrs += n;
+        event_attr_counts.push(n);
+    }
+
+    // Carve the attribute columns off the remainder back to back.
+    let mut trace_keys = Cursor::new(cursor.take(4 * total_trace_attrs)?);
+    let mut trace_tags = Cursor::new(cursor.take(total_trace_attrs)?);
+    let mut trace_payloads = Cursor::new(cursor.take(8 * total_trace_attrs)?);
+    let mut event_keys = Cursor::new(cursor.take(4 * total_event_attrs)?);
+    let mut event_tags = Cursor::new(cursor.take(total_event_attrs)?);
+    let mut event_payloads = Cursor::new(cursor.take(8 * total_event_attrs)?);
+    if !cursor.finished() {
+        return Err(Error::Store("trailing bytes after segment columns".into()));
+    }
+
+    let mut traces = Vec::with_capacity(num_traces);
+    let mut next_event = 0usize;
+    for (trace_attr_count, event_count) in counts {
+        let attributes =
+            read_attrs(trace_attr_count, &mut trace_keys, &mut trace_tags, &mut trace_payloads)?;
+        let mut events = Vec::with_capacity(event_count);
+        for _ in 0..event_count {
+            let class = event_classes[next_event];
+            let attrs = read_attrs(
+                event_attr_counts[next_event],
+                &mut event_keys,
+                &mut event_tags,
+                &mut event_payloads,
+            )?;
+            next_event += 1;
+            // Stored attributes came out of a built `Event`, so they are
+            // already sorted and deduped; `Event::new` is idempotent on
+            // them and the round trip is exact.
+            events.push(Event::new(class, attrs));
+        }
+        traces.push(Trace::new(attributes, events));
+    }
+    Ok(traces)
+}
+
+/// Everything the store knows besides the traces themselves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreMeta {
+    /// The interner's string table in symbol order.
+    pub strings: Vec<String>,
+    /// Classes in id order: interned name plus class-level attributes.
+    pub classes: Vec<(Symbol, Vec<(Symbol, AttributeValue)>)>,
+    /// Log-level attributes in document order.
+    pub log_attrs: Vec<(Symbol, AttributeValue)>,
+    /// Trace count of each batch segment, in batch order.
+    pub batch_traces: Vec<u32>,
+}
+
+impl StoreMeta {
+    /// Total traces across all batches.
+    pub fn num_traces(&self) -> usize {
+        self.batch_traces.iter().map(|&n| n as usize).sum()
+    }
+}
+
+fn put_attrs(out: &mut Vec<u8>, attrs: &[(Symbol, AttributeValue)]) {
+    put_u32(out, attrs.len() as u32);
+    for (key, value) in attrs {
+        put_u32(out, key.0);
+        let (tag, payload) = encode_value(value);
+        out.push(tag);
+        put_u64(out, payload);
+    }
+}
+
+fn take_attrs(cursor: &mut Cursor<'_>) -> Result<Vec<(Symbol, AttributeValue)>> {
+    let count = cursor.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let key = Symbol(cursor.u32()?);
+        let tag = cursor.u8()?;
+        let payload = cursor.u64()?;
+        out.push((key, decode_value(tag, payload)?));
+    }
+    Ok(out)
+}
+
+/// Encodes the store metadata file.
+pub fn encode_meta(meta: &StoreMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(META_MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, meta.strings.len() as u32);
+    for s in &meta.strings {
+        put_u32(&mut out, s.len() as u32);
+        out.extend_from_slice(s.as_bytes());
+    }
+    put_u32(&mut out, meta.classes.len() as u32);
+    for (name, attrs) in &meta.classes {
+        put_u32(&mut out, name.0);
+        put_attrs(&mut out, attrs);
+    }
+    put_attrs(&mut out, &meta.log_attrs);
+    put_u32(&mut out, meta.batch_traces.len() as u32);
+    for &n in &meta.batch_traces {
+        put_u32(&mut out, n);
+    }
+    out
+}
+
+/// Decodes the store metadata file.
+pub fn decode_meta(bytes: &[u8]) -> Result<StoreMeta> {
+    let mut cursor = Cursor::new(bytes);
+    if cursor.take(4)? != META_MAGIC {
+        return Err(Error::Store("bad store-meta magic".into()));
+    }
+    let version = cursor.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(Error::Store(format!("unsupported store version {version}")));
+    }
+    let num_strings = cursor.u32()? as usize;
+    let mut strings = Vec::with_capacity(num_strings.min(1 << 20));
+    for _ in 0..num_strings {
+        let len = cursor.u32()? as usize;
+        let s = std::str::from_utf8(cursor.take(len)?)
+            .map_err(|_| Error::Store("non-UTF-8 string in table".into()))?;
+        strings.push(s.to_string());
+    }
+    let num_classes = cursor.u32()? as usize;
+    let mut classes = Vec::with_capacity(num_classes.min(crate::MAX_CLASSES));
+    for _ in 0..num_classes {
+        let name = Symbol(cursor.u32()?);
+        classes.push((name, take_attrs(&mut cursor)?));
+    }
+    let log_attrs = take_attrs(&mut cursor)?;
+    let num_batches = cursor.u32()? as usize;
+    let mut batch_traces = Vec::with_capacity(num_batches.min(1 << 20));
+    for _ in 0..num_batches {
+        batch_traces.push(cursor.u32()?);
+    }
+    if !cursor.finished() {
+        return Err(Error::Store("trailing bytes after store meta".into()));
+    }
+    Ok(StoreMeta { strings, classes, log_attrs, batch_traces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_traces() -> Vec<Trace> {
+        let t1 = Trace::new(
+            vec![(Symbol(0), AttributeValue::Str(Symbol(5)))],
+            vec![
+                Event::new(
+                    ClassId(0),
+                    vec![
+                        (Symbol(0), AttributeValue::Str(Symbol(6))),
+                        (Symbol(1), AttributeValue::Timestamp(123_456)),
+                        (Symbol(7), AttributeValue::Int(-3)),
+                    ],
+                ),
+                Event::new(ClassId(1), vec![(Symbol(8), AttributeValue::Float(0.25))]),
+            ],
+        );
+        let t2 = Trace::new(vec![], vec![]);
+        let t3 = Trace::new(
+            vec![
+                (Symbol(0), AttributeValue::Str(Symbol(9))),
+                (Symbol(2), AttributeValue::Bool(true)),
+            ],
+            vec![Event::new(ClassId(255), vec![])],
+        );
+        vec![t1, t2, t3]
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let traces = sample_traces();
+        let bytes = encode_batch(&traces);
+        let back = decode_batch(&bytes).unwrap();
+        assert_eq!(back, traces);
+        // Empty batches round-trip too.
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::<Trace>::new());
+    }
+
+    #[test]
+    fn corrupt_batches_error_not_panic() {
+        let traces = sample_traces();
+        let bytes = encode_batch(&traces);
+        assert!(decode_batch(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode_batch(&wrong_magic).is_err(), "bad magic");
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_batch(&extra).is_err(), "trailing bytes");
+        assert!(decode_batch(&[]).is_err(), "empty input");
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let meta = StoreMeta {
+            strings: vec!["concept:name".into(), "a".into(), "prüfen ✓".into(), "".into()],
+            classes: vec![
+                (Symbol(1), vec![(Symbol(0), AttributeValue::Str(Symbol(2)))]),
+                (Symbol(2), vec![]),
+            ],
+            log_attrs: vec![(Symbol(0), AttributeValue::Int(7))],
+            batch_traces: vec![512, 512, 41],
+        };
+        let bytes = encode_meta(&meta);
+        assert_eq!(decode_meta(&bytes).unwrap(), meta);
+        assert_eq!(meta.num_traces(), 1065);
+        assert!(decode_meta(&bytes[..bytes.len() - 2]).is_err());
+        assert!(decode_meta(b"nope").is_err());
+    }
+}

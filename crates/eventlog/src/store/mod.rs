@@ -1,0 +1,316 @@
+//! On-disk columnar trace store: the spill target of streaming ingestion.
+//!
+//! A store is a directory holding `store.meta` (string table, class
+//! registry, log attributes, batch directory) plus one append-only
+//! `batch-NNNNN.seg` segment file per trace batch, encoded column-wise by
+//! [`mod@format`]. The writer side ([`StoreWriter`]) is a
+//! [`BatchSink`]: it funnels streamed fragments through a real
+//! [`LogBuilder`] — so symbol numbering and class-id assignment are
+//! *by construction* identical to the in-memory route — and drains the
+//! materialized traces to a segment file at every commit, keeping memory
+//! bounded by one batch. The read side ([`TraceStore`]) replays the
+//! string table and class registry into a fresh builder and decodes
+//! batches on demand (positional reads behind
+//! [`SegmentSource`]), reproducing the original [`EventLog`] bit for bit
+//! ([`TraceStore::load_log`]) or building a [`LogIndex`] batch by batch
+//! without materializing the log at all ([`TraceStore::build_index`]).
+
+pub mod format;
+pub mod source;
+
+pub use format::{decode_batch, encode_batch, StoreMeta};
+pub use source::{FileSource, MemSource, SegmentSource};
+
+use crate::error::{Error, Result};
+use crate::index::{IndexSplicer, LogIndex};
+use crate::log::{EventLog, LogBuilder};
+use crate::trace::Trace;
+use crate::xes::ingest::{ingest_stream, BatchSink, IngestOptions};
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// File name of the store metadata.
+pub const META_FILE: &str = "store.meta";
+
+fn batch_file_name(index: usize) -> String {
+    format!("batch-{index:05}.seg")
+}
+
+/// Writer half of the store; implements [`BatchSink`] so
+/// [`ingest_stream`] can spill straight to disk.
+#[derive(Debug)]
+pub struct StoreWriter {
+    dir: PathBuf,
+    builder: LogBuilder,
+    batch_traces: Vec<u32>,
+}
+
+impl StoreWriter {
+    /// Creates (or re-creates) a store directory for writing. Existing
+    /// segment files from a previous run are removed so a shorter rewrite
+    /// cannot leave stale batches behind.
+    pub fn create(dir: impl AsRef<Path>) -> Result<StoreWriter> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == META_FILE || (name.starts_with("batch-") && name.ends_with(".seg")) {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(StoreWriter { dir, builder: LogBuilder::new(), batch_traces: Vec::new() })
+    }
+
+    /// Drains the builder's buffered traces into the next segment file.
+    fn spill(&mut self) -> Result<()> {
+        let traces = self.builder.drain_traces();
+        if traces.is_empty() {
+            return Ok(());
+        }
+        let bytes = format::encode_batch(&traces);
+        fs::write(self.dir.join(batch_file_name(self.batch_traces.len())), bytes)?;
+        self.batch_traces.push(traces.len() as u32);
+        Ok(())
+    }
+
+    /// Spills any remaining traces, writes the metadata file and opens
+    /// the finished store for reading.
+    pub fn finish(mut self) -> Result<TraceStore> {
+        self.spill()?;
+        let meta = StoreMeta {
+            strings: self.builder.interner_ref().iter().map(|(_, s)| s.to_string()).collect(),
+            classes: self
+                .builder
+                .classes_ref()
+                .ids()
+                .map(|id| {
+                    let info = self.builder.classes_ref().info(id);
+                    (info.name, info.attributes.clone())
+                })
+                .collect(),
+            log_attrs: self.builder.attributes_ref().to_vec(),
+            batch_traces: self.batch_traces,
+        };
+        fs::write(self.dir.join(META_FILE), format::encode_meta(&meta))?;
+        Ok(TraceStore { dir: self.dir, meta })
+    }
+}
+
+impl BatchSink for StoreWriter {
+    fn builder(&mut self) -> &mut LogBuilder {
+        &mut self.builder
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        self.spill()
+    }
+}
+
+/// Streams an XES document from `source` into a store at `dir` with
+/// bounded memory, returning the finished store.
+pub fn ingest_to_store<R: Read + Send>(
+    source: R,
+    dir: impl AsRef<Path>,
+    options: &IngestOptions,
+) -> Result<TraceStore> {
+    let mut writer = StoreWriter::create(dir)?;
+    ingest_stream(source, &mut writer, options)?;
+    writer.finish()
+}
+
+/// Read half of the store.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+    meta: StoreMeta,
+}
+
+impl TraceStore {
+    /// Opens an existing store directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<TraceStore> {
+        let dir = dir.as_ref().to_path_buf();
+        let meta = format::decode_meta(&fs::read(dir.join(META_FILE))?)?;
+        Ok(TraceStore { dir, meta })
+    }
+
+    /// The decoded store metadata.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Number of batch segments.
+    pub fn num_batches(&self) -> usize {
+        self.meta.batch_traces.len()
+    }
+
+    /// Total traces across all batches.
+    pub fn num_traces(&self) -> usize {
+        self.meta.num_traces()
+    }
+
+    /// Path of batch `index`'s segment file.
+    pub fn batch_path(&self, index: usize) -> PathBuf {
+        self.dir.join(batch_file_name(index))
+    }
+
+    /// Decodes batch `index` from its segment file via positional reads.
+    pub fn read_batch(&self, index: usize) -> Result<Vec<Trace>> {
+        let source = FileSource::open(self.batch_path(index))?;
+        Self::read_batch_from(&source)
+    }
+
+    /// Decodes one batch from any [`SegmentSource`].
+    pub fn read_batch_from(source: &dyn SegmentSource) -> Result<Vec<Trace>> {
+        let len = usize::try_from(source.len())
+            .map_err(|_| Error::Store("segment larger than address space".into()))?;
+        let mut bytes = vec![0u8; len];
+        source.read_at(0, &mut bytes)?;
+        format::decode_batch(&bytes)
+    }
+
+    /// Replays the string table, class registry and log attributes into a
+    /// fresh builder — the fixed point both routes share. Symbols and
+    /// class ids come out exactly as the writer assigned them, so decoded
+    /// traces can be appended without any remapping.
+    fn restore_builder(&self) -> Result<LogBuilder> {
+        let mut builder = LogBuilder::new();
+        for (i, s) in self.meta.strings.iter().enumerate() {
+            let sym = builder.intern(s);
+            if sym.index() != i {
+                // The first five entries must be the std keys LogBuilder
+                // pre-interns; anything else is a foreign or corrupt table.
+                return Err(Error::Store(format!(
+                    "string table mismatch at symbol {i}: {s:?} resolved to {}",
+                    sym.index()
+                )));
+            }
+        }
+        for (i, (name, attrs)) in self.meta.classes.iter().enumerate() {
+            if name.index() >= self.meta.strings.len() {
+                return Err(Error::Store(format!("class {i} names unknown symbol {}", name.0)));
+            }
+            let id = builder.classes_mut().get_or_insert(*name)?;
+            if id.index() != i {
+                return Err(Error::Store(format!("class id mismatch at {i}")));
+            }
+            builder.classes_mut().info_mut(id).attributes = attrs.clone();
+        }
+        for (key, value) in &self.meta.log_attrs {
+            builder.push_log_attr_raw(*key, value.clone());
+        }
+        Ok(builder)
+    }
+
+    /// Materializes the full [`EventLog`], bit-identical to the log the
+    /// in-memory route would have produced from the same document.
+    pub fn load_log(&self) -> Result<EventLog> {
+        let mut builder = self.restore_builder()?;
+        for batch in 0..self.num_batches() {
+            for trace in self.read_batch(batch)? {
+                builder.push_raw_trace(trace);
+            }
+        }
+        Ok(builder.build())
+    }
+
+    /// Builds the postings index batch by batch, without materializing
+    /// the whole log — bit-identical to [`LogIndex::build`] on
+    /// [`TraceStore::load_log`]'s result.
+    pub fn build_index(&self) -> Result<LogIndex> {
+        let mut splicer = IndexSplicer::new();
+        splicer.ensure_classes(self.meta.classes.len());
+        for batch in 0..self.num_batches() {
+            for trace in self.read_batch(batch)? {
+                splicer.begin_trace();
+                for (pos, event) in trace.events().iter().enumerate() {
+                    splicer.push(event.class(), pos as u32);
+                }
+            }
+        }
+        Ok(splicer.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xes::ingest::parse_reader;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-stores")
+            .join(format!("gecco-store-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+<log xes.version="1.0">
+  <string key="concept:name" value="demo"/>
+  <string key="gecco:classattr" value="a"><string key="system" value="X"/></string>
+  <trace>
+    <string key="concept:name" value="c1"/>
+    <event><string key="concept:name" value="a"/><date key="time:timestamp" value="2020-01-01T00:00:00.000Z"/></event>
+    <event><string key="concept:name" value="b"/><float key="cost" value="1.5"/></event>
+  </trace>
+  <trace><string key="concept:name" value="c2"/><event><string key="concept:name" value="a"/></event></trace>
+  <trace/>
+  <int key="count" value="3"/>
+</log>"#;
+
+    #[test]
+    fn store_round_trip_is_bit_identical() {
+        let dir = temp_dir("roundtrip");
+        let expect = parse_reader(DOC.as_bytes(), &IngestOptions::default()).unwrap();
+        for batch_traces in [1, 2, 100] {
+            let options = IngestOptions { batch_traces, ..IngestOptions::default() };
+            let store = ingest_to_store(DOC.as_bytes(), &dir, &options).unwrap();
+            assert_eq!(store.num_traces(), 3);
+            let got = store.load_log().unwrap();
+            assert_eq!(got.traces(), expect.traces());
+            assert_eq!(got.attributes(), expect.attributes());
+            assert_eq!(got.num_classes(), expect.num_classes());
+            let a: Vec<_> = got.interner().iter().collect();
+            let b: Vec<_> = expect.interner().iter().collect();
+            assert_eq!(a, b, "batch_traces {batch_traces}");
+            // Reopening from disk sees the same store.
+            let reopened = TraceStore::open(&dir).unwrap();
+            assert_eq!(reopened.meta(), store.meta());
+            // The streamed index equals the built one.
+            assert_eq!(store.build_index().unwrap(), LogIndex::build(&got));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_clears_stale_segments() {
+        let dir = temp_dir("stale");
+        let many = IngestOptions { batch_traces: 1, ..IngestOptions::default() };
+        let store = ingest_to_store(DOC.as_bytes(), &dir, &many).unwrap();
+        assert!(store.num_batches() > 1);
+        let one = IngestOptions { batch_traces: 100, ..IngestOptions::default() };
+        let store = ingest_to_store(DOC.as_bytes(), &dir, &one).unwrap();
+        assert_eq!(store.num_batches(), 1);
+        let stale: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("batch-"))
+            .collect();
+        assert_eq!(stale.len(), 1, "stale segments left behind: {stale:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_string_table_is_rejected() {
+        let dir = temp_dir("foreign");
+        let meta = StoreMeta { strings: vec!["not-a-std-key".into()], ..StoreMeta::default() };
+        fs::write(dir.join(META_FILE), format::encode_meta(&meta)).unwrap();
+        let store = TraceStore::open(&dir).unwrap();
+        let err = store.load_log().unwrap_err().to_string();
+        assert!(err.contains("string table mismatch"), "got: {err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,10 +7,14 @@
 //! events and typed attributes (`string`, `date`, `int`, `float`,
 //! `boolean`), on top of the in-crate [`xml`] pull parser.
 
+pub mod ingest;
 pub mod reader;
 pub mod scan;
+pub mod stream;
 pub mod writer;
 pub mod xml;
 
+pub use ingest::{ingest_stream, parse_reader, BatchSink, IngestOptions};
 pub use reader::{parse_bytes, parse_file, parse_str};
+pub use stream::{OwnedSegment, StreamItem, StreamScanner, DEFAULT_READ_CHUNK};
 pub use writer::{write_file, write_footer, write_header, write_string, write_traces};

@@ -122,7 +122,13 @@ pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<EventLog> {
 /// ones. Only computed on the error path, so the happy path never counts
 /// newlines.
 fn rebase_lines(err: Error, input: &[u8], chunk_start: usize) -> Error {
-    let base = line_at(input, chunk_start) - 1;
+    shift_lines(err, line_at(input, chunk_start) - 1)
+}
+
+/// Adds `base` lines to the positions in an error. The streaming path uses
+/// this directly: it knows each chunk's document-absolute start line from
+/// the window scanner instead of recounting the (long gone) document.
+pub(crate) fn shift_lines(err: Error, base: usize) -> Error {
     match err {
         Error::Xml { line, message } => Error::Xml { line: line + base, message },
         Error::Xes { line, message } => Error::Xes { line: line + base, message },
@@ -223,7 +229,7 @@ fn skip_subtree(parser: &mut XmlParser<'_>) -> Result<()> {
 
 /// Parses one log-level segment — typed log attributes, extensions,
 /// classifiers and `gecco:classattr` wrappers — directly into the builder.
-fn parse_log_segment(builder: &mut LogBuilder, segment: &[u8]) -> Result<()> {
+pub(crate) fn parse_log_segment(builder: &mut LogBuilder, segment: &[u8]) -> Result<()> {
     let mut parser = XmlParser::from_bytes(segment);
     while let Some(event) = parser.next_event()? {
         match event {
@@ -330,7 +336,7 @@ fn parse_trace_batch(input: &[u8], ranges: &[Range<usize>]) -> Result<LogFragmen
 /// Parses one `<trace>…</trace>` chunk into the batch fragment, interning
 /// strings into the fragment's thread-local interner as they are read —
 /// no intermediate owned strings.
-fn parse_trace_into(fragment: &mut LogFragment, chunk: &[u8]) -> Result<()> {
+pub(crate) fn parse_trace_into(fragment: &mut LogFragment, chunk: &[u8]) -> Result<()> {
     let mut parser = XmlParser::from_bytes(chunk);
     match parser.next_event()? {
         Some(XmlEvent::StartElement { name: "trace", self_closing, .. }) => {

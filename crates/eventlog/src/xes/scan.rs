@@ -19,7 +19,7 @@
 //! parser in stage two.
 
 use crate::error::{Error, Result};
-use crate::xes::xml::{line_at, skip_past, take_name_bytes};
+use crate::xes::xml::{line_at, skip_markup_decl, skip_past, take_name_bytes};
 use std::ops::Range;
 
 /// One document-order piece of the `<log>` body.
@@ -41,14 +41,44 @@ pub struct ScannedDocument {
 }
 
 /// What the shallow tokenizer saw at one `<…>` construct.
-enum RawTag<'a> {
+pub(crate) enum RawTag<'a> {
     Start { name: &'a [u8], self_closing: bool },
     End { name: &'a [u8] },
 }
 
-struct Scanner<'a> {
-    input: &'a [u8],
-    pos: usize,
+/// Outcome of one tokenizer step over a window that may be a prefix of the
+/// document: either the construct completed inside the window, or the
+/// window ended first and the caller must refill and rescan.
+///
+/// When [`Scanner::at_eof`] is `true` (the whole-document mode used by
+/// [`scan_document`]), `Incomplete` is never produced — every truncated
+/// construct is a hard error instead, exactly as before the streaming
+/// refactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step<T> {
+    Done(T),
+    /// The window ended before the construct did — refill and rescan.
+    Incomplete,
+}
+
+/// Propagates [`Step::Incomplete`] out of a `Result<Step<_>>`-returning
+/// function, unwrapping the `Done` payload otherwise.
+macro_rules! step {
+    ($e:expr) => {
+        match $e? {
+            Step::Done(v) => v,
+            Step::Incomplete => return Ok(Step::Incomplete),
+        }
+    };
+}
+
+pub(crate) struct Scanner<'a> {
+    pub(crate) input: &'a [u8],
+    pub(crate) pos: usize,
+    /// Whether `input` ends at the true end of the document. When `false`
+    /// the scanner is looking at a streaming window and reports truncated
+    /// constructs as [`Step::Incomplete`] instead of erroring.
+    pub(crate) at_eof: bool,
 }
 
 impl<'a> Scanner<'a> {
@@ -60,12 +90,24 @@ impl<'a> Scanner<'a> {
         self.input[self.pos..].starts_with(s)
     }
 
+    /// Unwraps a step produced in whole-document mode, where `Incomplete`
+    /// is unreachable.
+    fn complete<T>(step: Step<T>) -> T {
+        match step {
+            Step::Done(v) => v,
+            Step::Incomplete => unreachable!("Step::Incomplete with at_eof"),
+        }
+    }
+
     /// Advances to (and over) the byte sequence `until`; shares
     /// [`skip_past`] with the real parser so both stages skip comments,
     /// PIs and CDATA identically.
-    fn skip_until(&mut self, until: &[u8]) -> Result<()> {
+    fn skip_until(&mut self, until: &[u8]) -> Result<Step<()>> {
         if skip_past(self.input, &mut self.pos, until) {
-            return Ok(());
+            return Ok(Step::Done(()));
+        }
+        if !self.at_eof {
+            return Ok(Step::Incomplete);
         }
         Err(self
             .err(format!("unterminated construct; expected `{}`", String::from_utf8_lossy(until))))
@@ -81,37 +123,54 @@ impl<'a> Scanner<'a> {
     /// Advances to the next element tag, skipping text, comments, CDATA,
     /// processing instructions and DOCTYPE. Returns the tag and the byte
     /// offset of its opening `<`, or `None` at end of input.
-    fn next_tag(&mut self) -> Result<Option<(usize, RawTag<'a>)>> {
+    pub(crate) fn next_tag(&mut self) -> Result<Step<Option<(usize, RawTag<'a>)>>> {
         loop {
             match self.input[self.pos..].iter().position(|&b| b == b'<') {
                 Some(i) => self.pos += i,
                 None => {
                     self.pos = self.input.len();
-                    return Ok(None);
+                    if !self.at_eof {
+                        return Ok(Step::Incomplete);
+                    }
+                    return Ok(Step::Done(None));
                 }
             }
             let tag_start = self.pos;
+            // The dispatch below looks at up to `<![CDATA[`.len() bytes;
+            // with fewer left in a partial window it could misclassify a
+            // construct split across the window edge.
+            if !self.at_eof && self.input.len() - self.pos < b"<![CDATA[".len() {
+                return Ok(Step::Incomplete);
+            }
             if self.starts_with(b"<?") {
-                self.skip_until(b"?>")?;
+                step!(self.skip_until(b"?>"));
                 continue;
             }
             if self.starts_with(b"<!--") {
-                self.skip_until(b"-->")?;
+                step!(self.skip_until(b"-->"));
                 continue;
             }
             if self.starts_with(b"<![CDATA[") {
-                self.skip_until(b"]]>")?;
+                step!(self.skip_until(b"]]>"));
                 continue;
             }
             if self.starts_with(b"<!") {
-                self.skip_until(b">")?; // DOCTYPE etc.
+                // DOCTYPE etc.; shares [`skip_markup_decl`] with the real
+                // parser so internal subsets containing `>` skip to the
+                // same byte in both stages.
+                if !skip_markup_decl(self.input, &mut self.pos) {
+                    if !self.at_eof {
+                        return Ok(Step::Incomplete);
+                    }
+                    return Err(self.err("unterminated markup declaration"));
+                }
                 continue;
             }
             if self.starts_with(b"</") {
                 self.pos += 2;
                 let name = self.read_name_bytes();
-                self.skip_until(b">")?;
-                return Ok(Some((tag_start, RawTag::End { name })));
+                step!(self.skip_until(b">"));
+                return Ok(Step::Done(Some((tag_start, RawTag::End { name }))));
             }
             // Start tag: scan to `>`/`/>`, honoring quoted attribute values.
             self.pos += 1;
@@ -126,6 +185,9 @@ impl<'a> Scanner<'a> {
                             Some(i) => self.pos += i + 1,
                             None => {
                                 self.pos = self.input.len();
+                                if !self.at_eof {
+                                    return Ok(Step::Incomplete);
+                                }
                                 return Err(self.err("unterminated attribute value"));
                             }
                         }
@@ -140,18 +202,23 @@ impl<'a> Scanner<'a> {
                         break;
                     }
                     Some(_) => self.pos += 1,
-                    None => return Err(self.err("unterminated start tag")),
+                    None => {
+                        if !self.at_eof {
+                            return Ok(Step::Incomplete);
+                        }
+                        return Err(self.err("unterminated start tag"));
+                    }
                 }
             }
-            return Ok(Some((tag_start, RawTag::Start { name, self_closing })));
+            return Ok(Step::Done(Some((tag_start, RawTag::Start { name, self_closing }))));
         }
     }
 
     /// Skips the remainder of a subtree whose start tag was just consumed.
-    fn skip_subtree(&mut self) -> Result<()> {
+    pub(crate) fn skip_subtree(&mut self) -> Result<Step<()>> {
         let mut depth = 1usize;
         while depth > 0 {
-            match self.next_tag()? {
+            match step!(self.next_tag()) {
                 Some((_, RawTag::Start { self_closing, .. })) => {
                     if !self_closing {
                         depth += 1;
@@ -161,7 +228,7 @@ impl<'a> Scanner<'a> {
                 None => return Err(self.err("unexpected end of input while skipping element")),
             }
         }
-        Ok(())
+        Ok(Step::Done(()))
     }
 }
 
@@ -172,11 +239,11 @@ impl<'a> Scanner<'a> {
 /// chunk (mismatched tags, bad attributes) are intentionally not detected
 /// here — stage two reports them with document-accurate line numbers.
 pub fn scan_document(input: &[u8]) -> Result<ScannedDocument> {
-    let mut scanner = Scanner { input, pos: 0 };
+    let mut scanner = Scanner { input, pos: 0, at_eof: true };
     // Find the root <log>, skipping any other top-level subtrees (the
     // serial parser accepted and ignored them).
     loop {
-        match scanner.next_tag()? {
+        match Scanner::complete(scanner.next_tag()?) {
             Some((_, RawTag::Start { name: b"log", self_closing })) => {
                 if self_closing {
                     return Ok(ScannedDocument::default());
@@ -185,7 +252,7 @@ pub fn scan_document(input: &[u8]) -> Result<ScannedDocument> {
             }
             Some((_, RawTag::Start { self_closing, .. })) => {
                 if !self_closing {
-                    scanner.skip_subtree()?;
+                    Scanner::complete(scanner.skip_subtree()?);
                 }
             }
             Some((_, RawTag::End { .. })) => {
@@ -213,12 +280,12 @@ pub fn scan_document(input: &[u8]) -> Result<ScannedDocument> {
     };
     let mut depth = 1usize; // inside <log>
     loop {
-        match scanner.next_tag()? {
+        match Scanner::complete(scanner.next_tag()?) {
             Some((tag_start, RawTag::Start { name, self_closing })) => {
                 if depth == 1 && name == b"trace" {
                     push_log_segment(&mut segments, log_seg_start, tag_start);
                     if !self_closing {
-                        scanner.skip_subtree()?;
+                        Scanner::complete(scanner.skip_subtree()?);
                     }
                     segments.push(Segment::Trace(tag_start..scanner.pos));
                     log_seg_start = scanner.pos;
@@ -337,5 +404,37 @@ mod tests {
     fn non_log_top_level_subtrees_are_skipped() {
         let s = segs("<meta><x/></meta><log><trace/></log>");
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn doctype_internal_subset_does_not_leak_into_segments() {
+        // The old skip-to-`>` stopped inside the subset, so the leftover
+        // `]>` bytes (or worse, a fake `<trace>` inside an entity value)
+        // leaked into the scan. Both tokenizer stages now share
+        // `skip_markup_decl`, so the prologue is skipped identically.
+        for prolog in [
+            "<!DOCTYPE log [ <!ENTITY auth \"Bob\"> ]>",
+            // An entity value with a `>` followed by a fake `<log>`: the
+            // pre-fix scanner took the leaked `<log>` as the root and
+            // segmented the entity's own `<trace/>`.
+            "<!DOCTYPE log [ <!ENTITY l \"x > <log><trace/></log>\"> ]>",
+            // A leaked end tag aborted the pre-fix scan outright.
+            "<!DOCTYPE log [ <!-- > --> <!ENTITY e \"v > </trace>\"> ]>",
+        ] {
+            let doc = format!("{prolog}<log><trace><event/></trace></log>");
+            let s = segs(&doc);
+            assert_eq!(s.len(), 1, "subset leaked for {prolog:?}: {s:?}");
+            match &s[0] {
+                Segment::Trace(r) => {
+                    assert_eq!(&doc[r.clone()], "<trace><event/></trace>")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unterminated_doctype_is_an_error() {
+        assert!(scan_document(b"<!DOCTYPE log [ <log><trace/></log>").is_err());
     }
 }

@@ -248,7 +248,10 @@ impl<'a> XmlParser<'a> {
                 return Ok(Some(XmlEvent::Text(String::from_utf8_lossy(raw))));
             }
             if self.starts_with(b"<!") {
-                self.skip_until(b">")?; // DOCTYPE etc.
+                // DOCTYPE etc. — the internal subset may contain `>`.
+                if !skip_markup_decl(self.input, &mut self.pos) {
+                    return Err(self.err("unterminated markup declaration"));
+                }
                 continue;
             }
             if self.starts_with(b"</") {
@@ -359,6 +362,73 @@ pub(crate) fn skip_past(input: &[u8], pos: &mut usize, until: &[u8]) -> bool {
     false
 }
 
+/// Skips a markup declaration (`<!DOCTYPE …>`, `<!ENTITY …>`, …) whose
+/// `<!` starts at `*pos`, leaving `*pos` just past the closing `>`.
+///
+/// A DOCTYPE may carry an `[ … ]` internal subset holding nested `<!…>`
+/// declarations, comments, processing instructions and quoted literals —
+/// a `>` inside any of those does not end the DOCTYPE, so a bare
+/// skip-to-`>` would leak the remainder of the subset into the token
+/// stream. Tracked here: quoted literals (`"…"` / `'…'`), embedded
+/// comments and PIs (via [`skip_past`]), nested declaration depth and the
+/// subset bracket. Returns `false` (with `*pos` at end of input) when the
+/// declaration never terminates. Shared by the real parser and the chunk
+/// scanner so both stages skip identical byte ranges.
+pub(crate) fn skip_markup_decl(input: &[u8], pos: &mut usize) -> bool {
+    debug_assert!(input[*pos..].starts_with(b"<!"));
+    *pos += 2;
+    let mut decls = 1usize; // open `<!…` declarations
+    let mut subset = 0usize; // `[ … ]` bracket depth
+    while *pos < input.len() {
+        match input[*pos] {
+            quote @ (b'"' | b'\'') => {
+                *pos += 1;
+                match input[*pos..].iter().position(|&b| b == quote) {
+                    Some(i) => *pos += i + 1,
+                    None => {
+                        *pos = input.len();
+                        return false;
+                    }
+                }
+            }
+            b'<' if input[*pos..].starts_with(b"<!--") => {
+                if !skip_past(input, pos, b"-->") {
+                    return false;
+                }
+            }
+            b'<' if input[*pos..].starts_with(b"<?") => {
+                if !skip_past(input, pos, b"?>") {
+                    return false;
+                }
+            }
+            b'<' if input[*pos..].starts_with(b"<!") => {
+                decls += 1;
+                *pos += 2;
+            }
+            b'[' => {
+                subset += 1;
+                *pos += 1;
+            }
+            b']' => {
+                subset = subset.saturating_sub(1);
+                *pos += 1;
+            }
+            b'>' => {
+                *pos += 1;
+                if decls > 1 {
+                    decls -= 1;
+                } else if subset == 0 {
+                    return true;
+                }
+                // else: a stray `>` inside the internal subset — the
+                // DOCTYPE's own `>` still comes after the closing `]`.
+            }
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
 /// Escapes a string for inclusion in XML attribute values or text.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -412,6 +482,53 @@ mod tests {
         let doc = "<?xml version=\"1.0\"?><!DOCTYPE log><!-- hi --><log></log>";
         let events = all_events(doc);
         assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn doctype_internal_subset_does_not_leak() {
+        // The `>` inside the entity declarations, the comment and the
+        // quoted literal must all stay inside the DOCTYPE: the old
+        // skip-to-`>` stopped at the first one and leaked ` ]>` (and the
+        // rest of the subset) into the token stream as text.
+        for doc in [
+            "<!DOCTYPE log [ <!ENTITY auth \"Bob\"> ]><log></log>",
+            "<!DOCTYPE log [ <!ENTITY gt2 \"x > y\"> <!ENTITY b 'c'> ]><log></log>",
+            "<!DOCTYPE log [ <!-- > inside comment --> <!ELEMENT log ANY> ]><log></log>",
+            "<!DOCTYPE log [ <?pi with > inside?> ]><log></log>",
+            "<!DOCTYPE log SYSTEM \"http://a/b>c.dtd\"><log></log>",
+        ] {
+            let events = all_events(doc);
+            assert_eq!(events.len(), 2, "subset leaked in {doc:?}: {events:?}");
+            assert!(matches!(&events[0], XmlEvent::StartElement { name: "log", .. }));
+        }
+    }
+
+    #[test]
+    fn unterminated_doctype_subset_is_an_error() {
+        for bad in ["<!DOCTYPE log [ <!ENTITY a \"b\"> <log></log>", "<!DOCTYPE log [ ]"] {
+            let mut p = XmlParser::new(bad);
+            let mut saw_err = false;
+            loop {
+                match p.next_event() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        saw_err = true;
+                        assert!(e.to_string().contains("markup declaration"), "{e}");
+                        break;
+                    }
+                }
+            }
+            assert!(saw_err, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn skip_markup_decl_lands_after_the_real_close() {
+        let doc = b"<!DOCTYPE log [ <!ENTITY a \"]>\"> ]><log/>";
+        let mut pos = 0usize;
+        assert!(skip_markup_decl(doc, &mut pos));
+        assert_eq!(&doc[pos..], b"<log/>");
     }
 
     #[test]

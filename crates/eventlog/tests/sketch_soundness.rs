@@ -98,17 +98,25 @@ proptest! {
                     sketch.cooccurring(a).contains(b), exact,
                     "pair row diverges on {:?},{:?}", a, b
                 );
-                // Pair supports never under-count the exact trace count.
-                if a != b {
-                    let count = log
-                        .trace_class_sets()
-                        .iter()
-                        .filter(|cs| cs.contains(a) && cs.contains(b))
-                        .count() as u32;
-                    prop_assert!(sketch.pair_support(a, b) >= count);
-                    if count == 0 {
-                        prop_assert_eq!(sketch.pair_support(a, b), 0);
-                    }
+                // Pair supports never under-count the exact trace count —
+                // including the degenerate `a == b` query, whose support is
+                // the class's own trace count (and is exact, since the
+                // index carries it directly).
+                let count = log
+                    .trace_class_sets()
+                    .iter()
+                    .filter(|cs| cs.contains(a) && cs.contains(b))
+                    .count() as u32;
+                prop_assert!(
+                    sketch.pair_support(a, b) >= count,
+                    "pair_support under-counts on {:?},{:?}: {} < {}",
+                    a, b, sketch.pair_support(a, b), count
+                );
+                if a == b {
+                    prop_assert_eq!(sketch.pair_support(a, a), count);
+                }
+                if count == 0 {
+                    prop_assert_eq!(sketch.pair_support(a, b), 0);
                 }
             }
         }
