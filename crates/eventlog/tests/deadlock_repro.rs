@@ -1,0 +1,30 @@
+//! Temporary repro: parallel ingest must return (not hang) on a parse
+//! error that occurs early in a large document.
+
+use gecco_eventlog::{set_parallel, IngestOptions};
+
+#[test]
+fn parallel_ingest_error_terminates() {
+    set_parallel(true);
+    let mut doc = String::from("<log>\n");
+    // Malformed trace early (bad attribute -> stage-two parse error).
+    doc.push_str("<trace><event><string key=\"concept:name\"/></event></trace>\n");
+    for i in 0..200_000 {
+        doc.push_str(&format!(
+            "<trace><string key=\"concept:name\" value=\"c{i}\"/><event><string key=\"concept:name\" value=\"a\"/></event></trace>\n"
+        ));
+    }
+    doc.push_str("</log>");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let res = gecco_eventlog::parse_reader(
+            doc.as_bytes(),
+            &IngestOptions { batch_traces: 1, ..IngestOptions::default() },
+        );
+        tx.send(res.is_err()).unwrap();
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(30)) {
+        Ok(was_err) => assert!(was_err, "expected a parse error"),
+        Err(_) => panic!("parallel ingest deadlocked on an early parse error"),
+    }
+}
