@@ -68,6 +68,7 @@ impl PropertyGraph {
         self.nodes.push(Node::default());
         self.out_edges.push(Vec::new());
         self.in_edges.push(Vec::new());
+        // gecco-lint: allow(lossy-cast) — node ids are u32 by design in the baseline graph
         NodeId(self.nodes.len() as u32 - 1)
     }
 
@@ -83,6 +84,8 @@ impl PropertyGraph {
 
     /// Adds a directed edge with properties.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, properties: Vec<(String, PropertyValue)>) {
+        // gecco-lint: allow(nondet-iter) — `properties` is the Vec parameter here, not the
+        // same-named HashMap field; it is collected *into* the unordered property map
         self.out_edges[from.0 as usize].push((to, properties.into_iter().collect()));
         self.in_edges[to.0 as usize].push(from);
     }
@@ -104,6 +107,7 @@ impl PropertyGraph {
 
     /// All node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        // gecco-lint: allow(lossy-cast) — node ids are u32 by design in the baseline graph
         (0..self.nodes.len() as u32).map(NodeId)
     }
 

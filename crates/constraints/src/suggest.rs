@@ -16,7 +16,7 @@
 
 use crate::spec::{ClassExpr, Cmp, Constraint, InstanceExpr};
 use gecco_eventlog::{EventLog, Symbol};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A proposed constraint with a human-readable justification.
 #[derive(Debug, Clone)]
@@ -84,7 +84,13 @@ fn suggest_categorical_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
             }
         }
     }
-    for (key, per_class) in observed {
+    // Hash state must not pick the emission order: the score sort is
+    // stable, so equal-scoring suggestions keep it. Enumerate attributes
+    // by resolved name — deterministic across runs *and* across symbol
+    // numberings (symbol ids depend on attribute first-use order).
+    let ranked: BTreeMap<&str, &HashMap<u16, HashSet<Symbol>>> =
+        observed.iter().map(|(key, per_class)| (log.resolve(*key), per_class)).collect();
+    for (name, per_class) in ranked {
         if per_class.len() < log.num_classes().max(1) {
             continue; // attribute missing for some classes
         }
@@ -94,7 +100,7 @@ fn suggest_categorical_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
         }
         let blocks: HashSet<Symbol> = per_class.values().flat_map(|v| v.iter().copied()).collect();
         if (2..=8).contains(&blocks.len()) && blocks.len() < log.num_classes() {
-            let name = log.resolve(key).to_string();
+            let name = name.to_string();
             out.push(Suggestion {
                 constraint: Constraint::instance(
                     InstanceExpr::Distinct(name.clone()),
@@ -123,7 +129,10 @@ fn suggest_class_attribute_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
             keys.insert(*k);
         }
     }
-    for key in keys {
+    // Same discipline as above: emission order comes from attribute
+    // names, never from hash state.
+    let ranked: BTreeMap<&str, Symbol> = keys.iter().map(|k| (log.resolve(*k), *k)).collect();
+    for (name, key) in ranked {
         let on_all = log.classes().ids().all(|c| log.classes().info(c).attribute(key).is_some());
         if !on_all {
             continue;
@@ -134,7 +143,7 @@ fn suggest_class_attribute_purity(log: &EventLog, out: &mut Vec<Suggestion>) {
             .filter_map(|c| log.classes().info(c).attribute(key).map(|v| v.distinct_key()))
             .collect();
         if distinct.len() >= 2 && distinct.len() < log.num_classes() {
-            let name = log.resolve(key).to_string();
+            let name = name.to_string();
             out.push(Suggestion {
                 constraint: Constraint::ClassBound {
                     expr: ClassExpr::DistinctAttr(name.clone()),
@@ -281,6 +290,54 @@ mod tests {
             &s.constraint,
             Constraint::InstanceBound { expr: InstanceExpr::Distinct(a), .. } if a == "who"
         )));
+    }
+
+    /// Four partition attributes with identical scores, attached to each
+    /// event in either forward or reversed order. Reversing changes both
+    /// any hash-map insertion order and the symbol numbering of the keys.
+    fn attr_log(reversed: bool) -> EventLog {
+        let attrs: [(&str, [&str; 4]); 4] = [
+            ("org:role", ["r1", "r1", "r2", "r2"]),
+            ("org:dept", ["d1", "d2", "d1", "d2"]),
+            ("org:system", ["s1", "s2", "s2", "s1"]),
+            ("org:site", ["x1", "x1", "x1", "x2"]),
+        ];
+        let mut b = LogBuilder::new();
+        for t in 0..3 {
+            let mut tb = b.trace(&format!("t{t}"));
+            for (ci, class) in ["a", "b", "c", "d"].iter().enumerate() {
+                tb = tb
+                    .event_with(class, |e| {
+                        let mut order: Vec<usize> = (0..attrs.len()).collect();
+                        if reversed {
+                            order.reverse();
+                        }
+                        for i in order {
+                            e.str(attrs[i].0, attrs[i].1[ci]);
+                        }
+                    })
+                    .unwrap();
+            }
+            tb.done();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn suggestion_order_is_independent_of_attribute_insert_order() {
+        // All four purity suggestions tie at score 0.5; the tie-break must
+        // come from attribute names, not hash state or symbol numbering.
+        let render = |log: &EventLog| -> Vec<(String, String, u64)> {
+            suggest_constraints(log)
+                .iter()
+                .map(|s| (format!("{:?}", s.constraint), s.rationale.clone(), s.score.to_bits()))
+                .collect()
+        };
+        let forward = render(&attr_log(false));
+        let reversed = render(&attr_log(true));
+        assert_eq!(forward, reversed);
+        let purity = forward.iter().filter(|(c, _, _)| c.contains("Distinct")).count();
+        assert!(purity >= 4, "expected all four purity suggestions: {forward:?}");
     }
 
     #[test]

@@ -226,6 +226,8 @@ pub fn abstract_log(
                     id
                 }
             };
+            // gecco-lint: allow(lossy-cast) — within-trace position; positions are u32 by
+            // design throughout the index, and abstraction only ever shrinks traces
             splicer.push(class_id, new_pos as u32);
             let mut attrs: Vec<(Symbol, AttributeValue)> = Vec::with_capacity(3);
             if let Some(ts) = e.timestamp {

@@ -175,7 +175,12 @@ pub fn dfg_candidates<'a>(
                 }
             }
         }
-        to_check = next.into_values().collect();
+        // Deterministic order keeps runs reproducible: hash order must not
+        // pick which equal-scoring path survives downstream tie-breaks.
+        // gecco-lint: allow(nondet-iter) — sorted by candidate key on the next line
+        let mut frontier: Vec<_> = next.into_iter().collect();
+        frontier.sort_unstable_by_key(|(key, _)| *key);
+        to_check = frontier.into_iter().map(|(_, path)| path).collect();
     }
     out
 }

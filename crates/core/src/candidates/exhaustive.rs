@@ -134,6 +134,7 @@ pub fn exhaustive_candidates(
                 *entry = *entry || in_g;
             }
         }
+        // gecco-lint: allow(nondet-iter) — sorted into deterministic order on the next line
         to_check = next.into_iter().collect();
         // Deterministic order keeps runs reproducible.
         to_check.sort_by_key(|(g, _)| *g);

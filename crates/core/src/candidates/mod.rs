@@ -65,6 +65,8 @@ impl Budget {
 
     /// A wall-clock budget from now.
     pub fn timeout(duration: std::time::Duration) -> Budget {
+        // gecco-lint: allow(ambient-nondet) — a wall-clock budget is wall-clock by definition;
+        // the no-budget path is bit-identical and is what the paper pins assert against
         Budget { max_checks: None, deadline: Some(Instant::now() + duration) }
     }
 
@@ -76,6 +78,8 @@ impl Budget {
         // Only consult the clock periodically; `Instant::now` is not free.
         if checks.is_multiple_of(256) {
             if let Some(d) = self.deadline {
+                // gecco-lint: allow(ambient-nondet) — deadline check; results under a timeout
+                // are explicitly time-dependent (that is the contract of Budget::timeout)
                 return Instant::now() >= d;
             }
         }

@@ -315,6 +315,8 @@ impl<'a> PipelineGraph<'a> {
             // Run the wave's independent nodes — in parallel under the
             // `rayon` feature — and commit outputs in node-id order.
             let results = crate::parallel::par_map(&jobs, 2, |(i, inputs)| {
+                // gecco-lint: allow(ambient-nondet) — per-node timing for observability;
+                // outputs are committed in node-id order regardless of when nodes finish
                 let start = Instant::now();
                 let out = self.nodes[*i].run(inputs);
                 (out, start.elapsed())

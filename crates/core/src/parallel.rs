@@ -19,6 +19,9 @@
 //! `RAYON_NUM_THREADS` environment variable, falling back to the number of
 //! available cores.
 
+// gecco-lint: allow-file(unordered-par) — this module IS the order-preserving seam: work is
+// split into ordered chunks and reassembled in input order, proven bit-identical to serial
+// execution by tests/parallel_equivalence.rs
 #[cfg(feature = "rayon")]
 use std::sync::atomic::{AtomicBool, Ordering};
 

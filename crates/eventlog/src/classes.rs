@@ -71,6 +71,7 @@ impl ClassRegistry {
         if self.infos.len() >= MAX_CLASSES {
             return Err(crate::Error::TooManyClasses { found: self.infos.len() + 1 });
         }
+        // gecco-lint: allow(lossy-cast) — guarded above: len < MAX_CLASSES = 256 fits u16
         let id = ClassId(self.infos.len() as u16);
         self.infos.push(ClassInfo { name, attributes: Vec::new() });
         self.by_name.insert(name, id);
@@ -105,6 +106,7 @@ impl ClassRegistry {
 
     /// Iterates over all class ids in registration order.
     pub fn ids(&self) -> impl Iterator<Item = ClassId> {
+        // gecco-lint: allow(lossy-cast) — registration is capped at MAX_CLASSES = 256
         (0..self.infos.len() as u16).map(ClassId)
     }
 

@@ -30,6 +30,9 @@
 //! Step-3 abstraction rewrites the log, so re-abstraction never pays a
 //! from-scratch [`LogIndex::build`] per pass.
 
+// gecco-lint: allow-file(lossy-cast) — trace ids, event positions and per-class counts are
+// u32 by design throughout the postings; the store format rejects anything past u32 at the
+// encoding boundary (format::u32_len), so these narrowings cannot wrap
 use crate::classes::{ClassId, ClassSet, MAX_CLASSES};
 use crate::instances::{GroupInstance, Segmenter};
 use crate::log::EventLog;

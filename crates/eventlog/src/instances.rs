@@ -115,14 +115,17 @@ pub fn instances(trace: &Trace, group: &ClassSet, segmenter: Segmenter) -> Vec<G
         if segmenter == Segmenter::RepeatSplit && current_classes.contains(class) {
             out.push(GroupInstance {
                 positions: std::mem::take(&mut current_positions),
+                // gecco-lint: allow(lossy-cast) — ClassSet::len ≤ MAX_CLASSES = 256 fits u16
                 distinct_classes: current_classes.len() as u16,
             });
             current_classes = ClassSet::new();
         }
+        // gecco-lint: allow(lossy-cast) — event positions are u32 by design (cf. LogIndex)
         current_positions.push(idx as u32);
         current_classes.insert(class);
     }
     if !current_positions.is_empty() {
+        // gecco-lint: allow(lossy-cast) — ClassSet::len ≤ MAX_CLASSES = 256 fits u16
         let distinct = current_classes.len() as u16;
         out.push(GroupInstance { positions: current_positions, distinct_classes: distinct });
     }

@@ -34,6 +34,8 @@ pub struct Interner {
     /// `hash(string) → symbols with that hash`; collisions are resolved by
     /// comparing against `strings`.
     buckets: HashMap<u64, Vec<Symbol>>,
+    // gecco-lint: allow(ambient-nondet) — internal bucket key only: symbols are numbered in
+    // insertion order, and no result or serialized byte depends on these hash values
     hasher: std::collections::hash_map::RandomState,
 }
 
@@ -55,6 +57,8 @@ impl Interner {
         if let Some(&sym) = bucket.iter().find(|sym| &*self.strings[sym.index()] == s) {
             return sym;
         }
+        // gecco-lint: allow(lossy-cast) — symbol ids are u32 by design; the store format caps
+        // the string table at u32 entries (format::u32_len)
         let sym = Symbol(self.strings.len() as u32);
         self.strings.push(s.into());
         bucket.push(sym);

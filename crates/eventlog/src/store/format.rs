@@ -35,6 +35,15 @@ const TAG_FLOAT: u8 = 2;
 const TAG_BOOL: u8 = 3;
 const TAG_TIMESTAMP: u8 = 4;
 
+/// Checked narrowing for quantities written as `u32` directory fields.
+/// Every count in the format is a `u32` on disk; a log that outgrows that
+/// must be refused loudly — a wrapped count would silently corrupt the
+/// store and only surface as garbage on read-back.
+pub(crate) fn u32_len(n: usize, what: &str) -> Result<u32> {
+    u32::try_from(n)
+        .map_err(|_| Error::Store(format!("{what} ({n}) exceeds the store format's u32 limit")))
+}
+
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -129,8 +138,9 @@ fn push_attr_columns(
     }
 }
 
-/// Encodes one batch of traces into a columnar segment.
-pub fn encode_batch(traces: &[Trace]) -> Vec<u8> {
+/// Encodes one batch of traces into a columnar segment. Fails loudly if
+/// any count outgrows the format's `u32` fields.
+pub fn encode_batch(traces: &[Trace]) -> Result<Vec<u8>> {
     let mut counts = Vec::new(); // trace_attr_counts ++ event_counts
     let mut event_classes = Vec::new();
     let mut event_attr_counts = Vec::new();
@@ -142,8 +152,8 @@ pub fn encode_batch(traces: &[Trace]) -> Vec<u8> {
     let mut event_payloads = Vec::new();
 
     for trace in traces {
-        put_u32(&mut counts, trace.attributes().len() as u32);
-        put_u32(&mut counts, trace.events().len() as u32);
+        put_u32(&mut counts, u32_len(trace.attributes().len(), "trace attribute count")?);
+        put_u32(&mut counts, u32_len(trace.events().len(), "trace event count")?);
         push_attr_columns(
             trace.attributes(),
             &mut trace_keys,
@@ -152,7 +162,10 @@ pub fn encode_batch(traces: &[Trace]) -> Vec<u8> {
         );
         for event in trace.events() {
             put_u16(&mut event_classes, event.class().0);
-            put_u32(&mut event_attr_counts, event.attributes().len() as u32);
+            put_u32(
+                &mut event_attr_counts,
+                u32_len(event.attributes().len(), "event attribute count")?,
+            );
             push_attr_columns(
                 event.attributes(),
                 &mut event_keys,
@@ -175,7 +188,7 @@ pub fn encode_batch(traces: &[Trace]) -> Vec<u8> {
     );
     out.extend_from_slice(SEGMENT_MAGIC);
     put_u32(&mut out, FORMAT_VERSION);
-    put_u32(&mut out, traces.len() as u32);
+    put_u32(&mut out, u32_len(traces.len(), "batch trace count")?);
     for column in [
         &counts,
         &event_classes,
@@ -189,7 +202,7 @@ pub fn encode_batch(traces: &[Trace]) -> Vec<u8> {
     ] {
         out.extend_from_slice(column);
     }
-    out
+    Ok(out)
 }
 
 fn read_attrs(
@@ -301,14 +314,15 @@ impl StoreMeta {
     }
 }
 
-fn put_attrs(out: &mut Vec<u8>, attrs: &[(Symbol, AttributeValue)]) {
-    put_u32(out, attrs.len() as u32);
+fn put_attrs(out: &mut Vec<u8>, attrs: &[(Symbol, AttributeValue)]) -> Result<()> {
+    put_u32(out, u32_len(attrs.len(), "attribute count")?);
     for (key, value) in attrs {
         put_u32(out, key.0);
         let (tag, payload) = encode_value(value);
         out.push(tag);
         put_u64(out, payload);
     }
+    Ok(())
 }
 
 fn take_attrs(cursor: &mut Cursor<'_>) -> Result<Vec<(Symbol, AttributeValue)>> {
@@ -323,27 +337,28 @@ fn take_attrs(cursor: &mut Cursor<'_>) -> Result<Vec<(Symbol, AttributeValue)>> 
     Ok(out)
 }
 
-/// Encodes the store metadata file.
-pub fn encode_meta(meta: &StoreMeta) -> Vec<u8> {
+/// Encodes the store metadata file. Fails loudly if any count outgrows
+/// the format's `u32` fields.
+pub fn encode_meta(meta: &StoreMeta) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     out.extend_from_slice(META_MAGIC);
     put_u32(&mut out, FORMAT_VERSION);
-    put_u32(&mut out, meta.strings.len() as u32);
+    put_u32(&mut out, u32_len(meta.strings.len(), "string table size")?);
     for s in &meta.strings {
-        put_u32(&mut out, s.len() as u32);
+        put_u32(&mut out, u32_len(s.len(), "string length")?);
         out.extend_from_slice(s.as_bytes());
     }
-    put_u32(&mut out, meta.classes.len() as u32);
+    put_u32(&mut out, u32_len(meta.classes.len(), "class count")?);
     for (name, attrs) in &meta.classes {
         put_u32(&mut out, name.0);
-        put_attrs(&mut out, attrs);
+        put_attrs(&mut out, attrs)?;
     }
-    put_attrs(&mut out, &meta.log_attrs);
-    put_u32(&mut out, meta.batch_traces.len() as u32);
+    put_attrs(&mut out, &meta.log_attrs)?;
+    put_u32(&mut out, u32_len(meta.batch_traces.len(), "batch count")?);
     for &n in &meta.batch_traces {
         put_u32(&mut out, n);
     }
-    out
+    Ok(out)
 }
 
 /// Decodes the store metadata file.
@@ -415,17 +430,17 @@ mod tests {
     #[test]
     fn batch_round_trips() {
         let traces = sample_traces();
-        let bytes = encode_batch(&traces);
+        let bytes = encode_batch(&traces).unwrap();
         let back = decode_batch(&bytes).unwrap();
         assert_eq!(back, traces);
         // Empty batches round-trip too.
-        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::<Trace>::new());
+        assert_eq!(decode_batch(&encode_batch(&[]).unwrap()).unwrap(), Vec::<Trace>::new());
     }
 
     #[test]
     fn corrupt_batches_error_not_panic() {
         let traces = sample_traces();
-        let bytes = encode_batch(&traces);
+        let bytes = encode_batch(&traces).unwrap();
         assert!(decode_batch(&bytes[..bytes.len() - 1]).is_err(), "truncated");
         let mut wrong_magic = bytes.clone();
         wrong_magic[0] = b'X';
@@ -434,6 +449,17 @@ mod tests {
         extra.push(0);
         assert!(decode_batch(&extra).is_err(), "trailing bytes");
         assert!(decode_batch(&[]).is_err(), "empty input");
+    }
+
+    #[test]
+    fn oversized_counts_error_not_wrap() {
+        assert_eq!(u32_len(0, "x").unwrap(), 0);
+        assert_eq!(u32_len(u32::MAX as usize, "x").unwrap(), u32::MAX);
+        let err = u32_len(u32::MAX as usize + 1, "trace event count").unwrap_err();
+        assert!(
+            matches!(err, Error::Store(ref m) if m.contains("trace event count")),
+            "want a loud Store error naming the field, got: {err:?}"
+        );
     }
 
     #[test]
@@ -447,7 +473,7 @@ mod tests {
             log_attrs: vec![(Symbol(0), AttributeValue::Int(7))],
             batch_traces: vec![512, 512, 41],
         };
-        let bytes = encode_meta(&meta);
+        let bytes = encode_meta(&meta).unwrap();
         assert_eq!(decode_meta(&bytes).unwrap(), meta);
         assert_eq!(meta.num_traces(), 1065);
         assert!(decode_meta(&bytes[..bytes.len() - 2]).is_err());

@@ -70,9 +70,9 @@ impl StoreWriter {
         if traces.is_empty() {
             return Ok(());
         }
-        let bytes = format::encode_batch(&traces);
+        let bytes = format::encode_batch(&traces)?;
         fs::write(self.dir.join(batch_file_name(self.batch_traces.len())), bytes)?;
-        self.batch_traces.push(traces.len() as u32);
+        self.batch_traces.push(format::u32_len(traces.len(), "batch trace count")?);
         Ok(())
     }
 
@@ -94,7 +94,7 @@ impl StoreWriter {
             log_attrs: self.builder.attributes_ref().to_vec(),
             batch_traces: self.batch_traces,
         };
-        fs::write(self.dir.join(META_FILE), format::encode_meta(&meta))?;
+        fs::write(self.dir.join(META_FILE), format::encode_meta(&meta)?)?;
         Ok(TraceStore { dir: self.dir, meta })
     }
 }
@@ -226,6 +226,8 @@ impl TraceStore {
             for trace in self.read_batch(batch)? {
                 splicer.begin_trace();
                 for (pos, event) in trace.events().iter().enumerate() {
+                    // gecco-lint: allow(lossy-cast) — per-trace position; the encoder already
+                    // rejected any trace whose event count exceeds u32 (format::u32_len)
                     splicer.push(event.class(), pos as u32);
                 }
             }
@@ -307,7 +309,7 @@ mod tests {
     fn foreign_string_table_is_rejected() {
         let dir = temp_dir("foreign");
         let meta = StoreMeta { strings: vec!["not-a-std-key".into()], ..StoreMeta::default() };
-        fs::write(dir.join(META_FILE), format::encode_meta(&meta)).unwrap();
+        fs::write(dir.join(META_FILE), format::encode_meta(&meta).unwrap()).unwrap();
         let store = TraceStore::open(&dir).unwrap();
         let err = store.load_log().unwrap_err().to_string();
         assert!(err.contains("string table mismatch"), "got: {err}");

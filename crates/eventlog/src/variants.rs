@@ -18,6 +18,7 @@ impl Variants {
         for (i, trace) in log.traces().iter().enumerate() {
             map.entry(trace.class_sequence()).or_default().push(i);
         }
+        // gecco-lint: allow(nondet-iter) — sorted by frequency then sequence on the next line
         let mut variants: Vec<_> = map.into_iter().collect();
         variants.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
         Variants { variants }

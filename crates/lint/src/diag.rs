@@ -1,0 +1,162 @@
+//! Diagnostics: findings, rendering (rustc-style and JSON).
+
+use std::fmt::Write as _;
+
+/// Severity of a finding. Everything the analyzer emits is a gate in CI
+/// (warnings-as-errors), but the distinction keeps human output honest:
+/// `Error` marks findings about the lint machinery itself (malformed or
+/// unused waivers), `Warning` marks rule findings that a waiver may
+/// legitimately acknowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+/// One diagnostic: a rule fired at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name (`nondet-iter`, …, or `bad-waiver`/`unused-waiver`).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// One-line statement of the problem.
+    pub message: String,
+    /// Optional remediation hint, rendered as a `note:`.
+    pub note: &'static str,
+    pub severity: Severity,
+    /// Whether a waiver comment acknowledged this finding.
+    pub waived: bool,
+}
+
+impl Finding {
+    /// Sort key: file, then position, then rule — keeps reports stable.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.file.clone(), self.line, self.col, self.rule)
+    }
+}
+
+/// Renders findings rustc-style. Waived findings are skipped unless
+/// `show_waived` (the summary line always counts them).
+pub fn render_human(findings: &[Finding], show_waived: bool) -> String {
+    let mut out = String::new();
+    let mut shown = 0usize;
+    for f in findings {
+        if f.waived && !show_waived {
+            continue;
+        }
+        shown += 1;
+        let sev = match f.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        let waived = if f.waived { " (waived)" } else { "" };
+        let _ = writeln!(out, "{sev}[{rule}]{waived}: {msg}", rule = f.rule, msg = f.message);
+        let _ = writeln!(out, "  --> {}:{}:{}", f.file, f.line, f.col);
+        if !f.note.is_empty() {
+            let _ = writeln!(out, "  note: {}", f.note);
+        }
+    }
+    let unwaived = findings.iter().filter(|f| !f.waived).count();
+    let waived = findings.len() - unwaived;
+    let _ = writeln!(
+        out,
+        "{shown} shown: {unwaived} unwaived finding{s}, {waived} waived",
+        s = if unwaived == 1 { "" } else { "s" },
+    );
+    out
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders every finding (waived included, flagged as such) as a JSON
+/// array — the machine-readable report CI uploads on failure.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("  {\"rule\":\"");
+        json_escape(f.rule, &mut out);
+        out.push_str("\",\"file\":\"");
+        json_escape(&f.file, &mut out);
+        let _ = write!(out, "\",\"line\":{},\"col\":{},\"message\":\"", f.line, f.col);
+        json_escape(&f.message, &mut out);
+        let _ = write!(
+            out,
+            "\",\"severity\":\"{}\",\"waived\":{}}}",
+            match f.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            },
+            f.waived
+        );
+        out.push_str(if i + 1 == findings.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "nondet-iter",
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 14,
+                message: "iteration over `HashMap`".into(),
+                note: "sort first",
+                severity: Severity::Warning,
+                waived: false,
+            },
+            Finding {
+                rule: "lossy-cast",
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                col: 2,
+                message: "say \"len\"".into(),
+                note: "",
+                severity: Severity::Warning,
+                waived: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn human_rendering_hides_waived_by_default() {
+        let text = render_human(&sample(), false);
+        assert!(text.contains("warning[nondet-iter]"));
+        assert!(text.contains("crates/x/src/lib.rs:3:14"));
+        assert!(!text.contains("lossy-cast"));
+        assert!(text.contains("1 unwaived finding, 1 waived"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_includes_waived() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"rule\":\"lossy-cast\""));
+        assert!(json.contains("\"waived\":true"));
+        assert!(json.contains("say \\\"len\\\""));
+        assert!(json.ends_with("]\n"));
+    }
+}

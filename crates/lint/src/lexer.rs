@@ -1,0 +1,432 @@
+//! A handwritten, self-contained Rust lexer: stage one of the lint pass.
+//!
+//! The same in-house idiom as the XES byte scanner (`xes/scan.rs`): a
+//! single forward pass over raw bytes that understands exactly enough of
+//! the language to be trustworthy about *boundaries* — string literals
+//! (including raw/byte/C strings with any number of `#`s), character
+//! literals vs. lifetimes, nested block comments, numbers with type
+//! suffixes — so that rule matching over the resulting token stream can
+//! never be fooled by a `HashMap` inside a string or a `par_iter` inside
+//! a doc comment.
+//!
+//! Comments are not tokens: they are collected separately, with their
+//! line spans, because the waiver system ([`crate::waiver`]) reads them.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `as`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in `text`? no — kept).
+    Lifetime,
+    /// Integer or float literal, including any type suffix (`0.5f64`).
+    Num,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character literal `'x'`.
+    Char,
+    /// Punctuation. Single byte, except `::` which is joined because
+    /// path matching (`Instant::now`, `rayon::spawn`) depends on it.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment, kept out of the token stream for the waiver parser.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// Raw text including the `//` / `/*` markers.
+    pub text: &'a str,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// Whether nothing but whitespace precedes the comment on its line —
+    /// an own-line waiver targets the next code line, a trailing one its
+    /// own line.
+    pub own_line: bool,
+}
+
+/// The lexed file: tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    pub toks: Vec<Tok<'a>>,
+    pub comments: Vec<Comment<'a>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line starts, for column numbers.
+    line_start: usize,
+    /// Whether a token has already been emitted on the current line.
+    line_has_token: bool,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn newline(&mut self) {
+        self.line += 1;
+        self.line_start = self.pos;
+        self.line_has_token = false;
+    }
+
+    /// Advances over `n` bytes, tracking line numbers.
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos >= self.bytes.len() {
+                return;
+            }
+            let b = self.bytes[self.pos];
+            self.pos += 1;
+            if b == b'\n' {
+                self.newline();
+            }
+        }
+    }
+
+    fn col_at(&self, start: usize) -> u32 {
+        (start - self.line_start + 1) as u32
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        let text = &self.src[start..self.pos];
+        self.out.toks.push(Tok { kind, text, line, col });
+        self.line_has_token = true;
+    }
+
+    /// Consumes a `//` comment (to end of line, exclusive).
+    fn line_comment(&mut self, own_line: bool) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.pos],
+            line,
+            end_line: line,
+            own_line,
+        });
+    }
+
+    /// Consumes a (possibly nested) `/* … */` comment.
+    fn block_comment(&mut self, own_line: bool) {
+        let start = self.pos;
+        let line = self.line;
+        self.advance(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.advance(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.advance(2);
+            } else {
+                self.advance(1);
+            }
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.pos],
+            line,
+            end_line: self.line,
+            own_line,
+        });
+    }
+
+    /// Consumes a `"…"` string body (opening quote already peeked),
+    /// starting from the quote at the current position.
+    fn quoted_string(&mut self) {
+        self.advance(1); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.advance(2),
+                b'"' => {
+                    self.advance(1);
+                    return;
+                }
+                _ => self.advance(1),
+            }
+        }
+    }
+
+    /// Consumes a raw string `r##"…"##` given the number of hashes;
+    /// positioned at the first `#` (or the quote when `hashes == 0`).
+    fn raw_string(&mut self, hashes: usize) {
+        self.advance(hashes + 1); // hashes + opening quote
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.advance(1 + hashes);
+                    return;
+                }
+            }
+            self.advance(1);
+        }
+    }
+
+    /// Lexes the token at an identifier start, handling string-literal
+    /// prefixes (`r""`, `br#""#`, `b""`, `c""`) and raw identifiers
+    /// (`r#type`).
+    fn ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let col = self.col_at(start);
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        let raw_capable = matches!(word, "r" | "br" | "cr");
+        let str_capable = raw_capable || matches!(word, "b" | "c");
+        if str_capable && self.peek(0) == b'"' {
+            self.quoted_string();
+            self.push(TokKind::Str, start, line, col);
+            return;
+        }
+        if raw_capable && self.peek(0) == b'#' {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(hashes) == b'"' {
+                self.raw_string(hashes);
+                self.push(TokKind::Str, start, line, col);
+                return;
+            }
+            // `r#ident` raw identifier: swallow the `#` and the word.
+            if word == "r" && is_ident_start(self.peek(1)) {
+                self.pos += 1;
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push(TokKind::Ident, start, line, col);
+    }
+
+    /// Lexes a numeric literal: digits, `_`, one decimal point when
+    /// followed by a digit (so `0..n` ranges survive), and a trailing
+    /// alphanumeric suffix run that covers `0xFF`, `1e9`, `3.5f64`,
+    /// `42usize`.
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let col = self.col_at(start);
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_digit() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.pos += 1;
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokKind::Num, start, line, col);
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let col = self.col_at(start);
+        if self.peek(1) == b'\\' {
+            // Escaped char literal: skip to the closing quote.
+            self.advance(2);
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.advance(1);
+            }
+            self.advance(1);
+            self.push(TokKind::Char, start, line, col);
+            return;
+        }
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            // Lifetime: `'` + identifier with no closing quote.
+            self.advance(1);
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start, line, col);
+            return;
+        }
+        // Plain char literal like `'x'` or `'\n'` (or a stray quote).
+        self.advance(1);
+        while self.pos < self.bytes.len() && self.peek(0) != b'\'' && self.peek(0) != b'\n' {
+            self.advance(1);
+        }
+        self.advance(1);
+        self.push(TokKind::Char, start, line, col);
+    }
+
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.advance(1),
+                b'/' if self.peek(1) == b'/' => {
+                    let own = !self.line_has_token;
+                    self.line_comment(own);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    let own = !self.line_has_token;
+                    self.block_comment(own);
+                }
+                b'"' => {
+                    let start = self.pos;
+                    let line = self.line;
+                    let col = self.col_at(start);
+                    self.quoted_string();
+                    self.push(TokKind::Str, start, line, col);
+                }
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(b) => self.ident_or_prefixed(),
+                _ if b.is_ascii_digit() => self.number(),
+                b':' if self.peek(1) == b':' => {
+                    let start = self.pos;
+                    let line = self.line;
+                    let col = self.col_at(start);
+                    self.advance(2);
+                    self.push(TokKind::Punct, start, line, col);
+                }
+                _ => {
+                    let start = self.pos;
+                    let line = self.line;
+                    let col = self.col_at(start);
+                    self.advance(1);
+                    self.push(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes a whole source file into tokens and comments.
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        line_has_token: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let x = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap /* nested */ in a block */
+            let y = r#"HashMap in a raw "quoted" string"#;
+            let z = b"bytes" ;
+            let w = 'h';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap"), "{ids:?}");
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].own_line);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn paths_join_double_colons_and_numbers_keep_suffixes() {
+        let src = "std::collections::HashMap::<u32, f64>::new(); 0.5f64; 1..n; 0xFF";
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.is_punct("::")));
+        assert!(!lexed.toks.iter().any(|t| t.is_punct(":")));
+        let nums: Vec<_> =
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text).collect();
+        assert_eq!(nums, vec!["0.5f64", "1", "0xFF"]);
+    }
+
+    #[test]
+    fn line_and_column_positions_are_one_based() {
+        let src = "a\n  bb\n";
+        let lexed = lex(src);
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+        assert_eq!(lexed.toks[1].text, "bb");
+    }
+
+    #[test]
+    fn trailing_comment_is_not_own_line() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;";
+        let lexed = lex(src);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        let src = "let r#type = r#fn; r#\"raw\"#;";
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "r#type"));
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! CLI for the workspace determinism & safety analyzer.
+//!
+//! ```text
+//! gecco-lint --workspace                  # analyze the whole workspace
+//! gecco-lint --workspace --format json    # machine-readable report
+//! gecco-lint crates/core/src/pipeline.rs  # analyze specific files
+//! gecco-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 = clean (every finding waived with a reason), 1 =
+//! unwaived findings, 2 = usage or I/O error.
+
+use gecco_lint::{analyze_source, render_human, render_json, workspace_root_from, Finding, RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    workspace: bool,
+    json: bool,
+    show_waived: bool,
+    list_rules: bool,
+    paths: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        json: false,
+        show_waived: false,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--list-rules" => opts.list_rules = true,
+            "--show-waived" => opts.show_waived = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("human") => opts.json = false,
+                other => return Err(format!("--format expects `human` or `json`, got {other:?}")),
+            },
+            "--help" | "-h" => {
+                return Err("usage: gecco-lint [--workspace] [--format human|json] \
+                            [--show-waived] [--list-rules] [paths…]"
+                    .to_string())
+            }
+            p if !p.starts_with('-') => opts.paths.push(p.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        opts.workspace = true; // the only sensible default
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        for rule in RULES {
+            println!("{:<16} {}", rule.name, rule.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = workspace_root_from(&cwd)
+        .ok_or_else(|| "no workspace root (Cargo.toml with [workspace]) above cwd".to_string())?;
+
+    let mut findings: Vec<Finding> = Vec::new();
+    if opts.workspace {
+        findings = gecco_lint::analyze_workspace(&root).map_err(|e| e.to_string())?;
+    }
+    for path in &opts.paths {
+        let abs = if Path::new(path).is_absolute() { PathBuf::from(path) } else { cwd.join(path) };
+        let rel = abs
+            .strip_prefix(&root)
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .unwrap_or_else(|_| path.clone());
+        let src = std::fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+        findings.extend(analyze_source(&rel, &src));
+    }
+
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings, opts.show_waived));
+    }
+    let unwaived = findings.iter().filter(|f| !f.waived).count();
+    Ok(if unwaived == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("gecco-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! `ambient-nondet`: wall-clock and entropy reads in result code.
+//!
+//! A long-lived multi-client server cannot tolerate results that depend
+//! on *when* a request ran. Time and entropy are legitimate in exactly
+//! three places: the bench harness (measurement is its job), the seeded
+//! data generators, and deadline-budget bookkeeping (where wall-clock is
+//! the spec and the no-budget path is bit-identical). The first two are
+//! path-exempt (`crates/bench/`, `crates/datagen/`); budget code carries
+//! per-site waivers saying exactly that.
+
+use super::FileCx;
+use crate::diag::{Finding, Severity};
+use crate::lexer::TokKind;
+
+/// Identifiers that are ambient by themselves.
+const AMBIENT_IDENTS: &[&str] =
+    &["SystemTime", "RandomState", "thread_rng", "from_entropy", "from_os_rng"];
+
+/// `<head>::<tail>` paths that are ambient.
+const AMBIENT_PATHS: &[(&str, &str)] = &[("Instant", "now"), ("rand", "random")];
+
+pub(super) fn check(cx: &FileCx<'_>, findings: &mut Vec<Finding>) {
+    let toks = cx.toks;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let hit = AMBIENT_IDENTS.contains(&toks[i].text)
+            || (i + 2 < toks.len()
+                && toks[i + 1].is_punct("::")
+                && AMBIENT_PATHS
+                    .iter()
+                    .any(|(head, tail)| toks[i].is_ident(head) && toks[i + 2].is_ident(tail)));
+        if !hit {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "ambient-nondet",
+            file: cx.rel_path.to_string(),
+            line: toks[i].line,
+            col: toks[i].col,
+            message: format!(
+                "ambient nondeterminism (`{}`) outside bench/datagen code",
+                toks[i].text
+            ),
+            note: "results must not depend on wall-clock or entropy; thread timing through \
+                   parameters, or waive for observability/deadline code",
+            severity: Severity::Warning,
+            waived: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::FileCx;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let cx = FileCx::new(path, &lexed);
+        let mut findings = Vec::new();
+        if !cx.ambient_exempt() {
+            check(&cx, &mut findings);
+        }
+        findings
+    }
+
+    #[test]
+    fn flags_clock_and_entropy_sources() {
+        let src = r#"
+            fn f() {
+                let t0 = Instant::now();
+                let t1 = std::time::SystemTime::now();
+                let mut rng = StdRng::from_entropy();
+            }
+        "#;
+        let findings = run("crates/core/src/x.rs", src);
+        let lines: Vec<_> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 4, 5], "{findings:?}");
+    }
+
+    #[test]
+    fn imports_without_now_and_seeded_rngs_are_clean() {
+        let src = r#"
+            use std::time::Instant;
+            fn f(deadline: Option<Instant>) -> StdRng {
+                StdRng::seed_from_u64(7)
+            }
+        "#;
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_and_datagen_are_exempt() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(run("crates/bench/src/runner.rs", src).is_empty());
+        assert!(run("crates/datagen/src/bin/datagen.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! `nondet-iter` and `float-order`: iteration-order leaks out of
+//! `HashMap`/`HashSet`.
+//!
+//! A hash-typed name (see [`FileCx::hash_names`]) is flagged when its
+//! elements are *enumerated* — an iterator method (`.iter()`, `.keys()`,
+//! `.values()`, `.drain()`, `.into_iter()`, …) or a bare appearance in a
+//! `for … in` expression — unless the rest of the statement proves the
+//! order cannot leak: a sort, a collect into an ordered (`BTreeMap`/
+//! `BTreeSet`) or unordered (`HashMap`/`HashSet`) container, or an
+//! order-insensitive reduction (`len`, `count`, `sum` over integers,
+//! `min`/`max`, `all`/`any`).
+//!
+//! When the consumer *is* a reduction but accumulates floating-point
+//! values (`sum`/`product`/`fold` with `f32`/`f64` evidence in the same
+//! statement), the site is reported as `float-order` instead: float
+//! addition is not associative, so even a "commutative" reduction is
+//! order-sensitive.
+//!
+//! Lookup-only use (`get`, `contains_key`, `entry`, `len`, indexing) is
+//! never flagged — that is how the dedup/cache maps all over this
+//! workspace are supposed to be used.
+
+use super::{scan_statement_tail, FileCx};
+use crate::diag::{Finding, Severity};
+use crate::lexer::TokKind;
+
+/// Methods that enumerate elements in hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Methods that look *through* a wrapper (RefCell, locks, Option) —
+/// scanning continues after their call parentheses.
+const TRANSPARENT_METHODS: &[&str] = &[
+    "borrow",
+    "borrow_mut",
+    "read",
+    "write",
+    "lock",
+    "as_ref",
+    "as_mut",
+    "unwrap",
+    "expect",
+    "clone",
+];
+
+/// Consumers that erase iteration order: explicit sorts, re-collections
+/// into ordered or unordered containers, and order-insensitive queries.
+const ORDER_INSENSITIVE: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "len",
+    "count",
+    "is_empty",
+    "all",
+    "any",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    // Order-insensitive over integers; float accumulation is caught first
+    // by the `float-order` check below.
+    "sum",
+    "product",
+];
+
+/// Reductions that are order-sensitive over floats.
+const ACCUMULATORS: &[&str] = &["sum", "product", "fold"];
+
+/// What the statement tail after an iteration site tells us.
+struct TailEvidence {
+    order_insensitive: bool,
+    accumulator: bool,
+    float: bool,
+}
+
+/// Walks back from token `i` to the start of the enclosing statement
+/// (just after the previous `;`, `{`, `}` at bracket depth 0, or the `(`
+/// of an enclosing call), so consumer evidence like a `BTreeMap` type
+/// annotation on the `let` is visible to the scan.
+fn stmt_start(cx: &FileCx<'_>, i: usize) -> usize {
+    let toks = cx.toks;
+    let mut j = i;
+    let mut depth = 0i32;
+    while j > 0 && i - j < super::MAX_STMT_TOKENS {
+        let t = &toks[j - 1];
+        if t.kind == TokKind::Punct {
+            match t.text {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ";" | "{" | "}" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        j -= 1;
+    }
+    j
+}
+
+fn tail_evidence(cx: &FileCx<'_>, site: usize) -> TailEvidence {
+    let from = stmt_start(cx, site);
+    let mut ev = TailEvidence { order_insensitive: false, accumulator: false, float: false };
+    scan_statement_tail(cx.toks, from, |tok| match tok.kind {
+        TokKind::Ident => {
+            if ORDER_INSENSITIVE.contains(&tok.text) {
+                ev.order_insensitive = true;
+            }
+            if ACCUMULATORS.contains(&tok.text) {
+                ev.accumulator = true;
+            }
+            if tok.text == "f64" || tok.text == "f32" {
+                ev.float = true;
+            }
+        }
+        TokKind::Num
+            if tok.text.contains('.') || tok.text.ends_with("f64") || tok.text.ends_with("f32") =>
+        {
+            ev.float = true;
+        }
+        _ => {}
+    });
+    ev
+}
+
+fn report(cx: &FileCx<'_>, findings: &mut Vec<Finding>, i: usize, enumeration: &str) {
+    let tok = &cx.toks[i];
+    let ev = tail_evidence(cx, i);
+    if ev.accumulator && ev.float {
+        findings.push(Finding {
+            rule: "float-order",
+            file: cx.rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "floating-point accumulation over unordered {enumeration} of `{}`: float \
+                 addition is not associative, so the result depends on hash order",
+                tok.text
+            ),
+            note: "collect and sort first, or accumulate over an ordered source",
+            severity: Severity::Warning,
+            waived: false,
+        });
+        return;
+    }
+    if ev.order_insensitive {
+        return;
+    }
+    findings.push(Finding {
+        rule: "nondet-iter",
+        file: cx.rel_path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message: format!(
+            "{enumeration} of `{}` has nondeterministic hash order that can leak into results",
+            tok.text
+        ),
+        note: "use BTreeMap/BTreeSet, sort after collecting, or waive with a reason if the \
+               order provably folds away",
+        severity: Severity::Warning,
+        waived: false,
+    });
+}
+
+pub(super) fn check(cx: &FileCx<'_>, findings: &mut Vec<Finding>) {
+    let toks = cx.toks;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !cx.is_hash_name(toks[i].text) {
+            continue;
+        }
+        // Skip declaration sites: `name :` and `let name =`.
+        if i + 1 < toks.len() && toks[i + 1].is_punct(":") {
+            continue;
+        }
+        if i > 0 && (toks[i - 1].is_ident("let") || toks[i - 1].is_ident("mut")) {
+            continue;
+        }
+        // Follow the method chain through transparent wrappers.
+        let mut j = i + 1;
+        let mut direct_use = true;
+        while j + 1 < toks.len() && toks[j].is_punct(".") && toks[j + 1].kind == TokKind::Ident {
+            direct_use = false;
+            let method = toks[j + 1].text;
+            if ITER_METHODS.contains(&method) {
+                report(cx, findings, i, "enumeration");
+                break;
+            }
+            if TRANSPARENT_METHODS.contains(&method) {
+                // Advance past the call's argument list, if any.
+                let mut k = j + 2;
+                if k < toks.len() && toks[k].is_punct("(") {
+                    let mut depth = 0i32;
+                    while k < toks.len() {
+                        if toks[k].is_punct("(") {
+                            depth += 1;
+                        } else if toks[k].is_punct(")") {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                j = k;
+                continue;
+            }
+            // Any other method (`get`, `insert`, `contains_key`, …) is
+            // order-safe by itself.
+            break;
+        }
+        // A bare appearance inside `for … in EXPR {` iterates the map.
+        if direct_use && cx.in_for_expr(i) {
+            report(cx, findings, i, "`for` iteration");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::FileCx;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let cx = FileCx::new("crates/core/src/x.rs", &lexed);
+        let mut findings = Vec::new();
+        check(&cx, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_for_loop_and_iterator_methods() {
+        let src = r#"
+            fn f() {
+                let mut m: HashMap<u32, u32> = HashMap::new();
+                for (k, v) in &m { use_it(k, v); }
+                let v: Vec<u32> = m.keys().copied().collect();
+                m.drain().for_each(drop);
+            }
+        "#;
+        let findings = run(src);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "nondet-iter"));
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn lookup_only_use_is_clean() {
+        let src = r#"
+            fn f() {
+                let mut m: HashMap<u32, u32> = HashMap::new();
+                m.insert(1, 2);
+                if m.contains_key(&1) { m.entry(3).or_insert(4); }
+                let n = m.len();
+                let x = m.get(&1);
+                let y = m[&1];
+            }
+        "#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn order_insensitive_consumers_are_clean() {
+        let src = r#"
+            fn f(m: HashMap<u32, u32>, s: HashSet<u32>) {
+                let mut v: Vec<_> = m.iter().collect();
+                v.sort();
+                let sorted: BTreeMap<u32, u32> = m.iter().map(|(a, b)| (*a, *b)).collect();
+                let n: u32 = m.values().sum();
+                let top = s.iter().max();
+                let other: HashSet<u32> = s.iter().copied().collect();
+                let ok = s.iter().all(|x| *x > 0);
+            }
+        "#;
+        // `m.iter()` into a plain Vec sorted on the NEXT statement is still
+        // flagged (statement-local analysis) — that is the canonical waiver
+        // site. The rest must be clean.
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn float_accumulation_is_float_order() {
+        let src = r#"
+            fn f(m: HashMap<u32, f64>) -> f64 {
+                let a: f64 = m.values().sum();
+                let b = m.values().fold(0.0, |acc, x| acc + x);
+                let ints: usize = m.keys().map(|k| *k as usize).sum();
+                a + b
+            }
+        "#;
+        let findings = run(src);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["float-order", "float-order"], "{findings:?}");
+    }
+
+    #[test]
+    fn transparent_wrappers_are_followed() {
+        let src = r#"
+            struct S { cache: RefCell<HashMap<u32, u32>> }
+            fn f(s: &S) {
+                for k in s.cache.borrow().keys() { use_it(k); }
+                let n = s.cache.borrow().len();
+            }
+        "#;
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "nondet-iter");
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn non_result_crates_are_out_of_scope() {
+        let src = "fn f(m: HashMap<u32, u32>) { for k in m.keys() { } }";
+        let lexed = lex(src);
+        let cx = FileCx::new("crates/bench/src/x.rs", &lexed);
+        assert!(!cx.in_result_crate());
+    }
+}

@@ -1,0 +1,129 @@
+//! `lossy-cast`: unchecked `as` narrowing of quantities that grow with
+//! the input.
+//!
+//! `len as u32` in a binary-format writer silently truncates the batch
+//! directory at 2³² entries; `id as u16` wraps class ids past 65 535.
+//! The rule flags `<expr> as u8|u16|u32` when the casted expression is
+//! *evidently* a length, count, id or offset: a `.len()` / `.count()`
+//! call, or an identifier whose name says so (`len`, `total_events`,
+//! `class_id`, `offset`, …). Use a checked conversion (`u32::try_from`
+//! with a loud error — see `store/format.rs`) or waive with the bound
+//! that makes the cast safe (e.g. `MAX_CLASSES`).
+
+use super::FileCx;
+use crate::diag::{Finding, Severity};
+use crate::lexer::{Tok, TokKind};
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32"];
+
+/// Identifier names (exact or suffix after `_`) that mark a quantity.
+const QUANTITY_NAMES: &[&str] =
+    &["len", "length", "count", "counts", "id", "idx", "index", "offset", "pos", "position"];
+
+fn is_quantity_name(name: &str) -> bool {
+    QUANTITY_NAMES
+        .iter()
+        .any(|q| name == *q || name.strip_suffix(q).is_some_and(|prefix| prefix.ends_with('_')))
+}
+
+/// If the token before `as` closes a call, returns the called method name
+/// (`.len()` → `len`).
+fn call_before<'a>(toks: &[Tok<'a>], as_pos: usize) -> Option<&'a str> {
+    if as_pos < 3 || !toks[as_pos - 1].is_punct(")") {
+        return None;
+    }
+    // Walk back to the matching `(`.
+    let mut depth = 0i32;
+    let mut j = as_pos - 1;
+    loop {
+        if toks[j].is_punct(")") {
+            depth += 1;
+        } else if toks[j].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    (j >= 1 && toks[j - 1].kind == TokKind::Ident).then(|| toks[j - 1].text)
+}
+
+pub(super) fn check(cx: &FileCx<'_>, findings: &mut Vec<Finding>) {
+    let toks = cx.toks;
+    for i in 1..toks.len().saturating_sub(1) {
+        if !toks[i].is_ident("as") || !NARROW_TARGETS.contains(&toks[i + 1].text) {
+            continue;
+        }
+        let evidence = if let Some(method) = call_before(toks, i) {
+            matches!(method, "len" | "count").then_some(method)
+        } else if toks[i - 1].kind == TokKind::Ident && is_quantity_name(toks[i - 1].text) {
+            Some(toks[i - 1].text)
+        } else {
+            None
+        };
+        let Some(what) = evidence else { continue };
+        findings.push(Finding {
+            rule: "lossy-cast",
+            file: cx.rel_path.to_string(),
+            line: toks[i].line,
+            col: toks[i].col,
+            message: format!(
+                "`{what} as {}` silently truncates once the value outgrows the target type",
+                toks[i + 1].text
+            ),
+            note: "use a checked conversion (`u32::try_from(..)` with a loud error), or waive \
+                   with the bound that makes this safe",
+            severity: Severity::Warning,
+            waived: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::FileCx;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let cx = FileCx::new("crates/eventlog/src/x.rs", &lexed);
+        let mut findings = Vec::new();
+        check(&cx, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_len_calls_and_quantity_names() {
+        let src = r#"
+            fn f(v: &[u8], event_count: usize, class_id: usize) {
+                put_u32(out, v.len() as u32);
+                put_u16(out, event_count as u16);
+                let c = class_id as u16;
+                let n = v.iter().count() as u32;
+            }
+        "#;
+        let findings = run(src);
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("`len as u32`"));
+    }
+
+    #[test]
+    fn widening_bounded_and_float_casts_are_clean() {
+        let src = r#"
+            fn f(v: &[u8], tag: u8, x: usize) {
+                let a = v.len() as u64;
+                let b = v.len() as f64;
+                let c = tag as u32;
+                let d = x as u32;
+                let e = v.len() as usize;
+            }
+        "#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+}

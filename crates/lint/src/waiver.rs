@@ -1,0 +1,231 @@
+//! The waiver system: acknowledged findings stay visible in the code.
+//!
+//! A waiver is a comment of the form
+//!
+//! ```text
+//! // gecco-lint: allow(rule-name) — reason the pattern is sound here
+//! // gecco-lint: allow(rule-a, rule-b) — one comment may cover several rules
+//! // gecco-lint: allow-file(rule-name) — whole-file waiver, e.g. a parallel seam
+//! ```
+//!
+//! The reason is **mandatory** — a waiver without one is itself a
+//! `bad-waiver` finding and suppresses nothing, so CI fails until the
+//! author writes down *why* the flagged pattern cannot leak into results.
+//! An own-line waiver targets the next code line; a trailing waiver
+//! targets its own line. Waivers that match no finding are reported as
+//! `unused-waiver` so stale acknowledgements cannot rot in place.
+
+use crate::diag::{Finding, Severity};
+use crate::lexer::Lexed;
+use crate::rules::is_known_rule;
+
+/// One parsed, well-formed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rules this waiver acknowledges.
+    pub rules: Vec<String>,
+    /// Line whose findings it suppresses (ignored when `file_wide`).
+    pub target_line: u32,
+    /// `allow-file(...)`: suppress matching findings anywhere in the file.
+    pub file_wide: bool,
+    /// Line of the waiver comment itself, for `unused-waiver` reports.
+    pub decl_line: u32,
+    /// Set while applying waivers to findings.
+    pub used: bool,
+}
+
+/// Strips comment decoration (`//`, `///`, `//!`, `/*`, leading `*`) and
+/// returns the payload after the `gecco-lint:` marker, if present.
+fn directive_payload(comment: &str) -> Option<&str> {
+    let body = comment.trim_start_matches('/').trim_start_matches(['*', '!']).trim_start();
+    let rest = body.strip_prefix("gecco-lint:")?;
+    Some(rest.trim_start())
+}
+
+fn bad(file: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "bad-waiver",
+        file: file.to_string(),
+        line,
+        col: 1,
+        message,
+        note: "format: `// gecco-lint: allow(<rule>) — <reason>` (reason is mandatory)",
+        severity: Severity::Error,
+        waived: false,
+    }
+}
+
+/// Parses one directive payload (`allow(...) — reason`). Returns the rule
+/// list, whether it is file-wide, or an error message.
+fn parse_directive(payload: &str) -> Result<(Vec<String>, bool), String> {
+    let (file_wide, rest) = if let Some(r) = payload.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = payload.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err(format!(
+            "unknown gecco-lint directive `{}`; expected `allow(...)` or `allow-file(...)`",
+            payload.split_whitespace().next().unwrap_or("")
+        ));
+    };
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(').ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let close = rest.find(')').ok_or_else(|| "unclosed rule list".to_string())?;
+    let mut rules = Vec::new();
+    for rule in rest[..close].split(',') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            return Err("empty rule name in waiver".to_string());
+        }
+        if !is_known_rule(rule) {
+            return Err(format!("unknown rule `{rule}` in waiver"));
+        }
+        rules.push(rule.to_string());
+    }
+    if rules.is_empty() {
+        return Err("waiver names no rules".to_string());
+    }
+    // Everything after the rule list, minus a separator, is the reason.
+    let mut reason = rest[close + 1..].trim_start();
+    reason = reason.trim_start_matches(['\u{2014}', '\u{2013}', '-', ':']).trim();
+    if reason.is_empty() {
+        return Err("waiver is missing its reason text".to_string());
+    }
+    Ok((rules, file_wide))
+}
+
+/// Extracts all waivers from a lexed file. Malformed waivers become
+/// `bad-waiver` findings (and suppress nothing).
+pub fn collect_waivers(file: &str, lexed: &Lexed<'_>) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for comment in &lexed.comments {
+        let Some(payload) = directive_payload(comment.text) else {
+            continue;
+        };
+        match parse_directive(payload) {
+            Err(message) => findings.push(bad(file, comment.line, message)),
+            Ok((rules, file_wide)) => {
+                // An own-line waiver covers the next line that carries a
+                // token; a trailing waiver covers its own line.
+                let target_line = if comment.own_line {
+                    lexed
+                        .toks
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > comment.end_line)
+                        .unwrap_or(comment.end_line + 1)
+                } else {
+                    comment.line
+                };
+                waivers.push(Waiver {
+                    rules,
+                    target_line,
+                    file_wide,
+                    decl_line: comment.line,
+                    used: false,
+                });
+            }
+        }
+    }
+    (waivers, findings)
+}
+
+/// Marks findings covered by a waiver as `waived`, then reports waivers
+/// that covered nothing as `unused-waiver` findings.
+pub fn apply_waivers(file: &str, findings: &mut Vec<Finding>, waivers: &mut [Waiver]) {
+    for finding in findings.iter_mut() {
+        for waiver in waivers.iter_mut() {
+            if !waiver.rules.iter().any(|r| r == finding.rule) {
+                continue;
+            }
+            if waiver.file_wide || waiver.target_line == finding.line {
+                finding.waived = true;
+                waiver.used = true;
+            }
+        }
+    }
+    for waiver in waivers.iter() {
+        if !waiver.used {
+            findings.push(Finding {
+                rule: "unused-waiver",
+                file: file.to_string(),
+                line: waiver.decl_line,
+                col: 1,
+                message: format!(
+                    "waiver for {} matches no finding; delete it or fix the rule list",
+                    waiver.rules.join(", ")
+                ),
+                note: "",
+                severity: Severity::Error,
+                waived: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn own_line_waiver_targets_next_code_line() {
+        let src =
+            "\n// gecco-lint: allow(nondet-iter) — order folds into a sort below\nlet x = 1;\n";
+        let lexed = lex(src);
+        let (waivers, bad) = collect_waivers("f.rs", &lexed);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(waivers.len(), 1);
+        assert_eq!(waivers[0].target_line, 3);
+        assert!(!waivers[0].file_wide);
+    }
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let x = 1; // gecco-lint: allow(lossy-cast) - bounded by MAX_CLASSES\n";
+        let lexed = lex(src);
+        let (waivers, bad) = collect_waivers("f.rs", &lexed);
+        assert!(bad.is_empty());
+        assert_eq!(waivers[0].target_line, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_a_bad_waiver() {
+        for src in [
+            "// gecco-lint: allow(nondet-iter)\nlet x = 1;",
+            "// gecco-lint: allow(nondet-iter) — \nlet x = 1;",
+            "// gecco-lint: allow() — reason\nlet x = 1;",
+            "// gecco-lint: allow(no-such-rule) — reason\nlet x = 1;",
+            "// gecco-lint: deny(nondet-iter) — reason\nlet x = 1;",
+        ] {
+            let lexed = lex(src);
+            let (waivers, bad) = collect_waivers("f.rs", &lexed);
+            assert!(waivers.is_empty(), "{src}");
+            assert_eq!(bad.len(), 1, "{src}");
+            assert_eq!(bad[0].rule, "bad-waiver");
+        }
+    }
+
+    #[test]
+    fn multi_rule_and_file_wide_waivers_parse() {
+        let src = "//! gecco-lint: allow-file(unordered-par, float-order) — this is the seam\n";
+        let lexed = lex(src);
+        let (waivers, bad) = collect_waivers("f.rs", &lexed);
+        assert!(bad.is_empty());
+        assert!(waivers[0].file_wide);
+        assert_eq!(waivers[0].rules, vec!["unordered-par", "float-order"]);
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let src = "// gecco-lint: allow(nondet-iter) — nothing here\nlet x = 1;\n";
+        let lexed = lex(src);
+        let (mut waivers, _) = collect_waivers("f.rs", &lexed);
+        let mut findings = Vec::new();
+        apply_waivers("f.rs", &mut findings, &mut waivers);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unused-waiver");
+        assert_eq!(findings[0].line, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Fixture-based end-to-end tests: every rule fires on its known-bad
+//! snippet with the expected span, waivers suppress exactly what they
+//! name, the CLI exits nonzero on a reintroduced bad pattern — and the
+//! workspace itself is clean (the self-dogfooding gate).
+
+use gecco_lint::{analyze_source, analyze_workspace, workspace_root_from, Finding};
+use std::path::Path;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Analyzes a fixture as if it lived in a result crate (rule scoping is
+/// path-based; `tests/fixtures/` itself is deliberately out of scope).
+fn analyze_fixture(name: &str) -> Vec<Finding> {
+    analyze_source("crates/core/src/fixture.rs", &fixture(name))
+}
+
+#[test]
+fn each_rule_fires_on_its_fixture_with_the_expected_span() {
+    let cases = [
+        ("nondet_iter.rs", "nondet-iter", 6),
+        ("float_order.rs", "float-order", 5),
+        ("lossy_cast.rs", "lossy-cast", 3),
+        ("ambient_nondet.rs", "ambient-nondet", 3),
+        ("unordered_par.rs", "unordered-par", 3),
+    ];
+    for (file, rule, line) in cases {
+        let findings = analyze_fixture(file);
+        assert_eq!(findings.len(), 1, "{file}: want exactly one finding, got {findings:?}");
+        let f = &findings[0];
+        assert_eq!((f.rule, f.line), (rule, line), "{file}: {findings:?}");
+        assert!(f.col > 0 && !f.waived);
+    }
+}
+
+#[test]
+fn waiver_suppresses_exactly_one_finding() {
+    let findings = analyze_fixture("waiver.rs");
+    let spans: Vec<_> = findings.iter().map(|f| (f.rule, f.line, f.waived)).collect();
+    assert_eq!(spans, vec![("nondet-iter", 7, true), ("nondet-iter", 8, false)], "{findings:?}");
+}
+
+#[test]
+fn waiver_without_reason_is_a_finding_and_suppresses_nothing() {
+    let findings = analyze_fixture("bad_waiver.rs");
+    let bad = findings.iter().find(|f| f.rule == "bad-waiver").expect("bad-waiver: {findings:?}");
+    assert!(bad.message.contains("reason"), "{bad:?}");
+    assert!(
+        findings.iter().any(|f| f.rule == "nondet-iter" && !f.waived),
+        "the reasonless waiver must not suppress the finding: {findings:?}"
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_with_the_offending_span() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let bad = manifest.join("tests/fixtures/unordered_par.rs");
+    let output = Command::new(env!("CARGO_BIN_EXE_gecco-lint"))
+        .arg(&bad)
+        .current_dir(manifest)
+        .output()
+        .expect("run gecco-lint");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("crates/lint/tests/fixtures/unordered_par.rs:3:7"),
+        "want the exact file:line:col, got:\n{stdout}"
+    );
+    assert!(stdout.contains("unordered-par"), "{stdout}");
+}
+
+#[test]
+fn cli_json_report_is_machine_readable() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let bad = manifest.join("tests/fixtures/unordered_par.rs");
+    let output = Command::new(env!("CARGO_BIN_EXE_gecco-lint"))
+        .args([bad.to_str().unwrap(), "--format", "json"])
+        .current_dir(manifest)
+        .output()
+        .expect("run gecco-lint");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"rule\":\"unordered-par\""), "{stdout}");
+    assert!(stdout.contains("\"line\":3"), "{stdout}");
+}
+
+/// The self-dogfooding gate: the workspace's own sources must be clean —
+/// every remaining finding carries an in-place waiver with a reason.
+#[test]
+fn workspace_is_clean() {
+    let root = workspace_root_from(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+    let findings = analyze_workspace(&root).expect("analyze");
+    let unwaived: Vec<_> = findings.iter().filter(|f| !f.waived).collect();
+    assert!(
+        unwaived.is_empty(),
+        "fix these or waive them with a reason:\n{}",
+        gecco_lint::render_human(&findings, false)
+    );
+    assert!(!findings.is_empty(), "waived findings should exist (the waiver system is in use)");
+}

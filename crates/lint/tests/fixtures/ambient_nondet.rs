@@ -1,0 +1,4 @@
+// Fixture: known-bad — wall-clock read in result code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,8 @@
+// Fixture: a waiver without a reason is itself a finding and suppresses
+// nothing.
+use std::collections::HashMap;
+
+pub fn bad(m: &HashMap<u32, u32>) -> Vec<u32> {
+    // gecco-lint: allow(nondet-iter)
+    m.keys().copied().collect()
+}

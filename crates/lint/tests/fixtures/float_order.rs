@@ -1,0 +1,6 @@
+// Fixture: known-bad — float accumulation over an unordered iterator.
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}

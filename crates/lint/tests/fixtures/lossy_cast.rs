@@ -1,0 +1,4 @@
+// Fixture: known-bad — unchecked narrowing of a length.
+pub fn directory_entry(v: &[u8]) -> u32 {
+    v.len() as u32
+}

@@ -1,0 +1,10 @@
+// Fixture: known-bad — hash-order iteration feeding an output vector.
+use std::collections::HashMap;
+
+pub fn emit(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push(k + v);
+    }
+    out
+}

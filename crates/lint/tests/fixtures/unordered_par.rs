@@ -1,0 +1,4 @@
+// Fixture: known-bad — raw rayon bypassing the order-preserving seams.
+pub fn sum(v: &[u32]) -> u32 {
+    v.par_iter().map(|x| x + 1).sum()
+}

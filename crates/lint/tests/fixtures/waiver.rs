@@ -1,0 +1,10 @@
+// Fixture: two identical bad patterns; the waiver must suppress exactly
+// the first one and leave the second firing.
+use std::collections::HashMap;
+
+pub fn pair(m: &HashMap<u32, u32>) -> (Vec<u32>, Vec<u32>) {
+    // gecco-lint: allow(nondet-iter) — fixture: the caller sorts this before use
+    let a: Vec<u32> = m.keys().copied().collect();
+    let b: Vec<u32> = m.keys().copied().collect();
+    (a, b)
+}
