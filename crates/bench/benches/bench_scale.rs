@@ -14,12 +14,15 @@
 //!   enumerated-pool / priced-columns ratio behind the ≥10× claim is
 //!   visible in the output;
 //! * `scale_dense` — the headline configs (`size(g) ≤ 6`, trace length
-//!   scaled with the class count). The enumerated route needs 12.2 s on
+//!   scaled with the class count). The enumerated route needs 12.7 s on
 //!   the 16-class instance (pool 11,541) and did not finish a 400 s
 //!   calibration timeout on the 32-class one (pool 122,992); column
 //!   generation solves the 32-class pool — 10.7× the largest
-//!   enumerated-handled pool — in 76.8 s by pricing 7,486 of its 123k
-//!   columns.
+//!   enumerated-handled pool — in 37.2 s with the warm-started revised
+//!   master (76.8 s before it, on the rebuilt-per-round dense tableau).
+//!   The group also sweeps the master phase on the 16-class instance:
+//!   `master/{dense,revised}` × smoothing on (`master/...`) / off
+//!   (`master/...-plain`).
 //!
 //! `GECCO_SCALE=smoke` shrinks every size for CI (and skips the dense
 //! group); `GECCO_SCALE=deep` additionally runs the 40-class instance
@@ -29,7 +32,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
 use gecco_core::candidates::exhaustive::exhaustive_candidates;
-use gecco_core::{select_optimal, select_optimal_colgen, Budget, DistanceOracle, SelectionOptions};
+use gecco_core::{
+    select_optimal, select_optimal_colgen, Budget, ColGenMode, DistanceOracle, MasterEngine,
+    SelectionOptions,
+};
 use gecco_datagen::{production_tree, simulate, write_xes_stream, SimulationOptions};
 use gecco_eventlog::{EvalContext, EventLog, LogIndex, Segmenter};
 
@@ -116,7 +122,7 @@ fn bench_scale_selection(c: &mut Criterion) {
         let index = LogIndex::build(&log);
         let ctx = EvalContext::new(&log, &index);
         let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
-        let options = SelectionOptions { column_generation: true, ..Default::default() };
+        let options = SelectionOptions { column_generation: ColGenMode::On, ..Default::default() };
         let selection =
             select_optimal_colgen(&log, &compiled, &oracle, compiled.group_count_bounds(), options)
                 .expect("feasible");
@@ -197,7 +203,7 @@ fn bench_scale_dense(c: &mut Criterion) {
         let index = LogIndex::build(&log);
         let ctx = EvalContext::new(&log, &index);
         let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
-        let options = SelectionOptions { column_generation: true, ..Default::default() };
+        let options = SelectionOptions { column_generation: ColGenMode::On, ..Default::default() };
         group.bench_with_input(BenchmarkId::new("colgen", classes), &log, |b, log| {
             b.iter(|| {
                 select_optimal_colgen(
@@ -218,6 +224,43 @@ fn bench_scale_dense(c: &mut Criterion) {
             "pool= dense classes={classes} colgen_examined={} columns_emitted={} sketch_pruned={}",
             pricing.groups_examined, pricing.columns_emitted, pricing.sketch_pruned
         );
+    }
+    // Master-phase sweep: dense tableau versus warm-started revised
+    // simplex, Wentges smoothing on and off, on the 16-class instance.
+    // (All four variants return bit-identical selections — the
+    // equivalence suites assert that — so this isolates the master
+    // solve cost; the 32-class dense master alone would dominate the
+    // whole bench run, hence the small instance.)
+    let (classes, len) = (16usize, 16usize);
+    let log = dense_log(classes, len);
+    let compiled = dense_compile(&log);
+    let index = LogIndex::build(&log);
+    let ctx = EvalContext::new(&log, &index);
+    let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+    for (name, master, smoothing) in [
+        ("master/revised", MasterEngine::Revised, true),
+        ("master/revised-plain", MasterEngine::Revised, false),
+        ("master/dense", MasterEngine::Dense, true),
+        ("master/dense-plain", MasterEngine::Dense, false),
+    ] {
+        let options = SelectionOptions {
+            column_generation: ColGenMode::On,
+            colgen_master: master,
+            colgen_smoothing: smoothing,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new(name, classes), &log, |b, log| {
+            b.iter(|| {
+                select_optimal_colgen(
+                    log,
+                    &compiled,
+                    &oracle,
+                    compiled.group_count_bounds(),
+                    options,
+                )
+                .expect("feasible")
+            })
+        });
     }
     group.finish();
 }

@@ -8,7 +8,9 @@
 
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
 use gecco_core::candidates::exhaustive::exhaustive_candidates;
-use gecco_core::{select_optimal, select_optimal_colgen, Budget, DistanceOracle, SelectionOptions};
+use gecco_core::{
+    select_optimal, select_optimal_colgen, Budget, ColGenMode, DistanceOracle, SelectionOptions,
+};
 use gecco_datagen::{production_tree, simulate, SimulationOptions};
 use gecco_eventlog::{EvalContext, EventLog, LogIndex, Segmenter};
 
@@ -42,7 +44,7 @@ fn colgen_matches_enumerated_on_the_cycling_instance() {
         &compiled,
         &oracle,
         compiled.group_count_bounds(),
-        SelectionOptions { column_generation: true, ..Default::default() },
+        SelectionOptions { column_generation: ColGenMode::On, ..Default::default() },
     )
     .expect("feasible");
 
@@ -67,7 +69,7 @@ fn colgen_lp_bound_is_a_valid_lower_bound() {
         &compiled,
         &oracle,
         compiled.group_count_bounds(),
-        SelectionOptions { column_generation: true, ..Default::default() },
+        SelectionOptions { column_generation: ColGenMode::On, ..Default::default() },
     )
     .expect("feasible");
     let stats = lazy.colgen.expect("colgen stats");

@@ -13,7 +13,9 @@ use crate::candidates::{
 };
 use crate::distance::DistanceOracle;
 use crate::pipeline::{GeccoError, InfeasibilityReport, PassReport};
-use crate::selection::{select_optimal, select_optimal_colgen, SelectionOptions};
+use crate::selection::{
+    select_optimal, select_optimal_colgen, use_column_generation, SelectionOptions,
+};
 use gecco_constraints::{CompiledConstraintSet, ConstraintSet, Diagnostics};
 use gecco_eventlog::{EvalContext, InstanceCache, Segmenter, TraceStore};
 use std::sync::Arc;
@@ -327,7 +329,7 @@ impl<'a> GraphNode<'a> for SelectorNode<'a> {
         let candidates = inputs[1].as_candidates().expect("validated port");
         let ctx = context(input, self.cache);
         let oracle = DistanceOracle::new(&ctx, self.segmenter);
-        let selected = if self.options.column_generation {
+        let selected = if use_column_generation(&self.options, input.log(), input.index()) {
             select_optimal_colgen(
                 input.log(),
                 &self.constraints,

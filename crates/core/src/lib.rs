@@ -35,6 +35,7 @@ pub use abstraction::AbstractionStrategy;
 pub use candidates::session::{SessionBoundary, SessionConfig};
 pub use candidates::{BeamWidth, Budget, CandidateSet, CandidateStats, CandidateStrategy};
 pub use distance::{group_distance, group_distance_scan, grouping_distance, DistanceOracle};
+pub use gecco_solver::MasterEngine;
 pub use grouping::Grouping;
 pub use parallel::{parallel_enabled, set_parallel};
 pub use pipeline::{
@@ -43,5 +44,5 @@ pub use pipeline::{
 };
 pub use selection::{
     select_optimal, select_optimal_colgen, solve_set_partition, solve_set_partition_stats,
-    LazyPricingStats, Selection, SelectionOptions,
+    use_column_generation, ColGenMode, LazyPricingStats, Selection, SelectionOptions,
 };

@@ -21,7 +21,9 @@ use crate::graph::{
     ExclusiveMergeNode, GraphError, InputNode, PassNode, PipelineGraph, SelectorNode,
 };
 use crate::grouping::Grouping;
-use crate::selection::{select_optimal, select_optimal_colgen, SelectionOptions};
+use crate::selection::{
+    select_optimal, select_optimal_colgen, use_column_generation, SelectionOptions,
+};
 use gecco_constraints::{CompileError, CompiledConstraintSet, ConstraintSet, Diagnostics};
 use gecco_eventlog::{EvalContext, EventLog, InstanceCache, LogIndex, Segmenter};
 use std::fmt;
@@ -341,7 +343,7 @@ impl<'a> Gecco<'a> {
         // reported in PipelineStats and never folds into results
         let t1 = Instant::now();
         let oracle = DistanceOracle::new(&ctx, self.segmenter);
-        let selected = if self.selection.column_generation {
+        let selected = if use_column_generation(&self.selection, self.log, index) {
             select_optimal_colgen(
                 self.log,
                 &compiled,

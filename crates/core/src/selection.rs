@@ -22,10 +22,30 @@ use gecco_constraints::{CheckingMode, CompiledConstraintSet};
 use gecco_eventlog::{ClassCoOccurrence, ClassId, ClassSet, EventLog};
 use gecco_solver::{
     presolve, solve_column_generation, ColGenOptions, ColGenStats, ColumnSource, DualPrices,
-    PresolveOptions, PresolveOutcome, PresolveStats, PricingRequest, SetPartitionProblem,
-    SetPartitionSolution, SolveEngine,
+    MasterEngine, PresolveOptions, PresolveOutcome, PresolveStats, PricingRequest,
+    SetPartitionProblem, SetPartitionSolution, SolveEngine,
 };
 use std::collections::{HashMap, HashSet};
+
+/// When Step 2 routes through column generation
+/// ([`select_optimal_colgen`]) instead of the enumerated solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ColGenMode {
+    /// Never: always the enumerated presolved route (the default — it is
+    /// the differential oracle and the right choice for enumerable pools).
+    #[default]
+    Off,
+    /// Always: price candidates lazily out of the implicit pool.
+    On,
+    /// Decide per run from a cheap sketch-driven pool estimate:
+    /// [`ClassCoOccurrence::estimate_pool`] counts cliques of the exact
+    /// pairwise co-occurrence graph (an upper bound on the enumerable
+    /// pool — every occurring group is such a clique) with an early exit
+    /// at [`SelectionOptions::auto_colgen_budget`]. Below the budget,
+    /// enumeration is proven small and the enumerated route runs;
+    /// at the budget, the pool may be huge and column generation runs.
+    Auto,
+}
 
 /// Options for the selection step.
 #[derive(Debug, Clone, Copy)]
@@ -44,7 +64,18 @@ pub struct SelectionOptions {
     /// candidate groups are generated on demand by a pricing search driven
     /// by LP duals, so pools far past enumerable size stay solvable. The
     /// enumerated presolved route remains the differential oracle.
-    pub column_generation: bool,
+    pub column_generation: ColGenMode,
+    /// Pool-size budget for [`ColGenMode::Auto`]: when the sketch-driven
+    /// clique estimate reaches this many groups, the run switches to
+    /// column generation. `0` makes `Auto` behave like `On`.
+    pub auto_colgen_budget: usize,
+    /// Master LP engine for the column-generation route (default: the
+    /// incremental revised simplex; the dense tableau rebuild is the
+    /// differential oracle).
+    pub colgen_master: MasterEngine,
+    /// Wentges dual smoothing on the column-generation route (default on;
+    /// `false` reproduces the unsmoothed pricing trajectory).
+    pub colgen_smoothing: bool,
 }
 
 impl Default for SelectionOptions {
@@ -53,7 +84,32 @@ impl Default for SelectionOptions {
             engine: SolveEngine::default(),
             max_nodes: 0,
             presolve: true,
-            column_generation: false,
+            column_generation: ColGenMode::default(),
+            auto_colgen_budget: 50_000,
+            colgen_master: MasterEngine::default(),
+            colgen_smoothing: true,
+        }
+    }
+}
+
+/// Resolves `options.column_generation` for a concrete log: `On`/`Off`
+/// are literal, `Auto` consults the co-occurrence sketch (one cheap pass
+/// over the postings) and flips column generation on exactly when the
+/// clique estimate says enumeration could exceed
+/// [`SelectionOptions::auto_colgen_budget`] groups.
+pub fn use_column_generation(
+    options: &SelectionOptions,
+    log: &EventLog,
+    index: &gecco_eventlog::LogIndex,
+) -> bool {
+    match options.column_generation {
+        ColGenMode::On => true,
+        ColGenMode::Off => false,
+        ColGenMode::Auto => {
+            let universe = occurring_classes(log);
+            let sketch = ClassCoOccurrence::build(index);
+            sketch.estimate_pool(&universe, options.auto_colgen_budget)
+                >= options.auto_colgen_budget
         }
     }
 }
@@ -455,6 +511,8 @@ pub fn select_optimal_colgen(
     let colgen_options = ColGenOptions {
         engine: options.engine,
         max_nodes: options.max_nodes,
+        master: options.colgen_master,
+        smoothing: options.colgen_smoothing,
         ..ColGenOptions::default()
     };
     // No warm start: initial columns would have to be checked candidates,
@@ -752,6 +810,59 @@ mod tests {
             // than enumeration produced.
             assert!(pricing.columns_emitted <= pool.len(), "{pricing:?}");
             assert!(pricing.groups_examined > 0);
+        }
+    }
+
+    #[test]
+    fn auto_mode_follows_the_pool_estimate() {
+        let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        // Literal modes ignore the estimate entirely.
+        let on = SelectionOptions { column_generation: ColGenMode::On, ..Default::default() };
+        let off = SelectionOptions::default();
+        assert!(use_column_generation(&on, &log, &index));
+        assert!(!use_column_generation(&off, &log, &index));
+        // The running example's clique count is tiny: the default budget
+        // keeps the enumerated route, a budget of 1 flips colgen on.
+        let auto = SelectionOptions { column_generation: ColGenMode::Auto, ..Default::default() };
+        assert!(!use_column_generation(&auto, &log, &index));
+        let tight = SelectionOptions { auto_colgen_budget: 1, ..auto };
+        assert!(use_column_generation(&tight, &log, &index));
+        let zero = SelectionOptions { auto_colgen_budget: 0, ..auto };
+        assert!(use_column_generation(&zero, &log, &index), "budget 0 behaves like On");
+    }
+
+    #[test]
+    fn colgen_master_engines_return_identical_selections() {
+        // The dense tableau oracle and the revised master — smoothed and
+        // unsmoothed — must produce the *same* Selection, bit for bit.
+        let log = running_example();
+        let index = gecco_eventlog::LogIndex::build(&log);
+        let ctx = gecco_eventlog::EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+        for dsl in ["", "size(g) <= 3;"] {
+            let compiled = compile(&log, dsl);
+            let mut selections = Vec::new();
+            for colgen_master in [MasterEngine::Revised, MasterEngine::Dense] {
+                for colgen_smoothing in [true, false] {
+                    let options =
+                        SelectionOptions { colgen_master, colgen_smoothing, ..Default::default() };
+                    let sel =
+                        select_optimal_colgen(&log, &compiled, &oracle, (None, None), options)
+                            .expect("feasible");
+                    assert!(sel.proven_optimal, "{colgen_master:?}/{colgen_smoothing}");
+                    selections.push((format!("{colgen_master:?}/{colgen_smoothing}"), sel));
+                }
+            }
+            let (ref base_label, ref base) = selections[0];
+            for (label, sel) in &selections[1..] {
+                assert_eq!(sel.grouping, base.grouping, "{label} vs {base_label} ({dsl:?})");
+                assert_eq!(
+                    sel.distance.to_bits(),
+                    base.distance.to_bits(),
+                    "{label} vs {base_label} ({dsl:?})"
+                );
+            }
         }
     }
 

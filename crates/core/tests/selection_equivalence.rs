@@ -19,7 +19,7 @@ use gecco_constraints::{CompiledConstraintSet, ConstraintSet};
 use gecco_core::candidates::exhaustive::exhaustive_candidates;
 use gecco_core::{
     select_optimal, select_optimal_colgen, set_parallel, solve_set_partition, Budget,
-    DistanceOracle, SelectionOptions,
+    DistanceOracle, MasterEngine, SelectionOptions,
 };
 use gecco_eventlog::{
     ClassCoOccurrence, ClassSet, EvalContext, EventLog, LogBuilder, LogIndex, Segmenter,
@@ -242,6 +242,55 @@ proptest! {
                 _ => prop_assert!(
                     false,
                     "{engine:?} disagrees on feasibility: lazy {lazy:?} vs enumerated {enumerated:?}"
+                ),
+            }
+        }
+    }
+
+    /// The revised-simplex master (warm-started, smoothed or not) against
+    /// the dense tableau oracle, end to end: all four (master × smoothing)
+    /// routes must return the *same* `Selection` — same grouping, same
+    /// canonical distance, bit for bit. Pricing trajectories and restricted
+    /// pools may differ, but the implicit pool and its optimum do not.
+    #[test]
+    fn colgen_master_routes_return_identical_selections(instance in arb_selection_instance()) {
+        let (log, min, max, sized) = instance;
+        let index = LogIndex::build(&log);
+        let ctx = EvalContext::new(&log, &index);
+        let oracle = DistanceOracle::new(&ctx, Segmenter::RepeatSplit);
+        let compiled = compile(&log, sized);
+        let mut runs: Vec<(String, Option<gecco_core::Selection>)> = Vec::new();
+        for colgen_master in [MasterEngine::Revised, MasterEngine::Dense] {
+            for colgen_smoothing in [true, false] {
+                let opts = SelectionOptions {
+                    colgen_master,
+                    colgen_smoothing,
+                    ..Default::default()
+                };
+                let sel = select_optimal_colgen(&log, &compiled, &oracle, (min, max), opts);
+                runs.push((format!("{colgen_master:?}/smoothing={colgen_smoothing}"), sel));
+            }
+        }
+        let (base_label, base) = &runs[0];
+        for (label, sel) in &runs[1..] {
+            match (base, sel) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert!(
+                        (a.distance - b.distance).abs() < 1e-9,
+                        "{} vs {}: {} vs {}", label, base_label, b.distance, a.distance
+                    );
+                    prop_assert!(b.proven_optimal, "{}", label);
+                    prop_assert!(b.grouping.is_exact_cover(&log), "{}", label);
+                    if a.grouping == b.grouping {
+                        prop_assert_eq!(
+                            a.distance.to_bits(), b.distance.to_bits(),
+                            "{}: same grouping, different bits", label
+                        );
+                    }
+                }
+                _ => prop_assert!(
+                    false, "{} vs {}: feasibility flip", label, base_label
                 ),
             }
         }

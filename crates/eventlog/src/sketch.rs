@@ -300,6 +300,57 @@ impl ClassCoOccurrence {
     pub fn triples_complete(&self) -> bool {
         self.triples_complete
     }
+
+    /// Upper-bound estimate of the enumerable candidate-pool size over
+    /// `universe`, saturated at `cap`: the number of nonempty cliques of
+    /// the exact pairwise co-occurrence graph. Every occurring group is
+    /// such a clique (all of its pairs share the witnessing trace), so the
+    /// clique count can never under-state the pool — a return below `cap`
+    /// *proves* enumeration stays below `cap` groups. Counting walks the
+    /// canonical subset lattice (each clique reached along exactly one
+    /// ascending path) and exits early at `cap`, so the estimate costs
+    /// `O(min(cliques, cap))` set operations no matter how combinatorial
+    /// the log is.
+    pub fn estimate_pool(&self, universe: &ClassSet, cap: usize) -> usize {
+        let mut count = 0usize;
+        for c in universe.iter() {
+            // A class absent from every trace forms no clique at all.
+            if !self.pairs[c.index()].contains(c) {
+                continue;
+            }
+            let cooc = universe.intersection(&self.pairs[c.index()]);
+            if !self.count_cliques(ClassSet::singleton(c), c, cooc, cap, &mut count) {
+                return cap;
+            }
+        }
+        count
+    }
+
+    /// Counts the cliques extending `group` by classes above `last` inside
+    /// `cooc` (the intersection of all members' co-occurrence rows).
+    /// Returns `false` once `count` reaches `cap`.
+    fn count_cliques(
+        &self,
+        group: ClassSet,
+        last: ClassId,
+        cooc: ClassSet,
+        cap: usize,
+        count: &mut usize,
+    ) -> bool {
+        *count += 1;
+        if *count >= cap {
+            return false;
+        }
+        for c in cooc.difference(&group).iter().filter(|&c| c > last) {
+            let mut bigger = group;
+            bigger.insert(c);
+            let narrowed = cooc.intersection(&self.pairs[c.index()]);
+            if !self.count_cliques(bigger, c, narrowed, cap, count) {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +473,33 @@ mod tests {
         assert!(sketch.pair_support(b, c) >= 1);
         let d_free = ClassId((log.num_classes()) as u16);
         assert_eq!(sketch.pair_support(a, d_free), 0, "never-co-occurring pair is exact zero");
+    }
+
+    #[test]
+    fn estimate_pool_counts_cliques_and_saturates() {
+        // Graph: a–b, b–c co-occur; d isolated. Cliques: the four
+        // singletons plus {a,b} and {b,c} = 6 (the non-edge {a,c} and
+        // anything containing it never count).
+        let log = log_from(&[&["a", "b"], &["b", "c"], &["d"]]);
+        let index = LogIndex::build(&log);
+        let sketch = ClassCoOccurrence::build(&index);
+        let universe: ClassSet = (0..log.num_classes()).map(|i| ClassId(i as u16)).collect();
+        assert_eq!(sketch.estimate_pool(&universe, 1000), 6);
+        // The cap saturates and the walk exits early.
+        assert_eq!(sketch.estimate_pool(&universe, 4), 4);
+        assert_eq!(sketch.estimate_pool(&universe, 6), 6);
+        // Restricting the universe restricts the count.
+        let ab = group(&log, &["a", "b"]);
+        assert_eq!(sketch.estimate_pool(&ab, 1000), 3);
+        // Classes outside every trace contribute nothing.
+        let free = ClassSet::singleton(ClassId(log.num_classes() as u16));
+        assert_eq!(sketch.estimate_pool(&free, 1000), 0);
+        // A dense trace makes the count exponential; the cap bounds the walk.
+        let log = log_from(&[&["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]]);
+        let sketch = ClassCoOccurrence::build(&LogIndex::build(&log));
+        let universe: ClassSet = (0..10).map(|i| ClassId(i as u16)).collect();
+        assert_eq!(sketch.estimate_pool(&universe, 100), 100);
+        assert_eq!(sketch.estimate_pool(&universe, 2000), 1023, "2^10 − 1 nonempty subsets");
     }
 
     #[test]

@@ -1,14 +1,19 @@
-//! Minimal dense linear algebra for the spectral-partitioning baseline.
+//! Minimal dense linear algebra for the spectral-partitioning baseline
+//! and the revised-simplex basis kernel.
 //!
-//! Provides exactly what `BL_P` (§VI-A) needs: a dense [`Matrix`], a
+//! Provides exactly what `BL_P` (§VI-A) needs — a dense [`Matrix`], a
 //! symmetric [`jacobi`] eigensolver (cyclic Jacobi rotations — robust and
-//! dependency-free, ideal at DFG sizes of ≤ 256 nodes) and [`kmeans()`] with
-//! farthest-point seeding for clustering the spectral embedding.
+//! dependency-free, ideal at DFG sizes of ≤ 256 nodes) and [`kmeans()`]
+//! with farthest-point seeding for clustering the spectral embedding —
+//! plus [`LuFactors`], the pivoting LU factorization behind the
+//! column-generation master's FTRAN/BTRAN solves in `gecco-solver`.
 
 pub mod jacobi;
 pub mod kmeans;
+pub mod lu;
 pub mod matrix;
 
 pub use jacobi::{eigen_symmetric, Eigen};
 pub use kmeans::{kmeans, KMeansResult};
+pub use lu::LuFactors;
 pub use matrix::Matrix;

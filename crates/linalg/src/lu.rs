@@ -1,0 +1,187 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! Factors a square matrix as `P·A = L·U` (row swaps recorded as a
+//! deterministic swap sequence, `L` unit lower triangular, `U` upper
+//! triangular) and solves `A·x = b` and `Aᵀ·y = c` against the factors.
+//! This is the basis kernel of the revised simplex in `gecco-solver`
+//! (FTRAN/BTRAN both reduce to one of these solves), so the discipline
+//! there applies here: the pivot choice is the *first* maximal entry in
+//! the column — a pure function of the input with no ambient state — and
+//! the factorization either succeeds wholesale or reports singularity,
+//! never dividing by a sub-threshold pivot.
+
+/// LU factors of a square matrix: `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Row-major packed factors: strictly-lower entries hold `L` (unit
+    /// diagonal implied), the diagonal and above hold `U`.
+    lu: Vec<f64>,
+    /// Row swaps in application order; applying them to a vector in order
+    /// computes `P·v`, in reverse order `Pᵀ·v` (each swap is an involution).
+    swaps: Vec<(usize, usize)>,
+}
+
+impl LuFactors {
+    /// Factorizes the `n×n` row-major matrix `a` (consumed in place).
+    /// Returns `None` when some pivot column has no entry above `tiny` in
+    /// magnitude — the matrix is singular to working precision. Partial
+    /// pivoting takes the **first** maximal-magnitude entry, so equal
+    /// inputs always factor identically.
+    pub fn factorize(n: usize, mut a: Vec<f64>, tiny: f64) -> Option<LuFactors> {
+        debug_assert_eq!(a.len(), n * n);
+        let mut swaps = Vec::new();
+        for k in 0..n {
+            let mut best = k;
+            let mut best_abs = a[k * n + k].abs();
+            for i in k + 1..n {
+                let mag = a[i * n + k].abs();
+                if mag > best_abs {
+                    best_abs = mag;
+                    best = i;
+                }
+            }
+            if best_abs <= tiny {
+                return None;
+            }
+            if best != k {
+                for c in 0..n {
+                    a.swap(k * n + c, best * n + c);
+                }
+                swaps.push((k, best));
+            }
+            let piv = a[k * n + k];
+            for i in k + 1..n {
+                let factor = a[i * n + k] / piv;
+                a[i * n + k] = factor;
+                if factor != 0.0 {
+                    for c in k + 1..n {
+                        a[i * n + c] -= factor * a[k * n + c];
+                    }
+                }
+            }
+        }
+        Some(LuFactors { n, lu: a, swaps })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` in place (`x` enters as `b`).
+    pub fn solve(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        let n = self.n;
+        for &(a, b) in &self.swaps {
+            x.swap(a, b);
+        }
+        // Forward: L·z = P·b (unit diagonal).
+        for i in 0..n {
+            let mut s = x[i];
+            for (&l, &xj) in self.lu[i * n..i * n + i].iter().zip(x.iter()) {
+                s -= l * xj;
+            }
+            x[i] = s;
+        }
+        // Back: U·x = z.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (&u, &xj) in self.lu[i * n + i + 1..(i + 1) * n].iter().zip(&x[i + 1..]) {
+                s -= u * xj;
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+    }
+
+    /// Solves `Aᵀ·y = c` in place (`y` enters as `c`): with `P·A = L·U`,
+    /// `Aᵀ = Uᵀ·Lᵀ·P`, so a forward solve against `Uᵀ`, a back solve
+    /// against `Lᵀ` and the reversed swap sequence recover `y`.
+    pub fn solve_transpose(&self, y: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.n);
+        let n = self.n;
+        // Forward: Uᵀ·v = c (the LU is row-major, so the column stride is n).
+        for i in 0..n {
+            let mut s = y[i];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.lu[j * n + i] * yj;
+            }
+            y[i] = s / self.lu[i * n + i];
+        }
+        // Back: Lᵀ·w = v (unit diagonal).
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for (j, &yj) in y.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[j * n + i] * yj;
+            }
+            y[i] = s;
+        }
+        // y = Pᵀ·w.
+        for &(a, b) in self.swaps.iter().rev() {
+            y.swap(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_fresh(n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let lu = LuFactors::factorize(n, a.to_vec(), 1e-12).expect("nonsingular");
+        let mut x = b.to_vec();
+        lu.solve(&mut x);
+        x
+    }
+
+    fn matvec(n: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
+        (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
+    }
+
+    #[test]
+    fn solves_a_small_system() {
+        // Needs a row swap (zero leading pivot).
+        let a = [0.0, 2.0, 1.0, 1.0, 1.0, 0.0, 3.0, 0.0, 1.0];
+        let x = solve_fresh(3, &a, &[5.0, 3.0, 4.0]);
+        let back = matvec(3, &a, &x);
+        for (lhs, rhs) in back.iter().zip([5.0, 3.0, 4.0]) {
+            assert!((lhs - rhs).abs() < 1e-9, "{back:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_solve_matches_the_transposed_system() {
+        let a = [0.0, 1.0, 2.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0, 4.0, 6.0, 1.0, 1.0, 0.0, 1.0, 5.0];
+        let lu = LuFactors::factorize(4, a.to_vec(), 1e-12).unwrap();
+        let c = [1.0, -2.0, 0.5, 3.0];
+        let mut y = c;
+        lu.solve_transpose(&mut y);
+        // Check Aᵀ·y = c, i.e. Σ_i a[i][j]·y[i] = c[j].
+        for j in 0..4 {
+            let lhs: f64 = (0..4).map(|i| a[i * 4 + j] * y[i]).sum();
+            assert!((lhs - c[j]).abs() < 1e-9, "column {j}: {lhs} vs {}", c[j]);
+        }
+    }
+
+    #[test]
+    fn reports_singularity() {
+        // Second column is twice the first.
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(LuFactors::factorize(2, a.to_vec(), 1e-12).is_none());
+        let empty = LuFactors::factorize(0, vec![], 1e-12).expect("trivially nonsingular");
+        assert_eq!(empty.n(), 0);
+        empty.solve(&mut []);
+        empty.solve_transpose(&mut []);
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        assert_eq!(solve_fresh(n, &a, &b), b);
+    }
+}

@@ -8,13 +8,25 @@
 //! 1. **Restricted master LP** — the LP relaxation over the columns seen
 //!    so far, kept feasible by big-M artificial columns (one per element,
 //!    counted toward the minimum-cardinality row so residual `min_sets`
-//!    bounds cannot strand the master). [`crate::simplex::solve_lp_with_duals`]
-//!    returns the optimal dual prices.
+//!    bounds cannot strand the master). By default the master is the
+//!    *incremental* sparse revised simplex of [`crate::revised`]: priced
+//!    columns **append** to a live `RevisedMaster` and each round
+//!    re-optimizes from the previous optimal basis (new columns enter
+//!    nonbasic at zero, so that basis stays primal-feasible — a genuine
+//!    warm start). The dense tableau route
+//!    ([`crate::simplex::solve_lp_with_duals`]), which rebuilds the master
+//!    model from scratch every round, remains selectable
+//!    ([`MasterEngine::Dense`]) as the differential oracle.
 //! 2. **Pricing** — a caller-supplied [`ColumnSource`] receives the duals
 //!    and returns columns whose reduced cost
 //!    `c_S − Σ_{e∈S} y_e − y_card` lies below a threshold. An empty reply
 //!    is a *proof* that no such column exists; that contract is what makes
-//!    the loop exact.
+//!    the loop exact. To damp the dual oscillation that plagues degenerate
+//!    masters, pricing first runs against Wentges-smoothed duals
+//!    `ỹ = α·ŷ + (1−α)·y` (a convex combination with a stability center
+//!    `ŷ`); a smoothed pass that yields nothing (a *misprice*) falls back
+//!    to the true duals in the same round, so LP convergence is still
+//!    certified by an exact reply and smoothing never costs exactness.
 //! 3. **Restricted IP** — once the LP prices out (no column below `−ε`),
 //!    the existing presolve → decompose → branch-and-bound pipeline solves
 //!    the integer program over the restricted pool.
@@ -32,8 +44,9 @@
 
 use crate::model::{Model, Sense};
 use crate::presolve::PresolveOptions;
+use crate::revised::{MasterLp, RevisedMaster};
 use crate::setpart::{SetPartitionProblem, SetPartitionSolution, SolveEngine};
-use crate::simplex::{solve_lp_with_duals, LpDualResult};
+use crate::simplex::{solve_lp_with_duals_counted, LpDualResult};
 use std::collections::HashMap;
 
 /// Dual prices handed to a [`ColumnSource`].
@@ -129,6 +142,19 @@ impl ColumnSource for EnumeratedColumnSource {
     }
 }
 
+/// Which LP engine solves the restricted master.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MasterEngine {
+    /// The incremental sparse revised simplex ([`crate::revised`]):
+    /// columns append to a live master, each round re-optimizes from the
+    /// previous optimal basis.
+    #[default]
+    Revised,
+    /// The dense two-phase tableau, rebuilt from scratch every round —
+    /// the differential oracle for the revised route.
+    Dense,
+}
+
 /// Tuning knobs for the restricted-master loop.
 #[derive(Debug, Clone)]
 pub struct ColGenOptions {
@@ -147,6 +173,15 @@ pub struct ColGenOptions {
     /// Reduced-cost tolerance: the LP loop prices at `−eps`, gap closing
     /// adds `+eps` of slack so float noise never hides a useful column.
     pub eps: f64,
+    /// Engine for the restricted master LP solves.
+    pub master: MasterEngine,
+    /// Wentges dual smoothing: price against `ỹ = α·ŷ + (1−α)·y` first
+    /// and fall back to the true duals `y` on a misprice. On by default;
+    /// `false` reproduces the unsmoothed trajectory exactly.
+    pub smoothing: bool,
+    /// Smoothing weight `α ∈ [0, 1)` on the stability center (`0.0`
+    /// degenerates to unsmoothed pricing).
+    pub smoothing_alpha: f64,
 }
 
 impl Default for ColGenOptions {
@@ -158,14 +193,18 @@ impl Default for ColGenOptions {
             max_rounds: 10_000,
             pricing_batch: 256,
             eps: 1e-7,
+            master: MasterEngine::default(),
+            smoothing: true,
+            smoothing_alpha: 0.5,
         }
     }
 }
 
-/// Counters from one column-generation run.
+/// Counters from one column-generation run. Both master engines drive the
+/// same loop body, so every counter means the same thing on either route.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ColGenStats {
-    /// Master LP solves.
+    /// Master LP solves (each is one re-optimization round).
     pub lp_solves: usize,
     /// Pricing calls answered by the source.
     pub pricing_calls: usize,
@@ -173,9 +212,19 @@ pub struct ColGenStats {
     pub columns_generated: usize,
     /// Restricted integer solves.
     pub ip_solves: usize,
-    /// Final LP relaxation value (a valid global lower bound once the LP
-    /// priced out); `NAN` if the master never reached optimality.
+    /// Final LP relaxation value — a valid global lower bound, recorded
+    /// only once the LP *priced out* (an exact empty reply under the true
+    /// duals). `NAN` if the run ended before that point, including when
+    /// the round budget ran out: the restricted value then bounds nothing.
     pub lp_bound: f64,
+    /// Simplex pivots across all master solves (dense and revised alike).
+    pub master_pivots: usize,
+    /// Master solves whose optimum still carried artificial mass — rounds
+    /// where the restricted pool could not yet form a fractional cover.
+    pub artificial_rounds: usize,
+    /// Smoothed pricing passes that returned nothing and fell back to the
+    /// true duals (Wentges mispricing events).
+    pub mispricings: usize,
 }
 
 /// The outcome of [`solve_column_generation`].
@@ -192,6 +241,18 @@ pub struct ColGenSolution {
     pub stats: ColGenStats,
 }
 
+/// How [`Pool::insert`] changed the pool — the live master mirrors each
+/// change (append the new column, or lower a held cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolChange {
+    /// A new member set entered at this column index.
+    Added(usize),
+    /// A known member set got strictly cheaper at this column index.
+    Cheaper(usize),
+    /// Duplicate at no better cost (or an empty member set): no change.
+    Unchanged,
+}
+
 /// The restricted-master pool: dedup by member set, cheapest cost wins.
 struct Pool {
     columns: Vec<(Vec<usize>, f64)>,
@@ -203,33 +264,137 @@ impl Pool {
         Pool { columns: Vec::new(), by_members: HashMap::new() }
     }
 
-    /// Inserts a column; returns whether the pool improved (new member set
-    /// or strictly cheaper cost for a known one). Empty member sets are
-    /// rejected — they cover nothing and the presolved IP drops them, so
-    /// admitting them would let the LP and IP disagree.
-    fn insert(&mut self, mut members: Vec<usize>, cost: f64) -> bool {
+    /// Inserts a column, reporting how the pool changed. Empty member sets
+    /// are rejected — they cover nothing and the presolved IP drops them,
+    /// so admitting them would let the LP and IP disagree.
+    fn insert(&mut self, mut members: Vec<usize>, cost: f64) -> PoolChange {
         members.sort_unstable();
         members.dedup();
         if members.is_empty() {
-            return false;
+            return PoolChange::Unchanged;
         }
         match self.by_members.entry(members) {
             std::collections::hash_map::Entry::Vacant(e) => {
                 let members = e.key().clone();
                 self.columns.push((members, cost));
                 e.insert(self.columns.len() - 1);
-                true
+                PoolChange::Added(self.columns.len() - 1)
             }
             std::collections::hash_map::Entry::Occupied(e) => {
-                let held = &mut self.columns[*e.get()].1;
+                let idx = *e.get();
+                let held = &mut self.columns[idx].1;
                 if cost < *held - 1e-12 {
                     *held = cost;
-                    true
+                    PoolChange::Cheaper(idx)
                 } else {
-                    false
+                    PoolChange::Unchanged
                 }
             }
         }
+    }
+}
+
+/// The live master LP behind the loop: either the incremental revised
+/// master, or a marker for the dense route (which rebuilds the model from
+/// the pool on every solve and therefore keeps no state).
+enum MasterState {
+    Dense,
+    Revised(Box<RevisedMaster>),
+}
+
+impl MasterState {
+    /// Mirrors one [`PoolChange`] into the live master.
+    fn apply(&mut self, pool: &Pool, change: PoolChange) {
+        let MasterState::Revised(master) = self else { return };
+        match change {
+            PoolChange::Added(idx) => {
+                let (members, cost) = &pool.columns[idx];
+                master.append_column(members, *cost);
+            }
+            PoolChange::Cheaper(idx) => master.update_cost(idx, pool.columns[idx].1),
+            PoolChange::Unchanged => {}
+        }
+    }
+
+    /// Re-optimizes the master, returning `(duals, objective, artificial
+    /// usage)`. One shared call site feeds the stats, so both engines
+    /// account rounds, pivots and artificial usage identically. `None`
+    /// only when the LP is unbounded/infeasible — unreachable for big-M
+    /// masters (mirrors the dense route's unreachable arms).
+    fn solve(
+        &mut self,
+        pool: &Pool,
+        num_elements: usize,
+        min_sets: Option<usize>,
+        max_sets: Option<usize>,
+        stats: &mut ColGenStats,
+    ) -> Option<(Vec<f64>, f64, f64)> {
+        stats.lp_solves += 1;
+        let warm: Option<MasterLp> = match self {
+            MasterState::Dense => None,
+            // A `None` here is a numeric failure even the cold restart
+            // could not clear; the dense rebuild below recovers exactly.
+            MasterState::Revised(master) => master.solve(),
+        };
+        let (duals, objective, art_usage) = match warm {
+            Some(lp) => {
+                stats.master_pivots += lp.pivots;
+                (lp.duals, lp.objective, lp.art_usage)
+            }
+            None => {
+                let (model, art_vars) = master_model(pool, num_elements, min_sets, max_sets);
+                let (result, pivots) = solve_lp_with_duals_counted(&model);
+                stats.master_pivots += pivots;
+                let (solution, duals) = match result {
+                    LpDualResult::Optimal { solution, duals } => (solution, duals),
+                    // Artificials keep the master primal-feasible and the
+                    // costs are nonnegative, so neither arm is reachable.
+                    LpDualResult::Infeasible | LpDualResult::Unbounded => return None,
+                };
+                let art_usage: f64 = art_vars.iter().map(|&v| solution.values[v]).sum();
+                (duals, solution.objective, art_usage)
+            }
+        };
+        if art_usage > ART_EPS {
+            stats.artificial_rounds += 1;
+        }
+        Some((duals, objective, art_usage))
+    }
+}
+
+/// Artificial mass above this means the restricted LP is not yet covering.
+const ART_EPS: f64 = 1e-6;
+
+/// Wentges smoothing state: a stability center `ŷ` blended into the raw
+/// duals before pricing.
+struct DualSmoother {
+    alpha: f64,
+    center: Option<Vec<f64>>,
+}
+
+impl DualSmoother {
+    fn new(alpha: f64) -> DualSmoother {
+        DualSmoother { alpha: alpha.clamp(0.0, 1.0 - 1e-9), center: None }
+    }
+
+    /// `ỹ = α·ŷ + (1−α)·y`; the first call seeds the center with `y`
+    /// itself (no history to smooth against).
+    fn smooth(&mut self, duals: &[f64]) -> Vec<f64> {
+        match &self.center {
+            Some(center) if center.len() == duals.len() => center
+                .iter()
+                .zip(duals)
+                .map(|(s, y)| self.alpha * s + (1.0 - self.alpha) * y)
+                .collect(),
+            _ => {
+                self.center = Some(duals.to_vec());
+                duals.to_vec()
+            }
+        }
+    }
+
+    fn set_center(&mut self, center: Vec<f64>) {
+        self.center = Some(center);
     }
 }
 
@@ -268,74 +433,130 @@ pub fn solve_column_generation(
     }
 
     let mut pool = Pool::new();
+    let mut master = match options.master {
+        MasterEngine::Dense => MasterState::Dense,
+        MasterEngine::Revised => {
+            MasterState::Revised(Box::new(RevisedMaster::new(num_elements, min_sets, max_sets)))
+        }
+    };
     for (members, cost) in initial {
-        if pool.insert(members.clone(), *cost) {
+        let change = pool.insert(members.clone(), *cost);
+        if change != PoolChange::Unchanged {
             stats.columns_generated += 1;
         }
+        master.apply(&pool, change);
     }
+    let mut smoother = options.smoothing.then(|| DualSmoother::new(options.smoothing_alpha));
 
     let mut rounds_left = options.max_rounds;
     let mut incumbent: Option<SetPartitionSolution> = None;
     loop {
-        // Inner loop: re-solve the master and price until the LP is
-        // optimal over the *full* implicit pool.
-        let (duals, per_set, z_lp, art_usage) = loop {
-            let (model, art_vars) = master_model(&pool, num_elements, min_sets, max_sets);
-            stats.lp_solves += 1;
-            let (solution, duals) = match solve_lp_with_duals(&model) {
-                LpDualResult::Optimal { solution, duals } => (solution, duals),
-                // Artificials keep the master primal-feasible and the
-                // costs are nonnegative, so neither arm is reachable.
-                LpDualResult::Infeasible | LpDualResult::Unbounded => return None,
-            };
-            let art_usage: f64 = art_vars.iter().map(|&v| solution.values[v]).sum();
-            let per_set: f64 = duals[num_elements..].iter().sum();
-            let prices = DualPrices { element: &duals[..num_elements], per_set };
+        // Inner loop: re-optimize the master and price until the LP is
+        // optimal over the *full* implicit pool (an exact empty reply
+        // under the true duals), or the round budget runs dry.
+        let (duals, z_lp, art_usage, budget_out) = loop {
+            let (duals, z_lp, art_usage) =
+                master.solve(&pool, num_elements, min_sets, max_sets, &mut stats)?;
             if rounds_left == 0 {
-                break (duals, per_set, solution.objective, art_usage);
+                break (duals, z_lp, art_usage, true);
             }
-            rounds_left -= 1;
-            stats.pricing_calls += 1;
             let request =
                 PricingRequest { threshold: -options.eps, max_columns: options.pricing_batch };
-            let fresh = price_into(&mut pool, source, &prices, &request, &mut stats);
-            if !fresh {
-                break (duals, per_set, solution.objective, art_usage);
+            // Smoothed pass first (when it actually differs): a hit keeps
+            // the loop moving and the blend becomes the new center; a miss
+            // is a Wentges misprice — reset the center to the true duals
+            // and let the exact pass below decide.
+            let mut outcome: Option<bool> = None;
+            if let Some(sm) = smoother.as_mut() {
+                let smoothed = sm.smooth(&duals);
+                if smoothed != duals {
+                    rounds_left -= 1;
+                    stats.pricing_calls += 1;
+                    let per_set: f64 = smoothed[num_elements..].iter().sum();
+                    let prices = DualPrices { element: &smoothed[..num_elements], per_set };
+                    if price_into(&mut pool, &mut master, source, &prices, &request, &mut stats) {
+                        sm.set_center(smoothed);
+                        outcome = Some(true);
+                    } else {
+                        stats.mispricings += 1;
+                        sm.set_center(duals.clone());
+                    }
+                }
+            }
+            if outcome.is_none() {
+                if rounds_left == 0 {
+                    break (duals, z_lp, art_usage, true);
+                }
+                rounds_left -= 1;
+                stats.pricing_calls += 1;
+                let per_set: f64 = duals[num_elements..].iter().sum();
+                let prices = DualPrices { element: &duals[..num_elements], per_set };
+                outcome =
+                    Some(price_into(&mut pool, &mut master, source, &prices, &request, &mut stats));
+            }
+            if outcome != Some(true) {
+                break (duals, z_lp, art_usage, false);
             }
         };
+        let per_set: f64 = duals[num_elements..].iter().sum();
         let prices = DualPrices { element: &duals[..num_elements], per_set };
 
-        if art_usage > 1e-6 {
+        if art_usage > ART_EPS {
+            if budget_out {
+                // Round budget exhausted while the master still leans on
+                // artificials: the source was never proven empty, so the
+                // instance is *not* known infeasible — degrade to a
+                // best-effort restricted solve instead of reporting `None`.
+                return degraded(num_elements, bounds, &pool, options, incumbent, stats);
+            }
             // The LP itself needs artificials: the restricted pool cannot
             // even form a fractional cover. Ask for everything that is
             // left; if the implicit pool is exhausted the instance is
             // infeasible (the LP relaxation over the full pool has no
             // solution, so neither has the IP).
-            if !exhaust(&mut pool, source, &prices, options, &mut rounds_left, &mut stats) {
-                return None;
+            match exhaust(
+                &mut pool,
+                &mut master,
+                source,
+                &prices,
+                options,
+                &mut rounds_left,
+                &mut stats,
+            ) {
+                Exhaust::Grew => continue,
+                Exhaust::ProvenEmpty => return None,
+                Exhaust::Budget => {
+                    return degraded(num_elements, bounds, &pool, options, incumbent, stats)
+                }
             }
-            continue;
         }
-        stats.lp_bound = z_lp;
+        if !budget_out {
+            // Only a priced-out LP value bounds the full problem; a
+            // budget-truncated restricted optimum bounds nothing.
+            stats.lp_bound = z_lp;
+        }
 
         // Restricted IP over the real columns.
-        let mut problem = SetPartitionProblem::new(num_elements);
-        problem.min_sets = min_sets;
-        problem.max_sets = max_sets;
-        problem.max_nodes = options.max_nodes;
-        for (members, cost) in &pool.columns {
-            problem.add_set(members.clone(), *cost);
-        }
         stats.ip_solves += 1;
-        match problem.solve_presolved(options.engine, &options.presolve) {
+        match restricted_ip(num_elements, bounds, &pool, options) {
             None => {
                 // LP-feasible but no integer cover in the restricted pool
                 // (cardinality bounds, parity…): only the full pool can
                 // decide, so fall back to exhaustive pricing.
-                if !exhaust(&mut pool, source, &prices, options, &mut rounds_left, &mut stats) {
-                    return incumbent.map(|s| finish(s, &pool, false, stats));
+                match exhaust(
+                    &mut pool,
+                    &mut master,
+                    source,
+                    &prices,
+                    options,
+                    &mut rounds_left,
+                    &mut stats,
+                ) {
+                    Exhaust::Grew => continue,
+                    Exhaust::ProvenEmpty | Exhaust::Budget => {
+                        return incumbent.map(|s| finish(s, &pool, false, stats))
+                    }
                 }
-                continue;
             }
             Some(solution) => {
                 let proven = solution.proven_optimal;
@@ -343,7 +564,7 @@ pub fn solve_column_generation(
                 if better {
                     incumbent = Some(solution.clone());
                 }
-                if !proven || rounds_left == 0 {
+                if !proven || rounds_left == 0 || budget_out {
                     let best = incumbent.expect("incumbent was just set or better");
                     return Some(finish(best, &pool, false, stats));
                 }
@@ -355,13 +576,16 @@ pub fn solve_column_generation(
                 // Any cover cheaper than the incumbent is built entirely
                 // from columns pricing below the gap (all reduced costs
                 // are ≥ −eps after convergence and they sum to < gap).
+                // Gap closing always prices with the *true* duals — the
+                // optimality certificate cannot rest on a smoothed vector.
                 rounds_left -= 1;
                 stats.pricing_calls += 1;
                 let request = PricingRequest {
                     threshold: gap + options.eps,
                     max_columns: options.pricing_batch,
                 };
-                let fresh = price_into(&mut pool, source, &prices, &request, &mut stats);
+                let fresh =
+                    price_into(&mut pool, &mut master, source, &prices, &request, &mut stats);
                 if !fresh {
                     let best = incumbent.expect("incumbent was just set or better");
                     return Some(finish(best, &pool, true, stats));
@@ -369,6 +593,52 @@ pub fn solve_column_generation(
             }
         }
     }
+}
+
+/// The restricted IP over the current pool.
+fn restricted_ip(
+    num_elements: usize,
+    bounds: (Option<usize>, Option<usize>),
+    pool: &Pool,
+    options: &ColGenOptions,
+) -> Option<SetPartitionSolution> {
+    let mut problem = SetPartitionProblem::new(num_elements);
+    problem.min_sets = bounds.0;
+    problem.max_sets = bounds.1;
+    problem.max_nodes = options.max_nodes;
+    for (members, cost) in &pool.columns {
+        problem.add_set(members.clone(), *cost);
+    }
+    problem.solve_presolved(options.engine, &options.presolve)
+}
+
+/// Best-effort exit when the round budget died before the master shed its
+/// artificials: the source was never proven empty, so `None` would wrongly
+/// report a (possibly feasible) instance as infeasible. Solve the
+/// restricted IP over whatever the pool holds; any cover it finds — or a
+/// better earlier incumbent — returns unproven.
+fn degraded(
+    num_elements: usize,
+    bounds: (Option<usize>, Option<usize>),
+    pool: &Pool,
+    options: &ColGenOptions,
+    incumbent: Option<SetPartitionSolution>,
+    mut stats: ColGenStats,
+) -> Option<ColGenSolution> {
+    stats.ip_solves += 1;
+    let solution = match (restricted_ip(num_elements, bounds, pool, options), incumbent) {
+        (Some(found), Some(inc)) => {
+            if found.cost < inc.cost - 1e-12 {
+                found
+            } else {
+                inc
+            }
+        }
+        (Some(found), None) => found,
+        (None, Some(inc)) => inc,
+        (None, None) => return None,
+    };
+    Some(finish(solution, pool, false, stats))
 }
 
 /// Builds the restricted master LP: exactly-one rows per element, the
@@ -407,10 +677,11 @@ fn master_model(
     (model, art_vars)
 }
 
-/// One pricing call folded into the pool; returns whether anything new
-/// (or cheaper) arrived.
+/// One pricing call folded into the pool (and mirrored into the live
+/// master); returns whether anything new (or cheaper) arrived.
 fn price_into(
     pool: &mut Pool,
+    master: &mut MasterState,
     source: &mut dyn ColumnSource,
     prices: &DualPrices<'_>,
     request: &PricingRequest,
@@ -418,24 +689,40 @@ fn price_into(
 ) -> bool {
     let mut fresh = false;
     for (members, cost) in source.price(prices, request) {
-        if pool.insert(members, cost) {
+        let change = pool.insert(members, cost);
+        if change != PoolChange::Unchanged {
             stats.columns_generated += 1;
             fresh = true;
         }
+        master.apply(pool, change);
     }
     fresh
 }
 
-/// Prices with an infinite threshold until the source is exhausted.
-/// Returns whether the pool grew at all.
+/// How a call to [`exhaust`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Exhaust {
+    /// The pool grew; re-solve the master and try again.
+    Grew,
+    /// The source replied empty without growing the pool: the implicit
+    /// pool holds nothing beyond what the master already has — a *proof*.
+    ProvenEmpty,
+    /// The round budget ran out first. Nothing was proven; callers must
+    /// not conclude infeasibility from this.
+    Budget,
+}
+
+/// Prices with an infinite threshold until the source is exhausted, the
+/// pool grows, or the budget runs out.
 fn exhaust(
     pool: &mut Pool,
+    master: &mut MasterState,
     source: &mut dyn ColumnSource,
     prices: &DualPrices<'_>,
     options: &ColGenOptions,
     rounds_left: &mut usize,
     stats: &mut ColGenStats,
-) -> bool {
+) -> Exhaust {
     let mut grew = false;
     while *rounds_left > 0 {
         *rounds_left -= 1;
@@ -444,16 +731,22 @@ fn exhaust(
             PricingRequest { threshold: f64::INFINITY, max_columns: options.pricing_batch };
         let reply = source.price(prices, &request);
         if reply.is_empty() {
-            return grew;
+            return if grew { Exhaust::Grew } else { Exhaust::ProvenEmpty };
         }
         for (members, cost) in reply {
-            if pool.insert(members, cost) {
+            let change = pool.insert(members, cost);
+            if change != PoolChange::Unchanged {
                 stats.columns_generated += 1;
                 grew = true;
             }
+            master.apply(pool, change);
         }
     }
-    grew
+    if grew {
+        Exhaust::Grew
+    } else {
+        Exhaust::Budget
+    }
 }
 
 /// Maps a restricted-pool solution back to its columns.
@@ -633,5 +926,109 @@ mod tests {
         assert_eq!(s.stats.columns_generated, 3);
         assert!(s.stats.lp_bound.is_finite());
         assert!(s.stats.lp_bound <= s.cost + 1e-9);
+        assert!(s.stats.master_pivots >= 1, "{:?}", s.stats);
+    }
+
+    fn colgen_with(
+        num_elements: usize,
+        bounds: (Option<usize>, Option<usize>),
+        pool: &[(&[usize], f64)],
+        initial: usize,
+        options: &ColGenOptions,
+    ) -> Option<ColGenSolution> {
+        let columns: Vec<(Vec<usize>, f64)> = pool.iter().map(|(m, c)| (m.to_vec(), *c)).collect();
+        let warm: Vec<(Vec<usize>, f64)> = columns[..initial].to_vec();
+        let mut source = EnumeratedColumnSource::new(columns);
+        solve_column_generation(num_elements, bounds, &warm, &mut source, options)
+    }
+
+    /// A borrowed test pool: element count plus `(members, cost)` columns.
+    type PoolSpec<'a> = (usize, &'a [(&'a [usize], f64)]);
+
+    /// Every (master engine × smoothing) combination returns the same
+    /// cost on the same instance — the four routes are interchangeable.
+    #[test]
+    fn engines_and_smoothing_agree_on_cost() {
+        let pools: &[PoolSpec<'_>] = &[
+            (3, &[(&[0], 1.0), (&[1], 1.0), (&[0, 1], 0.5), (&[0, 1, 2], 9.0), (&[2], 0.3)]),
+            (
+                3,
+                &[
+                    (&[0], 0.7),
+                    (&[1], 0.7),
+                    (&[2], 0.7),
+                    (&[0, 1], 1.0),
+                    (&[1, 2], 1.0),
+                    (&[0, 2], 1.0),
+                    (&[0, 1, 2], 1.55),
+                ],
+            ),
+            (4, &[(&[0, 1], 1.0), (&[2, 3], 1.0), (&[0, 1, 2, 3], 1.5), (&[1, 2], 0.4)]),
+        ];
+        for &(n, pool) in pools {
+            let mut costs = Vec::new();
+            for master in [MasterEngine::Revised, MasterEngine::Dense] {
+                for smoothing in [true, false] {
+                    let options = ColGenOptions { master, smoothing, ..ColGenOptions::default() };
+                    let s = colgen_with(n, (None, None), pool, 1, &options)
+                        .unwrap_or_else(|| panic!("{master:?}/{smoothing} found nothing"));
+                    assert!(s.proven_optimal, "{master:?}/{smoothing}: {s:?}");
+                    costs.push(s.cost);
+                }
+            }
+            for w in costs.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-9, "route costs diverge: {costs:?}");
+            }
+        }
+    }
+
+    /// Budget exhaustion while the master still runs on artificials must
+    /// degrade to a best-effort answer, not claim infeasibility: the
+    /// source was never proven empty. (Regression: the old loop returned
+    /// `None` here.)
+    #[test]
+    fn budget_exhaustion_during_bootstrap_is_not_infeasible() {
+        let pool: &[(&[usize], f64)] = &[(&[0], 1.0), (&[1], 1.0), (&[2], 1.0), (&[0, 1, 2], 1.5)];
+        // One round: enough to price *something* in, never enough to
+        // clear the artificials and prove anything.
+        let options = ColGenOptions { max_rounds: 1, ..ColGenOptions::default() };
+        let s = colgen_with(3, (None, None), pool, 0, &options)
+            .expect("feasible instance must not degrade to None");
+        assert!(!s.proven_optimal, "{s:?}");
+        assert!(s.stats.lp_bound.is_nan(), "truncated run has no valid bound: {:?}", s.stats);
+        // Zero rounds with a warm cover: no pricing ever happens, yet the
+        // restricted IP still answers — unproven, budget-bound.
+        let options = ColGenOptions { max_rounds: 0, ..ColGenOptions::default() };
+        let s = colgen_with(3, (None, None), pool, 4, &options).expect("warm cover exists");
+        assert!(!s.proven_optimal, "{s:?}");
+        assert!((s.cost - 1.5).abs() < 1e-9, "{s:?}");
+    }
+
+    /// The artificial bootstrap is counted once per master solve that
+    /// still carries artificial mass, on either engine.
+    #[test]
+    fn artificial_rounds_counted_on_both_engines() {
+        let pool: &[(&[usize], f64)] = &[(&[0, 1], 1.0), (&[2], 0.5)];
+        for master in [MasterEngine::Revised, MasterEngine::Dense] {
+            let options = ColGenOptions { master, ..ColGenOptions::default() };
+            let s = colgen_with(3, (None, None), pool, 0, &options).unwrap();
+            assert!(s.stats.artificial_rounds >= 1, "{master:?}: {:?}", s.stats);
+            assert!(s.stats.lp_bound.is_finite(), "{master:?}: {:?}", s.stats);
+        }
+    }
+
+    /// α = 0 degenerates smoothing to the exact duals: identical stats to
+    /// the unsmoothed run (no misprice can ever occur because the blend
+    /// equals the true vector and the smoothed pass is skipped).
+    #[test]
+    fn zero_alpha_smoothing_is_inert() {
+        let pool: &[(&[usize], f64)] =
+            &[(&[0], 1.0), (&[1], 1.0), (&[0, 1], 0.5), (&[0, 1, 2], 9.0), (&[2], 0.3)];
+        let smoothed = ColGenOptions { smoothing_alpha: 0.0, ..ColGenOptions::default() };
+        let plain = ColGenOptions { smoothing: false, ..ColGenOptions::default() };
+        let a = colgen_with(3, (None, None), pool, 2, &smoothed).unwrap();
+        let b = colgen_with(3, (None, None), pool, 2, &plain).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.columns, b.columns);
     }
 }

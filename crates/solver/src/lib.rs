@@ -16,7 +16,11 @@
 //!   so results can be cross-validated against each other;
 //! * [`mod@presolve`] — exact reductions (duplicate dedup, element dominance,
 //!   mandatory fixing) and connected-component decomposition, plus greedy
-//!   warm starts and LP/share lower bounds threaded into both engines.
+//!   warm starts and LP/share lower bounds threaded into both engines;
+//! * [`revised`] — a sparse revised simplex (CSC columns, LU + eta-file
+//!   basis) whose incremental `revised::RevisedMaster` warm-starts the
+//!   column-generation master in [`colgen`] instead of rebuilding the
+//!   tableau every round.
 //!
 //! Both engines are exact: on feasible instances they return provably
 //! optimal solutions (the test suite cross-validates them against each
@@ -29,13 +33,14 @@ pub mod colgen;
 pub mod dlx;
 pub mod model;
 pub mod presolve;
+pub mod revised;
 pub mod setpart;
 pub mod simplex;
 
 pub use branch_bound::{solve_binary_program, BnbOptions, BnbResult};
 pub use colgen::{
     solve_column_generation, ColGenOptions, ColGenSolution, ColGenStats, ColumnSource, DualPrices,
-    EnumeratedColumnSource, PricingRequest,
+    EnumeratedColumnSource, MasterEngine, PricingRequest,
 };
 pub use dlx::{CoverOutcome, ExactCover, SolveParams};
 pub use model::{LinearConstraint, Model, Sense};
@@ -43,5 +48,6 @@ pub use presolve::{
     presolve, Component, DecompositionStatus, FrontierOutcome, PresolveOptions, PresolveOutcome,
     PresolveStats, ReducedProblem,
 };
+pub use revised::solve_lp_with_duals_revised;
 pub use setpart::{SetPartitionProblem, SetPartitionSolution, SolveEngine};
 pub use simplex::{solve_lp, solve_lp_with_duals, LpDualResult, LpResult, LpSolution};

@@ -1,0 +1,916 @@
+//! Sparse revised simplex over CSC columns with an LU/eta-file basis.
+//!
+//! The dense tableau in [`crate::simplex`] carries the whole `B⁻¹A` image
+//! and rewrites it on every pivot — `O(rows × cols)` per iteration, which
+//! is exactly the term that dominates large column-generation masters
+//! (tens of rows, thousands of appended columns). The revised method keeps
+//! the columns in their original sparse form and maintains only a
+//! factorization of the current basis `B`:
+//!
+//! * **columns** live in a compressed sparse column store — a
+//!   set-partitioning column touches just its member rows;
+//! * the **basis** is held as a dense LU of some earlier basis `B₀`
+//!   ([`gecco_linalg::LuFactors`], `P·B₀ = L·U`) plus a product-form *eta
+//!   file*: after `k` pivots, `B_k = B₀·E₁·…·E_k` where `E_i` is the
+//!   identity with one column replaced by the FTRAN image of the entering
+//!   column;
+//! * **pricing** solves `yᵀB = c_B` (BTRAN: eta transforms in reverse,
+//!   then the LU transpose solve) and scans reduced costs against the
+//!   *original* sparse columns; the **ratio test** needs one FTRAN of the
+//!   entering column. A pivot costs `O(rows² + nnz)` instead of
+//!   `O(rows × cols)`.
+//!
+//! Determinism discipline: the eta file is rebuilt into a fresh LU after a
+//! **fixed count** of pivots (`REFACTOR_ETAS`) — never on a timer or an
+//! error estimate — so a given column/basis history always factors, prices
+//! and pivots identically. The anti-cycling rules are carried over verbatim
+//! from the dense tableau (see [`crate::simplex`]): Dantzig's most-negative
+//! entering rule while the solve makes primal progress, Bland's
+//! smallest-index rule inside degenerate stalls, ratios snapped to exact
+//! zero below `DEGENERATE_RATIO`, leaving ties broken by smallest basis
+//! index, and a stall backstop that widens the entering tolerance tenfold
+//! after `STALL_LIMIT` zero-progress pivots.
+//!
+//! Two entry points: `RevisedMaster` is the incremental restricted
+//! master for [`crate::colgen`] — columns append between re-optimizations
+//! and the previous optimal basis warm-starts the next solve — and
+//! [`solve_lp_with_duals_revised`] is a generic two-phase solve used as a
+//! differential mirror of [`crate::simplex::solve_lp_with_duals`].
+
+use crate::model::{Model, Sense};
+use crate::simplex::{LpDualResult, LpSolution};
+use gecco_linalg::LuFactors;
+
+const EPS: f64 = 1e-9;
+
+/// Same role as [`crate::simplex`]'s constant: ratios below this snap to
+/// exactly `0.0` so Bland's tie-break sees exact ties, not round-off noise.
+const DEGENERATE_RATIO: f64 = 1e-9;
+
+/// Zero-progress pivots tolerated before the entering tolerance widens.
+const STALL_LIMIT: u32 = 1_000;
+
+/// Eta-file length that triggers a refactorization. A fixed count keeps
+/// the trigger deterministic (no clocks, no error estimates) and bounds
+/// both FTRAN/BTRAN cost and drift: 64 etas over ≤ a few hundred rows is
+/// well inside the regime where product-form updates stay accurate.
+const REFACTOR_ETAS: usize = 64;
+
+/// Pivots below this magnitude make a basis numerically singular.
+const SINGULAR: f64 = 1e-11;
+
+/// Compressed sparse column store with per-column objective costs.
+#[derive(Debug, Clone, Default)]
+struct ColumnStore {
+    ptr: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+    costs: Vec<f64>,
+}
+
+impl ColumnStore {
+    fn new() -> ColumnStore {
+        ColumnStore { ptr: vec![0], rows: Vec::new(), vals: Vec::new(), costs: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Appends a column; `entries` are `(row, coefficient)` pairs with
+    /// distinct rows. Returns the new column's index.
+    fn push(&mut self, cost: f64, entries: &[(usize, f64)]) -> usize {
+        for &(r, v) in entries {
+            self.rows.push(r);
+            self.vals.push(v);
+        }
+        self.ptr.push(self.rows.len());
+        self.costs.push(cost);
+        self.costs.len() - 1
+    }
+
+    #[inline]
+    fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.ptr[j], self.ptr[j + 1]);
+        (&self.rows[lo..hi], &self.vals[lo..hi])
+    }
+}
+
+/// One product-form update: the basis gained column `d` (the FTRAN image
+/// of the entering column) in position `row`.
+#[derive(Debug, Clone)]
+struct Eta {
+    row: usize,
+    d: Vec<f64>,
+}
+
+/// `B = B₀·E₁·…·E_k` with `B₀` held as LU factors.
+#[derive(Debug)]
+struct Factorization {
+    lu: LuFactors,
+    etas: Vec<Eta>,
+}
+
+impl Factorization {
+    /// Factorizes the basis columns `basis` of `cols` (an `m×m` system).
+    /// `None` when the basis is singular to working precision.
+    fn build(m: usize, cols: &ColumnStore, basis: &[usize]) -> Option<Factorization> {
+        debug_assert_eq!(basis.len(), m);
+        let mut dense = vec![0.0; m * m];
+        for (r, &j) in basis.iter().enumerate() {
+            let (rows, vals) = cols.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                dense[i * m + r] = v;
+            }
+        }
+        let lu = LuFactors::factorize(m, dense, SINGULAR)?;
+        Some(Factorization { lu, etas: Vec::new() })
+    }
+
+    /// FTRAN: solves `B·x = b` in place (`x` enters as `b`).
+    fn ftran(&self, x: &mut [f64]) {
+        self.lu.solve(x);
+        for eta in &self.etas {
+            let p = eta.row;
+            let t = x[p] / eta.d[p];
+            if t != 0.0 {
+                for (i, &d) in eta.d.iter().enumerate() {
+                    if i != p {
+                        x[i] -= d * t;
+                    }
+                }
+            }
+            x[p] = t;
+        }
+    }
+
+    /// BTRAN: solves `yᵀ·B = c` in place (`y` enters as `c`). Eta
+    /// transforms apply in reverse order, then the LU transpose solve.
+    fn btran(&self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let p = eta.row;
+            let mut s = y[p];
+            for (i, &d) in eta.d.iter().enumerate() {
+                if i != p {
+                    s -= y[i] * d;
+                }
+            }
+            y[p] = s / eta.d[p];
+        }
+        self.lu.solve_transpose(y);
+    }
+}
+
+/// Outcome of one [`RevisedSimplex::optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Optimal,
+    Unbounded,
+    /// A refactorization failed — the maintained basis drifted singular.
+    /// Callers recover by restarting from a known-good basis.
+    Singular,
+}
+
+/// The revised-simplex engine: sparse columns, a factored basis, and the
+/// dense tableau's pivoting discipline.
+struct RevisedSimplex {
+    m: usize,
+    cols: ColumnStore,
+    rhs: Vec<f64>,
+    /// `basis[r]` is the column basic in row `r`.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Basic variable values by row (`B⁻¹·rhs`, maintained per pivot).
+    x_b: Vec<f64>,
+    factor: Option<Factorization>,
+    /// Pivots performed across all `optimize` calls.
+    pivots: usize,
+}
+
+impl RevisedSimplex {
+    fn new(rhs: Vec<f64>) -> RevisedSimplex {
+        let m = rhs.len();
+        RevisedSimplex {
+            m,
+            cols: ColumnStore::new(),
+            rhs,
+            basis: Vec::new(),
+            in_basis: Vec::new(),
+            x_b: vec![0.0; m],
+            factor: None,
+            pivots: 0,
+        }
+    }
+
+    fn add_column(&mut self, cost: f64, entries: &[(usize, f64)]) -> usize {
+        self.in_basis.push(false);
+        self.cols.push(cost, entries)
+    }
+
+    /// Installs `basis` (factorize + recompute `x_b`). `false` on a
+    /// singular basis.
+    fn set_basis(&mut self, basis: Vec<usize>) -> bool {
+        for flag in self.in_basis.iter_mut() {
+            *flag = false;
+        }
+        for &j in &basis {
+            self.in_basis[j] = true;
+        }
+        self.basis = basis;
+        self.refactor()
+    }
+
+    /// Rebuilds the LU from the current basis columns and recomputes
+    /// `x_b` from scratch, clearing accumulated eta-file drift.
+    fn refactor(&mut self) -> bool {
+        match Factorization::build(self.m, &self.cols, &self.basis) {
+            Some(factor) => {
+                self.x_b.copy_from_slice(&self.rhs);
+                factor.ftran(&mut self.x_b);
+                self.factor = Some(factor);
+                true
+            }
+            None => {
+                self.factor = None;
+                false
+            }
+        }
+    }
+
+    /// Runs simplex iterations for the objective `costs` (one entry per
+    /// column), considering only columns below `allow` for entry. The
+    /// anti-cycling discipline is the dense tableau's, verbatim; see the
+    /// module docs.
+    fn optimize(&mut self, costs: &[f64], allow: usize) -> Status {
+        debug_assert_eq!(costs.len(), self.cols.len());
+        let m = self.m;
+        let allow = allow.min(self.cols.len());
+        let mut tolerance = EPS;
+        let mut stalled = 0u32;
+        loop {
+            let Some(factor) = &self.factor else { return Status::Singular };
+            // BTRAN: y = B⁻ᵀ·c_B, then price the sparse columns.
+            let mut y = vec![0.0; m];
+            for (r, &j) in self.basis.iter().enumerate() {
+                y[r] = costs[j];
+            }
+            factor.btran(&mut y);
+            let bland = stalled > 0;
+            let mut entering = None;
+            let mut most_negative = -tolerance;
+            for (j, &cost) in costs.iter().enumerate().take(allow) {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let (rows, vals) = self.cols.col(j);
+                let mut reduced = cost;
+                for (&i, &v) in rows.iter().zip(vals) {
+                    reduced -= y[i] * v;
+                }
+                if reduced < most_negative {
+                    entering = Some(j);
+                    if bland {
+                        break; // Bland: smallest index
+                    }
+                    most_negative = reduced; // Dantzig: most negative
+                }
+            }
+            let Some(pc) = entering else { return Status::Optimal };
+            // FTRAN the entering column into the current basis frame.
+            let mut d = vec![0.0; m];
+            let (rows, vals) = self.cols.col(pc);
+            for (&i, &v) in rows.iter().zip(vals) {
+                d[i] = v;
+            }
+            factor.ftran(&mut d);
+            // Ratio test with the dense tableau's degenerate-tie handling.
+            let mut pivot_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (r, &coeff) in d.iter().enumerate() {
+                if coeff > EPS {
+                    let ratio = self.x_b[r] / coeff;
+                    let ratio = if ratio < DEGENERATE_RATIO { 0.0 } else { ratio };
+                    let better = match pivot_row {
+                        None => true,
+                        Some(pr) => {
+                            ratio < best_ratio
+                                || (ratio == best_ratio && self.basis[r] < self.basis[pr])
+                        }
+                    };
+                    if better {
+                        best_ratio = ratio;
+                        pivot_row = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = pivot_row else { return Status::Unbounded };
+            self.apply_pivot(pr, pc, d);
+            if best_ratio > 0.0 {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= STALL_LIMIT {
+                    stalled = 0;
+                    tolerance *= 10.0;
+                }
+            }
+            if self.factor.as_ref().is_some_and(|f| f.etas.len() >= REFACTOR_ETAS)
+                && !self.refactor()
+            {
+                return Status::Singular;
+            }
+        }
+    }
+
+    /// Performs the basis exchange at `(pr, pc)` where `d` is the FTRAN
+    /// image of column `pc`: updates `x_b`, the basis maps, and the eta
+    /// file.
+    fn apply_pivot(&mut self, pr: usize, pc: usize, d: Vec<f64>) {
+        debug_assert!(d[pr].abs() > EPS, "pivot on ~0 element");
+        let t = self.x_b[pr] / d[pr];
+        for (r, &dr) in d.iter().enumerate() {
+            if r != pr {
+                self.x_b[r] -= dr * t;
+            }
+        }
+        self.x_b[pr] = t;
+        self.in_basis[self.basis[pr]] = false;
+        self.in_basis[pc] = true;
+        self.basis[pr] = pc;
+        if let Some(factor) = &mut self.factor {
+            factor.etas.push(Eta { row: pr, d });
+        }
+        self.pivots += 1;
+    }
+
+    /// Value of column `j` in the current basic solution, clamped at zero
+    /// like the dense tableau's read-off.
+    fn value(&self, j: usize) -> f64 {
+        if !self.in_basis[j] {
+            return 0.0;
+        }
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b == j {
+                return self.x_b[r].max(0.0);
+            }
+        }
+        0.0
+    }
+
+    /// Duals of the current basis under `costs`: `y = B⁻ᵀ·c_B`.
+    fn duals(&self, costs: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            y[r] = costs[j];
+        }
+        if let Some(factor) = &self.factor {
+            factor.btran(&mut y);
+        }
+        y
+    }
+}
+
+/// One master re-optimization's results, in the dense route's shapes: the
+/// duals are ordered element rows first, then the cardinality rows.
+#[derive(Debug, Clone)]
+pub(crate) struct MasterLp {
+    pub duals: Vec<f64>,
+    pub objective: f64,
+    /// Total artificial mass in the optimum (`> 0` means the restricted
+    /// pool cannot yet form a fractional cover).
+    pub art_usage: f64,
+    /// Simplex pivots this solve took.
+    pub pivots: usize,
+}
+
+/// The incremental restricted master for column generation: the
+/// set-partitioning LP of [`crate::colgen`] (exactly-one rows, optional
+/// cardinality rows, one big-M artificial per element) held live across
+/// pricing rounds. [`Self::append_column`] adds priced columns without
+/// touching the basis — new columns enter nonbasic at zero, so the
+/// previous optimal basis stays primal-feasible and [`Self::solve`]
+/// re-optimizes from it (warm start) instead of rebuilding anything.
+pub(crate) struct RevisedMaster {
+    simplex: RevisedSimplex,
+    num_elements: usize,
+    /// Simplex column index per artificial (element order).
+    art_cols: Vec<usize>,
+    /// Simplex column index per pool column (append order).
+    structural: Vec<usize>,
+    /// The always-feasible bootstrap basis (artificials + cardinality
+    /// slack/surplus) — the cold-start and numeric-recovery point.
+    initial_basis: Vec<usize>,
+}
+
+impl RevisedMaster {
+    /// Builds the empty master. Caller guarantees `num_elements > 0` and
+    /// `min_sets ≤ num_elements` (the colgen driver's early-outs).
+    pub(crate) fn new(
+        num_elements: usize,
+        min_sets: Option<usize>,
+        max_sets: Option<usize>,
+    ) -> RevisedMaster {
+        let n = num_elements;
+        let mut rhs: Vec<f64> = vec![1.0; n];
+        let max_row = max_sets.map(|max| {
+            rhs.push(max as f64);
+            rhs.len() - 1
+        });
+        let min_row = min_sets.map(|min| {
+            rhs.push(min as f64);
+            rhs.len() - 1
+        });
+        let mut simplex = RevisedSimplex::new(rhs);
+        // Artificials mirror the dense master: the element's cover row and
+        // the minimum row, never the maximum row. Costs are set per solve
+        // (big-M tracks the pool's cost scale).
+        let art_cols: Vec<usize> = (0..n)
+            .map(|e| {
+                let mut entries = vec![(e, 1.0)];
+                if let Some(r) = min_row {
+                    entries.push((r, 1.0));
+                }
+                simplex.add_column(0.0, &entries)
+            })
+            .collect();
+        let mut initial_basis = art_cols.clone();
+        if let Some(r) = max_row {
+            initial_basis.push(simplex.add_column(0.0, &[(r, 1.0)]));
+        }
+        if let Some(r) = min_row {
+            initial_basis.push(simplex.add_column(0.0, &[(r, -1.0)]));
+        }
+        let ok = simplex.set_basis(initial_basis.clone());
+        debug_assert!(ok, "bootstrap basis is triangular, never singular");
+        RevisedMaster { simplex, num_elements, art_cols, structural: Vec::new(), initial_basis }
+    }
+
+    /// Appends a pool column (`members` are dense element ids, sorted and
+    /// distinct). The column joins nonbasic at zero — the current basis,
+    /// and with it the warm start, is untouched.
+    pub(crate) fn append_column(&mut self, members: &[usize], cost: f64) {
+        let mut entries: Vec<(usize, f64)> = members.iter().map(|&e| (e, 1.0)).collect();
+        // Cardinality rows: every structural column counts once in each.
+        for r in self.num_elements..self.simplex.m {
+            entries.push((r, 1.0));
+        }
+        let col = self.simplex.add_column(cost, &entries);
+        self.structural.push(col);
+    }
+
+    /// Lowers the cost of pool column `idx` (a cheaper duplicate arrived).
+    pub(crate) fn update_cost(&mut self, idx: usize, cost: f64) {
+        let col = self.structural[idx];
+        self.simplex.cols.costs[col] = cost;
+    }
+
+    /// Re-optimizes from the current basis. `None` only on numeric
+    /// failure that even a cold restart cannot clear, or on unboundedness
+    /// — both unreachable for well-formed masters (the caller falls back
+    /// to the dense route, keeping the run exact either way).
+    pub(crate) fn solve(&mut self) -> Option<MasterLp> {
+        // Big-M mirrors the dense master_model: recomputed from the
+        // current pool every solve so appended columns can never out-scale
+        // the artificials.
+        let max_cost =
+            self.structural.iter().map(|&j| self.simplex.cols.costs[j].abs()).fold(1.0, f64::max);
+        let big_m = 10.0 * max_cost * (self.num_elements as f64 + 1.0);
+        for &j in &self.art_cols {
+            self.simplex.cols.costs[j] = big_m;
+        }
+        let costs = self.simplex.cols.costs.clone();
+        let before = self.simplex.pivots;
+        let mut status = self.simplex.optimize(&costs, usize::MAX);
+        if status == Status::Singular {
+            // The maintained basis drifted singular: cold-restart from the
+            // bootstrap basis, which is triangular and always factors.
+            if self.simplex.set_basis(self.initial_basis.clone()) {
+                status = self.simplex.optimize(&costs, usize::MAX);
+            }
+        }
+        if status != Status::Optimal {
+            return None;
+        }
+        let duals = self.simplex.duals(&costs);
+        // Objective and artificial usage in the dense model's variable
+        // order (pool columns, then artificials), so the float sums match
+        // the oracle's shapes.
+        let mut objective = 0.0;
+        for &j in &self.structural {
+            objective += costs[j] * self.simplex.value(j);
+        }
+        let mut art_usage = 0.0;
+        for &j in &self.art_cols {
+            let v = self.simplex.value(j);
+            objective += costs[j] * v;
+            art_usage += v;
+        }
+        Some(MasterLp { duals, objective, art_usage, pivots: self.simplex.pivots - before })
+    }
+}
+
+/// Two-phase revised-simplex solve of `model`, mirroring
+/// [`crate::simplex::solve_lp_with_duals`]: same normalization (negative
+/// RHS rows flip), same phase structure (artificials minimized first, then
+/// driven out of the basis, then barred), same dual read-off orientation.
+/// The dense tableau stays the oracle; this entry point exists so the two
+/// engines can be differential-tested against each other on arbitrary LPs,
+/// not just set-partitioning masters.
+pub fn solve_lp_with_duals_revised(model: &Model) -> LpDualResult {
+    let m = model.constraints().len();
+    let n = model.num_vars();
+    let mut rhs = Vec::with_capacity(m);
+    let mut row_flip = vec![false; m];
+    let mut senses = Vec::with_capacity(m);
+    for (r, con) in model.constraints().iter().enumerate() {
+        let mut b = con.rhs;
+        if b < 0.0 {
+            row_flip[r] = true;
+            b = -b;
+        }
+        rhs.push(b);
+        let sense = match (con.sense, row_flip[r]) {
+            (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+            (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+            (Sense::Eq, _) => Sense::Eq,
+        };
+        senses.push(sense);
+    }
+    let mut simplex = RevisedSimplex::new(rhs);
+    // Structural columns 0..n, gathered row-wise then scattered per column.
+    let mut entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (r, con) in model.constraints().iter().enumerate() {
+        for &(v, coeff) in &con.terms {
+            entries[v].push((r, if row_flip[r] { -coeff } else { coeff }));
+        }
+    }
+    for (v, e) in entries.iter().enumerate() {
+        simplex.add_column(model.costs()[v], e);
+    }
+    // Slack/surplus columns, then one artificial per row (basic on Ge/Eq
+    // rows, mirroring the dense tableau's construction).
+    let mut basis = vec![usize::MAX; m];
+    for (r, &sense) in senses.iter().enumerate() {
+        match sense {
+            Sense::Le => {
+                basis[r] = simplex.add_column(0.0, &[(r, 1.0)]);
+            }
+            Sense::Ge => {
+                simplex.add_column(0.0, &[(r, -1.0)]);
+            }
+            Sense::Eq => {}
+        }
+    }
+    let art_start = simplex.cols.len();
+    for (r, &sense) in senses.iter().enumerate() {
+        let art = simplex.add_column(0.0, &[(r, 1.0)]);
+        if !matches!(sense, Sense::Le) {
+            basis[r] = art;
+        }
+    }
+    let total = simplex.cols.len();
+    if !simplex.set_basis(basis) {
+        // The start basis is diagonal; this cannot happen.
+        return LpDualResult::Infeasible;
+    }
+    // Phase 1: minimize artificial mass.
+    let mut phase1 = vec![0.0; total];
+    for slot in phase1.iter_mut().skip(art_start) {
+        *slot = 1.0;
+    }
+    if simplex.optimize(&phase1, total) != Status::Optimal {
+        // Bounded below by 0 and the start basis never drifts singular
+        // before a first refactorization at our sizes.
+        return LpDualResult::Infeasible;
+    }
+    let art_value: f64 = simplex
+        .basis
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b >= art_start)
+        .map(|(r, _)| simplex.x_b[r])
+        .sum();
+    if art_value > 1e-7 {
+        return LpDualResult::Infeasible;
+    }
+    // Drive degenerate artificials out: row r of B⁻¹A is eᵣᵀB⁻¹ (one
+    // BTRAN of a unit vector) dotted with each original column.
+    for r in 0..m {
+        if simplex.basis[r] < art_start {
+            continue;
+        }
+        let mut row = vec![0.0; m];
+        row[r] = 1.0;
+        if let Some(factor) = &simplex.factor {
+            factor.btran(&mut row);
+        }
+        let pc = (0..art_start).find(|&j| {
+            if simplex.in_basis[j] {
+                return false;
+            }
+            let (rows, vals) = simplex.cols.col(j);
+            let dot: f64 = rows.iter().zip(vals).map(|(&i, &v)| row[i] * v).sum();
+            dot.abs() > EPS
+        });
+        if let Some(pc) = pc {
+            let mut d = vec![0.0; m];
+            let (rows, vals) = simplex.cols.col(pc);
+            for (&i, &v) in rows.iter().zip(vals) {
+                d[i] = v;
+            }
+            if let Some(factor) = &simplex.factor {
+                factor.ftran(&mut d);
+            }
+            simplex.apply_pivot(r, pc, d);
+        }
+        // A zero row means the constraint was redundant; the artificial
+        // stays basic at zero, which the phase-2 bar tolerates.
+    }
+    // Phase 2: the true objective; artificials are barred from entering.
+    let mut phase2 = vec![0.0; total];
+    phase2[..n].copy_from_slice(model.costs());
+    match simplex.optimize(&phase2, art_start) {
+        Status::Optimal => {}
+        Status::Unbounded => return LpDualResult::Unbounded,
+        Status::Singular => return LpDualResult::Infeasible,
+    }
+    let mut values = vec![0.0; n];
+    for (r, &j) in simplex.basis.iter().enumerate() {
+        if j < n {
+            values[j] = simplex.x_b[r].max(0.0);
+        }
+    }
+    let objective = model.objective(&values);
+    let duals: Vec<f64> = simplex
+        .duals(&phase2)
+        .into_iter()
+        .zip(&row_flip)
+        .map(|(y, &flip)| if flip { -y } else { y })
+        .collect();
+    LpDualResult::Optimal { solution: LpSolution { values, objective }, duals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve_lp_with_duals;
+
+    fn both(model: &Model) -> (LpDualResult, LpDualResult) {
+        (solve_lp_with_duals(model), solve_lp_with_duals_revised(model))
+    }
+
+    /// Asserts the two engines agree on feasibility and, when optimal, on
+    /// the objective; checks the revised duals satisfy strong duality and
+    /// dual feasibility against the model.
+    fn assert_engines_agree(model: &Model) {
+        let (dense, revised) = both(model);
+        match (&dense, &revised) {
+            (
+                LpDualResult::Optimal { solution: ds, .. },
+                LpDualResult::Optimal { solution: rs, duals },
+            ) => {
+                assert!(
+                    (ds.objective - rs.objective).abs() < 1e-6,
+                    "objectives differ: {} vs {}",
+                    ds.objective,
+                    rs.objective
+                );
+                assert!(model.is_feasible(&rs.values, 1e-6), "revised primal infeasible");
+                let yb: f64 = model.constraints().iter().zip(duals).map(|(c, y)| c.rhs * y).sum();
+                assert!((yb - rs.objective).abs() < 1e-6, "strong duality: {yb} vs {rs:?}");
+                for j in 0..model.num_vars() {
+                    let mut reduced = model.costs()[j];
+                    for (con, y) in model.constraints().iter().zip(duals) {
+                        for &(v, coeff) in &con.terms {
+                            if v == j {
+                                reduced -= y * coeff;
+                            }
+                        }
+                    }
+                    assert!(reduced > -1e-6, "column {j} prices negative: {reduced}");
+                }
+            }
+            (LpDualResult::Infeasible, LpDualResult::Infeasible) => {}
+            (LpDualResult::Unbounded, LpDualResult::Unbounded) => {}
+            other => panic!("engines disagree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_basic_shapes() {
+        // min x + 2y s.t. x + y = 1.
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        let y = m.add_var(2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 1.0);
+        assert_engines_agree(&m);
+
+        // Mixed senses: min 2x + 3y s.t. x + y ≥ 4, x ≤ 3, y ≥ 1.
+        let mut m = Model::new();
+        let x = m.add_var(2.0);
+        let y = m.add_var(3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 4.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Le, 3.0);
+        m.add_constraint(vec![(y, 1.0)], Sense::Ge, 1.0);
+        assert_engines_agree(&m);
+
+        // Negative RHS normalization: -x ≤ -2.
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_constraint(vec![(x, -1.0)], Sense::Le, -2.0);
+        assert_engines_agree(&m);
+    }
+
+    #[test]
+    fn matches_dense_on_infeasible_and_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Le, 1.0);
+        assert_engines_agree(&m);
+
+        let mut m = Model::new();
+        let x = m.add_var(-1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 0.0);
+        assert_engines_agree(&m);
+    }
+
+    #[test]
+    fn fractional_set_partitioning_duals() {
+        // The odd-cycle LP: optimum 1.5, unique duals (0.5, 0.5, 0.5).
+        let mut m = Model::new();
+        let s01 = m.add_var(1.0);
+        let s12 = m.add_var(1.0);
+        let s02 = m.add_var(1.0);
+        m.add_constraint(vec![(s01, 1.0), (s02, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(s01, 1.0), (s12, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint(vec![(s12, 1.0), (s02, 1.0)], Sense::Eq, 1.0);
+        match solve_lp_with_duals_revised(&m) {
+            LpDualResult::Optimal { solution, duals } => {
+                assert!((solution.objective - 1.5).abs() < 1e-7, "{solution:?}");
+                for y in duals {
+                    assert!((y - 0.5).abs() < 1e-7, "{y}");
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        let y = m.add_var(1.0);
+        for _ in 0..4 {
+            m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 1.0);
+        }
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        assert_engines_agree(&m);
+    }
+
+    #[test]
+    fn warm_started_master_matches_cold_after_each_append() {
+        // Append columns one by one; after each append the warm-started
+        // re-optimization must match a cold solve over the same pool.
+        let columns: &[(&[usize], f64)] = &[
+            (&[0], 1.0),
+            (&[1], 1.0),
+            (&[2], 0.9),
+            (&[0, 1], 1.4),
+            (&[1, 2], 0.8),
+            (&[0, 1, 2], 2.0),
+        ];
+        let mut warm = RevisedMaster::new(3, None, None);
+        for upto in 1..=columns.len() {
+            let (members, cost) = columns[upto - 1];
+            warm.append_column(members, cost);
+            let warm_lp = warm.solve().expect("master is always feasible");
+            let mut cold = RevisedMaster::new(3, None, None);
+            for &(m2, c2) in &columns[..upto] {
+                cold.append_column(m2, c2);
+            }
+            let cold_lp = cold.solve().expect("master is always feasible");
+            assert!(
+                (warm_lp.objective - cold_lp.objective).abs() < 1e-9,
+                "pool of {upto}: warm {} vs cold {}",
+                warm_lp.objective,
+                cold_lp.objective
+            );
+            assert!((warm_lp.art_usage - cold_lp.art_usage).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn master_with_cardinality_rows() {
+        // min-3/max-3 forces the three singletons even though the pair is
+        // cheaper per element.
+        let mut master = RevisedMaster::new(3, Some(3), Some(3));
+        master.append_column(&[0, 1], 0.5);
+        master.append_column(&[0], 0.4);
+        master.append_column(&[1], 0.4);
+        master.append_column(&[2], 0.4);
+        let lp = master.solve().expect("feasible");
+        assert!(lp.art_usage < 1e-9, "{lp:?}");
+        assert!((lp.objective - 1.2).abs() < 1e-7, "{lp:?}");
+    }
+
+    #[test]
+    fn empty_master_runs_on_artificials() {
+        let mut master = RevisedMaster::new(2, None, None);
+        let lp = master.solve().expect("artificials keep it feasible");
+        assert!(lp.art_usage > 1.0, "{lp:?}");
+        // Pure big-M duals price any real column attractive.
+        assert!(lp.duals[0] > 1.0 && lp.duals[1] > 1.0, "{lp:?}");
+    }
+
+    #[test]
+    fn refactorization_preserves_the_trajectory() {
+        // A master long enough to force several eta-file rebuilds: many
+        // appends with interleaved re-solves must stay consistent with a
+        // one-shot cold solve.
+        let n = 12;
+        let mut warm = RevisedMaster::new(n, None, None);
+        let mut all: Vec<(Vec<usize>, f64)> = Vec::new();
+        for a in 0..n {
+            for b in a..n {
+                let members: Vec<usize> = if a == b { vec![a] } else { vec![a, b] };
+                let cost = 1.0 + ((a * 7 + b * 3) % 5) as f64 * 0.21;
+                all.push((members, cost));
+            }
+        }
+        let mut last_warm = None;
+        for (members, cost) in &all {
+            warm.append_column(members, *cost);
+            last_warm = Some(warm.solve().expect("feasible").objective);
+        }
+        let mut cold = RevisedMaster::new(n, None, None);
+        for (members, cost) in &all {
+            cold.append_column(members, *cost);
+        }
+        let cold_obj = cold.solve().expect("feasible").objective;
+        assert!(warm.simplex.pivots > REFACTOR_ETAS, "exercised a refactorization");
+        let warm_obj = last_warm.unwrap();
+        assert!((warm_obj - cold_obj).abs() < 1e-7, "warm {warm_obj} vs cold {cold_obj}");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random master history: universe size, bounds, and a column
+        /// sequence to append one at a time.
+        #[allow(clippy::type_complexity)]
+        fn master_spec(
+        ) -> impl Strategy<Value = (usize, Option<usize>, Option<usize>, Vec<(Vec<usize>, f64)>)>
+        {
+            (2usize..7).prop_flat_map(|n| {
+                let column = (proptest::collection::btree_set(0usize..n, 1..=n), 1usize..40)
+                    .prop_map(|(members, c)| {
+                        (members.into_iter().collect::<Vec<usize>>(), c as f64 * 0.25)
+                    });
+                (
+                    Just(n),
+                    proptest::option::of(1usize..4),
+                    proptest::option::of(1usize..5),
+                    proptest::collection::vec(column, 1..14),
+                )
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// After every single append, the warm-started re-optimization
+            /// equals a cold solve over the same pool — objective and
+            /// artificial mass alike. This is the warm start's whole
+            /// correctness claim, checked at every prefix.
+            #[test]
+            fn warm_restart_equals_cold_solve_at_every_prefix(spec in master_spec()) {
+                let (n, min_sets, max_sets, columns) = spec;
+                let mut warm = RevisedMaster::new(n, min_sets, max_sets);
+                for upto in 1..=columns.len() {
+                    let (members, cost) = &columns[upto - 1];
+                    warm.append_column(members, *cost);
+                    let warm_lp = warm.solve().expect("big-M master is always feasible");
+                    let mut cold = RevisedMaster::new(n, min_sets, max_sets);
+                    for (m2, c2) in &columns[..upto] {
+                        cold.append_column(m2, *c2);
+                    }
+                    let cold_lp = cold.solve().expect("big-M master is always feasible");
+                    prop_assert!(
+                        (warm_lp.objective - cold_lp.objective).abs() < 1e-6,
+                        "prefix {}: warm {} vs cold {}",
+                        upto,
+                        warm_lp.objective,
+                        cold_lp.objective
+                    );
+                    prop_assert!(
+                        (warm_lp.art_usage - cold_lp.art_usage).abs() < 1e-6,
+                        "prefix {}: artificial mass diverged",
+                        upto
+                    );
+                }
+            }
+        }
+    }
+}

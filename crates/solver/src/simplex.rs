@@ -60,7 +60,7 @@ pub enum LpDualResult {
 /// Solves the LP relaxation of `model` (variables in `[0, ∞)`); callers that
 /// need `x ≤ 1` add those rows explicitly (see [`solve_lp_box`]).
 pub fn solve_lp(model: &Model) -> LpResult {
-    Tableau::build(model).solve(model).0
+    Tableau::build(model).solve_in_place(model).0
 }
 
 /// Solves the LP relaxation and extracts the optimal dual prices from the
@@ -71,12 +71,23 @@ pub fn solve_lp(model: &Model) -> LpResult {
 /// re-entering the basis in phase 2 but their entries stay updated, which
 /// is exactly what makes this read-off valid.
 pub fn solve_lp_with_duals(model: &Model) -> LpDualResult {
-    match Tableau::build(model).solve(model) {
+    solve_lp_with_duals_counted(model).0
+}
+
+/// [`solve_lp_with_duals`] plus the pivot count of the solve — the colgen
+/// driver aggregates it into [`crate::colgen::ColGenStats::master_pivots`]
+/// so the dense and revised master routes report comparable work.
+pub(crate) fn solve_lp_with_duals_counted(model: &Model) -> (LpDualResult, usize) {
+    let mut tableau = Tableau::build(model);
+    let result = tableau.solve_in_place(model);
+    let pivots = tableau.pivots;
+    let dual_result = match result {
         (LpResult::Optimal(solution), Some(duals)) => LpDualResult::Optimal { solution, duals },
         (LpResult::Optimal(_), None) => unreachable!("optimal solves always produce duals"),
         (LpResult::Infeasible, _) => LpDualResult::Infeasible,
         (LpResult::Unbounded, _) => LpDualResult::Unbounded,
-    }
+    };
+    (dual_result, pivots)
 }
 
 /// Solves the LP relaxation with box constraints `0 ≤ x ≤ 1` on every
@@ -112,6 +123,8 @@ struct Tableau {
     /// Per row: whether the row was negated to normalize a negative RHS
     /// (its dual flips sign back).
     row_flip: Vec<bool>,
+    /// Pivots performed across both phases.
+    pivots: usize,
 }
 
 impl Tableau {
@@ -182,10 +195,21 @@ impl Tableau {
             }
             a[r * cols + cols - 1] = rhs;
         }
-        Tableau { a, rows: m, cols, basis, art_start, num_structural: n, row_id_col, row_flip }
+        Tableau {
+            a,
+            rows: m,
+            cols,
+            basis,
+            art_start,
+            num_structural: n,
+            row_id_col,
+            row_flip,
+            pivots: 0,
+        }
     }
 
     fn pivot(&mut self, pr: usize, pc: usize) {
+        self.pivots += 1;
         let piv = self.at(pr, pc);
         debug_assert!(piv.abs() > EPS, "pivot on ~0 element");
         for c in 0..self.cols {
@@ -296,7 +320,7 @@ impl Tableau {
         }
     }
 
-    fn solve(mut self, model: &Model) -> (LpResult, Option<Vec<f64>>) {
+    fn solve_in_place(&mut self, model: &Model) -> (LpResult, Option<Vec<f64>>) {
         let total_cols = self.cols - 1;
         // Phase 1: minimize the sum of artificials.
         let mut phase1 = vec![0.0; total_cols];
